@@ -1,0 +1,90 @@
+#ifndef MOVD_BENCH_BENCH_COMMON_H_
+#define MOVD_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/molq.h"
+#include "core/object.h"
+#include "data/generate.h"
+#include "geom/rect.h"
+#include "util/rng.h"
+
+namespace movd::bench {
+
+/// The search space used by every harness (arbitrary units; the paper's
+/// data is continental-scale but only relative geometry matters).
+inline constexpr Rect kWorld(0, 0, 10000, 10000);
+
+/// Builds a MOLQ query over the first `sizes.size()` classes of the
+/// GeoNames-like catalog (Ē follows the paper's selection sequence
+/// STM, CH, SCH, PPL, BLDG), with `sizes[i]` objects sampled per class and
+/// one type weight per *type* drawn uniformly from (0, 10) as in §6.1
+/// (ς^t must rank uniformly within a type for the OVD model's Property 5).
+/// Object weights stay 1 (the paper's default), keeping the exact
+/// ordinary-Voronoi path.
+inline MolqQuery MakeQuery(const std::vector<size_t>& sizes, uint64_t seed) {
+  const auto& catalog = GeoNamesLikeCatalog();
+  Rng rng(seed);
+  MolqQuery query;
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    ObjectSet set;
+    set.name = catalog[s % catalog.size()].name;
+    double type_weight = rng.Uniform(0.0, 10.0);
+    if (type_weight == 0.0) type_weight = 0.1;  // keep positive
+    const auto points = SamplePoiClass(set.name, sizes[s], kWorld, seed + s);
+    for (const Point& p : points) {
+      SpatialObject obj;
+      obj.location = p;
+      obj.type_weight = type_weight;
+      set.objects.push_back(obj);
+    }
+    query.sets.push_back(std::move(set));
+  }
+  return query;
+}
+
+/// One basic MOVD per class for overlap-only experiments (Figs. 11-14).
+inline std::vector<Movd> MakeBasicMovds(const std::vector<size_t>& sizes,
+                                        uint64_t seed) {
+  const MolqQuery query = MakeQuery(sizes, seed);
+  std::vector<Movd> out;
+  for (size_t s = 0; s < query.sets.size(); ++s) {
+    out.push_back(BuildBasicMovd(query, static_cast<int32_t>(s), kWorld,
+                                 /*weighted_grid_resolution=*/128));
+  }
+  return out;
+}
+
+/// Parses a comma-separated size list (bench --sizes flags).
+inline std::vector<size_t> ParseSizes(const std::string& csv) {
+  std::vector<size_t> sizes;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    sizes.push_back(std::strtoull(csv.c_str() + pos, nullptr, 10));
+    const size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return sizes;
+}
+
+/// Human-readable byte count.
+inline std::string FormatBytes(size_t bytes) {
+  char buf[64];
+  if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB",
+                  static_cast<double>(bytes) / (1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB",
+                  static_cast<double>(bytes) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace movd::bench
+
+#endif  // MOVD_BENCH_BENCH_COMMON_H_

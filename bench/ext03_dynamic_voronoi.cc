@@ -1,0 +1,92 @@
+// Extension experiment 3: dynamically maintained Voronoi diagram (local
+// cell repair on insert/remove) vs rebuilding from scratch on every
+// update. Also compares the static cell-construction strategies
+// (kNN-expansion vs Delaunay) used by the VD Generator.
+//
+// Flags: --sizes=500,2000,8000  --updates=64  --seed=1
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "voronoi/dynamic.h"
+#include "voronoi/voronoi.h"
+
+namespace movd::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto sizes = ParseSizes(flags.GetString("sizes", "500,2000,8000"));
+  const size_t updates = static_cast<size_t>(flags.GetInt("updates", 64));
+  const uint64_t seed = flags.GetInt("seed", 1);
+
+  std::printf("Extension: dynamic Voronoi maintenance — %zu mixed updates, "
+              "local repair vs full rebuild per update\n\n", updates);
+  Table table({"sites", "build knn(s)", "build delaunay(s)",
+               "repair total(s)", "rebuild total(s)", "speedup/update"});
+  for (const size_t n : sizes) {
+    Rng rng(seed);
+    std::vector<Point> pts;
+    for (size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
+    }
+
+    Stopwatch sw;
+    const auto knn = VoronoiDiagram::Build(
+        pts, kWorld, VoronoiDiagram::Strategy::kNearestNeighbor);
+    const double knn_s = sw.ElapsedSeconds();
+    sw.Reset();
+    const auto del = VoronoiDiagram::Build(
+        pts, kWorld, VoronoiDiagram::Strategy::kDelaunay);
+    const double del_s = sw.ElapsedSeconds();
+    (void)knn;
+    (void)del;
+
+    // Dynamic updates: alternate insertions and removals.
+    DynamicVoronoi dyn(pts, kWorld);
+    std::vector<int32_t> live = dyn.LiveSites();
+    sw.Reset();
+    for (size_t u = 0; u < updates; ++u) {
+      if (u % 2 == 0) {
+        const auto id =
+            dyn.InsertSite({rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
+        if (id.has_value()) live.push_back(*id);
+      } else if (!live.empty()) {
+        const size_t pick = rng.NextBelow(live.size());
+        dyn.RemoveSite(live[pick]);
+        live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      }
+    }
+    const double repair_s = sw.ElapsedSeconds();
+
+    // The baseline: rebuild the whole diagram after each update.
+    std::vector<Point> rebuild_pts = pts;
+    sw.Reset();
+    for (size_t u = 0; u < updates; ++u) {
+      if (u % 2 == 0) {
+        rebuild_pts.push_back(
+            {rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
+      } else if (!rebuild_pts.empty()) {
+        rebuild_pts.pop_back();
+      }
+      const auto vd = VoronoiDiagram::Build(rebuild_pts, kWorld);
+      (void)vd;
+    }
+    const double rebuild_s = sw.ElapsedSeconds();
+
+    table.AddRow({std::to_string(n), Table::Fmt(knn_s, 3),
+                  Table::Fmt(del_s, 3), Table::Fmt(repair_s, 3),
+                  Table::Fmt(rebuild_s, 3),
+                  Table::Fmt(rebuild_s / std::max(repair_s, 1e-9), 0) + "x"});
+  }
+  table.Print(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace movd::bench
+
+int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }

@@ -1,0 +1,114 @@
+// Reproduces Fig. 10: the cost-bound (CB) batch Fermat–Weber solver vs the
+// basic (Original) approach, varying the number of problems and the error
+// bound epsilon. Each problem has 5 points with coordinates and weights
+// drawn from [0, 10), exactly the paper's setup (§6.2).
+//
+// Flags: --problems=1000,5000,10000,50000  --epsilons=1e-2,1e-3,1e-4
+//        --seed=1  --ablate (adds prefilter-only / bound-only rows)
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "fermat/batch.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace movd::bench {
+namespace {
+
+std::vector<std::vector<WeightedPoint>> MakeProblems(size_t count,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<WeightedPoint>> problems(count);
+  for (auto& problem : problems) {
+    problem.reserve(5);
+    for (int i = 0; i < 5; ++i) {
+      double w = rng.Uniform(0.0, 10.0);
+      if (w == 0.0) w = 0.1;
+      problem.push_back({{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)}, w});
+    }
+  }
+  return problems;
+}
+
+struct RunResult {
+  double seconds;
+  double cost;
+  uint64_t iterations;
+};
+
+RunResult Run(const std::vector<std::vector<WeightedPoint>>& problems,
+              double epsilon, bool cost_bound, bool prefilter) {
+  BatchOptions opts;
+  opts.epsilon = epsilon;
+  opts.use_cost_bound = cost_bound;
+  opts.use_two_point_prefilter = prefilter;
+  Stopwatch sw;
+  const BatchResult r = SolveFermatWeberBatch(problems, opts);
+  return {sw.ElapsedSeconds(), r.cost, r.total_iterations};
+}
+
+std::vector<double> ParseDoubles(const std::string& csv) {
+  std::vector<double> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    out.push_back(std::strtod(csv.c_str() + pos, nullptr));
+    const size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto counts =
+      ParseSizes(flags.GetString("problems", "1000,5000,10000,50000"));
+  const auto epsilons =
+      ParseDoubles(flags.GetString("epsilons", "1e-2,1e-3,1e-4"));
+  const uint64_t seed = flags.GetInt("seed", 1);
+  const bool ablate = flags.GetBool("ablate", false);
+
+  std::printf("Fig. 10 — batch Fermat–Weber: Original vs cost-bound (CB); "
+              "5 points/problem, coords & weights U[0,10)\n\n");
+  Table table({"#problems", "epsilon", "Original(s)", "CB(s)", "speedup",
+               "orig iters", "CB iters"});
+  for (const size_t count : counts) {
+    const auto problems = MakeProblems(count, seed);
+    for (const double eps : epsilons) {
+      const RunResult original = Run(problems, eps, false, false);
+      const RunResult cb = Run(problems, eps, true, true);
+      table.AddRow({std::to_string(count), Table::Fmt(eps, 4),
+                    Table::Fmt(original.seconds, 3), Table::Fmt(cb.seconds, 3),
+                    Table::Fmt(original.seconds / cb.seconds, 1) + "x",
+                    std::to_string(original.iterations),
+                    std::to_string(cb.iterations)});
+    }
+  }
+  table.Print(stdout);
+
+  if (ablate) {
+    std::printf("\nAblation — contribution of the two CB ingredients "
+                "(epsilon=%g)\n\n", epsilons.back());
+    Table ab({"#problems", "Original(s)", "bound only(s)", "prefilter only(s)",
+              "both(s)"});
+    for (const size_t count : counts) {
+      const auto problems = MakeProblems(count, seed);
+      const double eps = epsilons.back();
+      ab.AddRow({std::to_string(count),
+                 Table::Fmt(Run(problems, eps, false, false).seconds, 3),
+                 Table::Fmt(Run(problems, eps, true, false).seconds, 3),
+                 Table::Fmt(Run(problems, eps, false, true).seconds, 3),
+                 Table::Fmt(Run(problems, eps, true, true).seconds, 3)});
+    }
+    ab.Print(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace movd::bench
+
+int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }

@@ -1,0 +1,46 @@
+// Reproduces Fig. 12: the number of OVRs produced when overlapping two
+// ordinary Voronoi diagrams under RRB vs MBRB. The paper reports MBRB
+// producing ~150% more OVRs on average (MBR hits that are not real region
+// overlaps).
+//
+// Flags: --sizes=1000,2000,4000,8000  --seed=1
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace movd::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto sizes = ParseSizes(flags.GetString("sizes", "1000,2000,4000,8000"));
+  const uint64_t seed = flags.GetInt("seed", 1);
+
+  std::printf("Fig. 12 — number of OVRs after overlapping two Voronoi "
+              "diagrams, RRB vs MBRB\n\n");
+  Table table({"|STM|", "|CH|", "RRB OVRs", "MBRB OVRs", "MBRB/RRB"});
+  for (const size_t n : sizes) {
+    for (const size_t m : sizes) {
+      const auto basic = MakeBasicMovds({n, m}, seed);
+      const Movd rrb = Overlap(basic[0], basic[1], BoundaryMode::kRealRegion);
+      const Movd mbrb = Overlap(basic[0], basic[1], BoundaryMode::kMbr);
+      table.AddRow({std::to_string(n), std::to_string(m),
+                    std::to_string(rrb.ovrs.size()),
+                    std::to_string(mbrb.ovrs.size()),
+                    Table::Fmt(static_cast<double>(mbrb.ovrs.size()) /
+                                   std::max<size_t>(1, rrb.ovrs.size()),
+                               2) +
+                        "x"});
+    }
+  }
+  table.Print(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace movd::bench
+
+int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }

@@ -1,0 +1,49 @@
+// Reproduces Fig. 13: memory consumption of the MOVD produced by
+// overlapping two Voronoi diagrams, RRB vs MBRB. The paper's finding: even
+// though MBRB holds more OVRs (Fig. 12), each is just two points, so MBRB
+// consumes 26-29% less memory at two object types. Memory is measured by
+// byte-accurate structure accounting (see Movd::MemoryBytes).
+//
+// Flags: --sizes=1000,2000,4000,8000  --seed=1
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace movd::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto sizes = ParseSizes(flags.GetString("sizes", "1000,2000,4000,8000"));
+  const uint64_t seed = flags.GetInt("seed", 1);
+
+  std::printf("Fig. 13 — memory consumption of the overlapped MOVD, "
+              "RRB vs MBRB (structure bytes; points stored)\n\n");
+  Table table({"|STM|", "|CH|", "RRB bytes", "MBRB bytes", "MBRB/RRB",
+               "RRB points", "MBRB points"});
+  for (const size_t n : sizes) {
+    for (const size_t m : sizes) {
+      const auto basic = MakeBasicMovds({n, m}, seed);
+      const Movd rrb = Overlap(basic[0], basic[1], BoundaryMode::kRealRegion);
+      const Movd mbrb = Overlap(basic[0], basic[1], BoundaryMode::kMbr);
+      const size_t rrb_bytes = rrb.MemoryBytes(BoundaryMode::kRealRegion);
+      const size_t mbrb_bytes = mbrb.MemoryBytes(BoundaryMode::kMbr);
+      table.AddRow({std::to_string(n), std::to_string(m),
+                    FormatBytes(rrb_bytes), FormatBytes(mbrb_bytes),
+                    Table::Fmt(static_cast<double>(mbrb_bytes) / rrb_bytes,
+                               2),
+                    std::to_string(rrb.VertexCount()),
+                    std::to_string(2 * mbrb.ovrs.size())});
+    }
+  }
+  table.Print(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace movd::bench
+
+int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }

@@ -1,0 +1,125 @@
+// Reproduces Fig. 14: overlapping multiple Voronoi diagrams (2-5 object
+// types drawn in the paper's sequence STM, CH, SCH, PPL, BLDG).
+//
+//  part (a): availability — the largest per-type object count whose final
+//            MOVD fits a memory budget, per approach (the paper exhausts a
+//            24 GB server; we model a configurable budget with the same
+//            byte-accurate accounting used in Fig. 13).
+//  parts (b)/(c)/(d): execution time / #OVRs / memory along the
+//            availability line, including RRB* (RRB run at MBRB's sizes
+//            for a fair comparison, as in the paper).
+//
+// Flags: --budget_mb=8  --max_n=16384  --seed=1  --types=2,3,4,5
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace movd::bench {
+namespace {
+
+struct Measurement {
+  size_t ovrs = 0;
+  size_t bytes = 0;
+  double overlap_seconds = 0.0;
+};
+
+Measurement Measure(size_t types, size_t n, BoundaryMode mode,
+                    uint64_t seed) {
+  const std::vector<size_t> sizes(types, n);
+  const auto basic = MakeBasicMovds(sizes, seed);
+  Stopwatch sw;
+  const Movd out = OverlapAll(basic, mode);
+  Measurement m;
+  m.overlap_seconds = sw.ElapsedSeconds();
+  m.ovrs = out.ovrs.size();
+  m.bytes = out.MemoryBytes(mode);
+  return m;
+}
+
+// Largest n (doubling + binary search) whose final MOVD memory fits the
+// budget. Capped by max_n to keep the search laptop-friendly.
+size_t MaxSizeUnderBudget(size_t types, BoundaryMode mode, size_t budget,
+                          size_t max_n, uint64_t seed) {
+  size_t lo = 16;
+  if (Measure(types, lo, mode, seed).bytes > budget) return 0;
+  size_t hi = lo;
+  while (hi < max_n) {
+    const size_t next = std::min(max_n, hi * 2);
+    if (Measure(types, next, mode, seed).bytes > budget) {
+      hi = next;
+      break;
+    }
+    lo = hi = next;
+  }
+  while (hi - lo > std::max<size_t>(1, lo / 16)) {  // ~6% resolution
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Measure(types, mid, mode, seed).bytes > budget) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const size_t budget =
+      static_cast<size_t>(flags.GetInt("budget_mb", 8)) << 20;
+  const size_t max_n = static_cast<size_t>(flags.GetInt("max_n", 16384));
+  const uint64_t seed = flags.GetInt("seed", 1);
+  const auto types_list = ParseSizes(flags.GetString("types", "2,3,4,5"));
+
+  std::printf("Fig. 14(a) — availability: max objects/type under a %s "
+              "MOVD-memory budget\n\n", FormatBytes(budget).c_str());
+  std::vector<size_t> rrb_max(types_list.size());
+  std::vector<size_t> mbrb_max(types_list.size());
+  {
+    Table table({"#types", "RRB max objects", "MBRB max objects"});
+    for (size_t i = 0; i < types_list.size(); ++i) {
+      const size_t t = types_list[i];
+      rrb_max[i] =
+          MaxSizeUnderBudget(t, BoundaryMode::kRealRegion, budget, max_n,
+                             seed);
+      mbrb_max[i] =
+          MaxSizeUnderBudget(t, BoundaryMode::kMbr, budget, max_n, seed);
+      table.AddRow({std::to_string(t), std::to_string(rrb_max[i]),
+                    std::to_string(mbrb_max[i])});
+    }
+    table.Print(stdout);
+  }
+
+  std::printf("\nFig. 14(b)/(c)/(d) — overlap time, #OVRs and memory along "
+              "the availability line (RRB* = RRB at MBRB's sizes)\n\n");
+  Table table({"#types", "n(RRB)", "RRB(s)", "RRB OVRs", "RRB mem",
+               "n(MBRB)", "MBRB(s)", "MBRB OVRs", "MBRB mem", "RRB*(s)",
+               "RRB* OVRs", "RRB* mem"});
+  for (size_t i = 0; i < types_list.size(); ++i) {
+    const size_t t = types_list[i];
+    if (rrb_max[i] == 0 || mbrb_max[i] == 0) continue;
+    const Measurement rrb =
+        Measure(t, rrb_max[i], BoundaryMode::kRealRegion, seed);
+    const Measurement mbrb = Measure(t, mbrb_max[i], BoundaryMode::kMbr, seed);
+    const Measurement rrb_star =
+        Measure(t, mbrb_max[i], BoundaryMode::kRealRegion, seed);
+    table.AddRow({std::to_string(t), std::to_string(rrb_max[i]),
+                  Table::Fmt(rrb.overlap_seconds, 3),
+                  std::to_string(rrb.ovrs), FormatBytes(rrb.bytes),
+                  std::to_string(mbrb_max[i]),
+                  Table::Fmt(mbrb.overlap_seconds, 3),
+                  std::to_string(mbrb.ovrs), FormatBytes(mbrb.bytes),
+                  Table::Fmt(rrb_star.overlap_seconds, 3),
+                  std::to_string(rrb_star.ovrs), FormatBytes(rrb_star.bytes)});
+  }
+  table.Print(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace movd::bench
+
+int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }

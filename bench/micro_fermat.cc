@@ -1,0 +1,87 @@
+// Micro-benchmarks of the Fermat–Weber solvers (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "fermat/fermat_weber.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+std::vector<WeightedPoint> MakeProblem(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedPoint> pts;
+  for (int64_t i = 0; i < n; ++i) {
+    pts.push_back(
+        {{rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.1, 10)});
+  }
+  return pts;
+}
+
+void BM_WeiszfeldSolve(benchmark::State& state) {
+  const auto pts = MakeProblem(state.range(0), 7);
+  FermatWeberOptions opts;
+  opts.epsilon = 1e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveFermatWeber(pts, opts));
+  }
+}
+BENCHMARK(BM_WeiszfeldSolve)->Arg(4)->Arg(5)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_WeiszfeldSolveTightEpsilon(benchmark::State& state) {
+  const auto pts = MakeProblem(5, 8);
+  FermatWeberOptions opts;
+  opts.epsilon = 1e-6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveFermatWeber(pts, opts));
+  }
+}
+BENCHMARK(BM_WeiszfeldSolveTightEpsilon);
+
+void BM_WeiszfeldRelaxed(benchmark::State& state) {
+  // Over-relaxed iteration (Ostresh step 1.8): same optimum, fewer steps.
+  const auto pts = MakeProblem(8, 7);
+  FermatWeberOptions opts;
+  opts.epsilon = 1e-6;
+  opts.relaxation = 1.8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveFermatWeber(pts, opts));
+  }
+}
+BENCHMARK(BM_WeiszfeldRelaxed);
+
+void BM_LowerBound(benchmark::State& state) {
+  const auto pts = MakeProblem(state.range(0), 9);
+  const Point at{5, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FermatWeberLowerBound(pts, at));
+  }
+}
+BENCHMARK(BM_LowerBound)->Arg(5)->Arg(32)->Arg(128);
+
+void BM_ExactTriangle(benchmark::State& state) {
+  const std::vector<WeightedPoint> pts = {
+      {{0, 0}, 1.0}, {{10, 1}, 1.0}, {{4, 8}, 1.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveTriangle(pts));
+  }
+}
+BENCHMARK(BM_ExactTriangle);
+
+void BM_CollinearMedian(benchmark::State& state) {
+  std::vector<WeightedPoint> pts;
+  Rng rng(10);
+  for (int i = 0; i < 64; ++i) {
+    const double t = rng.Uniform(0, 100);
+    pts.push_back({{t, 2.0 * t}, rng.Uniform(0.1, 10)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveCollinear(pts));
+  }
+}
+BENCHMARK(BM_CollinearMedian);
+
+}  // namespace
+}  // namespace movd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Micro-benchmarks of the geometry kernel (google-benchmark): predicate
+// fast path vs exact fallback, convex clipping, hull construction.
+
+#include <benchmark/benchmark.h>
+
+#include "geom/hull.h"
+#include "geom/polygon.h"
+#include "geom/predicates.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+void BM_Orient2DFastPath(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Point> pts;
+  for (int i = 0; i < 3000; ++i) {
+    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Point& a = pts[i % pts.size()];
+    const Point& b = pts[(i + 1) % pts.size()];
+    const Point& c = pts[(i + 2) % pts.size()];
+    benchmark::DoNotOptimize(Orient2D(a, b, c));
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient2DFastPath);
+
+void BM_Orient2DExactFallback(benchmark::State& state) {
+  // Nearly collinear triples force the exact expansion path.
+  const Point a{0.5, 0.5};
+  const Point b{12.0, 12.0};
+  const Point c{3.0, 3.0000000000000004};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Orient2D(a, b, c));
+  }
+}
+BENCHMARK(BM_Orient2DExactFallback);
+
+void BM_InCircleFastPath(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<Point> pts;
+  for (int i = 0; i < 4000; ++i) {
+    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InCircle(pts[i % 997], pts[(i + 1) % 997],
+                                      pts[(i + 2) % 997], pts[(i + 3) % 997]));
+    ++i;
+  }
+}
+BENCHMARK(BM_InCircleFastPath);
+
+void BM_InCircleExactFallback(benchmark::State& state) {
+  // Cocircular points (square corners) force the exact path.
+  const Point a{0, 0}, b{1, 0}, c{1, 1}, d{0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InCircle(a, b, c, d));
+  }
+}
+BENCHMARK(BM_InCircleExactFallback);
+
+void BM_ConvexIntersect(benchmark::State& state) {
+  const int64_t verts = state.range(0);
+  // Two regular polygons with `verts` vertices, offset to half-overlap.
+  std::vector<Point> ring_a, ring_b;
+  for (int64_t i = 0; i < verts; ++i) {
+    const double ang = 2.0 * M_PI * static_cast<double>(i) / verts;
+    ring_a.push_back({std::cos(ang), std::sin(ang)});
+    ring_b.push_back({0.8 + std::cos(ang), 0.3 + std::sin(ang)});
+  }
+  const ConvexPolygon a(ring_a), b(ring_b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConvexPolygon::Intersect(a, b));
+  }
+}
+BENCHMARK(BM_ConvexIntersect)->Arg(4)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ConvexHull(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Point> pts;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    pts.push_back({rng.NextGaussian(), rng.NextGaussian()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConvexHull(pts));
+  }
+}
+BENCHMARK(BM_ConvexHull)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace movd
+
+BENCHMARK_MAIN();

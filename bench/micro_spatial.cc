@@ -1,0 +1,96 @@
+// Micro-benchmarks of the spatial substrates (google-benchmark): R-tree
+// construction and queries, Delaunay triangulation, Voronoi cell building.
+
+#include <benchmark/benchmark.h>
+
+#include "index/kdtree.h"
+#include "index/rtree.h"
+#include "util/rng.h"
+#include "voronoi/delaunay.h"
+#include "voronoi/voronoi.h"
+
+namespace movd {
+namespace {
+
+std::vector<Point> MakePoints(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (int64_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
+  }
+  return pts;
+}
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const auto pts = MakePoints(state.range(0), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RTree::BulkLoadPoints(pts));
+  }
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeKnn(benchmark::State& state) {
+  const auto pts = MakePoints(100000, 12);
+  const RTree tree = RTree::BulkLoadPoints(pts);
+  Rng rng(13);
+  for (auto _ : state) {
+    const Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    benchmark::DoNotOptimize(tree.Nearest(q, state.range(0)));
+  }
+}
+BENCHMARK(BM_RTreeKnn)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const auto pts = MakePoints(state.range(0), 14);
+  for (auto _ : state) {
+    RTree tree;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      tree.Insert({Rect::OfPoint(pts[i]), static_cast<int64_t>(i)});
+    }
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const auto pts = MakePoints(state.range(0), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KdTree::Build(pts));
+  }
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_KdTreeKnn(benchmark::State& state) {
+  const auto pts = MakePoints(100000, 18);
+  const KdTree tree = KdTree::Build(pts);
+  Rng rng(19);
+  for (auto _ : state) {
+    const Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    benchmark::DoNotOptimize(tree.Nearest(q, state.range(0)));
+  }
+}
+BENCHMARK(BM_KdTreeKnn)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_DelaunayBuild(benchmark::State& state) {
+  const auto pts = MakePoints(state.range(0), 15);
+  for (auto _ : state) {
+    const Delaunay dt(pts);
+    benchmark::DoNotOptimize(dt.num_real_points());
+  }
+}
+BENCHMARK(BM_DelaunayBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_VoronoiBuild(benchmark::State& state) {
+  const auto pts = MakePoints(state.range(0), 16);
+  const Rect bounds(0, 0, 10000, 10000);
+  for (auto _ : state) {
+    const auto vd = VoronoiDiagram::Build(pts, bounds);
+    benchmark::DoNotOptimize(vd.cells().size());
+  }
+}
+BENCHMARK(BM_VoronoiBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace movd
+
+BENCHMARK_MAIN();

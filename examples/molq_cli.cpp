@@ -1,0 +1,187 @@
+// molq_cli — command-line front end for the library.
+//
+//   molq_cli generate --class=STM --count=1000 --out=stm.csv
+//       [--seed=1] [--world=10000]
+//     Samples a synthetic POI layer (classes: STM, CH, SCH, PPL, BLDG)
+//     into a CSV of `x,y,type_weight,object_weight` rows.
+//
+//   molq_cli solve --inputs=a.csv,b.csv[,c.csv...]
+//       [--algorithm=rrb|mbrb|ssc] [--epsilon=1e-3] [--topk=1]
+//       [--world=10000] [--svg=answer.svg] [--prune]
+//     Evaluates MOLQ over the given object sets (one CSV per type) and
+//     prints the answer(s) as JSON lines.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/molq.h"
+#include "core/topk.h"
+#include "core/weighted_distance.h"
+#include "data/csv.h"
+#include "data/generate.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "viz/svg.h"
+
+namespace {
+
+using namespace movd;
+
+std::vector<std::string> SplitCsvList(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) {
+      if (pos < csv.size()) out.push_back(csv.substr(pos));
+      break;
+    }
+    out.push_back(csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int Generate(const Flags& flags) {
+  const std::string cls = flags.GetString("class", "STM");
+  const size_t count = static_cast<size_t>(flags.GetInt("count", 1000));
+  const std::string out = flags.GetString("out", "");
+  const double world = flags.GetDouble("world", 10000.0);
+  const uint64_t seed = flags.GetInt("seed", 1);
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  const auto points =
+      SamplePoiClass(cls, count, Rect(0, 0, world, world), seed);
+  std::vector<SpatialObject> objects;
+  objects.reserve(points.size());
+  for (const Point& p : points) {
+    SpatialObject obj;
+    obj.location = p;
+    objects.push_back(obj);
+  }
+  if (!SaveObjectsCsv(out, objects)) {
+    std::fprintf(stderr, "generate: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %s objects to %s\n", objects.size(), cls.c_str(),
+              out.c_str());
+  return 0;
+}
+
+void PrintAnswerJson(const MolqQuery& query, const Point& location,
+                     double cost, const std::vector<PoiRef>& group) {
+  std::printf("{\"location\": [%.6f, %.6f], \"cost\": %.6f, \"group\": [",
+              location.x, location.y, cost);
+  for (size_t i = 0; i < group.size(); ++i) {
+    const SpatialObject& obj =
+        query.sets[group[i].set].objects[group[i].object];
+    std::printf("%s{\"set\": \"%s\", \"index\": %d, \"at\": [%.6f, %.6f]}",
+                i == 0 ? "" : ", ", query.sets[group[i].set].name.c_str(),
+                group[i].object, obj.location.x, obj.location.y);
+  }
+  std::printf("]}\n");
+}
+
+int Solve(const Flags& flags) {
+  const auto inputs = SplitCsvList(flags.GetString("inputs", ""));
+  if (inputs.size() < 1) {
+    std::fprintf(stderr, "solve: --inputs=a.csv,b.csv,... is required\n");
+    return 2;
+  }
+  MolqQuery query;
+  Rect world;
+  for (const std::string& path : inputs) {
+    const auto objects = LoadObjectsCsv(path);
+    if (!objects.has_value() || objects->empty()) {
+      std::fprintf(stderr, "solve: cannot read objects from %s\n",
+                   path.c_str());
+      return 1;
+    }
+    ObjectSet set;
+    set.name = path;
+    set.objects = *objects;
+    for (const SpatialObject& obj : set.objects) world.Expand(obj.location);
+    query.sets.push_back(std::move(set));
+  }
+  if (flags.Has("world")) {
+    const double w = flags.GetDouble("world", 10000.0);
+    world = Rect(0, 0, w, w);
+  }
+
+  MolqOptions options;
+  const std::string algo = flags.GetString("algorithm", "rrb");
+  if (algo == "rrb") {
+    options.algorithm = MolqAlgorithm::kRrb;
+  } else if (algo == "mbrb") {
+    options.algorithm = MolqAlgorithm::kMbrb;
+  } else if (algo == "ssc") {
+    options.algorithm = MolqAlgorithm::kSsc;
+  } else {
+    std::fprintf(stderr, "solve: unknown --algorithm=%s\n", algo.c_str());
+    return 2;
+  }
+  options.epsilon = flags.GetDouble("epsilon", 1e-3);
+  options.use_overlap_pruning = flags.GetBool("prune", false);
+
+  const size_t k = static_cast<size_t>(flags.GetInt("topk", 1));
+  Stopwatch sw;
+  Point answer;
+  if (k > 1 && options.algorithm != MolqAlgorithm::kSsc) {
+    const auto ranked = SolveMolqTopK(query, world, k, options);
+    for (const RankedLocation& r : ranked) {
+      PrintAnswerJson(query, r.location, r.cost, r.group);
+    }
+    if (!ranked.empty()) answer = ranked.front().location;
+  } else {
+    const MolqResult r = SolveMolq(query, world, options);
+    const auto group_indices = ArgMinGroup(query, r.location);
+    std::vector<PoiRef> group;
+    for (size_t s = 0; s < group_indices.size(); ++s) {
+      group.push_back({static_cast<int32_t>(s), group_indices[s]});
+    }
+    PrintAnswerJson(query, r.location, r.cost, group);
+    answer = r.location;
+  }
+  std::fprintf(stderr, "solved in %.3fs\n", sw.ElapsedSeconds());
+
+  const std::string svg_path = flags.GetString("svg", "");
+  if (!svg_path.empty()) {
+    SvgWriter svg(world, 800);
+    const char* colors[] = {"#1f77b4", "#2ca02c", "#d62728", "#9467bd",
+                            "#8c564b"};
+    for (size_t s = 0; s < query.sets.size(); ++s) {
+      for (const SpatialObject& obj : query.sets[s].objects) {
+        svg.AddCircle(obj.location, 3.0, colors[s % 5]);
+      }
+    }
+    svg.AddCircle(answer, 8.0, "#ff7f0e");
+    if (!svg.Save(svg_path)) {
+      std::fprintf(stderr, "solve: cannot write %s\n", svg_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", svg_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: molq_cli <generate|solve> [flags]\n"
+                 "  generate --class=STM --count=1000 --out=file.csv\n"
+                 "  solve --inputs=a.csv,b.csv[,...] [--algorithm=rrb] "
+                 "[--topk=3] [--svg=out.svg]\n");
+    return 2;
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "generate") return Generate(flags);
+  if (command == "solve") return Solve(flags);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}

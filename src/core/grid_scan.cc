@@ -1,0 +1,31 @@
+#include "core/grid_scan.h"
+
+#include <limits>
+
+#include "core/weighted_distance.h"
+#include "util/check.h"
+
+namespace movd {
+
+GridScanResult GridScanMolq(const MolqQuery& query, const Rect& search_space,
+                            int resolution) {
+  MOVD_CHECK(resolution > 1);
+  GridScanResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  const double sx = search_space.Width() / (resolution - 1);
+  const double sy = search_space.Height() / (resolution - 1);
+  for (int gy = 0; gy < resolution; ++gy) {
+    for (int gx = 0; gx < resolution; ++gx) {
+      const Point q{search_space.min_x + gx * sx,
+                    search_space.min_y + gy * sy};
+      const double cost = MinWeightedGroupDistance(query, q);
+      if (cost < best.cost) {
+        best.cost = cost;
+        best.location = q;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace movd

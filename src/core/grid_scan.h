@@ -1,0 +1,26 @@
+#ifndef MOVD_CORE_GRID_SCAN_H_
+#define MOVD_CORE_GRID_SCAN_H_
+
+#include "core/object.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace movd {
+
+/// Result of a brute-force grid scan of the search space.
+struct GridScanResult {
+  Point location;     ///< best grid point
+  double cost = 0.0;  ///< MWGD at that point
+};
+
+/// Ground-truth reference evaluator: evaluates MWGD(q, Ē, ς^t, σ) on a
+/// `resolution` x `resolution` grid of `search_space` and returns the best
+/// grid point. The true optimum's cost is within O(grid pitch x total
+/// weight) of the returned cost; tests use this to validate the solvers.
+/// O(resolution^2 * sum |P_i|).
+GridScanResult GridScanMolq(const MolqQuery& query, const Rect& search_space,
+                            int resolution);
+
+}  // namespace movd
+
+#endif  // MOVD_CORE_GRID_SCAN_H_

@@ -1,0 +1,151 @@
+#include "core/molq.h"
+
+#include <unordered_map>
+
+#include "core/pruned_overlap.h"
+#include "core/weighted_distance.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "voronoi/voronoi.h"
+#include "voronoi/weighted.h"
+
+namespace movd {
+namespace {
+
+// True when the set's full weighted distance WD(q, p) = a*d(q, p) + b has
+// identical coefficients (a, b) for every object, so WD ranks objects
+// exactly like plain distance and the ordinary Voronoi diagram is exact.
+// This covers the paper's default (all weights 1) and any per-type
+// constant weights; per-object weights route to the weighted diagram.
+bool OrdinaryDiagramSuffices(const MolqQuery& query, int32_t set) {
+  const ObjectSet& objects = query.sets.at(set);
+  const FermatWeberTerm first = DecomposeWeightedDistance(
+      objects.objects.front(), query.type_function,
+      query.ObjectFunction(set));
+  for (const SpatialObject& obj : objects.objects) {
+    const FermatWeberTerm term = DecomposeWeightedDistance(
+        obj, query.type_function, query.ObjectFunction(set));
+    if (term.fw_weight != first.fw_weight || term.offset != first.offset) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
+                    const Rect& search_space, int weighted_grid_resolution) {
+  const ObjectSet& objects = query.sets.at(set);
+  MOVD_CHECK(!objects.objects.empty());
+
+  if (OrdinaryDiagramSuffices(query, set)) {
+    std::vector<Point> sites;
+    sites.reserve(objects.objects.size());
+    for (const SpatialObject& obj : objects.objects) {
+      sites.push_back(obj.location);
+    }
+    const VoronoiDiagram vd = VoronoiDiagram::Build(sites, search_space);
+    // The diagram deduplicates site locations; map each surviving site back
+    // to the first object at that location.
+    std::unordered_map<Point, int32_t, PointHash> first_at;
+    for (size_t i = 0; i < objects.objects.size(); ++i) {
+      first_at.emplace(objects.objects[i].location, static_cast<int32_t>(i));
+    }
+    std::vector<int32_t> object_of_site;
+    object_of_site.reserve(vd.sites().size());
+    for (const Point& site : vd.sites()) {
+      const auto it = first_at.find(site);
+      MOVD_CHECK(it != first_at.end());
+      object_of_site.push_back(it->second);
+    }
+    return MovdFromVoronoi(vd, set, object_of_site);
+  }
+
+  // Weighted diagram: grid approximation (paper §5.3; see DESIGN.md). The
+  // dominance metric is the set's full affine weighted distance
+  // WD(q, p) = a*d + b with (a, b) from the ς^t/ς^o decomposition, so the
+  // diagram is exact in intent for every supported weight-function combo.
+  std::vector<WeightedSite> sites;
+  sites.reserve(objects.objects.size());
+  for (const SpatialObject& obj : objects.objects) {
+    const FermatWeberTerm term = DecomposeWeightedDistance(
+        obj, query.type_function, query.ObjectFunction(set));
+    sites.push_back({obj.location, term.fw_weight, term.offset});
+  }
+  const auto cells = ApproximateWeightedVoronoi(sites, search_space,
+                                                weighted_grid_resolution);
+  std::vector<int32_t> object_of_site(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    object_of_site[i] = static_cast<int32_t>(i);
+  }
+  return MovdFromWeightedApprox(cells, set, object_of_site);
+}
+
+MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
+                     const MolqOptions& options) {
+  MOVD_CHECK(!query.sets.empty());
+  MOVD_CHECK(!search_space.Empty());
+  MolqResult result;
+
+  if (options.algorithm == MolqAlgorithm::kSsc) {
+    Stopwatch sw;
+    SscOptions ssc;
+    ssc.epsilon = options.epsilon;
+    ssc.use_upper_bound_prune = options.use_two_point_prefilter;
+    ssc.use_cost_bound = options.use_cost_bound;
+    const SscResult r = SolveSsc(query, ssc);
+    result.location = r.location;
+    result.cost = r.cost;
+    result.stats.ssc = r.stats;
+    result.stats.optimize_seconds = sw.ElapsedSeconds();
+    return result;
+  }
+
+  const BoundaryMode mode = options.algorithm == MolqAlgorithm::kRrb
+                                ? BoundaryMode::kRealRegion
+                                : BoundaryMode::kMbr;
+
+  // Stage 1: VD Generator — one basic MOVD per object set (Property 7).
+  Stopwatch sw;
+  std::vector<Movd> basic;
+  basic.reserve(query.sets.size());
+  for (size_t i = 0; i < query.sets.size(); ++i) {
+    basic.push_back(BuildBasicMovd(query, static_cast<int32_t>(i),
+                                   search_space,
+                                   options.weighted_grid_resolution));
+  }
+  result.stats.vd_seconds = sw.ElapsedSeconds();
+
+  // Stage 2: MOVD Overlapper — sequential ⊕ over the basic MOVDs (Eq. 27),
+  // optionally with combination pruning (§8 future work).
+  sw.Reset();
+  Movd movd;
+  if (options.use_overlap_pruning) {
+    PrunedOverlapStats pruned;
+    movd = OverlapAllPruned(query, basic, mode, search_space, &pruned);
+    result.stats.overlap = pruned.overlap;
+    result.stats.pruned_ovrs = pruned.pruned_ovrs;
+  } else {
+    movd = OverlapAll(basic, mode, &result.stats.overlap);
+  }
+  result.stats.overlap_seconds = sw.ElapsedSeconds();
+  result.stats.final_ovrs = movd.ovrs.size();
+  result.stats.memory_bytes = movd.MemoryBytes(mode);
+
+  // Stage 3: Optimizer — best local optimum across OVRs (§5.4).
+  sw.Reset();
+  OptimizerOptions opt;
+  opt.epsilon = options.epsilon;
+  opt.use_cost_bound = options.use_cost_bound;
+  opt.use_two_point_prefilter = options.use_two_point_prefilter;
+  opt.dedup_combinations = options.dedup_combinations;
+  const OptimizerResult r = OptimizeMovd(query, movd, opt);
+  result.stats.optimize_seconds = sw.ElapsedSeconds();
+  result.stats.optimizer = r.stats;
+  result.location = r.location;
+  result.cost = r.cost;
+  return result;
+}
+
+}  // namespace movd

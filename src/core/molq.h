@@ -1,0 +1,85 @@
+#ifndef MOVD_CORE_MOLQ_H_
+#define MOVD_CORE_MOLQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/movd_model.h"
+#include "core/object.h"
+#include "core/optimizer.h"
+#include "core/overlap.h"
+#include "core/ssc.h"
+#include "geom/rect.h"
+
+namespace movd {
+
+/// The three MOLQ evaluation strategies the paper compares (Figs. 8-9).
+enum class MolqAlgorithm {
+  kSsc,   ///< Sequential Scan Combinations baseline (§3)
+  kRrb,   ///< MOVD pipeline, Real Region as Boundary (§5.2)
+  kMbrb,  ///< MOVD pipeline, MBR as Boundary (§5.3)
+};
+
+/// End-to-end options for SolveMolq.
+struct MolqOptions {
+  MolqAlgorithm algorithm = MolqAlgorithm::kRrb;
+
+  /// Fermat–Weber stopping-rule error bound.
+  double epsilon = 1e-3;
+
+  /// Cost-bound pruning (§5.4) across local optimizations.
+  bool use_cost_bound = true;
+
+  /// Two-point-prefix filters (Algorithm 1 lines 4-5, Algorithm 5 8-12).
+  bool use_two_point_prefilter = true;
+
+  /// Optimizer extension: collapse duplicate object combinations.
+  bool dedup_combinations = false;
+
+  /// Overlap extension (the paper's §8 future work): drop OVRs whose
+  /// object combination provably cannot contain the optimum during each
+  /// overlap step (see pruned_overlap.h). Off by default to match the
+  /// paper's base algorithms.
+  bool use_overlap_pruning = false;
+
+  /// Grid resolution used to approximate weighted Voronoi diagrams when a
+  /// set has non-uniform object weights (§5.3).
+  int weighted_grid_resolution = 128;
+};
+
+/// Per-stage instrumentation of one query evaluation.
+struct MolqStats {
+  double vd_seconds = 0.0;        ///< VD Generator stage
+  double overlap_seconds = 0.0;   ///< MOVD Overlapper stage
+  double optimize_seconds = 0.0;  ///< Optimizer stage (or all of SSC)
+  size_t final_ovrs = 0;          ///< |MOVD(Ē)| fed into the Optimizer
+  size_t memory_bytes = 0;        ///< Movd::MemoryBytes of the final MOVD
+  uint64_t pruned_ovrs = 0;       ///< OVRs cut by overlap pruning (if on)
+  OverlapStats overlap;
+  OptimizerStats optimizer;
+  SscStats ssc;  ///< populated only for MolqAlgorithm::kSsc
+};
+
+/// Result of one MOLQ evaluation.
+struct MolqResult {
+  Point location;
+  double cost = 0.0;
+  MolqStats stats;
+};
+
+/// Builds the basic MOVD of one object set (the framework's VD Generator,
+/// Fig. 3): an exact ordinary Voronoi diagram when all object weights in
+/// the set are equal (ς^o is then rank-preserving in the distance), or a
+/// grid-approximated weighted diagram otherwise.
+Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
+                    const Rect& search_space, int weighted_grid_resolution);
+
+/// Evaluates MOLQ(Ē, ς^t, σ) over `search_space` (paper Eq. 4): the
+/// location minimising MWGD. Dispatches to SSC or to the MOVD pipeline
+/// (VD Generator -> MOVD Overlapper -> Optimizer).
+MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
+                     const MolqOptions& options = {});
+
+}  // namespace movd
+
+#endif  // MOVD_CORE_MOLQ_H_

@@ -1,0 +1,89 @@
+#include "core/movd_model.h"
+
+#include "util/check.h"
+
+namespace movd {
+
+size_t Movd::MemoryBytes(BoundaryMode mode) const {
+  size_t bytes = 0;
+  for (const Ovr& ovr : ovrs) {
+    if (mode == BoundaryMode::kRealRegion) {
+      bytes += ovr.region.VertexCount() * sizeof(Point);
+    } else {
+      bytes += 2 * sizeof(Point);  // an MBR is two corner points
+    }
+    bytes += ovr.pois.size() * sizeof(PoiRef);
+  }
+  return bytes;
+}
+
+size_t Movd::VertexCount() const {
+  size_t n = 0;
+  for (const Ovr& ovr : ovrs) n += ovr.region.VertexCount();
+  return n;
+}
+
+Movd IdentityMovd(const Rect& search_space) {
+  Movd movd;
+  Ovr ovr;
+  ovr.region = Region::FromRect(search_space);
+  ovr.mbr = search_space;
+  movd.ovrs.push_back(std::move(ovr));
+  return movd;
+}
+
+Movd MovdFromVoronoi(const VoronoiDiagram& diagram, int32_t set,
+                     const std::vector<int32_t>& object_of_site) {
+  MOVD_CHECK(object_of_site.size() == diagram.sites().size());
+  Movd movd;
+  movd.ovrs.reserve(diagram.cells().size());
+  for (const VoronoiCell& cell : diagram.cells()) {
+    if (cell.region.Empty()) continue;  // MOVDs hold no empty regions
+    Ovr ovr;
+    ovr.mbr = cell.region.Bbox();
+    ovr.region = Region::FromConvex(cell.region);
+    ovr.pois = {{set, object_of_site[cell.site]}};
+    movd.ovrs.push_back(std::move(ovr));
+  }
+  return movd;
+}
+
+Movd MovdFromWeightedApprox(const std::vector<WeightedCellApprox>& cells,
+                            int32_t set,
+                            const std::vector<int32_t>& object_of_site) {
+  MOVD_CHECK(object_of_site.size() == cells.size());
+  Movd movd;
+  for (const WeightedCellApprox& cell : cells) {
+    if (cell.empty) continue;
+    Ovr ovr;
+    ovr.mbr = cell.mbr;
+    // Weighted cells may be concave or disconnected. RRB uses the tight
+    // dilated grid-contour cover when available; conservative covers keep
+    // correctness (any truly co-occurring combination still pairs up, and
+    // scanning extra combinations cannot change the global optimum). The
+    // triangulation of a cover ring can come up short on degenerate
+    // (self-touching) rings; detect that by area and fall back to the MBR.
+    if (!cell.cover.empty()) {
+      std::vector<ConvexPolygon> pieces;
+      double ring_area = 0.0;
+      for (const Polygon& ring : cell.cover) {
+        ring_area += ring.SignedArea();
+        auto tris = ring.Triangulate();
+        for (ConvexPolygon& t : tris) pieces.push_back(std::move(t));
+      }
+      Region region = Region::FromPieces(std::move(pieces));
+      if (region.Area() >= 0.999 * ring_area) {
+        ovr.region = std::move(region);
+      } else {
+        ovr.region = Region::FromRect(cell.mbr);
+      }
+    } else {
+      ovr.region = Region::FromRect(cell.mbr);
+    }
+    ovr.pois = {{set, object_of_site[cell.site]}};
+    movd.ovrs.push_back(std::move(ovr));
+  }
+  return movd;
+}
+
+}  // namespace movd

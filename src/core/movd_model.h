@@ -1,0 +1,67 @@
+#ifndef MOVD_CORE_MOVD_MODEL_H_
+#define MOVD_CORE_MOVD_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/object.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+#include "voronoi/voronoi.h"
+#include "voronoi/weighted.h"
+
+namespace movd {
+
+/// Which boundary representation the MOVD pipeline maintains (paper §5.2
+/// vs §5.3): real regions (RRB) or minimum bounding rectangles (MBRB).
+enum class BoundaryMode {
+  kRealRegion,  ///< RRB: exact piecewise-convex overlap regions
+  kMbr,         ///< MBRB: MBRs only; false positives possible
+};
+
+/// An Overlapped Voronoi Region (paper Eq. 12): the intersection of one
+/// dominance region per overlapped diagram, with the generating objects.
+struct Ovr {
+  /// Real region (maintained in RRB mode; empty in MBRB mode).
+  Region region;
+  /// The region's MBR (RRB) or the intersection of input MBRs (MBRB).
+  Rect mbr;
+  /// One generating object per object type, sorted by (set, object).
+  std::vector<PoiRef> pois;
+};
+
+/// A Minimum Overlapped Voronoi Diagram: an OVD with empty OVRs removed
+/// (paper Eq. 13). The identity element MOVD(∅) = {R} is represented by a
+/// single OVR covering the search space with no pois (Eq. 14).
+struct Movd {
+  std::vector<Ovr> ovrs;
+
+  /// Bytes of region/MBR + poi storage, the paper's memory-consumption
+  /// metric (Figs. 13, 14d): RRB pays sizeof(Point) per stored vertex,
+  /// MBRB pays exactly two points per OVR.
+  size_t MemoryBytes(BoundaryMode mode) const;
+
+  /// Total vertices stored across OVR regions (RRB) — Fig. 13's point count.
+  size_t VertexCount() const;
+};
+
+/// MOVD(∅) = {R}: the overlap identity (paper Property 12).
+Movd IdentityMovd(const Rect& search_space);
+
+/// A basic MOVD from an ordinary Voronoi diagram (paper Property 7:
+/// single-set MOVDs are Voronoi diagrams). `set` tags the generated pois;
+/// `object_of_site[i]` maps diagram site i back to the object index in the
+/// query's set (the diagram deduplicates site locations).
+Movd MovdFromVoronoi(const VoronoiDiagram& diagram, int32_t set,
+                     const std::vector<int32_t>& object_of_site);
+
+/// A basic MOVD from a grid-approximated weighted Voronoi diagram (§5.3).
+/// Cells carry a conservative MBR and (for RRB rendering/approximation)
+/// the hull polygon; empty cells are dropped, per the MOVD definition.
+Movd MovdFromWeightedApprox(const std::vector<WeightedCellApprox>& cells,
+                            int32_t set,
+                            const std::vector<int32_t>& object_of_site);
+
+}  // namespace movd
+
+#endif  // MOVD_CORE_MOVD_MODEL_H_

@@ -1,0 +1,72 @@
+#ifndef MOVD_CORE_OBJECT_H_
+#define MOVD_CORE_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace movd {
+
+/// A spatial object <l, w^t, w^o> (paper §2.1): a location, a type weight
+/// and an object weight. Smaller weights mean more important/preferred.
+struct SpatialObject {
+  Point location;
+  double type_weight = 1.0;
+  double object_weight = 1.0;
+};
+
+/// A set P_i of objects of one type (schools, bus stops, ...).
+struct ObjectSet {
+  std::string name;
+  std::vector<SpatialObject> objects;
+};
+
+/// The monotonic weight functions the engine supports for ς^t and ς^o.
+/// Multiplicative (value * weight) is the paper's evaluated default;
+/// additive (value + weight) is the other classic choice (§5.3, Fig. 5).
+enum class WeightFunctionKind {
+  kMultiplicative,
+  kAdditive,
+};
+
+/// Applies a weight function to a value.
+inline double ApplyWeight(WeightFunctionKind kind, double value,
+                          double weight) {
+  return kind == WeightFunctionKind::kMultiplicative ? value * weight
+                                                     : value + weight;
+}
+
+/// Reference to one object within a query's object sets: Ē[set].objects[obj].
+struct PoiRef {
+  int32_t set = -1;
+  int32_t object = -1;
+
+  friend bool operator==(const PoiRef& a, const PoiRef& b) {
+    return a.set == b.set && a.object == b.object;
+  }
+  friend bool operator<(const PoiRef& a, const PoiRef& b) {
+    return a.set != b.set ? a.set < b.set : a.object < b.object;
+  }
+};
+
+/// A Multi-criteria Optimal Location Query (paper §2.1.4): the object sets
+/// Ē = {P_1..P_n}, the type weight function ς^t and the per-set object
+/// weight functions σ = {ς^o_1..ς^o_n}.
+struct MolqQuery {
+  std::vector<ObjectSet> sets;
+  WeightFunctionKind type_function = WeightFunctionKind::kMultiplicative;
+  /// One entry per set; when empty, every set uses multiplicative.
+  std::vector<WeightFunctionKind> object_functions;
+
+  /// ς^o for set `i`, honouring the all-multiplicative default.
+  WeightFunctionKind ObjectFunction(size_t i) const {
+    return object_functions.empty() ? WeightFunctionKind::kMultiplicative
+                                    : object_functions.at(i);
+  }
+};
+
+}  // namespace movd
+
+#endif  // MOVD_CORE_OBJECT_H_

@@ -1,0 +1,107 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "core/weighted_distance.h"
+#include "fermat/fermat_weber.h"
+#include "util/check.h"
+
+namespace movd {
+namespace {
+
+struct PoiListHash {
+  size_t operator()(const std::vector<PoiRef>& pois) const {
+    size_t h = 1469598103934665603ULL;
+    for (const PoiRef& p : pois) {
+      h ^= (static_cast<size_t>(p.set) << 32) ^
+           static_cast<size_t>(static_cast<uint32_t>(p.object));
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+// Builds the Fermat–Weber problem of one OVR: demand points with the
+// type/object weights folded into Fermat–Weber form, plus the constant
+// offset of the decomposition (zero for all-multiplicative queries).
+void BuildProblem(const MolqQuery& query, const std::vector<PoiRef>& pois,
+                  std::vector<WeightedPoint>* points, double* offset) {
+  points->clear();
+  *offset = 0.0;
+  for (const PoiRef& ref : pois) {
+    const SpatialObject& obj = query.sets.at(ref.set).objects.at(ref.object);
+    const FermatWeberTerm term = DecomposeWeightedDistance(
+        obj, query.type_function, query.ObjectFunction(ref.set));
+    points->push_back({obj.location, term.fw_weight});
+    *offset += term.offset;
+  }
+}
+
+// Exact optimal cost of the first two demand points (see batch.cc); adding
+// the full problem's constant offset keeps it a valid lower bound of the
+// full problem's optimal total cost.
+double TwoPointPrefixCost(const std::vector<WeightedPoint>& points,
+                          double offset) {
+  if (points.size() < 2) return offset;
+  return offset + std::min(points[0].weight, points[1].weight) *
+                      Distance(points[0].location, points[1].location);
+}
+
+}  // namespace
+
+OptimizerResult OptimizeMovd(const MolqQuery& query, const Movd& movd,
+                             const OptimizerOptions& options) {
+  MOVD_CHECK(!movd.ovrs.empty());
+  OptimizerResult result;
+  double bound = std::numeric_limits<double>::infinity();
+  bool have_answer = false;
+
+  std::unordered_set<std::vector<PoiRef>, PoiListHash> seen;
+  std::vector<WeightedPoint> points;
+
+  for (const Ovr& ovr : movd.ovrs) {
+    MOVD_CHECK(!ovr.pois.empty());
+    if (options.dedup_combinations && !seen.insert(ovr.pois).second) {
+      ++result.stats.deduped;
+      continue;
+    }
+    ++result.stats.problems;
+
+    double offset = 0.0;
+    BuildProblem(query, ovr.pois, &points, &offset);
+
+    if (options.use_two_point_prefilter && points.size() > 3 &&
+        TwoPointPrefixCost(points, offset) > bound) {
+      ++result.stats.skipped_prefilter;
+      continue;
+    }
+
+    FermatWeberOptions fw;
+    fw.epsilon = options.epsilon;
+    if (options.use_cost_bound) {
+      // The solver sees pure Fermat–Weber costs; shift the global bound by
+      // this problem's constant offset.
+      fw.cost_bound = bound - offset;
+    }
+    const FermatWeberResult r = SolveFermatWeber(points, fw);
+    result.stats.total_iterations += static_cast<uint64_t>(r.iterations);
+    if (r.pruned) {
+      ++result.stats.pruned_by_bound;
+      continue;
+    }
+    const double total = r.cost + offset;
+    if (!have_answer || total < result.cost) {
+      have_answer = true;
+      result.cost = total;
+      result.location = r.location;
+      result.group = ovr.pois;
+      bound = total;
+    }
+  }
+  MOVD_CHECK(have_answer);
+  return result;
+}
+
+}  // namespace movd

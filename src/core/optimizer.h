@@ -1,0 +1,55 @@
+#ifndef MOVD_CORE_OPTIMIZER_H_
+#define MOVD_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "core/movd_model.h"
+#include "core/object.h"
+
+namespace movd {
+
+/// Options for the MOVD Optimizer stage (paper §5.4, Algorithm 5).
+struct OptimizerOptions {
+  /// Stopping-rule error bound for each Fermat–Weber problem.
+  double epsilon = 1e-3;
+
+  /// Algorithm 5's global cost bound with per-iteration lower-bound cuts.
+  bool use_cost_bound = true;
+
+  /// Algorithm 5 lines 8-12: exact two-point-prefix filter.
+  bool use_two_point_prefilter = true;
+
+  /// Collapse OVRs with identical poi combinations before optimizing
+  /// (an extension beyond the paper: MBRB false positives frequently
+  /// duplicate combinations). Off by default to match the paper.
+  bool dedup_combinations = false;
+};
+
+/// Counters for the Optimizer stage.
+struct OptimizerStats {
+  uint64_t problems = 0;            ///< OVRs examined
+  uint64_t deduped = 0;             ///< OVRs skipped as duplicates
+  uint64_t skipped_prefilter = 0;   ///< skipped by the two-point filter
+  uint64_t pruned_by_bound = 0;     ///< iterations cut by the cost bound
+  uint64_t total_iterations = 0;    ///< Weiszfeld iterations in total
+};
+
+/// Result of optimizing one MOVD.
+struct OptimizerResult {
+  Point location;           ///< the best locally-optimal location
+  double cost = 0.0;        ///< its WGD against its OVR's object group
+  std::vector<PoiRef> group;  ///< the winning object combination
+  OptimizerStats stats;
+};
+
+/// Scans the OVRs of `movd`, solves the Fermat–Weber problem induced by
+/// each OVR's object group (object weights folded into the distance, type
+/// weights into the point weights — see DecomposeWeightedDistance), and
+/// returns the best local optimum (the framework's Optimizer stage,
+/// Fig. 3). Requires a non-empty MOVD whose OVRs have non-empty poi lists.
+OptimizerResult OptimizeMovd(const MolqQuery& query, const Movd& movd,
+                             const OptimizerOptions& options = {});
+
+}  // namespace movd
+
+#endif  // MOVD_CORE_OPTIMIZER_H_

@@ -1,0 +1,151 @@
+#include "core/overlap.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace movd {
+namespace {
+
+// Merges two sorted poi lists (duplicates collapsed). In the MOVD algebra
+// the poi set of an overlap is the union of the operands' poi sets
+// (Algorithm 3 line 7 / Algorithm 4 line 6).
+std::vector<PoiRef> MergePois(const std::vector<PoiRef>& a,
+                              const std::vector<PoiRef>& b) {
+  std::vector<PoiRef> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// Intersects one candidate pair under the selected boundary handler and
+// appends the result when non-empty. Returns true when something was
+// appended.
+bool HandlePair(const Ovr& x, const Ovr& y, BoundaryMode mode,
+                OverlapStats* stats, std::vector<Ovr>* result) {
+  if (stats != nullptr && mode == BoundaryMode::kRealRegion) {
+    ++stats->region_intersections;
+  }
+  Ovr out;
+  if (!IntersectOvrPair(x, y, mode, &out)) return false;
+  result->push_back(std::move(out));
+  return true;
+}
+
+struct Event {
+  double y;
+  bool is_start;
+  bool from_a;
+  uint32_t index;  // OVR index within its MOVD
+};
+
+}  // namespace
+
+Movd Overlap(const Movd& a, const Movd& b, BoundaryMode mode,
+             OverlapStats* stats) {
+  // Event queue: start/end events of every OVR, sorted by descending y;
+  // at equal y, start events run first so regions touching only along a
+  // horizontal line still pair up (closed-boundary semantics).
+  std::vector<Event> events;
+  events.reserve(2 * (a.ovrs.size() + b.ovrs.size()));
+  for (uint32_t i = 0; i < a.ovrs.size(); ++i) {
+    events.push_back({a.ovrs[i].mbr.max_y, true, true, i});
+    events.push_back({a.ovrs[i].mbr.min_y, false, true, i});
+  }
+  for (uint32_t i = 0; i < b.ovrs.size(); ++i) {
+    events.push_back({b.ovrs[i].mbr.max_y, true, false, i});
+    events.push_back({b.ovrs[i].mbr.min_y, false, false, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& x, const Event& y) {
+    if (x.y != y.y) return x.y > y.y;
+    return x.is_start && !y.is_start;
+  });
+
+  // Status structures: active OVRs per input, keyed by their min x (the
+  // paper's "balanced search tree sorted by start x-coordinates").
+  using Status = std::multimap<double, uint32_t>;
+  Status status_a, status_b;
+  Movd result;
+
+  const auto handle = [&](const Event& e, const Movd& self,
+                          const Movd& other, Status* current, Status* others) {
+    const Ovr& ovr = self.ovrs[e.index];
+    if (!e.is_start) {
+      // Remove from the current status.
+      auto [lo, hi] = current->equal_range(ovr.mbr.min_x);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == e.index) {
+          current->erase(it);
+          break;
+        }
+      }
+      return;
+    }
+    current->emplace(ovr.mbr.min_x, e.index);
+    // Candidates: active OVRs of the other MOVD whose x-range overlaps.
+    const auto end = others->upper_bound(ovr.mbr.max_x);
+    for (auto it = others->begin(); it != end; ++it) {
+      const Ovr& cand = other.ovrs[it->second];
+      if (cand.mbr.max_x < ovr.mbr.min_x) continue;
+      if (stats != nullptr) ++stats->candidate_pairs;
+      if (HandlePair(ovr, cand, mode, stats, &result.ovrs) &&
+          stats != nullptr) {
+        ++stats->output_ovrs;
+      }
+    }
+  };
+
+  for (const Event& e : events) {
+    if (stats != nullptr) ++stats->events;
+    if (e.from_a) {
+      handle(e, a, b, &status_a, &status_b);
+    } else {
+      handle(e, b, a, &status_b, &status_a);
+    }
+  }
+  return result;
+}
+
+Movd OverlapAll(const std::vector<Movd>& inputs, BoundaryMode mode,
+                OverlapStats* stats) {
+  MOVD_CHECK(!inputs.empty());
+  Movd acc = inputs.front();
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    acc = Overlap(acc, inputs[i], mode, stats);
+  }
+  return acc;
+}
+
+bool IntersectOvrPair(const Ovr& x, const Ovr& y, BoundaryMode mode,
+                      Ovr* out) {
+  if (mode == BoundaryMode::kMbr) {
+    // Algorithm 4: MBR intersection only. Callers guarantee x/y range
+    // overlap, so the rectangle intersection is non-empty.
+    out->mbr = x.mbr.Intersect(y.mbr);
+    out->region = Region();
+    out->pois = MergePois(x.pois, y.pois);
+    return true;
+  }
+  // Algorithm 3: real region intersection.
+  Region region = Region::Intersect(x.region, y.region);
+  if (region.Empty()) return false;
+  out->mbr = region.Bbox();
+  out->region = std::move(region);
+  out->pois = MergePois(x.pois, y.pois);
+  return true;
+}
+
+Movd OverlapBruteForce(const Movd& a, const Movd& b, BoundaryMode mode) {
+  Movd result;
+  for (const Ovr& x : a.ovrs) {
+    for (const Ovr& y : b.ovrs) {
+      if (!x.mbr.Intersects(y.mbr)) continue;
+      HandlePair(x, y, mode, nullptr, &result.ovrs);
+    }
+  }
+  return result;
+}
+
+}  // namespace movd

@@ -1,0 +1,49 @@
+#ifndef MOVD_CORE_OVERLAP_H_
+#define MOVD_CORE_OVERLAP_H_
+
+#include <cstdint>
+
+#include "core/movd_model.h"
+
+namespace movd {
+
+/// Counters exposed by the overlap operation, matching the quantities the
+/// paper's Figs. 11-14 report.
+struct OverlapStats {
+  uint64_t events = 0;               ///< start/end events processed
+  uint64_t candidate_pairs = 0;      ///< x-range hits tested (Alg. 3 line 4)
+  uint64_t region_intersections = 0; ///< real region ∩ computed (RRB only)
+  uint64_t output_ovrs = 0;          ///< OVRs appended to the result
+};
+
+/// The overlap operation ⊕ (paper Eq. 22, Algorithms 2-4): plane-sweeps the
+/// two MOVDs top-to-bottom, pairing OVRs whose y-spans are simultaneously
+/// active and whose x-ranges overlap, then intersecting each pair with the
+/// selected boundary handler:
+///  - BoundaryMode::kRealRegion (RRB, Algorithm 3): real region
+///    intersection; empty intersections are discarded.
+///  - BoundaryMode::kMbr (MBRB, Algorithm 4): MBR intersection only; every
+///    x/y-range hit is emitted (false positives possible).
+/// Both operands must themselves carry the fields the mode needs.
+Movd Overlap(const Movd& a, const Movd& b, BoundaryMode mode,
+             OverlapStats* stats = nullptr);
+
+/// Sequential overlap Σ⊕ (paper Eq. 27): folds `inputs` left-to-right,
+/// starting from MOVD(∅). Stats accumulate across all steps.
+Movd OverlapAll(const std::vector<Movd>& inputs, BoundaryMode mode,
+                OverlapStats* stats = nullptr);
+
+/// Reference implementation: the nested-loop O(n*m) overlap with the same
+/// semantics. Used by tests to validate the sweep.
+Movd OverlapBruteForce(const Movd& a, const Movd& b, BoundaryMode mode);
+
+/// The per-pair boundary handler shared by the in-memory sweep, the brute
+/// force, and the disk-based streaming overlap: intersects one candidate
+/// pair under `mode` (Algorithm 3 line 5 vs Algorithm 4 line 5) and merges
+/// the poi lists. Returns false when the RRB intersection is empty.
+bool IntersectOvrPair(const Ovr& x, const Ovr& y, BoundaryMode mode,
+                      Ovr* out);
+
+}  // namespace movd
+
+#endif  // MOVD_CORE_OVERLAP_H_

@@ -1,0 +1,85 @@
+#include "core/ssc.h"
+
+#include <limits>
+
+#include "core/weighted_distance.h"
+#include "fermat/fermat_weber.h"
+#include "util/check.h"
+
+namespace movd {
+
+SscResult SolveSsc(const MolqQuery& query, const SscOptions& options) {
+  const size_t n = query.sets.size();
+  MOVD_CHECK(n > 0);
+  for (const ObjectSet& set : query.sets) MOVD_CHECK(!set.objects.empty());
+
+  SscResult result;
+  double bound = std::numeric_limits<double>::infinity();
+  bool have_answer = false;
+
+  std::vector<int32_t> combo(n, 0);
+  std::vector<WeightedPoint> points(n);
+
+  // Odometer enumeration of P_1 x ... x P_n.
+  bool done = false;
+  while (!done) {
+    ++result.stats.combinations;
+    double offset = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const SpatialObject& obj = query.sets[i].objects[combo[i]];
+      const FermatWeberTerm term = DecomposeWeightedDistance(
+          obj, query.type_function, query.ObjectFunction(i));
+      points[i] = {obj.location, term.fw_weight};
+      offset += term.offset;
+    }
+
+    bool skip = false;
+    if (options.use_upper_bound_prune && n > 2) {
+      // Exact two-point optimum of <p_1^u, p_2^s> (Algorithm 1 line 4) plus
+      // the combination's constant offsets: a lower bound on the full
+      // combination's optimal cost.
+      const double prefix =
+          offset + std::min(points[0].weight, points[1].weight) *
+                       Distance(points[0].location, points[1].location);
+      if (prefix >= bound) {
+        ++result.stats.skipped_prefilter;
+        skip = true;
+      }
+    }
+
+    if (!skip) {
+      FermatWeberOptions fw;
+      fw.epsilon = options.epsilon;
+      if (options.use_cost_bound) fw.cost_bound = bound - offset;
+      const FermatWeberResult r = SolveFermatWeber(points, fw);
+      result.stats.total_iterations += static_cast<uint64_t>(r.iterations);
+      if (r.pruned) {
+        ++result.stats.pruned_by_bound;
+      } else {
+        const double total = r.cost + offset;
+        if (!have_answer || total < bound) {
+          have_answer = true;
+          bound = total;
+          result.cost = total;
+          result.location = r.location;
+          result.group = combo;
+        }
+      }
+    }
+
+    // Advance the odometer.
+    size_t i = 0;
+    while (i < n) {
+      if (++combo[i] < static_cast<int32_t>(query.sets[i].objects.size())) {
+        break;
+      }
+      combo[i] = 0;
+      ++i;
+    }
+    done = i == n;
+  }
+  MOVD_CHECK(have_answer);
+  return result;
+}
+
+}  // namespace movd

@@ -1,0 +1,50 @@
+#ifndef MOVD_CORE_SSC_H_
+#define MOVD_CORE_SSC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/object.h"
+#include "geom/point.h"
+
+namespace movd {
+
+/// Options for the Sequential Scan Combinations baseline (paper §3).
+struct SscOptions {
+  /// Stopping-rule error bound for each Fermat–Weber problem.
+  double epsilon = 1e-3;
+
+  /// Algorithm 1 lines 4-5: the exact two-point-prefix upper-bound filter.
+  bool use_upper_bound_prune = true;
+
+  /// Apply the cost-bound iteration cut of §5.4 inside each Fermat–Weber
+  /// solve ("The Cost-bound approach can be used in the SSC solution as
+  /// well"); the paper's Figs. 8-9 run SSC with it enabled.
+  bool use_cost_bound = true;
+};
+
+/// Counters for SSC.
+struct SscStats {
+  uint64_t combinations = 0;       ///< cartesian-product size visited
+  uint64_t skipped_prefilter = 0;  ///< filtered by the two-point bound
+  uint64_t pruned_by_bound = 0;    ///< iteration-pruned problems
+  uint64_t total_iterations = 0;   ///< Weiszfeld iterations in total
+};
+
+/// Result of an SSC run.
+struct SscResult {
+  Point location;
+  double cost = 0.0;
+  /// Winning object combination: group[i] indexes query.sets[i].objects.
+  std::vector<int32_t> group;
+  SscStats stats;
+};
+
+/// Solves MOLQ by scanning all object combinations P_1 x ... x P_n
+/// (Algorithm 1). Exact up to the Fermat–Weber stopping rule; exponential
+/// in the number of sets. Every set must be non-empty.
+SscResult SolveSsc(const MolqQuery& query, const SscOptions& options = {});
+
+}  // namespace movd
+
+#endif  // MOVD_CORE_SSC_H_

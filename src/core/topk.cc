@@ -1,0 +1,84 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "core/pruned_overlap.h"
+#include "core/weighted_distance.h"
+#include "fermat/fermat_weber.h"
+#include "util/check.h"
+
+namespace movd {
+
+std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
+                                          const Rect& search_space, size_t k,
+                                          const MolqOptions& options) {
+  MOVD_CHECK(k > 0);
+  MOVD_CHECK(options.algorithm != MolqAlgorithm::kSsc);
+  const BoundaryMode mode = options.algorithm == MolqAlgorithm::kRrb
+                                ? BoundaryMode::kRealRegion
+                                : BoundaryMode::kMbr;
+
+  std::vector<Movd> basic;
+  basic.reserve(query.sets.size());
+  for (size_t i = 0; i < query.sets.size(); ++i) {
+    basic.push_back(BuildBasicMovd(query, static_cast<int32_t>(i),
+                                   search_space,
+                                   options.weighted_grid_resolution));
+  }
+  const Movd movd = OverlapAll(basic, mode);
+
+  // Best cost per distinct combination; duplicates (MBRB false positives)
+  // collapse naturally.
+  std::map<std::vector<PoiRef>, RankedLocation> best_by_group;
+  double kth_bound = std::numeric_limits<double>::infinity();
+
+  const auto current_kth = [&]() {
+    if (best_by_group.size() < k) {
+      return std::numeric_limits<double>::infinity();
+    }
+    std::vector<double> costs;
+    costs.reserve(best_by_group.size());
+    for (const auto& [group, r] : best_by_group) costs.push_back(r.cost);
+    std::nth_element(costs.begin(), costs.begin() + (k - 1), costs.end());
+    return costs[k - 1];
+  };
+
+  for (const Ovr& ovr : movd.ovrs) {
+    MOVD_CHECK(!ovr.pois.empty());
+    if (best_by_group.count(ovr.pois)) continue;  // combination already done
+    std::vector<WeightedPoint> points;
+    double offset = 0.0;
+    for (const PoiRef& ref : ovr.pois) {
+      const SpatialObject& obj = query.sets.at(ref.set).objects.at(ref.object);
+      const FermatWeberTerm term = DecomposeWeightedDistance(
+          obj, query.type_function, query.ObjectFunction(ref.set));
+      points.push_back({obj.location, term.fw_weight});
+      offset += term.offset;
+    }
+    FermatWeberOptions fw;
+    fw.epsilon = options.epsilon;
+    if (options.use_cost_bound) fw.cost_bound = kth_bound - offset;
+    const FermatWeberResult r = SolveFermatWeber(points, fw);
+    if (r.pruned) continue;  // cannot enter the current top k
+    RankedLocation ranked;
+    ranked.location = r.location;
+    ranked.cost = r.cost + offset;
+    ranked.group = ovr.pois;
+    best_by_group.emplace(ovr.pois, std::move(ranked));
+    kth_bound = current_kth();
+  }
+
+  std::vector<RankedLocation> results;
+  results.reserve(best_by_group.size());
+  for (auto& [group, r] : best_by_group) results.push_back(std::move(r));
+  std::sort(results.begin(), results.end(),
+            [](const RankedLocation& a, const RankedLocation& b) {
+              return a.cost < b.cost;
+            });
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+}  // namespace movd

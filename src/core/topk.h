@@ -1,0 +1,32 @@
+#ifndef MOVD_CORE_TOPK_H_
+#define MOVD_CORE_TOPK_H_
+
+#include <vector>
+
+#include "core/molq.h"
+
+namespace movd {
+
+/// One ranked answer of a top-k MOLQ.
+struct RankedLocation {
+  Point location;
+  double cost = 0.0;
+  std::vector<PoiRef> group;  ///< the object combination it serves
+};
+
+/// Top-k extension of MOLQ (beyond the paper): the k best locally-optimal
+/// locations over *distinct* object combinations, ascending by cost. A
+/// planner rarely wants a single point; the runners-up are the natural
+/// alternatives.
+///
+/// Runs the MOVD pipeline (RRB or MBRB per `options.algorithm`; kSsc is
+/// rejected) and keeps the k best Fermat–Weber optima. The cost bound used
+/// for pruning is the k-th best cost so far, so correctness of all k
+/// results is preserved.
+std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
+                                          const Rect& search_space, size_t k,
+                                          const MolqOptions& options = {});
+
+}  // namespace movd
+
+#endif  // MOVD_CORE_TOPK_H_

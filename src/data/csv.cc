@@ -1,0 +1,113 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace movd {
+
+bool SavePointsCsv(const std::string& path, const std::vector<Point>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const Point& p : points) {
+    ok = ok && std::fprintf(f, "%.17g,%.17g\n", p.x, p.y) > 0;
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+bool SaveObjectsCsv(const std::string& path,
+                    const std::vector<SpatialObject>& objects) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const SpatialObject& obj : objects) {
+    ok = ok && std::fprintf(f, "%.17g,%.17g,%.17g,%.17g\n", obj.location.x,
+                            obj.location.y, obj.type_weight,
+                            obj.object_weight) > 0;
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+std::optional<std::vector<SpatialObject>> LoadObjectsCsv(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+  std::vector<SpatialObject> out;
+  char line[512];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (first && std::strncmp(line, "x,y", 3) == 0) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    SpatialObject obj;
+    char* cursor = line;
+    char* end = nullptr;
+    obj.location.x = std::strtod(cursor, &end);
+    if (end == cursor || *end != ',') {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    cursor = end + 1;
+    obj.location.y = std::strtod(cursor, &end);
+    if (end == cursor) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    if (*end == ',') {
+      cursor = end + 1;
+      obj.type_weight = std::strtod(cursor, &end);
+      if (end == cursor) {
+        std::fclose(f);
+        return std::nullopt;
+      }
+      if (*end == ',') {
+        cursor = end + 1;
+        obj.object_weight = std::strtod(cursor, &end);
+        if (end == cursor) {
+          std::fclose(f);
+          return std::nullopt;
+        }
+      }
+    }
+    out.push_back(obj);
+  }
+  std::fclose(f);
+  return out;
+}
+
+std::optional<std::vector<Point>> LoadPointsCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+  std::vector<Point> out;
+  char line[256];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (first && std::strncmp(line, "x,y", 3) == 0) {
+      first = false;
+      continue;  // header row
+    }
+    first = false;
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    char* end = nullptr;
+    const double x = std::strtod(line, &end);
+    if (end == line || *end != ',') {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    const char* ystr = end + 1;
+    const double y = std::strtod(ystr, &end);
+    if (end == ystr) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    out.push_back({x, y});
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace movd

@@ -1,0 +1,64 @@
+#ifndef MOVD_DATA_GENERATE_H_
+#define MOVD_DATA_GENERATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace movd {
+
+/// Spatial distribution families for synthetic POI generation. These stand
+/// in for the paper's GeoNames layers (see DESIGN.md, substitution 1):
+///  - kUniform: scattered rural features;
+///  - kGaussianClusters: town-centred features (churches, schools, places);
+///  - kCorridor: anisotropic ribbons (streams) — Gaussian displacement
+///    around a few random polylines.
+enum class Distribution {
+  kUniform,
+  kGaussianClusters,
+  kCorridor,
+};
+
+/// Configuration for GeneratePoints.
+struct GeneratorConfig {
+  Distribution distribution = Distribution::kUniform;
+  size_t count = 0;
+  Rect bounds = Rect(0, 0, 10000, 10000);
+  /// Number of clusters / corridors for the non-uniform families.
+  int clusters = 16;
+  /// Cluster standard deviation as a fraction of the bounds' diagonal.
+  double spread_fraction = 0.02;
+  uint64_t seed = 1;
+};
+
+/// Generates `config.count` points inside `config.bounds` (points falling
+/// outside during sampling are clamped to the bounds). Deterministic in
+/// the seed.
+std::vector<Point> GeneratePoints(const GeneratorConfig& config);
+
+/// A synthetic stand-in for one GeoNames feature class.
+struct PoiClassSpec {
+  std::string name;          ///< e.g. "STM"
+  size_t full_count;         ///< the paper's full data-set cardinality
+  Distribution distribution;
+  int clusters;
+};
+
+/// The five classes the paper evaluates, with the paper's cardinalities:
+/// STM 230762, CH 225553, SCH 200996, PPL 166788, BLDG 110289. Order
+/// matches the paper's type-selection sequence Ē = {STM, CH, SCH, PPL,
+/// BLDG}.
+const std::vector<PoiClassSpec>& GeoNamesLikeCatalog();
+
+/// Samples `count` points of the named class (randomly subsampling the
+/// class's distribution, as the paper randomly selects objects). The seed
+/// is combined with the class name so different classes are independent.
+std::vector<Point> SamplePoiClass(const std::string& name, size_t count,
+                                  const Rect& bounds, uint64_t seed);
+
+}  // namespace movd
+
+#endif  // MOVD_DATA_GENERATE_H_

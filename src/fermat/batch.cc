@@ -1,0 +1,62 @@
+#include "fermat/batch.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace movd {
+namespace {
+
+// Exact optimal cost of the two-point prefix subproblem: the optimum sits
+// at the heavier point, so the cost is min(w1, w2) * d. A valid lower bound
+// for the full problem's optimum because dropping demand points can only
+// lower the optimal cost.
+double TwoPointPrefixCost(const std::vector<WeightedPoint>& points) {
+  if (points.size() < 2) return 0.0;
+  const WeightedPoint& a = points[0];
+  const WeightedPoint& b = points[1];
+  return std::min(a.weight, b.weight) * Distance(a.location, b.location);
+}
+
+}  // namespace
+
+BatchResult SolveFermatWeberBatch(
+    const std::vector<std::vector<WeightedPoint>>& problems,
+    const BatchOptions& options) {
+  MOVD_CHECK(!problems.empty());
+  BatchResult result;
+  double bound = std::numeric_limits<double>::infinity();
+  bool have_answer = false;
+
+  for (size_t i = 0; i < problems.size(); ++i) {
+    const std::vector<WeightedPoint>& points = problems[i];
+    MOVD_CHECK(!points.empty());
+
+    if (options.use_two_point_prefilter && points.size() > 3 &&
+        TwoPointPrefixCost(points) > bound) {
+      ++result.skipped_by_prefilter;
+      continue;
+    }
+
+    FermatWeberOptions fw;
+    fw.epsilon = options.epsilon;
+    if (options.use_cost_bound) fw.cost_bound = bound;
+    const FermatWeberResult r = SolveFermatWeber(points, fw);
+    result.total_iterations += static_cast<uint64_t>(r.iterations);
+    if (r.pruned) {
+      ++result.pruned_by_bound;
+      continue;
+    }
+    if (!have_answer || r.cost < result.cost) {
+      have_answer = true;
+      result.cost = r.cost;
+      result.location = r.location;
+      result.winner = i;
+      bound = r.cost;
+    }
+  }
+  MOVD_CHECK(have_answer);
+  return result;
+}
+
+}  // namespace movd

@@ -1,0 +1,47 @@
+#ifndef MOVD_FERMAT_BATCH_H_
+#define MOVD_FERMAT_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fermat/fermat_weber.h"
+
+namespace movd {
+
+/// Options for the multi-problem Fermat–Weber solver (paper §5.4).
+struct BatchOptions {
+  /// Stopping-rule error bound for each problem.
+  double epsilon = 1e-3;
+
+  /// Algorithm 5's global cost bound: the best cost found so far caps all
+  /// later problems (per-iteration lower-bound pruning). When false, every
+  /// problem is solved to its own stopping rule ("Original" in Fig. 10).
+  bool use_cost_bound = true;
+
+  /// Algorithm 5 lines 8-12 / Algorithm 1 lines 4-5: solve the exact
+  /// two-point prefix first and skip the problem when even that optimum
+  /// exceeds the global bound. Independent toggle for ablation.
+  bool use_two_point_prefilter = true;
+};
+
+/// Aggregate result of solving a set of Fermat–Weber problems and keeping
+/// the best optimum (§5.4.1).
+struct BatchResult {
+  Point location;          ///< best optimal location across all problems
+  double cost = 0.0;       ///< its cost within its own problem
+  size_t winner = 0;       ///< index of the winning problem
+  uint64_t total_iterations = 0;  ///< Weiszfeld iterations across the batch
+  uint64_t pruned_by_bound = 0;   ///< problems cut off mid-iteration
+  uint64_t skipped_by_prefilter = 0;  ///< problems skipped before iterating
+};
+
+/// Solves every problem (each a vector of weighted demand points) and
+/// returns the minimum-cost optimum (Algorithm 5). Problems must be
+/// non-empty.
+BatchResult SolveFermatWeberBatch(
+    const std::vector<std::vector<WeightedPoint>>& problems,
+    const BatchOptions& options = {});
+
+}  // namespace movd
+
+#endif  // MOVD_FERMAT_BATCH_H_

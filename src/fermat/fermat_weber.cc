@@ -1,0 +1,304 @@
+#include "fermat/fermat_weber.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.h"
+#include "util/check.h"
+
+namespace movd {
+namespace {
+
+// Weighted-median objective: returns min_y sum_i w_i |y - x_i| given
+// (position, weight) pairs. Exact via sorting.
+double WeightedMedianCost(std::vector<std::pair<double, double>>* items) {
+  if (items->empty()) return 0.0;
+  std::sort(items->begin(), items->end());
+  double total = 0.0;
+  for (const auto& [x, w] : *items) total += w;
+  // Find the weighted median position.
+  double acc = 0.0;
+  double median = items->back().first;
+  for (const auto& [x, w] : *items) {
+    acc += w;
+    if (acc >= 0.5 * total) {
+      median = x;
+      break;
+    }
+  }
+  double cost = 0.0;
+  for (const auto& [x, w] : *items) cost += w * std::fabs(median - x);
+  return cost;
+}
+
+// Sum of weighted unit vectors from q toward every point except index
+// `skip` (-1 to include all). Points coinciding with q are ignored.
+Point PullVector(const std::vector<WeightedPoint>& points, const Point& q,
+                 int skip) {
+  Point pull{0.0, 0.0};
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (static_cast<int>(i) == skip) continue;
+    const Point diff = points[i].location - q;
+    const double d = diff.Norm();
+    if (d == 0.0) continue;
+    pull = pull + diff * (points[i].weight / d);
+  }
+  return pull;
+}
+
+// One Weiszfeld step (paper Eq. 8/9), with the Vardi–Zhang correction when
+// q coincides with a demand point. Returns q unchanged when q is optimal.
+Point WeiszfeldStep(const std::vector<WeightedPoint>& points, const Point& q) {
+  // Detect coincidence with a demand point.
+  int at = -1;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].location == q) {
+      at = static_cast<int>(i);
+      break;
+    }
+  }
+  if (at >= 0) {
+    // Vertex optimality test: q == p_at is optimal iff the pull of the
+    // remaining points does not exceed w_at.
+    const Point pull = PullVector(points, q, at);
+    const double r = pull.Norm();
+    const double w = points[at].weight;
+    if (r <= w) return q;
+    // Vardi–Zhang: move along the pull direction by the damped step.
+    double denom = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (static_cast<int>(i) == at) continue;
+      const double d = Distance(points[i].location, q);
+      if (d > 0.0) denom += points[i].weight / d;
+    }
+    MOVD_DCHECK(denom > 0.0);
+    const double step = (r - w) / denom;
+    return q + pull * (step / r);
+  }
+  // Standard step: convex combination with coefficients w_i / d_i.
+  double denom = 0.0;
+  Point num{0.0, 0.0};
+  for (const WeightedPoint& p : points) {
+    const double d = Distance(p.location, q);
+    MOVD_DCHECK(d > 0.0);
+    const double g = p.weight / d;
+    num = num + p.location * g;
+    denom += g;
+  }
+  return num / denom;
+}
+
+Point Centroid(const std::vector<WeightedPoint>& points) {
+  Point c{0.0, 0.0};
+  double w = 0.0;
+  for (const WeightedPoint& p : points) {
+    c = c + p.location * p.weight;
+    w += p.weight;
+  }
+  return w > 0.0 ? c / w : points.front().location;
+}
+
+}  // namespace
+
+double FermatWeberCost(const std::vector<WeightedPoint>& points,
+                       const Point& q) {
+  double cost = 0.0;
+  for (const WeightedPoint& p : points) {
+    cost += p.weight * Distance(q, p.location);
+  }
+  return cost;
+}
+
+double FermatWeberLowerBound(const std::vector<WeightedPoint>& points,
+                             const Point& at) {
+  // d(q, p) >= |q.x - p.x| * cx + |q.y - p.y| * cy for any (cx, cy) with
+  // cx^2 + cy^2 <= 1 (Cauchy–Schwarz); pick c from the unit vector at->p.
+  std::vector<std::pair<double, double>> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const WeightedPoint& p : points) {
+    const double d = Distance(at, p.location);
+    if (d == 0.0) continue;  // contributes a zero lower-bound term
+    const double cx = std::fabs(at.x - p.location.x) / d;
+    const double cy = std::fabs(at.y - p.location.y) / d;
+    xs.emplace_back(p.location.x, p.weight * cx);
+    ys.emplace_back(p.location.y, p.weight * cy);
+  }
+  return WeightedMedianCost(&xs) + WeightedMedianCost(&ys);
+}
+
+std::optional<Point> SolveCollinear(const std::vector<WeightedPoint>& points) {
+  MOVD_CHECK(!points.empty());
+  // Find two distinct anchor points.
+  const Point& a = points.front().location;
+  int second = -1;
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].location != a) {
+      second = static_cast<int>(i);
+      break;
+    }
+  }
+  if (second < 0) return a;  // all points identical
+  const Point& b = points[second].location;
+  for (const WeightedPoint& p : points) {
+    if (Orient2D(a, b, p.location) != 0.0) return std::nullopt;
+  }
+  // Project on the line direction and take the weighted median.
+  const Point dir = b - a;
+  std::vector<std::pair<double, double>> ts;  // (parameter, weight)
+  ts.reserve(points.size());
+  for (const WeightedPoint& p : points) {
+    ts.emplace_back((p.location - a).Dot(dir), p.weight);
+  }
+  std::sort(ts.begin(), ts.end());
+  double total = 0.0;
+  for (const auto& [t, w] : ts) total += w;
+  double acc = 0.0;
+  double median_t = ts.back().first;
+  for (const auto& [t, w] : ts) {
+    acc += w;
+    if (acc >= 0.5 * total) {
+      median_t = t;
+      break;
+    }
+  }
+  return a + dir * (median_t / dir.Norm2());
+}
+
+Point TorricelliPoint(const Point& a, const Point& b, const Point& c) {
+  // Apex of the outward equilateral triangle on edge (u, v), on the side
+  // away from w: rotate (v - u) by +-60 degrees around u.
+  const auto apex = [](const Point& u, const Point& v, const Point& w) {
+    constexpr double kCos60 = 0.5;
+    const double kSin60 = std::sqrt(3.0) / 2.0;
+    const Point d = v - u;
+    const Point rot_pos{kCos60 * d.x - kSin60 * d.y,
+                        kSin60 * d.x + kCos60 * d.y};
+    const Point apex_pos = u + rot_pos;
+    const Point rot_neg{kCos60 * d.x + kSin60 * d.y,
+                        -kSin60 * d.x + kCos60 * d.y};
+    const Point apex_neg = u + rot_neg;
+    // Pick the apex on the opposite side of (u, v) from w.
+    const double side_w = (v - u).Cross(w - u);
+    const double side_pos = (v - u).Cross(apex_pos - u);
+    return side_w * side_pos < 0.0 ? apex_pos : apex_neg;
+  };
+  // Fermat point = intersection of a->apex(b,c) and b->apex(a,c).
+  const Point pa = apex(b, c, a);
+  const Point pb = apex(a, c, b);
+  const Point d1 = pa - a;
+  const Point d2 = pb - b;
+  const double denom = d1.Cross(d2);
+  MOVD_CHECK(denom != 0.0);
+  const double t = (b - a).Cross(d2) / denom;
+  return a + d1 * t;
+}
+
+Point SolveTriangle(const std::vector<WeightedPoint>& points) {
+  MOVD_CHECK(points.size() == 3);
+  // Vertex optimality (generalises the 120-degree rule to weights).
+  for (int j = 0; j < 3; ++j) {
+    const Point pull = PullVector(points, points[j].location, j);
+    if (pull.Norm() <= points[j].weight) return points[j].location;
+  }
+  const bool equal_weights = points[0].weight == points[1].weight &&
+                             points[1].weight == points[2].weight;
+  if (equal_weights &&
+      !Collinear(points[0].location, points[1].location, points[2].location)) {
+    return TorricelliPoint(points[0].location, points[1].location,
+                           points[2].location);
+  }
+  // Weighted interior optimum: no simple closed form; iterate to machine
+  // precision (converges in tens of iterations for a triangle).
+  FermatWeberOptions opts;
+  opts.epsilon = 1e-12;
+  opts.max_iterations = 100000;
+  opts.use_exact_special_cases = false;
+  return SolveFermatWeber(points, opts).location;
+}
+
+FermatWeberResult SolveFermatWeber(const std::vector<WeightedPoint>& points,
+                                   const FermatWeberOptions& options) {
+  MOVD_CHECK(!points.empty());
+  FermatWeberResult result;
+
+  if (options.use_exact_special_cases) {
+    if (points.size() == 1) {
+      result.location = points.front().location;
+      result.cost = 0.0;
+      result.converged = true;
+      return result;
+    }
+    if (points.size() == 2) {
+      // Optimum at the heavier endpoint (anywhere on the segment for ties).
+      const bool first = points[0].weight >= points[1].weight;
+      result.location = (first ? points[0] : points[1]).location;
+      result.cost = FermatWeberCost(points, result.location);
+      result.converged = true;
+      return result;
+    }
+    if (const auto collinear = SolveCollinear(points)) {
+      result.location = *collinear;
+      result.cost = FermatWeberCost(points, result.location);
+      result.converged = true;
+      return result;
+    }
+    if (points.size() == 3) {
+      result.location = SolveTriangle(points);
+      result.cost = FermatWeberCost(points, result.location);
+      result.converged = true;
+      return result;
+    }
+  }
+
+  MOVD_CHECK(options.relaxation > 0.0 && options.relaxation <= 2.0);
+  Point q = Centroid(points);
+  double cost = FermatWeberCost(points, q);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    Point next = WeiszfeldStep(points, q);
+    result.iterations = iter;
+    double next_cost = FermatWeberCost(points, next);
+    if (options.relaxation != 1.0) {
+      // Over-relaxed trial step; keep it only when it beats the plain one.
+      const Point trial = q + (next - q) * options.relaxation;
+      const double trial_cost = FermatWeberCost(points, trial);
+      if (trial_cost < next_cost) {
+        next = trial;
+        next_cost = trial_cost;
+      }
+    }
+    const bool moved = next != q;
+    const bool improved = next_cost < cost;
+    // Weiszfeld decreases the cost monotonically (in exact arithmetic);
+    // reject steps that do not, which only happens at float-noise level.
+    if (improved) {
+      q = next;
+      cost = next_cost;
+    }
+    const double lb = FermatWeberLowerBound(points, q);
+    // Cost-bound pruning (Algorithm 5, lines 15-16): once even the lower
+    // bound cannot beat the global bound, further iterations are wasted.
+    if (lb >= options.cost_bound) {
+      result.pruned = true;
+      break;
+    }
+    // Paper stopping rule: relative deviation from the (bounded) optimum,
+    // with the optimum approximated from below by Eq. 10.
+    if ((lb > 0.0 && (cost - lb) / lb <= options.epsilon) || cost == 0.0) {
+      result.converged = true;
+      break;
+    }
+    // Numerical fixed point: the iteration cannot make further progress in
+    // double precision (this includes optimal demand-point vertices, which
+    // WeiszfeldStep returns unchanged).
+    if (!moved || !improved) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.location = q;
+  result.cost = cost;
+  return result;
+}
+
+}  // namespace movd

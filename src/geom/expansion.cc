@@ -1,0 +1,137 @@
+#include "geom/expansion.h"
+
+#include <cmath>
+
+namespace movd {
+namespace expansion {
+namespace {
+
+/// x + y == a + b exactly, assuming |a| >= |b|.
+inline void FastTwoSum(double a, double b, double* x, double* y) {
+  const double sum = a + b;
+  const double bvirt = sum - a;
+  *x = sum;
+  *y = b - bvirt;
+}
+
+}  // namespace
+
+void TwoSum(double a, double b, double* x, double* y) {
+  const double sum = a + b;
+  const double bvirt = sum - a;
+  const double avirt = sum - bvirt;
+  const double bround = b - bvirt;
+  const double around = a - avirt;
+  *x = sum;
+  *y = around + bround;
+}
+
+void TwoDiff(double a, double b, double* x, double* y) {
+  const double diff = a - b;
+  const double bvirt = a - diff;
+  const double avirt = diff + bvirt;
+  const double bround = bvirt - b;
+  const double around = a - avirt;
+  *x = diff;
+  *y = around + bround;
+}
+
+void TwoProduct(double a, double b, double* x, double* y) {
+  // std::fma is correctly rounded, so the residual is the exact product
+  // error. This replaces the classic Dekker split on hardware with FMA.
+  const double p = a * b;
+  *x = p;
+  *y = std::fma(a, b, -p);
+}
+
+void TwoTwoDiff(double a1, double a0, double b1, double b0, double h[4]) {
+  double i, j, r0;
+  // (a1, a0) - b0 -> (j, r0, h[0])
+  TwoDiff(a0, b0, &i, &h[0]);
+  TwoSum(a1, i, &j, &r0);
+  // (j, r0) - b1 -> (h[3], h[2], h[1])
+  TwoDiff(r0, b1, &i, &h[1]);
+  TwoSum(j, i, &h[3], &h[2]);
+}
+
+int FastExpansionSumZeroelim(int elen, const double* e, int flen,
+                             const double* f, double* h) {
+  double q, qnew, hh;
+  int eindex = 0;
+  int findex = 0;
+  int hindex = 0;
+  double enow = e[0];
+  double fnow = f[0];
+  if ((fnow > enow) == (fnow > -enow)) {
+    q = enow;
+    if (++eindex < elen) enow = e[eindex];
+  } else {
+    q = fnow;
+    if (++findex < flen) fnow = f[findex];
+  }
+  if ((eindex < elen) && (findex < flen)) {
+    if ((fnow > enow) == (fnow > -enow)) {
+      FastTwoSum(enow, q, &qnew, &hh);
+      if (++eindex < elen) enow = e[eindex];
+    } else {
+      FastTwoSum(fnow, q, &qnew, &hh);
+      if (++findex < flen) fnow = f[findex];
+    }
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+    while ((eindex < elen) && (findex < flen)) {
+      if ((fnow > enow) == (fnow > -enow)) {
+        TwoSum(q, enow, &qnew, &hh);
+        if (++eindex < elen) enow = e[eindex];
+      } else {
+        TwoSum(q, fnow, &qnew, &hh);
+        if (++findex < flen) fnow = f[findex];
+      }
+      q = qnew;
+      if (hh != 0.0) h[hindex++] = hh;
+    }
+  }
+  while (eindex < elen) {
+    TwoSum(q, enow, &qnew, &hh);
+    if (++eindex < elen) enow = e[eindex];
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  while (findex < flen) {
+    TwoSum(q, fnow, &qnew, &hh);
+    if (++findex < flen) fnow = f[findex];
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  if ((q != 0.0) || (hindex == 0)) {
+    h[hindex++] = q;
+  }
+  return hindex;
+}
+
+int ScaleExpansionZeroelim(int elen, const double* e, double b, double* h) {
+  double q, sum, hh, product1, product0;
+  int hindex = 0;
+  TwoProduct(e[0], b, &q, &hh);
+  if (hh != 0.0) h[hindex++] = hh;
+  for (int eindex = 1; eindex < elen; ++eindex) {
+    TwoProduct(e[eindex], b, &product1, &product0);
+    TwoSum(q, product0, &sum, &hh);
+    if (hh != 0.0) h[hindex++] = hh;
+    FastTwoSum(product1, sum, &q, &hh);
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  if ((q != 0.0) || (hindex == 0)) {
+    h[hindex++] = q;
+  }
+  return hindex;
+}
+
+double Estimate(int elen, const double* e) {
+  double q = e[0];
+  for (int i = 1; i < elen; ++i) q += e[i];
+  return q;
+}
+
+}  // namespace expansion
+}  // namespace movd

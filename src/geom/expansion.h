@@ -1,0 +1,49 @@
+#ifndef MOVD_GEOM_EXPANSION_H_
+#define MOVD_GEOM_EXPANSION_H_
+
+#include <cstddef>
+
+namespace movd {
+
+/// Multi-component floating-point "expansion" arithmetic (Shewchuk 1997).
+///
+/// An expansion represents an exact real value as a sum of nonoverlapping
+/// doubles ordered by increasing magnitude. All operations below are exact:
+/// no information is lost, so computing a determinant through them and
+/// inspecting the sign of the largest component yields the true sign.
+///
+/// This is an internal header used by predicates.cc and exposed for tests.
+/// Capacity is fixed per call site; callers size output buffers as
+/// |a| + |b| for sums and 2*|a|*|b| for products.
+namespace expansion {
+
+/// x + y = a + b exactly, |y| <= ulp(x)/2. No magnitude precondition.
+void TwoSum(double a, double b, double* x, double* y);
+
+/// x + y = a - b exactly.
+void TwoDiff(double a, double b, double* x, double* y);
+
+/// x + y = a * b exactly.
+void TwoProduct(double a, double b, double* x, double* y);
+
+/// h (length 4, increasing magnitude) = (a1 + a0) - (b1 + b0) exactly,
+/// where (a1, a0) and (b1, b0) are two-component expansions.
+void TwoTwoDiff(double a1, double a0, double b1, double b0, double h[4]);
+
+/// h = e + f where e and f are expansions of the given lengths.
+/// Returns the number of (nonzero) components written to h; h must have room
+/// for elen + flen doubles. Inputs must each be nonoverlapping and ordered by
+/// increasing magnitude (outputs of these routines always are).
+int FastExpansionSumZeroelim(int elen, const double* e, int flen,
+                             const double* f, double* h);
+
+/// h = e * b for scalar b. Returns the component count; h needs 2*elen room.
+int ScaleExpansionZeroelim(int elen, const double* e, double b, double* h);
+
+/// Approximate value of an expansion (sum of components, largest last).
+double Estimate(int elen, const double* e);
+
+}  // namespace expansion
+}  // namespace movd
+
+#endif  // MOVD_GEOM_EXPANSION_H_

@@ -1,0 +1,144 @@
+#include "geom/gridcontour.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace movd {
+namespace {
+
+// Lattice directions: +x, +y, -x, -y.
+constexpr int kDx[4] = {1, 0, -1, 0};
+constexpr int kDy[4] = {0, 1, 0, -1};
+
+// Turn preference when several boundary edges leave a vertex (pinch
+// points): hug the inside region, i.e. prefer the left-most turn relative
+// to the incoming direction. For incoming direction d, left = (d+1)%4,
+// straight = d, right = (d+3)%4; going back is never valid.
+constexpr int kTurnPreference[3] = {1, 0, 3};
+
+struct EdgeKey {
+  int32_t vertex;  // y * (width + 2) + x over the padded lattice
+};
+
+}  // namespace
+
+std::vector<Polygon> ExtractOuterContours(const std::vector<uint8_t>& mask,
+                                          int width, int height,
+                                          const Rect& bounds, bool dilate) {
+  MOVD_CHECK(width > 0 && height > 0);
+  MOVD_CHECK(mask.size() == static_cast<size_t>(width) * height);
+  MOVD_CHECK(!bounds.Empty());
+
+  std::vector<uint8_t> work = mask;
+  if (dilate) {
+    std::vector<uint8_t> grown(mask.size(), 0);
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        bool on = false;
+        for (int dy = -1; dy <= 1 && !on; ++dy) {
+          for (int dx = -1; dx <= 1 && !on; ++dx) {
+            const int nx = x + dx, ny = y + dy;
+            if (nx < 0 || ny < 0 || nx >= width || ny >= height) continue;
+            on = mask[ny * width + nx] != 0;
+          }
+        }
+        grown[y * width + x] = on ? 1 : 0;
+      }
+    }
+    work = std::move(grown);
+  }
+
+  const auto inside = [&](int x, int y) {
+    return x >= 0 && y >= 0 && x < width && y < height &&
+           work[y * width + x] != 0;
+  };
+
+  // Collect directed boundary edges (inside on the left). Key by start
+  // vertex on the (width+1) x (height+1) corner lattice; value packs the
+  // direction bits per outgoing edge.
+  const int lattice_w = width + 1;
+  const auto vertex_id = [&](int x, int y) { return y * lattice_w + x; };
+  // unused[v] = bitmask of directions with an untraversed edge from v.
+  std::unordered_map<int32_t, uint8_t> unused;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (!inside(x, y)) continue;
+      if (!inside(x, y - 1)) unused[vertex_id(x, y)] |= 1 << 0;      // +x
+      if (!inside(x + 1, y)) unused[vertex_id(x + 1, y)] |= 1 << 1;  // +y
+      if (!inside(x, y + 1)) unused[vertex_id(x + 1, y + 1)] |= 1 << 2;  // -x
+      if (!inside(x - 1, y)) unused[vertex_id(x, y + 1)] |= 1 << 3;  // -y
+    }
+  }
+
+  const double sx = bounds.Width() / width;
+  const double sy = bounds.Height() / height;
+  const auto to_world = [&](int32_t v) {
+    const int x = v % lattice_w;
+    const int y = v / lattice_w;
+    return Point(bounds.min_x + x * sx, bounds.min_y + y * sy);
+  };
+
+  std::vector<Polygon> out;
+  for (auto start_it = unused.begin(); start_it != unused.end();) {
+    if (start_it->second == 0) {
+      ++start_it;
+      continue;
+    }
+    // Begin a loop at any unused edge.
+    int32_t v = start_it->first;
+    int dir = 0;
+    while ((start_it->second & (1 << dir)) == 0) ++dir;
+    const int32_t loop_start = v;
+    const int start_dir = dir;
+
+    std::vector<int32_t> ring_vertices;
+    double area2 = 0.0;  // twice the signed area (lattice units)
+    do {
+      ring_vertices.push_back(v);
+      auto& bits = unused[v];
+      MOVD_DCHECK(bits & (1 << dir));
+      bits &= static_cast<uint8_t>(~(1 << dir));
+      const int x = v % lattice_w, y = v / lattice_w;
+      const int nx = x + kDx[dir], ny = y + kDy[dir];
+      area2 += static_cast<double>(x) * ny - static_cast<double>(nx) * y;
+      v = vertex_id(nx, ny);
+      if (v == loop_start) break;
+      // Choose the next edge: left turn, then straight, then right.
+      const auto it = unused.find(v);
+      MOVD_CHECK(it != unused.end());
+      int next_dir = -1;
+      for (const int turn : kTurnPreference) {
+        const int candidate = (dir + turn) % 4;
+        if (it->second & (1 << candidate)) {
+          next_dir = candidate;
+          break;
+        }
+      }
+      MOVD_CHECK(next_dir >= 0);  // boundary edges always continue
+      dir = next_dir;
+    } while (true);
+    (void)start_dir;
+
+    if (area2 > 0.0) {  // CCW: an outer contour (CW loops are holes)
+      // Merge collinear runs and map to world coordinates.
+      std::vector<Point> ring;
+      const size_t n = ring_vertices.size();
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t prev = ring_vertices[(i + n - 1) % n];
+        const int32_t cur = ring_vertices[i];
+        const int32_t next = ring_vertices[(i + 1) % n];
+        const int dx1 = cur % lattice_w - prev % lattice_w;
+        const int dy1 = cur / lattice_w - prev / lattice_w;
+        const int dx2 = next % lattice_w - cur % lattice_w;
+        const int dy2 = next / lattice_w - cur / lattice_w;
+        if (dx1 * dy2 - dy1 * dx2 != 0) ring.push_back(to_world(cur));
+      }
+      if (ring.size() >= 3) out.push_back(Polygon(std::move(ring)));
+    }
+    if (start_it->second == 0) ++start_it;
+  }
+  return out;
+}
+
+}  // namespace movd

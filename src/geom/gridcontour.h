@@ -1,0 +1,31 @@
+#ifndef MOVD_GEOM_GRIDCONTOUR_H_
+#define MOVD_GEOM_GRIDCONTOUR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/polygon.h"
+#include "geom/rect.h"
+
+namespace movd {
+
+/// Extracts the outer boundary polygon of every connected component
+/// (4-connectivity) of a boolean grid mask, as axis-aligned rings in world
+/// coordinates. Holes inside a component are absorbed (the returned
+/// polygon covers them) — the callers use the result as a *conservative
+/// cover*, so covering more is safe while missing area is not.
+///
+/// `mask` is row-major, width*height cells; cell (x, y) spans
+///   [bounds.min_x + x*sx, bounds.min_x + (x+1)*sx] x [... y ...]
+/// with sx = bounds.Width()/width. Runs of collinear boundary vertices are
+/// merged. When `dilate` is true, the mask is first grown by one cell
+/// (8-connectivity), guaranteeing the contour strictly covers the original
+/// cells even under later floating-point clipping.
+std::vector<Polygon> ExtractOuterContours(const std::vector<uint8_t>& mask,
+                                          int width, int height,
+                                          const Rect& bounds,
+                                          bool dilate = false);
+
+}  // namespace movd
+
+#endif  // MOVD_GEOM_GRIDCONTOUR_H_

@@ -1,0 +1,38 @@
+#include "geom/hull.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+
+namespace movd {
+
+ConvexPolygon ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), LessXY);
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const size_t n = points.size();
+  if (n < 3) return ConvexPolygon();
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  // Lower chain.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Orient2D(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper chain.
+  const size_t lower_end = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_end &&
+           Orient2D(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  if (hull.size() < 3) return ConvexPolygon();
+  return ConvexPolygon(std::move(hull));
+}
+
+}  // namespace movd

@@ -1,0 +1,19 @@
+#ifndef MOVD_GEOM_HULL_H_
+#define MOVD_GEOM_HULL_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+
+namespace movd {
+
+/// Convex hull of a point set (Andrew's monotone chain, exact predicates).
+/// Returns the hull vertices in counterclockwise order without repetition;
+/// collinear points on hull edges are excluded. Fewer than 3 non-collinear
+/// input points yield an empty polygon.
+ConvexPolygon ConvexHull(std::vector<Point> points);
+
+}  // namespace movd
+
+#endif  // MOVD_GEOM_HULL_H_

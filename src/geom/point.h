@@ -1,0 +1,65 @@
+#ifndef MOVD_GEOM_POINT_H_
+#define MOVD_GEOM_POINT_H_
+
+#include <cmath>
+#include <functional>
+
+namespace movd {
+
+/// A point (or 2-vector) in the Euclidean plane. Passive value type.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+  constexpr Point operator/(double s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Point& o) const {
+    return x == o.x && y == o.y;
+  }
+  constexpr bool operator!=(const Point& o) const { return !(*this == o); }
+
+  /// Dot product, treating both points as vectors from the origin.
+  constexpr double Dot(const Point& o) const { return x * o.x + y * o.y; }
+
+  /// Z-component of the cross product (signed parallelogram area).
+  constexpr double Cross(const Point& o) const { return x * o.y - y * o.x; }
+
+  /// Squared Euclidean norm.
+  constexpr double Norm2() const { return x * x + y * y; }
+
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(Norm2()); }
+};
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  return (a - b).Norm();
+}
+
+/// Squared Euclidean distance between two points.
+constexpr double Distance2(const Point& a, const Point& b) {
+  return (a - b).Norm2();
+}
+
+/// Lexicographic (x, then y) comparison; used for canonical orderings.
+constexpr bool LessXY(const Point& a, const Point& b) {
+  return a.x < b.x || (a.x == b.x && a.y < b.y);
+}
+
+/// Hash functor so points can key unordered containers in tests/tools.
+struct PointHash {
+  size_t operator()(const Point& p) const {
+    const size_t hx = std::hash<double>()(p.x);
+    const size_t hy = std::hash<double>()(p.y);
+    return hx ^ (hy + 0x9e3779b97f4a7c15ULL + (hx << 6) + (hx >> 2));
+  }
+};
+
+}  // namespace movd
+
+#endif  // MOVD_GEOM_POINT_H_

@@ -1,0 +1,40 @@
+#ifndef MOVD_GEOM_PREDICATES_H_
+#define MOVD_GEOM_PREDICATES_H_
+
+#include "geom/point.h"
+
+namespace movd {
+
+/// Exact geometric predicates in the style of Shewchuk's adaptive
+/// floating-point arithmetic.
+///
+/// Both predicates run a fast double-precision evaluation first and fall back
+/// to exact multi-component ("expansion") arithmetic only when the computed
+/// value is smaller than a forward error bound. The returned *sign* is always
+/// exact; the magnitude from the fast path is approximate.
+///
+/// Requires strict IEEE-754 double semantics (the build disables
+/// -ffast-math).
+
+/// Sign of the signed area of triangle (a, b, c):
+///   > 0  when c lies to the left of the directed line a->b (counterclockwise)
+///   < 0  when c lies to the right (clockwise)
+///   = 0  when the three points are exactly collinear.
+double Orient2D(const Point& a, const Point& b, const Point& c);
+
+/// Sign of the in-circle determinant:
+///   > 0  when d lies strictly inside the circle through a, b, c
+///   < 0  when strictly outside
+///   = 0  when cocircular.
+/// Requires (a, b, c) in counterclockwise order; the sign flips otherwise.
+double InCircle(const Point& a, const Point& b, const Point& c,
+                const Point& d);
+
+/// Convenience: true when (a, b, c) are exactly collinear.
+inline bool Collinear(const Point& a, const Point& b, const Point& c) {
+  return Orient2D(a, b, c) == 0.0;
+}
+
+}  // namespace movd
+
+#endif  // MOVD_GEOM_PREDICATES_H_

@@ -1,0 +1,103 @@
+#ifndef MOVD_GEOM_RECT_H_
+#define MOVD_GEOM_RECT_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace movd {
+
+/// An axis-aligned rectangle (minimum bounding rectangle, MBR).
+///
+/// The canonical empty rectangle has min > max; Rect() constructs it.
+/// Empty rectangles absorb under Expand() and annihilate under Intersect().
+struct Rect {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  constexpr Rect() = default;
+  constexpr Rect(double x0, double y0, double x1, double y1)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  static constexpr Rect OfPoint(const Point& p) {
+    return Rect(p.x, p.y, p.x, p.y);
+  }
+
+  constexpr bool Empty() const { return min_x > max_x || min_y > max_y; }
+
+  constexpr double Width() const { return Empty() ? 0.0 : max_x - min_x; }
+  constexpr double Height() const { return Empty() ? 0.0 : max_y - min_y; }
+  constexpr double Area() const { return Width() * Height(); }
+
+  /// Half the perimeter; the classic R-tree enlargement metric.
+  constexpr double Margin() const { return Width() + Height(); }
+
+  constexpr Point Center() const {
+    return Point((min_x + max_x) * 0.5, (min_y + max_y) * 0.5);
+  }
+
+  constexpr bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  constexpr bool Contains(const Rect& o) const {
+    return !o.Empty() && o.min_x >= min_x && o.max_x <= max_x &&
+           o.min_y >= min_y && o.max_y <= max_y;
+  }
+
+  /// Whether the closed rectangles share at least one point.
+  constexpr bool Intersects(const Rect& o) const {
+    return !Empty() && !o.Empty() && min_x <= o.max_x && o.min_x <= max_x &&
+           min_y <= o.max_y && o.min_y <= max_y;
+  }
+
+  /// The (possibly empty) intersection rectangle.
+  constexpr Rect Intersect(const Rect& o) const {
+    return Rect(std::max(min_x, o.min_x), std::max(min_y, o.min_y),
+                std::min(max_x, o.max_x), std::min(max_y, o.max_y));
+  }
+
+  /// Grows this rectangle to cover `p`.
+  void Expand(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  /// Grows this rectangle to cover `o`.
+  void Expand(const Rect& o) {
+    if (o.Empty()) return;
+    min_x = std::min(min_x, o.min_x);
+    min_y = std::min(min_y, o.min_y);
+    max_x = std::max(max_x, o.max_x);
+    max_y = std::max(max_y, o.max_y);
+  }
+
+  /// The smallest rectangle covering both inputs.
+  static Rect Union(const Rect& a, const Rect& b) {
+    Rect r = a;
+    r.Expand(b);
+    return r;
+  }
+
+  /// Squared distance from `p` to the nearest point of the rectangle
+  /// (zero when inside). Used by best-first kNN search.
+  double MinDistance2(const Point& p) const {
+    const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+    const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+    return dx * dx + dy * dy;
+  }
+
+  constexpr bool operator==(const Rect& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+};
+
+}  // namespace movd
+
+#endif  // MOVD_GEOM_RECT_H_

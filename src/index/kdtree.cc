@@ -1,0 +1,112 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace movd {
+
+KdTree KdTree::Build(const std::vector<Point>& points) {
+  KdTree tree;
+  tree.points_ = points;
+  tree.ids_.resize(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.ids_[i] = static_cast<int32_t>(i);
+  }
+  if (!points.empty()) {
+    tree.nodes_.reserve(2 * points.size() / kLeafSize + 2);
+    tree.root_ = tree.BuildNode(&tree.ids_, 0,
+                                static_cast<int32_t>(points.size()), 0);
+  }
+  return tree;
+}
+
+int32_t KdTree::BuildNode(std::vector<int32_t>* ids, int32_t begin,
+                          int32_t end, int depth) {
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back({});
+  Rect box;
+  for (int32_t i = begin; i < end; ++i) box.Expand(points_[(*ids)[i]]);
+  nodes_[node_id].box = box;
+
+  if (end - begin <= kLeafSize) {
+    nodes_[node_id].begin = begin;
+    nodes_[node_id].end = end;
+    return node_id;
+  }
+  const bool split_x = depth % 2 == 0;
+  const int32_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids->begin() + begin, ids->begin() + mid,
+                   ids->begin() + end, [&](int32_t a, int32_t b) {
+                     return split_x ? points_[a].x < points_[b].x
+                                    : points_[a].y < points_[b].y;
+                   });
+  const int32_t left = BuildNode(ids, begin, mid, depth + 1);
+  const int32_t right = BuildNode(ids, mid, end, depth + 1);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+std::vector<KdTree::Neighbor> KdTree::Nearest(const Point& p,
+                                              size_t k) const {
+  std::vector<Neighbor> out;
+  NearestStream stream(*this, p);
+  Neighbor nb;
+  while (out.size() < k && stream.Next(&nb)) out.push_back(nb);
+  return out;
+}
+
+std::vector<int64_t> KdTree::RangeQuery(const Rect& query) const {
+  std::vector<int64_t> out;
+  if (root_ < 0) return out;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.box.Intersects(query)) continue;
+    if (node.left < 0) {
+      for (int32_t i = node.begin; i < node.end; ++i) {
+        if (query.Contains(points_[ids_[i]])) out.push_back(ids_[i]);
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return out;
+}
+
+KdTree::NearestStream::NearestStream(const KdTree& tree, const Point& p)
+    : tree_(&tree), query_(p) {
+  if (tree.root_ >= 0) {
+    heap_.push({tree.nodes_[tree.root_].box.MinDistance2(p), tree.root_, 0});
+  }
+}
+
+bool KdTree::NearestStream::Next(Neighbor* out) {
+  while (!heap_.empty()) {
+    const QueueItem item = heap_.top();
+    heap_.pop();
+    if (item.node < 0) {
+      out->id = item.id;
+      out->distance2 = item.distance2;
+      return true;
+    }
+    const Node& node = tree_->nodes_[item.node];
+    if (node.left < 0) {
+      for (int32_t i = node.begin; i < node.end; ++i) {
+        const int32_t id = tree_->ids_[i];
+        heap_.push({Distance2(query_, tree_->points_[id]), -1, id});
+      }
+    } else {
+      heap_.push({tree_->nodes_[node.left].box.MinDistance2(query_),
+                  node.left, 0});
+      heap_.push({tree_->nodes_[node.right].box.MinDistance2(query_),
+                  node.right, 0});
+    }
+  }
+  return false;
+}
+
+}  // namespace movd

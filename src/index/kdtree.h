@@ -1,0 +1,86 @@
+#ifndef MOVD_INDEX_KDTREE_H_
+#define MOVD_INDEX_KDTREE_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace movd {
+
+/// A static 2-d tree over points, built by median splitting (O(n log n),
+/// contiguous node storage). Supports exact k-nearest-neighbour queries,
+/// incremental nearest-neighbour streaming and rectangular range queries —
+/// the same query surface as RTree, so either can back the Voronoi cell
+/// builder. Ids are the indices of the construction points.
+class KdTree {
+ public:
+  struct Neighbor {
+    int64_t id = 0;
+    double distance2 = 0.0;
+  };
+
+  KdTree() = default;
+
+  /// Builds the tree over `points` (duplicates allowed, kept distinct).
+  static KdTree Build(const std::vector<Point>& points);
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// The k nearest points to `p`, ascending by distance.
+  std::vector<Neighbor> Nearest(const Point& p, size_t k) const;
+
+  /// Ids of all points inside the closed rectangle.
+  std::vector<int64_t> RangeQuery(const Rect& query) const;
+
+  /// Incremental best-first nearest-neighbour stream (see
+  /// RTree::NearestStream). The tree must outlive the stream.
+  class NearestStream {
+   public:
+    NearestStream(const KdTree& tree, const Point& p);
+    bool Next(Neighbor* out);
+
+   private:
+    struct QueueItem {
+      double distance2;
+      int32_t node;  // -1 for point entries
+      int64_t id;
+      bool operator>(const QueueItem& o) const {
+        return distance2 > o.distance2;
+      }
+    };
+    const KdTree* tree_;
+    Point query_;
+    std::priority_queue<QueueItem, std::vector<QueueItem>,
+                        std::greater<QueueItem>>
+        heap_;
+  };
+
+ private:
+  friend class NearestStream;
+
+  struct Node {
+    Rect box;          // bounding box of the subtree
+    int32_t left = -1;   // child node ids; -1 for leaves
+    int32_t right = -1;
+    int32_t begin = 0;  // leaf: range in ids_
+    int32_t end = 0;
+  };
+
+  static constexpr int kLeafSize = 8;
+
+  int32_t BuildNode(std::vector<int32_t>* ids, int32_t begin, int32_t end,
+                    int depth);
+
+  std::vector<Point> points_;
+  std::vector<int32_t> ids_;  // permutation of point indices, leaf-grouped
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace movd
+
+#endif  // MOVD_INDEX_KDTREE_H_

@@ -1,0 +1,439 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace movd {
+
+struct RTree::Node {
+  int level = 0;  // 0 = leaf
+  Rect box;
+  std::vector<Entry> entries;                  // level == 0
+  std::vector<std::unique_ptr<Node>> children;  // level > 0
+
+  bool IsLeaf() const { return level == 0; }
+
+  void RecomputeBox() {
+    box = Rect();
+    if (IsLeaf()) {
+      for (const Entry& e : entries) box.Expand(e.box);
+    } else {
+      for (const auto& c : children) box.Expand(c->box);
+    }
+  }
+
+  size_t FanOut() const {
+    return IsLeaf() ? entries.size() : children.size();
+  }
+};
+
+namespace {
+
+using Node = RTree::Node;
+
+// Builds one tree level by tiling `boxes` (already associated with payloads)
+// into groups of at most kMaxEntries using the STR recipe: sort by center x,
+// cut into vertical slabs of ~sqrt(#groups) groups, sort each slab by
+// center y, emit runs.
+template <typename T, typename GetBox>
+std::vector<std::vector<T>> StrTile(std::vector<T> items, GetBox get_box) {
+  const size_t cap = RTree::kMaxEntries;
+  const size_t n = items.size();
+  const size_t num_groups = (n + cap - 1) / cap;
+  const size_t num_slabs =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_groups))));
+  const size_t slab_size = (n + num_slabs - 1) / num_slabs;
+
+  std::sort(items.begin(), items.end(), [&](const T& a, const T& b) {
+    return get_box(a).Center().x < get_box(b).Center().x;
+  });
+
+  std::vector<std::vector<T>> groups;
+  for (size_t s = 0; s * slab_size < n; ++s) {
+    const size_t lo = s * slab_size;
+    const size_t hi = std::min(n, lo + slab_size);
+    std::sort(items.begin() + lo, items.begin() + hi,
+              [&](const T& a, const T& b) {
+                return get_box(a).Center().y < get_box(b).Center().y;
+              });
+    for (size_t i = lo; i < hi; i += cap) {
+      const size_t end = std::min(hi, i + cap);
+      groups.emplace_back(std::make_move_iterator(items.begin() + i),
+                          std::make_move_iterator(items.begin() + end));
+    }
+  }
+  return groups;
+}
+
+// Quadratic-split seed selection: the pair wasting the most area.
+template <typename GetBox, typename T>
+std::pair<size_t, size_t> PickSeeds(const std::vector<T>& items,
+                                    GetBox get_box) {
+  size_t s1 = 0, s2 = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      const Rect u = Rect::Union(get_box(items[i]), get_box(items[j]));
+      const double waste =
+          u.Area() - get_box(items[i]).Area() - get_box(items[j]).Area();
+      if (waste > worst) {
+        worst = waste;
+        s1 = i;
+        s2 = j;
+      }
+    }
+  }
+  return {s1, s2};
+}
+
+// Guttman quadratic split of `items` into two groups.
+template <typename T, typename GetBox>
+void QuadraticSplit(std::vector<T>* items, GetBox get_box,
+                    std::vector<T>* group_a, std::vector<T>* group_b) {
+  const auto [s1, s2] = PickSeeds(*items, get_box);
+  Rect box_a = get_box((*items)[s1]);
+  Rect box_b = get_box((*items)[s2]);
+  group_a->push_back(std::move((*items)[s1]));
+  group_b->push_back(std::move((*items)[s2]));
+  std::vector<T> rest;
+  for (size_t i = 0; i < items->size(); ++i) {
+    if (i != s1 && i != s2) rest.push_back(std::move((*items)[i]));
+  }
+  items->clear();
+
+  const size_t min_fill = RTree::kMinEntries;
+  while (!rest.empty()) {
+    // Force-assign when one side must take everything left to reach minimum.
+    if (group_a->size() + rest.size() == min_fill) {
+      for (auto& r : rest) {
+        box_a.Expand(get_box(r));
+        group_a->push_back(std::move(r));
+      }
+      break;
+    }
+    if (group_b->size() + rest.size() == min_fill) {
+      for (auto& r : rest) {
+        box_b.Expand(get_box(r));
+        group_b->push_back(std::move(r));
+      }
+      break;
+    }
+    // Pick the item with maximal preference for one group.
+    size_t best = 0;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      const Rect& r = get_box(rest[i]);
+      const double da = Rect::Union(box_a, r).Area() - box_a.Area();
+      const double db = Rect::Union(box_b, r).Area() - box_b.Area();
+      const double diff = std::fabs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    const Rect& r = get_box(rest[best]);
+    const double da = Rect::Union(box_a, r).Area() - box_a.Area();
+    const double db = Rect::Union(box_b, r).Area() - box_b.Area();
+    const bool to_a = da < db || (da == db && box_a.Area() <= box_b.Area());
+    if (to_a) {
+      box_a.Expand(r);
+      group_a->push_back(std::move(rest[best]));
+    } else {
+      box_b.Expand(r);
+      group_b->push_back(std::move(rest[best]));
+    }
+    rest.erase(rest.begin() + static_cast<ptrdiff_t>(best));
+  }
+}
+
+void CollectRange(const Node* node, const Rect& query,
+                  std::vector<int64_t>* out) {
+  if (!node->box.Intersects(query)) return;
+  if (node->IsLeaf()) {
+    for (const RTree::Entry& e : node->entries) {
+      if (e.box.Intersects(query)) out->push_back(e.id);
+    }
+  } else {
+    for (const auto& c : node->children) CollectRange(c.get(), query, out);
+  }
+}
+
+int Height(const Node* node) { return node == nullptr ? 0 : node->level + 1; }
+
+}  // namespace
+
+RTree::RTree() : root_(std::make_unique<Node>()) {}
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+RTree RTree::BulkLoad(std::vector<Entry> entries) {
+  RTree tree;
+  tree.size_ = entries.size();
+  if (entries.empty()) return tree;
+
+  // Leaf level.
+  std::vector<std::unique_ptr<Node>> level;
+  for (auto& group :
+       StrTile(std::move(entries), [](const Entry& e) { return e.box; })) {
+    auto node = std::make_unique<Node>();
+    node->level = 0;
+    node->entries = std::move(group);
+    node->RecomputeBox();
+    level.push_back(std::move(node));
+  }
+  // Upper levels.
+  int lvl = 1;
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next;
+    for (auto& group : StrTile(std::move(level),
+                               [](const std::unique_ptr<Node>& n) {
+                                 return n->box;
+                               })) {
+      auto node = std::make_unique<Node>();
+      node->level = lvl;
+      node->children = std::move(group);
+      node->RecomputeBox();
+      next.push_back(std::move(node));
+    }
+    level = std::move(next);
+    ++lvl;
+  }
+  tree.root_ = std::move(level.front());
+  return tree;
+}
+
+RTree RTree::BulkLoadPoints(const std::vector<Point>& points) {
+  std::vector<Entry> entries;
+  entries.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries.push_back({Rect::OfPoint(points[i]), static_cast<int64_t>(i)});
+  }
+  return BulkLoad(std::move(entries));
+}
+
+void RTree::Insert(const Entry& entry) {
+  InsertRec(root_.get(), entry, 0);
+  ++size_;
+  // Root overflow: grow the tree by one level.
+  if (root_->FanOut() > kMaxEntries) {
+    auto old_root = std::move(root_);
+    auto sib_a = std::make_unique<Node>();
+    auto sib_b = std::make_unique<Node>();
+    sib_a->level = sib_b->level = old_root->level;
+    if (old_root->IsLeaf()) {
+      QuadraticSplit(
+          &old_root->entries, [](const Entry& e) { return e.box; },
+          &sib_a->entries, &sib_b->entries);
+    } else {
+      QuadraticSplit(
+          &old_root->children,
+          [](const std::unique_ptr<Node>& n) { return n->box; },
+          &sib_a->children, &sib_b->children);
+    }
+    sib_a->RecomputeBox();
+    sib_b->RecomputeBox();
+    root_ = std::make_unique<Node>();
+    root_->level = sib_a->level + 1;
+    root_->children.push_back(std::move(sib_a));
+    root_->children.push_back(std::move(sib_b));
+    root_->RecomputeBox();
+  }
+}
+
+void RTree::InsertRec(Node* node, const Entry& entry, int target_level) {
+  node->box.Expand(entry.box);
+  if (node->level == target_level) {
+    MOVD_CHECK(node->IsLeaf());
+    node->entries.push_back(entry);
+    return;
+  }
+  // ChooseSubtree: minimal area enlargement, ties by smaller area.
+  Node* best = nullptr;
+  double best_enlarge = 0.0;
+  for (const auto& c : node->children) {
+    const double enlarge =
+        Rect::Union(c->box, entry.box).Area() - c->box.Area();
+    if (best == nullptr || enlarge < best_enlarge ||
+        (enlarge == best_enlarge && c->box.Area() < best->box.Area())) {
+      best = c.get();
+      best_enlarge = enlarge;
+    }
+  }
+  MOVD_CHECK(best != nullptr);
+  InsertRec(best, entry, target_level);
+
+  if (best->FanOut() > kMaxEntries) {
+    auto sibling = std::make_unique<Node>();
+    sibling->level = best->level;
+    if (best->IsLeaf()) {
+      std::vector<Entry> items = std::move(best->entries);
+      best->entries.clear();
+      QuadraticSplit(
+          &items, [](const Entry& e) { return e.box; }, &best->entries,
+          &sibling->entries);
+    } else {
+      std::vector<std::unique_ptr<Node>> items = std::move(best->children);
+      best->children.clear();
+      QuadraticSplit(
+          &items, [](const std::unique_ptr<Node>& n) { return n->box; },
+          &best->children, &sibling->children);
+    }
+    best->RecomputeBox();
+    sibling->RecomputeBox();
+    node->children.push_back(std::move(sibling));
+  }
+}
+
+bool RTree::RemoveRec(Node* node, const Entry& entry,
+                      std::vector<Entry>* orphans) {
+  if (!node->box.Contains(entry.box)) return false;
+  if (node->IsLeaf()) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].id == entry.id &&
+          node->entries[i].box == entry.box) {
+        node->entries.erase(node->entries.begin() +
+                            static_cast<ptrdiff_t>(i));
+        node->RecomputeBox();
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    Node* child = node->children[i].get();
+    if (!RemoveRec(child, entry, orphans)) continue;
+    // CondenseTree: drop underfull children and queue their leaf entries
+    // for reinsertion.
+    if (child->FanOut() < static_cast<size_t>(kMinEntries)) {
+      std::vector<std::unique_ptr<Node>> stack;
+      stack.push_back(std::move(node->children[i]));
+      node->children.erase(node->children.begin() +
+                           static_cast<ptrdiff_t>(i));
+      while (!stack.empty()) {
+        std::unique_ptr<Node> cur = std::move(stack.back());
+        stack.pop_back();
+        if (cur->IsLeaf()) {
+          for (const Entry& e : cur->entries) orphans->push_back(e);
+        } else {
+          for (auto& grandchild : cur->children) {
+            stack.push_back(std::move(grandchild));
+          }
+        }
+      }
+    }
+    node->RecomputeBox();
+    return true;
+  }
+  return false;
+}
+
+bool RTree::Remove(const Entry& entry) {
+  if (size_ == 0) return false;
+  std::vector<Entry> orphans;
+  if (!RemoveRec(root_.get(), entry, &orphans)) return false;
+  --size_;
+  // Shrink the root while it has a single internal child.
+  while (!root_->IsLeaf() && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  if (!root_->IsLeaf() && root_->children.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+  // Reinsert entries orphaned by condensation. They are still counted in
+  // size_ (detaching their node never decremented it), so compensate for
+  // Insert's increment.
+  for (const Entry& e : orphans) {
+    --size_;
+    Insert(e);
+  }
+  return true;
+}
+
+namespace {
+
+// Recursive structural check; returns the leaf depth or -1 on violation.
+int ValidateRec(const Node* node, bool is_root, size_t* entries_seen) {
+  const size_t fan = node->FanOut();
+  if (fan > static_cast<size_t>(RTree::kMaxEntries)) return -1;
+  // Note: kMinEntries is not asserted — STR bulk loading legitimately
+  // leaves one trailing node per level below the minimum fill.
+  if (!is_root && fan == 0) return -1;
+  if (node->IsLeaf()) {
+    *entries_seen += node->entries.size();
+    if (node->entries.empty()) return is_root ? 0 : -1;
+    Rect box;
+    for (const RTree::Entry& e : node->entries) box.Expand(e.box);
+    return box == node->box ? 0 : -1;
+  }
+  Rect box;
+  int depth = -2;
+  for (const auto& child : node->children) {
+    if (!node->box.Contains(child->box)) return -1;
+    box.Expand(child->box);
+    const int d = ValidateRec(child.get(), false, entries_seen);
+    if (d < 0) return -1;
+    if (depth == -2) depth = d;
+    if (d != depth) return -1;  // non-uniform leaf depth
+  }
+  if (!(box == node->box)) return -1;
+  return depth + 1;
+}
+
+}  // namespace
+
+bool RTree::Validate() const {
+  size_t entries_seen = 0;
+  const int depth = ValidateRec(root_.get(), true, &entries_seen);
+  return depth >= 0 && entries_seen == size_;
+}
+
+std::vector<int64_t> RTree::RangeQuery(const Rect& query) const {
+  std::vector<int64_t> out;
+  if (size_ > 0) CollectRange(root_.get(), query, &out);
+  return out;
+}
+
+std::vector<RTree::Neighbor> RTree::Nearest(const Point& p, size_t k) const {
+  std::vector<Neighbor> out;
+  NearestStream stream(*this, p);
+  Neighbor nb;
+  while (out.size() < k && stream.Next(&nb)) out.push_back(nb);
+  return out;
+}
+
+int RTree::height() const { return Height(root_.get()); }
+
+RTree::NearestStream::NearestStream(const RTree& tree, const Point& p)
+    : tree_(&tree), query_(p) {
+  if (tree.size_ > 0) {
+    heap_.push({tree.root_->box.MinDistance2(p), tree.root_.get(), 0, false});
+  }
+}
+
+bool RTree::NearestStream::Next(Neighbor* out) {
+  while (!heap_.empty()) {
+    const QueueItem item = heap_.top();
+    heap_.pop();
+    if (item.is_entry) {
+      out->id = item.id;
+      out->distance2 = item.distance2;
+      return true;
+    }
+    const Node* node = static_cast<const Node*>(item.node);
+    if (node->IsLeaf()) {
+      for (const Entry& e : node->entries) {
+        heap_.push({e.box.MinDistance2(query_), nullptr, e.id, true});
+      }
+    } else {
+      for (const auto& c : node->children) {
+        heap_.push({c->box.MinDistance2(query_), c.get(), 0, false});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace movd

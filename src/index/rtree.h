@@ -1,0 +1,113 @@
+#ifndef MOVD_INDEX_RTREE_H_
+#define MOVD_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace movd {
+
+/// An in-memory R-tree over (MBR, id) entries.
+///
+/// Construction is either STR bulk load (preferred for static data sets,
+/// produces near-optimally packed nodes) or one-at-a-time Insert with
+/// Guttman's quadratic split. Supports range queries, k-nearest-neighbour
+/// queries, and an incremental nearest-neighbour stream (best-first search)
+/// used by the Voronoi cell builder.
+class RTree {
+ public:
+  struct Entry {
+    Rect box;
+    int64_t id = 0;
+  };
+
+  /// Result of a nearest-neighbour query.
+  struct Neighbor {
+    int64_t id = 0;
+    double distance2 = 0.0;  // squared distance from the query point
+  };
+
+  static constexpr int kMaxEntries = 16;
+  static constexpr int kMinEntries = 6;
+
+  struct Node;  // exposed for the implementation; not part of the API
+
+  RTree();
+  ~RTree();
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Builds a packed tree over `entries` (Sort-Tile-Recursive).
+  static RTree BulkLoad(std::vector<Entry> entries);
+
+  /// Convenience bulk load over points; ids are the point indices.
+  static RTree BulkLoadPoints(const std::vector<Point>& points);
+
+  /// Inserts one entry (Guttman quadratic split on overflow).
+  void Insert(const Entry& entry);
+
+  /// Removes one entry matching (box, id) exactly. Underfull nodes are
+  /// condensed: their remaining entries are reinserted (Guttman's
+  /// CondenseTree). Returns false when no such entry exists.
+  bool Remove(const Entry& entry);
+
+  /// Structural invariant check (tests): node fan-outs within bounds,
+  /// parent boxes cover children, uniform leaf depth, size consistent.
+  bool Validate() const;
+
+  /// Ids of all entries whose MBR intersects `query`.
+  std::vector<int64_t> RangeQuery(const Rect& query) const;
+
+  /// The k entries nearest to `p` by MBR distance, ascending.
+  std::vector<Neighbor> Nearest(const Point& p, size_t k) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const;
+
+  /// Incremental best-first nearest-neighbour enumeration. Each Next() call
+  /// returns the next-closest entry, or nullopt when exhausted. The stream
+  /// holds a pointer to the tree, which must outlive it.
+  class NearestStream {
+   public:
+    NearestStream(const RTree& tree, const Point& p);
+
+    /// Advances and returns the next nearest entry; nullopt when done.
+    bool Next(Neighbor* out);
+
+   private:
+    struct QueueItem {
+      double distance2;
+      const void* node;  // internal node or leaf-entry marker
+      int64_t id;
+      bool is_entry;
+      bool operator>(const QueueItem& o) const {
+        return distance2 > o.distance2;
+      }
+    };
+    const RTree* tree_;
+    Point query_;
+    std::priority_queue<QueueItem, std::vector<QueueItem>,
+                        std::greater<QueueItem>>
+        heap_;
+  };
+
+ private:
+  friend class NearestStream;
+
+  void InsertRec(Node* node, const Entry& entry, int target_level);
+  bool RemoveRec(Node* node, const Entry& entry,
+                 std::vector<Entry>* orphans);
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace movd
+
+#endif  // MOVD_INDEX_RTREE_H_

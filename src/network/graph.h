@@ -1,0 +1,76 @@
+#ifndef MOVD_NETWORK_GRAPH_H_
+#define MOVD_NETWORK_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace movd {
+
+/// An undirected road network: embedded vertices and weighted edges
+/// (weights default to Euclidean edge lengths). Compressed adjacency
+/// storage; vertices are dense int32 ids.
+class RoadNetwork {
+ public:
+  struct Edge {
+    int32_t from = -1;
+    int32_t to = -1;
+    double length = 0.0;
+  };
+
+  /// Builds the network from an embedded vertex set and edge list.
+  /// Non-positive lengths are replaced by the Euclidean distance between
+  /// the endpoints. Self-loops are dropped; parallel edges are kept.
+  RoadNetwork(std::vector<Point> vertices, const std::vector<Edge>& edges);
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const { return edge_count_; }
+  const std::vector<Point>& vertices() const { return vertices_; }
+
+  /// Adjacency of vertex v: (neighbor, length) pairs.
+  struct Arc {
+    int32_t to;
+    double length;
+  };
+  const std::vector<Arc>& Neighbors(int32_t v) const {
+    return adjacency_[v];
+  }
+
+  /// The vertex nearest to `p` in Euclidean distance (linear scan).
+  int32_t NearestVertex(const Point& p) const;
+
+  /// True when every vertex can reach vertex 0 (or the graph is empty).
+  bool IsConnected() const;
+
+  static constexpr double kUnreachable =
+      std::numeric_limits<double>::infinity();
+
+ private:
+  std::vector<Point> vertices_;
+  std::vector<std::vector<Arc>> adjacency_;
+  size_t edge_count_ = 0;
+};
+
+/// Builds a synthetic road network over `num_vertices` random points in
+/// `bounds`: the Delaunay triangulation's edges thinned by `keep_fraction`
+/// (1.0 keeps the full triangulation; lower values emulate sparser road
+/// grids while a random spanning subset keeps the graph connected).
+/// Deterministic in `seed`.
+RoadNetwork RandomRoadNetwork(size_t num_vertices, const Rect& bounds,
+                              double keep_fraction, uint64_t seed);
+
+/// Single-source shortest path distances (Dijkstra, binary heap).
+/// Unreachable vertices get RoadNetwork::kUnreachable.
+std::vector<double> ShortestDistances(const RoadNetwork& network,
+                                      int32_t source);
+
+/// Multi-source variant: distance from every vertex to its nearest source.
+std::vector<double> NearestSourceDistances(
+    const RoadNetwork& network, const std::vector<int32_t>& sources);
+
+}  // namespace movd
+
+#endif  // MOVD_NETWORK_GRAPH_H_

@@ -1,0 +1,79 @@
+#include "network/network_molq.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace movd {
+
+NetworkMolqResult SolveNetworkMolq(
+    const RoadNetwork& network, const std::vector<NetworkObjectSet>& sets) {
+  MOVD_CHECK(!sets.empty());
+  const size_t n = network.num_vertices();
+  MOVD_CHECK(n > 0);
+  std::vector<double> total(n, 0.0);
+  for (const NetworkObjectSet& set : sets) {
+    MOVD_CHECK(!set.vertices.empty());
+    const std::vector<double> dist =
+        NearestSourceDistances(network, set.vertices);
+    for (size_t v = 0; v < n; ++v) {
+      total[v] += set.type_weight * dist[v];
+    }
+  }
+  NetworkMolqResult result;
+  result.vertex = 0;
+  result.cost = total[0];
+  for (size_t v = 1; v < n; ++v) {
+    if (total[v] < result.cost) {
+      result.cost = total[v];
+      result.vertex = static_cast<int32_t>(v);
+    }
+  }
+  return result;
+}
+
+NetworkMolqResult SolveNetworkMolqBruteForce(
+    const RoadNetwork& network, const std::vector<NetworkObjectSet>& sets) {
+  MOVD_CHECK(!sets.empty());
+  const size_t n = network.num_vertices();
+  // Per-object single-source distances, then per-vertex min per type.
+  std::vector<double> total(n, 0.0);
+  for (const NetworkObjectSet& set : sets) {
+    std::vector<double> best(n, RoadNetwork::kUnreachable);
+    for (const int32_t source : set.vertices) {
+      const std::vector<double> dist = ShortestDistances(network, source);
+      for (size_t v = 0; v < n; ++v) best[v] = std::min(best[v], dist[v]);
+    }
+    for (size_t v = 0; v < n; ++v) total[v] += set.type_weight * best[v];
+  }
+  NetworkMolqResult result;
+  result.vertex = 0;
+  result.cost = total[0];
+  for (size_t v = 1; v < n; ++v) {
+    if (total[v] < result.cost) {
+      result.cost = total[v];
+      result.vertex = static_cast<int32_t>(v);
+    }
+  }
+  return result;
+}
+
+std::vector<NetworkObjectSet> SnapQueryToNetwork(const RoadNetwork& network,
+                                                 const MolqQuery& query) {
+  std::vector<NetworkObjectSet> sets;
+  sets.reserve(query.sets.size());
+  for (const ObjectSet& set : query.sets) {
+    MOVD_CHECK(!set.objects.empty());
+    NetworkObjectSet out;
+    out.type_weight = set.objects.front().type_weight;
+    for (const SpatialObject& obj : set.objects) {
+      MOVD_CHECK(obj.object_weight == 1.0);
+      MOVD_CHECK(obj.type_weight == out.type_weight);
+      out.vertices.push_back(network.NearestVertex(obj.location));
+    }
+    sets.push_back(std::move(out));
+  }
+  return sets;
+}
+
+}  // namespace movd

@@ -1,0 +1,29 @@
+#ifndef MOVD_STORAGE_EXTERNAL_SORT_H_
+#define MOVD_STORAGE_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace movd {
+
+/// Statistics from one external sort.
+struct ExternalSortStats {
+  uint64_t records = 0;
+  uint64_t runs = 0;            ///< sorted runs spilled to disk
+  uint64_t peak_bytes = 0;      ///< peak in-memory record bytes
+};
+
+/// Sorts a MOVD file by descending mbr.max_y (the sweep's start-event
+/// order; ties broken by descending min_y) using bounded memory: records
+/// are accumulated until `memory_budget_bytes` of serialized size, sorted,
+/// spilled as runs, then k-way merged into `output_path`. Temporary run
+/// files are placed next to the output and removed afterwards.
+/// Returns false on I/O failure.
+bool ExternalSortMovdFile(const std::string& input_path,
+                          const std::string& output_path,
+                          size_t memory_budget_bytes,
+                          ExternalSortStats* stats = nullptr);
+
+}  // namespace movd
+
+#endif  // MOVD_STORAGE_EXTERNAL_SORT_H_

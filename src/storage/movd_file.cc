@@ -1,0 +1,155 @@
+#include "storage/movd_file.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace movd {
+namespace {
+
+constexpr uint32_t kMagic = 0x4d4f5644;  // "MOVD"
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kHeaderSize = 4 + 4 + 8;  // magic + version + count
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+size_t SerializedOvrSize(const Ovr& ovr) {
+  size_t bytes = 4 * 8;  // mbr
+  bytes += VarintSize(ovr.pois.size());
+  for (const PoiRef& p : ovr.pois) {
+    bytes += VarintSize(static_cast<uint32_t>(p.set)) +
+             VarintSize(static_cast<uint32_t>(p.object));
+  }
+  bytes += VarintSize(ovr.region.pieces().size());
+  for (const ConvexPolygon& piece : ovr.region.pieces()) {
+    bytes += VarintSize(piece.VertexCount()) + piece.VertexCount() * 16;
+  }
+  return bytes;
+}
+
+void WriteOvr(BinaryWriter* writer, const Ovr& ovr) {
+  writer->WriteDouble(ovr.mbr.min_x);
+  writer->WriteDouble(ovr.mbr.min_y);
+  writer->WriteDouble(ovr.mbr.max_x);
+  writer->WriteDouble(ovr.mbr.max_y);
+  writer->WriteVarint(ovr.pois.size());
+  for (const PoiRef& p : ovr.pois) {
+    writer->WriteVarint(static_cast<uint32_t>(p.set));
+    writer->WriteVarint(static_cast<uint32_t>(p.object));
+  }
+  writer->WriteVarint(ovr.region.pieces().size());
+  for (const ConvexPolygon& piece : ovr.region.pieces()) {
+    writer->WriteVarint(piece.VertexCount());
+    for (const Point& v : piece.vertices()) {
+      writer->WriteDouble(v.x);
+      writer->WriteDouble(v.y);
+    }
+  }
+}
+
+Ovr ReadOvr(BinaryReader* reader) {
+  Ovr ovr;
+  ovr.mbr.min_x = reader->ReadDouble();
+  ovr.mbr.min_y = reader->ReadDouble();
+  ovr.mbr.max_x = reader->ReadDouble();
+  ovr.mbr.max_y = reader->ReadDouble();
+  const uint64_t num_pois = reader->ReadVarint();
+  ovr.pois.reserve(num_pois);
+  for (uint64_t i = 0; i < num_pois; ++i) {
+    PoiRef ref;
+    ref.set = static_cast<int32_t>(reader->ReadVarint());
+    ref.object = static_cast<int32_t>(reader->ReadVarint());
+    ovr.pois.push_back(ref);
+  }
+  const uint64_t num_pieces = reader->ReadVarint();
+  std::vector<ConvexPolygon> pieces;
+  pieces.reserve(num_pieces);
+  for (uint64_t i = 0; i < num_pieces; ++i) {
+    const uint64_t num_verts = reader->ReadVarint();
+    std::vector<Point> verts;
+    verts.reserve(num_verts);
+    for (uint64_t v = 0; v < num_verts; ++v) {
+      const double x = reader->ReadDouble();
+      const double y = reader->ReadDouble();
+      verts.push_back({x, y});
+    }
+    pieces.push_back(ConvexPolygon::FromTrustedRing(std::move(verts)));
+  }
+  ovr.region = Region::FromPieces(std::move(pieces));
+  return ovr;
+}
+
+MovdFileWriter::MovdFileWriter(const std::string& path)
+    : path_(path), writer_(path) {
+  writer_.WriteU32(kMagic);
+  writer_.WriteU32(kVersion);
+  writer_.WriteU64(0);  // count, patched on Close
+}
+
+void MovdFileWriter::Append(const Ovr& ovr) {
+  WriteOvr(&writer_, ovr);
+  ++count_;
+}
+
+bool MovdFileWriter::Close() {
+  if (!writer_.Close()) return false;
+  // Patch the count into the header.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  if (f == nullptr) return false;
+  if (std::fseek(f, 8, SEEK_SET) != 0) {
+    std::fclose(f);
+    return false;
+  }
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = (count_ >> (8 * i)) & 0xff;
+  const bool ok = std::fwrite(buf, 1, 8, f) == 8;
+  return std::fclose(f) == 0 && ok;
+}
+
+MovdFileReader::MovdFileReader(const std::string& path) : reader_(path) {
+  if (!reader_.ok()) return;
+  const uint32_t magic = reader_.ReadU32();
+  const uint32_t version = reader_.ReadU32();
+  count_ = reader_.ReadU64();
+  ok_ = reader_.ok() && magic == kMagic && version == kVersion;
+}
+
+std::optional<Ovr> MovdFileReader::Next() {
+  if (!ok_ || read_ >= count_) return std::nullopt;
+  ++read_;
+  Ovr ovr = ReadOvr(&reader_);
+  if (!reader_.ok()) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  return ovr;
+}
+
+bool SaveMovd(const std::string& path, const Movd& movd) {
+  MovdFileWriter writer(path);
+  for (const Ovr& ovr : movd.ovrs) writer.Append(ovr);
+  return writer.Close();
+}
+
+std::optional<Movd> LoadMovd(const std::string& path) {
+  MovdFileReader reader(path);
+  if (!reader.ok()) return std::nullopt;
+  Movd movd;
+  movd.ovrs.reserve(reader.count());
+  while (auto ovr = reader.Next()) {
+    movd.ovrs.push_back(std::move(*ovr));
+  }
+  if (!reader.ok() && movd.ovrs.size() != reader.count()) return std::nullopt;
+  return movd;
+}
+
+}  // namespace movd

@@ -1,0 +1,39 @@
+#ifndef MOVD_STORAGE_STREAMING_OVERLAP_H_
+#define MOVD_STORAGE_STREAMING_OVERLAP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/movd_model.h"
+
+namespace movd {
+
+/// Statistics from one streaming overlap.
+struct StreamingOverlapStats {
+  uint64_t output_ovrs = 0;
+  uint64_t candidate_pairs = 0;
+  uint64_t peak_active_bytes = 0;  ///< peak serialized bytes of active OVRs
+  uint64_t peak_active_ovrs = 0;
+};
+
+/// Disk-based overlap operation ⊕ — the paper's future-work direction
+/// ("disk-based techniques that load a portion of data into the main
+/// memory", §8).
+///
+/// Both inputs must be MOVD files sorted in sweep start-event order
+/// (descending mbr.max_y; use ExternalSortMovdFile). The operation streams
+/// the two files top-to-bottom, holding only the *active* OVRs (those whose
+/// y-span intersects the sweep line) in memory, pairs new arrivals against
+/// the other input's active set, applies the RRB or MBRB handler, and
+/// appends results to `output_path` immediately. Memory is proportional to
+/// the sweep width, not the input size.
+///
+/// Returns false on I/O failure or unsorted input.
+bool StreamingOverlap(const std::string& sorted_a_path,
+                      const std::string& sorted_b_path,
+                      BoundaryMode mode, const std::string& output_path,
+                      StreamingOverlapStats* stats = nullptr);
+
+}  // namespace movd
+
+#endif  // MOVD_STORAGE_STREAMING_OVERLAP_H_

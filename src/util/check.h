@@ -1,0 +1,33 @@
+#ifndef MOVD_UTIL_CHECK_H_
+#define MOVD_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking macros.
+//
+// MOVD_CHECK(cond) aborts with a diagnostic when `cond` is false. It is kept
+// in all build types: the library's algorithms are geometric and an invariant
+// violation almost always means a silently wrong answer downstream, which is
+// far more expensive than the branch.
+//
+// MOVD_DCHECK(cond) compiles away in NDEBUG builds and is used on hot paths.
+
+#define MOVD_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MOVD_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define MOVD_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define MOVD_DCHECK(cond) MOVD_CHECK(cond)
+#endif
+
+#endif  // MOVD_UTIL_CHECK_H_

@@ -1,0 +1,43 @@
+#ifndef MOVD_UTIL_FLAGS_H_
+#define MOVD_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace movd {
+
+/// Minimal command-line flag parser used by the benchmark and example
+/// binaries. Accepts `--name=value` and bare `--name` (boolean true).
+/// Unknown arguments are preserved in positional().
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// Returns the string value of --name, or `def` when absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  /// Returns the integer value of --name, or `def` when absent or malformed.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+
+  /// Returns the double value of --name, or `def` when absent or malformed.
+  double GetDouble(const std::string& name, double def) const;
+
+  /// Returns true when --name was passed (with no value or a truthy value).
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Whether --name appeared at all.
+  bool Has(const std::string& name) const;
+
+  /// Arguments that did not start with `--`.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace movd
+
+#endif  // MOVD_UTIL_FLAGS_H_

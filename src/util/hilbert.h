@@ -1,0 +1,33 @@
+#ifndef MOVD_UTIL_HILBERT_H_
+#define MOVD_UTIL_HILBERT_H_
+
+#include <cstdint>
+
+namespace movd {
+
+/// Maps cell coordinates (x, y) on a 2^order x 2^order grid to the distance
+/// along the Hilbert curve. Used to sort points into a spatially local
+/// insertion order (keeps incremental Delaunay point-location walks short).
+inline uint64_t HilbertIndex(uint32_t order, uint32_t x, uint32_t y) {
+  uint64_t d = 0;
+  for (uint32_t s = order == 0 ? 0 : (1u << (order - 1)); s > 0; s >>= 1) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      const uint32_t t = x;
+      x = y;
+      y = t;
+    }
+  }
+  return d;
+}
+
+}  // namespace movd
+
+#endif  // MOVD_UTIL_HILBERT_H_

@@ -1,0 +1,40 @@
+#ifndef MOVD_UTIL_RNG_H_
+#define MOVD_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace movd {
+
+/// Deterministic, fast pseudo-random number generator (xoshiro256**),
+/// seeded via splitmix64. All randomness in the library flows through this
+/// class so that experiments and tests are exactly reproducible across
+/// platforms (std::mt19937 distributions are not portable across standard
+/// library implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Standard normal variate (Box–Muller, deterministic).
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace movd
+
+#endif  // MOVD_UTIL_RNG_H_

@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace movd {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  MOVD_CHECK(cells.size() == rows_[0].size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::FILE* out) const {
+  std::vector<size_t> width(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(width[c]),
+                   rows_[r][c].c_str(), c + 1 == rows_[r].size() ? "" : "  ");
+    }
+    std::fprintf(out, "\n");
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < width.size(); ++c) {
+        total += width[c] + (c + 1 == width.size() ? 0 : 2);
+      }
+      for (size_t i = 0; i < total; ++i) std::fputc('-', out);
+      std::fputc('\n', out);
+    }
+  }
+}
+
+std::string Table::Fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace movd

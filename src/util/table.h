@@ -1,0 +1,35 @@
+#ifndef MOVD_UTIL_TABLE_H_
+#define MOVD_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace movd {
+
+/// Fixed-width text table printer for benchmark harnesses. Produces the
+/// row/series layout the paper's figures report, e.g.:
+///
+///   Table tbl({"objects", "SSC(ms)", "RRB(ms)", "MBRB(ms)"});
+///   tbl.AddRow({"1000", "812.4", "55.1", "12.9"});
+///   tbl.Print(stdout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns to `out`.
+  void Print(std::FILE* out) const;
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string Fmt(double v, int digits = 3);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+}  // namespace movd
+
+#endif  // MOVD_UTIL_TABLE_H_

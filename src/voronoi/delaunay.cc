@@ -1,0 +1,305 @@
+#include "voronoi/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geom/predicates.h"
+#include "geom/rect.h"
+#include "util/check.h"
+#include "util/hilbert.h"
+
+namespace movd {
+namespace {
+
+// Index of `value` within the triangle vertex array.
+int IndexOf(const int32_t v[3], int32_t value) {
+  for (int i = 0; i < 3; ++i) {
+    if (v[i] == value) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Delaunay::Delaunay(const std::vector<Point>& points) {
+  points_ = points;
+  std::sort(points_.begin(), points_.end(), LessXY);
+  points_.erase(std::unique(points_.begin(), points_.end()), points_.end());
+  num_real_ = points_.size();
+
+  // Bounding super-quad, far enough away that within the input's bounding
+  // box the synthetic vertices never shadow a real Delaunay edge in
+  // practice. (The kNN-based Voronoi builder does not rely on this; the
+  // Delaunay structure is used for neighbour queries and cross-checks.)
+  Rect bb;
+  for (const Point& p : points_) bb.Expand(p);
+  if (bb.Empty()) bb = Rect(0, 0, 1, 1);
+  const double span = std::max({bb.Width(), bb.Height(), 1.0});
+  const Point c = bb.Center();
+  const double kFar = 1e6;
+  const double s = span * kFar;
+  const int32_t q0 = static_cast<int32_t>(points_.size());
+  points_.push_back({c.x - s, c.y - s});
+  points_.push_back({c.x + s, c.y - s});
+  points_.push_back({c.x + s, c.y + s});
+  points_.push_back({c.x - s, c.y + s});
+
+  // The two triangles share the diagonal (q0, q2): opposite vertex 1 in the
+  // first triangle and vertex 2 in the second.
+  tris_.push_back({{q0, q0 + 1, q0 + 2}, {-1, 1, -1}, true});
+  tris_.push_back({{q0, q0 + 2, q0 + 3}, {-1, -1, 0}, true});
+  last_created_ = 0;
+
+  // Hilbert-sorted insertion order over the real points.
+  std::vector<int32_t> order(num_real_);
+  for (size_t i = 0; i < num_real_; ++i) order[i] = static_cast<int32_t>(i);
+  constexpr uint32_t kOrder = 16;
+  const double scale = (1u << kOrder) - 1;
+  std::vector<uint64_t> key(num_real_);
+  for (size_t i = 0; i < num_real_; ++i) {
+    const uint32_t hx = static_cast<uint32_t>(
+        (points_[i].x - bb.min_x) / std::max(bb.Width(), 1e-300) * scale);
+    const uint32_t hy = static_cast<uint32_t>(
+        (points_[i].y - bb.min_y) / std::max(bb.Height(), 1e-300) * scale);
+    key[i] = HilbertIndex(kOrder, hx, hy);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](int32_t a, int32_t b) { return key[a] < key[b]; });
+
+  for (const int32_t pi : order) Insert(pi);
+}
+
+int32_t Delaunay::Locate(const Point& p, int32_t hint) const {
+  int32_t cur = hint;
+  MOVD_DCHECK(tris_[cur].alive);
+  size_t steps = 0;
+  const size_t max_steps = 4 * tris_.size() + 64;
+  int32_t prev = -1;
+  while (steps++ < max_steps) {
+    const Tri& t = tris_[cur];
+    int32_t next = -1;
+    for (int i = 0; i < 3; ++i) {
+      const int32_t nb = t.nb[i];
+      if (nb == prev || nb < 0) continue;
+      const Point& a = points_[t.v[(i + 1) % 3]];
+      const Point& b = points_[t.v[(i + 2) % 3]];
+      if (Orient2D(a, b, p) < 0.0) {
+        next = nb;
+        break;
+      }
+    }
+    if (next < 0) {
+      // Re-check all edges including the one back to prev (p may sit in
+      // prev after a degenerate step); if none is violated, cur contains p.
+      bool inside = true;
+      for (int i = 0; i < 3; ++i) {
+        const Point& a = points_[t.v[(i + 1) % 3]];
+        const Point& b = points_[t.v[(i + 2) % 3]];
+        if (Orient2D(a, b, p) < 0.0) {
+          inside = false;
+          if (t.nb[i] >= 0) next = t.nb[i];
+          break;
+        }
+      }
+      if (inside) return cur;
+      if (next < 0) break;  // walked off the triangulation: shouldn't happen
+    }
+    prev = cur;
+    cur = next;
+  }
+  // Fallback: exhaustive scan (degenerate walk cycles are theoretically
+  // impossible with exact predicates, but stay safe).
+  for (size_t i = 0; i < tris_.size(); ++i) {
+    if (!tris_[i].alive) continue;
+    const Tri& t = tris_[i];
+    bool inside = true;
+    for (int e = 0; e < 3 && inside; ++e) {
+      inside = Orient2D(points_[t.v[(e + 1) % 3]], points_[t.v[(e + 2) % 3]],
+                        p) >= 0.0;
+    }
+    if (inside) return static_cast<int32_t>(i);
+  }
+  MOVD_CHECK(false);  // point outside the super-quad
+  return -1;
+}
+
+bool Delaunay::InCavity(int32_t tri, const Point& p) const {
+  const Tri& t = tris_[tri];
+  return InCircle(points_[t.v[0]], points_[t.v[1]], points_[t.v[2]], p) > 0.0;
+}
+
+void Delaunay::Insert(int32_t pi) {
+  const Point& p = points_[pi];
+  const int32_t seed = Locate(p, last_created_);
+
+  // Grow the cavity: all triangles whose circumcircle strictly contains p.
+  std::vector<int32_t> cavity;
+  std::unordered_set<int32_t> in_cavity;
+  std::vector<int32_t> stack = {seed};
+  in_cavity.insert(seed);
+  while (!stack.empty()) {
+    const int32_t cur = stack.back();
+    stack.pop_back();
+    cavity.push_back(cur);
+    for (int i = 0; i < 3; ++i) {
+      const int32_t nb = tris_[cur].nb[i];
+      if (nb < 0 || in_cavity.count(nb)) continue;
+      if (InCavity(nb, p)) {
+        in_cavity.insert(nb);
+        stack.push_back(nb);
+      }
+    }
+  }
+
+  // Collect the boundary: directed edges (a, b) of cavity triangles whose
+  // across-neighbour is outside the cavity. Cavity interior lies to the
+  // left of each directed edge.
+  struct BoundaryEdge {
+    int32_t a, b;
+    int32_t outside;  // triangle across, or -1
+  };
+  std::vector<BoundaryEdge> boundary;
+  for (const int32_t ti : cavity) {
+    const Tri& t = tris_[ti];
+    for (int i = 0; i < 3; ++i) {
+      const int32_t nb = t.nb[i];
+      if (nb >= 0 && in_cavity.count(nb)) continue;
+      boundary.push_back({t.v[(i + 1) % 3], t.v[(i + 2) % 3], nb});
+    }
+  }
+
+  // Retriangulate the cavity as a fan around p.
+  std::unordered_map<int32_t, int32_t> tri_by_start;  // edge.a -> new tri id
+  std::vector<int32_t> new_ids;
+  new_ids.reserve(boundary.size());
+  // Reuse dead slots to curb growth.
+  size_t reuse_cursor = 0;
+  auto alloc = [&]() -> int32_t {
+    while (reuse_cursor < cavity.size()) {
+      const int32_t id = cavity[reuse_cursor++];
+      return id;
+    }
+    tris_.push_back({});
+    return static_cast<int32_t>(tris_.size() - 1);
+  };
+  for (const int32_t ti : cavity) tris_[ti].alive = false;
+
+  for (const BoundaryEdge& e : boundary) {
+    const int32_t id = alloc();
+    Tri& t = tris_[id];
+    t.v[0] = e.a;
+    t.v[1] = e.b;
+    t.v[2] = pi;
+    t.nb[0] = -1;  // edge (b, p): wired below
+    t.nb[1] = -1;  // edge (p, a): wired below
+    t.nb[2] = e.outside;
+    t.alive = true;
+    if (e.outside >= 0) {
+      Tri& o = tris_[e.outside];
+      // Find the edge of `outside` matching (b, a) and point it at us.
+      for (int i = 0; i < 3; ++i) {
+        if (o.v[(i + 1) % 3] == e.b && o.v[(i + 2) % 3] == e.a) {
+          o.nb[i] = id;
+          break;
+        }
+      }
+    }
+    tri_by_start[e.a] = id;
+    new_ids.push_back(id);
+  }
+  // Stitch the fan: triangle starting at a has edges (b,p) and (p,a).
+  for (const int32_t id : new_ids) {
+    Tri& t = tris_[id];
+    const int32_t a = t.v[0];
+    const int32_t b = t.v[1];
+    const auto next = tri_by_start.find(b);  // shares edge (b, p)
+    MOVD_DCHECK(next != tri_by_start.end());
+    t.nb[0] = next->second;
+    // The triangle sharing (p, a) is the one whose edge ends at a, i.e. the
+    // unique triangle T' with T'.v[1] == a; equivalently next_of[T'] == this.
+    // We wire it symmetrically from the other side: T'.nb[0] points here, so
+    // set our nb[1] when visiting as someone else's next.
+    tris_[next->second].nb[1] = id;
+    (void)a;
+  }
+  last_created_ = new_ids.empty() ? last_created_ : new_ids.back();
+  MOVD_DCHECK(!new_ids.empty());
+}
+
+std::vector<Delaunay::Triangle> Delaunay::Triangles() const {
+  std::vector<Triangle> out;
+  for (const Tri& t : tris_) {
+    if (!t.alive) continue;
+    Triangle tri;
+    for (int i = 0; i < 3; ++i) {
+      tri.v[i] = t.v[i];
+      tri.neighbor[i] = t.nb[i];
+    }
+    out.push_back(tri);
+  }
+  return out;
+}
+
+std::vector<int32_t> Delaunay::Neighbors(int32_t site) const {
+  std::unordered_set<int32_t> seen;
+  std::vector<int32_t> out;
+  for (const Tri& t : tris_) {
+    if (!t.alive) continue;
+    const int idx = IndexOf(t.v, site);
+    if (idx < 0) continue;
+    for (int i = 0; i < 3; ++i) {
+      const int32_t v = t.v[i];
+      if (v == site || v >= static_cast<int32_t>(num_real_)) continue;
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int32_t>> Delaunay::NeighborLists() const {
+  const auto real = static_cast<int32_t>(num_real_);
+  std::vector<std::vector<int32_t>> lists(num_real_);
+  const auto add = [&](int32_t a, int32_t b) {
+    if (a >= real || b >= real) return;
+    lists[a].push_back(b);
+  };
+  for (const Tri& t : tris_) {
+    if (!t.alive) continue;
+    // Record each directed edge once per incident triangle; duplicates
+    // (each interior edge appears in two triangles) are removed below.
+    add(t.v[0], t.v[1]);
+    add(t.v[1], t.v[2]);
+    add(t.v[2], t.v[0]);
+    add(t.v[1], t.v[0]);
+    add(t.v[2], t.v[1]);
+    add(t.v[0], t.v[2]);
+  }
+  for (auto& list : lists) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return lists;
+}
+
+bool Delaunay::VerifyDelaunay() const {
+  for (const Tri& t : tris_) {
+    if (!t.alive) continue;
+    bool synthetic = false;
+    for (int i = 0; i < 3; ++i) {
+      synthetic |= t.v[i] >= static_cast<int32_t>(num_real_);
+    }
+    if (synthetic) continue;
+    for (size_t p = 0; p < num_real_; ++p) {
+      if (IndexOf(t.v, static_cast<int32_t>(p)) >= 0) continue;
+      if (InCircle(points_[t.v[0]], points_[t.v[1]], points_[t.v[2]],
+                   points_[p]) > 0.0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace movd

@@ -1,0 +1,72 @@
+#ifndef MOVD_VORONOI_DELAUNAY_H_
+#define MOVD_VORONOI_DELAUNAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace movd {
+
+/// Incremental Delaunay triangulation (Bowyer–Watson with a far-away
+/// bounding super-quad, exact predicates, visibility-walk point location,
+/// Hilbert-order insertion).
+///
+/// Used as an independent substrate and as a cross-check for the kNN-based
+/// Voronoi cell builder (see voronoi.h): interior sites' Delaunay neighbour
+/// sets must match the sites cutting their Voronoi cells.
+class Delaunay {
+ public:
+  /// One triangle; vertex indices refer to points(); neighbor[i] is the
+  /// triangle across the edge opposite vertex i, or -1.
+  struct Triangle {
+    int32_t v[3];
+    int32_t neighbor[3];
+  };
+
+  /// Triangulates `points` (duplicates are collapsed). The four synthetic
+  /// super-quad vertices occupy indices n..n+3 of points().
+  explicit Delaunay(const std::vector<Point>& points);
+
+  /// All points, including the 4 synthetic bounding vertices at the end.
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Number of real (input, deduplicated) points.
+  size_t num_real_points() const { return num_real_; }
+
+  /// Triangles that survive (not removed by later insertions), including
+  /// those incident to synthetic vertices.
+  std::vector<Triangle> Triangles() const;
+
+  /// Indices of real points adjacent to real point `site` via a Delaunay
+  /// edge (synthetic vertices filtered out). Order unspecified.
+  std::vector<int32_t> Neighbors(int32_t site) const;
+
+  /// Adjacency lists for every real point in one O(T) pass; result[i] is
+  /// Neighbors(i) (order unspecified).
+  std::vector<std::vector<int32_t>> NeighborLists() const;
+
+  /// True when the triangulation satisfies the empty-circumcircle property
+  /// for every real triangle against every real point (O(T*N); tests only).
+  bool VerifyDelaunay() const;
+
+ private:
+  struct Tri {
+    int32_t v[3];
+    int32_t nb[3];
+    bool alive = true;
+  };
+
+  void Insert(int32_t pi);
+  int32_t Locate(const Point& p, int32_t hint) const;
+  bool InCavity(int32_t tri, const Point& p) const;
+
+  std::vector<Point> points_;
+  size_t num_real_ = 0;
+  std::vector<Tri> tris_;
+  int32_t last_created_ = 0;  // locate hint
+};
+
+}  // namespace movd
+
+#endif  // MOVD_VORONOI_DELAUNAY_H_

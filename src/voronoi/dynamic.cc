@@ -1,0 +1,151 @@
+#include "voronoi/dynamic.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "voronoi/voronoi.h"
+
+namespace movd {
+namespace {
+
+// Clips `cell` to the bisector half-plane of p against q (p's side).
+void ClipByBisector(ConvexPolygon* cell, const Point& p, const Point& q) {
+  const Point mid = (p + q) * 0.5;
+  const Point dir{-(q.y - p.y), q.x - p.x};
+  cell->ClipByHalfPlane(mid, mid + dir);
+}
+
+double MaxVertexDistance2(const ConvexPolygon& cell, const Point& p) {
+  double r2 = 0.0;
+  for (const Point& v : cell.vertices()) {
+    r2 = std::max(r2, Distance2(v, p));
+  }
+  return r2;
+}
+
+}  // namespace
+
+DynamicVoronoi::DynamicVoronoi(const Rect& bounds) : bounds_(bounds) {
+  MOVD_CHECK(!bounds.Empty());
+}
+
+DynamicVoronoi::DynamicVoronoi(const std::vector<Point>& sites,
+                               const Rect& bounds)
+    : DynamicVoronoi(bounds) {
+  const VoronoiDiagram vd = VoronoiDiagram::Build(sites, bounds);
+  sites_.reserve(vd.sites().size());
+  std::vector<RTree::Entry> entries;
+  for (size_t i = 0; i < vd.sites().size(); ++i) {
+    Site site;
+    site.location = vd.sites()[i];
+    site.cell = vd.cells()[i].region;
+    site.alive = true;
+    sites_.push_back(std::move(site));
+    entries.push_back({Rect::OfPoint(vd.sites()[i]),
+                       static_cast<int64_t>(i)});
+  }
+  index_ = RTree::BulkLoad(std::move(entries));
+  live_count_ = sites_.size();
+}
+
+ConvexPolygon DynamicVoronoi::ComputeCell(const Point& p,
+                                          int32_t self_id) const {
+  ConvexPolygon cell = ConvexPolygon::FromRect(bounds_);
+  RTree::NearestStream stream(index_, p);
+  double r2 = MaxVertexDistance2(cell, p);
+  RTree::Neighbor nb;
+  while (!cell.Empty() && stream.Next(&nb)) {
+    if (nb.id == self_id) continue;
+    if (nb.distance2 > 4.0 * r2) break;
+    ClipByBisector(&cell, p, sites_[nb.id].location);
+    r2 = MaxVertexDistance2(cell, p);
+  }
+  return cell;
+}
+
+std::optional<int32_t> DynamicVoronoi::InsertSite(const Point& p) {
+  // Reject exact duplicates (they would create an empty cell).
+  for (const int64_t id : index_.RangeQuery(Rect::OfPoint(p))) {
+    if (sites_[id].location == p) return std::nullopt;
+  }
+  const auto new_id = static_cast<int32_t>(sites_.size());
+  // Compute the new cell against the existing sites, then subtract it from
+  // every neighbour it overlaps: each affected cell just gains one
+  // bisector constraint.
+  ConvexPolygon cell = ComputeCell(p, new_id);
+  const Rect carve = cell.Bbox();
+  // Every cell overlapping the carved region gains exactly one bisector
+  // constraint. Candidates are selected by cell-box overlap (a superset);
+  // clipping an unaffected cell by the bisector is a no-op.
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    Site& site = sites_[i];
+    if (!site.alive || static_cast<int32_t>(i) == new_id) continue;
+    if (!site.cell.Bbox().Intersects(carve)) continue;
+    ClipByBisector(&site.cell, site.location, p);
+  }
+
+  Site site;
+  site.location = p;
+  site.cell = std::move(cell);
+  site.alive = true;
+  sites_.push_back(std::move(site));
+  index_.Insert({Rect::OfPoint(p), new_id});
+  ++live_count_;
+  return new_id;
+}
+
+bool DynamicVoronoi::RemoveSite(int32_t id) {
+  if (id < 0 || id >= static_cast<int32_t>(sites_.size()) ||
+      !sites_[id].alive) {
+    return false;
+  }
+  Site& victim = sites_[id];
+  const Rect vacated = victim.cell.Empty() ? Rect::OfPoint(victim.location)
+                                           : victim.cell.Bbox();
+  victim.alive = false;
+  victim.cell = ConvexPolygon();
+  MOVD_CHECK(index_.Remove({Rect::OfPoint(victim.location), id}));
+  --live_count_;
+
+  // Recompute every cell that could expand into the vacated region: the
+  // cells adjacent to it. Their new extent is bounded by their old extent
+  // plus the vacated cell, so candidates are exactly the live sites whose
+  // current cell box touches the vacated box.
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    Site& site = sites_[i];
+    if (!site.alive) continue;
+    if (!site.cell.Bbox().Intersects(vacated) &&
+        !(site.cell.Empty() && vacated.Contains(site.location))) {
+      continue;
+    }
+    site.cell = ComputeCell(site.location, static_cast<int32_t>(i));
+  }
+  return true;
+}
+
+std::optional<Point> DynamicVoronoi::SiteLocation(int32_t id) const {
+  if (id < 0 || id >= static_cast<int32_t>(sites_.size()) ||
+      !sites_[id].alive) {
+    return std::nullopt;
+  }
+  return sites_[id].location;
+}
+
+const ConvexPolygon* DynamicVoronoi::Cell(int32_t id) const {
+  if (id < 0 || id >= static_cast<int32_t>(sites_.size()) ||
+      !sites_[id].alive) {
+    return nullptr;
+  }
+  return &sites_[id].cell;
+}
+
+std::vector<int32_t> DynamicVoronoi::LiveSites() const {
+  std::vector<int32_t> out;
+  out.reserve(live_count_);
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].alive) out.push_back(static_cast<int32_t>(i));
+  }
+  return out;
+}
+
+}  // namespace movd

@@ -1,0 +1,70 @@
+#ifndef MOVD_VORONOI_DYNAMIC_H_
+#define MOVD_VORONOI_DYNAMIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+#include "index/rtree.h"
+
+namespace movd {
+
+/// A dynamically maintained ordinary Voronoi diagram (extension beyond the
+/// paper, supporting the "frequently updated databases" setting its related
+/// work discusses): sites can be inserted and removed with local cell
+/// recomputation instead of a full rebuild.
+///
+/// Insertion carves the new site's cell out of its neighbours (each
+/// affected cell is clipped by one bisector); removal recomputes the cells
+/// adjacent to the vacated region. Both operations touch O(local
+/// neighbourhood) sites. Cells are identical to a fresh
+/// VoronoiDiagram::Build over the live sites (verified by tests).
+class DynamicVoronoi {
+ public:
+  explicit DynamicVoronoi(const Rect& bounds);
+
+  /// Bulk constructor: equivalent to inserting every site (duplicates
+  /// collapsed), but built with the static builder.
+  DynamicVoronoi(const std::vector<Point>& sites, const Rect& bounds);
+
+  /// Inserts a site and returns its id, or nullopt if a site already
+  /// exists at exactly that location.
+  std::optional<int32_t> InsertSite(const Point& p);
+
+  /// Removes a site by id. Returns false for unknown/removed ids.
+  bool RemoveSite(int32_t id);
+
+  /// The site's location; nullopt for removed/unknown ids.
+  std::optional<Point> SiteLocation(int32_t id) const;
+
+  /// The site's current cell; nullptr for removed/unknown ids.
+  const ConvexPolygon* Cell(int32_t id) const;
+
+  /// Ids of all live sites, ascending.
+  std::vector<int32_t> LiveSites() const;
+
+  size_t size() const { return live_count_; }
+  const Rect& bounds() const { return bounds_; }
+
+ private:
+  struct Site {
+    Point location;
+    ConvexPolygon cell;
+    bool alive = false;
+  };
+
+  /// Recomputes one site's cell from scratch against the current index.
+  ConvexPolygon ComputeCell(const Point& p, int32_t self_id) const;
+
+  Rect bounds_;
+  std::vector<Site> sites_;
+  RTree index_;  // live sites, id = site index
+  size_t live_count_ = 0;
+};
+
+}  // namespace movd
+
+#endif  // MOVD_VORONOI_DYNAMIC_H_

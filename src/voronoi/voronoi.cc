@@ -1,0 +1,99 @@
+#include "voronoi/voronoi.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "index/rtree.h"
+#include "util/check.h"
+#include "voronoi/delaunay.h"
+
+namespace movd {
+namespace {
+
+// Clips `cell` to the half-plane of points at least as close to `p` as to
+// `q` (the perpendicular-bisector half-plane containing p).
+void ClipByBisector(ConvexPolygon* cell, const Point& p, const Point& q) {
+  const Point mid = (p + q) * 0.5;
+  const Point dir{-(q.y - p.y), q.x - p.x};  // bisector direction; p on left
+  cell->ClipByHalfPlane(mid, mid + dir);
+}
+
+// Squared circumradius of the cell around `p`.
+double MaxVertexDistance2(const ConvexPolygon& cell, const Point& p) {
+  double r2 = 0.0;
+  for (const Point& v : cell.vertices()) {
+    r2 = std::max(r2, Distance2(v, p));
+  }
+  return r2;
+}
+
+}  // namespace
+
+VoronoiDiagram VoronoiDiagram::Build(std::vector<Point> sites,
+                                     const Rect& bounds, Strategy strategy) {
+  std::sort(sites.begin(), sites.end(), LessXY);
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+
+  VoronoiDiagram vd;
+  vd.bounds_ = bounds;
+  vd.sites_ = std::move(sites);
+  vd.cells_.resize(vd.sites_.size());
+  if (vd.sites_.empty()) return vd;
+
+  if (strategy == Strategy::kDelaunay) {
+    // Delaunay route: a site's Voronoi cell is bounded exactly by the
+    // bisectors against its Delaunay neighbours.
+    const Delaunay dt(vd.sites_);
+    MOVD_CHECK(dt.num_real_points() == vd.sites_.size());
+    // The triangulation deduplicates and sorts with the same order as
+    // above, so indices line up.
+    const auto neighbors = dt.NeighborLists();
+    for (size_t i = 0; i < vd.sites_.size(); ++i) {
+      const Point& p = vd.sites_[i];
+      ConvexPolygon cell = ConvexPolygon::FromRect(bounds);
+      for (const int32_t nb : neighbors[i]) {
+        if (cell.Empty()) break;
+        ClipByBisector(&cell, p, dt.points()[nb]);
+      }
+      vd.cells_[i].site = static_cast<int32_t>(i);
+      vd.cells_[i].region = std::move(cell);
+    }
+    return vd;
+  }
+
+  const RTree tree = RTree::BulkLoadPoints(vd.sites_);
+  for (size_t i = 0; i < vd.sites_.size(); ++i) {
+    const Point& p = vd.sites_[i];
+    ConvexPolygon cell = ConvexPolygon::FromRect(bounds);
+    RTree::NearestStream stream(tree, p);
+    double r2 = MaxVertexDistance2(cell, p);
+    RTree::Neighbor nb;
+    while (!cell.Empty() && stream.Next(&nb)) {
+      if (nb.id == static_cast<int64_t>(i)) continue;  // the site itself
+      // A site farther than twice the current circumradius cannot cut the
+      // cell: its bisector stays outside the disk containing the cell.
+      if (nb.distance2 > 4.0 * r2) break;
+      ClipByBisector(&cell, p, vd.sites_[nb.id]);
+      r2 = MaxVertexDistance2(cell, p);
+    }
+    vd.cells_[i].site = static_cast<int32_t>(i);
+    vd.cells_[i].region = std::move(cell);
+  }
+  return vd;
+}
+
+int32_t VoronoiDiagram::NearestSiteBrute(const Point& p) const {
+  MOVD_CHECK(!sites_.empty());
+  int32_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    const double d2 = Distance2(p, sites_[i]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int32_t>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace movd

@@ -1,0 +1,68 @@
+#ifndef MOVD_VORONOI_VORONOI_H_
+#define MOVD_VORONOI_VORONOI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+
+namespace movd {
+
+/// One cell of an ordinary Voronoi diagram, clipped to the search space.
+struct VoronoiCell {
+  int32_t site = -1;     ///< index into VoronoiDiagram::sites()
+  ConvexPolygon region;  ///< closed convex polygon; empty if the site's
+                         ///< dominance region misses the bounds entirely
+};
+
+/// An ordinary (unweighted) Voronoi diagram clipped to a rectangle.
+///
+/// Cells are built independently per site by incremental nearest-neighbour
+/// expansion over an R-tree: the cell starts as the full bounding rectangle
+/// and is clipped by the perpendicular bisector against each neighbour in
+/// ascending distance until the next neighbour is provably too far to cut
+/// (distance > 2x the cell's current circumradius around the site). This
+/// yields exactly the clipped Voronoi cell without requiring global hull
+/// bookkeeping, and is cross-checked against the Delaunay triangulation in
+/// tests.
+class VoronoiDiagram {
+ public:
+  /// Cell-construction strategy; both produce the same diagram and are
+  /// cross-validated against each other in tests.
+  enum class Strategy {
+    /// Independent per-site construction by incremental nearest-neighbour
+    /// expansion over an R-tree (the default; see the class comment).
+    kNearestNeighbor,
+    /// Bowyer–Watson Delaunay triangulation first, then each cell as the
+    /// bounds clipped by bisectors against the site's Delaunay neighbours.
+    kDelaunay,
+  };
+
+  /// Builds the diagram of `sites` (exact duplicates collapsed) clipped to
+  /// `bounds`. Average cost O(n log n).
+  static VoronoiDiagram Build(std::vector<Point> sites, const Rect& bounds,
+                              Strategy strategy = Strategy::kNearestNeighbor);
+
+  /// Deduplicated generator points; cells()[i].site indexes this vector.
+  const std::vector<Point>& sites() const { return sites_; }
+
+  /// One cell per site, in site order.
+  const std::vector<VoronoiCell>& cells() const { return cells_; }
+
+  const Rect& bounds() const { return bounds_; }
+
+  /// Index of the nearest site to `p` by linear scan (ties to the lowest
+  /// index). O(n); intended for tests and small inputs.
+  int32_t NearestSiteBrute(const Point& p) const;
+
+ private:
+  std::vector<Point> sites_;
+  std::vector<VoronoiCell> cells_;
+  Rect bounds_;
+};
+
+}  // namespace movd
+
+#endif  // MOVD_VORONOI_VORONOI_H_

@@ -1,0 +1,79 @@
+#include "voronoi/weighted.h"
+
+#include <limits>
+
+#include "geom/gridcontour.h"
+#include "geom/hull.h"
+#include "util/check.h"
+
+namespace movd {
+
+double WeightedSiteDistance(const Point& p, const WeightedSite& site) {
+  return site.multiplier * Distance(p, site.location) + site.offset;
+}
+
+std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
+    const std::vector<WeightedSite>& sites, const Rect& bounds,
+    int resolution) {
+  MOVD_CHECK(resolution > 0);
+  MOVD_CHECK(!bounds.Empty());
+  std::vector<WeightedCellApprox> cells(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    cells[i].site = static_cast<int32_t>(i);
+  }
+  if (sites.empty()) return cells;
+
+  const double step_x = bounds.Width() / resolution;
+  const double step_y = bounds.Height() / resolution;
+  std::vector<std::vector<Point>> samples(sites.size());
+  std::vector<int32_t> owner(static_cast<size_t>(resolution) * resolution);
+
+  for (int gy = 0; gy < resolution; ++gy) {
+    for (int gx = 0; gx < resolution; ++gx) {
+      const Point c{bounds.min_x + (gx + 0.5) * step_x,
+                    bounds.min_y + (gy + 0.5) * step_y};
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < sites.size(); ++i) {
+        const double d = WeightedSiteDistance(c, sites[i]);
+        if (d < best_d) {
+          best_d = d;
+          best = i;
+        }
+      }
+      samples[best].push_back(c);
+      owner[static_cast<size_t>(gy) * resolution + gx] =
+          static_cast<int32_t>(best);
+    }
+  }
+
+  std::vector<uint8_t> cell_mask(owner.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    WeightedCellApprox& cell = cells[i];
+    cell.sample_count = samples[i].size();
+    cell.empty = samples[i].empty();
+    if (cell.empty) continue;
+    Rect mbr;
+    for (const Point& p : samples[i]) mbr.Expand(p);
+    // Conservative cover: a dominated sample is the center of a grid cell.
+    cell.mbr = Rect(mbr.min_x - 0.5 * step_x, mbr.min_y - 0.5 * step_y,
+                    mbr.max_x + 0.5 * step_x, mbr.max_y + 0.5 * step_y);
+    const ConvexPolygon hull = ConvexHull(samples[i]);
+    if (!hull.Empty()) cell.hull = Polygon(hull.vertices());
+    // Tight conservative cover: one-cell-dilated outer contours of the
+    // dominated cells.
+    for (size_t c = 0; c < owner.size(); ++c) {
+      cell_mask[c] = owner[c] == static_cast<int32_t>(i) ? 1 : 0;
+    }
+    cell.cover = ExtractOuterContours(cell_mask, resolution, resolution,
+                                      bounds, /*dilate=*/true);
+    // The dilation can push the cover past the half-step MBR; keep the
+    // MBR a cover of both.
+    for (const Polygon& piece : cell.cover) {
+      cell.mbr.Expand(piece.Bbox());
+    }
+  }
+  return cells;
+}
+
+}  // namespace movd

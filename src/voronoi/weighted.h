@@ -1,0 +1,69 @@
+#ifndef MOVD_VORONOI_WEIGHTED_H_
+#define MOVD_VORONOI_WEIGHTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+
+namespace movd {
+
+/// A weighted Voronoi generator with an affine distance deformation:
+///   weighted_distance(q) = multiplier * d(q, location) + offset.
+/// This subsumes the two classic weighted Voronoi diagrams (paper §5.3,
+/// Fig. 5): multiplicative (multiplier = w, offset = 0, Apollonius-circle
+/// boundaries) and additive (multiplier = 1, offset = w, hyperbolic
+/// boundaries) — and the compositions of ς^t/ς^o the MOLQ engine produces.
+struct WeightedSite {
+  Point location;
+  double multiplier = 1.0;
+  double offset = 0.0;
+};
+
+/// Convenience constructors for the two classic diagrams.
+inline WeightedSite MultiplicativeSite(Point location, double weight) {
+  return {location, weight, 0.0};
+}
+inline WeightedSite AdditiveSite(Point location, double weight) {
+  return {location, 1.0, weight};
+}
+
+/// The weighted distance used for dominance tests.
+double WeightedSiteDistance(const Point& p, const WeightedSite& site);
+
+/// Grid-sampled approximation of one weighted Voronoi dominance region.
+///
+/// Weighted cells are bounded by circular/hyperbolic arcs, can be concave
+/// and even disconnected; the paper's MBRB approach (§5.3) is motivated by
+/// exactly this. The approximation provides what MBRB consumes — a
+/// *conservative* MBR covering every grid cell the generator dominates —
+/// plus a convex-hull polygon of the dominated samples for visualisation.
+/// `empty` marks generators that dominate no sample.
+struct WeightedCellApprox {
+  int32_t site = -1;
+  Rect mbr;
+  Polygon hull;
+  /// Tight conservative polygonal cover: outer contours of the dominated
+  /// grid cells, dilated by one grid step (possibly several components;
+  /// may be concave). Strictly covers the sampled dominance region, much
+  /// tighter than `mbr` — this is what the RRB pipeline uses for weighted
+  /// diagrams.
+  std::vector<Polygon> cover;
+  size_t sample_count = 0;
+  bool empty = true;
+};
+
+/// Approximates the weighted Voronoi diagram of `sites` in `bounds` by
+/// assigning each cell of a `resolution` x `resolution` grid to its
+/// dominating generator (ties to the lowest index). Each returned MBR is
+/// expanded by half a grid step so it covers the sampled dominance region
+/// conservatively. O(resolution^2 * n).
+std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
+    const std::vector<WeightedSite>& sites, const Rect& bounds,
+    int resolution);
+
+}  // namespace movd
+
+#endif  // MOVD_VORONOI_WEIGHTED_H_

@@ -1,0 +1,149 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "voronoi/delaunay.h"
+
+namespace movd {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  return pts;
+}
+
+// Counts real triangles (no synthetic vertex) and checks Euler-consistent
+// counts for points in general position: for n >= 3 points with h hull
+// vertices, #triangles = 2n - h - 2.
+size_t CountRealTriangles(const Delaunay& dt) {
+  size_t count = 0;
+  const auto real = static_cast<int32_t>(dt.num_real_points());
+  for (const auto& t : dt.Triangles()) {
+    if (t.v[0] < real && t.v[1] < real && t.v[2] < real) ++count;
+  }
+  return count;
+}
+
+TEST(DelaunayTest, TriangleOfThreePoints) {
+  const Delaunay dt({{0, 0}, {10, 0}, {5, 8}});
+  EXPECT_EQ(dt.num_real_points(), 3u);
+  EXPECT_EQ(CountRealTriangles(dt), 1u);
+  EXPECT_TRUE(dt.VerifyDelaunay());
+}
+
+TEST(DelaunayTest, DuplicatesCollapsed) {
+  const Delaunay dt({{0, 0}, {10, 0}, {5, 8}, {0, 0}, {10, 0}});
+  EXPECT_EQ(dt.num_real_points(), 3u);
+  EXPECT_TRUE(dt.VerifyDelaunay());
+}
+
+TEST(DelaunayTest, SquareHasTwoTriangles) {
+  const Delaunay dt({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(CountRealTriangles(dt), 2u);
+  EXPECT_TRUE(dt.VerifyDelaunay());
+}
+
+TEST(DelaunayTest, CollinearPointsProduceNoRealTriangles) {
+  const Delaunay dt({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(CountRealTriangles(dt), 0u);
+  EXPECT_TRUE(dt.VerifyDelaunay());
+}
+
+TEST(DelaunayTest, RegularGridIsDelaunay) {
+  // Cocircular quadruples everywhere: the hardest degenerate input.
+  std::vector<Point> pts;
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      pts.push_back({static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  const Delaunay dt(pts);
+  EXPECT_TRUE(dt.VerifyDelaunay());
+  EXPECT_EQ(CountRealTriangles(dt), 2u * 49u);  // 2 per grid cell
+}
+
+TEST(DelaunayTest, NeighborsAreSymmetric) {
+  const auto pts = RandomPoints(60, 41);
+  const Delaunay dt(pts);
+  const auto n = static_cast<int32_t>(dt.num_real_points());
+  for (int32_t i = 0; i < n; ++i) {
+    for (const int32_t j : dt.Neighbors(i)) {
+      const auto back = dt.Neighbors(j);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), i) != back.end())
+          << i << " -> " << j;
+    }
+  }
+}
+
+class DelaunayRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DelaunayRandomTest, EmptyCircumcircleHolds) {
+  const auto pts = RandomPoints(GetParam(), 42 + GetParam());
+  const Delaunay dt(pts);
+  EXPECT_EQ(dt.num_real_points(), pts.size());
+  EXPECT_TRUE(dt.VerifyDelaunay());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunayRandomTest,
+                         ::testing::Values(4, 10, 50, 200, 500));
+
+TEST(DelaunayTest, TriangleNeighborPointersAreMutual) {
+  const auto pts = RandomPoints(120, 44);
+  const Delaunay dt(pts);
+  const auto tris = dt.Triangles();
+  // Index triangles by their sorted vertex triple for reverse lookup.
+  for (size_t t = 0; t < tris.size(); ++t) {
+    for (int e = 0; e < 3; ++e) {
+      const int32_t nb = tris[t].neighbor[e];
+      if (nb < 0) continue;
+      // The neighbor field holds ids in the internal array; count how many
+      // listed triangles point back at a triangle sharing two vertices.
+      const int32_t a = tris[t].v[(e + 1) % 3];
+      const int32_t b = tris[t].v[(e + 2) % 3];
+      bool found = false;
+      for (const auto& other : tris) {
+        int shared = 0;
+        for (const int32_t v : other.v) shared += (v == a || v == b);
+        if (shared == 2 && &other != &tris[t]) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "edge of triangle " << t;
+    }
+  }
+}
+
+TEST(DelaunayTest, NeighborListsMatchPerSiteQueries) {
+  const auto pts = RandomPoints(80, 45);
+  const Delaunay dt(pts);
+  const auto lists = dt.NeighborLists();
+  ASSERT_EQ(lists.size(), dt.num_real_points());
+  for (int32_t i = 0; i < static_cast<int32_t>(lists.size()); ++i) {
+    auto single = dt.Neighbors(i);
+    std::sort(single.begin(), single.end());
+    EXPECT_EQ(lists[i], single) << "site " << i;
+  }
+}
+
+TEST(DelaunayTest, ClusteredPointsRemainValid) {
+  Rng rng(43);
+  std::vector<Point> pts;
+  for (int c = 0; c < 5; ++c) {
+    const Point center{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    for (int i = 0; i < 40; ++i) {
+      pts.push_back(
+          {center.x + rng.NextGaussian(), center.y + rng.NextGaussian()});
+    }
+  }
+  const Delaunay dt(pts);
+  EXPECT_TRUE(dt.VerifyDelaunay());
+}
+
+}  // namespace
+}  // namespace movd

@@ -1,0 +1,144 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "voronoi/dynamic.h"
+#include "voronoi/voronoi.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kBounds(0, 0, 100, 100);
+
+// Compares the dynamic diagram against a fresh static build over the same
+// live sites: same cells (matched by site location, compared by area and
+// containment of the static cell's centroid).
+void ExpectMatchesStaticBuild(const DynamicVoronoi& dyn) {
+  std::vector<Point> live;
+  for (const int32_t id : dyn.LiveSites()) {
+    live.push_back(*dyn.SiteLocation(id));
+  }
+  if (live.empty()) return;
+  const VoronoiDiagram vd = VoronoiDiagram::Build(live, kBounds);
+  ASSERT_EQ(vd.sites().size(), dyn.size());
+  for (size_t i = 0; i < vd.sites().size(); ++i) {
+    // Find the dynamic cell with this site location.
+    const ConvexPolygon* dyn_cell = nullptr;
+    for (const int32_t id : dyn.LiveSites()) {
+      if (*dyn.SiteLocation(id) == vd.sites()[i]) {
+        dyn_cell = dyn.Cell(id);
+        break;
+      }
+    }
+    ASSERT_NE(dyn_cell, nullptr);
+    EXPECT_NEAR(dyn_cell->Area(), vd.cells()[i].region.Area(),
+                1e-6 * std::max(1.0, vd.cells()[i].region.Area()));
+  }
+  // Live cells must tile the bounds.
+  double total = 0.0;
+  for (const int32_t id : dyn.LiveSites()) total += dyn.Cell(id)->Area();
+  EXPECT_NEAR(total, kBounds.Area(), 1e-5 * kBounds.Area());
+}
+
+TEST(DynamicVoronoiTest, FirstSiteOwnsEverything) {
+  DynamicVoronoi dyn(kBounds);
+  const auto id = dyn.InsertSite({50, 50});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_DOUBLE_EQ(dyn.Cell(*id)->Area(), kBounds.Area());
+}
+
+TEST(DynamicVoronoiTest, DuplicateInsertRejected) {
+  DynamicVoronoi dyn(kBounds);
+  ASSERT_TRUE(dyn.InsertSite({50, 50}).has_value());
+  EXPECT_FALSE(dyn.InsertSite({50, 50}).has_value());
+  EXPECT_EQ(dyn.size(), 1u);
+}
+
+TEST(DynamicVoronoiTest, InsertSplitsSpace) {
+  DynamicVoronoi dyn(kBounds);
+  const auto a = dyn.InsertSite({25, 50});
+  const auto b = dyn.InsertSite({75, 50});
+  ASSERT_TRUE(a && b);
+  EXPECT_DOUBLE_EQ(dyn.Cell(*a)->Area(), 5000.0);
+  EXPECT_DOUBLE_EQ(dyn.Cell(*b)->Area(), 5000.0);
+  ExpectMatchesStaticBuild(dyn);
+}
+
+TEST(DynamicVoronoiTest, RemoveGivesSpaceBack) {
+  DynamicVoronoi dyn(kBounds);
+  const auto a = dyn.InsertSite({25, 50});
+  const auto b = dyn.InsertSite({75, 50});
+  ASSERT_TRUE(a && b);
+  ASSERT_TRUE(dyn.RemoveSite(*b));
+  EXPECT_EQ(dyn.size(), 1u);
+  EXPECT_DOUBLE_EQ(dyn.Cell(*a)->Area(), kBounds.Area());
+  EXPECT_FALSE(dyn.RemoveSite(*b));  // already gone
+  EXPECT_EQ(dyn.Cell(*b), nullptr);
+}
+
+TEST(DynamicVoronoiTest, BulkConstructorMatchesStatic) {
+  Rng rng(601);
+  std::vector<Point> sites;
+  for (int i = 0; i < 50; ++i) {
+    sites.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  const DynamicVoronoi dyn(sites, kBounds);
+  EXPECT_EQ(dyn.size(), 50u);
+  ExpectMatchesStaticBuild(dyn);
+}
+
+TEST(DynamicVoronoiTest, IncrementalInsertsMatchStaticBuild) {
+  Rng rng(602);
+  DynamicVoronoi dyn(kBounds);
+  for (int i = 0; i < 60; ++i) {
+    dyn.InsertSite({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    if (i % 15 == 14) ExpectMatchesStaticBuild(dyn);
+  }
+  ExpectMatchesStaticBuild(dyn);
+}
+
+class DynamicChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicChurnTest, RandomChurnStaysConsistent) {
+  Rng rng(GetParam());
+  DynamicVoronoi dyn(kBounds);
+  std::vector<int32_t> live;
+  for (int step = 0; step < 150; ++step) {
+    if (live.empty() || rng.NextDouble() < 0.65) {
+      const auto id =
+          dyn.InsertSite({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+      if (id.has_value()) live.push_back(*id);
+    } else {
+      const size_t pick = rng.NextBelow(live.size());
+      ASSERT_TRUE(dyn.RemoveSite(live[pick]));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    if (step % 37 == 36) ExpectMatchesStaticBuild(dyn);
+  }
+  EXPECT_EQ(dyn.size(), live.size());
+  ExpectMatchesStaticBuild(dyn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicChurnTest,
+                         ::testing::Values(611, 612, 613));
+
+TEST(DynamicVoronoiTest, RemoveDownToEmpty) {
+  DynamicVoronoi dyn(kBounds);
+  std::vector<int32_t> ids;
+  Rng rng(614);
+  for (int i = 0; i < 20; ++i) {
+    const auto id =
+        dyn.InsertSite({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  for (const int32_t id : ids) {
+    ASSERT_TRUE(dyn.RemoveSite(id));
+  }
+  EXPECT_EQ(dyn.size(), 0u);
+  EXPECT_TRUE(dyn.LiveSites().empty());
+}
+
+}  // namespace
+}  // namespace movd

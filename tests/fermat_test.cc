@@ -1,0 +1,307 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fermat/batch.h"
+#include "fermat/fermat_weber.h"
+#include "geom/rect.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+std::vector<WeightedPoint> RandomProblem(size_t n, Rng* rng) {
+  std::vector<WeightedPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({{rng->Uniform(0, 10), rng->Uniform(0, 10)},
+                   rng->Uniform(0.1, 10.0)});
+  }
+  return pts;
+}
+
+// Reference: coarse-to-fine grid minimisation of the cost function.
+Point GridMinimize(const std::vector<WeightedPoint>& pts) {
+  Rect box;
+  for (const auto& p : pts) box.Expand(p.location);
+  box = Rect(box.min_x - 1, box.min_y - 1, box.max_x + 1, box.max_y + 1);
+  Point best = box.Center();
+  double best_cost = FermatWeberCost(pts, best);
+  double span = std::max(box.Width(), box.Height());
+  for (int round = 0; round < 12; ++round) {
+    for (int gx = -10; gx <= 10; ++gx) {
+      for (int gy = -10; gy <= 10; ++gy) {
+        const Point q{best.x + gx * span / 20.0, best.y + gy * span / 20.0};
+        const double c = FermatWeberCost(pts, q);
+        if (c < best_cost) {
+          best_cost = c;
+          best = q;
+        }
+      }
+    }
+    span /= 8.0;
+  }
+  return best;
+}
+
+TEST(FermatWeberCostTest, SinglePoint) {
+  const std::vector<WeightedPoint> pts = {{{3, 4}, 2.0}};
+  EXPECT_DOUBLE_EQ(FermatWeberCost(pts, {0, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(FermatWeberCost(pts, {3, 4}), 0.0);
+}
+
+TEST(LowerBoundTest, NeverExceedsOptimalCost) {
+  Rng rng(61);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pts = RandomProblem(3 + rng.NextBelow(6), &rng);
+    const Point opt = GridMinimize(pts);
+    const double opt_cost = FermatWeberCost(pts, opt);
+    for (int probe = 0; probe < 10; ++probe) {
+      const Point at{rng.Uniform(-2, 12), rng.Uniform(-2, 12)};
+      EXPECT_LE(FermatWeberLowerBound(pts, at), opt_cost * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(LowerBoundTest, TightAtTheOptimum) {
+  Rng rng(62);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pts = RandomProblem(5, &rng);
+    FermatWeberOptions opts;
+    opts.epsilon = 1e-12;
+    const auto r = SolveFermatWeber(pts, opts);
+    const double lb = FermatWeberLowerBound(pts, r.location);
+    // Eq. 10 is asymptotically tight: at the optimum the per-axis weighted
+    // medians reproduce the full cost.
+    EXPECT_NEAR(lb, r.cost, 1e-6 * r.cost);
+  }
+}
+
+TEST(CollinearTest, WeightedMedianOnALine) {
+  const std::vector<WeightedPoint> pts = {
+      {{0, 0}, 1.0}, {{1, 1}, 1.0}, {{2, 2}, 5.0}, {{3, 3}, 1.0}};
+  const auto r = SolveCollinear(pts);
+  ASSERT_TRUE(r.has_value());
+  // The heavy point dominates: optimum at (2, 2).
+  EXPECT_NEAR(r->x, 2.0, 1e-12);
+  EXPECT_NEAR(r->y, 2.0, 1e-12);
+}
+
+TEST(CollinearTest, VerticalLine) {
+  const std::vector<WeightedPoint> pts = {
+      {{5, 0}, 1.0}, {{5, 4}, 1.0}, {{5, 10}, 1.0}};
+  const auto r = SolveCollinear(pts);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x, 5.0, 1e-12);
+  EXPECT_NEAR(r->y, 4.0, 1e-12);  // median of three
+}
+
+TEST(CollinearTest, RejectsNonCollinear) {
+  const std::vector<WeightedPoint> pts = {
+      {{0, 0}, 1.0}, {{1, 0}, 1.0}, {{0, 1}, 1.0}};
+  EXPECT_FALSE(SolveCollinear(pts).has_value());
+}
+
+TEST(CollinearTest, AllPointsIdentical) {
+  const std::vector<WeightedPoint> pts = {{{2, 3}, 1.0}, {{2, 3}, 7.0}};
+  const auto r = SolveCollinear(pts);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, Point(2, 3));
+}
+
+TEST(TorricelliTest, EquilateralTriangleCentroid) {
+  const Point a{0, 0}, b{1, 0}, c{0.5, std::sqrt(3.0) / 2.0};
+  const Point t = TorricelliPoint(a, b, c);
+  EXPECT_NEAR(t.x, 0.5, 1e-12);
+  EXPECT_NEAR(t.y, std::sqrt(3.0) / 6.0, 1e-12);
+}
+
+TEST(TorricelliTest, MatchesIterativeSolution) {
+  Rng rng(63);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Sample triangles, skipping those with an angle >= 120 degrees (the
+    // construction requires an interior optimum).
+    const Point a{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Point b{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Point c{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const std::vector<WeightedPoint> pts = {{a, 1.0}, {b, 1.0}, {c, 1.0}};
+    bool vertex_optimal = false;
+    for (int j = 0; j < 3; ++j) {
+      Point pull{0, 0};
+      for (int i = 0; i < 3; ++i) {
+        if (i == j) continue;
+        const Point diff = pts[i].location - pts[j].location;
+        const double d = diff.Norm();
+        if (d < 1e-9) vertex_optimal = true;
+        if (d > 0) pull = pull + diff * (1.0 / d);
+      }
+      if (pull.Norm() <= 1.0 + 1e-9) vertex_optimal = true;
+    }
+    if (vertex_optimal) continue;
+    const Point t = TorricelliPoint(a, b, c);
+    FermatWeberOptions opts;
+    opts.epsilon = 1e-12;
+    opts.use_exact_special_cases = false;
+    const auto r = SolveFermatWeber(pts, opts);
+    EXPECT_NEAR(FermatWeberCost(pts, t), FermatWeberCost(pts, r.location),
+                1e-7 * FermatWeberCost(pts, t));
+  }
+}
+
+TEST(SolveTriangleTest, ObtuseVertexWins) {
+  // Angle at a is far beyond 120 degrees: the optimum is the vertex a.
+  const std::vector<WeightedPoint> pts = {
+      {{0, 0}, 1.0}, {{10, 0.5}, 1.0}, {{-10, 0.5}, 1.0}};
+  EXPECT_EQ(SolveTriangle(pts), Point(0, 0));
+}
+
+TEST(SolveTriangleTest, HeavyVertexWins) {
+  const std::vector<WeightedPoint> pts = {
+      {{0, 0}, 10.0}, {{1, 0}, 1.0}, {{0, 1}, 1.0}};
+  EXPECT_EQ(SolveTriangle(pts), Point(0, 0));
+}
+
+class WeiszfeldConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(WeiszfeldConvergenceTest, ConvergesToGridOptimum) {
+  const auto [n, epsilon] = GetParam();
+  Rng rng(64 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pts = RandomProblem(n, &rng);
+    FermatWeberOptions opts;
+    opts.epsilon = epsilon;
+    const auto r = SolveFermatWeber(pts, opts);
+    EXPECT_TRUE(r.converged);
+    const double reference = FermatWeberCost(pts, GridMinimize(pts));
+    // The stopping rule guarantees cost <= (1 + eps) * optimum.
+    EXPECT_LE(r.cost, (1.0 + epsilon) * reference + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndEpsilons, WeiszfeldConvergenceTest,
+    ::testing::Combine(::testing::Values<size_t>(4, 5, 8, 16),
+                       ::testing::Values(1e-2, 1e-3, 1e-5)));
+
+TEST(WeiszfeldTest, IterateLandingOnDemandPointEscapes) {
+  // Centroid of this configuration coincides with a (non-optimal) demand
+  // point; the Vardi–Zhang step must escape it.
+  const std::vector<WeightedPoint> pts = {{{0, 0}, 1.0},
+                                          {{4, 0}, 1.0},
+                                          {{-4, 0}, 1.0},
+                                          {{0, 4}, 1.0},
+                                          {{0, -4}, 1.0}};
+  FermatWeberOptions opts;
+  opts.epsilon = 1e-10;
+  const auto r = SolveFermatWeber(pts, opts);
+  // (0, 0) is actually optimal here (symmetric); verify the vertex case.
+  EXPECT_NEAR(r.location.x, 0.0, 1e-9);
+  EXPECT_NEAR(r.location.y, 0.0, 1e-9);
+  // Now make it non-optimal by moving weight off-center.
+  const std::vector<WeightedPoint> pts2 = {{{0, 0}, 0.1},
+                                           {{4, 0}, 5.0},
+                                           {{-4, 0}, 1.0},
+                                           {{0, 4}, 1.0},
+                                           {{0, -4}, 1.0}};
+  const auto r2 = SolveFermatWeber(pts2, opts);
+  EXPECT_GT(r2.location.x, 0.5);  // dragged toward the heavy point
+}
+
+TEST(RelaxationTest, AcceleratedSolveFindsSameOptimum) {
+  Rng rng(69);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto pts = RandomProblem(6, &rng);
+    FermatWeberOptions plain;
+    plain.epsilon = 1e-8;
+    FermatWeberOptions fast = plain;
+    fast.relaxation = 1.8;
+    const auto a = SolveFermatWeber(pts, plain);
+    const auto b = SolveFermatWeber(pts, fast);
+    EXPECT_NEAR(a.cost, b.cost, 1e-6 * a.cost);
+  }
+}
+
+TEST(RelaxationTest, AcceleratedSolveUsesFewerIterationsOnAverage) {
+  Rng rng(70);
+  uint64_t plain_iters = 0, fast_iters = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pts = RandomProblem(8, &rng);
+    FermatWeberOptions plain;
+    plain.epsilon = 1e-9;
+    FermatWeberOptions fast = plain;
+    fast.relaxation = 1.8;
+    plain_iters += SolveFermatWeber(pts, plain).iterations;
+    fast_iters += SolveFermatWeber(pts, fast).iterations;
+  }
+  EXPECT_LT(fast_iters, plain_iters);
+}
+
+TEST(CostBoundTest, PrunesWhenBoundUnbeatable) {
+  Rng rng(65);
+  const auto pts = RandomProblem(6, &rng);
+  FermatWeberOptions opts;
+  opts.cost_bound = 0.0;  // nothing can beat a zero bound
+  const auto r = SolveFermatWeber(pts, opts);
+  EXPECT_TRUE(r.pruned);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(CostBoundTest, DoesNotPruneTheActualWinner) {
+  Rng rng(66);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pts = RandomProblem(5, &rng);
+    FermatWeberOptions no_bound;
+    no_bound.epsilon = 1e-6;
+    const auto base = SolveFermatWeber(pts, no_bound);
+    FermatWeberOptions with_bound = no_bound;
+    with_bound.cost_bound = base.cost * 1.001;  // barely above the optimum
+    const auto r = SolveFermatWeber(pts, with_bound);
+    EXPECT_FALSE(r.pruned);
+    EXPECT_NEAR(r.cost, base.cost, 1e-3 * base.cost);
+  }
+}
+
+TEST(BatchTest, CostBoundMatchesOriginalWinner) {
+  Rng rng(67);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<WeightedPoint>> problems;
+    for (int i = 0; i < 50; ++i) problems.push_back(RandomProblem(5, &rng));
+    BatchOptions original;
+    original.use_cost_bound = false;
+    original.use_two_point_prefilter = false;
+    original.epsilon = 1e-4;
+    const auto base = SolveFermatWeberBatch(problems, original);
+    BatchOptions cb;
+    cb.epsilon = 1e-4;
+    const auto fast = SolveFermatWeberBatch(problems, cb);
+    // Same winner cost within stopping-rule slack.
+    EXPECT_NEAR(fast.cost, base.cost, 2e-4 * base.cost + 1e-9);
+    // And strictly less work.
+    EXPECT_LE(fast.total_iterations, base.total_iterations);
+  }
+}
+
+TEST(BatchTest, PrefilterOnlySkipsLosers) {
+  Rng rng(68);
+  std::vector<std::vector<WeightedPoint>> problems;
+  for (int i = 0; i < 100; ++i) problems.push_back(RandomProblem(6, &rng));
+  BatchOptions opts;
+  const auto r = SolveFermatWeberBatch(problems, opts);
+  BatchOptions no_filter = opts;
+  no_filter.use_two_point_prefilter = false;
+  const auto r2 = SolveFermatWeberBatch(problems, no_filter);
+  EXPECT_EQ(r.winner, r2.winner);
+  EXPECT_NEAR(r.cost, r2.cost, 1e-12);
+}
+
+TEST(BatchTest, SingleProblemBatch) {
+  const std::vector<std::vector<WeightedPoint>> problems = {
+      {{{0, 0}, 1.0}, {{2, 0}, 1.0}, {{1, 2}, 1.0}}};
+  const auto r = SolveFermatWeberBatch(problems);
+  EXPECT_EQ(r.winner, 0u);
+  EXPECT_GT(r.cost, 0.0);
+}
+
+}  // namespace
+}  // namespace movd

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace movd {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -4.0};
+  EXPECT_EQ(a + b, Point(4.0, -2.0));
+  EXPECT_EQ(a - b, Point(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Point(1.5, -2.0));
+}
+
+TEST(PointTest, DotAndCross) {
+  const Point a{1.0, 0.0};
+  const Point b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.Cross(a), -1.0);
+}
+
+TEST(PointTest, DistanceMatchesPythagoras) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance2({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, LexicographicOrder) {
+  EXPECT_TRUE(LessXY({0, 5}, {1, 0}));
+  EXPECT_TRUE(LessXY({1, 0}, {1, 1}));
+  EXPECT_FALSE(LessXY({1, 1}, {1, 1}));
+}
+
+TEST(RectTest, EmptyByDefault) {
+  const Rect r;
+  EXPECT_TRUE(r.Empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_FALSE(r.Contains(Point{0, 0}));
+}
+
+TEST(RectTest, ExpandCoversPoints) {
+  Rect r;
+  r.Expand(Point{1, 2});
+  r.Expand(Point{-1, 5});
+  EXPECT_FALSE(r.Empty());
+  EXPECT_EQ(r, Rect(-1, 2, 1, 5));
+  EXPECT_TRUE(r.Contains(Point{0, 3}));
+  EXPECT_FALSE(r.Contains(Point{0, 1}));
+}
+
+TEST(RectTest, IntersectionCommutesAndClips) {
+  const Rect a(0, 0, 4, 4);
+  const Rect b(2, 1, 6, 3);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.Intersect(b), Rect(2, 1, 4, 3));
+  EXPECT_EQ(b.Intersect(a), Rect(2, 1, 4, 3));
+}
+
+TEST(RectTest, DisjointRectsDoNotIntersect) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(2, 2, 3, 3);
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_TRUE(a.Intersect(b).Empty());
+}
+
+TEST(RectTest, TouchingEdgesCountAsIntersecting) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(1, 0, 2, 1);
+  EXPECT_TRUE(a.Intersects(b));
+  const Rect i = a.Intersect(b);
+  EXPECT_FALSE(i.Empty());
+  EXPECT_DOUBLE_EQ(i.Area(), 0.0);
+}
+
+TEST(RectTest, EmptyAbsorbsUnderUnionAnnihilatesUnderIntersect) {
+  const Rect a(0, 0, 1, 1);
+  const Rect empty;
+  EXPECT_EQ(Rect::Union(a, empty), a);
+  EXPECT_FALSE(a.Intersects(empty));
+}
+
+TEST(RectTest, MinDistance2) {
+  const Rect r(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(r.MinDistance2(Point{1, 1}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(r.MinDistance2(Point{3, 1}), 1.0);   // right face
+  EXPECT_DOUBLE_EQ(r.MinDistance2(Point{3, 3}), 2.0);   // corner
+  EXPECT_DOUBLE_EQ(r.MinDistance2(Point{-2, 1}), 4.0);  // left face
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Rect(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect(5, 5, 11, 9)));
+  EXPECT_FALSE(outer.Contains(Rect()));
+}
+
+TEST(RectTest, CenterAndMargin) {
+  const Rect r(0, 0, 4, 2);
+  EXPECT_EQ(r.Center(), Point(2, 1));
+  EXPECT_DOUBLE_EQ(r.Margin(), 6.0);
+}
+
+}  // namespace
+}  // namespace movd

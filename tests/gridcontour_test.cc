@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "geom/gridcontour.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kUnit(0, 0, 8, 8);  // 8x8 world over an 8x8 grid: unit cells
+
+std::vector<uint8_t> EmptyMask() { return std::vector<uint8_t>(64, 0); }
+
+void Set(std::vector<uint8_t>* mask, int x, int y) {
+  (*mask)[y * 8 + x] = 1;
+}
+
+double TotalArea(const std::vector<Polygon>& polys) {
+  double a = 0.0;
+  for (const Polygon& p : polys) a += p.SignedArea();
+  return a;
+}
+
+TEST(GridContourTest, EmptyMaskYieldsNothing) {
+  EXPECT_TRUE(ExtractOuterContours(EmptyMask(), 8, 8, kUnit).empty());
+}
+
+TEST(GridContourTest, SingleCellIsAUnitSquare) {
+  auto mask = EmptyMask();
+  Set(&mask, 3, 4);
+  const auto polys = ExtractOuterContours(mask, 8, 8, kUnit);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_DOUBLE_EQ(polys[0].SignedArea(), 1.0);
+  EXPECT_EQ(polys[0].Bbox(), Rect(3, 4, 4, 5));
+  EXPECT_EQ(polys[0].vertices().size(), 4u);  // collinear runs merged
+}
+
+TEST(GridContourTest, RectangleBlockMergesCollinearEdges) {
+  auto mask = EmptyMask();
+  for (int y = 2; y < 6; ++y) {
+    for (int x = 1; x < 7; ++x) Set(&mask, x, y);
+  }
+  const auto polys = ExtractOuterContours(mask, 8, 8, kUnit);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_DOUBLE_EQ(polys[0].SignedArea(), 24.0);
+  EXPECT_EQ(polys[0].vertices().size(), 4u);
+}
+
+TEST(GridContourTest, LShapeHasSixCorners) {
+  auto mask = EmptyMask();
+  for (int x = 0; x < 4; ++x) Set(&mask, x, 0);
+  for (int y = 0; y < 4; ++y) Set(&mask, 0, y);
+  const auto polys = ExtractOuterContours(mask, 8, 8, kUnit);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_DOUBLE_EQ(polys[0].SignedArea(), 7.0);
+  EXPECT_EQ(polys[0].vertices().size(), 6u);
+}
+
+TEST(GridContourTest, TwoComponentsTwoPolygons) {
+  auto mask = EmptyMask();
+  Set(&mask, 0, 0);
+  Set(&mask, 7, 7);
+  const auto polys = ExtractOuterContours(mask, 8, 8, kUnit);
+  EXPECT_EQ(polys.size(), 2u);
+  EXPECT_DOUBLE_EQ(TotalArea(polys), 2.0);
+}
+
+TEST(GridContourTest, DonutHoleIsAbsorbed) {
+  auto mask = EmptyMask();
+  for (int y = 1; y < 6; ++y) {
+    for (int x = 1; x < 6; ++x) Set(&mask, x, y);
+  }
+  (*&mask)[3 * 8 + 3] = 0;  // hole in the middle
+  const auto polys = ExtractOuterContours(mask, 8, 8, kUnit);
+  ASSERT_EQ(polys.size(), 1u);
+  // The outer ring covers the hole: area of the full 5x5 block.
+  EXPECT_DOUBLE_EQ(polys[0].SignedArea(), 25.0);
+  EXPECT_TRUE(polys[0].Contains({3.5, 3.5}));
+}
+
+TEST(GridContourTest, DilationGrowsCoverByOneCell) {
+  auto mask = EmptyMask();
+  Set(&mask, 4, 4);
+  const auto polys =
+      ExtractOuterContours(mask, 8, 8, kUnit, /*dilate=*/true);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_DOUBLE_EQ(polys[0].SignedArea(), 9.0);  // 3x3 block
+  EXPECT_EQ(polys[0].Bbox(), Rect(3, 3, 6, 6));
+}
+
+TEST(GridContourTest, DilationClampedAtGridBorder) {
+  auto mask = EmptyMask();
+  Set(&mask, 0, 0);
+  const auto polys =
+      ExtractOuterContours(mask, 8, 8, kUnit, /*dilate=*/true);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_DOUBLE_EQ(polys[0].SignedArea(), 4.0);  // 2x2 corner block
+}
+
+TEST(GridContourTest, DiagonalTouchSplitsWithoutDilation) {
+  auto mask = EmptyMask();
+  Set(&mask, 2, 2);
+  Set(&mask, 3, 3);
+  const auto raw = ExtractOuterContours(mask, 8, 8, kUnit);
+  EXPECT_DOUBLE_EQ(TotalArea(raw), 2.0);
+  // With dilation, the pair merges into one component.
+  const auto grown = ExtractOuterContours(mask, 8, 8, kUnit, true);
+  ASSERT_GE(grown.size(), 1u);
+  EXPECT_GT(TotalArea(grown), 10.0);
+}
+
+TEST(GridContourTest, RandomMasksConserveAreaAndCoverage) {
+  Rng rng(1001);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint8_t> mask(64, 0);
+    int cells = 0;
+    for (auto& c : mask) {
+      c = rng.NextDouble() < 0.4 ? 1 : 0;
+      cells += c;
+    }
+    const auto polys = ExtractOuterContours(mask, 8, 8, kUnit);
+    // Outer contours cover at least the occupied cells (holes only add).
+    EXPECT_GE(TotalArea(polys), static_cast<double>(cells) - 1e-9);
+    // Every occupied cell's center lies in some polygon.
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        if (!mask[y * 8 + x]) continue;
+        const Point center{x + 0.5, y + 0.5};
+        bool covered = false;
+        for (const Polygon& p : polys) covered = covered || p.Contains(center);
+        EXPECT_TRUE(covered) << "(" << x << "," << y << ") trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace movd

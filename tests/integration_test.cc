@@ -1,0 +1,122 @@
+// End-to-end integration: the CSV data path feeding the full query engine
+// (what examples/molq_cli does), all algorithms and extensions agreeing on
+// one realistic workload.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/molq.h"
+#include "core/topk.h"
+#include "core/weighted_distance.h"
+#include "data/csv.h"
+#include "data/generate.h"
+#include "storage/external_sort.h"
+#include "storage/movd_file.h"
+#include "storage/streaming_overlap.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kWorld(0, 0, 10000, 10000);
+
+std::string Tmp(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+MolqQuery LoadQueryViaCsv() {
+  // Generate three GeoNames-like layers, round-trip each through CSV, and
+  // assemble the query — the exact CLI data path.
+  MolqQuery query;
+  const char* classes[] = {"STM", "CH", "SCH"};
+  const double type_weights[] = {2.0, 1.0, 3.0};
+  for (int s = 0; s < 3; ++s) {
+    const auto points = SamplePoiClass(classes[s], 40, kWorld, 77 + s);
+    std::vector<SpatialObject> objects;
+    for (const Point& p : points) {
+      SpatialObject obj;
+      obj.location = p;
+      obj.type_weight = type_weights[s];
+      objects.push_back(obj);
+    }
+    const std::string path = Tmp(std::string("itest_") + classes[s] + ".csv");
+    EXPECT_TRUE(SaveObjectsCsv(path, objects));
+    const auto loaded = LoadObjectsCsv(path);
+    EXPECT_TRUE(loaded.has_value());
+    ObjectSet set;
+    set.name = classes[s];
+    set.objects = *loaded;
+    query.sets.push_back(std::move(set));
+    std::remove(path.c_str());
+  }
+  return query;
+}
+
+TEST(IntegrationTest, FullPipelineAgreesAcrossAllPaths) {
+  const MolqQuery query = LoadQueryViaCsv();
+
+  MolqOptions opts;
+  opts.epsilon = 1e-6;
+  opts.algorithm = MolqAlgorithm::kSsc;
+  const auto ssc = SolveMolq(query, kWorld, opts);
+
+  opts.algorithm = MolqAlgorithm::kRrb;
+  const auto rrb = SolveMolq(query, kWorld, opts);
+
+  opts.algorithm = MolqAlgorithm::kMbrb;
+  opts.dedup_combinations = true;
+  const auto mbrb = SolveMolq(query, kWorld, opts);
+
+  opts.algorithm = MolqAlgorithm::kRrb;
+  opts.use_overlap_pruning = true;
+  const auto pruned = SolveMolq(query, kWorld, opts);
+
+  const double tol = 1e-5 * ssc.cost + 1e-9;
+  EXPECT_NEAR(rrb.cost, ssc.cost, tol);
+  EXPECT_NEAR(mbrb.cost, ssc.cost, tol);
+  EXPECT_NEAR(pruned.cost, ssc.cost, tol);
+
+  // Top-1 of the top-k API matches too.
+  const auto topk = SolveMolqTopK(query, kWorld, 3, MolqOptions{});
+  ASSERT_GE(topk.size(), 1u);
+  EXPECT_NEAR(topk[0].cost, ssc.cost, 1e-3 * ssc.cost);
+
+  // The reported cost is a true MWGD value at the reported location.
+  EXPECT_NEAR(MinWeightedGroupDistance(query, rrb.location), rrb.cost, tol);
+}
+
+TEST(IntegrationTest, DiskPipelineMatchesInMemoryEndToEnd) {
+  const MolqQuery query = LoadQueryViaCsv();
+  // Build basic MOVDs, push two of them through disk (sort + streaming
+  // overlap), then overlap the third in memory and optimize.
+  std::vector<Movd> basic;
+  for (int32_t s = 0; s < 3; ++s) {
+    basic.push_back(BuildBasicMovd(query, s, kWorld, 128));
+  }
+  const std::string pa = Tmp("it_a.bin"), pb = Tmp("it_b.bin");
+  const std::string sa = Tmp("it_sa.bin"), sb = Tmp("it_sb.bin");
+  const std::string out = Tmp("it_out.bin");
+  ASSERT_TRUE(SaveMovd(pa, basic[0]));
+  ASSERT_TRUE(SaveMovd(pb, basic[1]));
+  ASSERT_TRUE(ExternalSortMovdFile(pa, sa, 8 << 10));
+  ASSERT_TRUE(ExternalSortMovdFile(pb, sb, 8 << 10));
+  ASSERT_TRUE(
+      StreamingOverlap(sa, sb, BoundaryMode::kRealRegion, out, nullptr));
+  const auto partial = LoadMovd(out);
+  ASSERT_TRUE(partial.has_value());
+  const Movd full = Overlap(*partial, basic[2], BoundaryMode::kRealRegion);
+
+  OptimizerOptions oopts;
+  oopts.epsilon = 1e-6;
+  const OptimizerResult via_disk = OptimizeMovd(query, full, oopts);
+
+  MolqOptions mopts;
+  mopts.epsilon = 1e-6;
+  const MolqResult direct = SolveMolq(query, kWorld, mopts);
+  EXPECT_NEAR(via_disk.cost, direct.cost, 1e-5 * direct.cost + 1e-9);
+  for (const auto& p : {pa, pb, sa, sb, out}) std::remove(p.c_str());
+}
+
+}  // namespace
+}  // namespace movd

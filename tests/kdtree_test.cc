@@ -1,0 +1,126 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "index/kdtree.h"
+#include "index/rtree.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  }
+  return pts;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  const KdTree tree = KdTree::Build({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Nearest({0, 0}, 5).empty());
+  EXPECT_TRUE(tree.RangeQuery(Rect(0, 0, 10, 10)).empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  const KdTree tree = KdTree::Build({{3, 4}});
+  const auto nn = tree.Nearest({0, 0}, 2);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 0);
+  EXPECT_DOUBLE_EQ(nn[0].distance2, 25.0);
+}
+
+class KdTreeSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KdTreeSweepTest, KnnMatchesBruteForce) {
+  const auto pts = RandomPoints(GetParam(), 501);
+  const KdTree tree = KdTree::Build(pts);
+  Rng rng(502);
+  for (int q = 0; q < 20; ++q) {
+    const Point query{rng.Uniform(-50, 1050), rng.Uniform(-50, 1050)};
+    const size_t k = 1 + rng.NextBelow(std::min<size_t>(pts.size(), 12));
+    const auto got = tree.Nearest(query, k);
+    ASSERT_EQ(got.size(), k);
+    std::vector<double> brute;
+    for (const Point& p : pts) brute.push_back(Distance2(query, p));
+    std::sort(brute.begin(), brute.end());
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_DOUBLE_EQ(got[i].distance2, brute[i]);
+    }
+  }
+}
+
+TEST_P(KdTreeSweepTest, RangeMatchesBruteForce) {
+  const auto pts = RandomPoints(GetParam(), 503);
+  const KdTree tree = KdTree::Build(pts);
+  Rng rng(504);
+  for (int q = 0; q < 20; ++q) {
+    const double x0 = rng.Uniform(0, 800), y0 = rng.Uniform(0, 800);
+    const Rect query(x0, y0, x0 + rng.Uniform(10, 400),
+                     y0 + rng.Uniform(10, 400));
+    auto got = tree.RangeQuery(query);
+    std::sort(got.begin(), got.end());
+    std::vector<int64_t> want;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (query.Contains(pts[i])) want.push_back(static_cast<int64_t>(i));
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeSweepTest,
+                         ::testing::Values(1, 7, 8, 9, 100, 2000));
+
+TEST(KdTreeTest, StreamEnumeratesAllInOrder) {
+  const auto pts = RandomPoints(700, 505);
+  const KdTree tree = KdTree::Build(pts);
+  KdTree::NearestStream stream(tree, {500, 500});
+  KdTree::Neighbor nb;
+  double prev = -1.0;
+  size_t count = 0;
+  while (stream.Next(&nb)) {
+    EXPECT_GE(nb.distance2, prev);
+    prev = nb.distance2;
+    ++count;
+  }
+  EXPECT_EQ(count, pts.size());
+}
+
+TEST(KdTreeTest, AgreesWithRTreeOnIdenticalQueries) {
+  const auto pts = RandomPoints(1500, 506);
+  const KdTree kd = KdTree::Build(pts);
+  const RTree rt = RTree::BulkLoadPoints(pts);
+  Rng rng(507);
+  for (int q = 0; q < 15; ++q) {
+    const Point query{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    const auto a = kd.Nearest(query, 10);
+    const auto b = rt.Nearest(query, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i].distance2, b[i].distance2);
+    }
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsAllReported) {
+  const std::vector<Point> pts(9, Point{5, 5});
+  const KdTree tree = KdTree::Build(pts);
+  EXPECT_EQ(tree.Nearest({5, 5}, 9).size(), 9u);
+  EXPECT_EQ(tree.RangeQuery(Rect(4, 4, 6, 6)).size(), 9u);
+}
+
+TEST(KdTreeTest, CollinearDegenerateInput) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 100; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const KdTree tree = KdTree::Build(pts);
+  const auto nn = tree.Nearest({50.4, 0}, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].id, 50);
+}
+
+}  // namespace
+}  // namespace movd

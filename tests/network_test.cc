@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "network/graph.h"
+#include "network/network_molq.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kBounds(0, 0, 100, 100);
+
+// A 3x3 grid network with unit spacing:
+//   6 7 8
+//   3 4 5
+//   0 1 2
+RoadNetwork GridNetwork() {
+  std::vector<Point> vertices;
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      vertices.push_back({static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  std::vector<RoadNetwork::Edge> edges;
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      const int32_t v = y * 3 + x;
+      if (x < 2) edges.push_back({v, v + 1, 0.0});
+      if (y < 2) edges.push_back({v, v + 3, 0.0});
+    }
+  }
+  return RoadNetwork(std::move(vertices), edges);
+}
+
+TEST(RoadNetworkTest, GridBasics) {
+  const RoadNetwork net = GridNetwork();
+  EXPECT_EQ(net.num_vertices(), 9u);
+  EXPECT_EQ(net.num_edges(), 12u);
+  EXPECT_TRUE(net.IsConnected());
+  EXPECT_EQ(net.NearestVertex({0.1, 0.2}), 0);
+  EXPECT_EQ(net.NearestVertex({1.9, 1.8}), 8);
+}
+
+TEST(RoadNetworkTest, SelfLoopsDropped) {
+  const RoadNetwork net({{0, 0}, {1, 0}}, {{0, 0, 0.0}, {0, 1, 0.0}});
+  EXPECT_EQ(net.num_edges(), 1u);
+}
+
+TEST(RoadNetworkTest, ExplicitLengthsRespected) {
+  const RoadNetwork net({{0, 0}, {1, 0}}, {{0, 1, 42.0}});
+  const auto dist = ShortestDistances(net, 0);
+  EXPECT_DOUBLE_EQ(dist[1], 42.0);
+}
+
+TEST(DijkstraTest, GridDistancesAreManhattan) {
+  const RoadNetwork net = GridNetwork();
+  const auto dist = ShortestDistances(net, 0);
+  // Unit grid: network distance == Manhattan distance from corner 0.
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      EXPECT_DOUBLE_EQ(dist[y * 3 + x], x + y);
+    }
+  }
+}
+
+TEST(DijkstraTest, DisconnectedVerticesUnreachable) {
+  const RoadNetwork net({{0, 0}, {1, 0}, {5, 5}}, {{0, 1, 0.0}});
+  EXPECT_FALSE(net.IsConnected());
+  const auto dist = ShortestDistances(net, 0);
+  EXPECT_EQ(dist[2], RoadNetwork::kUnreachable);
+}
+
+TEST(DijkstraTest, MultiSourceIsMinOfSingleSources) {
+  const RoadNetwork net = RandomRoadNetwork(150, kBounds, 0.5, 801);
+  ASSERT_TRUE(net.IsConnected());
+  const std::vector<int32_t> sources = {3, 77, 120};
+  const auto multi = NearestSourceDistances(net, sources);
+  std::vector<std::vector<double>> singles;
+  for (const int32_t s : sources) {
+    singles.push_back(ShortestDistances(net, s));
+  }
+  for (size_t v = 0; v < net.num_vertices(); ++v) {
+    double want = RoadNetwork::kUnreachable;
+    for (const auto& d : singles) want = std::min(want, d[v]);
+    EXPECT_DOUBLE_EQ(multi[v], want);
+  }
+}
+
+TEST(RandomRoadNetworkTest, AlwaysConnectedAndDeterministic) {
+  for (const double keep : {0.0001, 0.3, 1.0}) {
+    const RoadNetwork net = RandomRoadNetwork(200, kBounds, keep, 802);
+    EXPECT_TRUE(net.IsConnected()) << keep;
+    EXPECT_GE(net.num_edges(), net.num_vertices() - 1);  // spanning skeleton
+  }
+  const RoadNetwork a = RandomRoadNetwork(100, kBounds, 0.5, 803);
+  const RoadNetwork b = RandomRoadNetwork(100, kBounds, 0.5, 803);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(RandomRoadNetworkTest, FullFractionKeepsDelaunaySize) {
+  const RoadNetwork full = RandomRoadNetwork(100, kBounds, 1.0, 804);
+  const RoadNetwork sparse = RandomRoadNetwork(100, kBounds, 0.0001, 804);
+  EXPECT_GT(full.num_edges(), sparse.num_edges());
+}
+
+class NetworkMolqTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetworkMolqTest, FastSolverMatchesBruteForce) {
+  const RoadNetwork net = RandomRoadNetwork(120, kBounds, 0.4, GetParam());
+  Rng rng(GetParam() + 1);
+  std::vector<NetworkObjectSet> sets(3);
+  for (size_t s = 0; s < sets.size(); ++s) {
+    sets[s].type_weight = rng.Uniform(0.5, 5.0);
+    for (int i = 0; i < 4; ++i) {
+      sets[s].vertices.push_back(
+          static_cast<int32_t>(rng.NextBelow(net.num_vertices())));
+    }
+  }
+  const auto fast = SolveNetworkMolq(net, sets);
+  const auto brute = SolveNetworkMolqBruteForce(net, sets);
+  EXPECT_DOUBLE_EQ(fast.cost, brute.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkMolqTest,
+                         ::testing::Values(811, 812, 813, 814));
+
+TEST(NetworkMolqTest, ObjectVertexIsOptimalWhenAllTypesShareIt) {
+  const RoadNetwork net = GridNetwork();
+  std::vector<NetworkObjectSet> sets(3);
+  for (auto& set : sets) set.vertices = {4};  // all types at the center
+  const auto r = SolveNetworkMolq(net, sets);
+  EXPECT_EQ(r.vertex, 4);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(NetworkMolqTest, GridCenterBeatsCorners) {
+  const RoadNetwork net = GridNetwork();
+  // One object of each type at opposite corners: center minimises the sum.
+  std::vector<NetworkObjectSet> sets(2);
+  sets[0].vertices = {0};
+  sets[1].vertices = {8};
+  const auto r = SolveNetworkMolq(net, sets);
+  // Every vertex on a monotone 0->8 path costs 4; the answer must be one.
+  EXPECT_DOUBLE_EQ(r.cost, 4.0);
+}
+
+TEST(NetworkMolqTest, SnapQueryChecksPreconditions) {
+  const RoadNetwork net = GridNetwork();
+  MolqQuery query;
+  ObjectSet set;
+  set.name = "school";
+  SpatialObject obj;
+  obj.location = {0.2, 0.1};
+  obj.type_weight = 2.0;
+  set.objects.push_back(obj);
+  obj.location = {1.8, 1.7};
+  set.objects.push_back(obj);
+  query.sets.push_back(set);
+  const auto snapped = SnapQueryToNetwork(net, query);
+  ASSERT_EQ(snapped.size(), 1u);
+  EXPECT_EQ(snapped[0].type_weight, 2.0);
+  EXPECT_EQ(snapped[0].vertices, (std::vector<int32_t>{0, 8}));
+}
+
+TEST(NetworkMolqTest, UnreachablePocketsNeverWin) {
+  // Two disconnected components; all objects live in component A. Every
+  // vertex of component B has infinite cost, so the optimum lands in A.
+  std::vector<Point> vertices = {{0, 0}, {1, 0}, {2, 0},   // A
+                                 {10, 10}, {11, 10}};      // B
+  std::vector<RoadNetwork::Edge> edges = {
+      {0, 1, 0.0}, {1, 2, 0.0}, {3, 4, 0.0}};
+  const RoadNetwork net(std::move(vertices), edges);
+  ASSERT_FALSE(net.IsConnected());
+  std::vector<NetworkObjectSet> sets(2);
+  sets[0].vertices = {0};
+  sets[1].vertices = {2};
+  const auto r = SolveNetworkMolq(net, sets);
+  EXPECT_LE(r.vertex, 2);  // somewhere in component A (all tie at 2.0)
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+}
+
+TEST(NetworkMolqTest, NetworkAnswerDiffersFromEuclideanOnSparseGraphs) {
+  // On a sparse network, detours matter: the network optimum's cost is at
+  // least the Euclidean-style straight-line bound.
+  const RoadNetwork net = RandomRoadNetwork(150, kBounds, 0.05, 815);
+  Rng rng(816);
+  std::vector<NetworkObjectSet> sets(2);
+  for (auto& set : sets) {
+    for (int i = 0; i < 3; ++i) {
+      set.vertices.push_back(
+          static_cast<int32_t>(rng.NextBelow(net.num_vertices())));
+    }
+  }
+  const auto r = SolveNetworkMolq(net, sets);
+  double euclid = 0.0;
+  const Point at = net.vertices()[r.vertex];
+  for (const auto& set : sets) {
+    double best = RoadNetwork::kUnreachable;
+    for (const int32_t v : set.vertices) {
+      best = std::min(best, Distance(at, net.vertices()[v]));
+    }
+    euclid += best;
+  }
+  EXPECT_GE(r.cost, euclid - 1e-9);
+}
+
+}  // namespace
+}  // namespace movd

@@ -1,0 +1,177 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/movd_model.h"
+#include "core/overlap.h"
+#include "util/rng.h"
+#include "voronoi/voronoi.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kBounds(0, 0, 100, 100);
+
+Movd RandomBasicMovd(size_t sites, int32_t set, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < sites; ++i) {
+    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  const auto vd = VoronoiDiagram::Build(pts, kBounds);
+  std::vector<int32_t> ids(vd.sites().size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
+  return MovdFromVoronoi(vd, set, ids);
+}
+
+// Canonical form for comparing MOVDs: (sorted pois, rounded mbr) pairs.
+std::vector<std::string> Canonicalize(const Movd& movd) {
+  std::vector<std::string> keys;
+  for (const Ovr& ovr : movd.ovrs) {
+    std::string k;
+    for (const PoiRef& p : ovr.pois) {
+      k += std::to_string(p.set) + ":" + std::to_string(p.object) + ";";
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "|%.6f,%.6f,%.6f,%.6f", ovr.mbr.min_x,
+                  ovr.mbr.min_y, ovr.mbr.max_x, ovr.mbr.max_y);
+    k += buf;
+    keys.push_back(std::move(k));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(OverlapTest, IdentityLeavesMovdUnchanged) {
+  const Movd m = RandomBasicMovd(10, 0, 71);
+  const Movd id = IdentityMovd(kBounds);
+  const Movd out = Overlap(m, id, BoundaryMode::kRealRegion);
+  EXPECT_EQ(out.ovrs.size(), m.ovrs.size());
+  double area = 0.0;
+  for (const Ovr& ovr : out.ovrs) area += ovr.region.Area();
+  EXPECT_NEAR(area, kBounds.Area(), 1e-6 * kBounds.Area());
+}
+
+TEST(OverlapTest, TwoBisectedHalvesGiveFourQuadrants) {
+  // MOVD A: left/right halves; MOVD B: bottom/top halves.
+  const auto va = VoronoiDiagram::Build({{25, 50}, {75, 50}}, kBounds);
+  const auto vb = VoronoiDiagram::Build({{50, 25}, {50, 75}}, kBounds);
+  const Movd a = MovdFromVoronoi(va, 0, {0, 1});
+  const Movd b = MovdFromVoronoi(vb, 1, {0, 1});
+  OverlapStats stats;
+  const Movd out = Overlap(a, b, BoundaryMode::kRealRegion, &stats);
+  EXPECT_EQ(out.ovrs.size(), 4u);
+  EXPECT_EQ(stats.output_ovrs, 4u);
+  for (const Ovr& ovr : out.ovrs) {
+    EXPECT_NEAR(ovr.region.Area(), 2500.0, 1e-9);
+    EXPECT_EQ(ovr.pois.size(), 2u);
+    EXPECT_EQ(ovr.pois[0].set, 0);
+    EXPECT_EQ(ovr.pois[1].set, 1);
+  }
+}
+
+class SweepVsBruteTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SweepVsBruteTest, RealRegionModeMatches) {
+  const Movd a = RandomBasicMovd(GetParam(), 0, 72 + GetParam());
+  const Movd b = RandomBasicMovd(GetParam() + 3, 1, 73 + GetParam());
+  const Movd sweep = Overlap(a, b, BoundaryMode::kRealRegion);
+  const Movd brute = OverlapBruteForce(a, b, BoundaryMode::kRealRegion);
+  EXPECT_EQ(Canonicalize(sweep), Canonicalize(brute));
+}
+
+TEST_P(SweepVsBruteTest, MbrModeMatches) {
+  const Movd a = RandomBasicMovd(GetParam(), 0, 74 + GetParam());
+  const Movd b = RandomBasicMovd(GetParam() + 5, 1, 75 + GetParam());
+  const Movd sweep = Overlap(a, b, BoundaryMode::kMbr);
+  const Movd brute = OverlapBruteForce(a, b, BoundaryMode::kMbr);
+  EXPECT_EQ(Canonicalize(sweep), Canonicalize(brute));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SweepVsBruteTest,
+                         ::testing::Values(2, 5, 10, 40, 120));
+
+TEST(OverlapTest, RrbOutputTilesTheBounds) {
+  const Movd a = RandomBasicMovd(20, 0, 76);
+  const Movd b = RandomBasicMovd(30, 1, 77);
+  const Movd out = Overlap(a, b, BoundaryMode::kRealRegion);
+  double area = 0.0;
+  for (const Ovr& ovr : out.ovrs) area += ovr.region.Area();
+  EXPECT_NEAR(area, kBounds.Area(), 1e-4 * kBounds.Area());
+}
+
+TEST(OverlapTest, MbrbProducesAtLeastAsManyOvrsAsRrb) {
+  const Movd a = RandomBasicMovd(25, 0, 78);
+  const Movd b = RandomBasicMovd(25, 1, 79);
+  const Movd rrb = Overlap(a, b, BoundaryMode::kRealRegion);
+  const Movd mbrb = Overlap(a, b, BoundaryMode::kMbr);
+  // MBR hits are a superset of real-region hits (false positives).
+  EXPECT_GE(mbrb.ovrs.size(), rrb.ovrs.size());
+}
+
+TEST(OverlapTest, MbrbMemorySmallerPerOvrThanRrb) {
+  const Movd a = RandomBasicMovd(40, 0, 80);
+  const Movd b = RandomBasicMovd(40, 1, 81);
+  const Movd rrb = Overlap(a, b, BoundaryMode::kRealRegion);
+  const Movd mbrb = Overlap(a, b, BoundaryMode::kMbr);
+  const double rrb_per =
+      static_cast<double>(rrb.MemoryBytes(BoundaryMode::kRealRegion)) /
+      rrb.ovrs.size();
+  const double mbrb_per =
+      static_cast<double>(mbrb.MemoryBytes(BoundaryMode::kMbr)) /
+      mbrb.ovrs.size();
+  // Fig. 13: an MBR is two points; real regions average > 4 vertices.
+  EXPECT_LT(mbrb_per, rrb_per);
+}
+
+TEST(OverlapTest, StatsCountersAreConsistent) {
+  const Movd a = RandomBasicMovd(15, 0, 82);
+  const Movd b = RandomBasicMovd(15, 1, 83);
+  OverlapStats stats;
+  const Movd out = Overlap(a, b, BoundaryMode::kRealRegion, &stats);
+  EXPECT_EQ(stats.events, 2 * (a.ovrs.size() + b.ovrs.size()));
+  EXPECT_EQ(stats.output_ovrs, out.ovrs.size());
+  EXPECT_GE(stats.candidate_pairs, stats.output_ovrs);
+  EXPECT_EQ(stats.region_intersections, stats.candidate_pairs);
+}
+
+TEST(OverlapTest, OverlapAllFoldsThreeDiagrams) {
+  const std::vector<Movd> inputs = {RandomBasicMovd(6, 0, 84),
+                                    RandomBasicMovd(6, 1, 85),
+                                    RandomBasicMovd(6, 2, 86)};
+  const Movd out = OverlapAll(inputs, BoundaryMode::kRealRegion);
+  for (const Ovr& ovr : out.ovrs) {
+    ASSERT_EQ(ovr.pois.size(), 3u);
+    EXPECT_EQ(ovr.pois[0].set, 0);
+    EXPECT_EQ(ovr.pois[1].set, 1);
+    EXPECT_EQ(ovr.pois[2].set, 2);
+  }
+  double area = 0.0;
+  for (const Ovr& ovr : out.ovrs) area += ovr.region.Area();
+  EXPECT_NEAR(area, kBounds.Area(), 1e-4 * kBounds.Area());
+}
+
+TEST(OverlapTest, TouchingMbrsPairInMbrMode) {
+  // Two OVRs sharing only a horizontal boundary line must still pair in
+  // MBR mode (closed-rectangle semantics).
+  Movd a, b;
+  Ovr oa;
+  oa.mbr = Rect(0, 0, 10, 5);
+  oa.region = Region::FromRect(oa.mbr);
+  oa.pois = {{0, 0}};
+  a.ovrs.push_back(oa);
+  Ovr ob;
+  ob.mbr = Rect(0, 5, 10, 10);  // touches a at y = 5
+  ob.region = Region::FromRect(ob.mbr);
+  ob.pois = {{1, 0}};
+  b.ovrs.push_back(ob);
+  const Movd out = Overlap(a, b, BoundaryMode::kMbr);
+  ASSERT_EQ(out.ovrs.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.ovrs[0].mbr.Area(), 0.0);
+  // In real-region mode the sliver is dropped.
+  const Movd out_rrb = Overlap(a, b, BoundaryMode::kRealRegion);
+  EXPECT_TRUE(out_rrb.ovrs.empty());
+}
+
+}  // namespace
+}  // namespace movd

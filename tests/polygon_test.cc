@@ -1,0 +1,237 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geom/hull.h"
+#include "geom/polygon.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+ConvexPolygon UnitSquare() {
+  return ConvexPolygon::FromRect(Rect(0, 0, 1, 1));
+}
+
+TEST(ConvexPolygonTest, FromRectBasics) {
+  const ConvexPolygon p = UnitSquare();
+  EXPECT_FALSE(p.Empty());
+  EXPECT_EQ(p.VertexCount(), 4u);
+  EXPECT_DOUBLE_EQ(p.Area(), 1.0);
+  EXPECT_EQ(p.Centroid(), Point(0.5, 0.5));
+  EXPECT_EQ(p.Bbox(), Rect(0, 0, 1, 1));
+}
+
+TEST(ConvexPolygonTest, EmptyFromEmptyRect) {
+  EXPECT_TRUE(ConvexPolygon::FromRect(Rect()).Empty());
+  EXPECT_DOUBLE_EQ(ConvexPolygon().Area(), 0.0);
+}
+
+TEST(ConvexPolygonTest, ContainsInteriorBoundaryExterior) {
+  const ConvexPolygon p = UnitSquare();
+  EXPECT_TRUE(p.Contains({0.5, 0.5}));
+  EXPECT_TRUE(p.Contains({0.0, 0.5}));  // boundary counts
+  EXPECT_TRUE(p.Contains({1.0, 1.0}));  // corner counts
+  EXPECT_FALSE(p.Contains({1.5, 0.5}));
+  EXPECT_FALSE(p.Contains({-0.1, -0.1}));
+}
+
+TEST(ConvexPolygonTest, HalfPlaneClipCutsSquareInHalf) {
+  ConvexPolygon p = UnitSquare();
+  // Keep the half-plane left of the upward vertical line x = 0.5.
+  p.ClipByHalfPlane({0.5, 0.0}, {0.5, 1.0});
+  EXPECT_DOUBLE_EQ(p.Area(), 0.5);
+  EXPECT_TRUE(p.Contains({0.25, 0.5}));
+  EXPECT_FALSE(p.Contains({0.75, 0.5}));
+}
+
+TEST(ConvexPolygonTest, ClipAwayEverything) {
+  ConvexPolygon p = UnitSquare();
+  // Keep left of the downward line at x = 2, i.e. the region x >= 2.
+  p.ClipByHalfPlane({2.0, 1.0}, {2.0, 0.0});
+  EXPECT_TRUE(p.Empty());
+}
+
+TEST(ConvexPolygonTest, ClipThatMissesLeavesPolygonIntact) {
+  ConvexPolygon p = UnitSquare();
+  p.ClipByHalfPlane({-1.0, 1.0}, {-1.0, 0.0});  // square entirely left
+  EXPECT_DOUBLE_EQ(p.Area(), 1.0);
+}
+
+TEST(ConvexPolygonTest, DiagonalClipProducesTriangle) {
+  ConvexPolygon p = UnitSquare();
+  p.ClipByHalfPlane({0.0, 0.0}, {1.0, 1.0});  // keep upper-left triangle
+  EXPECT_DOUBLE_EQ(p.Area(), 0.5);
+  EXPECT_EQ(p.VertexCount(), 3u);
+}
+
+TEST(ConvexPolygonTest, IntersectOverlappingSquares) {
+  const ConvexPolygon a = UnitSquare();
+  const ConvexPolygon b = ConvexPolygon::FromRect(Rect(0.5, 0.5, 1.5, 1.5));
+  const ConvexPolygon i = ConvexPolygon::Intersect(a, b);
+  EXPECT_DOUBLE_EQ(i.Area(), 0.25);
+  EXPECT_EQ(i.Bbox(), Rect(0.5, 0.5, 1.0, 1.0));
+}
+
+TEST(ConvexPolygonTest, IntersectDisjointIsEmpty) {
+  const ConvexPolygon a = UnitSquare();
+  const ConvexPolygon b = ConvexPolygon::FromRect(Rect(2, 2, 3, 3));
+  EXPECT_TRUE(ConvexPolygon::Intersect(a, b).Empty());
+}
+
+TEST(ConvexPolygonTest, IntersectContainedReturnsInner) {
+  const ConvexPolygon outer = ConvexPolygon::FromRect(Rect(-5, -5, 5, 5));
+  const ConvexPolygon inner = UnitSquare();
+  const ConvexPolygon i = ConvexPolygon::Intersect(outer, inner);
+  EXPECT_DOUBLE_EQ(i.Area(), 1.0);
+}
+
+TEST(ConvexPolygonTest, IntersectionAreaIsCommutative) {
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Rect ra(rng.Uniform(0, 5), rng.Uniform(0, 5), rng.Uniform(5, 10),
+                  rng.Uniform(5, 10));
+    const Rect rb(rng.Uniform(0, 5), rng.Uniform(0, 5), rng.Uniform(5, 10),
+                  rng.Uniform(5, 10));
+    ConvexPolygon a = ConvexPolygon::FromRect(ra);
+    ConvexPolygon b = ConvexPolygon::FromRect(rb);
+    // Cut corners to make them octagons.
+    a.ClipByHalfPlane({ra.min_x + 1, ra.min_y}, {ra.min_x, ra.min_y + 1});
+    b.ClipByHalfPlane({rb.max_x, rb.max_y - 1}, {rb.max_x - 1, rb.max_y});
+    const double ab = ConvexPolygon::Intersect(a, b).Area();
+    const double ba = ConvexPolygon::Intersect(b, a).Area();
+    EXPECT_NEAR(ab, ba, 1e-9 * std::max(1.0, ab));
+  }
+}
+
+TEST(ConvexPolygonTest, SliverDropping) {
+  ConvexPolygon p({{0, 0}, {1, 0}, {1, 1e-12}});
+  EXPECT_FALSE(p.Empty());
+  p.DropIfSliver(1e-9);
+  EXPECT_TRUE(p.Empty());
+}
+
+TEST(PolygonTest, OrientationNormalisedToCcw) {
+  const Polygon cw({{0, 0}, {0, 1}, {1, 1}, {1, 0}});  // given clockwise
+  EXPECT_GT(cw.SignedArea(), 0.0);                     // stored CCW
+  EXPECT_DOUBLE_EQ(cw.SignedArea(), 1.0);
+}
+
+TEST(PolygonTest, ConvexityDetection) {
+  EXPECT_TRUE(Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}).IsConvex());
+  // An L-shape is concave.
+  EXPECT_FALSE(
+      Polygon({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}}).IsConvex());
+}
+
+TEST(PolygonTest, ContainsForConcaveShape) {
+  const Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(l.Contains({0.5, 0.5}));
+  EXPECT_TRUE(l.Contains({1.5, 0.5}));
+  EXPECT_TRUE(l.Contains({0.5, 1.5}));
+  EXPECT_FALSE(l.Contains({1.5, 1.5}));  // the notch
+  EXPECT_TRUE(l.Contains({1.0, 1.0}));   // reflex corner on boundary
+}
+
+TEST(PolygonTest, TriangulatePreservesArea) {
+  const Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  const auto tris = l.Triangulate();
+  EXPECT_EQ(tris.size(), 4u);  // n - 2 triangles for a simple hexagon
+  double area = 0.0;
+  for (const ConvexPolygon& t : tris) area += t.Area();
+  EXPECT_NEAR(area, 3.0, 1e-12);
+}
+
+TEST(PolygonTest, TriangulateRandomStarShapes) {
+  Rng rng(22);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Star-shaped polygon: random radii at sorted angles around a center.
+    std::vector<Point> ring;
+    const int n = 6 + static_cast<int>(rng.NextBelow(10));
+    for (int i = 0; i < n; ++i) {
+      const double angle = 2.0 * M_PI * i / n;
+      const double radius = rng.Uniform(0.5, 2.0);
+      ring.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+    }
+    const Polygon poly(ring);
+    const auto tris = poly.Triangulate();
+    EXPECT_EQ(tris.size(), static_cast<size_t>(n - 2));
+    double area = 0.0;
+    for (const ConvexPolygon& t : tris) area += t.Area();
+    EXPECT_NEAR(area, poly.SignedArea(), 1e-9);
+  }
+}
+
+TEST(RegionTest, FromConvexAndContains) {
+  const Region r = Region::FromConvex(UnitSquare());
+  EXPECT_FALSE(r.Empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 1.0);
+  EXPECT_TRUE(r.Contains({0.5, 0.5}));
+  EXPECT_FALSE(r.Contains({2.0, 2.0}));
+}
+
+TEST(RegionTest, IntersectConvexPair) {
+  const Region a = Region::FromRect(Rect(0, 0, 2, 2));
+  const Region b = Region::FromRect(Rect(1, 1, 3, 3));
+  const Region i = Region::Intersect(a, b);
+  EXPECT_DOUBLE_EQ(i.Area(), 1.0);
+  EXPECT_EQ(i.Bbox(), Rect(1, 1, 2, 2));
+}
+
+TEST(RegionTest, IntersectWithConcaveRegion) {
+  // L-shape ∩ square covering the notch area only partially.
+  const Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  const Region rl = Region::FromPolygon(l);
+  EXPECT_NEAR(rl.Area(), 3.0, 1e-12);
+  const Region sq = Region::FromRect(Rect(0.5, 0.5, 1.5, 1.5));
+  const Region i = Region::Intersect(rl, sq);
+  // Square area 1.0 minus the quarter overlapping the notch.
+  EXPECT_NEAR(i.Area(), 0.75, 1e-9);
+}
+
+TEST(RegionTest, BoundaryOnlyOverlapIsDroppedAsSliver) {
+  const Region a = Region::FromRect(Rect(0, 0, 1, 1));
+  const Region b = Region::FromRect(Rect(1, 0, 2, 1));  // shares an edge
+  EXPECT_TRUE(Region::Intersect(a, b).Empty());
+}
+
+TEST(RegionTest, VertexCountSumsPieces) {
+  const Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  const Region r = Region::FromPolygon(l);
+  EXPECT_EQ(r.pieces().size(), 4u);
+  EXPECT_EQ(r.VertexCount(), 12u);  // 4 triangles
+}
+
+TEST(ConvexHullTest, SquareWithInteriorPoints) {
+  const ConvexPolygon hull = ConvexHull(
+      {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.8}});
+  EXPECT_EQ(hull.VertexCount(), 4u);
+  EXPECT_DOUBLE_EQ(hull.Area(), 1.0);
+}
+
+TEST(ConvexHullTest, CollinearInputIsEmpty) {
+  EXPECT_TRUE(ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}}).Empty());
+  EXPECT_TRUE(ConvexHull({{0, 0}, {1, 1}}).Empty());
+}
+
+TEST(ConvexHullTest, HullContainsAllInputPoints) {
+  Rng rng(23);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.NextGaussian(), rng.NextGaussian()});
+  }
+  const ConvexPolygon hull = ConvexHull(pts);
+  ASSERT_FALSE(hull.Empty());
+  for (const Point& p : pts) {
+    EXPECT_TRUE(hull.Contains(p));
+  }
+}
+
+TEST(ConvexHullTest, CollinearEdgePointsExcluded) {
+  const ConvexPolygon hull =
+      ConvexHull({{0, 0}, {2, 0}, {1, 0}, {2, 2}, {0, 2}, {1, 2}});
+  EXPECT_EQ(hull.VertexCount(), 4u);
+}
+
+}  // namespace
+}  // namespace movd

@@ -1,0 +1,171 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geom/expansion.h"
+#include "geom/predicates.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+TEST(ExpansionTest, TwoSumIsExact) {
+  double x, y;
+  expansion::TwoSum(1.0, 1e-30, &x, &y);
+  EXPECT_EQ(x, 1.0);
+  EXPECT_EQ(y, 1e-30);  // the residual carries the lost low-order part
+}
+
+TEST(ExpansionTest, TwoProductCapturesRoundoff) {
+  double x, y;
+  // (1 + 2^-30)^2 = 1 + 2^-29 + 2^-60; the last term falls off the double.
+  const double a = 1.0 + std::ldexp(1.0, -30);
+  expansion::TwoProduct(a, a, &x, &y);
+  EXPECT_EQ(x + y, x);  // y is strictly smaller than half an ulp of x...
+  EXPECT_NE(y, 0.0);    // ...but the exact residual is preserved
+}
+
+TEST(ExpansionTest, SumOfExpansionsPreservesValue) {
+  double e[2], f[2], h[4];
+  expansion::TwoSum(1.0, 1e-20, &e[1], &e[0]);
+  expansion::TwoSum(3.0, -1e-20, &f[1], &f[0]);
+  const int n = expansion::FastExpansionSumZeroelim(2, e, 2, f, h);
+  // Exact total is 4.0: the 1e-20 residuals cancel exactly.
+  EXPECT_EQ(expansion::Estimate(n, h), 4.0);
+}
+
+TEST(Orient2DTest, BasicSigns) {
+  EXPECT_GT(Orient2D({0, 0}, {1, 0}, {0, 1}), 0.0);  // left turn
+  EXPECT_LT(Orient2D({0, 0}, {1, 0}, {0, -1}), 0.0);  // right turn
+  EXPECT_EQ(Orient2D({0, 0}, {1, 1}, {2, 2}), 0.0);  // collinear
+}
+
+TEST(Orient2DTest, ExactlyDetectsNearCollinearPerturbations) {
+  // Points nearly on the line y = x, offset by one ulp: the fast filter
+  // cannot decide; the exact path must.
+  const double eps = std::ldexp(1.0, -52);
+  const Point a{0.5, 0.5};
+  const Point b{12.0, 12.0};
+  const Point on{3.0, 3.0};
+  const Point above{3.0, 3.0 * (1.0 + eps)};
+  const Point below{3.0, 3.0 * (1.0 - eps)};
+  EXPECT_EQ(Orient2D(a, b, on), 0.0);
+  EXPECT_GT(Orient2D(a, b, above), 0.0);
+  EXPECT_LT(Orient2D(a, b, below), 0.0);
+}
+
+TEST(Orient2DTest, AntiSymmetricUnderSwap) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Point a{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const Point b{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const Point c{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const double s1 = Orient2D(a, b, c);
+    const double s2 = Orient2D(b, a, c);
+    // Signs must be exactly opposite (or both zero).
+    EXPECT_EQ(s1 > 0, s2 < 0);
+    EXPECT_EQ(s1 == 0, s2 == 0);
+  }
+}
+
+TEST(Orient2DTest, InvariantUnderCyclicRotation) {
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const Point a{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const Point b{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const Point c{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const double s1 = Orient2D(a, b, c);
+    const double s2 = Orient2D(b, c, a);
+    const double s3 = Orient2D(c, a, b);
+    EXPECT_EQ(s1 > 0, s2 > 0);
+    EXPECT_EQ(s2 > 0, s3 > 0);
+    EXPECT_EQ(s1 == 0, s3 == 0);
+  }
+}
+
+TEST(InCircleTest, BasicInsideOutside) {
+  // CCW unit circle through (1,0), (0,1), (-1,0).
+  const Point a{1, 0}, b{0, 1}, c{-1, 0};
+  EXPECT_GT(InCircle(a, b, c, {0, 0}), 0.0);        // center: inside
+  EXPECT_LT(InCircle(a, b, c, {2, 0}), 0.0);        // far: outside
+  EXPECT_EQ(InCircle(a, b, c, {0, -1}), 0.0);       // on the circle
+}
+
+TEST(InCircleTest, ExactOnCocircularGrid) {
+  // All four corners of a square are cocircular: the determinant is a
+  // zero that the fast filter cannot certify.
+  const Point a{0, 0}, b{1, 0}, c{1, 1}, d{0, 1};
+  EXPECT_EQ(InCircle(a, b, c, d), 0.0);
+}
+
+TEST(InCircleTest, SignFlipsWithOrientation) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const Point a{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Point b{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Point c{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Point d{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    if (Orient2D(a, b, c) == 0.0) continue;
+    const double s_ccw = InCircle(a, b, c, d);
+    const double s_cw = InCircle(b, a, c, d);  // reversed orientation
+    EXPECT_EQ(s_ccw > 0, s_cw < 0);
+    EXPECT_EQ(s_ccw == 0, s_cw == 0);
+  }
+}
+
+TEST(InCircleTest, AgreesWithDistanceComparison) {
+  // For well-separated random inputs the naive circumcircle test and the
+  // exact predicate must agree.
+  Rng rng(10);
+  for (int i = 0; i < 200; ++i) {
+    const Point a{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Point b{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Point c{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const Point d{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const double orientation = Orient2D(a, b, c);
+    if (std::fabs(orientation) < 1e-3) continue;
+    // Circumcenter via perpendicular bisector intersection.
+    const double d_ab = a.Norm2() - b.Norm2();
+    const double d_ac = a.Norm2() - c.Norm2();
+    const double det = 2.0 * ((a.x - b.x) * (a.y - c.y) -
+                              (a.x - c.x) * (a.y - b.y));
+    const Point center{(d_ab * (a.y - c.y) - d_ac * (a.y - b.y)) / det,
+                       ((a.x - b.x) * d_ac - (a.x - c.x) * d_ab) / det};
+    const double r2 = Distance2(center, a);
+    const double gap = Distance2(center, d) - r2;
+    if (std::fabs(gap) < 1e-6 * r2) continue;  // too close to call naively
+    const double pred =
+        orientation > 0 ? InCircle(a, b, c, d) : InCircle(b, a, c, d);
+    EXPECT_EQ(gap < 0, pred > 0) << "iteration " << i;
+  }
+}
+
+// Parameterized sweep: scaling all coordinates by powers of two must not
+// change any predicate sign (binary scaling is exact).
+class PredicateScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredicateScaleTest, SignsScaleInvariant) {
+  const double s = std::ldexp(1.0, GetParam());
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Point a{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const Point b{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const Point c{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const Point d{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const auto scale = [s](const Point& p) { return Point{p.x * s, p.y * s}; };
+    const double o1 = Orient2D(a, b, c);
+    const double o2 = Orient2D(scale(a), scale(b), scale(c));
+    EXPECT_EQ(o1 > 0, o2 > 0);
+    EXPECT_EQ(o1 == 0, o2 == 0);
+    const double i1 = InCircle(a, b, c, d);
+    const double i2 = InCircle(scale(a), scale(b), scale(c), scale(d));
+    EXPECT_EQ(i1 > 0, i2 > 0);
+    EXPECT_EQ(i1 == 0, i2 == 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, PredicateScaleTest,
+                         ::testing::Values(-40, -20, -4, 0, 4, 20, 40));
+
+}  // namespace
+}  // namespace movd

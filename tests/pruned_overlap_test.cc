@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/grid_scan.h"
+#include "core/molq.h"
+#include "core/pruned_overlap.h"
+#include "core/weighted_distance.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kBounds(0, 0, 100, 100);
+
+MolqQuery RandomQuery(const std::vector<size_t>& sizes, uint64_t seed) {
+  Rng rng(seed);
+  MolqQuery query;
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    ObjectSet set;
+    set.name = "type" + std::to_string(s);
+    const double type_weight = rng.Uniform(0.5, 10.0);
+    for (size_t i = 0; i < sizes[s]; ++i) {
+      SpatialObject obj;
+      obj.location = {rng.Uniform(5, 95), rng.Uniform(5, 95)};
+      obj.type_weight = type_weight;
+      set.objects.push_back(obj);
+    }
+    query.sets.push_back(std::move(set));
+  }
+  return query;
+}
+
+TEST(SeedUpperBoundTest, UpperBoundsTheOptimum) {
+  const MolqQuery q = RandomQuery({6, 6, 6}, 301);
+  const double seed = SeedUpperBound(q, kBounds);
+  MolqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto exact = SolveMolq(q, kBounds, opts);
+  EXPECT_GE(seed, exact.cost);
+  // And it is a real MWGD value, so the fine grid scan can only be better
+  // or equal.
+  EXPECT_LE(GridScanMolq(q, kBounds, 40).cost, seed + 1e-9);
+}
+
+TEST(CombinationLowerBoundTest, NeverExceedsAnyLocationCost) {
+  const MolqQuery q = RandomQuery({4, 4, 4}, 302);
+  Rng rng(303);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PoiRef> pois;
+    for (int32_t s = 0; s < 3; ++s) {
+      pois.push_back({s, static_cast<int32_t>(rng.NextBelow(4))});
+    }
+    const double lb = CombinationLowerBound(q, pois);
+    for (int probe = 0; probe < 10; ++probe) {
+      const Point l{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      EXPECT_LE(lb, WeightedGroupDistance(q, l, pois) + 1e-9);
+    }
+  }
+}
+
+TEST(CombinationLowerBoundTest, MonotoneUnderExtension) {
+  // Adding a type to a combination can only raise the bound (this is what
+  // justifies pruning mid-chain).
+  const MolqQuery q = RandomQuery({4, 4, 4}, 304);
+  Rng rng(305);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<PoiRef> two = {{0, static_cast<int32_t>(rng.NextBelow(4))},
+                               {1, static_cast<int32_t>(rng.NextBelow(4))}};
+    std::vector<PoiRef> three = two;
+    three.push_back({2, static_cast<int32_t>(rng.NextBelow(4))});
+    EXPECT_LE(CombinationLowerBound(q, two),
+              CombinationLowerBound(q, three) + 1e-12);
+  }
+}
+
+class PrunedPipelineTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrunedPipelineTest, SameAnswerWithAndWithoutPruning) {
+  const MolqQuery q = RandomQuery({5, 5, 4}, GetParam());
+  MolqOptions base;
+  base.algorithm = MolqAlgorithm::kRrb;
+  base.epsilon = 1e-6;
+  const auto plain = SolveMolq(q, kBounds, base);
+  MolqOptions pruned = base;
+  pruned.use_overlap_pruning = true;
+  const auto fast = SolveMolq(q, kBounds, pruned);
+  EXPECT_NEAR(plain.cost, fast.cost, 1e-6 * plain.cost + 1e-9);
+  EXPECT_LE(fast.stats.final_ovrs, plain.stats.final_ovrs);
+
+  MolqOptions mbrb = pruned;
+  mbrb.algorithm = MolqAlgorithm::kMbrb;
+  const auto fast_mbrb = SolveMolq(q, kBounds, mbrb);
+  EXPECT_NEAR(plain.cost, fast_mbrb.cost, 1e-6 * plain.cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrunedPipelineTest,
+                         ::testing::Values(311, 312, 313, 314, 315));
+
+TEST(PrunedPipelineTest, ActuallyPrunesOnSpreadOutData) {
+  // Clustered, far-apart types make most cross-cluster combinations
+  // obviously hopeless.
+  MolqQuery q;
+  Rng rng(316);
+  for (int32_t s = 0; s < 3; ++s) {
+    ObjectSet set;
+    set.name = "t" + std::to_string(s);
+    for (int c = 0; c < 4; ++c) {  // four shared cluster centers
+      const Point center{12.5 + 25.0 * c, 12.5 + 25.0 * c};
+      for (int i = 0; i < 3; ++i) {
+        SpatialObject obj;
+        obj.location = {center.x + rng.Uniform(-3, 3),
+                        center.y + rng.Uniform(-3, 3)};
+        set.objects.push_back(obj);
+      }
+    }
+    q.sets.push_back(std::move(set));
+  }
+  MolqOptions opts;
+  opts.algorithm = MolqAlgorithm::kMbrb;
+  opts.use_overlap_pruning = true;
+  const auto r = SolveMolq(q, kBounds, opts);
+  EXPECT_GT(r.stats.pruned_ovrs, 0u);
+}
+
+}  // namespace
+}  // namespace movd

@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/rtree.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  }
+  return pts;
+}
+
+std::vector<int64_t> BruteRange(const std::vector<Point>& pts,
+                                const Rect& query) {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (query.Contains(pts[i])) out.push_back(static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  const RTree tree = RTree::BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.RangeQuery(Rect(0, 0, 10, 10)).empty());
+  EXPECT_TRUE(tree.Nearest({0, 0}, 3).empty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree = RTree::BulkLoadPoints({{5, 5}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.RangeQuery(Rect(0, 0, 10, 10)).size(), 1u);
+  const auto nn = tree.Nearest({0, 0}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 0);
+  EXPECT_DOUBLE_EQ(nn[0].distance2, 50.0);
+}
+
+// Parameterized over data-set size: bulk-loaded trees must answer range
+// and kNN queries exactly like brute force.
+class RTreeSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeSweepTest, RangeMatchesBruteForce) {
+  const auto pts = RandomPoints(GetParam(), 31);
+  const RTree tree = RTree::BulkLoadPoints(pts);
+  Rng rng(32);
+  for (int q = 0; q < 20; ++q) {
+    const double x0 = rng.Uniform(0, 900), y0 = rng.Uniform(0, 900);
+    const Rect query(x0, y0, x0 + rng.Uniform(10, 300),
+                     y0 + rng.Uniform(10, 300));
+    auto got = tree.RangeQuery(query);
+    auto want = BruteRange(pts, query);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(RTreeSweepTest, KnnMatchesBruteForce) {
+  const auto pts = RandomPoints(GetParam(), 33);
+  const RTree tree = RTree::BulkLoadPoints(pts);
+  Rng rng(34);
+  for (int q = 0; q < 20; ++q) {
+    const Point query{rng.Uniform(-100, 1100), rng.Uniform(-100, 1100)};
+    const size_t k = 1 + rng.NextBelow(std::min<size_t>(pts.size(), 16));
+    const auto got = tree.Nearest(query, k);
+    ASSERT_EQ(got.size(), k);
+    // Distances must be sorted and match brute-force order.
+    std::vector<double> brute;
+    for (const Point& p : pts) brute.push_back(Distance2(query, p));
+    std::sort(brute.begin(), brute.end());
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_DOUBLE_EQ(got[i].distance2, brute[i]);
+      if (i > 0) {
+        EXPECT_GE(got[i].distance2, got[i - 1].distance2);
+      }
+    }
+  }
+}
+
+TEST_P(RTreeSweepTest, InsertedTreeMatchesBruteForce) {
+  const auto pts = RandomPoints(GetParam(), 35);
+  RTree tree;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    tree.Insert({Rect::OfPoint(pts[i]), static_cast<int64_t>(i)});
+  }
+  EXPECT_EQ(tree.size(), pts.size());
+  Rng rng(36);
+  for (int q = 0; q < 10; ++q) {
+    const double x0 = rng.Uniform(0, 900), y0 = rng.Uniform(0, 900);
+    const Rect query(x0, y0, x0 + rng.Uniform(50, 400),
+                     y0 + rng.Uniform(50, 400));
+    auto got = tree.RangeQuery(query);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteRange(pts, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeSweepTest,
+                         ::testing::Values(1, 2, 15, 16, 17, 100, 1000, 5000));
+
+TEST(RTreeTest, NearestStreamEnumeratesAllInOrder) {
+  const auto pts = RandomPoints(500, 37);
+  const RTree tree = RTree::BulkLoadPoints(pts);
+  RTree::NearestStream stream(tree, {500, 500});
+  RTree::Neighbor nb;
+  double prev = -1.0;
+  size_t count = 0;
+  while (stream.Next(&nb)) {
+    EXPECT_GE(nb.distance2, prev);
+    prev = nb.distance2;
+    ++count;
+  }
+  EXPECT_EQ(count, pts.size());
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  const RTree small = RTree::BulkLoadPoints(RandomPoints(10, 38));
+  const RTree large = RTree::BulkLoadPoints(RandomPoints(5000, 39));
+  EXPECT_EQ(small.height(), 1);
+  EXPECT_LE(large.height(), 5);
+}
+
+TEST(RTreeTest, DuplicatePointsAllReported) {
+  std::vector<Point> pts(10, Point{1, 1});
+  const RTree tree = RTree::BulkLoadPoints(pts);
+  EXPECT_EQ(tree.RangeQuery(Rect(0, 0, 2, 2)).size(), 10u);
+  EXPECT_EQ(tree.Nearest({1, 1}, 10).size(), 10u);
+}
+
+TEST(RTreeTest, ValidateHoldsAfterBulkLoadAndInserts) {
+  const auto pts = RandomPoints(800, 61);
+  const RTree bulk = RTree::BulkLoadPoints(pts);
+  EXPECT_TRUE(bulk.Validate());
+  RTree incremental;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    incremental.Insert({Rect::OfPoint(pts[i]), static_cast<int64_t>(i)});
+  }
+  EXPECT_TRUE(incremental.Validate());
+}
+
+TEST(RTreeTest, RemoveDeletesExactEntryOnly) {
+  const auto pts = RandomPoints(50, 62);
+  RTree tree = RTree::BulkLoadPoints(pts);
+  // Wrong id at an existing box: not removed.
+  EXPECT_FALSE(tree.Remove({Rect::OfPoint(pts[0]), 999}));
+  EXPECT_EQ(tree.size(), 50u);
+  EXPECT_TRUE(tree.Remove({Rect::OfPoint(pts[0]), 0}));
+  EXPECT_EQ(tree.size(), 49u);
+  EXPECT_FALSE(tree.Remove({Rect::OfPoint(pts[0]), 0}));  // already gone
+  EXPECT_TRUE(tree.Validate());
+  const auto hits = tree.RangeQuery(Rect::OfPoint(pts[0]));
+  EXPECT_TRUE(std::find(hits.begin(), hits.end(), 0) == hits.end());
+}
+
+TEST(RTreeTest, RemoveAllEntriesLeavesEmptyValidTree) {
+  const auto pts = RandomPoints(300, 63);
+  RTree tree = RTree::BulkLoadPoints(pts);
+  Rng rng(64);
+  std::vector<size_t> order(pts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Shuffle removal order.
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+  }
+  for (const size_t i : order) {
+    ASSERT_TRUE(
+        tree.Remove({Rect::OfPoint(pts[i]), static_cast<int64_t>(i)}));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Validate());
+  EXPECT_TRUE(tree.RangeQuery(Rect(0, 0, 1000, 1000)).empty());
+}
+
+TEST(RTreeTest, InterleavedInsertRemoveStaysConsistent) {
+  RTree tree;
+  Rng rng(65);
+  std::vector<std::pair<Point, int64_t>> live;
+  int64_t next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.NextDouble() < 0.6) {
+      const Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      tree.Insert({Rect::OfPoint(p), next_id});
+      live.emplace_back(p, next_id);
+      ++next_id;
+    } else {
+      const size_t pick = rng.NextBelow(live.size());
+      ASSERT_TRUE(
+          tree.Remove({Rect::OfPoint(live[pick].first), live[pick].second}));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  EXPECT_TRUE(tree.Validate());
+  // Every live entry is findable.
+  for (const auto& [p, id] : live) {
+    const auto hits = tree.RangeQuery(Rect::OfPoint(p));
+    EXPECT_TRUE(std::find(hits.begin(), hits.end(), id) != hits.end());
+  }
+}
+
+TEST(RTreeTest, RectEntriesRangeQuery) {
+  std::vector<RTree::Entry> entries;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 10.0;
+    entries.push_back({Rect(x, 0, x + 15.0, 10.0), i});  // overlapping boxes
+  }
+  const RTree tree = RTree::BulkLoad(std::move(entries));
+  // Query touching boxes 0..3 (x in [25, 35]).
+  auto got = tree.RangeQuery(Rect(25, 2, 35, 8));
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace movd

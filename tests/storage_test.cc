@@ -1,0 +1,273 @@
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/movd_model.h"
+#include "core/overlap.h"
+#include "storage/external_sort.h"
+#include "storage/io.h"
+#include "storage/movd_file.h"
+#include "storage/streaming_overlap.h"
+#include "util/rng.h"
+#include "voronoi/voronoi.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kBounds(0, 0, 100, 100);
+
+std::string Tmp(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Movd RandomBasicMovd(size_t sites, int32_t set, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < sites; ++i) {
+    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  const auto vd = VoronoiDiagram::Build(pts, kBounds);
+  std::vector<int32_t> ids(vd.sites().size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
+  return MovdFromVoronoi(vd, set, ids);
+}
+
+std::vector<std::string> Canonicalize(const Movd& movd) {
+  std::vector<std::string> keys;
+  for (const Ovr& ovr : movd.ovrs) {
+    std::string k;
+    for (const PoiRef& p : ovr.pois) {
+      k += std::to_string(p.set) + ":" + std::to_string(p.object) + ";";
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "|%.9f,%.9f,%.9f,%.9f|%zu", ovr.mbr.min_x,
+                  ovr.mbr.min_y, ovr.mbr.max_x, ovr.mbr.max_y,
+                  ovr.region.VertexCount());
+    k += buf;
+    keys.push_back(std::move(k));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(BinaryIoTest, PrimitivesRoundTrip) {
+  const std::string path = Tmp("prim.bin");
+  {
+    BinaryWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.WriteU32(0xdeadbeef);
+    w.WriteU64(0x0123456789abcdefULL);
+    w.WriteVarint(0);
+    w.WriteVarint(127);
+    w.WriteVarint(128);
+    w.WriteVarint(UINT64_MAX);
+    w.WriteDouble(-0.1);
+    w.WriteDouble(1e308);
+    EXPECT_TRUE(w.Close());
+  }
+  BinaryReader r(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.ReadVarint(), 0u);
+  EXPECT_EQ(r.ReadVarint(), 127u);
+  EXPECT_EQ(r.ReadVarint(), 128u);
+  EXPECT_EQ(r.ReadVarint(), UINT64_MAX);
+  EXPECT_EQ(r.ReadDouble(), -0.1);
+  EXPECT_EQ(r.ReadDouble(), 1e308);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEof());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsNotOk) {
+  BinaryReader r("/nonexistent/nope.bin");
+  EXPECT_FALSE(r.ok());
+  BinaryWriter w("/nonexistent/nope.bin");
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(MovdFileTest, RoundTripsMovd) {
+  const Movd movd = RandomBasicMovd(25, 3, 201);
+  const std::string path = Tmp("movd.bin");
+  ASSERT_TRUE(SaveMovd(path, movd));
+  const auto loaded = LoadMovd(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(Canonicalize(movd), Canonicalize(*loaded));
+  // Regions themselves survive, not just MBRs.
+  double area = 0.0;
+  for (const Ovr& ovr : loaded->ovrs) area += ovr.region.Area();
+  EXPECT_NEAR(area, kBounds.Area(), 1e-6 * kBounds.Area());
+  std::remove(path.c_str());
+}
+
+TEST(MovdFileTest, EmptyMovd) {
+  const std::string path = Tmp("empty.bin");
+  ASSERT_TRUE(SaveMovd(path, Movd{}));
+  const auto loaded = LoadMovd(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->ovrs.empty());
+  std::remove(path.c_str());
+}
+
+TEST(MovdFileTest, RejectsGarbageHeader) {
+  const std::string path = Tmp("garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a movd file at all", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadMovd(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(MovdFileTest, TruncatedFileFailsGracefully) {
+  const Movd movd = RandomBasicMovd(15, 0, 207);
+  const std::string path = Tmp("trunc.bin");
+  ASSERT_TRUE(SaveMovd(path, movd));
+  // Chop the file in the middle of a record.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  MovdFileReader reader(path);
+  EXPECT_TRUE(reader.ok());  // header intact
+  size_t read = 0;
+  while (reader.Next().has_value()) ++read;
+  EXPECT_LT(read, movd.ovrs.size());
+  EXPECT_FALSE(reader.ok());  // the failure is reported, not hidden
+  EXPECT_FALSE(LoadMovd(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(MovdFileTest, SerializedSizeMatchesBytesWritten) {
+  const Movd movd = RandomBasicMovd(10, 0, 202);
+  size_t expected = 0;
+  for (const Ovr& ovr : movd.ovrs) expected += SerializedOvrSize(ovr);
+  const std::string path = Tmp("sized.bin");
+  ASSERT_TRUE(SaveMovd(path, movd));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  std::fclose(f);
+  EXPECT_EQ(static_cast<size_t>(file_size), expected + 16);  // header = 16
+  std::remove(path.c_str());
+}
+
+class ExternalSortTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ExternalSortTest, ProducesSweepOrderUnderBudget) {
+  const Movd movd = RandomBasicMovd(120, 0, 203);
+  const std::string in = Tmp("sortin.bin");
+  const std::string out = Tmp("sortout.bin");
+  ASSERT_TRUE(SaveMovd(in, movd));
+  ExternalSortStats stats;
+  ASSERT_TRUE(ExternalSortMovdFile(in, out, GetParam(), &stats));
+  EXPECT_EQ(stats.records, movd.ovrs.size());
+  const auto sorted = LoadMovd(out);
+  ASSERT_TRUE(sorted.has_value());
+  ASSERT_EQ(sorted->ovrs.size(), movd.ovrs.size());
+  for (size_t i = 1; i < sorted->ovrs.size(); ++i) {
+    EXPECT_GE(sorted->ovrs[i - 1].mbr.max_y, sorted->ovrs[i].mbr.max_y);
+  }
+  // Same multiset of OVRs.
+  EXPECT_EQ(Canonicalize(movd), Canonicalize(*sorted));
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ExternalSortTest,
+                         ::testing::Values(1 << 10,   // many runs
+                                           16 << 10,  // a few runs
+                                           1 << 30)); // single run
+
+TEST(ExternalSortTest, SpillsMultipleRunsUnderTinyBudget) {
+  const Movd movd = RandomBasicMovd(200, 0, 204);
+  const std::string in = Tmp("runs_in.bin");
+  const std::string out = Tmp("runs_out.bin");
+  ASSERT_TRUE(SaveMovd(in, movd));
+  ExternalSortStats stats;
+  ASSERT_TRUE(ExternalSortMovdFile(in, out, 2 << 10, &stats));
+  EXPECT_GT(stats.runs, 4u);
+  EXPECT_LE(stats.peak_bytes, (2u << 10) + 512u);  // budget + one record
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+class StreamingOverlapTest : public ::testing::TestWithParam<BoundaryMode> {};
+
+TEST_P(StreamingOverlapTest, MatchesInMemoryOverlap) {
+  const BoundaryMode mode = GetParam();
+  const Movd a = RandomBasicMovd(40, 0, 205);
+  const Movd b = RandomBasicMovd(55, 1, 206);
+  const Movd expected = Overlap(a, b, mode);
+
+  const std::string pa = Tmp("sa.bin"), pb = Tmp("sb.bin");
+  const std::string sa = Tmp("sa_sorted.bin"), sb = Tmp("sb_sorted.bin");
+  const std::string out = Tmp("stream_out.bin");
+  ASSERT_TRUE(SaveMovd(pa, a));
+  ASSERT_TRUE(SaveMovd(pb, b));
+  ASSERT_TRUE(ExternalSortMovdFile(pa, sa, 4 << 10));
+  ASSERT_TRUE(ExternalSortMovdFile(pb, sb, 4 << 10));
+
+  StreamingOverlapStats stats;
+  ASSERT_TRUE(StreamingOverlap(sa, sb, mode, out, &stats));
+  const auto got = LoadMovd(out);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(Canonicalize(*got), Canonicalize(expected));
+  EXPECT_EQ(stats.output_ovrs, expected.ovrs.size());
+  // The sweep never holds everything at once (spatial data has bounded
+  // sweep width).
+  EXPECT_LT(stats.peak_active_ovrs, a.ovrs.size() + b.ovrs.size());
+  for (const auto& p : {pa, pb, sa, sb, out}) std::remove(p.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, StreamingOverlapTest,
+                         ::testing::Values(BoundaryMode::kRealRegion,
+                                           BoundaryMode::kMbr));
+
+TEST(StreamingOverlapTest, RejectsUnsortedInput) {
+  Movd unsorted;
+  for (int i = 0; i < 3; ++i) {
+    Ovr ovr;
+    ovr.mbr = Rect(0, i * 10.0, 10, i * 10.0 + 5);  // ascending max_y
+    ovr.region = Region::FromRect(ovr.mbr);
+    ovr.pois = {{0, i}};
+    unsorted.ovrs.push_back(ovr);
+  }
+  const std::string pa = Tmp("uns_a.bin"), pb = Tmp("uns_b.bin");
+  const std::string out = Tmp("uns_out.bin");
+  ASSERT_TRUE(SaveMovd(pa, unsorted));
+  ASSERT_TRUE(SaveMovd(pb, unsorted));
+  EXPECT_FALSE(StreamingOverlap(pa, pb, BoundaryMode::kMbr, out, nullptr));
+  for (const auto& p : {pa, pb, out}) std::remove(p.c_str());
+}
+
+TEST(StreamingOverlapTest, PeakMemoryIsFractionOfInputOnTallData) {
+  // Many horizontal strips: at any sweep position only a couple are active.
+  Movd a, b;
+  for (int i = 0; i < 200; ++i) {
+    Ovr ovr;
+    ovr.mbr = Rect(0, 200.0 - i, 100, 200.0 - i + 0.9);
+    ovr.region = Region::FromRect(ovr.mbr);
+    ovr.pois = {{0, i}};
+    a.ovrs.push_back(ovr);
+    ovr.pois = {{1, i}};
+    b.ovrs.push_back(ovr);
+  }
+  const std::string pa = Tmp("tall_a.bin"), pb = Tmp("tall_b.bin");
+  const std::string out = Tmp("tall_out.bin");
+  ASSERT_TRUE(SaveMovd(pa, a));
+  ASSERT_TRUE(SaveMovd(pb, b));
+  StreamingOverlapStats stats;
+  ASSERT_TRUE(StreamingOverlap(pa, pb, BoundaryMode::kMbr, out, &stats));
+  EXPECT_LE(stats.peak_active_ovrs, 8u);
+  EXPECT_EQ(stats.output_ovrs, 200u);  // strips pair only with their twin
+  for (const auto& p : {pa, pb, out}) std::remove(p.c_str());
+}
+
+}  // namespace
+}  // namespace movd

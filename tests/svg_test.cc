@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "viz/svg.h"
+
+namespace movd {
+namespace {
+
+TEST(SvgTest, DocumentStructure) {
+  SvgWriter svg(Rect(0, 0, 100, 50), 400.0);
+  const std::string doc = svg.ToString();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("width=\"400.00\""), std::string::npos);
+  EXPECT_NE(doc.find("height=\"200.00\""), std::string::npos);  // aspect kept
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgTest, ShapesAppearInBody) {
+  SvgWriter svg(Rect(0, 0, 10, 10));
+  svg.AddPolygon(ConvexPolygon::FromRect(Rect(1, 1, 2, 2)), "red", "black");
+  svg.AddCircle({5, 5}, 3.0, "blue");
+  svg.AddLine({0, 0}, {10, 10}, "green", 2.0);
+  svg.AddText({5, 5}, "label");
+  svg.AddRect(Rect(3, 3, 4, 4), "none", "gray");
+  const std::string doc = svg.ToString();
+  EXPECT_NE(doc.find("<polygon"), std::string::npos);
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("<line"), std::string::npos);
+  EXPECT_NE(doc.find(">label</text>"), std::string::npos);
+}
+
+TEST(SvgTest, YAxisIsFlipped) {
+  SvgWriter svg(Rect(0, 0, 10, 10), 100.0);
+  svg.AddCircle({0, 0}, 1.0, "black");  // world origin: bottom-left
+  const std::string doc = svg.ToString();
+  // Bottom-left maps to pixel (0, 100).
+  EXPECT_NE(doc.find("cx=\"0.00\" cy=\"100.00\""), std::string::npos);
+}
+
+TEST(SvgTest, SaveWritesFile) {
+  SvgWriter svg(Rect(0, 0, 1, 1));
+  svg.AddCircle({0.5, 0.5}, 2.0, "black");
+  const std::string path = ::testing::TempDir() + "/out.svg";
+  EXPECT_TRUE(svg.Save(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace movd

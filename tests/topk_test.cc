@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/ssc.h"
+#include "core/topk.h"
+#include "core/weighted_distance.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kBounds(0, 0, 100, 100);
+
+MolqQuery RandomQuery(const std::vector<size_t>& sizes, uint64_t seed) {
+  Rng rng(seed);
+  MolqQuery query;
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    ObjectSet set;
+    set.name = "type" + std::to_string(s);
+    const double type_weight = rng.Uniform(0.5, 5.0);
+    for (size_t i = 0; i < sizes[s]; ++i) {
+      SpatialObject obj;
+      obj.location = {rng.Uniform(5, 95), rng.Uniform(5, 95)};
+      obj.type_weight = type_weight;
+      set.objects.push_back(obj);
+    }
+    query.sets.push_back(std::move(set));
+  }
+  return query;
+}
+
+// Reference: per-combination optimal costs via SSC-style enumeration.
+std::vector<double> AllCombinationCosts(const MolqQuery& q, double epsilon) {
+  std::vector<double> costs;
+  std::vector<int32_t> combo(q.sets.size(), 0);
+  bool done = false;
+  while (!done) {
+    std::vector<PoiRef> group;
+    for (size_t s = 0; s < combo.size(); ++s) {
+      group.push_back({static_cast<int32_t>(s), combo[s]});
+    }
+    // Optimum of this combination via the single-problem path: reuse SSC
+    // on a query restricted to the chosen objects.
+    MolqQuery sub;
+    for (size_t s = 0; s < q.sets.size(); ++s) {
+      ObjectSet set;
+      set.name = q.sets[s].name;
+      set.objects = {q.sets[s].objects[combo[s]]};
+      sub.sets.push_back(std::move(set));
+    }
+    SscOptions opts;
+    opts.epsilon = epsilon;
+    costs.push_back(SolveSsc(sub, opts).cost);
+    size_t i = 0;
+    while (i < combo.size()) {
+      if (++combo[i] <
+          static_cast<int32_t>(q.sets[i].objects.size())) {
+        break;
+      }
+      combo[i] = 0;
+      ++i;
+    }
+    done = i == combo.size();
+  }
+  std::sort(costs.begin(), costs.end());
+  return costs;
+}
+
+TEST(TopKTest, TopOneMatchesSolveMolq) {
+  const MolqQuery q = RandomQuery({4, 4, 4}, 401);
+  MolqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto top = SolveMolqTopK(q, kBounds, 1, opts);
+  ASSERT_EQ(top.size(), 1u);
+  const auto single = SolveMolq(q, kBounds, opts);
+  EXPECT_NEAR(top[0].cost, single.cost, 1e-9);
+}
+
+TEST(TopKTest, ResultsAscendAndAreDistinctCombinations) {
+  const MolqQuery q = RandomQuery({5, 5}, 402);
+  MolqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto top = SolveMolqTopK(q, kBounds, 5, opts);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1].cost, top[i].cost);
+    EXPECT_NE(top[i - 1].group, top[i].group);
+  }
+}
+
+TEST(TopKTest, MatchesExhaustiveRankingOnCoveredCombinations) {
+  // Every top-k cost must appear in the exhaustive per-combination cost
+  // list, and the first one must be the global optimum.
+  const MolqQuery q = RandomQuery({3, 3, 3}, 403);
+  MolqOptions opts;
+  opts.epsilon = 1e-8;
+  const auto top = SolveMolqTopK(q, kBounds, 4, opts);
+  const auto all = AllCombinationCosts(q, 1e-8);
+  ASSERT_GE(top.size(), 1u);
+  EXPECT_NEAR(top[0].cost, all[0], 1e-4 * all[0] + 1e-9);
+  for (const RankedLocation& r : top) {
+    bool found = false;
+    for (const double c : all) {
+      if (std::abs(c - r.cost) <= 1e-4 * c + 1e-9) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << r.cost;
+  }
+}
+
+TEST(TopKTest, KLargerThanCombinationsReturnsAll) {
+  const MolqQuery q = RandomQuery({2, 2}, 404);
+  MolqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto top = SolveMolqTopK(q, kBounds, 100, opts);
+  // The MOVD only materialises co-occurring combinations, so the count is
+  // at most 4 and at least 1.
+  EXPECT_GE(top.size(), 1u);
+  EXPECT_LE(top.size(), 4u);
+}
+
+TEST(TopKTest, MbrbAgreesWithRrbOnTopCosts) {
+  const MolqQuery q = RandomQuery({4, 4, 3}, 405);
+  MolqOptions rrb;
+  rrb.epsilon = 1e-6;
+  MolqOptions mbrb = rrb;
+  mbrb.algorithm = MolqAlgorithm::kMbrb;
+  const auto a = SolveMolqTopK(q, kBounds, 3, rrb);
+  const auto b = SolveMolqTopK(q, kBounds, 3, mbrb);
+  ASSERT_GE(a.size(), 1u);
+  ASSERT_GE(b.size(), 1u);
+  // The winner must agree; deeper ranks may differ because MBRB's false
+  // positives materialise more combinations.
+  EXPECT_NEAR(a[0].cost, b[0].cost, 1e-6 * a[0].cost + 1e-9);
+  EXPECT_GE(b.size(), a.size() > 3 ? 3u : a.size());
+}
+
+}  // namespace
+}  // namespace movd

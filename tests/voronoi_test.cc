@@ -1,0 +1,237 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "voronoi/delaunay.h"
+#include "voronoi/voronoi.h"
+#include "voronoi/weighted.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kBounds(0, 0, 100, 100);
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  return pts;
+}
+
+TEST(VoronoiTest, SingleSiteOwnsWholeBounds) {
+  const auto vd = VoronoiDiagram::Build({{50, 50}}, kBounds);
+  ASSERT_EQ(vd.cells().size(), 1u);
+  EXPECT_DOUBLE_EQ(vd.cells()[0].region.Area(), kBounds.Area());
+}
+
+TEST(VoronoiTest, TwoSitesSplitAlongBisector) {
+  const auto vd = VoronoiDiagram::Build({{25, 50}, {75, 50}}, kBounds);
+  ASSERT_EQ(vd.cells().size(), 2u);
+  EXPECT_DOUBLE_EQ(vd.cells()[0].region.Area(), 5000.0);
+  EXPECT_DOUBLE_EQ(vd.cells()[1].region.Area(), 5000.0);
+  EXPECT_TRUE(vd.cells()[0].region.Contains({10, 50}));
+  EXPECT_FALSE(vd.cells()[0].region.Contains({90, 50}));
+}
+
+TEST(VoronoiTest, DuplicateSitesCollapse) {
+  const auto vd =
+      VoronoiDiagram::Build({{25, 50}, {25, 50}, {75, 50}}, kBounds);
+  EXPECT_EQ(vd.sites().size(), 2u);
+}
+
+// The partition property: cells tile the bounds (areas sum to the bounds'
+// area) and every random point lies in the cell of its nearest site.
+class VoronoiPartitionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VoronoiPartitionTest, CellsTileBounds) {
+  const auto sites = RandomPoints(GetParam(), 51 + GetParam());
+  const auto vd = VoronoiDiagram::Build(sites, kBounds);
+  double total = 0.0;
+  for (const auto& cell : vd.cells()) total += cell.region.Area();
+  EXPECT_NEAR(total, kBounds.Area(), 1e-6 * kBounds.Area());
+}
+
+TEST_P(VoronoiPartitionTest, RandomPointsLandInNearestSiteCell) {
+  const auto sites = RandomPoints(GetParam(), 52 + GetParam());
+  const auto vd = VoronoiDiagram::Build(sites, kBounds);
+  Rng rng(53);
+  for (int i = 0; i < 200; ++i) {
+    const Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const int32_t nearest = vd.NearestSiteBrute(q);
+    // The nearest site's cell must contain q (up to boundary ties, where
+    // several cells may contain it; the nearest one always does).
+    EXPECT_TRUE(vd.cells()[nearest].region.Contains(q))
+        << "site " << nearest << " q=(" << q.x << "," << q.y << ")";
+  }
+}
+
+TEST_P(VoronoiPartitionTest, EveryCellContainsItsSite) {
+  const auto sites = RandomPoints(GetParam(), 54 + GetParam());
+  const auto vd = VoronoiDiagram::Build(sites, kBounds);
+  for (size_t i = 0; i < vd.sites().size(); ++i) {
+    EXPECT_TRUE(vd.cells()[i].region.Contains(vd.sites()[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VoronoiPartitionTest,
+                         ::testing::Values(2, 5, 20, 100, 400));
+
+TEST(VoronoiTest, AgreesWithDelaunayNeighbours) {
+  // The set of sites whose bisectors bound an interior cell equals the
+  // site's Delaunay neighbours (for cells not clipped by the bounds).
+  const auto sites = RandomPoints(80, 55);
+  const auto vd = VoronoiDiagram::Build(sites, kBounds);
+  const Delaunay dt(vd.sites());
+  Rng rng(56);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{rng.Uniform(20, 80), rng.Uniform(20, 80)};
+    // Voronoi assignment via cells == nearest by Delaunay-verified brute.
+    const int32_t nearest = vd.NearestSiteBrute(q);
+    EXPECT_TRUE(vd.cells()[nearest].region.Contains(q));
+  }
+  EXPECT_TRUE(dt.VerifyDelaunay());
+}
+
+TEST(VoronoiTest, GridSitesDegenerateConfiguration) {
+  std::vector<Point> sites;
+  for (int x = 1; x <= 5; ++x) {
+    for (int y = 1; y <= 5; ++y) {
+      sites.push_back({x * 100.0 / 6.0, y * 100.0 / 6.0});
+    }
+  }
+  const auto vd = VoronoiDiagram::Build(sites, kBounds);
+  double total = 0.0;
+  for (const auto& cell : vd.cells()) total += cell.region.Area();
+  EXPECT_NEAR(total, kBounds.Area(), 1e-6 * kBounds.Area());
+}
+
+// The two cell-construction strategies must produce identical diagrams.
+class VoronoiStrategyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VoronoiStrategyTest, DelaunayAndKnnBuildersAgree) {
+  const auto sites = RandomPoints(GetParam(), 58 + GetParam());
+  const auto knn = VoronoiDiagram::Build(
+      sites, kBounds, VoronoiDiagram::Strategy::kNearestNeighbor);
+  const auto del = VoronoiDiagram::Build(
+      sites, kBounds, VoronoiDiagram::Strategy::kDelaunay);
+  ASSERT_EQ(knn.sites().size(), del.sites().size());
+  for (size_t i = 0; i < knn.cells().size(); ++i) {
+    EXPECT_NEAR(knn.cells()[i].region.Area(), del.cells()[i].region.Area(),
+                1e-6 * std::max(1.0, knn.cells()[i].region.Area()))
+        << "cell " << i;
+  }
+  Rng rng(59);
+  for (int t = 0; t < 100; ++t) {
+    const Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const int32_t nearest = knn.NearestSiteBrute(q);
+    EXPECT_TRUE(del.cells()[nearest].region.Contains(q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VoronoiStrategyTest,
+                         ::testing::Values(1, 2, 3, 10, 60, 300));
+
+TEST(VoronoiStrategyTest, AgreeOnDegenerateGrid) {
+  std::vector<Point> sites;
+  for (int x = 1; x <= 4; ++x) {
+    for (int y = 1; y <= 4; ++y) {
+      sites.push_back({x * 20.0, y * 20.0});
+    }
+  }
+  const auto knn = VoronoiDiagram::Build(
+      sites, kBounds, VoronoiDiagram::Strategy::kNearestNeighbor);
+  const auto del = VoronoiDiagram::Build(
+      sites, kBounds, VoronoiDiagram::Strategy::kDelaunay);
+  for (size_t i = 0; i < knn.cells().size(); ++i) {
+    EXPECT_NEAR(knn.cells()[i].region.Area(), del.cells()[i].region.Area(),
+                1e-9);
+  }
+}
+
+TEST(VoronoiStrategyTest, AgreeOnCollinearSites) {
+  const std::vector<Point> sites = {{20, 50}, {40, 50}, {60, 50}, {80, 50}};
+  const auto knn = VoronoiDiagram::Build(
+      sites, kBounds, VoronoiDiagram::Strategy::kNearestNeighbor);
+  const auto del = VoronoiDiagram::Build(
+      sites, kBounds, VoronoiDiagram::Strategy::kDelaunay);
+  // Strips [0,30], [30,50], [50,70], [70,100] x [0,100].
+  const double expected[] = {3000.0, 2000.0, 2000.0, 3000.0};
+  for (size_t i = 0; i < knn.cells().size(); ++i) {
+    EXPECT_NEAR(knn.cells()[i].region.Area(), del.cells()[i].region.Area(),
+                1e-9);
+    EXPECT_NEAR(knn.cells()[i].region.Area(), expected[i], 1e-9);
+  }
+}
+
+TEST(WeightedVoronoiTest, EqualWeightsMatchOrdinaryAssignment) {
+  const auto sites = RandomPoints(10, 57);
+  std::vector<WeightedSite> ws;
+  for (const Point& p : sites) ws.push_back(MultiplicativeSite(p, 2.5));
+  const auto cells = ApproximateWeightedVoronoi(ws, kBounds, 64);
+  const auto vd = VoronoiDiagram::Build(sites, kBounds);
+  // Each weighted cell's MBR must cover the corresponding ordinary cell
+  // (the diagram sorts its sites, so match cells through the site point).
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_FALSE(cells[i].empty);
+    for (size_t j = 0; j < vd.sites().size(); ++j) {
+      if (vd.sites()[j] == sites[i]) {
+        EXPECT_TRUE(cells[i].mbr.Intersects(vd.cells()[j].region.Bbox()));
+      }
+    }
+  }
+}
+
+TEST(WeightedVoronoiTest, HeavyWeightShrinksCell) {
+  // Multiplicative weights: larger weight means larger weighted distance,
+  // hence a smaller dominance region.
+  const std::vector<WeightedSite> ws = {MultiplicativeSite({30, 50}, 1.0),
+                                        MultiplicativeSite({70, 50}, 4.0)};
+  const auto cells = ApproximateWeightedVoronoi(ws, kBounds, 128);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_GT(cells[0].sample_count, 3 * cells[1].sample_count);
+}
+
+TEST(WeightedVoronoiTest, AdditiveWeightsShiftBoundary) {
+  const std::vector<WeightedSite> ws = {AdditiveSite({30, 50}, 0.0),
+                                        AdditiveSite({70, 50}, 20.0)};
+  const auto cells = ApproximateWeightedVoronoi(ws, kBounds, 128);
+  ASSERT_EQ(cells.size(), 2u);
+  // The additive handicap moves the boundary 10 units toward site 1:
+  // boundary near x = 60.
+  EXPECT_GT(cells[0].sample_count, cells[1].sample_count);
+  EXPECT_GT(cells[0].mbr.max_x, 55.0);
+}
+
+TEST(WeightedVoronoiTest, AffineSitesCombineBothDeformations) {
+  // Site 0 is cheap per meter but carries a fixed cost; site 1 is the
+  // reverse. Near site 1 the fixed cost dominates; far away the slope does.
+  const std::vector<WeightedSite> ws = {{{30, 50}, 1.0, 30.0},
+                                        {{70, 50}, 3.0, 0.0}};
+  const auto cells = ApproximateWeightedVoronoi(ws, kBounds, 128);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_FALSE(cells[0].empty);
+  EXPECT_FALSE(cells[1].empty);
+  // Cross-check a few sample dominances directly against the metric.
+  EXPECT_LT(WeightedSiteDistance({70, 50}, ws[1]),
+            WeightedSiteDistance({70, 50}, ws[0]));
+  EXPECT_LT(WeightedSiteDistance({0, 50}, ws[0]),
+            WeightedSiteDistance({0, 50}, ws[1]));
+}
+
+TEST(WeightedVoronoiTest, DominatedSiteHasEmptyCell) {
+  // A heavily penalised site coincident in area with a light one gets no
+  // samples at all.
+  const std::vector<WeightedSite> ws = {
+      MultiplicativeSite({50, 50}, 1.0),
+      MultiplicativeSite({50.5, 50}, 50.0)};
+  const auto cells = ApproximateWeightedVoronoi(ws, kBounds, 64);
+  EXPECT_FALSE(cells[0].empty);
+  EXPECT_TRUE(cells[1].empty);
+}
+
+}  // namespace
+}  // namespace movd
