@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext01_streaming_overlap.dir/ext01_streaming_overlap.cc.o"
+  "CMakeFiles/ext01_streaming_overlap.dir/ext01_streaming_overlap.cc.o.d"
+  "ext01_streaming_overlap"
+  "ext01_streaming_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext01_streaming_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext01_streaming_overlap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext02_overlap_pruning.dir/ext02_overlap_pruning.cc.o"
+  "CMakeFiles/ext02_overlap_pruning.dir/ext02_overlap_pruning.cc.o.d"
+  "ext02_overlap_pruning"
+  "ext02_overlap_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext02_overlap_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

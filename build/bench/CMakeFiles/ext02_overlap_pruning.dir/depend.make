@@ -1,0 +1,2 @@
+# Empty dependencies file for ext02_overlap_pruning.
+# This may be replaced when dependencies are built.

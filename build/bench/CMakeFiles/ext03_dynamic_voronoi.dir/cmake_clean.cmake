@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext03_dynamic_voronoi.dir/ext03_dynamic_voronoi.cc.o"
+  "CMakeFiles/ext03_dynamic_voronoi.dir/ext03_dynamic_voronoi.cc.o.d"
+  "ext03_dynamic_voronoi"
+  "ext03_dynamic_voronoi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext03_dynamic_voronoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext04_network_molq.dir/ext04_network_molq.cc.o"
+  "CMakeFiles/ext04_network_molq.dir/ext04_network_molq.cc.o.d"
+  "ext04_network_molq"
+  "ext04_network_molq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext04_network_molq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

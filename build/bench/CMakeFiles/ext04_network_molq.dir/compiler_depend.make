@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext04_network_molq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_molq_three_types.dir/fig08_molq_three_types.cc.o"
+  "CMakeFiles/fig08_molq_three_types.dir/fig08_molq_three_types.cc.o.d"
+  "fig08_molq_three_types"
+  "fig08_molq_three_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_molq_three_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_molq_three_types.
+# This may be replaced when dependencies are built.

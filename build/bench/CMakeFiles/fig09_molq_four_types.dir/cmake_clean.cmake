@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_molq_four_types.dir/fig09_molq_four_types.cc.o"
+  "CMakeFiles/fig09_molq_four_types.dir/fig09_molq_four_types.cc.o.d"
+  "fig09_molq_four_types"
+  "fig09_molq_four_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_molq_four_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

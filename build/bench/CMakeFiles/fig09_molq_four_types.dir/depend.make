@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_molq_four_types.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cost_bound.dir/fig10_cost_bound.cc.o"
+  "CMakeFiles/fig10_cost_bound.dir/fig10_cost_bound.cc.o.d"
+  "fig10_cost_bound"
+  "fig10_cost_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cost_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ovr_count.dir/fig12_ovr_count.cc.o"
+  "CMakeFiles/fig12_ovr_count.dir/fig12_ovr_count.cc.o.d"
+  "fig12_ovr_count"
+  "fig12_ovr_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ovr_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

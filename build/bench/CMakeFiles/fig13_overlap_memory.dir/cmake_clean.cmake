@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_overlap_memory.dir/fig13_overlap_memory.cc.o"
+  "CMakeFiles/fig13_overlap_memory.dir/fig13_overlap_memory.cc.o.d"
+  "fig13_overlap_memory"
+  "fig13_overlap_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overlap_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

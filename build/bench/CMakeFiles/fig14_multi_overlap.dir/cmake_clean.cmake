@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_multi_overlap.dir/fig14_multi_overlap.cc.o"
+  "CMakeFiles/fig14_multi_overlap.dir/fig14_multi_overlap.cc.o.d"
+  "fig14_multi_overlap"
+  "fig14_multi_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_multi_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fermat.dir/micro_fermat.cc.o"
+  "CMakeFiles/micro_fermat.dir/micro_fermat.cc.o.d"
+  "micro_fermat"
+  "micro_fermat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fermat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

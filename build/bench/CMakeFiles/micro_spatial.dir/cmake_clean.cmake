@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_spatial.dir/micro_spatial.cc.o"
+  "CMakeFiles/micro_spatial.dir/micro_spatial.cc.o.d"
+  "micro_spatial"
+  "micro_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

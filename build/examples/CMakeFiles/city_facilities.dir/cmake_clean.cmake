@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_facilities.dir/city_facilities.cpp.o"
+  "CMakeFiles/city_facilities.dir/city_facilities.cpp.o.d"
+  "city_facilities"
+  "city_facilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_facilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

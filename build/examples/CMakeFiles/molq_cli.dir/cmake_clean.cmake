@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molq_cli.dir/molq_cli.cpp.o"
+  "CMakeFiles/molq_cli.dir/molq_cli.cpp.o.d"
+  "molq_cli"
+  "molq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

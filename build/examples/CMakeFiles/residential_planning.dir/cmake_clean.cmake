@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/residential_planning.dir/residential_planning.cpp.o"
+  "CMakeFiles/residential_planning.dir/residential_planning.cpp.o.d"
+  "residential_planning"
+  "residential_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/residential_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_network_planning.dir/road_network_planning.cpp.o"
+  "CMakeFiles/road_network_planning.dir/road_network_planning.cpp.o.d"
+  "road_network_planning"
+  "road_network_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_network_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voronoi_gallery.dir/voronoi_gallery.cpp.o"
+  "CMakeFiles/voronoi_gallery.dir/voronoi_gallery.cpp.o.d"
+  "voronoi_gallery"
+  "voronoi_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voronoi_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/grid_scan.cc" "src/core/CMakeFiles/movd_core.dir/grid_scan.cc.o" "gcc" "src/core/CMakeFiles/movd_core.dir/grid_scan.cc.o.d"
+  "/root/repo/src/core/molq.cc" "src/core/CMakeFiles/movd_core.dir/molq.cc.o" "gcc" "src/core/CMakeFiles/movd_core.dir/molq.cc.o.d"
+  "/root/repo/src/core/movd_model.cc" "src/core/CMakeFiles/movd_core.dir/movd_model.cc.o" "gcc" "src/core/CMakeFiles/movd_core.dir/movd_model.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/movd_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/movd_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/overlap.cc" "src/core/CMakeFiles/movd_core.dir/overlap.cc.o" "gcc" "src/core/CMakeFiles/movd_core.dir/overlap.cc.o.d"
+  "/root/repo/src/core/pruned_overlap.cc" "src/core/CMakeFiles/movd_core.dir/pruned_overlap.cc.o" "gcc" "src/core/CMakeFiles/movd_core.dir/pruned_overlap.cc.o.d"
+  "/root/repo/src/core/ssc.cc" "src/core/CMakeFiles/movd_core.dir/ssc.cc.o" "gcc" "src/core/CMakeFiles/movd_core.dir/ssc.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/core/CMakeFiles/movd_core.dir/topk.cc.o" "gcc" "src/core/CMakeFiles/movd_core.dir/topk.cc.o.d"
+  "/root/repo/src/core/weighted_distance.cc" "src/core/CMakeFiles/movd_core.dir/weighted_distance.cc.o" "gcc" "src/core/CMakeFiles/movd_core.dir/weighted_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fermat/CMakeFiles/movd_fermat.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/movd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/movd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/voronoi/CMakeFiles/movd_voronoi.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/movd_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movd_core.dir/grid_scan.cc.o"
+  "CMakeFiles/movd_core.dir/grid_scan.cc.o.d"
+  "CMakeFiles/movd_core.dir/molq.cc.o"
+  "CMakeFiles/movd_core.dir/molq.cc.o.d"
+  "CMakeFiles/movd_core.dir/movd_model.cc.o"
+  "CMakeFiles/movd_core.dir/movd_model.cc.o.d"
+  "CMakeFiles/movd_core.dir/optimizer.cc.o"
+  "CMakeFiles/movd_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/movd_core.dir/overlap.cc.o"
+  "CMakeFiles/movd_core.dir/overlap.cc.o.d"
+  "CMakeFiles/movd_core.dir/pruned_overlap.cc.o"
+  "CMakeFiles/movd_core.dir/pruned_overlap.cc.o.d"
+  "CMakeFiles/movd_core.dir/ssc.cc.o"
+  "CMakeFiles/movd_core.dir/ssc.cc.o.d"
+  "CMakeFiles/movd_core.dir/topk.cc.o"
+  "CMakeFiles/movd_core.dir/topk.cc.o.d"
+  "CMakeFiles/movd_core.dir/weighted_distance.cc.o"
+  "CMakeFiles/movd_core.dir/weighted_distance.cc.o.d"
+  "libmovd_core.a"
+  "libmovd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

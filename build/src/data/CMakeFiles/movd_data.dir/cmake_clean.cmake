@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movd_data.dir/csv.cc.o"
+  "CMakeFiles/movd_data.dir/csv.cc.o.d"
+  "CMakeFiles/movd_data.dir/generate.cc.o"
+  "CMakeFiles/movd_data.dir/generate.cc.o.d"
+  "libmovd_data.a"
+  "libmovd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

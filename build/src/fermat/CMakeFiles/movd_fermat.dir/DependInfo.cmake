@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fermat/batch.cc" "src/fermat/CMakeFiles/movd_fermat.dir/batch.cc.o" "gcc" "src/fermat/CMakeFiles/movd_fermat.dir/batch.cc.o.d"
+  "/root/repo/src/fermat/fermat_weber.cc" "src/fermat/CMakeFiles/movd_fermat.dir/fermat_weber.cc.o" "gcc" "src/fermat/CMakeFiles/movd_fermat.dir/fermat_weber.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/movd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/movd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movd_fermat.dir/batch.cc.o"
+  "CMakeFiles/movd_fermat.dir/batch.cc.o.d"
+  "CMakeFiles/movd_fermat.dir/fermat_weber.cc.o"
+  "CMakeFiles/movd_fermat.dir/fermat_weber.cc.o.d"
+  "libmovd_fermat.a"
+  "libmovd_fermat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movd_fermat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

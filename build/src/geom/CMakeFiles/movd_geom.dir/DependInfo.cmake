@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/expansion.cc" "src/geom/CMakeFiles/movd_geom.dir/expansion.cc.o" "gcc" "src/geom/CMakeFiles/movd_geom.dir/expansion.cc.o.d"
+  "/root/repo/src/geom/gridcontour.cc" "src/geom/CMakeFiles/movd_geom.dir/gridcontour.cc.o" "gcc" "src/geom/CMakeFiles/movd_geom.dir/gridcontour.cc.o.d"
+  "/root/repo/src/geom/hull.cc" "src/geom/CMakeFiles/movd_geom.dir/hull.cc.o" "gcc" "src/geom/CMakeFiles/movd_geom.dir/hull.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/geom/CMakeFiles/movd_geom.dir/polygon.cc.o" "gcc" "src/geom/CMakeFiles/movd_geom.dir/polygon.cc.o.d"
+  "/root/repo/src/geom/predicates.cc" "src/geom/CMakeFiles/movd_geom.dir/predicates.cc.o" "gcc" "src/geom/CMakeFiles/movd_geom.dir/predicates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/movd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movd_geom.dir/expansion.cc.o"
+  "CMakeFiles/movd_geom.dir/expansion.cc.o.d"
+  "CMakeFiles/movd_geom.dir/gridcontour.cc.o"
+  "CMakeFiles/movd_geom.dir/gridcontour.cc.o.d"
+  "CMakeFiles/movd_geom.dir/hull.cc.o"
+  "CMakeFiles/movd_geom.dir/hull.cc.o.d"
+  "CMakeFiles/movd_geom.dir/polygon.cc.o"
+  "CMakeFiles/movd_geom.dir/polygon.cc.o.d"
+  "CMakeFiles/movd_geom.dir/predicates.cc.o"
+  "CMakeFiles/movd_geom.dir/predicates.cc.o.d"
+  "libmovd_geom.a"
+  "libmovd_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movd_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movd_index.dir/kdtree.cc.o"
+  "CMakeFiles/movd_index.dir/kdtree.cc.o.d"
+  "CMakeFiles/movd_index.dir/rtree.cc.o"
+  "CMakeFiles/movd_index.dir/rtree.cc.o.d"
+  "libmovd_index.a"
+  "libmovd_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movd_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/graph.cc" "src/network/CMakeFiles/movd_network.dir/graph.cc.o" "gcc" "src/network/CMakeFiles/movd_network.dir/graph.cc.o.d"
+  "/root/repo/src/network/network_molq.cc" "src/network/CMakeFiles/movd_network.dir/network_molq.cc.o" "gcc" "src/network/CMakeFiles/movd_network.dir/network_molq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/movd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/voronoi/CMakeFiles/movd_voronoi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/movd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/movd_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movd_network.dir/graph.cc.o"
+  "CMakeFiles/movd_network.dir/graph.cc.o.d"
+  "CMakeFiles/movd_network.dir/network_molq.cc.o"
+  "CMakeFiles/movd_network.dir/network_molq.cc.o.d"
+  "libmovd_network.a"
+  "libmovd_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movd_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

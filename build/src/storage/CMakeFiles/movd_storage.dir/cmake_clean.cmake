@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movd_storage.dir/external_sort.cc.o"
+  "CMakeFiles/movd_storage.dir/external_sort.cc.o.d"
+  "CMakeFiles/movd_storage.dir/io.cc.o"
+  "CMakeFiles/movd_storage.dir/io.cc.o.d"
+  "CMakeFiles/movd_storage.dir/movd_file.cc.o"
+  "CMakeFiles/movd_storage.dir/movd_file.cc.o.d"
+  "CMakeFiles/movd_storage.dir/streaming_overlap.cc.o"
+  "CMakeFiles/movd_storage.dir/streaming_overlap.cc.o.d"
+  "libmovd_storage.a"
+  "libmovd_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movd_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movd_util.dir/flags.cc.o"
+  "CMakeFiles/movd_util.dir/flags.cc.o.d"
+  "CMakeFiles/movd_util.dir/rng.cc.o"
+  "CMakeFiles/movd_util.dir/rng.cc.o.d"
+  "CMakeFiles/movd_util.dir/table.cc.o"
+  "CMakeFiles/movd_util.dir/table.cc.o.d"
+  "libmovd_util.a"
+  "libmovd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movd_viz.dir/svg.cc.o"
+  "CMakeFiles/movd_viz.dir/svg.cc.o.d"
+  "libmovd_viz.a"
+  "libmovd_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movd_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmovd_viz.a"
+)

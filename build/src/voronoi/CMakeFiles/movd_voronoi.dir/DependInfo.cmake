@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/voronoi/delaunay.cc" "src/voronoi/CMakeFiles/movd_voronoi.dir/delaunay.cc.o" "gcc" "src/voronoi/CMakeFiles/movd_voronoi.dir/delaunay.cc.o.d"
+  "/root/repo/src/voronoi/dynamic.cc" "src/voronoi/CMakeFiles/movd_voronoi.dir/dynamic.cc.o" "gcc" "src/voronoi/CMakeFiles/movd_voronoi.dir/dynamic.cc.o.d"
+  "/root/repo/src/voronoi/voronoi.cc" "src/voronoi/CMakeFiles/movd_voronoi.dir/voronoi.cc.o" "gcc" "src/voronoi/CMakeFiles/movd_voronoi.dir/voronoi.cc.o.d"
+  "/root/repo/src/voronoi/weighted.cc" "src/voronoi/CMakeFiles/movd_voronoi.dir/weighted.cc.o" "gcc" "src/voronoi/CMakeFiles/movd_voronoi.dir/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/movd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/movd_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/movd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

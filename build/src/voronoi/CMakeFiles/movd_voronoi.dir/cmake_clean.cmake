@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movd_voronoi.dir/delaunay.cc.o"
+  "CMakeFiles/movd_voronoi.dir/delaunay.cc.o.d"
+  "CMakeFiles/movd_voronoi.dir/dynamic.cc.o"
+  "CMakeFiles/movd_voronoi.dir/dynamic.cc.o.d"
+  "CMakeFiles/movd_voronoi.dir/voronoi.cc.o"
+  "CMakeFiles/movd_voronoi.dir/voronoi.cc.o.d"
+  "CMakeFiles/movd_voronoi.dir/weighted.cc.o"
+  "CMakeFiles/movd_voronoi.dir/weighted.cc.o.d"
+  "libmovd_voronoi.a"
+  "libmovd_voronoi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movd_voronoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/movd_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/delaunay_test.cc" "tests/CMakeFiles/movd_tests.dir/delaunay_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/delaunay_test.cc.o.d"
+  "/root/repo/tests/dynamic_voronoi_test.cc" "tests/CMakeFiles/movd_tests.dir/dynamic_voronoi_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/dynamic_voronoi_test.cc.o.d"
+  "/root/repo/tests/fermat_test.cc" "tests/CMakeFiles/movd_tests.dir/fermat_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/fermat_test.cc.o.d"
+  "/root/repo/tests/geom_basic_test.cc" "tests/CMakeFiles/movd_tests.dir/geom_basic_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/geom_basic_test.cc.o.d"
+  "/root/repo/tests/geom_property_test.cc" "tests/CMakeFiles/movd_tests.dir/geom_property_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/geom_property_test.cc.o.d"
+  "/root/repo/tests/gridcontour_test.cc" "tests/CMakeFiles/movd_tests.dir/gridcontour_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/gridcontour_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/movd_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kdtree_test.cc" "tests/CMakeFiles/movd_tests.dir/kdtree_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/kdtree_test.cc.o.d"
+  "/root/repo/tests/molq_test.cc" "tests/CMakeFiles/movd_tests.dir/molq_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/molq_test.cc.o.d"
+  "/root/repo/tests/movd_algebra_test.cc" "tests/CMakeFiles/movd_tests.dir/movd_algebra_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/movd_algebra_test.cc.o.d"
+  "/root/repo/tests/movd_model_test.cc" "tests/CMakeFiles/movd_tests.dir/movd_model_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/movd_model_test.cc.o.d"
+  "/root/repo/tests/network_test.cc" "tests/CMakeFiles/movd_tests.dir/network_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/network_test.cc.o.d"
+  "/root/repo/tests/overlap_test.cc" "tests/CMakeFiles/movd_tests.dir/overlap_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/overlap_test.cc.o.d"
+  "/root/repo/tests/polygon_test.cc" "tests/CMakeFiles/movd_tests.dir/polygon_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/polygon_test.cc.o.d"
+  "/root/repo/tests/predicates_test.cc" "tests/CMakeFiles/movd_tests.dir/predicates_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/predicates_test.cc.o.d"
+  "/root/repo/tests/pruned_overlap_test.cc" "tests/CMakeFiles/movd_tests.dir/pruned_overlap_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/pruned_overlap_test.cc.o.d"
+  "/root/repo/tests/rtree_test.cc" "tests/CMakeFiles/movd_tests.dir/rtree_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/rtree_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/movd_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/svg_test.cc" "tests/CMakeFiles/movd_tests.dir/svg_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/svg_test.cc.o.d"
+  "/root/repo/tests/topk_test.cc" "tests/CMakeFiles/movd_tests.dir/topk_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/topk_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/movd_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/voronoi_test.cc" "tests/CMakeFiles/movd_tests.dir/voronoi_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/voronoi_test.cc.o.d"
+  "/root/repo/tests/weighted_pipeline_test.cc" "tests/CMakeFiles/movd_tests.dir/weighted_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/movd_tests.dir/weighted_pipeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/movd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/movd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/movd_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/movd_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/movd_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/fermat/CMakeFiles/movd_fermat.dir/DependInfo.cmake"
+  "/root/repo/build/src/voronoi/CMakeFiles/movd_voronoi.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/movd_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/movd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/movd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
