@@ -9,6 +9,7 @@
 #include "core/object.h"
 #include "data/generate.h"
 #include "geom/rect.h"
+#include "util/flags.h"
 #include "util/rng.h"
 
 namespace movd::bench {
@@ -55,6 +56,13 @@ inline std::vector<Movd> MakeBasicMovds(const std::vector<size_t>& sizes,
                                  /*weighted_grid_resolution=*/128));
   }
   return out;
+}
+
+/// Shared --threads flag for the harnesses: 1 (default) reproduces the
+/// paper's serial figures, N > 1 opts into the parallel pipeline, 0 means
+/// one thread per hardware thread. Results are identical for every value.
+inline int ThreadsFlag(const Flags& flags) {
+  return static_cast<int>(flags.GetInt("threads", 1));
 }
 
 /// Parses a comma-separated size list (bench --sizes flags).

@@ -2,11 +2,14 @@
 // execution time of SSC vs RRB vs MBRB as the per-type object count grows.
 // The cost-bound approach is enabled in all three solvers, as in the paper.
 //
-// Flags: --sizes=16,32,64,128,256  --epsilon=1e-3  --seed=1
+// Flags: --sizes=16,32,64,128,256  --epsilon=1e-3  --seed=1  --threads=1
+// With --threads=N > 1 a second table reports the end-to-end speedup of
+// the parallel pipeline over the serial baseline (identical answers).
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "util/check.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -15,10 +18,11 @@ namespace movd::bench {
 namespace {
 
 double RunSolver(const MolqQuery& query, MolqAlgorithm algorithm,
-                 double epsilon, double* cost) {
+                 double epsilon, double* cost, int threads = 1) {
   MolqOptions opts;
   opts.algorithm = algorithm;
   opts.epsilon = epsilon;
+  opts.threads = threads;
   Stopwatch sw;
   const MolqResult r = SolveMolq(query, kWorld, opts);
   *cost = r.cost;
@@ -31,6 +35,7 @@ int Main(int argc, char** argv) {
       ParseSizes(flags.GetString("sizes", "16,32,64,128,256"));
   const double epsilon = flags.GetDouble("epsilon", 1e-3);
   const uint64_t seed = flags.GetInt("seed", 1);
+  const int threads = ThreadsFlag(flags);
 
   std::printf("Fig. 8 — MOLQ, three object types {STM, CH, SCH}; "
               "type weights U[0,10); epsilon=%g\n\n", epsilon);
@@ -54,6 +59,33 @@ int Main(int argc, char** argv) {
                   "dev=" + Table::Fmt(dev * 100, 4) + "%"});
   }
   table.Print(stdout);
+
+  if (threads > 1) {
+    std::printf("\nParallel pipeline — end-to-end serial vs %d threads "
+                "(answers are bit-identical)\n\n", threads);
+    Table par({"objects/type", "RRB 1thr(s)", "RRB Nthr(s)", "RRB speedup",
+               "MBRB 1thr(s)", "MBRB Nthr(s)", "MBRB speedup"});
+    for (const size_t n : sizes) {
+      const MolqQuery query = MakeQuery({n, n, n}, seed);
+      double c1 = 0.0, cn = 0.0;
+      const double rrb1 =
+          RunSolver(query, MolqAlgorithm::kRrb, epsilon, &c1, 1);
+      const double rrbn =
+          RunSolver(query, MolqAlgorithm::kRrb, epsilon, &cn, threads);
+      MOVD_CHECK(c1 == cn);  // determinism across thread counts
+      double m1 = 0.0, mn = 0.0;
+      const double mbrb1 =
+          RunSolver(query, MolqAlgorithm::kMbrb, epsilon, &m1, 1);
+      const double mbrbn =
+          RunSolver(query, MolqAlgorithm::kMbrb, epsilon, &mn, threads);
+      MOVD_CHECK(m1 == mn);
+      par.AddRow({std::to_string(n), Table::Fmt(rrb1, 3),
+                  Table::Fmt(rrbn, 3), Table::Fmt(rrb1 / rrbn, 2) + "x",
+                  Table::Fmt(mbrb1, 3), Table::Fmt(mbrbn, 3),
+                  Table::Fmt(mbrb1 / mbrbn, 2) + "x"});
+    }
+    par.Print(stdout);
+  }
   return 0;
 }
 

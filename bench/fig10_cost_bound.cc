@@ -40,11 +40,13 @@ struct RunResult {
 };
 
 RunResult Run(const std::vector<std::vector<WeightedPoint>>& problems,
-              double epsilon, bool cost_bound, bool prefilter) {
+              double epsilon, bool cost_bound, bool prefilter,
+              int threads = 1) {
   BatchOptions opts;
   opts.epsilon = epsilon;
   opts.use_cost_bound = cost_bound;
   opts.use_two_point_prefilter = prefilter;
+  opts.threads = threads;
   Stopwatch sw;
   const BatchResult r = SolveFermatWeberBatch(problems, opts);
   return {sw.ElapsedSeconds(), r.cost, r.total_iterations};
@@ -70,6 +72,7 @@ int Main(int argc, char** argv) {
       ParseDoubles(flags.GetString("epsilons", "1e-2,1e-3,1e-4"));
   const uint64_t seed = flags.GetInt("seed", 1);
   const bool ablate = flags.GetBool("ablate", false);
+  const int threads = ThreadsFlag(flags);
 
   std::printf("Fig. 10 — batch Fermat–Weber: Original vs cost-bound (CB); "
               "5 points/problem, coords & weights U[0,10)\n\n");
@@ -88,6 +91,23 @@ int Main(int argc, char** argv) {
     }
   }
   table.Print(stdout);
+
+  if (threads > 1) {
+    std::printf("\nParallel batch solver — CB serial vs %d threads, shared "
+                "atomic cost bound (epsilon=%g)\n\n", threads,
+                epsilons.back());
+    Table par({"#problems", "CB 1thr(s)", "CB Nthr(s)", "speedup"});
+    for (const size_t count : counts) {
+      const auto problems = MakeProblems(count, seed);
+      const double eps = epsilons.back();
+      const RunResult serial = Run(problems, eps, true, true, 1);
+      const RunResult parallel = Run(problems, eps, true, true, threads);
+      par.AddRow({std::to_string(count), Table::Fmt(serial.seconds, 3),
+                  Table::Fmt(parallel.seconds, 3),
+                  Table::Fmt(serial.seconds / parallel.seconds, 2) + "x"});
+    }
+    par.Print(stdout);
+  }
 
   if (ablate) {
     std::printf("\nAblation — contribution of the two CB ingredients "

@@ -7,9 +7,11 @@
 //
 //   molq_cli solve --inputs=a.csv,b.csv[,c.csv...]
 //       [--algorithm=rrb|mbrb|ssc] [--epsilon=1e-3] [--topk=1]
-//       [--world=10000] [--svg=answer.svg] [--prune]
+//       [--world=10000] [--svg=answer.svg] [--prune] [--threads=1]
 //     Evaluates MOLQ over the given object sets (one CSV per type) and
-//     prints the answer(s) as JSON lines.
+//     prints the answer(s) as JSON lines. --threads=N parallelises the
+//     pipeline (0 = one thread per hardware thread); the answer is
+//     identical for every thread count.
 
 #include <cstdio>
 #include <string>
@@ -125,6 +127,7 @@ int Solve(const Flags& flags) {
   }
   options.epsilon = flags.GetDouble("epsilon", 1e-3);
   options.use_overlap_pruning = flags.GetBool("prune", false);
+  options.threads = static_cast<int>(flags.GetInt("threads", 1));
 
   const size_t k = static_cast<size_t>(flags.GetInt("topk", 1));
   Stopwatch sw;
@@ -137,13 +140,13 @@ int Solve(const Flags& flags) {
     if (!ranked.empty()) answer = ranked.front().location;
   } else {
     const MolqResult r = SolveMolq(query, world, options);
-    const auto group_indices = ArgMinGroup(query, r.location);
-    std::vector<PoiRef> group;
-    for (size_t s = 0; s < group_indices.size(); ++s) {
-      group.push_back({static_cast<int32_t>(s), group_indices[s]});
-    }
-    PrintAnswerJson(query, r.location, r.cost, group);
+    PrintAnswerJson(query, r.location, r.cost, r.group);
     answer = r.location;
+    std::fprintf(stderr,
+                 "stages: vd=%.3fs overlap=%.3fs optimize=%.3fs "
+                 "(threads=%d)\n",
+                 r.stats.vd_seconds, r.stats.overlap_seconds,
+                 r.stats.optimize_seconds, r.stats.threads);
   }
   std::fprintf(stderr, "solved in %.3fs\n", sw.ElapsedSeconds());
 
@@ -176,7 +179,7 @@ int main(int argc, char** argv) {
                  "usage: molq_cli <generate|solve> [flags]\n"
                  "  generate --class=STM --count=1000 --out=file.csv\n"
                  "  solve --inputs=a.csv,b.csv[,...] [--algorithm=rrb] "
-                 "[--topk=3] [--svg=out.svg]\n");
+                 "[--topk=3] [--svg=out.svg] [--threads=1]\n");
     return 2;
   }
   const std::string& command = flags.positional()[0];

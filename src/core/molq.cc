@@ -1,11 +1,13 @@
 #include "core/molq.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "core/pruned_overlap.h"
 #include "core/weighted_distance.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 #include "voronoi/voronoi.h"
 #include "voronoi/weighted.h"
 
@@ -35,7 +37,8 @@ bool OrdinaryDiagramSuffices(const MolqQuery& query, int32_t set) {
 }  // namespace
 
 Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
-                    const Rect& search_space, int weighted_grid_resolution) {
+                    const Rect& search_space, int weighted_grid_resolution,
+                    int threads) {
   const ObjectSet& objects = query.sets.at(set);
   MOVD_CHECK(!objects.objects.empty());
 
@@ -73,8 +76,8 @@ Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
         obj, query.type_function, query.ObjectFunction(set));
     sites.push_back({obj.location, term.fw_weight, term.offset});
   }
-  const auto cells = ApproximateWeightedVoronoi(sites, search_space,
-                                                weighted_grid_resolution);
+  const auto cells = ApproximateWeightedVoronoi(
+      sites, search_space, weighted_grid_resolution, threads);
   std::vector<int32_t> object_of_site(cells.size());
   for (size_t i = 0; i < cells.size(); ++i) {
     object_of_site[i] = static_cast<int32_t>(i);
@@ -87,6 +90,8 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
   MOVD_CHECK(!query.sets.empty());
   MOVD_CHECK(!search_space.Empty());
   MolqResult result;
+  const int threads = ResolveThreads(options.threads);
+  result.stats.threads = threads;
 
   if (options.algorithm == MolqAlgorithm::kSsc) {
     Stopwatch sw;
@@ -97,6 +102,10 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
     const SscResult r = SolveSsc(query, ssc);
     result.location = r.location;
     result.cost = r.cost;
+    result.group.reserve(r.group.size());
+    for (size_t s = 0; s < r.group.size(); ++s) {
+      result.group.push_back({static_cast<int32_t>(s), r.group[s]});
+    }
     result.stats.ssc = r.stats;
     result.stats.optimize_seconds = sw.ElapsedSeconds();
     return result;
@@ -107,14 +116,18 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
                                 : BoundaryMode::kMbr;
 
   // Stage 1: VD Generator — one basic MOVD per object set (Property 7).
+  // Each set's diagram builds independently; the grid sampler of weighted
+  // sets gets the threads the set-level fan-out leaves unused.
   Stopwatch sw;
-  std::vector<Movd> basic;
-  basic.reserve(query.sets.size());
-  for (size_t i = 0; i < query.sets.size(); ++i) {
-    basic.push_back(BuildBasicMovd(query, static_cast<int32_t>(i),
-                                   search_space,
-                                   options.weighted_grid_resolution));
-  }
+  const size_t num_sets = query.sets.size();
+  const int inner_threads =
+      std::max(1, threads / static_cast<int>(num_sets));
+  std::vector<Movd> basic(num_sets);
+  ParallelFor(threads, num_sets, [&](size_t i) {
+    basic[i] = BuildBasicMovd(query, static_cast<int32_t>(i), search_space,
+                              options.weighted_grid_resolution,
+                              inner_threads);
+  });
   result.stats.vd_seconds = sw.ElapsedSeconds();
 
   // Stage 2: MOVD Overlapper — sequential ⊕ over the basic MOVDs (Eq. 27),
@@ -140,11 +153,13 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
   opt.use_cost_bound = options.use_cost_bound;
   opt.use_two_point_prefilter = options.use_two_point_prefilter;
   opt.dedup_combinations = options.dedup_combinations;
+  opt.threads = threads;
   const OptimizerResult r = OptimizeMovd(query, movd, opt);
   result.stats.optimize_seconds = sw.ElapsedSeconds();
   result.stats.optimizer = r.stats;
   result.location = r.location;
   result.cost = r.cost;
+  result.group = r.group;
   return result;
 }
 

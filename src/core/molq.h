@@ -45,10 +45,20 @@ struct MolqOptions {
   /// Grid resolution used to approximate weighted Voronoi diagrams when a
   /// set has non-uniform object weights (§5.3).
   int weighted_grid_resolution = 128;
+
+  /// Degree of parallelism for the pipeline: per-set basic-MOVD builds,
+  /// weighted-grid dominance sampling, and the Optimizer's Fermat–Weber
+  /// fan-out (which shares the §5.4 cost bound via an atomic CAS-min).
+  /// 1 (default) keeps every stage serial, so paper-reproduction numbers
+  /// are unchanged unless opted in; 0 means one thread per hardware
+  /// thread. The answer (location, cost, group) is identical for every
+  /// thread count.
+  int threads = 1;
 };
 
 /// Per-stage instrumentation of one query evaluation.
 struct MolqStats {
+  int threads = 1;                ///< effective thread count of the run
   double vd_seconds = 0.0;        ///< VD Generator stage
   double overlap_seconds = 0.0;   ///< MOVD Overlapper stage
   double optimize_seconds = 0.0;  ///< Optimizer stage (or all of SSC)
@@ -64,6 +74,8 @@ struct MolqStats {
 struct MolqResult {
   Point location;
   double cost = 0.0;
+  /// The winning object combination (one PoiRef per set, sorted by set).
+  std::vector<PoiRef> group;
   MolqStats stats;
 };
 
@@ -71,8 +83,11 @@ struct MolqResult {
 /// Fig. 3): an exact ordinary Voronoi diagram when all object weights in
 /// the set are equal (ς^o is then rank-preserving in the distance), or a
 /// grid-approximated weighted diagram otherwise.
+/// `threads` parallelises the weighted-grid sampling when the set routes
+/// to the approximated diagram (no effect on the exact ordinary path).
 Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
-                    const Rect& search_space, int weighted_grid_resolution);
+                    const Rect& search_space, int weighted_grid_resolution,
+                    int threads = 1);
 
 /// Evaluates MOLQ(Ē, ς^t, σ) over `search_space` (paper Eq. 4): the
 /// location minimising MWGD. Dispatches to SSC or to the MOVD pipeline

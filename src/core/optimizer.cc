@@ -1,12 +1,14 @@
 #include "core/optimizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <unordered_set>
 
 #include "core/weighted_distance.h"
 #include "fermat/fermat_weber.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace movd {
 namespace {
@@ -49,55 +51,98 @@ double TwoPointPrefixCost(const std::vector<WeightedPoint>& points,
                       Distance(points[0].location, points[1].location);
 }
 
+struct OvrOutcome {
+  Point location;
+  double cost = 0.0;  // total cost (Fermat–Weber cost + constant offset)
+  bool solved = false;
+};
+
 }  // namespace
 
 OptimizerResult OptimizeMovd(const MolqQuery& query, const Movd& movd,
                              const OptimizerOptions& options) {
   MOVD_CHECK(!movd.ovrs.empty());
   OptimizerResult result;
-  double bound = std::numeric_limits<double>::infinity();
-  bool have_answer = false;
+  const size_t n = movd.ovrs.size();
 
-  std::unordered_set<std::vector<PoiRef>, PoiListHash> seen;
-  std::vector<WeightedPoint> points;
-
-  for (const Ovr& ovr : movd.ovrs) {
-    MOVD_CHECK(!ovr.pois.empty());
-    if (options.dedup_combinations && !seen.insert(ovr.pois).second) {
-      ++result.stats.deduped;
-      continue;
+  // Deduplication is a serial prefix pass so "first occurrence wins" stays
+  // well-defined regardless of scheduling.
+  std::vector<uint8_t> duplicate(n, 0);
+  if (options.dedup_combinations) {
+    std::unordered_set<std::vector<PoiRef>, PoiListHash> seen;
+    for (size_t i = 0; i < n; ++i) {
+      MOVD_CHECK(!movd.ovrs[i].pois.empty());
+      if (!seen.insert(movd.ovrs[i].pois).second) {
+        duplicate[i] = 1;
+        ++result.stats.deduped;
+      }
     }
-    ++result.stats.problems;
+  }
 
+  // The §5.4 global cost bound (total-cost space), shared by all workers
+  // through CAS-min. Both the prefilter and the in-iteration prune compare
+  // strictly, so an OVR whose optimum ties the bound always completes: the
+  // winner is then a pure (cost, index) decision, bit-identical for every
+  // thread count.
+  std::atomic<double> bound{std::numeric_limits<double>::infinity()};
+  std::vector<OvrOutcome> outcomes(n);
+  std::atomic<uint64_t> problems{0};
+  std::atomic<uint64_t> skipped_prefilter{0};
+  std::atomic<uint64_t> pruned_by_bound{0};
+  std::atomic<uint64_t> total_iterations{0};
+
+  ParallelFor(options.threads, n, [&](size_t i) {
+    const Ovr& ovr = movd.ovrs[i];
+    MOVD_CHECK(!ovr.pois.empty());
+    if (duplicate[i]) return;
+    problems.fetch_add(1, std::memory_order_relaxed);
+
+    std::vector<WeightedPoint> points;
     double offset = 0.0;
     BuildProblem(query, ovr.pois, &points, &offset);
 
     if (options.use_two_point_prefilter && points.size() > 3 &&
-        TwoPointPrefixCost(points, offset) > bound) {
-      ++result.stats.skipped_prefilter;
-      continue;
+        TwoPointPrefixCost(points, offset) >
+            bound.load(std::memory_order_relaxed)) {
+      skipped_prefilter.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
 
     FermatWeberOptions fw;
     fw.epsilon = options.epsilon;
     if (options.use_cost_bound) {
-      // The solver sees pure Fermat–Weber costs; shift the global bound by
-      // this problem's constant offset.
-      fw.cost_bound = bound - offset;
+      // The solver sees pure Fermat–Weber costs; it shifts its lower bound
+      // by this problem's constant offset before comparing.
+      fw.shared_cost_bound = &bound;
+      fw.shared_bound_offset = offset;
     }
     const FermatWeberResult r = SolveFermatWeber(points, fw);
-    result.stats.total_iterations += static_cast<uint64_t>(r.iterations);
+    total_iterations.fetch_add(static_cast<uint64_t>(r.iterations),
+                               std::memory_order_relaxed);
     if (r.pruned) {
-      ++result.stats.pruned_by_bound;
-      continue;
+      pruned_by_bound.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
     const double total = r.cost + offset;
-    if (!have_answer || total < result.cost) {
+    outcomes[i] = {r.location, total, true};
+    AtomicMinDouble(&bound, total);
+  });
+
+  result.stats.problems = problems.load();
+  result.stats.skipped_prefilter = skipped_prefilter.load();
+  result.stats.pruned_by_bound = pruned_by_bound.load();
+  result.stats.total_iterations = total_iterations.load();
+
+  // Deterministic reduction: minimum total cost, lowest OVR index on ties.
+  bool have_answer = false;
+  for (size_t i = 0; i < n; ++i) {
+    const OvrOutcome& o = outcomes[i];
+    if (!o.solved) continue;
+    if (!have_answer || o.cost < result.cost) {
       have_answer = true;
-      result.cost = total;
-      result.location = r.location;
-      result.group = ovr.pois;
-      bound = total;
+      result.cost = o.cost;
+      result.location = o.location;
+      result.group = movd.ovrs[i].pois;
     }
   }
   MOVD_CHECK(have_answer);

@@ -23,6 +23,14 @@ struct OptimizerOptions {
   /// (an extension beyond the paper: MBRB false positives frequently
   /// duplicate combinations). Off by default to match the paper.
   bool dedup_combinations = false;
+
+  /// Degree of parallelism for the per-OVR Fermat–Weber fan-out: workers
+  /// share the §5.4 cost bound through an atomic CAS-min. 1 (default) is
+  /// fully serial; 0 means one thread per hardware thread. The returned
+  /// (location, cost, group) is identical for every thread count — the
+  /// winning OVR is resolved by a (cost, index) reduction, never by
+  /// arrival order — though iteration/prune counters may vary with timing.
+  int threads = 1;
 };
 
 /// Counters for the Optimizer stage.

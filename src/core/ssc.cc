@@ -1,5 +1,6 @@
 #include "core/ssc.h"
 
+#include <atomic>
 #include <limits>
 
 #include "core/weighted_distance.h"
@@ -14,7 +15,10 @@ SscResult SolveSsc(const MolqQuery& query, const SscOptions& options) {
   for (const ObjectSet& set : query.sets) MOVD_CHECK(!set.objects.empty());
 
   SscResult result;
-  double bound = std::numeric_limits<double>::infinity();
+  // Atomic so the solver's strict shared-bound prune (the same tie-keeping
+  // semantics the RRB/MBRB Optimizer uses) can read it; SSC itself is
+  // serial, so plain loads/stores below never race.
+  std::atomic<double> bound{std::numeric_limits<double>::infinity()};
   bool have_answer = false;
 
   std::vector<int32_t> combo(n, 0);
@@ -41,7 +45,10 @@ SscResult SolveSsc(const MolqQuery& query, const SscOptions& options) {
       const double prefix =
           offset + std::min(points[0].weight, points[1].weight) *
                        Distance(points[0].location, points[1].location);
-      if (prefix >= bound) {
+      // Strictly greater, matching the Optimizer's prefilter: a prefix that
+      // exactly ties the bound cannot improve on it, but skipping on ties
+      // would make SSC and RRB/MBRB disagree about tie-cost optima.
+      if (prefix > bound.load(std::memory_order_relaxed)) {
         ++result.stats.skipped_prefilter;
         skip = true;
       }
@@ -50,16 +57,19 @@ SscResult SolveSsc(const MolqQuery& query, const SscOptions& options) {
     if (!skip) {
       FermatWeberOptions fw;
       fw.epsilon = options.epsilon;
-      if (options.use_cost_bound) fw.cost_bound = bound - offset;
+      if (options.use_cost_bound) {
+        fw.shared_cost_bound = &bound;
+        fw.shared_bound_offset = offset;
+      }
       const FermatWeberResult r = SolveFermatWeber(points, fw);
       result.stats.total_iterations += static_cast<uint64_t>(r.iterations);
       if (r.pruned) {
         ++result.stats.pruned_by_bound;
       } else {
         const double total = r.cost + offset;
-        if (!have_answer || total < bound) {
+        if (!have_answer || total < bound.load(std::memory_order_relaxed)) {
           have_answer = true;
-          bound = total;
+          bound.store(total, std::memory_order_relaxed);
           result.cost = total;
           result.location = r.location;
           result.group = combo;

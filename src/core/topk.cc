@@ -1,13 +1,16 @@
 #include "core/topk.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <map>
+#include <queue>
 
 #include "core/pruned_overlap.h"
 #include "core/weighted_distance.h"
 #include "fermat/fermat_weber.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace movd {
 
@@ -20,30 +23,32 @@ std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
                                 ? BoundaryMode::kRealRegion
                                 : BoundaryMode::kMbr;
 
-  std::vector<Movd> basic;
-  basic.reserve(query.sets.size());
-  for (size_t i = 0; i < query.sets.size(); ++i) {
-    basic.push_back(BuildBasicMovd(query, static_cast<int32_t>(i),
-                                   search_space,
-                                   options.weighted_grid_resolution));
-  }
+  const int threads = ResolveThreads(options.threads);
+  const size_t num_sets = query.sets.size();
+  const int inner_threads =
+      std::max(1, threads / static_cast<int>(num_sets));
+  std::vector<Movd> basic(num_sets);
+  ParallelFor(threads, num_sets, [&](size_t i) {
+    basic[i] = BuildBasicMovd(query, static_cast<int32_t>(i), search_space,
+                              options.weighted_grid_resolution,
+                              inner_threads);
+  });
   const Movd movd = OverlapAll(basic, mode);
 
   // Best cost per distinct combination; duplicates (MBRB false positives)
   // collapse naturally.
   std::map<std::vector<PoiRef>, RankedLocation> best_by_group;
-  double kth_bound = std::numeric_limits<double>::infinity();
 
-  const auto current_kth = [&]() {
-    if (best_by_group.size() < k) {
-      return std::numeric_limits<double>::infinity();
-    }
-    std::vector<double> costs;
-    costs.reserve(best_by_group.size());
-    for (const auto& [group, r] : best_by_group) costs.push_back(r.cost);
-    std::nth_element(costs.begin(), costs.begin() + (k - 1), costs.end());
-    return costs[k - 1];
-  };
+  // The k smallest costs seen so far, as a bounded max-heap: the root is
+  // the running k-th best, which is the prune bound. O(log k) per
+  // insertion instead of an O(n) selection over every group so far.
+  std::priority_queue<double> best_k;
+  // Atomic so the solver's live shared-bound prune can read it; the loop
+  // itself is serial. The prune is strict (lb > bound), so a candidate
+  // whose optimum exactly ties the current k-th cost is still solved and
+  // retained — dropping it would under-fill the result when fewer than k
+  // other combinations exist.
+  std::atomic<double> kth_bound{std::numeric_limits<double>::infinity()};
 
   for (const Ovr& ovr : movd.ovrs) {
     MOVD_CHECK(!ovr.pois.empty());
@@ -59,24 +64,38 @@ std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
     }
     FermatWeberOptions fw;
     fw.epsilon = options.epsilon;
-    if (options.use_cost_bound) fw.cost_bound = kth_bound - offset;
+    if (options.use_cost_bound) {
+      fw.shared_cost_bound = &kth_bound;
+      fw.shared_bound_offset = offset;
+    }
     const FermatWeberResult r = SolveFermatWeber(points, fw);
-    if (r.pruned) continue;  // cannot enter the current top k
+    if (r.pruned) continue;  // provably worse than the current k-th best
     RankedLocation ranked;
     ranked.location = r.location;
     ranked.cost = r.cost + offset;
     ranked.group = ovr.pois;
+    const double cost = ranked.cost;
     best_by_group.emplace(ovr.pois, std::move(ranked));
-    kth_bound = current_kth();
+    if (best_k.size() < k) {
+      best_k.push(cost);
+    } else if (cost < best_k.top()) {
+      best_k.pop();
+      best_k.push(cost);
+    }
+    if (best_k.size() == k) {
+      kth_bound.store(best_k.top(), std::memory_order_relaxed);
+    }
   }
 
   std::vector<RankedLocation> results;
   results.reserve(best_by_group.size());
   for (auto& [group, r] : best_by_group) results.push_back(std::move(r));
-  std::sort(results.begin(), results.end(),
-            [](const RankedLocation& a, const RankedLocation& b) {
-              return a.cost < b.cost;
-            });
+  // stable_sort keeps the map's (set, object) group order among equal
+  // costs, so tied tails are deterministic.
+  std::stable_sort(results.begin(), results.end(),
+                   [](const RankedLocation& a, const RankedLocation& b) {
+                     return a.cost < b.cost;
+                   });
   if (results.size() > k) results.resize(k);
   return results;
 }

@@ -1,8 +1,10 @@
 #include "fermat/batch.h"
 
+#include <atomic>
 #include <limits>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace movd {
 namespace {
@@ -18,6 +20,12 @@ double TwoPointPrefixCost(const std::vector<WeightedPoint>& points) {
   return std::min(a.weight, b.weight) * Distance(a.location, b.location);
 }
 
+struct ProblemOutcome {
+  Point location;
+  double cost = 0.0;
+  bool solved = false;
+};
+
 }  // namespace
 
 BatchResult SolveFermatWeberBatch(
@@ -25,34 +33,59 @@ BatchResult SolveFermatWeberBatch(
     const BatchOptions& options) {
   MOVD_CHECK(!problems.empty());
   BatchResult result;
-  double bound = std::numeric_limits<double>::infinity();
-  bool have_answer = false;
 
-  for (size_t i = 0; i < problems.size(); ++i) {
+  // The §5.4 global cost bound, shared by all workers. It only decreases
+  // (CAS-min), so a worker reading a stale value merely prunes less.
+  std::atomic<double> bound{std::numeric_limits<double>::infinity()};
+  std::vector<ProblemOutcome> outcomes(problems.size());
+  std::atomic<uint64_t> total_iterations{0};
+  std::atomic<uint64_t> pruned_by_bound{0};
+  std::atomic<uint64_t> skipped_by_prefilter{0};
+
+  ParallelFor(options.threads, problems.size(), [&](size_t i) {
     const std::vector<WeightedPoint>& points = problems[i];
     MOVD_CHECK(!points.empty());
 
+    // Strict >: a prefix that exactly ties the bound cannot disprove a tie
+    // with the current best, so the problem still runs and the winner stays
+    // a pure (cost, index) decision.
     if (options.use_two_point_prefilter && points.size() > 3 &&
-        TwoPointPrefixCost(points) > bound) {
-      ++result.skipped_by_prefilter;
-      continue;
+        TwoPointPrefixCost(points) > bound.load(std::memory_order_relaxed)) {
+      skipped_by_prefilter.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
 
     FermatWeberOptions fw;
     fw.epsilon = options.epsilon;
-    if (options.use_cost_bound) fw.cost_bound = bound;
+    if (options.use_cost_bound) fw.shared_cost_bound = &bound;
     const FermatWeberResult r = SolveFermatWeber(points, fw);
-    result.total_iterations += static_cast<uint64_t>(r.iterations);
+    total_iterations.fetch_add(static_cast<uint64_t>(r.iterations),
+                               std::memory_order_relaxed);
     if (r.pruned) {
-      ++result.pruned_by_bound;
-      continue;
+      pruned_by_bound.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
-    if (!have_answer || r.cost < result.cost) {
+    outcomes[i] = {r.location, r.cost, true};
+    AtomicMinDouble(&bound, r.cost);
+  });
+
+  result.total_iterations = total_iterations.load();
+  result.pruned_by_bound = pruned_by_bound.load();
+  result.skipped_by_prefilter = skipped_by_prefilter.load();
+
+  // Deterministic reduction: minimum cost, lowest index on ties. Any
+  // problem tying the global minimum is never pruned (its lower bound can
+  // never strictly exceed the bound), so every tied candidate is present
+  // here regardless of scheduling.
+  bool have_answer = false;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const ProblemOutcome& o = outcomes[i];
+    if (!o.solved) continue;
+    if (!have_answer || o.cost < result.cost) {
       have_answer = true;
-      result.cost = r.cost;
-      result.location = r.location;
+      result.cost = o.cost;
+      result.location = o.location;
       result.winner = i;
-      bound = r.cost;
     }
   }
   MOVD_CHECK(have_answer);

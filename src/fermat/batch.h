@@ -22,6 +22,14 @@ struct BatchOptions {
   /// two-point prefix first and skip the problem when even that optimum
   /// exceeds the global bound. Independent toggle for ablation.
   bool use_two_point_prefilter = true;
+
+  /// Degree of parallelism: problems are fanned out over this many threads,
+  /// all sharing the cost bound through an atomic CAS-min. 1 (default) is
+  /// fully serial; 0 means one thread per hardware thread. The returned
+  /// (location, cost, winner) triple is identical for every thread count —
+  /// the winner is resolved by a (cost, index) reduction, never by arrival
+  /// order — though the iteration/prune counters may vary with timing.
+  int threads = 1;
 };
 
 /// Aggregate result of solving a set of Fermat–Weber problems and keeping

@@ -166,6 +166,22 @@ std::optional<Point> SolveCollinear(const std::vector<WeightedPoint>& points) {
 }
 
 Point TorricelliPoint(const Point& a, const Point& b, const Point& c) {
+  // Sliver triangles can pass the exact collinearity test while being far
+  // too flat for the equilateral construction: the "away from w" side
+  // choice keys on cross products at underflow scale, flips inconsistently
+  // between the two apexes, and the lines then intersect at the Fermat
+  // point of a phantom non-degenerate triangle. Weiszfeld has no such
+  // degeneracy; iterate instead of intersecting.
+  const double area2 = std::fabs((b - a).Cross(c - a));
+  const double scale =
+      std::max({(b - a).Norm2(), (c - a).Norm2(), (c - b).Norm2()});
+  if (area2 <= 1e-12 * scale) {
+    const std::vector<WeightedPoint> pts = {{a, 1.0}, {b, 1.0}, {c, 1.0}};
+    FermatWeberOptions opts;
+    opts.epsilon = 1e-12;
+    opts.use_exact_special_cases = false;  // avoid recursing through here
+    return SolveFermatWeber(pts, opts).location;
+  }
   // Apex of the outward equilateral triangle on edge (u, v), on the side
   // away from w: rotate (v - u) by +-60 degrees around u.
   const auto apex = [](const Point& u, const Point& v, const Point& w) {
@@ -189,7 +205,16 @@ Point TorricelliPoint(const Point& a, const Point& b, const Point& c) {
   const Point d1 = pa - a;
   const Point d2 = pb - b;
   const double denom = d1.Cross(d2);
-  MOVD_CHECK(denom != 0.0);
+  // Backstop for the flatness test above: if the construction lines still
+  // come out numerically parallel the intersection is meaningless, so
+  // iterate rather than divide by a rounding residue.
+  if (std::fabs(denom) <= 1e-12 * d1.Norm() * d2.Norm()) {
+    const std::vector<WeightedPoint> pts = {{a, 1.0}, {b, 1.0}, {c, 1.0}};
+    FermatWeberOptions opts;
+    opts.epsilon = 1e-12;
+    opts.use_exact_special_cases = false;  // avoid recursing through here
+    return SolveFermatWeber(pts, opts).location;
+  }
   const double t = (b - a).Cross(d2) / denom;
   return a + d1 * t;
 }
@@ -278,7 +303,14 @@ FermatWeberResult SolveFermatWeber(const std::vector<WeightedPoint>& points,
     const double lb = FermatWeberLowerBound(points, q);
     // Cost-bound pruning (Algorithm 5, lines 15-16): once even the lower
     // bound cannot beat the global bound, further iterations are wasted.
-    if (lb >= options.cost_bound) {
+    // The shared bound is compared strictly (ties survive) so concurrent
+    // solvers stay deterministic; see FermatWeberOptions.
+    const bool bound_hit =
+        options.shared_cost_bound != nullptr
+            ? lb + options.shared_bound_offset >
+                  options.shared_cost_bound->load(std::memory_order_relaxed)
+            : lb >= options.cost_bound;
+    if (bound_hit) {
       result.pruned = true;
       break;
     }

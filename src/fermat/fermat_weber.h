@@ -1,6 +1,7 @@
 #ifndef MOVD_FERMAT_FERMAT_WEBER_H_
 #define MOVD_FERMAT_FERMAT_WEBER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -57,6 +58,19 @@ struct FermatWeberOptions {
   /// Global cost bound (Algorithm 5): iteration aborts as soon as the
   /// lower bound proves this problem cannot beat `cost_bound`.
   double cost_bound = std::numeric_limits<double>::infinity();
+
+  /// Live shared cost bound for concurrent batch solving (§5.4 across
+  /// threads). When set, it supersedes `cost_bound`: every iteration
+  /// reloads the current global bound and prunes when
+  ///   lower_bound + shared_bound_offset > *shared_cost_bound
+  /// (strictly greater, unlike the `>=` of the scalar bound, so a problem
+  /// whose optimum exactly ties the bound still completes — ties are then
+  /// resolved deterministically by the caller's (cost, index) reduction,
+  /// independent of thread arrival order). `shared_bound_offset` is the
+  /// constant term of the caller's weighted-distance decomposition, which
+  /// the bound tracks but this solver does not see.
+  const std::atomic<double>* shared_cost_bound = nullptr;
+  double shared_bound_offset = 0.0;
 
   /// When true (default), problems of size 3 / collinear problems are
   /// routed to the exact solvers, as the paper prescribes (§5.4).

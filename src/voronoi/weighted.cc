@@ -5,6 +5,7 @@
 #include "geom/gridcontour.h"
 #include "geom/hull.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace movd {
 
@@ -14,7 +15,7 @@ double WeightedSiteDistance(const Point& p, const WeightedSite& site) {
 
 std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
     const std::vector<WeightedSite>& sites, const Rect& bounds,
-    int resolution) {
+    int resolution, int threads) {
   MOVD_CHECK(resolution > 0);
   MOVD_CHECK(!bounds.Empty());
   std::vector<WeightedCellApprox> cells(sites.size());
@@ -25,10 +26,13 @@ std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
 
   const double step_x = bounds.Width() / resolution;
   const double step_y = bounds.Height() / resolution;
-  std::vector<std::vector<Point>> samples(sites.size());
   std::vector<int32_t> owner(static_cast<size_t>(resolution) * resolution);
 
-  for (int gy = 0; gy < resolution; ++gy) {
+  // Dominance sampling, one grid row per task: each cell's owner depends
+  // only on the sites, so rows are independent and the owner grid is
+  // identical for every thread count.
+  ParallelFor(threads, static_cast<size_t>(resolution), [&](size_t row) {
+    const int gy = static_cast<int>(row);
     for (int gx = 0; gx < resolution; ++gx) {
       const Point c{bounds.min_x + (gx + 0.5) * step_x,
                     bounds.min_y + (gy + 0.5) * step_y};
@@ -41,18 +45,29 @@ std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
           best = i;
         }
       }
-      samples[best].push_back(c);
       owner[static_cast<size_t>(gy) * resolution + gx] =
           static_cast<int32_t>(best);
     }
+  });
+
+  // Gather each site's dominated sample centers (row-major, as the serial
+  // scan produced them).
+  std::vector<std::vector<Point>> samples(sites.size());
+  for (int gy = 0; gy < resolution; ++gy) {
+    for (int gx = 0; gx < resolution; ++gx) {
+      const int32_t o = owner[static_cast<size_t>(gy) * resolution + gx];
+      samples[o].push_back({bounds.min_x + (gx + 0.5) * step_x,
+                            bounds.min_y + (gy + 0.5) * step_y});
+    }
   }
 
-  std::vector<uint8_t> cell_mask(owner.size());
-  for (size_t i = 0; i < sites.size(); ++i) {
+  // Per-site cover extraction: each task writes only cells[i] and reads
+  // the shared owner grid, so sites are independent.
+  ParallelFor(threads, sites.size(), [&](size_t i) {
     WeightedCellApprox& cell = cells[i];
     cell.sample_count = samples[i].size();
     cell.empty = samples[i].empty();
-    if (cell.empty) continue;
+    if (cell.empty) return;
     Rect mbr;
     for (const Point& p : samples[i]) mbr.Expand(p);
     // Conservative cover: a dominated sample is the center of a grid cell.
@@ -62,6 +77,7 @@ std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
     if (!hull.Empty()) cell.hull = Polygon(hull.vertices());
     // Tight conservative cover: one-cell-dilated outer contours of the
     // dominated cells.
+    std::vector<uint8_t> cell_mask(owner.size());
     for (size_t c = 0; c < owner.size(); ++c) {
       cell_mask[c] = owner[c] == static_cast<int32_t>(i) ? 1 : 0;
     }
@@ -72,7 +88,7 @@ std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
     for (const Polygon& piece : cell.cover) {
       cell.mbr.Expand(piece.Bbox());
     }
-  }
+  });
   return cells;
 }
 

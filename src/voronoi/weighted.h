@@ -60,9 +60,14 @@ struct WeightedCellApprox {
 /// dominating generator (ties to the lowest index). Each returned MBR is
 /// expanded by half a grid step so it covers the sampled dominance region
 /// conservatively. O(resolution^2 * n).
+///
+/// `threads` parallelises the dominance sampling (by grid row) and the
+/// per-site cover extraction; every grid cell's owner is a pure function
+/// of (sites, bounds, resolution), so the result is identical for every
+/// thread count. 1 is serial, 0 means one thread per hardware thread.
 std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
     const std::vector<WeightedSite>& sites, const Rect& bounds,
-    int resolution);
+    int resolution, int threads = 1);
 
 }  // namespace movd
 

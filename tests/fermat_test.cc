@@ -1,9 +1,11 @@
+#include <atomic>
 #include <cmath>
 
 #include <gtest/gtest.h>
 
 #include "fermat/batch.h"
 #include "fermat/fermat_weber.h"
+#include "geom/predicates.h"
 #include "geom/rect.h"
 #include "util/rng.h"
 
@@ -148,6 +150,39 @@ TEST(TorricelliTest, MatchesIterativeSolution) {
   }
 }
 
+TEST(TorricelliTest, SliverTriangleFallsBackToIterative) {
+  // c sits a denormal above the segment ab: the triple fails the exact
+  // collinearity test, yet the two Torricelli construction lines are
+  // numerically antiparallel (denom underflows). The old code hard-aborted
+  // on MOVD_CHECK(denom != 0); the fallback must return a finite point.
+  const Point a{0, 0}, b{1, 0}, c{0.5, 1e-30};
+  ASSERT_NE(Orient2D(a, b, c), 0.0);  // not exactly collinear
+  const Point t = TorricelliPoint(a, b, c);
+  ASSERT_TRUE(std::isfinite(t.x));
+  ASSERT_TRUE(std::isfinite(t.y));
+  // Any point on the segment is optimal with cost d(a, b) = 1.
+  const std::vector<WeightedPoint> pts = {{a, 1.0}, {b, 1.0}, {c, 1.0}};
+  EXPECT_NEAR(FermatWeberCost(pts, t), 1.0, 1e-9);
+  EXPECT_NEAR(t.y, 0.0, 1e-9);
+}
+
+TEST(TorricelliTest, SliverSweepStaysFiniteAndNearOptimal) {
+  // Sliver triangles across heights and apex positions: every result must
+  // be finite with cost within stopping-rule slack of the degenerate
+  // optimum d(a, b) (the apex is essentially on the segment).
+  for (const double height : {1e-18, 1e-22, 1e-26, 1e-30}) {
+    for (const double x : {0.2, 0.5, 0.8}) {
+      const Point a{0, 0}, b{1, 0}, c{x, height};
+      const Point t = TorricelliPoint(a, b, c);
+      ASSERT_TRUE(std::isfinite(t.x)) << "h=" << height << " x=" << x;
+      ASSERT_TRUE(std::isfinite(t.y)) << "h=" << height << " x=" << x;
+      const std::vector<WeightedPoint> pts = {{a, 1.0}, {b, 1.0}, {c, 1.0}};
+      EXPECT_NEAR(FermatWeberCost(pts, t), 1.0, 1e-9)
+          << "h=" << height << " x=" << x;
+    }
+  }
+}
+
 TEST(SolveTriangleTest, ObtuseVertexWins) {
   // Angle at a is far beyond 120 degrees: the optimum is the vertex a.
   const std::vector<WeightedPoint> pts = {
@@ -259,6 +294,84 @@ TEST(CostBoundTest, DoesNotPruneTheActualWinner) {
     const auto r = SolveFermatWeber(pts, with_bound);
     EXPECT_FALSE(r.pruned);
     EXPECT_NEAR(r.cost, base.cost, 1e-3 * base.cost);
+  }
+}
+
+TEST(SharedBoundTest, BoundBelowOptimumPrunes) {
+  Rng rng(71);
+  const auto pts = RandomProblem(6, &rng);
+  std::atomic<double> bound{0.0};  // nothing can beat a zero bound
+  FermatWeberOptions opts;
+  opts.shared_cost_bound = &bound;
+  const auto r = SolveFermatWeber(pts, opts);
+  EXPECT_TRUE(r.pruned);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(SharedBoundTest, TiedBoundDoesNotPruneAndIsBitIdentical) {
+  // The determinism linchpin: a shared bound exactly equal to the solution
+  // cost must never fire (strict comparison), because the Eq. 10 lower
+  // bound never exceeds the optimum, which never exceeds the achieved
+  // cost. The iterate path is then identical to the unbounded run.
+  Rng rng(72);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pts = RandomProblem(5, &rng);
+    FermatWeberOptions base;
+    base.epsilon = 1e-3;
+    const auto unbounded = SolveFermatWeber(pts, base);
+    std::atomic<double> bound{unbounded.cost};
+    FermatWeberOptions tied = base;
+    tied.shared_cost_bound = &bound;
+    const auto r = SolveFermatWeber(pts, tied);
+    EXPECT_FALSE(r.pruned);
+    EXPECT_EQ(r.cost, unbounded.cost);
+    EXPECT_EQ(r.location.x, unbounded.location.x);
+    EXPECT_EQ(r.location.y, unbounded.location.y);
+    EXPECT_EQ(r.iterations, unbounded.iterations);
+  }
+}
+
+TEST(SharedBoundTest, OffsetShiftsTheComparison) {
+  // The bound lives in total-cost space; the solver sees raw Fermat–Weber
+  // costs plus a constant offset. A bound tied at (cost + offset) must not
+  // prune; a bound strictly below it must.
+  Rng rng(73);
+  const auto pts = RandomProblem(5, &rng);
+  FermatWeberOptions base;
+  base.epsilon = 1e-3;
+  const auto plain = SolveFermatWeber(pts, base);
+  const double offset = 7.25;
+  std::atomic<double> tied_bound{plain.cost + offset};
+  FermatWeberOptions opts = base;
+  opts.shared_cost_bound = &tied_bound;
+  opts.shared_bound_offset = offset;
+  const auto kept = SolveFermatWeber(pts, opts);
+  EXPECT_FALSE(kept.pruned);
+  EXPECT_EQ(kept.cost, plain.cost);
+  std::atomic<double> low_bound{offset};  // lb + offset > offset immediately
+  opts.shared_cost_bound = &low_bound;
+  const auto cut = SolveFermatWeber(pts, opts);
+  EXPECT_TRUE(cut.pruned);
+}
+
+TEST(BatchTest, ParallelMatchesSerialBitwise) {
+  // The winner triple (location, cost, index) must be invariant under the
+  // thread count: tied minima always complete (strict shared bound) and
+  // the reduction picks the lowest index among exact-cost ties.
+  Rng rng(74);
+  std::vector<std::vector<WeightedPoint>> problems;
+  for (int i = 0; i < 200; ++i) problems.push_back(RandomProblem(5, &rng));
+  BatchOptions serial;
+  serial.epsilon = 1e-4;
+  const auto base = SolveFermatWeberBatch(problems, serial);
+  for (const int threads : {2, 4, 8}) {
+    BatchOptions par = serial;
+    par.threads = threads;
+    const auto r = SolveFermatWeberBatch(problems, par);
+    EXPECT_EQ(r.winner, base.winner) << "threads=" << threads;
+    EXPECT_EQ(r.cost, base.cost) << "threads=" << threads;
+    EXPECT_EQ(r.location.x, base.location.x) << "threads=" << threads;
+    EXPECT_EQ(r.location.y, base.location.y) << "threads=" << threads;
   }
 }
 

@@ -298,6 +298,114 @@ TEST(MolqTest, Property5HoldsOnFinalMovd) {
   }
 }
 
+class MolqParallelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MolqParallelTest, ThreadCountDoesNotChangeTheAnswer) {
+  // The whole point of the (cost, index) reduction + strict shared bound:
+  // the answer triple is bit-identical for every thread count.
+  const MolqQuery q =
+      RandomQuery({5, 4, 4}, GetParam() + 3000, /*random_type_weights=*/true);
+  for (const MolqAlgorithm algo :
+       {MolqAlgorithm::kRrb, MolqAlgorithm::kMbrb}) {
+    MolqOptions opts;
+    opts.algorithm = algo;
+    opts.epsilon = 1e-6;
+    const auto serial = SolveMolq(q, kBounds, opts);
+    EXPECT_EQ(serial.stats.threads, 1);
+    for (const int threads : {2, 4, 8}) {
+      MolqOptions par = opts;
+      par.threads = threads;
+      const auto r = SolveMolq(q, kBounds, par);
+      EXPECT_EQ(r.cost, serial.cost) << "threads=" << threads;
+      EXPECT_EQ(r.location.x, serial.location.x) << "threads=" << threads;
+      EXPECT_EQ(r.location.y, serial.location.y) << "threads=" << threads;
+      EXPECT_EQ(r.group, serial.group) << "threads=" << threads;
+      EXPECT_EQ(r.stats.threads, threads);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MolqParallelTest,
+                         ::testing::Values(31, 32, 33, 34));
+
+TEST(MolqParallelWeightedTest, GridDiagramsDeterministicAcrossThreads) {
+  // Non-uniform object weights route through the row-parallel weighted
+  // Voronoi grid; the owner grid is a pure function of its inputs, so the
+  // final answer must not depend on the thread count either.
+  MolqQuery q = RandomQuery({4, 4}, 3100, /*random_type_weights=*/false);
+  Rng rng(3101);
+  for (auto& set : q.sets) {
+    for (auto& obj : set.objects) obj.object_weight = rng.Uniform(0.5, 2.0);
+  }
+  MolqOptions opts;
+  opts.algorithm = MolqAlgorithm::kMbrb;
+  opts.epsilon = 1e-6;
+  opts.weighted_grid_resolution = 64;
+  const auto serial = SolveMolq(q, kBounds, opts);
+  MolqOptions par = opts;
+  par.threads = 4;
+  const auto r = SolveMolq(q, kBounds, par);
+  EXPECT_EQ(r.cost, serial.cost);
+  EXPECT_EQ(r.location.x, serial.location.x);
+  EXPECT_EQ(r.location.y, serial.location.y);
+  EXPECT_EQ(r.group, serial.group);
+}
+
+TEST(MolqTest, TiedOptimaAgreeAcrossEnginesAndThreads) {
+  // Two combinations tie at cost exactly 5: (A, C) and (B, D) both span a
+  // (3, 4) displacement. With the unified strict (>) prefilter/bound tie
+  // semantics, neither engine may discard the tied runner-up mid-search,
+  // and SSC and RRB must land on the same cost.
+  MolqQuery q;
+  q.sets.resize(2);
+  q.sets[0].name = "first";
+  q.sets[1].name = "second";
+  auto add = [](ObjectSet* set, Point at) {
+    SpatialObject obj;
+    obj.location = at;
+    obj.type_weight = 1.0;
+    obj.object_weight = 1.0;
+    set->objects.push_back(obj);
+  };
+  add(&q.sets[0], {10, 10});  // A
+  add(&q.sets[0], {60, 10});  // B
+  add(&q.sets[1], {13, 14});  // C = A + (3, 4)
+  add(&q.sets[1], {63, 14});  // D = B + (3, 4)
+
+  const auto ssc = Solve(q, MolqAlgorithm::kSsc);
+  const auto rrb = Solve(q, MolqAlgorithm::kRrb);
+  EXPECT_EQ(ssc.cost, 5.0);
+  EXPECT_EQ(rrb.cost, 5.0);
+  EXPECT_EQ(ssc.cost, rrb.cost);
+  // Each returned location must genuinely achieve the minimum MWGD.
+  EXPECT_EQ(MinWeightedGroupDistance(q, ssc.location), 5.0);
+  EXPECT_EQ(MinWeightedGroupDistance(q, rrb.location), 5.0);
+
+  // And the tie resolution is thread-count-invariant.
+  MolqOptions par;
+  par.algorithm = MolqAlgorithm::kRrb;
+  par.epsilon = 1e-6;
+  par.threads = 4;
+  const auto rrb4 = SolveMolq(q, kBounds, par);
+  EXPECT_EQ(rrb4.cost, rrb.cost);
+  EXPECT_EQ(rrb4.location.x, rrb.location.x);
+  EXPECT_EQ(rrb4.location.y, rrb.location.y);
+  EXPECT_EQ(rrb4.group, rrb.group);
+}
+
+TEST(MolqTest, GroupIsPopulatedAndConsistent) {
+  // MolqResult.group must name the combination that realises the cost, for
+  // every engine.
+  const MolqQuery q = RandomQuery({4, 3, 3}, 3200, true);
+  for (const MolqAlgorithm algo :
+       {MolqAlgorithm::kSsc, MolqAlgorithm::kRrb, MolqAlgorithm::kMbrb}) {
+    const auto r = Solve(q, algo);
+    ASSERT_EQ(r.group.size(), q.sets.size());
+    EXPECT_NEAR(WeightedGroupDistance(q, r.location, r.group), r.cost,
+                1e-6 * r.cost + 1e-9);
+  }
+}
+
 TEST(MolqTest, StatsArePopulated) {
   const MolqQuery q = RandomQuery({6, 6, 5}, 123, true);
   const auto rrb = Solve(q, MolqAlgorithm::kRrb);

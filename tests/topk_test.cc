@@ -120,6 +120,68 @@ TEST(TopKTest, KLargerThanCombinationsReturnsAll) {
   EXPECT_LE(top.size(), 4u);
 }
 
+// Two combinations tie at cost exactly 5: (A, C) and (B, D) both span a
+// (3, 4) displacement, solved exactly by the two-point special case.
+MolqQuery TiedPairQuery() {
+  MolqQuery q;
+  q.sets.resize(2);
+  q.sets[0].name = "first";
+  q.sets[1].name = "second";
+  auto add = [](ObjectSet* set, Point at) {
+    SpatialObject obj;
+    obj.location = at;
+    obj.type_weight = 1.0;
+    obj.object_weight = 1.0;
+    set->objects.push_back(obj);
+  };
+  add(&q.sets[0], {10, 10});  // A
+  add(&q.sets[0], {60, 10});  // B
+  add(&q.sets[1], {13, 14});  // C = A + (3, 4)
+  add(&q.sets[1], {63, 14});  // D = B + (3, 4)
+  return q;
+}
+
+TEST(TopKTest, TiedKthPlusOneIsNotPruned) {
+  // With k = 1 the runner-up ties the winner exactly. The k-th-best bound
+  // must be non-pruning on ties (strict comparison), so the tied candidate
+  // is still fully examined and the reported optimum stays exact.
+  const MolqQuery q = TiedPairQuery();
+  MolqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto top1 = SolveMolqTopK(q, kBounds, 1, opts);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].cost, 5.0);
+}
+
+TEST(TopKTest, BothTiedGroupsAreRetained) {
+  const MolqQuery q = TiedPairQuery();
+  MolqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto top = SolveMolqTopK(q, kBounds, 2, opts);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].cost, 5.0);
+  EXPECT_EQ(top[1].cost, 5.0);
+  EXPECT_NE(top[0].group, top[1].group);
+  // Each tied answer genuinely achieves the minimum at its own location.
+  EXPECT_EQ(MinWeightedGroupDistance(q, top[0].location), 5.0);
+  EXPECT_EQ(MinWeightedGroupDistance(q, top[1].location), 5.0);
+}
+
+TEST(TopKTest, RanksBeyondTheTieStayOrdered) {
+  const MolqQuery q = TiedPairQuery();
+  MolqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto top = SolveMolqTopK(q, kBounds, 4, opts);
+  // (A, D) co-occurs nowhere in the overlap, so at most 3 combinations
+  // materialise; the two tied at 5 must lead.
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].cost, 5.0);
+  EXPECT_EQ(top[1].cost, 5.0);
+  for (size_t i = 2; i < top.size(); ++i) {
+    EXPECT_GT(top[i].cost, 5.0);
+  }
+}
+
 TEST(TopKTest, MbrbAgreesWithRrbOnTopCosts) {
   const MolqQuery q = RandomQuery({4, 4, 3}, 405);
   MolqOptions rrb;
