@@ -3,6 +3,7 @@
 // The cost-bound approach is enabled in all three solvers, as in the paper.
 //
 // Flags: --sizes=16,32,64,128,256  --epsilon=1e-3  --seed=1  --threads=1
+//        --audit (run the invariant auditors inside every solve)
 // With --threads=N > 1 a second table reports the end-to-end speedup of
 // the parallel pipeline over the serial baseline (identical answers).
 
@@ -17,15 +18,27 @@
 namespace movd::bench {
 namespace {
 
+// --audit runs the structural invariant auditors (DESIGN.md §7) inside
+// every solve and aborts on the first violation; the timings then include
+// the audit passes, so use it for validation runs, not for figures.
+bool g_audit = false;
+
 double RunSolver(const MolqQuery& query, MolqAlgorithm algorithm,
                  double epsilon, double* cost, int threads = 1) {
   MolqOptions opts;
   opts.algorithm = algorithm;
   opts.epsilon = epsilon;
   opts.threads = threads;
+  opts.audit = g_audit;
   Stopwatch sw;
   const MolqResult r = SolveMolq(query, kWorld, opts);
   *cost = r.cost;
+  if (g_audit && !r.stats.audit_violations.empty()) {
+    for (const std::string& v : r.stats.audit_violations) {
+      std::fprintf(stderr, "audit violation: %s\n", v.c_str());
+    }
+    MOVD_CHECK_MSG(false, "--audit found invariant violations");
+  }
   return sw.ElapsedSeconds();
 }
 
@@ -36,6 +49,7 @@ int Main(int argc, char** argv) {
   const double epsilon = flags.GetDouble("epsilon", 1e-3);
   const uint64_t seed = flags.GetInt("seed", 1);
   const int threads = ThreadsFlag(flags);
+  g_audit = flags.GetBool("audit", false);
 
   std::printf("Fig. 8 — MOLQ, three object types {STM, CH, SCH}; "
               "type weights U[0,10); epsilon=%g\n\n", epsilon);

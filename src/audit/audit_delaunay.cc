@@ -1,0 +1,256 @@
+#include "audit/audit_delaunay.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "geom/hull.h"
+#include "geom/predicates.h"
+
+namespace movd {
+namespace {
+
+// Index of `value` within a triangle vertex array, or -1.
+int IndexOf(const int32_t v[3], int32_t value) {
+  for (int i = 0; i < 3; ++i) {
+    if (v[i] == value) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+AuditReport AuditDelaunayTriangles(
+    const std::vector<Point>& points, size_t num_real,
+    const std::vector<Delaunay::Triangle>& tris) {
+  AuditReport report;
+  const auto np = static_cast<int32_t>(points.size());
+  const auto nt = static_cast<int32_t>(tris.size());
+
+  // Pass 1: index sanity. Later passes assume it, so bail out on failure.
+  for (int32_t t = 0; t < nt; ++t) {
+    report.NoteChecks(1);
+    const auto& tri = tris[t];
+    for (int i = 0; i < 3; ++i) {
+      if (tri.v[i] < 0 || tri.v[i] >= np) {
+        report.Add(AuditKind::kDelaunayIndexRange,
+                   AuditStrFormat("triangle %d vertex slot %d holds %d "
+                                  "(have %d points)",
+                                  t, i, tri.v[i], np),
+                   {t, i, tri.v[i]});
+        return report;
+      }
+      if (tri.neighbor[i] < -1 || tri.neighbor[i] >= nt) {
+        report.Add(AuditKind::kDelaunayIndexRange,
+                   AuditStrFormat("triangle %d neighbor slot %d holds %d "
+                                  "(have %d triangles)",
+                                  t, i, tri.neighbor[i], nt),
+                   {t, i, tri.neighbor[i]});
+        return report;
+      }
+    }
+    if (tri.v[0] == tri.v[1] || tri.v[1] == tri.v[2] ||
+        tri.v[0] == tri.v[2]) {
+      report.Add(AuditKind::kDelaunayIndexRange,
+                 AuditStrFormat("triangle %d repeats a vertex (%d, %d, %d)",
+                                t, tri.v[0], tri.v[1], tri.v[2]),
+                 {t});
+      return report;
+    }
+  }
+
+  // Pass 2: orientation.
+  for (int32_t t = 0; t < nt; ++t) {
+    report.NoteChecks(1);
+    const auto& tri = tris[t];
+    const double o =
+        Orient2D(points[tri.v[0]], points[tri.v[1]], points[tri.v[2]]);
+    if (!(o > 0.0)) {
+      report.Add(AuditKind::kDelaunayOrientation,
+                 AuditStrFormat("triangle %d (%d, %d, %d) is %s", t,
+                                tri.v[0], tri.v[1], tri.v[2],
+                                o == 0.0 ? "degenerate" : "clockwise"),
+                 {t, tri.v[0], tri.v[1], tri.v[2]},
+                 {points[tri.v[0]], points[tri.v[1]], points[tri.v[2]]});
+    }
+  }
+
+  // Pass 3: neighbor symmetry + the undirected edge incidence map.
+  std::map<std::pair<int32_t, int32_t>, std::vector<int32_t>> edge_tris;
+  for (int32_t t = 0; t < nt; ++t) {
+    const auto& tri = tris[t];
+    for (int i = 0; i < 3; ++i) {
+      const int32_t a = tri.v[(i + 1) % 3];
+      const int32_t b = tri.v[(i + 2) % 3];
+      edge_tris[{std::min(a, b), std::max(a, b)}].push_back(t);
+
+      report.NoteChecks(1);
+      const int32_t nb = tri.neighbor[i];
+      if (nb < 0) continue;
+      const auto& other = tris[nb];
+      // The neighbor must hold the reversed edge (b, a) and point back.
+      bool mirrored = false;
+      for (int j = 0; j < 3; ++j) {
+        if (other.v[(j + 1) % 3] == b && other.v[(j + 2) % 3] == a) {
+          mirrored = other.neighbor[j] == t;
+          break;
+        }
+      }
+      if (!mirrored) {
+        report.Add(
+            AuditKind::kDelaunayNeighborSymmetry,
+            AuditStrFormat("triangle %d lists %d across edge (%d, %d) but "
+                           "%d does not mirror it",
+                           t, nb, a, b, nb),
+            {t, nb, a, b}, {points[a], points[b]});
+      }
+    }
+  }
+
+  // Pass 4: edge manifoldness and Euler's relation. A triangulated disk
+  // (the super-quad interior, or any convex region in hand-built test
+  // data) satisfies V - E + F = 2 with F = T + 1 for the outer face.
+  for (const auto& [edge, ts] : edge_tris) {
+    report.NoteChecks(1);
+    if (ts.size() > 2) {
+      report.Add(AuditKind::kDelaunayEdgeManifold,
+                 AuditStrFormat("edge (%d, %d) bounds %zu triangles",
+                                edge.first, edge.second, ts.size()),
+                 {edge.first, edge.second},
+                 {points[edge.first], points[edge.second]});
+    }
+  }
+  if (nt > 0) {
+    std::vector<int32_t> used;
+    for (const auto& tri : tris) used.insert(used.end(), tri.v, tri.v + 3);
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    const auto v = static_cast<int64_t>(used.size());
+    const auto e = static_cast<int64_t>(edge_tris.size());
+    const int64_t f = nt + 1;
+    report.NoteChecks(1);
+    if (v - e + f != 2) {
+      report.Add(AuditKind::kDelaunayEuler,
+                 AuditStrFormat("V - E + F = %lld - %lld + %lld = %lld "
+                                "(want 2)",
+                                static_cast<long long>(v),
+                                static_cast<long long>(e),
+                                static_cast<long long>(f),
+                                static_cast<long long>(v - e + f)),
+                 {v, e, f});
+    }
+  }
+
+  // Pass 5: the empty-circumcircle property over all-real triangles, with
+  // a witness per offending (triangle, point) pair. Skips triangles whose
+  // orientation already failed (InCircle's sign assumes CCW).
+  for (int32_t t = 0; t < nt; ++t) {
+    const auto& tri = tris[t];
+    bool synthetic = false;
+    for (int i = 0; i < 3; ++i) {
+      synthetic |= tri.v[i] >= static_cast<int32_t>(num_real);
+    }
+    if (synthetic) continue;
+    const Point& a = points[tri.v[0]];
+    const Point& b = points[tri.v[1]];
+    const Point& c = points[tri.v[2]];
+    if (!(Orient2D(a, b, c) > 0.0)) continue;
+    for (int32_t p = 0; p < static_cast<int32_t>(num_real); ++p) {
+      if (IndexOf(tri.v, p) >= 0) continue;
+      report.NoteChecks(1);
+      if (InCircle(a, b, c, points[p]) > 0.0) {
+        report.Add(AuditKind::kDelaunayCircumcircle,
+                   AuditStrFormat("point %d (%g, %g) lies inside the "
+                                  "circumcircle of triangle %d (%d, %d, %d)",
+                                  p, points[p].x, points[p].y, t, tri.v[0],
+                                  tri.v[1], tri.v[2]),
+                   {t, p}, {a, b, c, points[p]});
+      }
+    }
+  }
+
+  // Pass 6: the triangulation boundary contains the convex hull of the
+  // real points. ConvexHull keeps only extreme corners while the
+  // triangulation legitimately subdivides a hull edge at input points
+  // lying exactly on it (point generators clamp out-of-range samples onto
+  // the bounding rectangle, manufacturing collinear boundary chains), so
+  // each hull edge is checked as a chain: the input points on the edge,
+  // sorted along it, must be pairwise connected by triangulation edges.
+  const ConvexPolygon hull = ConvexHull(
+      std::vector<Point>(points.begin(), points.begin() + num_real));
+  const auto& hv = hull.vertices();
+  if (!hull.Empty()) {
+    using Coord = std::pair<double, double>;
+    // Edges keyed by coordinates, so duplicate input points collapse onto
+    // whichever copy the triangulation actually inserted.
+    std::set<std::pair<Coord, Coord>> edge_coords;
+    for (const auto& entry : edge_tris) {
+      Coord ca{points[entry.first.first].x, points[entry.first.first].y};
+      Coord cb{points[entry.first.second].x, points[entry.first.second].y};
+      if (cb < ca) std::swap(ca, cb);
+      edge_coords.insert({ca, cb});
+    }
+    // Lowest input index per coordinate, for violation messages.
+    std::map<Coord, int32_t> index_of;
+    for (int32_t i = static_cast<int32_t>(num_real) - 1; i >= 0; --i) {
+      index_of[{points[i].x, points[i].y}] = i;
+    }
+    for (size_t i = 0; i < hv.size(); ++i) {
+      const Point& pa = hv[i];
+      const Point& pb = hv[(i + 1) % hv.size()];
+      // The chain: unique coordinates of real points exactly on [pa, pb].
+      // Collinear points on a segment are monotone in lexicographic
+      // (x, y) order, so a plain sort orders them along the edge.
+      std::vector<Coord> chain;
+      for (size_t p = 0; p < num_real; ++p) {
+        const Point& c = points[p];
+        if (Orient2D(pa, pb, c) != 0.0) continue;
+        if (c.x < std::min(pa.x, pb.x) || c.x > std::max(pa.x, pb.x) ||
+            c.y < std::min(pa.y, pb.y) || c.y > std::max(pa.y, pb.y)) {
+          continue;
+        }
+        chain.push_back({c.x, c.y});
+      }
+      std::sort(chain.begin(), chain.end());
+      chain.erase(std::unique(chain.begin(), chain.end()), chain.end());
+      if (Coord{pa.x, pa.y} > Coord{pb.x, pb.y}) {
+        std::reverse(chain.begin(), chain.end());
+      }
+      report.NoteChecks(1);
+      if (chain.size() < 2 || chain.front() != Coord{pa.x, pa.y} ||
+          chain.back() != Coord{pb.x, pb.y}) {
+        report.Add(AuditKind::kDelaunayHullEdge,
+                   AuditStrFormat("hull edge (%g, %g)->(%g, %g) endpoints "
+                                  "are not input points",
+                                  pa.x, pa.y, pb.x, pb.y),
+                   {}, {pa, pb});
+        continue;
+      }
+      for (size_t k = 0; k + 1 < chain.size(); ++k) {
+        Coord ca = chain[k];
+        Coord cb = chain[k + 1];
+        if (cb < ca) std::swap(ca, cb);
+        report.NoteChecks(1);
+        if (edge_coords.find({ca, cb}) == edge_coords.end()) {
+          report.Add(AuditKind::kDelaunayHullEdge,
+                     AuditStrFormat("hull edge (%d, %d) is missing from the "
+                                    "triangulation",
+                                    index_of[ca], index_of[cb]),
+                     {index_of[ca], index_of[cb]},
+                     {Point(ca.first, ca.second),
+                      Point(cb.first, cb.second)});
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+AuditReport AuditDelaunay(const Delaunay& dt) {
+  return AuditDelaunayTriangles(dt.points(), dt.num_real_points(),
+                                dt.Triangles());
+}
+
+}  // namespace movd

@@ -1,0 +1,38 @@
+#ifndef MOVD_AUDIT_AUDIT_DELAUNAY_H_
+#define MOVD_AUDIT_AUDIT_DELAUNAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "audit/audit.h"
+#include "voronoi/delaunay.h"
+
+namespace movd {
+
+/// Validates a triangulation given as raw data, so tests can audit
+/// deliberately corrupted triangle lists. Checks, in order:
+///  - vertex/neighbor indices in range, vertices distinct per triangle;
+///  - counterclockwise orientation of every triangle (exact Orient2D);
+///  - neighbor symmetry: t's neighbor across an edge lists t back across
+///    the same (reversed) edge;
+///  - edge manifoldness (each undirected edge bounds at most 2 triangles)
+///    and the Euler relation V - E + (T + 1) = 2 of a triangulated disk;
+///  - the empty-circumcircle property: no real point strictly inside the
+///    circumcircle of any all-real triangle (exact InCircle; O(T*N));
+///  - every convex-hull edge of the real points is a triangulation edge.
+///
+/// `points` may include synthetic bounding vertices at indices >= num_real
+/// (as Delaunay places them); triangles touching them are skipped by the
+/// circumcircle check, exactly like Delaunay::VerifyDelaunay. `tris` must
+/// be compact: neighbor values index `tris` itself, or -1 on the boundary
+/// (Delaunay::Triangles() returns this form).
+AuditReport AuditDelaunayTriangles(
+    const std::vector<Point>& points, size_t num_real,
+    const std::vector<Delaunay::Triangle>& tris);
+
+/// Audits a live triangulation.
+AuditReport AuditDelaunay(const Delaunay& dt);
+
+}  // namespace movd
+
+#endif  // MOVD_AUDIT_AUDIT_DELAUNAY_H_

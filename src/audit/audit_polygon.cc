@@ -1,0 +1,137 @@
+#include "audit/audit_polygon.h"
+
+#include <cmath>
+#include <vector>
+
+#include "geom/predicates.h"
+
+namespace movd {
+namespace {
+
+// True when segments [a,b] and [c,d] properly cross (their interiors
+// intersect) or overlap collinearly over a positive length. Point touches —
+// shared vertices, a vertex resting on another edge — are deliberately NOT
+// crossings: a weakly-simple ring that pinches at a vertex is a faithful
+// boundary of a pinched region (grid-dominance covers produce these at
+// lattice pinch points), while a proper crossing always means a bowtie.
+bool SegmentsCross(const Point& a, const Point& b, const Point& c,
+                   const Point& d) {
+  const double d1 = Orient2D(c, d, a);
+  const double d2 = Orient2D(c, d, b);
+  const double d3 = Orient2D(a, b, c);
+  const double d4 = Orient2D(a, b, d);
+  const bool ab_split = (d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0);
+  const bool cd_split = (d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0);
+  if (ab_split && cd_split) return true;
+  if (d1 == 0.0 && d2 == 0.0 && d3 == 0.0 && d4 == 0.0) {
+    // Collinear: a positive-length 1-D overlap shows on at least one axis.
+    const double x_lo = std::max(std::min(a.x, b.x), std::min(c.x, d.x));
+    const double x_hi = std::min(std::max(a.x, b.x), std::max(c.x, d.x));
+    const double y_lo = std::max(std::min(a.y, b.y), std::min(c.y, d.y));
+    const double y_hi = std::min(std::max(a.y, b.y), std::max(c.y, d.y));
+    return x_lo < x_hi || y_lo < y_hi;
+  }
+  return false;
+}
+
+std::vector<int64_t> Tagged(int64_t tag, std::initializer_list<int64_t> rest) {
+  std::vector<int64_t> out;
+  out.push_back(tag);
+  out.insert(out.end(), rest);
+  return out;
+}
+
+// Shared ring checks; `convex` additionally requires every turn to be
+// non-clockwise. Returns early on structural failures that would make the
+// later checks meaningless (non-finite coordinates).
+AuditReport AuditRing(const std::vector<Point>& v, bool convex, int64_t tag) {
+  AuditReport report;
+  const size_t n = v.size();
+  if (n < 3) {
+    report.NoteChecks(1);
+    if (n != 0) {
+      report.Add(AuditKind::kPolygonVertexCount,
+                 AuditStrFormat("ring has %zu vertices (want 0 or >= 3)", n),
+                 Tagged(tag, {static_cast<int64_t>(n)}));
+    }
+    return report;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    report.NoteChecks(1);
+    if (!std::isfinite(v[i].x) || !std::isfinite(v[i].y)) {
+      report.Add(AuditKind::kPolygonNonFinite,
+                 AuditStrFormat("vertex %zu is not finite", i),
+                 Tagged(tag, {static_cast<int64_t>(i)}), {v[i]});
+      return report;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    report.NoteChecks(1);
+    if (v[i] == v[(i + 1) % n]) {
+      report.Add(AuditKind::kPolygonDuplicateVertex,
+                 AuditStrFormat("vertices %zu and %zu coincide at (%g, %g)",
+                                i, (i + 1) % n, v[i].x, v[i].y),
+                 Tagged(tag, {static_cast<int64_t>(i)}), {v[i]});
+    }
+  }
+
+  // Orientation: positive shoelace signed area.
+  double area2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    area2 += v[i].Cross(v[(i + 1) % n]);
+  }
+  report.NoteChecks(1);
+  if (!(area2 > 0.0)) {
+    report.Add(AuditKind::kPolygonOrientation,
+               AuditStrFormat("signed area %g (want > 0: CCW)", 0.5 * area2),
+               Tagged(tag, {}));
+  }
+
+  if (convex) {
+    for (size_t i = 0; i < n; ++i) {
+      report.NoteChecks(1);
+      const Point& a = v[i];
+      const Point& b = v[(i + 1) % n];
+      const Point& c = v[(i + 2) % n];
+      if (Orient2D(a, b, c) < 0.0) {
+        report.Add(AuditKind::kPolygonNotConvex,
+                   AuditStrFormat("clockwise turn at vertex %zu (%g, %g)",
+                                  (i + 1) % n, b.x, b.y),
+                   Tagged(tag, {static_cast<int64_t>((i + 1) % n)}), {b});
+      }
+    }
+  }
+
+  // Simplicity: no two non-adjacent edges cross. O(n^2) exact tests —
+  // the auditors favour completeness over speed (they are opt-in).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      // Skip the edge itself and the two ring-adjacent edges.
+      if (j == i || (j + 1) % n == i || (i + 1) % n == j) continue;
+      report.NoteChecks(1);
+      if (SegmentsCross(v[i], v[(i + 1) % n], v[j], v[(j + 1) % n])) {
+        report.Add(
+            AuditKind::kPolygonSelfIntersection,
+            AuditStrFormat("edge %zu->%zu intersects edge %zu->%zu", i,
+                           (i + 1) % n, j, (j + 1) % n),
+            Tagged(tag, {static_cast<int64_t>(i), static_cast<int64_t>(j)}),
+            {v[i], v[(i + 1) % n], v[j], v[(j + 1) % n]});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+AuditReport AuditPolygon(const Polygon& polygon, int64_t tag) {
+  return AuditRing(polygon.vertices(), /*convex=*/false, tag);
+}
+
+AuditReport AuditConvexPolygon(const ConvexPolygon& polygon, int64_t tag) {
+  return AuditRing(polygon.vertices(), /*convex=*/true, tag);
+}
+
+}  // namespace movd

@@ -1,0 +1,28 @@
+#ifndef MOVD_AUDIT_AUDIT_POLYGON_H_
+#define MOVD_AUDIT_AUDIT_POLYGON_H_
+
+#include <cstdint>
+
+#include "audit/audit.h"
+#include "geom/polygon.h"
+
+namespace movd {
+
+/// Validates a simple (possibly concave) CCW ring: finite coordinates, no
+/// consecutive duplicate vertices, positive signed area, and weak
+/// simplicity (no two non-adjacent edges properly cross or overlap over a
+/// positive length; exact predicates — point touches at pinch vertices
+/// are allowed, as grid-dominance covers produce them). Empty polygons
+/// (< 3 vertices after construction) audit clean by definition.
+///
+/// `tag` is prepended to every violation's index list so callers auditing
+/// many polygons (cells, cover rings) can attribute the witness.
+AuditReport AuditPolygon(const Polygon& polygon, int64_t tag = -1);
+
+/// Validates a ConvexPolygon ring: the simple-ring checks plus strict
+/// convexity (every turn counterclockwise or collinear, CCW overall).
+AuditReport AuditConvexPolygon(const ConvexPolygon& polygon, int64_t tag = -1);
+
+}  // namespace movd
+
+#endif  // MOVD_AUDIT_AUDIT_POLYGON_H_

@@ -1,0 +1,33 @@
+#ifndef MOVD_AUDIT_AUDIT_WEIGHTED_H_
+#define MOVD_AUDIT_AUDIT_WEIGHTED_H_
+
+#include <vector>
+
+#include "audit/audit.h"
+#include "geom/rect.h"
+#include "voronoi/weighted.h"
+
+namespace movd {
+
+/// Validates the grid-approximated weighted Voronoi diagram produced by
+/// ApproximateWeightedVoronoi against its defining invariants:
+///  - one cell per generator, cells[i].site == i;
+///  - `empty` consistent with `sample_count`, and empty cells carry no
+///    hull/cover/MBR;
+///  - per-cell sample counts sum to resolution^2 (every grid cell has
+///    exactly one owner);
+///  - MBR containment: the hull's bbox and every cover ring's bbox lie
+///    inside the cell MBR, and the MBR inside the (slack-expanded) bounds;
+///  - dominance re-check: every hull vertex is a dominated sample center —
+///    recomputing the weighted distance to all generators (ties to the
+///    lowest index, the sampler's rule) must select this cell's generator.
+///    The recomputation replays the sampler's arithmetic exactly, so this
+///    check is bit-exact, not tolerance-based;
+///  - every cover ring is a simple CCW polygon (AuditPolygon).
+AuditReport AuditWeightedCells(const std::vector<WeightedSite>& sites,
+                               const std::vector<WeightedCellApprox>& cells,
+                               const Rect& bounds, int resolution);
+
+}  // namespace movd
+
+#endif  // MOVD_AUDIT_AUDIT_WEIGHTED_H_

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "audit/audit.h"
+#include "audit/audit_delaunay.h"
+#include "audit/audit_overlay.h"
+#include "audit/audit_voronoi.h"
+#include "audit/audit_weighted.h"
 #include "core/pruned_overlap.h"
 #include "core/weighted_distance.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "voronoi/delaunay.h"
 #include "voronoi/voronoi.h"
 #include "voronoi/weighted.h"
 
@@ -34,13 +40,26 @@ bool OrdinaryDiagramSuffices(const MolqQuery& query, int32_t set) {
   return true;
 }
 
+// Re-labels every violation of `sub` with the pipeline seam that caught it
+// and folds it into `total`.
+void MergeStageAudit(AuditReport sub, const std::string& stage,
+                     AuditReport* total) {
+  AuditReport labelled;
+  labelled.NoteChecks(sub.checks());
+  for (const AuditViolation& v : sub.violations()) {
+    labelled.Add(v.kind, stage + ": " + v.message, v.indices, v.witness);
+  }
+  total->Merge(std::move(labelled));
+}
+
 }  // namespace
 
 Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
                     const Rect& search_space, int weighted_grid_resolution,
-                    int threads) {
+                    int threads, AuditReport* audit) {
   const ObjectSet& objects = query.sets.at(set);
-  MOVD_CHECK(!objects.objects.empty());
+  MOVD_CHECK_MSG(!objects.objects.empty(),
+                 "every query set needs at least one object");
 
   if (OrdinaryDiagramSuffices(query, set)) {
     std::vector<Point> sites;
@@ -49,6 +68,16 @@ Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
       sites.push_back(obj.location);
     }
     const VoronoiDiagram vd = VoronoiDiagram::Build(sites, search_space);
+    if (audit != nullptr) {
+      // Post-Delaunay seam: the triangulation substrate the Voronoi cells
+      // are cross-validated against (built here on demand — the default
+      // kNN cell builder does not keep one).
+      const std::string tag = "set " + std::to_string(set);
+      MergeStageAudit(AuditDelaunay(Delaunay(vd.sites())),
+                      tag + " delaunay", audit);
+      // Post-cell-extraction seam: the diagram the MOVD is built from.
+      MergeStageAudit(AuditVoronoi(vd), tag + " cells", audit);
+    }
     // The diagram deduplicates site locations; map each surviving site back
     // to the first object at that location.
     std::unordered_map<Point, int32_t, PointHash> first_at;
@@ -78,6 +107,12 @@ Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
   }
   const auto cells = ApproximateWeightedVoronoi(
       sites, search_space, weighted_grid_resolution, threads);
+  if (audit != nullptr) {
+    // Post-cell-extraction seam, weighted route.
+    MergeStageAudit(AuditWeightedCells(sites, cells, search_space,
+                                       weighted_grid_resolution),
+                    "set " + std::to_string(set) + " weighted cells", audit);
+  }
   std::vector<int32_t> object_of_site(cells.size());
   for (size_t i = 0; i < cells.size(); ++i) {
     object_of_site[i] = static_cast<int32_t>(i);
@@ -87,8 +122,10 @@ Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
 
 MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
                      const MolqOptions& options) {
-  MOVD_CHECK(!query.sets.empty());
-  MOVD_CHECK(!search_space.Empty());
+  MOVD_CHECK_MSG(!query.sets.empty(),
+                 "a MOLQ needs at least one object set");
+  MOVD_CHECK_MSG(!search_space.Empty(),
+                 "the search space must be a non-empty rectangle");
   MolqResult result;
   const int threads = ResolveThreads(options.threads);
   result.stats.threads = threads;
@@ -123,10 +160,14 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
   const int inner_threads =
       std::max(1, threads / static_cast<int>(num_sets));
   std::vector<Movd> basic(num_sets);
+  // One pre-sized report slot per set: hook writes stay thread-private
+  // under the ParallelFor and are folded serially below.
+  std::vector<AuditReport> set_audits(options.audit ? num_sets : 0);
   ParallelFor(threads, num_sets, [&](size_t i) {
     basic[i] = BuildBasicMovd(query, static_cast<int32_t>(i), search_space,
                               options.weighted_grid_resolution,
-                              inner_threads);
+                              inner_threads,
+                              options.audit ? &set_audits[i] : nullptr);
   });
   result.stats.vd_seconds = sw.ElapsedSeconds();
 
@@ -145,6 +186,16 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
   result.stats.overlap_seconds = sw.ElapsedSeconds();
   result.stats.final_ovrs = movd.ovrs.size();
   result.stats.memory_bytes = movd.MemoryBytes(mode);
+
+  if (options.audit) {
+    // Post-overlay seam, plus the per-set reports gathered in stage 1.
+    AuditReport audit;
+    for (AuditReport& sub : set_audits) audit.Merge(std::move(sub));
+    MergeStageAudit(AuditMovdOverlay(movd, basic, mode, search_space),
+                    "overlay", &audit);
+    result.stats.audit_checks = audit.checks();
+    result.stats.audit_violations = audit.Messages();
+  }
 
   // Stage 3: Optimizer — best local optimum across OVRs (§5.4).
   sw.Reset();

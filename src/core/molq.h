@@ -2,6 +2,7 @@
 #define MOVD_CORE_MOLQ_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/movd_model.h"
@@ -12,6 +13,8 @@
 #include "geom/rect.h"
 
 namespace movd {
+
+class AuditReport;
 
 /// The three MOLQ evaluation strategies the paper compares (Figs. 8-9).
 enum class MolqAlgorithm {
@@ -54,6 +57,18 @@ struct MolqOptions {
   /// thread. The answer (location, cost, group) is identical for every
   /// thread count.
   int threads = 1;
+
+  /// Runs the structural invariant auditors (src/audit, DESIGN.md §7) as
+  /// post-conditions at the three pipeline seams — post-Delaunay,
+  /// post-cell-extraction, post-overlay — and collects violations into
+  /// MolqStats::audit_violations instead of aborting. Defaults to off
+  /// (audits cost extra passes over the built structures); building with
+  /// -DMOVD_AUDIT=ON flips the default to on for the whole build.
+#ifdef MOVD_AUDIT_DEFAULT_ON
+  bool audit = true;
+#else
+  bool audit = false;
+#endif
 };
 
 /// Per-stage instrumentation of one query evaluation.
@@ -65,6 +80,11 @@ struct MolqStats {
   size_t final_ovrs = 0;          ///< |MOVD(Ē)| fed into the Optimizer
   size_t memory_bytes = 0;        ///< Movd::MemoryBytes of the final MOVD
   uint64_t pruned_ovrs = 0;       ///< OVRs cut by overlap pruning (if on)
+  uint64_t audit_checks = 0;      ///< invariant checks run by audit hooks
+  /// Formatted invariant violations from the audit hooks, prefixed with
+  /// the pipeline seam that caught them ("set 0 cells: ..."). Empty when
+  /// MolqOptions::audit is off or every invariant held.
+  std::vector<std::string> audit_violations;
   OverlapStats overlap;
   OptimizerStats optimizer;
   SscStats ssc;  ///< populated only for MolqAlgorithm::kSsc
@@ -85,9 +105,12 @@ struct MolqResult {
 /// grid-approximated weighted diagram otherwise.
 /// `threads` parallelises the weighted-grid sampling when the set routes
 /// to the approximated diagram (no effect on the exact ordinary path).
+/// When `audit` is non-null, the structural auditors run on the built
+/// diagram (post-Delaunay and post-cell-extraction seams) and merge their
+/// findings into it.
 Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
                     const Rect& search_space, int weighted_grid_resolution,
-                    int threads = 1);
+                    int threads = 1, AuditReport* audit = nullptr);
 
 /// Evaluates MOLQ(Ē, ς^t, σ) over `search_space` (paper Eq. 4): the
 /// location minimising MWGD. Dispatches to SSC or to the MOVD pipeline

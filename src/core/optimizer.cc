@@ -61,7 +61,8 @@ struct OvrOutcome {
 
 OptimizerResult OptimizeMovd(const MolqQuery& query, const Movd& movd,
                              const OptimizerOptions& options) {
-  MOVD_CHECK(!movd.ovrs.empty());
+  MOVD_CHECK_MSG(!movd.ovrs.empty(),
+                 "the Optimizer needs a non-empty MOVD to scan");
   OptimizerResult result;
   const size_t n = movd.ovrs.size();
 

@@ -58,10 +58,14 @@ Movd Overlap(const Movd& a, const Movd& b, BoundaryMode mode,
     events.push_back({b.ovrs[i].mbr.max_y, true, false, i});
     events.push_back({b.ovrs[i].mbr.min_y, false, false, i});
   }
-  std::sort(events.begin(), events.end(), [](const Event& x, const Event& y) {
-    if (x.y != y.y) return x.y > y.y;
-    return x.is_start && !y.is_start;
-  });
+  // stable_sort: events are generated in (input, OVR index) order, so
+  // events tying on (y, is_start) keep that order under every sort
+  // implementation and the output OVR order is reproducible.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& x, const Event& y) {
+                     if (x.y != y.y) return x.y > y.y;
+                     return x.is_start && !y.is_start;
+                   });
 
   // Status structures: active OVRs per input, keyed by their min x (the
   // paper's "balanced search tree sorted by start x-coordinates").
@@ -110,7 +114,8 @@ Movd Overlap(const Movd& a, const Movd& b, BoundaryMode mode,
 
 Movd OverlapAll(const std::vector<Movd>& inputs, BoundaryMode mode,
                 OverlapStats* stats) {
-  MOVD_CHECK(!inputs.empty());
+  MOVD_CHECK_MSG(!inputs.empty(),
+                 "sequential overlap needs at least one input MOVD");
   Movd acc = inputs.front();
   for (size_t i = 1; i < inputs.size(); ++i) {
     acc = Overlap(acc, inputs[i], mode, stats);

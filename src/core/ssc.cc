@@ -11,8 +11,11 @@ namespace movd {
 
 SscResult SolveSsc(const MolqQuery& query, const SscOptions& options) {
   const size_t n = query.sets.size();
-  MOVD_CHECK(n > 0);
-  for (const ObjectSet& set : query.sets) MOVD_CHECK(!set.objects.empty());
+  MOVD_CHECK_MSG(n > 0, "a MOLQ needs at least one object set");
+  for (const ObjectSet& set : query.sets) {
+    MOVD_CHECK_MSG(!set.objects.empty(),
+                   "every query set needs at least one object");
+  }
 
   SscResult result;
   // Atomic so the solver's strict shared-bound prune (the same tie-keeping

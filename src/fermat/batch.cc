@@ -31,7 +31,8 @@ struct ProblemOutcome {
 BatchResult SolveFermatWeberBatch(
     const std::vector<std::vector<WeightedPoint>>& problems,
     const BatchOptions& options) {
-  MOVD_CHECK(!problems.empty());
+  MOVD_CHECK_MSG(!problems.empty(),
+                 "the batch solver needs at least one problem");
   BatchResult result;
 
   // The §5.4 global cost bound, shared by all workers. It only decreases

@@ -244,7 +244,8 @@ Point SolveTriangle(const std::vector<WeightedPoint>& points) {
 
 FermatWeberResult SolveFermatWeber(const std::vector<WeightedPoint>& points,
                                    const FermatWeberOptions& options) {
-  MOVD_CHECK(!points.empty());
+  MOVD_CHECK_MSG(!points.empty(),
+                 "a Fermat-Weber problem needs at least one point");
   FermatWeberResult result;
 
   if (options.use_exact_special_cases) {

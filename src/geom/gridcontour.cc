@@ -1,7 +1,5 @@
 #include "geom/gridcontour.h"
 
-#include <unordered_map>
-
 #include "util/check.h"
 
 namespace movd {
@@ -17,18 +15,17 @@ constexpr int kDy[4] = {0, 1, 0, -1};
 // straight = d, right = (d+3)%4; going back is never valid.
 constexpr int kTurnPreference[3] = {1, 0, 3};
 
-struct EdgeKey {
-  int32_t vertex;  // y * (width + 2) + x over the padded lattice
-};
-
 }  // namespace
 
 std::vector<Polygon> ExtractOuterContours(const std::vector<uint8_t>& mask,
                                           int width, int height,
                                           const Rect& bounds, bool dilate) {
-  MOVD_CHECK(width > 0 && height > 0);
-  MOVD_CHECK(mask.size() == static_cast<size_t>(width) * height);
-  MOVD_CHECK(!bounds.Empty());
+  MOVD_CHECK_MSG(width > 0 && height > 0,
+                 "contour extraction needs a non-empty grid");
+  MOVD_CHECK_MSG(mask.size() == static_cast<size_t>(width) * height,
+                 "mask size must match width * height");
+  MOVD_CHECK_MSG(!bounds.Empty(),
+                 "contour extraction needs a non-empty world rectangle");
 
   std::vector<uint8_t> work = mask;
   if (dilate) {
@@ -58,9 +55,13 @@ std::vector<Polygon> ExtractOuterContours(const std::vector<uint8_t>& mask,
   // vertex on the (width+1) x (height+1) corner lattice; value packs the
   // direction bits per outgoing edge.
   const int lattice_w = width + 1;
+  const int lattice_h = height + 1;
   const auto vertex_id = [&](int x, int y) { return y * lattice_w + x; };
-  // unused[v] = bitmask of directions with an untraversed edge from v.
-  std::unordered_map<int32_t, uint8_t> unused;
+  // unused[v] = bitmask of directions with an untraversed edge from v. A
+  // dense lattice array (not a hash map) so the loop-seeding scan below
+  // visits vertices in ascending id order and the contour order is a pure
+  // function of the mask, independent of hashing.
+  std::vector<uint8_t> unused(static_cast<size_t>(lattice_w) * lattice_h, 0);
   for (int y = 0; y < height; ++y) {
     for (int x = 0; x < width; ++x) {
       if (!inside(x, y)) continue;
@@ -80,63 +81,57 @@ std::vector<Polygon> ExtractOuterContours(const std::vector<uint8_t>& mask,
   };
 
   std::vector<Polygon> out;
-  for (auto start_it = unused.begin(); start_it != unused.end();) {
-    if (start_it->second == 0) {
-      ++start_it;
-      continue;
-    }
-    // Begin a loop at any unused edge.
-    int32_t v = start_it->first;
-    int dir = 0;
-    while ((start_it->second & (1 << dir)) == 0) ++dir;
-    const int32_t loop_start = v;
-    const int start_dir = dir;
+  const int32_t lattice_size = lattice_w * lattice_h;
+  for (int32_t loop_start = 0; loop_start < lattice_size; ++loop_start) {
+    // A pinch vertex can seed more than one loop; drain it before moving on.
+    while (unused[loop_start] != 0) {
+      // Begin a loop at the lowest untraversed direction.
+      int32_t v = loop_start;
+      int dir = 0;
+      while ((unused[loop_start] & (1 << dir)) == 0) ++dir;
 
-    std::vector<int32_t> ring_vertices;
-    double area2 = 0.0;  // twice the signed area (lattice units)
-    do {
-      ring_vertices.push_back(v);
-      auto& bits = unused[v];
-      MOVD_DCHECK(bits & (1 << dir));
-      bits &= static_cast<uint8_t>(~(1 << dir));
-      const int x = v % lattice_w, y = v / lattice_w;
-      const int nx = x + kDx[dir], ny = y + kDy[dir];
-      area2 += static_cast<double>(x) * ny - static_cast<double>(nx) * y;
-      v = vertex_id(nx, ny);
-      if (v == loop_start) break;
-      // Choose the next edge: left turn, then straight, then right.
-      const auto it = unused.find(v);
-      MOVD_CHECK(it != unused.end());
-      int next_dir = -1;
-      for (const int turn : kTurnPreference) {
-        const int candidate = (dir + turn) % 4;
-        if (it->second & (1 << candidate)) {
-          next_dir = candidate;
-          break;
+      std::vector<int32_t> ring_vertices;
+      double area2 = 0.0;  // twice the signed area (lattice units)
+      do {
+        ring_vertices.push_back(v);
+        uint8_t& bits = unused[v];
+        MOVD_DCHECK(bits & (1 << dir));
+        bits &= static_cast<uint8_t>(~(1 << dir));
+        const int x = v % lattice_w, y = v / lattice_w;
+        const int nx = x + kDx[dir], ny = y + kDy[dir];
+        area2 += static_cast<double>(x) * ny - static_cast<double>(nx) * y;
+        v = vertex_id(nx, ny);
+        if (v == loop_start) break;
+        // Choose the next edge: left turn, then straight, then right.
+        int next_dir = -1;
+        for (const int turn : kTurnPreference) {
+          const int candidate = (dir + turn) % 4;
+          if (unused[v] & (1 << candidate)) {
+            next_dir = candidate;
+            break;
+          }
         }
-      }
-      MOVD_CHECK(next_dir >= 0);  // boundary edges always continue
-      dir = next_dir;
-    } while (true);
-    (void)start_dir;
+        MOVD_CHECK(next_dir >= 0);  // boundary edges always continue
+        dir = next_dir;
+      } while (true);
 
-    if (area2 > 0.0) {  // CCW: an outer contour (CW loops are holes)
-      // Merge collinear runs and map to world coordinates.
-      std::vector<Point> ring;
-      const size_t n = ring_vertices.size();
-      for (size_t i = 0; i < n; ++i) {
-        const int32_t prev = ring_vertices[(i + n - 1) % n];
-        const int32_t cur = ring_vertices[i];
-        const int32_t next = ring_vertices[(i + 1) % n];
-        const int dx1 = cur % lattice_w - prev % lattice_w;
-        const int dy1 = cur / lattice_w - prev / lattice_w;
-        const int dx2 = next % lattice_w - cur % lattice_w;
-        const int dy2 = next / lattice_w - cur / lattice_w;
-        if (dx1 * dy2 - dy1 * dx2 != 0) ring.push_back(to_world(cur));
+      if (area2 > 0.0) {  // CCW: an outer contour (CW loops are holes)
+        // Merge collinear runs and map to world coordinates.
+        std::vector<Point> ring;
+        const size_t n = ring_vertices.size();
+        for (size_t i = 0; i < n; ++i) {
+          const int32_t prev = ring_vertices[(i + n - 1) % n];
+          const int32_t cur = ring_vertices[i];
+          const int32_t next = ring_vertices[(i + 1) % n];
+          const int dx1 = cur % lattice_w - prev % lattice_w;
+          const int dy1 = cur / lattice_w - prev / lattice_w;
+          const int dx2 = next % lattice_w - cur % lattice_w;
+          const int dy2 = next / lattice_w - cur / lattice_w;
+          if (dx1 * dy2 - dy1 * dx2 != 0) ring.push_back(to_world(cur));
+        }
+        if (ring.size() >= 3) out.push_back(Polygon(std::move(ring)));
       }
-      if (ring.size() >= 3) out.push_back(Polygon(std::move(ring)));
     }
-    if (start_it->second == 0) ++start_it;
   }
   return out;
 }

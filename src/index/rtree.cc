@@ -46,7 +46,10 @@ std::vector<std::vector<T>> StrTile(std::vector<T> items, GetBox get_box) {
       static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_groups))));
   const size_t slab_size = (n + num_slabs - 1) / num_slabs;
 
-  std::sort(items.begin(), items.end(), [&](const T& a, const T& b) {
+  // stable_sort: the caller hands items in deterministic order, so ties on
+  // the slab key group identically under every sort implementation and the
+  // packed tree shape is reproducible.
+  std::stable_sort(items.begin(), items.end(), [&](const T& a, const T& b) {
     return get_box(a).Center().x < get_box(b).Center().x;
   });
 
@@ -54,10 +57,10 @@ std::vector<std::vector<T>> StrTile(std::vector<T> items, GetBox get_box) {
   for (size_t s = 0; s * slab_size < n; ++s) {
     const size_t lo = s * slab_size;
     const size_t hi = std::min(n, lo + slab_size);
-    std::sort(items.begin() + lo, items.begin() + hi,
-              [&](const T& a, const T& b) {
-                return get_box(a).Center().y < get_box(b).Center().y;
-              });
+    std::stable_sort(items.begin() + lo, items.begin() + hi,
+                     [&](const T& a, const T& b) {
+                       return get_box(a).Center().y < get_box(b).Center().y;
+                     });
     for (size_t i = lo; i < hi; i += cap) {
       const size_t end = std::min(hi, i + cap);
       groups.emplace_back(std::make_move_iterator(items.begin() + i),

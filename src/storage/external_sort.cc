@@ -40,7 +40,10 @@ bool ExternalSortMovdFile(const std::string& input_path,
 
   const auto spill = [&]() -> bool {
     if (buffer.empty()) return true;
-    std::sort(buffer.begin(), buffer.end(), SweepBefore);
+    // stable_sort: the buffer holds records in deterministic file order,
+    // so OVRs tying on (max_y, min_y) keep that order regardless of the
+    // sort implementation and the output is byte-stable.
+    std::stable_sort(buffer.begin(), buffer.end(), SweepBefore);
     const std::string path = RunPath(output_path, run_paths.size());
     MovdFileWriter writer(path);
     for (const Ovr& ovr : buffer) writer.Append(ovr);
@@ -63,7 +66,7 @@ bool ExternalSortMovdFile(const std::string& input_path,
 
   // Single-run fast path: write directly.
   if (run_paths.empty()) {
-    std::sort(buffer.begin(), buffer.end(), SweepBefore);
+    std::stable_sort(buffer.begin(), buffer.end(), SweepBefore);
     MovdFileWriter writer(output_path);
     for (const Ovr& ovr : buffer) writer.Append(ovr);
     if (!writer.Close()) return false;

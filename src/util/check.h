@@ -11,6 +11,11 @@
 // violation almost always means a silently wrong answer downstream, which is
 // far more expensive than the branch.
 //
+// MOVD_CHECK_MSG(cond, msg) is the same with a human-readable explanation;
+// public-API entry validation uses this form so a caller error reports what
+// contract was broken, not just the raw expression (enforced by
+// tools/lint_movd.py, rule `entry-check-msg`).
+//
 // MOVD_DCHECK(cond) compiles away in NDEBUG builds and is used on hot paths.
 
 #define MOVD_CHECK(cond)                                                     \
@@ -22,9 +27,23 @@
     }                                                                        \
   } while (0)
 
+#define MOVD_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MOVD_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   static_cast<const char*>(msg), __FILE__, __LINE__);       \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
 #ifdef NDEBUG
-#define MOVD_DCHECK(cond) \
-  do {                    \
+// The condition must stay visible to the compiler even when it is never
+// evaluated: `sizeof` type-checks the expression and counts as a use of
+// every variable in it (silencing -Wunused-variable for DCHECK-only
+// locals) without odr-using or executing anything.
+#define MOVD_DCHECK(cond)         \
+  do {                            \
+    (void)sizeof(!(cond)); \
   } while (0)
 #else
 #define MOVD_DCHECK(cond) MOVD_CHECK(cond)

@@ -65,8 +65,12 @@ Delaunay::Delaunay(const std::vector<Point>& points) {
         (points_[i].y - bb.min_y) / std::max(bb.Height(), 1e-300) * scale);
     key[i] = HilbertIndex(kOrder, hx, hy);
   }
-  std::sort(order.begin(), order.end(),
-            [&](int32_t a, int32_t b) { return key[a] < key[b]; });
+  // Points in one Hilbert cell share a key; break the tie by index so the
+  // insertion order (and thus tie-breaking in degenerate configurations)
+  // does not depend on the std::sort implementation.
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return key[a] != key[b] ? key[a] < key[b] : a < b;
+  });
 
   for (const int32_t pi : order) Insert(pi);
 }

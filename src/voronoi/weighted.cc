@@ -16,8 +16,9 @@ double WeightedSiteDistance(const Point& p, const WeightedSite& site) {
 std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
     const std::vector<WeightedSite>& sites, const Rect& bounds,
     int resolution, int threads) {
-  MOVD_CHECK(resolution > 0);
-  MOVD_CHECK(!bounds.Empty());
+  MOVD_CHECK_MSG(resolution > 0, "the dominance grid needs >= 1 cell");
+  MOVD_CHECK_MSG(!bounds.Empty(),
+                 "weighted diagrams need a non-empty bounding rectangle");
   std::vector<WeightedCellApprox> cells(sites.size());
   for (size_t i = 0; i < sites.size(); ++i) {
     cells[i].site = static_cast<int32_t>(i);

@@ -1,6 +1,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <string>
 
@@ -20,8 +21,20 @@ namespace {
 
 constexpr Rect kBounds(0, 0, 100, 100);
 
+// Temp path unique to the running test: parameterized instances of one
+// test share file names, and ctest runs them as separate concurrent
+// processes, so a bare TempDir() + name lets them clobber each other's
+// files mid-test.
 std::string Tmp(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string tag = info == nullptr ? std::string("unknown")
+                                    : std::string(info->test_suite_name()) +
+                                          "_" + info->name();
+  for (char& c : tag) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return ::testing::TempDir() + "/" + tag + "_" + name;
 }
 
 Movd RandomBasicMovd(size_t sites, int32_t set, uint64_t seed) {

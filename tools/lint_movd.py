@@ -1,0 +1,306 @@
+#!/usr/bin/env python3
+"""Repo-specific lint pass for the MOVD codebase.
+
+Enforces determinism and robustness conventions that generic linters can't
+know about (see DESIGN.md section 7):
+
+  float-eq          No floating-point ==/!= comparisons in src/ outside the
+                    exact-predicate kernels (src/geom/predicates.*,
+                    src/geom/expansion.*). Exact predicate RESULTS may be
+                    sign-tested (lines calling Orient2D/InCircle are
+                    exempt); everything else must use explicit tolerances
+                    or integer arithmetic.
+  unordered-iter    No iteration over std::unordered_map/unordered_set:
+                    hash order is unspecified, so anything folded out of it
+                    is nondeterministic. Use a vector, a std::map, or sort
+                    before folding.
+  float-sort        Every std::sort/std::stable_sort call site must be
+                    vetted: sorting by a floating-point key needs a
+                    deterministic tie-breaker or a proof ties are
+                    impossible. Vetted sites are recorded in the allowlist.
+  naked-abort       abort()/exit() calls belong behind the MOVD_CHECK
+                    macros (src/util/check.h), never inline.
+  untracked-todo    TODO/FIXME/XXX/HACK markers must reference a tracked
+                    design note ("DESIGN.md") or be resolved; drive-by
+                    markers rot.
+  entry-check-msg   Listed public pipeline entry points must validate their
+                    arguments with MOVD_CHECK_MSG (message-carrying checks)
+                    near the top of the definition.
+
+False positives are suppressed through tools/lint_allowlist.txt; each entry
+is `rule|path-suffix|line-substring` plus a mandatory trailing comment
+explaining why the site is safe. Entries that no longer match any finding
+are reported as stale and fail the run, so suppressions cannot outlive the
+code they covered.
+
+Usage: python3 tools/lint_movd.py [--root=REPO_ROOT]
+Exits 1 when any unsuppressed finding remains.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_EXTENSIONS = (".h", ".cc", ".cpp")
+
+# float-eq: ==/!= against a floating-point literal. Integer literals (no
+# decimal point / exponent) do not match, so `count != 0` stays legal.
+FLOAT_LITERAL = r"[-+]?(?:\d+\.\d*|\.\d+|\d+[eE][-+]?\d+|\d+\.\d*[eE][-+]?\d+)[fL]?"
+FLOAT_EQ_RE = re.compile(
+    r"(?:[!=]=\s*%s)|(?:%s\s*[!=]=)" % (FLOAT_LITERAL, FLOAT_LITERAL))
+FLOAT_EQ_EXEMPT_FILES = (
+    "src/geom/predicates.h", "src/geom/predicates.cc",
+    "src/geom/expansion.h", "src/geom/expansion.cc",
+)
+FLOAT_EQ_EXEMPT_CALLS = ("Orient2D(", "InCircle(")
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;=]*>\s+(\w+)\s*[;({=]")
+SORT_RE = re.compile(r"std::(?:stable_)?sort\s*\(")
+ABORT_RE = re.compile(r"(?<![\w.])(?:std::)?(?:abort|exit)\s*\(")
+TODO_RE = re.compile(r"//.*\b(TODO|FIXME|XXX|HACK)\b")
+
+# entry-check-msg: (file-suffix, function) pairs; the definition must call
+# MOVD_CHECK_MSG within its first 15 lines.
+ENTRY_POINTS = [
+    ("src/core/molq.cc", "Movd BuildBasicMovd"),
+    ("src/core/molq.cc", "MolqResult SolveMolq"),
+    ("src/core/ssc.cc", "SscResult SolveSsc"),
+    ("src/core/optimizer.cc", "OptimizerResult OptimizeMovd"),
+    ("src/core/overlap.cc", "Movd OverlapAll"),
+    ("src/fermat/fermat_weber.cc", "FermatWeberResult SolveFermatWeber"),
+    ("src/fermat/batch.cc", "BatchResult SolveFermatWeberBatch"),
+    ("src/voronoi/weighted.cc",
+     "std::vector<WeightedCellApprox> ApproximateWeightedVoronoi"),
+    ("src/geom/gridcontour.cc", "std::vector<Polygon> ExtractOuterContours"),
+]
+
+
+class Finding:
+    def __init__(self, rule, path, line_no, line, message):
+        self.rule = rule
+        self.path = path
+        self.line_no = line_no
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s\n    %s" % (
+            self.path, self.line_no, self.rule, self.message,
+            self.line.strip())
+
+
+def load_allowlist(root):
+    entries = []
+    path = os.path.join(root, "tools", "lint_allowlist.txt")
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split("|")
+            if len(parts) != 3:
+                print("lint_allowlist.txt: malformed entry: %s" % raw.strip(),
+                      file=sys.stderr)
+                sys.exit(2)
+            entries.append(tuple(p.strip() for p in parts))
+    return entries
+
+
+def allowed(finding, allowlist, used):
+    for idx, (rule, path_suffix, substring) in enumerate(allowlist):
+        if (finding.rule == rule and finding.path.endswith(path_suffix)
+                and substring in finding.line):
+            used.add(idx)
+            return True
+    return False
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Returns (code-only text, still-in-block-comment). Keeps columns by
+    replacing stripped characters with spaces, so regex positions hold."""
+    out = []
+    i, n = 0, len(line)
+    state = "block" if in_block_comment else "code"
+    quote = ""
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "block":
+            if c == "*" and nxt == "/":
+                out.append("  ")
+                i += 2
+                state = "code"
+                continue
+            out.append(" ")
+            i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                out.append(c)
+                i += 1
+                state = "code"
+                continue
+            out.append(" ")
+            i += 1
+        else:
+            if c == "/" and nxt == "/":
+                out.append(" " * (n - i))
+                break
+            if c == "/" and nxt == "*":
+                out.append("  ")
+                i += 2
+                state = "block"
+                continue
+            if c in "\"'":
+                out.append(c)
+                quote = c
+                i += 1
+                state = "string"
+                continue
+            out.append(c)
+            i += 1
+    return "".join(out), state == "block"
+
+
+def iter_source_files(root, subdirs):
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if name.endswith(SRC_EXTENSIONS):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def lint_file(root, rel_path, findings):
+    with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    code_lines = []
+    in_block = False
+    for line in raw_lines:
+        code, in_block = strip_comments_and_strings(line, in_block)
+        code_lines.append(code)
+
+    in_src = rel_path.startswith("src/")
+
+    # untracked-todo runs on raw lines (markers live in comments).
+    for i, line in enumerate(raw_lines, 1):
+        m = TODO_RE.search(line)
+        if m and "DESIGN.md" not in line:
+            findings.append(Finding(
+                "untracked-todo", rel_path, i, line,
+                "%s marker without a DESIGN.md reference" % m.group(1)))
+
+    if not in_src:
+        return
+
+    float_eq_exempt = any(rel_path.endswith(p) for p in FLOAT_EQ_EXEMPT_FILES)
+    unordered_names = set()
+    for code in code_lines:
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(1))
+
+    for i, code in enumerate(code_lines, 1):
+        raw = raw_lines[i - 1]
+
+        if not float_eq_exempt and FLOAT_EQ_RE.search(code):
+            if not any(call in code for call in FLOAT_EQ_EXEMPT_CALLS):
+                findings.append(Finding(
+                    "float-eq", rel_path, i, raw,
+                    "floating-point ==/!= outside the exact-predicate "
+                    "kernels"))
+
+        for name in unordered_names:
+            if re.search(r"for\s*\([^)]*:\s*%s\s*\)" % re.escape(name), code) \
+                    or re.search(r"\b%s\s*\.\s*begin\s*\(" % re.escape(name),
+                                 code):
+                findings.append(Finding(
+                    "unordered-iter", rel_path, i, raw,
+                    "iteration over unordered container '%s' "
+                    "(hash order is unspecified)" % name))
+
+        if SORT_RE.search(code):
+            findings.append(Finding(
+                "float-sort", rel_path, i, raw,
+                "sort call site must be vetted for deterministic ordering "
+                "(allowlist it with a justification once reviewed)"))
+
+        if ABORT_RE.search(code) and not rel_path.endswith("src/util/check.h"):
+            findings.append(Finding(
+                "naked-abort", rel_path, i, raw,
+                "abort()/exit() outside src/util/check.h; use MOVD_CHECK"))
+
+
+def lint_entry_points(root, findings):
+    for rel_path, signature in ENTRY_POINTS:
+        path = os.path.join(root, rel_path)
+        if not os.path.exists(path):
+            findings.append(Finding(
+                "entry-check-msg", rel_path, 0, "",
+                "file with required entry point '%s' not found" % signature))
+            continue
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        def_line = None
+        for i, line in enumerate(lines):
+            if line.startswith(signature):
+                def_line = i
+                break
+        if def_line is None:
+            findings.append(Finding(
+                "entry-check-msg", rel_path, 0, "",
+                "definition of '%s' not found" % signature))
+            continue
+        window = "\n".join(lines[def_line:def_line + 15])
+        if "MOVD_CHECK_MSG(" not in window:
+            findings.append(Finding(
+                "entry-check-msg", rel_path, def_line + 1, lines[def_line],
+                "'%s' must validate arguments with MOVD_CHECK_MSG near the "
+                "top of its definition" % signature))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    findings = []
+    for rel_path in iter_source_files(
+            root, ["src", "tests", "bench", "tools", "examples"]):
+        lint_file(root, rel_path, findings)
+    lint_entry_points(root, findings)
+
+    allowlist = load_allowlist(root)
+    used = set()
+    kept = [f for f in findings if not allowed(f, allowlist, used)]
+    for finding in kept:
+        print(finding)
+    # A suppression that no longer matches anything covers code that has
+    # changed or vanished: force the entry to be deleted so stale holes
+    # cannot accumulate.
+    stale = [e for i, e in enumerate(allowlist) if i not in used]
+    for rule, path_suffix, substring in stale:
+        print("lint_allowlist.txt: stale entry (matches nothing): %s|%s|%s"
+              % (rule, path_suffix, substring))
+    if kept or stale:
+        print("\nlint_movd: %d finding(s), %d stale allowlist entrie(s); "
+              "fix them or allowlist with a justification in "
+              "tools/lint_allowlist.txt" % (len(kept), len(stale)))
+        return 1
+    print("lint_movd: clean (%d finding(s) suppressed by allowlist)"
+          % (len(findings) - len(kept)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
