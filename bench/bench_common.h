@@ -11,6 +11,7 @@
 #include "geom/rect.h"
 #include "util/flags.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace movd::bench {
 
@@ -47,14 +48,17 @@ inline MolqQuery MakeQuery(const std::vector<size_t>& sizes, uint64_t seed) {
 }
 
 /// One basic MOVD per class for overlap-only experiments (Figs. 11-14).
+/// `threads` parallelises across sets exactly like SolveMolq's VD Generator
+/// stage (each set writes its own slot, so the result is independent of the
+/// thread count).
 inline std::vector<Movd> MakeBasicMovds(const std::vector<size_t>& sizes,
-                                        uint64_t seed) {
+                                        uint64_t seed, int threads = 1) {
   const MolqQuery query = MakeQuery(sizes, seed);
-  std::vector<Movd> out;
-  for (size_t s = 0; s < query.sets.size(); ++s) {
-    out.push_back(BuildBasicMovd(query, static_cast<int32_t>(s), kWorld,
-                                 /*weighted_grid_resolution=*/128));
-  }
+  std::vector<Movd> out(query.sets.size());
+  ParallelFor(threads, query.sets.size(), [&](size_t s) {
+    out[s] = BuildBasicMovd(query, static_cast<int32_t>(s), kWorld,
+                            /*weighted_grid_resolution=*/128);
+  });
   return out;
 }
 

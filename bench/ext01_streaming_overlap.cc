@@ -3,7 +3,7 @@
 // wall time and the peak number of resident OVRs — the streaming pipeline
 // holds only the sweep-active OVRs regardless of input size.
 //
-// Flags: --sizes=1000,4000,16000  --budget_kb=256  --seed=1
+// Flags: --sizes=1000,4000,16000  --budget_kb=256  --seed=1  --threads=1
 
 #include <cstdio>
 
@@ -25,6 +25,8 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("budget_kb", 256)) << 10;
   const uint64_t seed = flags.GetInt("seed", 1);
   const std::string dir = flags.GetString("tmpdir", "/tmp");
+  const int threads = ThreadsFlag(flags);
+  flags.WarnUnused(stderr);
 
   std::printf("Extension: disk-based streaming overlap (sorted runs under a "
               "%s sort budget) vs in-memory sweep, RRB mode\n\n",
@@ -33,7 +35,7 @@ int Main(int argc, char** argv) {
                "sweep(s)", "input OVRs", "peak resident OVRs",
                "peak resident bytes"});
   for (const size_t n : sizes) {
-    const auto basic = MakeBasicMovds({n, n}, seed);
+    const auto basic = MakeBasicMovds({n, n}, seed, threads);
 
     Stopwatch sw;
     const Movd in_memory =

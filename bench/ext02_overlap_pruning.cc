@@ -2,7 +2,7 @@
 // combinations during MOVD overlapping): the combination-pruning overlap
 // vs the plain pipeline, for RRB and MBRB at 3 and 4 object types.
 //
-// Flags: --sizes=16,32,64  --epsilon=1e-3  --seed=1
+// Flags: --sizes=16,32,64  --epsilon=1e-3  --seed=1  --threads=1
 
 #include <cstdio>
 
@@ -19,9 +19,11 @@ int Main(int argc, char** argv) {
   const auto sizes = ParseSizes(flags.GetString("sizes", "16,32,64"));
   const double epsilon = flags.GetDouble("epsilon", 1e-3);
   const uint64_t seed = flags.GetInt("seed", 1);
+  const int threads = ThreadsFlag(flags);
+  flags.WarnUnused(stderr);
 
   std::printf("Extension: combination pruning during overlap "
-              "(epsilon=%g)\n\n", epsilon);
+              "(epsilon=%g, threads=%d)\n\n", epsilon, threads);
   Table table({"types", "objects", "algo", "plain(s)", "pruned(s)",
                "plain OVRs", "pruned OVRs", "cut"});
   for (const size_t types : {3u, 4u}) {
@@ -33,6 +35,7 @@ int Main(int argc, char** argv) {
         MolqOptions opts;
         opts.algorithm = algo;
         opts.epsilon = epsilon;
+        opts.threads = threads;
         Stopwatch sw;
         const MolqResult plain = SolveMolq(query, kWorld, opts);
         const double plain_s = sw.ElapsedSeconds();

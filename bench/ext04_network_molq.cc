@@ -2,7 +2,7 @@
 // network size and the cost gap between the Euclidean optimum (snapped to
 // the roads) and the true network optimum, as the network gets sparser.
 //
-// Flags: --vertices=500,2000,8000  --seed=1
+// Flags: --vertices=500,2000,8000  --seed=1  --threads=1
 
 #include <cstdio>
 
@@ -20,6 +20,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto sizes = ParseSizes(flags.GetString("vertices", "500,2000,8000"));
   const uint64_t seed = flags.GetInt("seed", 1);
+  const int threads = ThreadsFlag(flags);
+  flags.WarnUnused(stderr);
 
   std::printf("Extension: network MOLQ — exact vertex optimum via one "
               "multi-source Dijkstra per type (3 types, 8 objects each)\n\n");
@@ -51,6 +53,7 @@ int Main(int argc, char** argv) {
 
       MolqOptions opts;
       opts.epsilon = 1e-6;
+      opts.threads = threads;
       const MolqResult euclid = SolveMolq(query, kWorld, opts);
       const int32_t snapped = net.NearestVertex(euclid.location);
       double snapped_cost = 0.0;

@@ -50,6 +50,7 @@ int Main(int argc, char** argv) {
   const uint64_t seed = flags.GetInt("seed", 1);
   const int threads = ThreadsFlag(flags);
   g_audit = flags.GetBool("audit", false);
+  flags.WarnUnused(stderr);
 
   std::printf("Fig. 8 — MOLQ, three object types {STM, CH, SCH}; "
               "type weights U[0,10); epsilon=%g\n\n", epsilon);

@@ -3,7 +3,7 @@
 // four types because MBRB's false-positive OVRs compound across overlaps
 // and flood the Optimizer; error bound epsilon = 0.001 as in §6.1.
 //
-// Flags: --sizes=8,16,24,32  --epsilon=1e-3  --seed=1
+// Flags: --sizes=8,16,24,32  --epsilon=1e-3  --seed=1  --threads=1
 
 #include <cstdio>
 
@@ -20,15 +20,18 @@ int Main(int argc, char** argv) {
   const auto sizes = ParseSizes(flags.GetString("sizes", "8,16,24,32"));
   const double epsilon = flags.GetDouble("epsilon", 1e-3);
   const uint64_t seed = flags.GetInt("seed", 1);
+  const int threads = ThreadsFlag(flags);
+  flags.WarnUnused(stderr);
 
   std::printf("Fig. 9 — MOLQ, four object types {STM, CH, SCH, PPL}; "
-              "epsilon=%g\n\n", epsilon);
+              "epsilon=%g threads=%d\n\n", epsilon, threads);
   Table table({"objects/type", "SSC(s)", "RRB(s)", "MBRB(s)", "RRB OVRs",
                "MBRB OVRs", "OVR ratio"});
   for (const size_t n : sizes) {
     const MolqQuery query = MakeQuery({n, n, n, n}, seed);
     MolqOptions opts;
     opts.epsilon = epsilon;
+    opts.threads = threads;
 
     opts.algorithm = MolqAlgorithm::kSsc;
     Stopwatch sw;

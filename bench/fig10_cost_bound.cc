@@ -73,6 +73,7 @@ int Main(int argc, char** argv) {
   const uint64_t seed = flags.GetInt("seed", 1);
   const bool ablate = flags.GetBool("ablate", false);
   const int threads = ThreadsFlag(flags);
+  flags.WarnUnused(stderr);
 
   std::printf("Fig. 10 — batch Fermat–Weber: Original vs cost-bound (CB); "
               "5 points/problem, coords & weights U[0,10)\n\n");

@@ -4,7 +4,7 @@
 // here is scaled to laptop size — raise --sizes to reproduce the original
 // scale.
 //
-// Flags: --sizes=1000,2000,4000,8000  --seed=1
+// Flags: --sizes=1000,2000,4000,8000  --seed=1  --threads=1
 
 #include <cstdio>
 
@@ -20,13 +20,15 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto sizes = ParseSizes(flags.GetString("sizes", "1000,2000,4000,8000"));
   const uint64_t seed = flags.GetInt("seed", 1);
+  const int threads = ThreadsFlag(flags);
+  flags.WarnUnused(stderr);
 
   std::printf("Fig. 11 — overlap of two Voronoi diagrams (STM x CH): "
               "execution time, RRB vs MBRB\n\n");
   Table table({"|STM|", "|CH|", "RRB(s)", "MBRB(s)", "MBRB speedup"});
   for (const size_t n : sizes) {
     for (const size_t m : sizes) {
-      const auto basic = MakeBasicMovds({n, m}, seed);
+      const auto basic = MakeBasicMovds({n, m}, seed, threads);
       Stopwatch sw;
       const Movd rrb = Overlap(basic[0], basic[1], BoundaryMode::kRealRegion);
       const double rrb_s = sw.ElapsedSeconds();

@@ -3,7 +3,7 @@
 // producing ~150% more OVRs on average (MBR hits that are not real region
 // overlaps).
 //
-// Flags: --sizes=1000,2000,4000,8000  --seed=1
+// Flags: --sizes=1000,2000,4000,8000  --seed=1  --threads=1
 
 #include <cstdio>
 
@@ -18,13 +18,15 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto sizes = ParseSizes(flags.GetString("sizes", "1000,2000,4000,8000"));
   const uint64_t seed = flags.GetInt("seed", 1);
+  const int threads = ThreadsFlag(flags);
+  flags.WarnUnused(stderr);
 
   std::printf("Fig. 12 — number of OVRs after overlapping two Voronoi "
               "diagrams, RRB vs MBRB\n\n");
   Table table({"|STM|", "|CH|", "RRB OVRs", "MBRB OVRs", "MBRB/RRB"});
   for (const size_t n : sizes) {
     for (const size_t m : sizes) {
-      const auto basic = MakeBasicMovds({n, m}, seed);
+      const auto basic = MakeBasicMovds({n, m}, seed, threads);
       const Movd rrb = Overlap(basic[0], basic[1], BoundaryMode::kRealRegion);
       const Movd mbrb = Overlap(basic[0], basic[1], BoundaryMode::kMbr);
       table.AddRow({std::to_string(n), std::to_string(m),

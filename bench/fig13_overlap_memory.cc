@@ -4,7 +4,7 @@
 // consumes 26-29% less memory at two object types. Memory is measured by
 // byte-accurate structure accounting (see Movd::MemoryBytes).
 //
-// Flags: --sizes=1000,2000,4000,8000  --seed=1
+// Flags: --sizes=1000,2000,4000,8000  --seed=1  --threads=1
 
 #include <cstdio>
 
@@ -19,6 +19,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto sizes = ParseSizes(flags.GetString("sizes", "1000,2000,4000,8000"));
   const uint64_t seed = flags.GetInt("seed", 1);
+  const int threads = ThreadsFlag(flags);
+  flags.WarnUnused(stderr);
 
   std::printf("Fig. 13 — memory consumption of the overlapped MOVD, "
               "RRB vs MBRB (structure bytes; points stored)\n\n");
@@ -26,7 +28,7 @@ int Main(int argc, char** argv) {
                "RRB points", "MBRB points"});
   for (const size_t n : sizes) {
     for (const size_t m : sizes) {
-      const auto basic = MakeBasicMovds({n, m}, seed);
+      const auto basic = MakeBasicMovds({n, m}, seed, threads);
       const Movd rrb = Overlap(basic[0], basic[1], BoundaryMode::kRealRegion);
       const Movd mbrb = Overlap(basic[0], basic[1], BoundaryMode::kMbr);
       const size_t rrb_bytes = rrb.MemoryBytes(BoundaryMode::kRealRegion);

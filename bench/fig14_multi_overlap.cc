@@ -9,7 +9,7 @@
 //            availability line, including RRB* (RRB run at MBRB's sizes
 //            for a fair comparison, as in the paper).
 //
-// Flags: --budget_mb=8  --max_n=16384  --seed=1  --types=2,3,4,5
+// Flags: --budget_mb=8  --max_n=16384  --seed=1  --types=2,3,4,5  --threads=1
 
 #include <cstdio>
 
@@ -28,9 +28,9 @@ struct Measurement {
 };
 
 Measurement Measure(size_t types, size_t n, BoundaryMode mode,
-                    uint64_t seed) {
+                    uint64_t seed, int threads) {
   const std::vector<size_t> sizes(types, n);
-  const auto basic = MakeBasicMovds(sizes, seed);
+  const auto basic = MakeBasicMovds(sizes, seed, threads);
   Stopwatch sw;
   const Movd out = OverlapAll(basic, mode);
   Measurement m;
@@ -43,13 +43,13 @@ Measurement Measure(size_t types, size_t n, BoundaryMode mode,
 // Largest n (doubling + binary search) whose final MOVD memory fits the
 // budget. Capped by max_n to keep the search laptop-friendly.
 size_t MaxSizeUnderBudget(size_t types, BoundaryMode mode, size_t budget,
-                          size_t max_n, uint64_t seed) {
+                          size_t max_n, uint64_t seed, int threads) {
   size_t lo = 16;
-  if (Measure(types, lo, mode, seed).bytes > budget) return 0;
+  if (Measure(types, lo, mode, seed, threads).bytes > budget) return 0;
   size_t hi = lo;
   while (hi < max_n) {
     const size_t next = std::min(max_n, hi * 2);
-    if (Measure(types, next, mode, seed).bytes > budget) {
+    if (Measure(types, next, mode, seed, threads).bytes > budget) {
       hi = next;
       break;
     }
@@ -57,7 +57,7 @@ size_t MaxSizeUnderBudget(size_t types, BoundaryMode mode, size_t budget,
   }
   while (hi - lo > std::max<size_t>(1, lo / 16)) {  // ~6% resolution
     const size_t mid = lo + (hi - lo) / 2;
-    if (Measure(types, mid, mode, seed).bytes > budget) {
+    if (Measure(types, mid, mode, seed, threads).bytes > budget) {
       hi = mid;
     } else {
       lo = mid;
@@ -73,6 +73,8 @@ int Main(int argc, char** argv) {
   const size_t max_n = static_cast<size_t>(flags.GetInt("max_n", 16384));
   const uint64_t seed = flags.GetInt("seed", 1);
   const auto types_list = ParseSizes(flags.GetString("types", "2,3,4,5"));
+  const int threads = ThreadsFlag(flags);
+  flags.WarnUnused(stderr);
 
   std::printf("Fig. 14(a) — availability: max objects/type under a %s "
               "MOVD-memory budget\n\n", FormatBytes(budget).c_str());
@@ -82,11 +84,10 @@ int Main(int argc, char** argv) {
     Table table({"#types", "RRB max objects", "MBRB max objects"});
     for (size_t i = 0; i < types_list.size(); ++i) {
       const size_t t = types_list[i];
-      rrb_max[i] =
-          MaxSizeUnderBudget(t, BoundaryMode::kRealRegion, budget, max_n,
-                             seed);
-      mbrb_max[i] =
-          MaxSizeUnderBudget(t, BoundaryMode::kMbr, budget, max_n, seed);
+      rrb_max[i] = MaxSizeUnderBudget(t, BoundaryMode::kRealRegion, budget,
+                                      max_n, seed, threads);
+      mbrb_max[i] = MaxSizeUnderBudget(t, BoundaryMode::kMbr, budget, max_n,
+                                       seed, threads);
       table.AddRow({std::to_string(t), std::to_string(rrb_max[i]),
                     std::to_string(mbrb_max[i])});
     }
@@ -102,10 +103,11 @@ int Main(int argc, char** argv) {
     const size_t t = types_list[i];
     if (rrb_max[i] == 0 || mbrb_max[i] == 0) continue;
     const Measurement rrb =
-        Measure(t, rrb_max[i], BoundaryMode::kRealRegion, seed);
-    const Measurement mbrb = Measure(t, mbrb_max[i], BoundaryMode::kMbr, seed);
+        Measure(t, rrb_max[i], BoundaryMode::kRealRegion, seed, threads);
+    const Measurement mbrb =
+        Measure(t, mbrb_max[i], BoundaryMode::kMbr, seed, threads);
     const Measurement rrb_star =
-        Measure(t, mbrb_max[i], BoundaryMode::kRealRegion, seed);
+        Measure(t, mbrb_max[i], BoundaryMode::kRealRegion, seed, threads);
     table.AddRow({std::to_string(t), std::to_string(rrb_max[i]),
                   Table::Fmt(rrb.overlap_seconds, 3),
                   std::to_string(rrb.ovrs), FormatBytes(rrb.bytes),

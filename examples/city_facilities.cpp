@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const size_t n = static_cast<size_t>(flags.GetInt("objects", 64));
   const double epsilon = flags.GetDouble("epsilon", 1e-3);
+  flags.WarnUnused(stderr);
 
   std::printf("City with %zu streams, %zu churches, %zu schools "
               "(type weights U[0,10))\n\n", n, n, n);

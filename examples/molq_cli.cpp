@@ -8,10 +8,14 @@
 //   molq_cli solve --inputs=a.csv,b.csv[,c.csv...]
 //       [--algorithm=rrb|mbrb|ssc] [--epsilon=1e-3] [--topk=1]
 //       [--world=10000] [--svg=answer.svg] [--prune] [--threads=1]
+//       [--json]
 //     Evaluates MOLQ over the given object sets (one CSV per type) and
 //     prints the answer(s) as JSON lines. --threads=N parallelises the
 //     pipeline (0 = one thread per hardware thread); the answer is
-//     identical for every thread count.
+//     identical for every thread count. --json routes the solve through
+//     the serving engine (src/serve) and prints its full response object
+//     — the same code path and answer serializer movd_serve uses, so the
+//     CLI output is byte-identical to a served answer.
 
 #include <cstdio>
 #include <string>
@@ -22,6 +26,8 @@
 #include "core/weighted_distance.h"
 #include "data/csv.h"
 #include "data/generate.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "viz/svg.h"
@@ -51,6 +57,7 @@ int Generate(const Flags& flags) {
   const std::string out = flags.GetString("out", "");
   const double world = flags.GetDouble("world", 10000.0);
   const uint64_t seed = flags.GetInt("seed", 1);
+  flags.WarnUnused(stderr);
   if (out.empty()) {
     std::fprintf(stderr, "generate: --out is required\n");
     return 2;
@@ -73,18 +80,15 @@ int Generate(const Flags& flags) {
   return 0;
 }
 
+// One answer as a JSON line, through the serializer shared with the
+// serving engine's wire responses (serve/protocol.h).
 void PrintAnswerJson(const MolqQuery& query, const Point& location,
                      double cost, const std::vector<PoiRef>& group) {
-  std::printf("{\"location\": [%.6f, %.6f], \"cost\": %.6f, \"group\": [",
-              location.x, location.y, cost);
-  for (size_t i = 0; i < group.size(); ++i) {
-    const SpatialObject& obj =
-        query.sets[group[i].set].objects[group[i].object];
-    std::printf("%s{\"set\": \"%s\", \"index\": %d, \"at\": [%.6f, %.6f]}",
-                i == 0 ? "" : ", ", query.sets[group[i].set].name.c_str(),
-                group[i].object, obj.location.x, obj.location.y);
-  }
-  std::printf("]}\n");
+  ServeAnswer answer;
+  answer.location = location;
+  answer.cost = cost;
+  answer.group = group;
+  std::printf("%s\n", AnswerJson(query, answer).c_str());
 }
 
 int Solve(const Flags& flags) {
@@ -130,9 +134,36 @@ int Solve(const Flags& flags) {
   options.threads = static_cast<int>(flags.GetInt("threads", 1));
 
   const size_t k = static_cast<size_t>(flags.GetInt("topk", 1));
+  const bool json = flags.GetBool("json", false);
+  const std::string svg_path = flags.GetString("svg", "");
+  flags.WarnUnused(stderr);
   Stopwatch sw;
   Point answer;
-  if (k > 1 && options.algorithm != MolqAlgorithm::kSsc) {
+  if (json) {
+    // Serve the query through the resident engine: same validation, same
+    // solve path, same serializer as a movd_serve SOLVE request.
+    if (options.use_overlap_pruning) {
+      std::fprintf(stderr, "solve: --prune is ignored with --json\n");
+    }
+    QueryEngine engine;
+    engine.RegisterDataset("cli", query, world);
+    ServeRequest request;
+    request.id = "cli";
+    request.dataset = "cli";
+    request.algorithm = options.algorithm;
+    request.epsilon = options.epsilon;
+    request.topk = k;
+    request.threads = options.threads;
+    const ServeResponse resp = engine.Solve(request);
+    if (resp.status != ServeStatus::kOk) {
+      std::fprintf(stderr, "solve: %s %s\n", ServeStatusName(resp.status),
+                   resp.error.c_str());
+      return 1;
+    }
+    std::printf("%s\n",
+                ResponseJson(*engine.dataset_query("cli"), resp).c_str());
+    if (!resp.answers.empty()) answer = resp.answers.front().location;
+  } else if (k > 1 && options.algorithm != MolqAlgorithm::kSsc) {
     const auto ranked = SolveMolqTopK(query, world, k, options);
     for (const RankedLocation& r : ranked) {
       PrintAnswerJson(query, r.location, r.cost, r.group);
@@ -150,7 +181,6 @@ int Solve(const Flags& flags) {
   }
   std::fprintf(stderr, "solved in %.3fs\n", sw.ElapsedSeconds());
 
-  const std::string svg_path = flags.GetString("svg", "");
   if (!svg_path.empty()) {
     SvgWriter svg(world, 800);
     const char* colors[] = {"#1f77b4", "#2ca02c", "#d62728", "#9467bd",
@@ -179,7 +209,7 @@ int main(int argc, char** argv) {
                  "usage: molq_cli <generate|solve> [flags]\n"
                  "  generate --class=STM --count=1000 --out=file.csv\n"
                  "  solve --inputs=a.csv,b.csv[,...] [--algorithm=rrb] "
-                 "[--topk=3] [--svg=out.svg] [--threads=1]\n");
+                 "[--topk=3] [--svg=out.svg] [--threads=1] [--json]\n");
     return 2;
   }
   const std::string& command = flags.positional()[0];

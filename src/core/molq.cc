@@ -136,7 +136,14 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
     ssc.epsilon = options.epsilon;
     ssc.use_upper_bound_prune = options.use_two_point_prefilter;
     ssc.use_cost_bound = options.use_cost_bound;
+    ssc.cancel = options.cancel;
     const SscResult r = SolveSsc(query, ssc);
+    if (r.cancelled) {
+      result.status = MolqStatus::kCancelled;
+      result.stats.ssc = r.stats;
+      result.stats.optimize_seconds = sw.ElapsedSeconds();
+      return result;
+    }
     result.location = r.location;
     result.cost = r.cost;
     result.group.reserve(r.group.size());
@@ -171,6 +178,14 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
   });
   result.stats.vd_seconds = sw.ElapsedSeconds();
 
+  // Stage-boundary cancellation checkpoint: the per-set diagram builds are
+  // bounded and not individually interruptible, so the deadline is
+  // enforced here before the (typically dominant) overlap stage starts.
+  if (TokenExpired(options.cancel)) {
+    result.status = MolqStatus::kCancelled;
+    return result;
+  }
+
   // Stage 2: MOVD Overlapper — sequential ⊕ over the basic MOVDs (Eq. 27),
   // optionally with combination pruning (§8 future work).
   sw.Reset();
@@ -181,7 +196,13 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
     result.stats.overlap = pruned.overlap;
     result.stats.pruned_ovrs = pruned.pruned_ovrs;
   } else {
-    movd = OverlapAll(basic, mode, &result.stats.overlap);
+    movd = OverlapAll(basic, mode, &result.stats.overlap, options.cancel);
+  }
+  // A token that fired during the sweep leaves `movd` truncated — discard
+  // it and report cancellation instead of optimizing a partial overlay.
+  if (TokenExpired(options.cancel)) {
+    result.status = MolqStatus::kCancelled;
+    return result;
   }
   result.stats.overlap_seconds = sw.ElapsedSeconds();
   result.stats.final_ovrs = movd.ovrs.size();
@@ -205,9 +226,14 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
   opt.use_two_point_prefilter = options.use_two_point_prefilter;
   opt.dedup_combinations = options.dedup_combinations;
   opt.threads = threads;
+  opt.cancel = options.cancel;
   const OptimizerResult r = OptimizeMovd(query, movd, opt);
   result.stats.optimize_seconds = sw.ElapsedSeconds();
   result.stats.optimizer = r.stats;
+  if (r.cancelled) {
+    result.status = MolqStatus::kCancelled;
+    return result;
+  }
   result.location = r.location;
   result.cost = r.cost;
   result.group = r.group;

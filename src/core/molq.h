@@ -11,6 +11,7 @@
 #include "core/overlap.h"
 #include "core/ssc.h"
 #include "geom/rect.h"
+#include "util/cancel.h"
 
 namespace movd {
 
@@ -69,6 +70,20 @@ struct MolqOptions {
 #else
   bool audit = false;
 #endif
+
+  /// Cooperative cancellation (serving deadlines, DESIGN.md §8). When the
+  /// token fires, the pipeline unwinds at its next checkpoint — between
+  /// stages, per SSC combination, per overlap event block, per Optimizer
+  /// OVR — and SolveMolq returns MolqStatus::kCancelled with no answer
+  /// fields populated (never a partial answer). Null means run to
+  /// completion.
+  const CancelToken* cancel = nullptr;
+};
+
+/// Terminal state of one MOLQ evaluation.
+enum class MolqStatus {
+  kOk,         ///< ran to completion; the answer fields are valid
+  kCancelled,  ///< options.cancel fired; no answer fields are valid
 };
 
 /// Per-stage instrumentation of one query evaluation.
@@ -92,6 +107,9 @@ struct MolqStats {
 
 /// Result of one MOLQ evaluation.
 struct MolqResult {
+  /// kOk unless options.cancel fired mid-run; location/cost/group are only
+  /// meaningful when kOk.
+  MolqStatus status = MolqStatus::kOk;
   Point location;
   double cost = 0.0;
   /// The winning object combination (one PoiRef per set, sorted by set).

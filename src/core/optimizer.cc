@@ -93,6 +93,10 @@ OptimizerResult OptimizeMovd(const MolqQuery& query, const Movd& movd,
   std::atomic<uint64_t> total_iterations{0};
 
   ParallelFor(options.threads, n, [&](size_t i) {
+    // Cancellation checkpoint (serving deadlines): once per claimed OVR.
+    // The token latches, so after it fires every worker drains its
+    // remaining iterations without doing work.
+    if (TokenExpired(options.cancel)) return;
     const Ovr& ovr = movd.ovrs[i];
     MOVD_CHECK(!ovr.pois.empty());
     if (duplicate[i]) return;
@@ -133,6 +137,13 @@ OptimizerResult OptimizeMovd(const MolqQuery& query, const Movd& movd,
   result.stats.skipped_prefilter = skipped_prefilter.load();
   result.stats.pruned_by_bound = pruned_by_bound.load();
   result.stats.total_iterations = total_iterations.load();
+
+  // A fired token means an unknown subset of OVRs was skipped: the partial
+  // best could be wrong, so no answer is reduced at all.
+  if (TokenExpired(options.cancel)) {
+    result.cancelled = true;
+    return result;
+  }
 
   // Deterministic reduction: minimum total cost, lowest OVR index on ties.
   bool have_answer = false;

@@ -5,6 +5,7 @@
 
 #include "core/movd_model.h"
 #include "core/object.h"
+#include "util/cancel.h"
 
 namespace movd {
 
@@ -31,6 +32,12 @@ struct OptimizerOptions {
   /// winning OVR is resolved by a (cost, index) reduction, never by
   /// arrival order — though iteration/prune counters may vary with timing.
   int threads = 1;
+
+  /// Cooperative cancellation: polled once per OVR (on the claiming
+  /// worker). When it fires, remaining OVRs are skipped and
+  /// OptimizerResult::cancelled is set — the partial best is NOT returned.
+  /// Null means run to completion.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Counters for the Optimizer stage.
@@ -44,6 +51,9 @@ struct OptimizerStats {
 
 /// Result of optimizing one MOVD.
 struct OptimizerResult {
+  /// True when options.cancel fired before every OVR was examined; the
+  /// answer fields are then unset.
+  bool cancelled = false;
   Point location;           ///< the best locally-optimal location
   double cost = 0.0;        ///< its WGD against its OVR's object group
   std::vector<PoiRef> group;  ///< the winning object combination

@@ -44,7 +44,7 @@ struct Event {
 }  // namespace
 
 Movd Overlap(const Movd& a, const Movd& b, BoundaryMode mode,
-             OverlapStats* stats) {
+             OverlapStats* stats, const CancelToken* cancel) {
   // Event queue: start/end events of every OVR, sorted by descending y;
   // at equal y, start events run first so regions touching only along a
   // horizontal line still pair up (closed-boundary semantics).
@@ -101,7 +101,14 @@ Movd Overlap(const Movd& a, const Movd& b, BoundaryMode mode,
     }
   };
 
-  for (const Event& e : events) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    // Cancellation checkpoint (serving deadlines): every 1024 events, so
+    // the clock poll is amortized over a block of sweep work. The caller
+    // discards the truncated result when the token fired.
+    if (cancel != nullptr && (i & 1023u) == 0 && cancel->Expired()) {
+      return result;
+    }
+    const Event& e = events[i];
     if (stats != nullptr) ++stats->events;
     if (e.from_a) {
       handle(e, a, b, &status_a, &status_b);
@@ -113,12 +120,13 @@ Movd Overlap(const Movd& a, const Movd& b, BoundaryMode mode,
 }
 
 Movd OverlapAll(const std::vector<Movd>& inputs, BoundaryMode mode,
-                OverlapStats* stats) {
+                OverlapStats* stats, const CancelToken* cancel) {
   MOVD_CHECK_MSG(!inputs.empty(),
                  "sequential overlap needs at least one input MOVD");
   Movd acc = inputs.front();
   for (size_t i = 1; i < inputs.size(); ++i) {
-    acc = Overlap(acc, inputs[i], mode, stats);
+    if (TokenExpired(cancel)) return acc;
+    acc = Overlap(acc, inputs[i], mode, stats, cancel);
   }
   return acc;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/movd_model.h"
+#include "util/cancel.h"
 
 namespace movd {
 
@@ -25,13 +26,22 @@ struct OverlapStats {
 ///  - BoundaryMode::kMbr (MBRB, Algorithm 4): MBR intersection only; every
 ///    x/y-range hit is emitted (false positives possible).
 /// Both operands must themselves carry the fields the mode needs.
+///
+/// `cancel` (serving deadlines): polled once per sweep-event block. A fired
+/// token aborts the sweep and returns a truncated MOVD — callers that pass
+/// a token MUST re-check it afterwards and discard the result when it
+/// fired, as SolveMolq does.
 Movd Overlap(const Movd& a, const Movd& b, BoundaryMode mode,
-             OverlapStats* stats = nullptr);
+             OverlapStats* stats = nullptr,
+             const CancelToken* cancel = nullptr);
 
 /// Sequential overlap Σ⊕ (paper Eq. 27): folds `inputs` left-to-right,
-/// starting from MOVD(∅). Stats accumulate across all steps.
+/// starting from MOVD(∅). Stats accumulate across all steps. `cancel` as in
+/// Overlap: a fired token yields a truncated result the caller must
+/// discard.
 Movd OverlapAll(const std::vector<Movd>& inputs, BoundaryMode mode,
-                OverlapStats* stats = nullptr);
+                OverlapStats* stats = nullptr,
+                const CancelToken* cancel = nullptr);
 
 /// Reference implementation: the nested-loop O(n*m) overlap with the same
 /// semantics. Used by tests to validate the sweep.

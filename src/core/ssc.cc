@@ -30,6 +30,14 @@ SscResult SolveSsc(const MolqQuery& query, const SscOptions& options) {
   // Odometer enumeration of P_1 x ... x P_n.
   bool done = false;
   while (!done) {
+    // Cancellation checkpoint (serving deadlines): one poll per
+    // combination, i.e. per Fermat–Weber problem — coarse enough that the
+    // clock read never dominates, fine enough that a fired deadline stops
+    // the scan within one solve.
+    if (TokenExpired(options.cancel)) {
+      result.cancelled = true;
+      return result;
+    }
     ++result.stats.combinations;
     double offset = 0.0;
     for (size_t i = 0; i < n; ++i) {

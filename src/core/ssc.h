@@ -6,6 +6,7 @@
 
 #include "core/object.h"
 #include "geom/point.h"
+#include "util/cancel.h"
 
 namespace movd {
 
@@ -21,6 +22,11 @@ struct SscOptions {
   /// solve ("The Cost-bound approach can be used in the SSC solution as
   /// well"); the paper's Figs. 8-9 run SSC with it enabled.
   bool use_cost_bound = true;
+
+  /// Cooperative cancellation: polled once per combination. When it fires
+  /// the scan stops and SscResult::cancelled is set — the partially-scanned
+  /// best answer is NOT returned. Null means run to completion.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Counters for SSC.
@@ -33,6 +39,9 @@ struct SscStats {
 
 /// Result of an SSC run.
 struct SscResult {
+  /// True when options.cancel fired before the scan finished; the answer
+  /// fields are then unset.
+  bool cancelled = false;
   Point location;
   double cost = 0.0;
   /// Winning object combination: group[i] indexes query.sets[i].objects.

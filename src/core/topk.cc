@@ -14,26 +14,14 @@
 
 namespace movd {
 
-std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
-                                          const Rect& search_space, size_t k,
-                                          const MolqOptions& options) {
-  MOVD_CHECK(k > 0);
-  MOVD_CHECK(options.algorithm != MolqAlgorithm::kSsc);
-  const BoundaryMode mode = options.algorithm == MolqAlgorithm::kRrb
-                                ? BoundaryMode::kRealRegion
-                                : BoundaryMode::kMbr;
-
-  const int threads = ResolveThreads(options.threads);
-  const size_t num_sets = query.sets.size();
-  const int inner_threads =
-      std::max(1, threads / static_cast<int>(num_sets));
-  std::vector<Movd> basic(num_sets);
-  ParallelFor(threads, num_sets, [&](size_t i) {
-    basic[i] = BuildBasicMovd(query, static_cast<int32_t>(i), search_space,
-                              options.weighted_grid_resolution,
-                              inner_threads);
-  });
-  const Movd movd = OverlapAll(basic, mode);
+std::vector<RankedLocation> TopKFromMovd(const MolqQuery& query,
+                                         const Movd& movd, size_t k,
+                                         const MolqOptions& options,
+                                         MolqStatus* status) {
+  MOVD_CHECK_MSG(k > 0, "top-k needs k >= 1");
+  MOVD_CHECK_MSG(!movd.ovrs.empty(),
+                 "the top-k Optimizer needs a non-empty MOVD to scan");
+  if (status != nullptr) *status = MolqStatus::kOk;
 
   // Best cost per distinct combination; duplicates (MBRB false positives)
   // collapse naturally.
@@ -51,6 +39,13 @@ std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
   std::atomic<double> kth_bound{std::numeric_limits<double>::infinity()};
 
   for (const Ovr& ovr : movd.ovrs) {
+    // Cancellation checkpoint (serving deadlines): once per OVR. A fired
+    // token discards the partial ranking — a truncated scan could rank
+    // wrong answers into the top k.
+    if (TokenExpired(options.cancel)) {
+      if (status != nullptr) *status = MolqStatus::kCancelled;
+      return {};
+    }
     MOVD_CHECK(!ovr.pois.empty());
     if (best_by_group.count(ovr.pois)) continue;  // combination already done
     std::vector<WeightedPoint> points;
@@ -98,6 +93,35 @@ std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
                    });
   if (results.size() > k) results.resize(k);
   return results;
+}
+
+std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
+                                          const Rect& search_space, size_t k,
+                                          const MolqOptions& options,
+                                          MolqStatus* status) {
+  MOVD_CHECK(k > 0);
+  MOVD_CHECK(options.algorithm != MolqAlgorithm::kSsc);
+  if (status != nullptr) *status = MolqStatus::kOk;
+  const BoundaryMode mode = options.algorithm == MolqAlgorithm::kRrb
+                                ? BoundaryMode::kRealRegion
+                                : BoundaryMode::kMbr;
+
+  const int threads = ResolveThreads(options.threads);
+  const size_t num_sets = query.sets.size();
+  const int inner_threads =
+      std::max(1, threads / static_cast<int>(num_sets));
+  std::vector<Movd> basic(num_sets);
+  ParallelFor(threads, num_sets, [&](size_t i) {
+    basic[i] = BuildBasicMovd(query, static_cast<int32_t>(i), search_space,
+                              options.weighted_grid_resolution,
+                              inner_threads);
+  });
+  const Movd movd = OverlapAll(basic, mode, nullptr, options.cancel);
+  if (TokenExpired(options.cancel)) {
+    if (status != nullptr) *status = MolqStatus::kCancelled;
+    return {};
+  }
+  return TopKFromMovd(query, movd, k, options, status);
 }
 
 }  // namespace movd

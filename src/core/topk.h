@@ -23,9 +23,24 @@ struct RankedLocation {
 /// rejected) and keeps the k best Fermat–Weber optima. The cost bound used
 /// for pruning is the k-th best cost so far, so correctness of all k
 /// results is preserved.
+///
+/// `status` (optional): receives kCancelled when options.cancel fired
+/// mid-run, in which case the returned vector is empty (never a partial
+/// ranking); kOk otherwise.
 std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
                                           const Rect& search_space, size_t k,
-                                          const MolqOptions& options = {});
+                                          const MolqOptions& options = {},
+                                          MolqStatus* status = nullptr);
+
+/// The Optimizer half of SolveMolqTopK, over an already-built MOVD: the k
+/// best locally-optimal locations over distinct object combinations. This
+/// is the entry point the serving engine (src/serve) uses to rank answers
+/// from a cached overlay artifact without rebuilding the pipeline; OVR poi
+/// refs must index into `query`. Cancellation semantics as above.
+std::vector<RankedLocation> TopKFromMovd(const MolqQuery& query,
+                                         const Movd& movd, size_t k,
+                                         const MolqOptions& options = {},
+                                         MolqStatus* status = nullptr);
 
 }  // namespace movd
 

@@ -1,0 +1,151 @@
+#include "serve/metrics.h"
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace movd {
+namespace {
+
+// Microsecond upper bound of bucket i: 2^i (bucket 0 catches sub-1us).
+uint64_t BucketBoundUs(int i) { return 1ull << i; }
+
+}  // namespace
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "OK";
+    case ServeStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case ServeStatus::kInvalidRequest:
+      return "INVALID_REQUEST";
+    case ServeStatus::kInternalError:
+      return "INTERNAL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+void LatencyHistogram::Record(double seconds) {
+  const double us = seconds * 1e6;
+  int bucket = 0;
+  while (bucket < kBuckets - 1 &&
+         us >= static_cast<double>(BucketBoundUs(bucket))) {
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::PercentileSeconds(double p) const {
+  MOVD_CHECK_MSG(p > 0.0 && p <= 100.0,
+                 "percentile must be in (0, 100]");
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  // Rank of the percentile observation, 1-based, rounded up.
+  const uint64_t rank =
+      static_cast<uint64_t>((p / 100.0) * static_cast<double>(total - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      return static_cast<double>(BucketBoundUs(i)) * 1e-6;
+    }
+  }
+  return static_cast<double>(BucketBoundUs(kBuckets - 1)) * 1e-6;
+}
+
+std::string LatencyHistogram::Json() const {
+  std::string out = "[";
+  for (int i = 0; i < kBuckets; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(buckets_[i].load(std::memory_order_relaxed));
+  }
+  out += "]";
+  return out;
+}
+
+void ServeMetrics::RecordRequest(ServeStatus status, double seconds,
+                                 bool cache_hit) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  switch (status) {
+    case ServeStatus::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kInvalidRequest:
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kInternalError:
+      internal_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (cache_hit) overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(seconds);
+}
+
+std::string ServeMetrics::Json(const ArtifactCache::Stats& cache) const {
+  char buf[256];
+  std::string out = "{";
+  const auto field = [&out](const char* name, uint64_t v, bool first = false) {
+    if (!first) out += ",";
+    out += "\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  field("requests", requests(), /*first=*/true);
+  field("ok", ok());
+  field("deadline_exceeded", deadline_exceeded());
+  field("invalid", invalid());
+  field("internal_errors", internal_errors());
+  field("overlay_cache_hits", overlay_hits());
+  field("cache_hits", cache.hits);
+  field("cache_misses", cache.misses);
+  field("cache_evictions", cache.evictions);
+  field("cache_inserts", cache.inserts);
+  field("cache_oversize", cache.oversize);
+  field("cache_wait_timeouts", cache.wait_timeouts);
+  field("cache_bytes", cache.bytes);
+  field("cache_capacity", cache.capacity);
+  field("cache_entries", cache.entries);
+  std::snprintf(buf, sizeof(buf), ",\"p50_ms\":%.3f,\"p99_ms\":%.3f",
+                latency_.PercentileSeconds(50) * 1e3,
+                latency_.PercentileSeconds(99) * 1e3);
+  out += buf;
+  out += ",\"latency_buckets\":" + latency_.Json();
+  out += "}";
+  return out;
+}
+
+void ServeMetrics::DumpTable(std::FILE* out,
+                             const ArtifactCache::Stats& cache) const {
+  Table table({"metric", "value"});
+  const auto row = [&table](const std::string& name, uint64_t v) {
+    table.AddRow({name, std::to_string(v)});
+  };
+  row("requests", requests());
+  row("ok", ok());
+  row("deadline_exceeded", deadline_exceeded());
+  row("invalid", invalid());
+  row("internal_errors", internal_errors());
+  row("overlay_cache_hits", overlay_hits());
+  table.AddRow({"p50", Table::Fmt(latency_.PercentileSeconds(50) * 1e3, 3) +
+                           "ms"});
+  table.AddRow({"p99", Table::Fmt(latency_.PercentileSeconds(99) * 1e3, 3) +
+                           "ms"});
+  row("cache hits", cache.hits);
+  row("cache misses", cache.misses);
+  row("cache evictions", cache.evictions);
+  row("cache resident bytes", cache.bytes);
+  row("cache resident entries", cache.entries);
+  table.Print(out);
+}
+
+}  // namespace movd

@@ -1,0 +1,90 @@
+#ifndef MOVD_SERVE_METRICS_H_
+#define MOVD_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "serve/artifact_cache.h"
+
+namespace movd {
+
+/// Terminal state of one serve request (the wire-visible status codes).
+enum class ServeStatus {
+  kOk,
+  kDeadlineExceeded,  ///< the request's deadline fired; no answer returned
+  kInvalidRequest,    ///< malformed request / unknown dataset / bad layers
+  kInternalError,
+};
+
+/// Wire name of a status ("OK", "DEADLINE_EXCEEDED", ...).
+const char* ServeStatusName(ServeStatus status);
+
+/// Fixed-bucket latency histogram: bucket i counts requests with latency
+/// in [2^(i-1), 2^i) microseconds (bucket 0: < 1us; the last bucket is an
+/// overflow catch-all of ~67s and up). Fixed buckets keep Record() a
+/// single atomic increment — no allocation, no lock — which is what a
+/// per-request hot path wants; the price is that percentiles are resolved
+/// to bucket upper bounds (~2x resolution), plenty for p50/p99 dashboards.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 28;
+
+  /// Records one observation. Thread-safe (relaxed atomic increment).
+  void Record(double seconds);
+
+  /// Total observations recorded.
+  uint64_t Count() const;
+
+  /// Upper bound (in seconds) of the bucket containing the p-th percentile
+  /// observation, p in (0, 100]. Returns 0 when empty.
+  double PercentileSeconds(double p) const;
+
+  /// Bucket counts as a JSON array ("[0,3,17,...]").
+  std::string Json() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Serving counters for one QueryEngine: request outcomes, overlay-cache
+/// effectiveness as seen per-request, and end-to-end service latency. All
+/// counters are monotonic atomics — reading them never blocks the serving
+/// path. Cache occupancy/eviction stats live in ArtifactCache::Stats and
+/// are passed in at dump time so one report covers both.
+class ServeMetrics {
+ public:
+  /// Records one finished request: terminal status, end-to-end seconds
+  /// (queue wait + solve), and whether the overlay artifact was served
+  /// from cache.
+  void RecordRequest(ServeStatus status, double seconds, bool cache_hit);
+
+  uint64_t requests() const { return requests_.load(); }
+  uint64_t ok() const { return ok_.load(); }
+  uint64_t deadline_exceeded() const { return deadline_exceeded_.load(); }
+  uint64_t invalid() const { return invalid_.load(); }
+  uint64_t internal_errors() const { return internal_errors_.load(); }
+  uint64_t overlay_hits() const { return overlay_hits_.load(); }
+  const LatencyHistogram& latency() const { return latency_; }
+
+  /// One-object JSON dump of every counter plus the cache stats (the
+  /// STATS response body of the line protocol).
+  std::string Json(const ArtifactCache::Stats& cache) const;
+
+  /// Human-readable dump (util/table) for shutdown reports.
+  void DumpTable(std::FILE* out, const ArtifactCache::Stats& cache) const;
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> invalid_{0};
+  std::atomic<uint64_t> internal_errors_{0};
+  std::atomic<uint64_t> overlay_hits_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace movd
+
+#endif  // MOVD_SERVE_METRICS_H_

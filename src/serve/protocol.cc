@@ -1,0 +1,261 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "util/check.h"
+
+namespace movd {
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(
+                                    line[pos])) != 0) {
+      ++pos;
+    }
+    size_t end = pos;
+    while (end < line.size() && std::isspace(static_cast<unsigned char>(
+                                    line[end])) == 0) {
+      ++end;
+    }
+    if (end > pos) words.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  return words;
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool ParseI64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseSolveArg(const std::string& key, const std::string& value,
+                   ServeRequest* request, std::string* error) {
+  int64_t i = 0;
+  double d = 0.0;
+  if (key == "id") {
+    request->id = value;
+    return true;
+  }
+  if (key == "dataset") {
+    request->dataset = value;
+    return true;
+  }
+  if (key == "layers") {
+    request->layers.clear();
+    size_t pos = 0;
+    while (pos < value.size()) {
+      size_t comma = value.find(',', pos);
+      if (comma == std::string::npos) comma = value.size();
+      if (!ParseI64(value.substr(pos, comma - pos), &i)) {
+        *error = "bad layers list '" + value + "'";
+        return false;
+      }
+      request->layers.push_back(static_cast<int32_t>(i));
+      pos = comma + 1;
+    }
+    return true;
+  }
+  if (key == "algo") {
+    if (value == "ssc") {
+      request->algorithm = MolqAlgorithm::kSsc;
+    } else if (value == "rrb") {
+      request->algorithm = MolqAlgorithm::kRrb;
+    } else if (value == "mbrb") {
+      request->algorithm = MolqAlgorithm::kMbrb;
+    } else {
+      *error = "unknown algo '" + value + "' (want ssc|rrb|mbrb)";
+      return false;
+    }
+    return true;
+  }
+  if (key == "k") {
+    if (!ParseI64(value, &i) || i < 1) {
+      *error = "bad k '" + value + "'";
+      return false;
+    }
+    request->topk = static_cast<size_t>(i);
+    return true;
+  }
+  if (key == "epsilon") {
+    if (!ParseF64(value, &d) || !(d > 0.0)) {
+      *error = "bad epsilon '" + value + "'";
+      return false;
+    }
+    request->epsilon = d;
+    return true;
+  }
+  if (key == "deadline_ms") {
+    if (!ParseF64(value, &d) || d < 0.0) {
+      *error = "bad deadline_ms '" + value + "'";
+      return false;
+    }
+    request->deadline_ms = d;
+    return true;
+  }
+  if (key == "threads") {
+    if (!ParseI64(value, &i) || i < 0) {
+      *error = "bad threads '" + value + "'";
+      return false;
+    }
+    request->threads = static_cast<int>(i);
+    return true;
+  }
+  if (key == "cache") {
+    if (value == "0") {
+      request->use_cache = false;
+    } else if (value == "1") {
+      request->use_cache = true;
+    } else {
+      *error = "bad cache '" + value + "' (want 0|1)";
+      return false;
+    }
+    return true;
+  }
+  *error = "unknown SOLVE argument '" + key + "'";
+  return false;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) for
+/// dataset/set names that come from user-controlled paths.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ParseRequestLine(const std::string& line, ServeVerb* verb,
+                      ServeRequest* request, std::string* error) {
+  const std::vector<std::string> words = SplitWords(line);
+  if (words.empty()) {
+    *error = "empty request line";
+    return false;
+  }
+  const std::string name = Upper(words[0]);
+  if (name == "STATS" || name == "PING" || name == "QUIT" ||
+      name == "SHUTDOWN") {
+    if (words.size() != 1) {
+      *error = name + " takes no arguments";
+      return false;
+    }
+    *verb = name == "STATS"  ? ServeVerb::kStats
+            : name == "PING" ? ServeVerb::kPing
+            : name == "QUIT" ? ServeVerb::kQuit
+                             : ServeVerb::kShutdown;
+    return true;
+  }
+  if (name != "SOLVE") {
+    *error = "unknown verb '" + words[0] + "'";
+    return false;
+  }
+  *verb = ServeVerb::kSolve;
+  *request = ServeRequest();
+  bool have_dataset = false;
+  for (size_t i = 1; i < words.size(); ++i) {
+    const size_t eq = words[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *error = "expected key=value, got '" + words[i] + "'";
+      return false;
+    }
+    const std::string key = words[i].substr(0, eq);
+    const std::string value = words[i].substr(eq + 1);
+    if (!ParseSolveArg(key, value, request, error)) return false;
+    if (key == "dataset") have_dataset = true;
+  }
+  if (!have_dataset) {
+    *error = "SOLVE requires dataset=<name>";
+    return false;
+  }
+  return true;
+}
+
+std::string AnswerJson(const MolqQuery& query, const ServeAnswer& answer) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{\"location\": [%.6f, %.6f], \"cost\": %.6f, \"group\": [",
+                answer.location.x, answer.location.y, answer.cost);
+  std::string out = buf;
+  for (size_t i = 0; i < answer.group.size(); ++i) {
+    const PoiRef& ref = answer.group[i];
+    MOVD_CHECK_MSG(ref.set >= 0 &&
+                       static_cast<size_t>(ref.set) < query.sets.size(),
+                   "answer group references a set outside its query");
+    const ObjectSet& set = query.sets[static_cast<size_t>(ref.set)];
+    const SpatialObject& obj = set.objects[static_cast<size_t>(ref.object)];
+    if (i > 0) out += ", ";
+    out += "{\"set\": \"" + JsonEscape(set.name) + "\", ";
+    std::snprintf(buf, sizeof(buf), "\"index\": %d, \"at\": [%.6f, %.6f]}",
+                  ref.object, obj.location.x, obj.location.y);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ResponseJson(const MolqQuery& query, const ServeResponse& resp) {
+  std::string out = "{\"answers\": [";
+  for (size_t i = 0; i < resp.answers.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AnswerJson(query, resp.answers[i]);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "], \"cache_hit\": %s, \"seconds\": %.6f}",
+                resp.cache_hit ? "true" : "false", resp.seconds);
+  out += buf;
+  return out;
+}
+
+std::string FormatResponseLine(const MolqQuery* query,
+                               const ServeResponse& resp) {
+  if (resp.status == ServeStatus::kOk) {
+    MOVD_CHECK_MSG(query != nullptr,
+                   "an OK response needs its query to resolve group refs");
+    return "OK " + resp.id + " " + ResponseJson(*query, resp);
+  }
+  std::string out =
+      "ERR " + resp.id + " " + ServeStatusName(resp.status);
+  if (!resp.error.empty()) out += " " + resp.error;
+  return out;
+}
+
+}  // namespace movd

@@ -1,0 +1,59 @@
+#ifndef MOVD_SERVE_PROTOCOL_H_
+#define MOVD_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "serve/query_engine.h"
+
+namespace movd {
+
+/// The movd_serve line protocol (one request per line, one response line
+/// per request; UTF-8, '\n'-terminated, no binary framing):
+///
+///   SOLVE id=<tok> dataset=<name> [layers=0,2] [algo=ssc|rrb|mbrb]
+///         [k=1] [epsilon=1e-3] [deadline_ms=0] [threads=1] [cache=0|1]
+///   STATS            -> OK - <metrics json>
+///   PING             -> OK - pong
+///   QUIT             -> closes this connection
+///   SHUTDOWN         -> stops the whole server
+///
+/// SOLVE responses:
+///   OK <id> {"answers":[...],"cache_hit":...,"seconds":...}
+///   ERR <id> <STATUS> <detail...>        (status per ServeStatusName)
+enum class ServeVerb {
+  kSolve,
+  kStats,
+  kPing,
+  kQuit,
+  kShutdown,
+};
+
+/// Parses one request line. On success fills `verb` (and, for SOLVE,
+/// `request`) and returns true; on failure fills `error` and returns false.
+/// Verbs are case-insensitive; SOLVE arguments are space-separated
+/// key=value pairs and unknown keys are rejected (a misspelled option must
+/// not silently fall back to a default).
+bool ParseRequestLine(const std::string& line, ServeVerb* verb,
+                      ServeRequest* request, std::string* error);
+
+/// One answer as a JSON object — the serializer shared by the server's
+/// SOLVE responses and molq_cli --json, so both fronts emit byte-identical
+/// records: {"location": [x, y], "cost": c, "group": [{"set": <name>,
+/// "index": i, "at": [x, y]}, ...]}. `query` resolves group refs to set
+/// names and object locations; it must be the query the answer was
+/// computed against.
+std::string AnswerJson(const MolqQuery& query, const ServeAnswer& answer);
+
+/// The body of an OK SOLVE response: {"answers": [...], "cache_hit": ...,
+/// "seconds": ...}.
+std::string ResponseJson(const MolqQuery& query, const ServeResponse& resp);
+
+/// Formats one full response line (without the trailing newline):
+/// "OK <id> <json>" on success, "ERR <id> <STATUS> <detail>" otherwise.
+/// `query` may be null only for non-kOk responses (no answers to resolve).
+std::string FormatResponseLine(const MolqQuery* query,
+                               const ServeResponse& resp);
+
+}  // namespace movd
+
+#endif  // MOVD_SERVE_PROTOCOL_H_

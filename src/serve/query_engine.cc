@@ -1,0 +1,327 @@
+#include "serve/query_engine.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "storage/movd_file.h"
+#include "util/stopwatch.h"
+
+namespace movd {
+namespace {
+
+/// Weight-mode cache-key component: one char per weight function
+/// ('m'ultiplicative / 'a'dditive), type function first.
+std::string WeightTag(const MolqQuery& query) {
+  const auto tag = [](WeightFunctionKind k) {
+    return k == WeightFunctionKind::kMultiplicative ? 'm' : 'a';
+  };
+  std::string out(1, tag(query.type_function));
+  for (size_t i = 0; i < query.sets.size(); ++i) {
+    out += tag(query.ObjectFunction(i));
+  }
+  return out;
+}
+
+std::string LayersTag(const std::vector<int32_t>& layers) {
+  std::string out;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(layers[i]);
+  }
+  return out;
+}
+
+ServeResponse Invalid(const std::string& id, std::string why) {
+  ServeResponse resp;
+  resp.status = ServeStatus::kInvalidRequest;
+  resp.id = id;
+  resp.error = std::move(why);
+  return resp;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const QueryEngineOptions& options)
+    : options_(options),
+      cache_(options.cache_bytes),
+      pool_(ResolveThreads(options.workers)) {}
+
+QueryEngine::~QueryEngine() { pool_.Wait(); }
+
+void QueryEngine::RegisterDataset(const std::string& name, MolqQuery query,
+                                  const Rect& world) {
+  Dataset ds;
+  ds.weight_tag = WeightTag(query);
+  ds.query = std::move(query);
+  ds.world = world;
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  datasets_[name] = std::move(ds);
+}
+
+const MolqQuery* QueryEngine::dataset_query(const std::string& name) const {
+  const Dataset* ds = FindDataset(name);
+  return ds == nullptr ? nullptr : &ds->query;
+}
+
+const QueryEngine::Dataset* QueryEngine::FindDataset(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  const auto it = datasets_.find(name);
+  // Datasets are registered before serving starts and never erased, so the
+  // pointer stays valid after the lock drops.
+  return it == datasets_.end() ? nullptr : &it->second;
+}
+
+ServeResponse QueryEngine::Solve(const ServeRequest& request) {
+  Stopwatch watch;
+  // The deadline budget starts now — on the thread actually serving the
+  // request (SubmitAsync workers call Solve on dequeue).
+  const CancelToken token =
+      request.deadline_ms > 0.0
+          ? CancelToken::After(std::chrono::duration_cast<
+                               std::chrono::nanoseconds>(
+                std::chrono::duration<double, std::milli>(
+                    request.deadline_ms)))
+          : CancelToken();
+  ServeResponse resp = SolveInternal(request, token);
+  // Belt and braces for the "never a partial answer" contract: a non-OK
+  // response carries no answers, whatever path produced it.
+  if (resp.status != ServeStatus::kOk) resp.answers.clear();
+  resp.seconds = watch.ElapsedSeconds();
+  metrics_.RecordRequest(resp.status, resp.seconds, resp.cache_hit);
+  return resp;
+}
+
+std::future<ServeResponse> QueryEngine::SubmitAsync(ServeRequest request) {
+  auto task = std::make_shared<std::packaged_task<ServeResponse()>>(
+      [this, request = std::move(request)] { return Solve(request); });
+  std::future<ServeResponse> future = task->get_future();
+  pool_.Submit([task] { (*task)(); });
+  return future;
+}
+
+ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
+                                         const CancelToken& token) {
+  const Dataset* ds = FindDataset(request.dataset);
+  if (ds == nullptr) {
+    return Invalid(request.id, "unknown dataset '" + request.dataset + "'");
+  }
+  if (request.topk == 0) return Invalid(request.id, "k must be >= 1");
+  if (!(request.epsilon > 0.0)) {
+    return Invalid(request.id, "epsilon must be > 0");
+  }
+  const auto n = static_cast<int32_t>(ds->query.sets.size());
+  // Normalize the layer selection: sorted, deduplicated, in range. Requests
+  // naming the same layers in any order share one cache key.
+  std::set<int32_t> layer_set;
+  for (const int32_t layer : request.layers) {
+    if (layer < 0 || layer >= n) {
+      return Invalid(request.id, "layer " + std::to_string(layer) +
+                                     " out of range [0, " +
+                                     std::to_string(n) + ")");
+    }
+    layer_set.insert(layer);
+  }
+  if (request.layers.empty()) {
+    for (int32_t layer = 0; layer < n; ++layer) layer_set.insert(layer);
+  }
+  if (layer_set.empty()) return Invalid(request.id, "no layers selected");
+  const std::vector<int32_t> layers(layer_set.begin(), layer_set.end());
+
+  ServeResponse resp;
+  resp.id = request.id;
+
+  MolqOptions molq;
+  molq.algorithm = request.algorithm;
+  molq.epsilon = request.epsilon;
+  molq.threads = request.threads;
+  molq.weighted_grid_resolution = options_.weighted_grid_resolution;
+  molq.cancel = &token;
+
+  if (request.algorithm == MolqAlgorithm::kSsc) {
+    if (request.topk != 1) {
+      return Invalid(request.id, "SSC serves k=1 only; use rrb/mbrb");
+    }
+    // SSC enumerates raw combinations — no diagram artifacts to cache, so
+    // it always runs cold over a sub-query of the selected layers.
+    MolqQuery sub;
+    sub.type_function = ds->query.type_function;
+    for (const int32_t layer : layers) {
+      sub.sets.push_back(ds->query.sets[layer]);
+      sub.object_functions.push_back(
+          ds->query.ObjectFunction(static_cast<size_t>(layer)));
+    }
+    const MolqResult r = SolveMolq(sub, ds->world, molq);
+    if (r.status == MolqStatus::kCancelled) {
+      resp.status = ServeStatus::kDeadlineExceeded;
+      resp.error = "deadline exceeded during SSC scan";
+      return resp;
+    }
+    ServeAnswer answer;
+    answer.location = r.location;
+    answer.cost = r.cost;
+    answer.group = r.group;
+    // Map sub-query set indices back to dataset layer indices.
+    for (PoiRef& poi : answer.group) {
+      poi.set = layers[static_cast<size_t>(poi.set)];
+    }
+    resp.answers.push_back(std::move(answer));
+    return resp;
+  }
+
+  const BoundaryMode mode = request.algorithm == MolqAlgorithm::kMbrb
+                                ? BoundaryMode::kMbr
+                                : BoundaryMode::kRealRegion;
+  bool overlay_hit = false;
+  const std::shared_ptr<const Movd> overlay = GetOverlay(
+      *ds, request.dataset, layers, mode, request, token, &overlay_hit);
+  resp.cache_hit = overlay_hit;
+  if (overlay == nullptr) {
+    resp.status = ServeStatus::kDeadlineExceeded;
+    resp.error = "deadline exceeded building the MOVD overlay";
+    return resp;
+  }
+  if (overlay->ovrs.empty()) {
+    resp.status = ServeStatus::kInternalError;
+    resp.error = "overlay produced an empty MOVD";
+    return resp;
+  }
+
+  MolqStatus status = MolqStatus::kOk;
+  const std::vector<RankedLocation> ranked =
+      TopKFromMovd(ds->query, *overlay, request.topk, molq, &status);
+  if (status == MolqStatus::kCancelled) {
+    resp.status = ServeStatus::kDeadlineExceeded;
+    resp.error = "deadline exceeded during optimization";
+    return resp;
+  }
+  resp.answers.reserve(ranked.size());
+  for (const RankedLocation& r : ranked) {
+    ServeAnswer answer;
+    answer.location = r.location;
+    answer.cost = r.cost;
+    answer.group = r.group;
+    resp.answers.push_back(std::move(answer));
+  }
+  return resp;
+}
+
+std::shared_ptr<const Movd> QueryEngine::GetOverlay(
+    const Dataset& ds, const std::string& ds_name,
+    const std::vector<int32_t>& layers, BoundaryMode mode,
+    const ServeRequest& request, const CancelToken& token,
+    bool* overlay_hit) {
+  *overlay_hit = false;
+  const std::string suffix =
+      "/r" + std::to_string(options_.weighted_grid_resolution) + "/w" +
+      ds.weight_tag;
+
+  // One basic (single-layer) diagram; cached under a mode-independent key,
+  // since basics carry both real regions and MBRs. The basic is built from
+  // the FULL dataset query, so its PoiRef::set is the dataset layer index
+  // and every layer-subset overlay can share it.
+  const auto get_basic =
+      [&](int32_t layer) -> std::shared_ptr<const Movd> {
+    const auto build = [&] {
+      return std::make_shared<const Movd>(
+          BuildBasicMovd(ds.query, layer, ds.world,
+                         options_.weighted_grid_resolution, request.threads));
+    };
+    if (!request.use_cache) return build();
+    const std::string key =
+        "basic/" + ds_name + "/L" + std::to_string(layer) + suffix;
+    return cache_.GetOrBuild(key, build, nullptr, token.deadline());
+  };
+
+  // The overlay fold mirrors SolveMolq's OverlapAll exactly (identity start,
+  // left-to-right), so a served answer is bit-identical to a cold
+  // SolveMolq over the same layer sub-query.
+  const auto build_overlay = [&]() -> std::shared_ptr<const Movd> {
+    Movd acc = IdentityMovd(ds.world);
+    for (const int32_t layer : layers) {
+      if (token.Expired()) return nullptr;
+      const std::shared_ptr<const Movd> basic = get_basic(layer);
+      if (basic == nullptr) return nullptr;  // wait on a peer build timed out
+      Movd next = Overlap(acc, *basic, mode, nullptr, &token);
+      // A fired token means `next` may be truncated — discard it.
+      if (token.Expired()) return nullptr;
+      acc = std::move(next);
+    }
+    return std::make_shared<const Movd>(std::move(acc));
+  };
+
+  if (!request.use_cache) return build_overlay();
+  const std::string key =
+      "ovl/" + ds_name + "/L" + LayersTag(layers) +
+      (mode == BoundaryMode::kMbr ? "/mbrb" : "/rrb") + suffix;
+  return cache_.GetOrBuild(key, build_overlay, overlay_hit, token.deadline());
+}
+
+bool QueryEngine::SaveCache(const std::string& dir,
+                            std::string* error) const {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    if (error != nullptr) {
+      *error = "mkdir " + dir + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  const auto snapshot = cache_.Snapshot();
+  // Manifest lines are written least- to most-recently used, so replaying
+  // them in order through Insert() reconstructs the recency order too.
+  std::ofstream manifest(dir + "/manifest.txt", std::ios::trunc);
+  if (!manifest) {
+    if (error != nullptr) *error = "cannot write " + dir + "/manifest.txt";
+    return false;
+  }
+  for (size_t i = snapshot.size(); i-- > 0;) {
+    const std::string file = "art_" + std::to_string(i) + ".movd";
+    if (!SaveMovd(dir + "/" + file, *snapshot[i].second)) {
+      if (error != nullptr) *error = "cannot write " + dir + "/" + file;
+      return false;
+    }
+    manifest << file << '\t' << snapshot[i].first << '\n';
+  }
+  manifest.flush();
+  if (!manifest) {
+    if (error != nullptr) *error = "cannot write " + dir + "/manifest.txt";
+    return false;
+  }
+  return true;
+}
+
+QueryEngine::WarmLoadResult QueryEngine::LoadCache(const std::string& dir) {
+  WarmLoadResult result;
+  std::ifstream manifest(dir + "/manifest.txt");
+  if (!manifest) {
+    result.error = "cannot read " + dir + "/manifest.txt";
+    return result;
+  }
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0 || tab + 1 >= line.size()) {
+      result.error = "malformed manifest line: " + line;
+      return result;
+    }
+    const std::string file = line.substr(0, tab);
+    const std::string key = line.substr(tab + 1);
+    // LoadMovd validates the header and every record; a truncated or
+    // corrupted artifact is skipped (colder cache), never inserted.
+    std::optional<Movd> movd = LoadMovd(dir + "/" + file);
+    if (!movd.has_value()) {
+      ++result.failed;
+      continue;
+    }
+    cache_.Insert(key, std::make_shared<const Movd>(std::move(*movd)));
+    ++result.loaded;
+  }
+  return result;
+}
+
+}  // namespace movd

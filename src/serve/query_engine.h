@@ -1,0 +1,169 @@
+#ifndef MOVD_SERVE_QUERY_ENGINE_H_
+#define MOVD_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/molq.h"
+#include "core/topk.h"
+#include "serve/artifact_cache.h"
+#include "serve/metrics.h"
+#include "util/thread_pool.h"
+
+namespace movd {
+
+/// One MOLQ/top-k serving request. `layers` selects a subset of the
+/// dataset's object sets (empty = all); overlapping requests that share
+/// layers share cached artifacts.
+struct ServeRequest {
+  std::string id = "-";        ///< client-chosen id, echoed in the response
+  std::string dataset;         ///< registered dataset name
+  std::vector<int32_t> layers; ///< dataset layer indices; empty = all
+  MolqAlgorithm algorithm = MolqAlgorithm::kRrb;
+  double epsilon = 1e-3;
+  size_t topk = 1;
+  /// Per-request pipeline parallelism (MolqOptions::threads semantics).
+  /// The answer is bit-identical for every value.
+  int threads = 1;
+  /// Deadline budget in milliseconds, measured from the moment the engine
+  /// picks the request up (Solve entry / queue dequeue). <= 0 means none.
+  /// A fired deadline yields kDeadlineExceeded with no answer — never a
+  /// partial one.
+  double deadline_ms = 0.0;
+  /// When false the request bypasses the artifact cache entirely (cold
+  /// rebuild; used by the load generator to measure the cold path through
+  /// the same engine).
+  bool use_cache = true;
+};
+
+/// One ranked answer: the location, its cost, and the winning object
+/// combination (PoiRef::set is the DATASET layer index).
+struct ServeAnswer {
+  Point location;
+  double cost = 0.0;
+  std::vector<PoiRef> group;
+};
+
+/// The engine's reply to one request.
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kOk;
+  std::string id = "-";
+  std::string error;                 ///< human-readable detail on non-kOk
+  std::vector<ServeAnswer> answers;  ///< ascending by cost; empty on error
+  bool cache_hit = false;  ///< overlay artifact came straight from cache
+  double seconds = 0.0;    ///< service time (solve, excluding queue wait)
+};
+
+struct QueryEngineOptions {
+  /// Artifact-cache budget in bytes (ArtifactBytes accounting). 0 disables
+  /// caching — every request rebuilds from scratch.
+  size_t cache_bytes = 256ull << 20;
+  /// Worker threads draining the request queue (SubmitAsync). 0 = one per
+  /// hardware thread. Workers only control cross-request concurrency;
+  /// per-request parallelism is ServeRequest::threads, and answers are
+  /// bit-identical regardless of either knob.
+  int workers = 0;
+  /// Grid resolution for weighted-diagram approximation (part of every
+  /// cache key, so datasets served at different resolutions never share
+  /// artifacts).
+  int weighted_grid_resolution = 128;
+};
+
+/// A resident MOLQ serving engine (DESIGN.md §8): owns registered datasets,
+/// a byte-accounted LRU cache of built artifacts (per-layer basic MOVDs
+/// and overlay MOVDs), a request queue batched onto util/thread_pool, and
+/// serving metrics. The paper's split between the reusable VD Generator
+/// stage and the per-query Optimizer stage (§5.1) is exactly the cache
+/// boundary: diagrams and overlays are cached and shared across requests,
+/// the Fermat–Weber optimization runs per request.
+///
+/// Thread-safety: RegisterDataset must finish before serving starts;
+/// Solve/SubmitAsync are then safe from any number of threads.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const QueryEngineOptions& options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Registers (or replaces) a dataset: the object sets, their weight
+  /// functions, and the search space queries run over.
+  void RegisterDataset(const std::string& name, MolqQuery query,
+                       const Rect& world);
+
+  /// Dataset lookup for response formatting; null when unknown.
+  const MolqQuery* dataset_query(const std::string& name) const;
+
+  /// Solves one request synchronously on the calling thread. The deadline
+  /// clock starts now.
+  ServeResponse Solve(const ServeRequest& request);
+
+  /// Enqueues one request onto the engine's worker pool; the returned
+  /// future resolves when a worker has solved it. The deadline clock
+  /// starts when a worker dequeues the request, so queueing delay does not
+  /// eat the solve budget (the line protocol reports total time anyway).
+  std::future<ServeResponse> SubmitAsync(ServeRequest request);
+
+  const ServeMetrics& metrics() const { return metrics_; }
+  ArtifactCache::Stats cache_stats() const { return cache_.stats(); }
+  std::string MetricsJson() const { return metrics_.Json(cache_.stats()); }
+  void DumpMetrics(std::FILE* out) const {
+    metrics_.DumpTable(out, cache_.stats());
+  }
+
+  /// Warm start: persists every resident artifact to `dir` (created if
+  /// missing) as MOVD files plus a manifest mapping keys to files.
+  /// Returns false (with `error` set) on I/O failure.
+  bool SaveCache(const std::string& dir, std::string* error = nullptr) const;
+
+  /// Outcome of a warm-start load.
+  struct WarmLoadResult {
+    size_t loaded = 0;  ///< artifacts inserted into the cache
+    size_t failed = 0;  ///< artifacts skipped (corrupt/truncated/missing)
+    std::string error;  ///< non-empty when the manifest itself was bad
+  };
+
+  /// Loads a SaveCache snapshot back into the cache. Corrupt or truncated
+  /// artifact files are skipped and counted in `failed` — a damaged
+  /// snapshot degrades to a colder cache, never a crash or a bad artifact
+  /// (every file is validated by the movd_file header/record checks).
+  WarmLoadResult LoadCache(const std::string& dir);
+
+ private:
+  struct Dataset {
+    MolqQuery query;
+    Rect world;
+    std::string weight_tag;  ///< weight-mode component of cache keys
+  };
+
+  const Dataset* FindDataset(const std::string& name) const;
+  ServeResponse SolveInternal(const ServeRequest& request,
+                              const CancelToken& token);
+  /// The overlay artifact for (dataset, layers, mode): cache lookup, else
+  /// built from per-layer basic artifacts (themselves cached). Null when
+  /// the token fired first.
+  std::shared_ptr<const Movd> GetOverlay(const Dataset& ds,
+                                         const std::string& ds_name,
+                                         const std::vector<int32_t>& layers,
+                                         BoundaryMode mode,
+                                         const ServeRequest& request,
+                                         const CancelToken& token,
+                                         bool* overlay_hit);
+
+  QueryEngineOptions options_;
+  mutable std::mutex datasets_mu_;
+  std::map<std::string, Dataset> datasets_;
+  ArtifactCache cache_;
+  ServeMetrics metrics_;
+  ThreadPool pool_;
+};
+
+}  // namespace movd
+
+#endif  // MOVD_SERVE_QUERY_ENGINE_H_

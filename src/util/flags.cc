@@ -23,11 +23,13 @@ Flags::Flags(int argc, char** argv) {
 
 std::string Flags::GetString(const std::string& name,
                              const std::string& def) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   return it == values_.end() ? def : it->second;
 }
 
 int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   char* end = nullptr;
@@ -36,6 +38,7 @@ int64_t Flags::GetInt(const std::string& name, int64_t def) const {
 }
 
 double Flags::GetDouble(const std::string& name, double def) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   char* end = nullptr;
@@ -44,13 +47,28 @@ double Flags::GetDouble(const std::string& name, double def) const {
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   return it->second != "false" && it->second != "0";
 }
 
 bool Flags::Has(const std::string& name) const {
+  queried_.insert(name);
   return values_.count(name) > 0;
+}
+
+int Flags::WarnUnused(std::FILE* out) const {
+  int warned = 0;
+  for (const auto& [name, value] : values_) {
+    if (queried_.count(name)) continue;
+    std::fprintf(out,
+                 "warning: unknown flag --%s=%s was never read "
+                 "(misspelled flag name?)\n",
+                 name.c_str(), value.c_str());
+    ++warned;
+  }
+  return warned;
 }
 
 }  // namespace movd

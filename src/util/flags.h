@@ -2,7 +2,9 @@
 #define MOVD_UTIL_FLAGS_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,11 @@ namespace movd {
 /// Minimal command-line flag parser used by the benchmark and example
 /// binaries. Accepts `--name=value` and bare `--name` (boolean true).
 /// Unknown arguments are preserved in positional().
+///
+/// Every Get*/Has call records the queried name; WarnUnused reports flags
+/// that were passed but never queried, so a typo'd `--flagname` is loudly
+/// surfaced instead of silently ignored. Binaries call it once at the end
+/// of Main, after every flag has been read.
 class Flags {
  public:
   Flags(int argc, char** argv);
@@ -33,9 +40,16 @@ class Flags {
   /// Arguments that did not start with `--`.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Prints one warning line to `out` for every flag that was passed on
+  /// the command line but never queried through Get*/Has — almost always a
+  /// misspelled flag name. Returns the number of warnings printed.
+  int WarnUnused(std::FILE* out) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  /// Names queried so far; mutable so the const accessors can record.
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace movd

@@ -170,6 +170,67 @@ TEST(MovdFileTest, SerializedSizeMatchesBytesWritten) {
   std::remove(path.c_str());
 }
 
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+// The serving engine persists overlap artifacts (not just basic MOVDs)
+// through SaveMovd/LoadMovd for warm starts; the overlay must survive a
+// save → load → save cycle byte-identically, or warm-started answers
+// could drift from cold ones.
+TEST(MovdFileTest, OverlayArtifactRoundTripIsByteIdentical) {
+  const Movd a = RandomBasicMovd(20, 0, 301);
+  const Movd b = RandomBasicMovd(15, 1, 302);
+  const Movd overlay = Overlap(a, b, BoundaryMode::kRealRegion);
+  ASSERT_GT(overlay.ovrs.size(), a.ovrs.size());
+
+  const std::string path1 = Tmp("overlay1.movd");
+  const std::string path2 = Tmp("overlay2.movd");
+  ASSERT_TRUE(SaveMovd(path1, overlay));
+  const auto loaded = LoadMovd(path1);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->ovrs.size(), overlay.ovrs.size());
+  EXPECT_EQ(Canonicalize(overlay), Canonicalize(*loaded));
+  ASSERT_TRUE(SaveMovd(path2, *loaded));
+
+  const std::string bytes1 = ReadFileBytes(path1);
+  const std::string bytes2 = ReadFileBytes(path2);
+  ASSERT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, bytes2);
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+// A file with the right magic but a future format version must be
+// rejected with a structured failure (nullopt / !ok()), never a crash or
+// a garbage MOVD.
+TEST(MovdFileTest, RejectsVersionMismatch) {
+  const Movd movd = RandomBasicMovd(10, 0, 303);
+  const std::string path = Tmp("version.movd");
+  ASSERT_TRUE(SaveMovd(path, movd));
+  // Header layout: u32 magic, u32 version, u64 count (little-endian).
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+  const uint32_t bad_version = 999;
+  ASSERT_EQ(std::fwrite(&bad_version, sizeof(bad_version), 1, f), 1u);
+  std::fclose(f);
+
+  MovdFileReader reader(path);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_FALSE(LoadMovd(path).has_value());
+  std::remove(path.c_str());
+}
+
 class ExternalSortTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(ExternalSortTest, ProducesSweepOrderUnderBudget) {

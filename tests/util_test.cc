@@ -76,6 +76,23 @@ TEST(FlagsTest, MalformedNumbersFallBackToDefault) {
   EXPECT_DOUBLE_EQ(flags.GetDouble("size", 2.5), 2.5);
 }
 
+TEST(FlagsTest, WarnUnusedReportsOnlyUnqueriedFlags) {
+  const char* argv[] = {"prog", "--size=100", "--typod_flag=1", "--other"};
+  Flags flags(4, const_cast<char**>(argv));
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  // Nothing queried yet: every flag is "unused".
+  EXPECT_EQ(flags.WarnUnused(sink), 3);
+  // Querying (even via Has, even for a flag that is absent) marks names.
+  EXPECT_EQ(flags.GetInt("size", 1), 100);
+  EXPECT_FALSE(flags.Has("absent"));
+  EXPECT_EQ(flags.WarnUnused(sink), 2);
+  flags.GetBool("other", false);
+  flags.GetInt("typod_flag", 0);
+  EXPECT_EQ(flags.WarnUnused(sink), 0);
+  std::fclose(sink);
+}
+
 TEST(TableTest, AlignsColumns) {
   Table t({"name", "value"});
   t.AddRow({"x", "1"});

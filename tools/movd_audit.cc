@@ -104,6 +104,7 @@ int Main(int argc, char** argv) {
       ParseSizes(flags.GetString("sizes", "64,256"));
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
   const int resolution = static_cast<int>(flags.GetInt("resolution", 64));
+  flags.WarnUnused(stderr);
   const Rect bounds(0, 0, 10000, 10000);
   const Distribution kDistributions[] = {Distribution::kUniform,
                                          Distribution::kGaussianClusters,

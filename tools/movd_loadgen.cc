@@ -1,0 +1,343 @@
+// movd_loadgen — closed-loop load generator for movd_serve.
+//
+//   movd_loadgen --socket=/tmp/movd.sock [--clients=4] [--duration_s=5]
+//       [--requests=0] [--dataset=synthetic] [--dataset_layers=3]
+//       [--algo=rrb] [--k=1] [--epsilon=1e-3] [--deadline_ms=0]
+//       [--threads=1] [--cache=1] [--seed=1] [--check=1]
+//       [--require_cache_hits] [--shutdown]
+//
+// Spawns `--clients` connections; each runs a closed loop (send one SOLVE,
+// wait for the answer, repeat) for `--duration_s` seconds (or `--requests`
+// requests each, whichever first), drawing layer subsets of
+// [0, --dataset_layers) from a seeded deterministic pattern pool so
+// concurrent clients overlap on the same cached artifacts. Reports
+// throughput, latency percentiles and the server's cache statistics, and
+// (with --check, default on) verifies that every response for the same
+// (layers, algo, k) pattern is byte-identical — the serving determinism
+// contract.
+//
+// Exit status is non-zero on connection failures, protocol errors,
+// determinism mismatches, or (with --require_cache_hits) a cache that
+// never hit. DEADLINE_EXCEEDED responses are counted but are not failures
+// when --deadline_ms is set (they are the expected outcome of a tight
+// budget).
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace movd;
+
+struct ClientStats {
+  uint64_t requests = 0;
+  uint64_t errors = 0;             ///< ERR responses other than deadline
+  uint64_t deadline_exceeded = 0;  ///< ERR ... DEADLINE_EXCEEDED responses
+  bool connection_ok = true;
+  std::vector<double> latencies_ms;
+};
+
+std::mutex g_check_mu;
+std::map<std::string, std::string> g_first_answer;  // pattern -> answers json
+std::atomic<uint64_t> g_mismatches{0};
+
+int ConnectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool RecvLine(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const size_t nl = buffer->find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer->substr(0, nl);
+      buffer->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+/// The "answers": [...] slice of an OK SOLVE body — everything that must be
+/// deterministic (cache_hit and seconds legitimately vary per request).
+std::string AnswersSlice(const std::string& ok_line) {
+  const size_t begin = ok_line.find("\"answers\": ");
+  const size_t end = ok_line.rfind(", \"cache_hit\"");
+  if (begin == std::string::npos || end == std::string::npos || end <= begin) {
+    return ok_line;  // unexpected shape: compare the whole line
+  }
+  return ok_line.substr(begin, end - begin);
+}
+
+/// Deterministic pattern pool: every non-empty subset of [0, layers),
+/// capped at 31 patterns for wide datasets.
+std::vector<std::string> PatternPool(int layers) {
+  std::vector<std::string> pool;
+  const uint32_t masks = layers >= 31 ? 0x7fffffffu
+                                      : ((1u << layers) - 1u);
+  for (uint32_t mask = 1; mask <= masks && pool.size() < 31; ++mask) {
+    std::string layers_arg;
+    for (int i = 0; i < layers; ++i) {
+      if ((mask & (1u << i)) == 0) continue;
+      if (!layers_arg.empty()) layers_arg += ",";
+      layers_arg += std::to_string(i);
+    }
+    pool.push_back(layers_arg);
+  }
+  return pool;
+}
+
+struct LoadConfig {
+  std::string socket;
+  std::string dataset;
+  std::string algo;
+  int64_t k = 1;
+  double epsilon = 1e-3;
+  double deadline_ms = 0.0;
+  int64_t threads = 1;
+  bool cache = true;
+  double duration_s = 5.0;
+  uint64_t requests_cap = 0;  // 0 = duration only
+  uint64_t seed = 1;
+  bool check = true;
+  std::vector<std::string> patterns;
+};
+
+void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
+  const int fd = ConnectUnix(cfg.socket);
+  if (fd < 0) {
+    stats->connection_ok = false;
+    return;
+  }
+  Rng rng(cfg.seed * 1000003u + static_cast<uint64_t>(index));
+  Stopwatch clock;
+  std::string buffer;
+  uint64_t n = 0;
+  while (clock.ElapsedSeconds() < cfg.duration_s &&
+         (cfg.requests_cap == 0 || n < cfg.requests_cap)) {
+    const std::string& layers =
+        cfg.patterns[rng.NextBelow(cfg.patterns.size())];
+    const std::string pattern = layers + "/" + cfg.algo + "/k" +
+                                std::to_string(cfg.k);
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "SOLVE id=c%d-%llu dataset=%s layers=%s algo=%s k=%lld "
+                  "epsilon=%g threads=%lld cache=%d",
+                  index, static_cast<unsigned long long>(n),
+                  cfg.dataset.c_str(), layers.c_str(), cfg.algo.c_str(),
+                  static_cast<long long>(cfg.k), cfg.epsilon,
+                  static_cast<long long>(cfg.threads), cfg.cache ? 1 : 0);
+    std::string line = head;
+    if (cfg.deadline_ms > 0.0) {
+      std::snprintf(head, sizeof(head), " deadline_ms=%g", cfg.deadline_ms);
+      line += head;
+    }
+    line += '\n';
+    Stopwatch latency;
+    std::string response;
+    if (!SendAll(fd, line) || !RecvLine(fd, &buffer, &response)) {
+      stats->connection_ok = false;
+      break;
+    }
+    stats->latencies_ms.push_back(latency.ElapsedMillis());
+    ++stats->requests;
+    ++n;
+    if (response.rfind("OK ", 0) == 0) {
+      if (cfg.check) {
+        const std::string answers = AnswersSlice(response);
+        std::lock_guard<std::mutex> lock(g_check_mu);
+        const auto it = g_first_answer.find(pattern);
+        if (it == g_first_answer.end()) {
+          g_first_answer.emplace(pattern, answers);
+        } else if (it->second != answers) {
+          g_mismatches.fetch_add(1);
+        }
+      }
+    } else if (response.find(" DEADLINE_EXCEEDED") != std::string::npos) {
+      ++stats->deadline_exceeded;
+    } else {
+      ++stats->errors;
+      if (stats->errors == 1) {
+        std::fprintf(stderr, "movd_loadgen: server error: %s\n",
+                     response.c_str());
+      }
+    }
+  }
+  ::close(fd);
+}
+
+/// Pulls one numeric field out of the STATS json ("\"name\":<digits>").
+uint64_t JsonCounter(const std::string& json, const std::string& name) {
+  const std::string needle = "\"" + name + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  LoadConfig cfg;
+  cfg.socket = flags.GetString("socket", "");
+  cfg.dataset = flags.GetString("dataset", "synthetic");
+  cfg.algo = flags.GetString("algo", "rrb");
+  cfg.k = flags.GetInt("k", 1);
+  cfg.epsilon = flags.GetDouble("epsilon", 1e-3);
+  cfg.deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  cfg.threads = flags.GetInt("threads", 1);
+  cfg.cache = flags.GetBool("cache", true);
+  cfg.duration_s = flags.GetDouble("duration_s", 5.0);
+  cfg.requests_cap = static_cast<uint64_t>(flags.GetInt("requests", 0));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  cfg.check = flags.GetBool("check", true);
+  cfg.patterns =
+      PatternPool(static_cast<int>(flags.GetInt("dataset_layers", 3)));
+  const int clients = static_cast<int>(flags.GetInt("clients", 4));
+  const bool require_hits = flags.GetBool("require_cache_hits", false);
+  const bool shutdown_server = flags.GetBool("shutdown", false);
+  flags.WarnUnused(stderr);
+  if (cfg.socket.empty()) {
+    std::fprintf(stderr, "movd_loadgen: --socket=PATH is required\n");
+    return 2;
+  }
+  if (clients < 1 || cfg.patterns.empty()) {
+    std::fprintf(stderr, "movd_loadgen: bad --clients/--dataset_layers\n");
+    return 2;
+  }
+
+  std::vector<ClientStats> stats(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back(RunClient, std::cref(cfg), i, &stats[i]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  uint64_t requests = 0, errors = 0, deadlines = 0;
+  bool connections_ok = true;
+  std::vector<double> latencies;
+  for (const ClientStats& s : stats) {
+    requests += s.requests;
+    errors += s.errors;
+    deadlines += s.deadline_exceeded;
+    connections_ok = connections_ok && s.connection_ok;
+    latencies.insert(latencies.end(), s.latencies_ms.begin(),
+                     s.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&latencies](double p) {
+    if (latencies.empty()) return 0.0;
+    const size_t idx = static_cast<size_t>(
+        (p / 100.0) * static_cast<double>(latencies.size() - 1));
+    return latencies[idx];
+  };
+
+  // One control connection for STATS (+ optional SHUTDOWN).
+  uint64_t cache_hits = 0, cache_misses = 0;
+  bool stats_ok = false;
+  const int fd = ConnectUnix(cfg.socket);
+  if (fd >= 0) {
+    std::string buffer, response;
+    if (SendAll(fd, "STATS\n") && RecvLine(fd, &buffer, &response) &&
+        response.rfind("OK ", 0) == 0) {
+      cache_hits = JsonCounter(response, "cache_hits");
+      cache_misses = JsonCounter(response, "cache_misses");
+      stats_ok = true;
+    }
+    if (shutdown_server) {
+      SendAll(fd, "SHUTDOWN\n");
+      if (RecvLine(fd, &buffer, &response)) {
+        // Response drained so the server finishes the write cleanly.
+      }
+    }
+    ::close(fd);
+  } else {
+    connections_ok = false;
+  }
+
+  Table table({"metric", "value"});
+  table.AddRow({"clients", std::to_string(clients)});
+  table.AddRow({"wall seconds", Table::Fmt(elapsed, 3)});
+  table.AddRow({"requests", std::to_string(requests)});
+  table.AddRow({"errors", std::to_string(errors)});
+  table.AddRow({"deadline_exceeded", std::to_string(deadlines)});
+  table.AddRow(
+      {"throughput req/s",
+       Table::Fmt(elapsed > 0.0 ? static_cast<double>(requests) / elapsed
+                                : 0.0,
+                  1)});
+  table.AddRow({"p50 latency ms", Table::Fmt(percentile(50), 3)});
+  table.AddRow({"p99 latency ms", Table::Fmt(percentile(99), 3)});
+  table.AddRow({"determinism mismatches",
+                std::to_string(g_mismatches.load())});
+  table.AddRow({"server cache hits",
+                stats_ok ? std::to_string(cache_hits) : "(unavailable)"});
+  table.AddRow({"server cache misses",
+                stats_ok ? std::to_string(cache_misses) : "(unavailable)"});
+  table.Print(stdout);
+
+  if (!connections_ok) {
+    std::fprintf(stderr, "movd_loadgen: connection failures\n");
+    return 1;
+  }
+  if (errors > 0 || g_mismatches.load() > 0) return 1;
+  if (cfg.deadline_ms <= 0.0 && deadlines > 0) return 1;
+  if (require_hits && (!stats_ok || cache_hits == 0)) {
+    std::fprintf(stderr, "movd_loadgen: expected cache hits, saw none\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }
