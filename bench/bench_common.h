@@ -2,6 +2,7 @@
 #define MOVD_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "core/object.h"
 #include "data/generate.h"
 #include "geom/rect.h"
+#include "trace/trace.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -68,6 +70,43 @@ inline std::vector<Movd> MakeBasicMovds(const std::vector<size_t>& sizes,
 inline int ThreadsFlag(const Flags& flags) {
   return static_cast<int>(flags.GetInt("threads", 1));
 }
+
+/// Shared --trace=<file> flag for the harnesses. Construct one at the top
+/// of Main: while it is alive, trace() is the span sink to pass through
+/// ExecOptions (null when the flag is absent — tracing then costs one
+/// thread-local null check per span), and ambient context is installed on
+/// the calling thread so bare library calls (Overlap in the fig11–14
+/// harnesses) are captured too. At scope exit the trace is written as
+/// Chrome trace_event JSON and an aggregated per-phase table goes to
+/// stderr. Tracing never changes any measured answer.
+class BenchTrace {
+ public:
+  explicit BenchTrace(const Flags& flags)
+      : path_(flags.GetString("trace", "")),
+        scope_(path_.empty() ? nullptr : &trace_) {}
+
+  BenchTrace(const BenchTrace&) = delete;
+  BenchTrace& operator=(const BenchTrace&) = delete;
+
+  ~BenchTrace() {
+    if (path_.empty()) return;
+    const Status written = trace_.WriteChromeJson(path_);
+    if (written.ok()) {
+      std::fprintf(stderr, "wrote trace to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+    }
+    trace_.PrintPhaseTable(stderr);
+  }
+
+  Trace* trace() { return path_.empty() ? nullptr : &trace_; }
+
+ private:
+  std::string path_;
+  Trace trace_;
+  TraceContextScope scope_;
+};
 
 /// Parses a comma-separated size list (bench --sizes flags).
 inline std::vector<size_t> ParseSizes(const std::string& csv) {

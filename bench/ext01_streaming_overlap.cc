@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "util/check.h"
 #include "storage/external_sort.h"
 #include "storage/movd_file.h"
 #include "storage/streaming_overlap.h"
@@ -46,8 +47,8 @@ int Main(int argc, char** argv) {
     const std::string sa = dir + "/movd_a_sorted.bin";
     const std::string sb = dir + "/movd_b_sorted.bin";
     const std::string out = dir + "/movd_out.bin";
-    SaveMovd(pa, basic[0]);
-    SaveMovd(pb, basic[1]);
+    MOVD_CHECK(SaveMovd(pa, basic[0]).ok());
+    MOVD_CHECK(SaveMovd(pb, basic[1]).ok());
 
     sw.Reset();
     ExternalSortMovdFile(pa, sa, budget);

@@ -35,7 +35,7 @@ int Main(int argc, char** argv) {
         MolqOptions opts;
         opts.algorithm = algo;
         opts.epsilon = epsilon;
-        opts.threads = threads;
+        opts.exec.threads = threads;
         Stopwatch sw;
         const MolqResult plain = SolveMolq(query, kWorld, opts);
         const double plain_s = sw.ElapsedSeconds();

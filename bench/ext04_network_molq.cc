@@ -35,7 +35,7 @@ int Main(int argc, char** argv) {
       std::vector<NetworkObjectSet> sets(3);
       for (size_t s = 0; s < 3; ++s) {
         ObjectSet planar;
-        planar.name = "t" + std::to_string(s);
+        planar.name = std::string("t") += std::to_string(s);
         for (int i = 0; i < 8; ++i) {
           const auto v =
               static_cast<int32_t>(rng.NextBelow(net.num_vertices()));
@@ -53,7 +53,7 @@ int Main(int argc, char** argv) {
 
       MolqOptions opts;
       opts.epsilon = 1e-6;
-      opts.threads = threads;
+      opts.exec.threads = threads;
       const MolqResult euclid = SolveMolq(query, kWorld, opts);
       const int32_t snapped = net.NearestVertex(euclid.location);
       double snapped_cost = 0.0;

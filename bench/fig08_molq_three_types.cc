@@ -4,6 +4,7 @@
 //
 // Flags: --sizes=16,32,64,128,256  --epsilon=1e-3  --seed=1  --threads=1
 //        --audit (run the invariant auditors inside every solve)
+//        --trace=out.json (Chrome trace_event span trace of every solve)
 // With --threads=N > 1 a second table reports the end-to-end speedup of
 // the parallel pipeline over the serial baseline (identical answers).
 
@@ -22,19 +23,21 @@ namespace {
 // every solve and aborts on the first violation; the timings then include
 // the audit passes, so use it for validation runs, not for figures.
 bool g_audit = false;
+Trace* g_trace = nullptr;
 
 double RunSolver(const MolqQuery& query, MolqAlgorithm algorithm,
                  double epsilon, double* cost, int threads = 1) {
   MolqOptions opts;
   opts.algorithm = algorithm;
   opts.epsilon = epsilon;
-  opts.threads = threads;
-  opts.audit = g_audit;
+  opts.exec.threads = threads;
+  opts.exec.audit = g_audit;
+  opts.exec.trace = g_trace;
   Stopwatch sw;
   const MolqResult r = SolveMolq(query, kWorld, opts);
   *cost = r.cost;
-  if (g_audit && !r.stats.audit_violations.empty()) {
-    for (const std::string& v : r.stats.audit_violations) {
+  if (g_audit && !r.audit.ok()) {
+    for (const std::string& v : r.audit.Messages()) {
       std::fprintf(stderr, "audit violation: %s\n", v.c_str());
     }
     MOVD_CHECK_MSG(false, "--audit found invariant violations");
@@ -50,6 +53,8 @@ int Main(int argc, char** argv) {
   const uint64_t seed = flags.GetInt("seed", 1);
   const int threads = ThreadsFlag(flags);
   g_audit = flags.GetBool("audit", false);
+  BenchTrace bench_trace(flags);
+  g_trace = bench_trace.trace();
   flags.WarnUnused(stderr);
 
   std::printf("Fig. 8 — MOLQ, three object types {STM, CH, SCH}; "

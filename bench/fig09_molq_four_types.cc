@@ -15,8 +15,12 @@
 namespace movd::bench {
 namespace {
 
+Trace* g_trace = nullptr;
+
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  BenchTrace bench_trace(flags);
+  g_trace = bench_trace.trace();
   const auto sizes = ParseSizes(flags.GetString("sizes", "8,16,24,32"));
   const double epsilon = flags.GetDouble("epsilon", 1e-3);
   const uint64_t seed = flags.GetInt("seed", 1);
@@ -31,7 +35,8 @@ int Main(int argc, char** argv) {
     const MolqQuery query = MakeQuery({n, n, n, n}, seed);
     MolqOptions opts;
     opts.epsilon = epsilon;
-    opts.threads = threads;
+    opts.exec.threads = threads;
+    opts.exec.trace = g_trace;
 
     opts.algorithm = MolqAlgorithm::kSsc;
     Stopwatch sw;

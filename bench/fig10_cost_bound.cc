@@ -18,6 +18,8 @@
 namespace movd::bench {
 namespace {
 
+Trace* g_trace = nullptr;
+
 std::vector<std::vector<WeightedPoint>> MakeProblems(size_t count,
                                                      uint64_t seed) {
   Rng rng(seed);
@@ -46,7 +48,8 @@ RunResult Run(const std::vector<std::vector<WeightedPoint>>& problems,
   opts.epsilon = epsilon;
   opts.use_cost_bound = cost_bound;
   opts.use_two_point_prefilter = prefilter;
-  opts.threads = threads;
+  opts.exec.threads = threads;
+  opts.exec.trace = g_trace;
   Stopwatch sw;
   const BatchResult r = SolveFermatWeberBatch(problems, opts);
   return {sw.ElapsedSeconds(), r.cost, r.total_iterations};
@@ -66,6 +69,8 @@ std::vector<double> ParseDoubles(const std::string& csv) {
 
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  BenchTrace bench_trace(flags);
+  g_trace = bench_trace.trace();
   const auto counts =
       ParseSizes(flags.GetString("problems", "1000,5000,10000,50000"));
   const auto epsilons =

@@ -16,6 +16,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  BenchTrace bench_trace(flags);
   const auto sizes = ParseSizes(flags.GetString("sizes", "1000,2000,4000,8000"));
   const uint64_t seed = flags.GetInt("seed", 1);
   const int threads = ThreadsFlag(flags);

@@ -68,6 +68,7 @@ size_t MaxSizeUnderBudget(size_t types, BoundaryMode mode, size_t budget,
 
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  BenchTrace bench_trace(flags);
   const size_t budget =
       static_cast<size_t>(flags.GetInt("budget_mb", 8)) << 20;
   const size_t max_n = static_cast<size_t>(flags.GetInt("max_n", 16384));

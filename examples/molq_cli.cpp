@@ -8,14 +8,19 @@
 //   molq_cli solve --inputs=a.csv,b.csv[,c.csv...]
 //       [--algorithm=rrb|mbrb|ssc] [--epsilon=1e-3] [--topk=1]
 //       [--world=10000] [--svg=answer.svg] [--prune] [--threads=1]
-//       [--json]
+//       [--json] [--trace=out.json]
 //     Evaluates MOLQ over the given object sets (one CSV per type) and
 //     prints the answer(s) as JSON lines. --threads=N parallelises the
 //     pipeline (0 = one thread per hardware thread); the answer is
 //     identical for every thread count. --json routes the solve through
-//     the serving engine (src/serve) and prints its full response object
-//     — the same code path and answer serializer movd_serve uses, so the
-//     CLI output is byte-identical to a served answer.
+//     the serving engine (src/serve) and prints its response object —
+//     the same code path and answer serializer movd_serve uses, so the
+//     CLI output is byte-identical to a served answer (timing fields are
+//     left to stderr so stdout is deterministic and diffable).
+//     --trace=FILE records a hierarchical span trace of the solve and
+//     writes it as Chrome trace_event JSON (open in chrome://tracing or
+//     Perfetto); an aggregated per-phase table goes to stderr. Tracing
+//     never changes the answer bytes.
 
 #include <cstdio>
 #include <string>
@@ -28,6 +33,7 @@
 #include "data/generate.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
+#include "trace/trace.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "viz/svg.h"
@@ -131,11 +137,14 @@ int Solve(const Flags& flags) {
   }
   options.epsilon = flags.GetDouble("epsilon", 1e-3);
   options.use_overlap_pruning = flags.GetBool("prune", false);
-  options.threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.exec.threads = static_cast<int>(flags.GetInt("threads", 1));
 
   const size_t k = static_cast<size_t>(flags.GetInt("topk", 1));
   const bool json = flags.GetBool("json", false);
   const std::string svg_path = flags.GetString("svg", "");
+  const std::string trace_path = flags.GetString("trace", "");
+  Trace trace;
+  if (!trace_path.empty()) options.exec.trace = &trace;
   flags.WarnUnused(stderr);
   Stopwatch sw;
   Point answer;
@@ -153,22 +162,27 @@ int Solve(const Flags& flags) {
     request.algorithm = options.algorithm;
     request.epsilon = options.epsilon;
     request.topk = k;
-    request.threads = options.threads;
+    request.exec = options.exec;
     const ServeResponse resp = engine.Solve(request);
     if (resp.status != ServeStatus::kOk) {
       std::fprintf(stderr, "solve: %s %s\n", ServeStatusName(resp.status),
                    resp.error.c_str());
       return 1;
     }
-    std::printf("%s\n",
-                ResponseJson(*engine.dataset_query("cli"), resp).c_str());
+    // Timing is excluded from stdout (it varies run to run); report it on
+    // stderr so stdout stays byte-identical across runs and trace modes.
+    std::printf("%s\n", ResponseJson(*engine.dataset_query("cli"), resp,
+                                     /*include_timing=*/false)
+                            .c_str());
+    std::fprintf(stderr, "serve: cache_hit=%s seconds=%.6f\n",
+                 resp.cache_hit ? "true" : "false", resp.seconds);
     if (!resp.answers.empty()) answer = resp.answers.front().location;
   } else if (k > 1 && options.algorithm != MolqAlgorithm::kSsc) {
-    const auto ranked = SolveMolqTopK(query, world, k, options);
-    for (const RankedLocation& r : ranked) {
+    const MolqResult top = SolveMolqTopK(query, world, k, options);
+    for (const RankedLocation& r : top.ranked) {
       PrintAnswerJson(query, r.location, r.cost, r.group);
     }
-    if (!ranked.empty()) answer = ranked.front().location;
+    if (!top.ranked.empty()) answer = top.ranked.front().location;
   } else {
     const MolqResult r = SolveMolq(query, world, options);
     PrintAnswerJson(query, r.location, r.cost, r.group);
@@ -180,6 +194,17 @@ int Solve(const Flags& flags) {
                  r.stats.optimize_seconds, r.stats.threads);
   }
   std::fprintf(stderr, "solved in %.3fs\n", sw.ElapsedSeconds());
+
+  if (!trace_path.empty()) {
+    const Status written = trace.WriteChromeJson(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "solve: trace write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+    trace.PrintPhaseTable(stderr);
+  }
 
   if (!svg_path.empty()) {
     SvgWriter svg(world, 800);

@@ -10,6 +10,7 @@
 #include "audit/audit_weighted.h"
 #include "core/pruned_overlap.h"
 #include "core/weighted_distance.h"
+#include "trace/trace.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -62,6 +63,7 @@ Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
                  "every query set needs at least one object");
 
   if (OrdinaryDiagramSuffices(query, set)) {
+    TRACE_SPAN("ordinary_voronoi");
     std::vector<Point> sites;
     sites.reserve(objects.objects.size());
     for (const SpatialObject& obj : objects.objects) {
@@ -98,6 +100,7 @@ Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
   // dominance metric is the set's full affine weighted distance
   // WD(q, p) = a*d + b with (a, b) from the ς^t/ς^o decomposition, so the
   // diagram is exact in intent for every supported weight-function combo.
+  TRACE_SPAN("weighted_grid");
   std::vector<WeightedSite> sites;
   sites.reserve(objects.objects.size());
   for (const SpatialObject& obj : objects.objects) {
@@ -127,7 +130,13 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
   MOVD_CHECK_MSG(!search_space.Empty(),
                  "the search space must be a non-empty rectangle");
   MolqResult result;
-  const int threads = ResolveThreads(options.threads);
+  result.trace = options.exec.trace;
+  // Install the run's trace as this thread's ambient trace: every span
+  // below (and in the builders/optimizer we call) attaches to it without
+  // threading a pointer through each signature.
+  TraceContextScope trace_scope(options.exec.trace);
+  TRACE_SPAN("solve_molq");
+  const int threads = ResolveThreads(options.exec.threads);
   result.stats.threads = threads;
 
   if (options.algorithm == MolqAlgorithm::kSsc) {
@@ -136,10 +145,10 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
     ssc.epsilon = options.epsilon;
     ssc.use_upper_bound_prune = options.use_two_point_prefilter;
     ssc.use_cost_bound = options.use_cost_bound;
-    ssc.cancel = options.cancel;
+    ssc.exec = options.exec;
     const SscResult r = SolveSsc(query, ssc);
     if (r.cancelled) {
-      result.status = MolqStatus::kCancelled;
+      result.status = StatusCode::kCancelled;
       result.stats.ssc = r.stats;
       result.stats.optimize_seconds = sw.ElapsedSeconds();
       return result;
@@ -152,6 +161,7 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
     }
     result.stats.ssc = r.stats;
     result.stats.optimize_seconds = sw.ElapsedSeconds();
+    result.ranked.push_back({result.location, result.cost, result.group});
     return result;
   }
 
@@ -169,20 +179,28 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
   std::vector<Movd> basic(num_sets);
   // One pre-sized report slot per set: hook writes stay thread-private
   // under the ParallelFor and are folded serially below.
-  std::vector<AuditReport> set_audits(options.audit ? num_sets : 0);
-  ParallelFor(threads, num_sets, [&](size_t i) {
-    basic[i] = BuildBasicMovd(query, static_cast<int32_t>(i), search_space,
-                              options.weighted_grid_resolution,
-                              inner_threads,
-                              options.audit ? &set_audits[i] : nullptr);
-  });
+  std::vector<AuditReport> set_audits(options.exec.audit ? num_sets : 0);
+  {
+    TraceSpan vd_span("vd_generator");
+    const Trace::Context ctx = Trace::CaptureContext();
+    ParallelFor(threads, num_sets, [&](size_t i) {
+      // Pool threads have no ambient trace; re-install the caller's so
+      // the per-set builder spans parent under "vd_generator".
+      TraceContextScope scope(ctx);
+      TRACE_SPAN("build_basic_movd");
+      basic[i] = BuildBasicMovd(
+          query, static_cast<int32_t>(i), search_space,
+          options.exec.weighted_grid_resolution, inner_threads,
+          options.exec.audit ? &set_audits[i] : nullptr);
+    });
+  }
   result.stats.vd_seconds = sw.ElapsedSeconds();
 
   // Stage-boundary cancellation checkpoint: the per-set diagram builds are
   // bounded and not individually interruptible, so the deadline is
   // enforced here before the (typically dominant) overlap stage starts.
-  if (TokenExpired(options.cancel)) {
-    result.status = MolqStatus::kCancelled;
+  if (TokenExpired(options.exec.cancel)) {
+    result.status = StatusCode::kCancelled;
     return result;
   }
 
@@ -190,32 +208,34 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
   // optionally with combination pruning (§8 future work).
   sw.Reset();
   Movd movd;
-  if (options.use_overlap_pruning) {
-    PrunedOverlapStats pruned;
-    movd = OverlapAllPruned(query, basic, mode, search_space, &pruned);
-    result.stats.overlap = pruned.overlap;
-    result.stats.pruned_ovrs = pruned.pruned_ovrs;
-  } else {
-    movd = OverlapAll(basic, mode, &result.stats.overlap, options.cancel);
+  {
+    TRACE_SPAN("movd_overlap");
+    if (options.use_overlap_pruning) {
+      PrunedOverlapStats pruned;
+      movd = OverlapAllPruned(query, basic, mode, search_space, &pruned);
+      result.stats.overlap = pruned.overlap;
+      result.stats.pruned_ovrs = pruned.pruned_ovrs;
+    } else {
+      movd = OverlapAll(basic, mode, &result.stats.overlap,
+                        options.exec.cancel);
+    }
   }
   // A token that fired during the sweep leaves `movd` truncated — discard
   // it and report cancellation instead of optimizing a partial overlay.
-  if (TokenExpired(options.cancel)) {
-    result.status = MolqStatus::kCancelled;
+  if (TokenExpired(options.exec.cancel)) {
+    result.status = StatusCode::kCancelled;
     return result;
   }
   result.stats.overlap_seconds = sw.ElapsedSeconds();
   result.stats.final_ovrs = movd.ovrs.size();
   result.stats.memory_bytes = movd.MemoryBytes(mode);
 
-  if (options.audit) {
+  if (options.exec.audit) {
     // Post-overlay seam, plus the per-set reports gathered in stage 1.
-    AuditReport audit;
-    for (AuditReport& sub : set_audits) audit.Merge(std::move(sub));
+    TRACE_SPAN("audit_overlay");
+    for (AuditReport& sub : set_audits) result.audit.Merge(std::move(sub));
     MergeStageAudit(AuditMovdOverlay(movd, basic, mode, search_space),
-                    "overlay", &audit);
-    result.stats.audit_checks = audit.checks();
-    result.stats.audit_violations = audit.Messages();
+                    "overlay", &result.audit);
   }
 
   // Stage 3: Optimizer — best local optimum across OVRs (§5.4).
@@ -225,18 +245,18 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
   opt.use_cost_bound = options.use_cost_bound;
   opt.use_two_point_prefilter = options.use_two_point_prefilter;
   opt.dedup_combinations = options.dedup_combinations;
-  opt.threads = threads;
-  opt.cancel = options.cancel;
+  opt.exec = options.exec;
   const OptimizerResult r = OptimizeMovd(query, movd, opt);
   result.stats.optimize_seconds = sw.ElapsedSeconds();
   result.stats.optimizer = r.stats;
   if (r.cancelled) {
-    result.status = MolqStatus::kCancelled;
+    result.status = StatusCode::kCancelled;
     return result;
   }
   result.location = r.location;
   result.cost = r.cost;
   result.group = r.group;
+  result.ranked.push_back({r.location, r.cost, r.group});
   return result;
 }
 

@@ -5,17 +5,17 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "core/movd_model.h"
 #include "core/object.h"
 #include "core/optimizer.h"
 #include "core/overlap.h"
 #include "core/ssc.h"
 #include "geom/rect.h"
-#include "util/cancel.h"
+#include "util/exec_options.h"
+#include "util/status.h"
 
 namespace movd {
-
-class AuditReport;
 
 /// The three MOLQ evaluation strategies the paper compares (Figs. 8-9).
 enum class MolqAlgorithm {
@@ -46,45 +46,17 @@ struct MolqOptions {
   /// paper's base algorithms.
   bool use_overlap_pruning = false;
 
-  /// Grid resolution used to approximate weighted Voronoi diagrams when a
-  /// set has non-uniform object weights (§5.3).
-  int weighted_grid_resolution = 128;
-
-  /// Degree of parallelism for the pipeline: per-set basic-MOVD builds,
-  /// weighted-grid dominance sampling, and the Optimizer's Fermat–Weber
-  /// fan-out (which shares the §5.4 cost bound via an atomic CAS-min).
-  /// 1 (default) keeps every stage serial, so paper-reproduction numbers
-  /// are unchanged unless opted in; 0 means one thread per hardware
-  /// thread. The answer (location, cost, group) is identical for every
-  /// thread count.
-  int threads = 1;
-
-  /// Runs the structural invariant auditors (src/audit, DESIGN.md §7) as
-  /// post-conditions at the three pipeline seams — post-Delaunay,
-  /// post-cell-extraction, post-overlay — and collects violations into
-  /// MolqStats::audit_violations instead of aborting. Defaults to off
-  /// (audits cost extra passes over the built structures); building with
-  /// -DMOVD_AUDIT=ON flips the default to on for the whole build.
-#ifdef MOVD_AUDIT_DEFAULT_ON
-  bool audit = true;
-#else
-  bool audit = false;
-#endif
-
-  /// Cooperative cancellation (serving deadlines, DESIGN.md §8). When the
-  /// token fires, the pipeline unwinds at its next checkpoint — between
-  /// stages, per SSC combination, per overlap event block, per Optimizer
-  /// OVR — and SolveMolq returns MolqStatus::kCancelled with no answer
-  /// fields populated (never a partial answer). Null means run to
-  /// completion.
-  const CancelToken* cancel = nullptr;
+  /// Execution knobs shared with every other pipeline entry point:
+  /// threads, audit, trace sink, cancel token, weighted-grid resolution
+  /// (see util/exec_options.h). None of them changes the answer.
+  ExecOptions exec;
 };
 
-/// Terminal state of one MOLQ evaluation.
-enum class MolqStatus {
-  kOk,         ///< ran to completion; the answer fields are valid
-  kCancelled,  ///< options.cancel fired; no answer fields are valid
-};
+/// Terminal state of one MOLQ evaluation: StatusCode::kOk when the run
+/// completed and the answer fields are valid, StatusCode::kCancelled when
+/// options.exec.cancel fired (no answer fields are valid then). An alias
+/// of the repo-wide status vocabulary so core and serve speak one enum.
+using MolqStatus = StatusCode;
 
 /// Per-stage instrumentation of one query evaluation.
 struct MolqStats {
@@ -95,26 +67,41 @@ struct MolqStats {
   size_t final_ovrs = 0;          ///< |MOVD(Ē)| fed into the Optimizer
   size_t memory_bytes = 0;        ///< Movd::MemoryBytes of the final MOVD
   uint64_t pruned_ovrs = 0;       ///< OVRs cut by overlap pruning (if on)
-  uint64_t audit_checks = 0;      ///< invariant checks run by audit hooks
-  /// Formatted invariant violations from the audit hooks, prefixed with
-  /// the pipeline seam that caught them ("set 0 cells: ..."). Empty when
-  /// MolqOptions::audit is off or every invariant held.
-  std::vector<std::string> audit_violations;
   OverlapStats overlap;
   OptimizerStats optimizer;
   SscStats ssc;  ///< populated only for MolqAlgorithm::kSsc
 };
 
-/// Result of one MOLQ evaluation.
+/// One ranked answer of a top-k MOLQ.
+struct RankedLocation {
+  Point location;
+  double cost = 0.0;
+  std::vector<PoiRef> group;  ///< the object combination it serves
+};
+
+/// Result of one MOLQ evaluation. Every entry point — SolveMolq,
+/// SolveMolqTopK, TopKFromMovd — returns this one shape, so stats, the
+/// audit report, and the trace handle always travel together instead of
+/// by per-entry-point side channels.
 struct MolqResult {
-  /// kOk unless options.cancel fired mid-run; location/cost/group are only
-  /// meaningful when kOk.
-  MolqStatus status = MolqStatus::kOk;
+  /// kOk unless options.exec.cancel fired mid-run; the answer fields are
+  /// only meaningful when kOk.
+  MolqStatus status = StatusCode::kOk;
   Point location;
   double cost = 0.0;
   /// The winning object combination (one PoiRef per set, sorted by set).
   std::vector<PoiRef> group;
+  /// Top-k entry points: the k best answers ascending by cost (ranked[0]
+  /// mirrors location/cost/group). SolveMolq leaves it with the single
+  /// best answer, so `ranked` is always the full answer list.
+  std::vector<RankedLocation> ranked;
   MolqStats stats;
+  /// Findings of the invariant auditors, seam-labelled ("set 0 cells:
+  /// ..."). Empty (0 checks) when options.exec.audit was off.
+  AuditReport audit;
+  /// The trace this run recorded into (== options.exec.trace; null when
+  /// tracing was off). The caller owns it — this is a handle, not a copy.
+  Trace* trace = nullptr;
 };
 
 /// Builds the basic MOVD of one object set (the framework's VD Generator,

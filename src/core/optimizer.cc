@@ -7,6 +7,7 @@
 
 #include "core/weighted_distance.h"
 #include "fermat/fermat_weber.h"
+#include "trace/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -92,14 +93,19 @@ OptimizerResult OptimizeMovd(const MolqQuery& query, const Movd& movd,
   std::atomic<uint64_t> pruned_by_bound{0};
   std::atomic<uint64_t> total_iterations{0};
 
-  ParallelFor(options.threads, n, [&](size_t i) {
+  const Trace::Context trace_ctx = Trace::CaptureContext();
+  ParallelFor(options.exec.threads, n, [&](size_t i) {
     // Cancellation checkpoint (serving deadlines): once per claimed OVR.
     // The token latches, so after it fires every worker drains its
     // remaining iterations without doing work.
-    if (TokenExpired(options.cancel)) return;
+    if (TokenExpired(options.exec.cancel)) return;
     const Ovr& ovr = movd.ovrs[i];
     MOVD_CHECK(!ovr.pois.empty());
     if (duplicate[i]) return;
+    // Pool threads have no ambient trace; re-install the caller's so the
+    // per-OVR spans parent under the Optimizer stage span.
+    TraceContextScope trace_scope(trace_ctx);
+    TraceSpan span("optimize_ovr");
     problems.fetch_add(1, std::memory_order_relaxed);
 
     std::vector<WeightedPoint> points;
@@ -110,6 +116,7 @@ OptimizerResult OptimizeMovd(const MolqQuery& query, const Movd& movd,
         TwoPointPrefixCost(points, offset) >
             bound.load(std::memory_order_relaxed)) {
       skipped_prefilter.fetch_add(1, std::memory_order_relaxed);
+      span.Counter("skipped_prefilter", 1);
       return;
     }
 
@@ -124,8 +131,10 @@ OptimizerResult OptimizeMovd(const MolqQuery& query, const Movd& movd,
     const FermatWeberResult r = SolveFermatWeber(points, fw);
     total_iterations.fetch_add(static_cast<uint64_t>(r.iterations),
                                std::memory_order_relaxed);
+    span.Counter("weiszfeld_iters", r.iterations);
     if (r.pruned) {
       pruned_by_bound.fetch_add(1, std::memory_order_relaxed);
+      span.Counter("pruned_by_bound", 1);
       return;
     }
     const double total = r.cost + offset;
@@ -140,7 +149,7 @@ OptimizerResult OptimizeMovd(const MolqQuery& query, const Movd& movd,
 
   // A fired token means an unknown subset of OVRs was skipped: the partial
   // best could be wrong, so no answer is reduced at all.
-  if (TokenExpired(options.cancel)) {
+  if (TokenExpired(options.exec.cancel)) {
     result.cancelled = true;
     return result;
   }

@@ -5,7 +5,7 @@
 
 #include "core/movd_model.h"
 #include "core/object.h"
-#include "util/cancel.h"
+#include "util/exec_options.h"
 
 namespace movd {
 
@@ -25,19 +25,16 @@ struct OptimizerOptions {
   /// duplicate combinations). Off by default to match the paper.
   bool dedup_combinations = false;
 
-  /// Degree of parallelism for the per-OVR Fermat–Weber fan-out: workers
-  /// share the §5.4 cost bound through an atomic CAS-min. 1 (default) is
-  /// fully serial; 0 means one thread per hardware thread. The returned
-  /// (location, cost, group) is identical for every thread count — the
-  /// winning OVR is resolved by a (cost, index) reduction, never by
-  /// arrival order — though iteration/prune counters may vary with timing.
-  int threads = 1;
-
-  /// Cooperative cancellation: polled once per OVR (on the claiming
-  /// worker). When it fires, remaining OVRs are skipped and
-  /// OptimizerResult::cancelled is set — the partial best is NOT returned.
-  /// Null means run to completion.
-  const CancelToken* cancel = nullptr;
+  /// Shared execution knobs (util/exec_options.h). `exec.threads` fans the
+  /// per-OVR Fermat–Weber solves out over workers sharing the §5.4 cost
+  /// bound through an atomic CAS-min; the returned (location, cost, group)
+  /// is identical for every thread count — the winning OVR is resolved by
+  /// a (cost, index) reduction, never by arrival order — though
+  /// iteration/prune counters may vary with timing. `exec.cancel` is
+  /// polled once per OVR (on the claiming worker): when it fires,
+  /// remaining OVRs are skipped and OptimizerResult::cancelled is set —
+  /// the partial best is NOT returned. `exec.trace` spans each OVR solve.
+  ExecOptions exec;
 };
 
 /// Counters for the Optimizer stage.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "trace/trace.h"
 #include "util/check.h"
 
 namespace movd {
@@ -45,6 +46,9 @@ struct Event {
 
 Movd Overlap(const Movd& a, const Movd& b, BoundaryMode mode,
              OverlapStats* stats, const CancelToken* cancel) {
+  TraceSpan span("overlap_step");
+  span.Counter("input_ovrs",
+               static_cast<int64_t>(a.ovrs.size() + b.ovrs.size()));
   // Event queue: start/end events of every OVR, sorted by descending y;
   // at equal y, start events run first so regions touching only along a
   // horizontal line still pair up (closed-boundary semantics).

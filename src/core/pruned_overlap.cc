@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/weighted_distance.h"
+#include "trace/trace.h"
 #include "util/check.h"
 
 namespace movd {
@@ -57,6 +58,7 @@ Movd OverlapAllPruned(const MolqQuery& query, const std::vector<Movd>& inputs,
                       BoundaryMode mode, const Rect& search_space,
                       PrunedOverlapStats* stats) {
   MOVD_CHECK(!inputs.empty());
+  TraceSpan span("pruned_overlap");
   const double upper_bound = SeedUpperBound(query, search_space);
   if (stats != nullptr) stats->upper_bound = upper_bound;
 
@@ -71,6 +73,7 @@ Movd OverlapAllPruned(const MolqQuery& query, const std::vector<Movd>& inputs,
     for (Ovr& ovr : acc.ovrs) {
       if (CombinationLowerBound(query, ovr.pois) > upper_bound) {
         if (stats != nullptr) ++stats->pruned_ovrs;
+        span.Counter("pruned_ovrs", 1);
         continue;
       }
       kept.push_back(std::move(ovr));

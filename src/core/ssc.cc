@@ -5,6 +5,7 @@
 
 #include "core/weighted_distance.h"
 #include "fermat/fermat_weber.h"
+#include "trace/trace.h"
 #include "util/check.h"
 
 namespace movd {
@@ -18,6 +19,7 @@ SscResult SolveSsc(const MolqQuery& query, const SscOptions& options) {
   }
 
   SscResult result;
+  TraceSpan span("ssc_scan");
   // Atomic so the solver's strict shared-bound prune (the same tie-keeping
   // semantics the RRB/MBRB Optimizer uses) can read it; SSC itself is
   // serial, so plain loads/stores below never race.
@@ -34,7 +36,7 @@ SscResult SolveSsc(const MolqQuery& query, const SscOptions& options) {
     // combination, i.e. per Fermat–Weber problem — coarse enough that the
     // clock read never dominates, fine enough that a fired deadline stops
     // the scan within one solve.
-    if (TokenExpired(options.cancel)) {
+    if (TokenExpired(options.exec.cancel)) {
       result.cancelled = true;
       return result;
     }
@@ -100,6 +102,10 @@ SscResult SolveSsc(const MolqQuery& query, const SscOptions& options) {
     done = i == n;
   }
   MOVD_CHECK(have_answer);
+  span.Counter("combinations",
+               static_cast<int64_t>(result.stats.combinations));
+  span.Counter("weiszfeld_iters",
+               static_cast<int64_t>(result.stats.total_iterations));
   return result;
 }
 

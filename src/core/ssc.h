@@ -6,7 +6,7 @@
 
 #include "core/object.h"
 #include "geom/point.h"
-#include "util/cancel.h"
+#include "util/exec_options.h"
 
 namespace movd {
 
@@ -23,10 +23,13 @@ struct SscOptions {
   /// well"); the paper's Figs. 8-9 run SSC with it enabled.
   bool use_cost_bound = true;
 
-  /// Cooperative cancellation: polled once per combination. When it fires
-  /// the scan stops and SscResult::cancelled is set — the partially-scanned
-  /// best answer is NOT returned. Null means run to completion.
-  const CancelToken* cancel = nullptr;
+  /// Shared execution knobs (util/exec_options.h). Only `exec.cancel` and
+  /// `exec.trace` apply — the scan itself is serial (`exec.threads` is
+  /// ignored; the per-problem solver is the unit of work). The cancel
+  /// token is polled once per combination: when it fires the scan stops
+  /// and SscResult::cancelled is set — the partially-scanned best answer
+  /// is NOT returned.
+  ExecOptions exec;
 };
 
 /// Counters for SSC.

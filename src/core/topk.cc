@@ -9,19 +9,22 @@
 #include "core/pruned_overlap.h"
 #include "core/weighted_distance.h"
 #include "fermat/fermat_weber.h"
+#include "trace/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace movd {
 
-std::vector<RankedLocation> TopKFromMovd(const MolqQuery& query,
-                                         const Movd& movd, size_t k,
-                                         const MolqOptions& options,
-                                         MolqStatus* status) {
+MolqResult TopKFromMovd(const MolqQuery& query, const Movd& movd, size_t k,
+                        const MolqOptions& options) {
   MOVD_CHECK_MSG(k > 0, "top-k needs k >= 1");
   MOVD_CHECK_MSG(!movd.ovrs.empty(),
                  "the top-k Optimizer needs a non-empty MOVD to scan");
-  if (status != nullptr) *status = MolqStatus::kOk;
+  MolqResult result;
+  result.trace = options.exec.trace;
+  result.stats.threads = ResolveThreads(options.exec.threads);
+  TraceContextScope trace_scope(options.exec.trace);
+  TraceSpan span("topk_optimize");
 
   // Best cost per distinct combination; duplicates (MBRB false positives)
   // collapse naturally.
@@ -42,9 +45,9 @@ std::vector<RankedLocation> TopKFromMovd(const MolqQuery& query,
     // Cancellation checkpoint (serving deadlines): once per OVR. A fired
     // token discards the partial ranking — a truncated scan could rank
     // wrong answers into the top k.
-    if (TokenExpired(options.cancel)) {
-      if (status != nullptr) *status = MolqStatus::kCancelled;
-      return {};
+    if (TokenExpired(options.exec.cancel)) {
+      result.status = StatusCode::kCancelled;
+      return result;
     }
     MOVD_CHECK(!ovr.pois.empty());
     if (best_by_group.count(ovr.pois)) continue;  // combination already done
@@ -64,6 +67,7 @@ std::vector<RankedLocation> TopKFromMovd(const MolqQuery& query,
       fw.shared_bound_offset = offset;
     }
     const FermatWeberResult r = SolveFermatWeber(points, fw);
+    span.Counter("weiszfeld_iters", r.iterations);
     if (r.pruned) continue;  // provably worse than the current k-th best
     RankedLocation ranked;
     ranked.location = r.location;
@@ -82,46 +86,76 @@ std::vector<RankedLocation> TopKFromMovd(const MolqQuery& query,
     }
   }
 
-  std::vector<RankedLocation> results;
-  results.reserve(best_by_group.size());
-  for (auto& [group, r] : best_by_group) results.push_back(std::move(r));
+  result.ranked.reserve(best_by_group.size());
+  for (auto& [group, r] : best_by_group) result.ranked.push_back(std::move(r));
   // stable_sort keeps the map's (set, object) group order among equal
   // costs, so tied tails are deterministic.
-  std::stable_sort(results.begin(), results.end(),
+  std::stable_sort(result.ranked.begin(), result.ranked.end(),
                    [](const RankedLocation& a, const RankedLocation& b) {
                      return a.cost < b.cost;
                    });
-  if (results.size() > k) results.resize(k);
-  return results;
+  if (result.ranked.size() > k) result.ranked.resize(k);
+  span.Counter("ranked", static_cast<int64_t>(result.ranked.size()));
+  if (!result.ranked.empty()) {
+    result.location = result.ranked.front().location;
+    result.cost = result.ranked.front().cost;
+    result.group = result.ranked.front().group;
+  }
+  return result;
 }
 
-std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
-                                          const Rect& search_space, size_t k,
-                                          const MolqOptions& options,
-                                          MolqStatus* status) {
+MolqResult SolveMolqTopK(const MolqQuery& query, const Rect& search_space,
+                         size_t k, const MolqOptions& options) {
   MOVD_CHECK(k > 0);
   MOVD_CHECK(options.algorithm != MolqAlgorithm::kSsc);
-  if (status != nullptr) *status = MolqStatus::kOk;
+  MolqResult result;
+  result.trace = options.exec.trace;
+  TraceContextScope trace_scope(options.exec.trace);
+  TRACE_SPAN("solve_molq_topk");
   const BoundaryMode mode = options.algorithm == MolqAlgorithm::kRrb
                                 ? BoundaryMode::kRealRegion
                                 : BoundaryMode::kMbr;
 
-  const int threads = ResolveThreads(options.threads);
+  const int threads = ResolveThreads(options.exec.threads);
+  result.stats.threads = threads;
   const size_t num_sets = query.sets.size();
   const int inner_threads =
       std::max(1, threads / static_cast<int>(num_sets));
   std::vector<Movd> basic(num_sets);
-  ParallelFor(threads, num_sets, [&](size_t i) {
-    basic[i] = BuildBasicMovd(query, static_cast<int32_t>(i), search_space,
-                              options.weighted_grid_resolution,
-                              inner_threads);
-  });
-  const Movd movd = OverlapAll(basic, mode, nullptr, options.cancel);
-  if (TokenExpired(options.cancel)) {
-    if (status != nullptr) *status = MolqStatus::kCancelled;
-    return {};
+  std::vector<AuditReport> set_audits(options.exec.audit ? num_sets : 0);
+  {
+    TraceSpan vd_span("vd_generator");
+    const Trace::Context ctx = Trace::CaptureContext();
+    ParallelFor(threads, num_sets, [&](size_t i) {
+      TraceContextScope scope(ctx);
+      TRACE_SPAN("build_basic_movd");
+      basic[i] = BuildBasicMovd(
+          query, static_cast<int32_t>(i), search_space,
+          options.exec.weighted_grid_resolution, inner_threads,
+          options.exec.audit ? &set_audits[i] : nullptr);
+    });
   }
-  return TopKFromMovd(query, movd, k, options, status);
+  for (AuditReport& sub : set_audits) result.audit.Merge(std::move(sub));
+  Movd movd;
+  {
+    TRACE_SPAN("movd_overlap");
+    movd = OverlapAll(basic, mode, &result.stats.overlap,
+                      options.exec.cancel);
+  }
+  if (TokenExpired(options.exec.cancel)) {
+    result.status = StatusCode::kCancelled;
+    return result;
+  }
+  result.stats.final_ovrs = movd.ovrs.size();
+  result.stats.memory_bytes = movd.MemoryBytes(mode);
+
+  MolqResult top = TopKFromMovd(query, movd, k, options);
+  top.stats.vd_seconds = result.stats.vd_seconds;
+  top.stats.overlap = result.stats.overlap;
+  top.stats.final_ovrs = result.stats.final_ovrs;
+  top.stats.memory_bytes = result.stats.memory_bytes;
+  top.audit = std::move(result.audit);
+  return top;
 }
 
 }  // namespace movd

@@ -1,18 +1,9 @@
 #ifndef MOVD_CORE_TOPK_H_
 #define MOVD_CORE_TOPK_H_
 
-#include <vector>
-
 #include "core/molq.h"
 
 namespace movd {
-
-/// One ranked answer of a top-k MOLQ.
-struct RankedLocation {
-  Point location;
-  double cost = 0.0;
-  std::vector<PoiRef> group;  ///< the object combination it serves
-};
 
 /// Top-k extension of MOLQ (beyond the paper): the k best locally-optimal
 /// locations over *distinct* object combinations, ascending by cost. A
@@ -20,27 +11,23 @@ struct RankedLocation {
 /// alternatives.
 ///
 /// Runs the MOVD pipeline (RRB or MBRB per `options.algorithm`; kSsc is
-/// rejected) and keeps the k best Fermat–Weber optima. The cost bound used
-/// for pruning is the k-th best cost so far, so correctness of all k
-/// results is preserved.
+/// rejected) and keeps the k best Fermat–Weber optima in
+/// MolqResult::ranked (location/cost/group mirror ranked[0]). The cost
+/// bound used for pruning is the k-th best cost so far, so correctness of
+/// all k results is preserved.
 ///
-/// `status` (optional): receives kCancelled when options.cancel fired
-/// mid-run, in which case the returned vector is empty (never a partial
-/// ranking); kOk otherwise.
-std::vector<RankedLocation> SolveMolqTopK(const MolqQuery& query,
-                                          const Rect& search_space, size_t k,
-                                          const MolqOptions& options = {},
-                                          MolqStatus* status = nullptr);
+/// MolqResult::status is kCancelled when options.exec.cancel fired
+/// mid-run, in which case `ranked` is empty (never a partial ranking).
+MolqResult SolveMolqTopK(const MolqQuery& query, const Rect& search_space,
+                         size_t k, const MolqOptions& options = {});
 
 /// The Optimizer half of SolveMolqTopK, over an already-built MOVD: the k
 /// best locally-optimal locations over distinct object combinations. This
 /// is the entry point the serving engine (src/serve) uses to rank answers
 /// from a cached overlay artifact without rebuilding the pipeline; OVR poi
 /// refs must index into `query`. Cancellation semantics as above.
-std::vector<RankedLocation> TopKFromMovd(const MolqQuery& query,
-                                         const Movd& movd, size_t k,
-                                         const MolqOptions& options = {},
-                                         MolqStatus* status = nullptr);
+MolqResult TopKFromMovd(const MolqQuery& query, const Movd& movd, size_t k,
+                        const MolqOptions& options = {});
 
 }  // namespace movd
 

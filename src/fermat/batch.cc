@@ -3,6 +3,7 @@
 #include <atomic>
 #include <limits>
 
+#include "trace/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -43,9 +44,12 @@ BatchResult SolveFermatWeberBatch(
   std::atomic<uint64_t> pruned_by_bound{0};
   std::atomic<uint64_t> skipped_by_prefilter{0};
 
-  ParallelFor(options.threads, problems.size(), [&](size_t i) {
+  const Trace::Context trace_ctx = Trace::CaptureContext();
+  ParallelFor(options.exec.threads, problems.size(), [&](size_t i) {
     const std::vector<WeightedPoint>& points = problems[i];
     MOVD_CHECK(!points.empty());
+    TraceContextScope trace_scope(trace_ctx);
+    TraceSpan span("fermat_batch_problem");
 
     // Strict >: a prefix that exactly ties the bound cannot disprove a tie
     // with the current best, so the problem still runs and the winner stays
@@ -62,6 +66,7 @@ BatchResult SolveFermatWeberBatch(
     const FermatWeberResult r = SolveFermatWeber(points, fw);
     total_iterations.fetch_add(static_cast<uint64_t>(r.iterations),
                                std::memory_order_relaxed);
+    span.Counter("weiszfeld_iters", r.iterations);
     if (r.pruned) {
       pruned_by_bound.fetch_add(1, std::memory_order_relaxed);
       return;

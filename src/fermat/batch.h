@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fermat/fermat_weber.h"
+#include "util/exec_options.h"
 
 namespace movd {
 
@@ -23,13 +24,13 @@ struct BatchOptions {
   /// exceeds the global bound. Independent toggle for ablation.
   bool use_two_point_prefilter = true;
 
-  /// Degree of parallelism: problems are fanned out over this many threads,
-  /// all sharing the cost bound through an atomic CAS-min. 1 (default) is
-  /// fully serial; 0 means one thread per hardware thread. The returned
-  /// (location, cost, winner) triple is identical for every thread count —
-  /// the winner is resolved by a (cost, index) reduction, never by arrival
-  /// order — though the iteration/prune counters may vary with timing.
-  int threads = 1;
+  /// Shared execution knobs (util/exec_options.h). `exec.threads` fans the
+  /// problems out over workers all sharing the cost bound through an
+  /// atomic CAS-min; the returned (location, cost, winner) triple is
+  /// identical for every thread count — the winner is resolved by a
+  /// (cost, index) reduction, never by arrival order — though the
+  /// iteration/prune counters may vary with timing.
+  ExecOptions exec;
 };
 
 /// Aggregate result of solving a set of Fermat–Weber problems and keeping

@@ -11,20 +11,6 @@ uint64_t BucketBoundUs(int i) { return 1ull << i; }
 
 }  // namespace
 
-const char* ServeStatusName(ServeStatus status) {
-  switch (status) {
-    case ServeStatus::kOk:
-      return "OK";
-    case ServeStatus::kDeadlineExceeded:
-      return "DEADLINE_EXCEEDED";
-    case ServeStatus::kInvalidRequest:
-      return "INVALID_REQUEST";
-    case ServeStatus::kInternalError:
-      return "INTERNAL_ERROR";
-  }
-  return "UNKNOWN";
-}
-
 void LatencyHistogram::Record(double seconds) {
   const double us = seconds * 1e6;
   int bucket = 0;
@@ -73,21 +59,31 @@ void ServeMetrics::RecordRequest(ServeStatus status, double seconds,
                                  bool cache_hit) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   switch (status) {
-    case ServeStatus::kOk:
+    case StatusCode::kOk:
       ok_.fetch_add(1, std::memory_order_relaxed);
       break;
-    case ServeStatus::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+      // The serving path cancels work *because* the deadline fired, so a
+      // surfaced kCancelled is the same client-visible outcome.
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       break;
-    case ServeStatus::kInvalidRequest:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
       invalid_.fetch_add(1, std::memory_order_relaxed);
       break;
-    case ServeStatus::kInternalError:
+    default:  // kDataLoss, kIoError, kInternal: the server's fault
       internal_errors_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
   if (cache_hit) overlay_hits_.fetch_add(1, std::memory_order_relaxed);
   latency_.Record(seconds);
+}
+
+void ServeMetrics::RecordPhases(double overlay_seconds,
+                                double optimize_seconds) {
+  overlay_latency_.Record(overlay_seconds);
+  optimize_latency_.Record(optimize_seconds);
 }
 
 std::string ServeMetrics::Json(const ArtifactCache::Stats& cache) const {
@@ -119,6 +115,17 @@ std::string ServeMetrics::Json(const ArtifactCache::Stats& cache) const {
                 latency_.PercentileSeconds(50) * 1e3,
                 latency_.PercentileSeconds(99) * 1e3);
   out += buf;
+  // Per-phase split (overlay-artifact phase vs Optimizer phase) of OK
+  // pipeline requests — the tracing subsystem's aggregate view, exported
+  // through STATS so dashboards see where serve time goes.
+  std::snprintf(buf, sizeof(buf),
+                ",\"overlay_p50_ms\":%.3f,\"overlay_p99_ms\":%.3f"
+                ",\"optimize_p50_ms\":%.3f,\"optimize_p99_ms\":%.3f",
+                overlay_latency_.PercentileSeconds(50) * 1e3,
+                overlay_latency_.PercentileSeconds(99) * 1e3,
+                optimize_latency_.PercentileSeconds(50) * 1e3,
+                optimize_latency_.PercentileSeconds(99) * 1e3);
+  out += buf;
   out += ",\"latency_buckets\":" + latency_.Json();
   out += "}";
   return out;
@@ -140,6 +147,12 @@ void ServeMetrics::DumpTable(std::FILE* out,
                            "ms"});
   table.AddRow({"p99", Table::Fmt(latency_.PercentileSeconds(99) * 1e3, 3) +
                            "ms"});
+  table.AddRow(
+      {"overlay p50",
+       Table::Fmt(overlay_latency_.PercentileSeconds(50) * 1e3, 3) + "ms"});
+  table.AddRow(
+      {"optimize p50",
+       Table::Fmt(optimize_latency_.PercentileSeconds(50) * 1e3, 3) + "ms"});
   row("cache hits", cache.hits);
   row("cache misses", cache.misses);
   row("cache evictions", cache.evictions);

@@ -7,19 +7,21 @@
 #include <string>
 
 #include "serve/artifact_cache.h"
+#include "util/status.h"
 
 namespace movd {
 
-/// Terminal state of one serve request (the wire-visible status codes).
-enum class ServeStatus {
-  kOk,
-  kDeadlineExceeded,  ///< the request's deadline fired; no answer returned
-  kInvalidRequest,    ///< malformed request / unknown dataset / bad layers
-  kInternalError,
-};
+/// Terminal state of one serve request. An alias of the repo-wide status
+/// vocabulary (util/status.h), so serve, core, and storage speak one
+/// enum; the historical enumerator spellings (kInvalidRequest,
+/// kInternalError) are value aliases of StatusCode and keep compiling.
+using ServeStatus = StatusCode;
 
-/// Wire name of a status ("OK", "DEADLINE_EXCEEDED", ...).
-const char* ServeStatusName(ServeStatus status);
+/// Wire name of a status ("OK", "DEADLINE_EXCEEDED", ...). The line
+/// protocol emits these; they are the canonical StatusCode names.
+inline const char* ServeStatusName(ServeStatus status) {
+  return StatusCodeName(status);
+}
 
 /// Fixed-bucket latency histogram: bucket i counts requests with latency
 /// in [2^(i-1), 2^i) microseconds (bucket 0: < 1us; the last bucket is an
@@ -60,6 +62,13 @@ class ServeMetrics {
   /// from cache.
   void RecordRequest(ServeStatus status, double seconds, bool cache_hit);
 
+  /// Records the per-phase split of one solved pipeline request: seconds
+  /// spent obtaining the overlay artifact (VD generation + overlap, or a
+  /// cache hit) and seconds in the Optimizer. Only OK pipeline requests
+  /// report phases (SSC and failed requests have no phase split), so the
+  /// phase counts can be below requests().
+  void RecordPhases(double overlay_seconds, double optimize_seconds);
+
   uint64_t requests() const { return requests_.load(); }
   uint64_t ok() const { return ok_.load(); }
   uint64_t deadline_exceeded() const { return deadline_exceeded_.load(); }
@@ -67,6 +76,10 @@ class ServeMetrics {
   uint64_t internal_errors() const { return internal_errors_.load(); }
   uint64_t overlay_hits() const { return overlay_hits_.load(); }
   const LatencyHistogram& latency() const { return latency_; }
+  const LatencyHistogram& overlay_latency() const { return overlay_latency_; }
+  const LatencyHistogram& optimize_latency() const {
+    return optimize_latency_;
+  }
 
   /// One-object JSON dump of every counter plus the cache stats (the
   /// STATS response body of the line protocol).
@@ -83,6 +96,8 @@ class ServeMetrics {
   std::atomic<uint64_t> internal_errors_{0};
   std::atomic<uint64_t> overlay_hits_{0};
   LatencyHistogram latency_;
+  LatencyHistogram overlay_latency_;   ///< artifact phase (VD + overlap)
+  LatencyHistogram optimize_latency_;  ///< Optimizer phase (Fermat–Weber)
 };
 
 }  // namespace movd

@@ -55,17 +55,17 @@ bool ParseF64(const std::string& s, double* out) {
   return true;
 }
 
-bool ParseSolveArg(const std::string& key, const std::string& value,
-                   ServeRequest* request, std::string* error) {
+Status ParseSolveArg(const std::string& key, const std::string& value,
+                     ServeRequest* request) {
   int64_t i = 0;
   double d = 0.0;
   if (key == "id") {
     request->id = value;
-    return true;
+    return Status::Ok();
   }
   if (key == "dataset") {
     request->dataset = value;
-    return true;
+    return Status::Ok();
   }
   if (key == "layers") {
     request->layers.clear();
@@ -74,13 +74,12 @@ bool ParseSolveArg(const std::string& key, const std::string& value,
       size_t comma = value.find(',', pos);
       if (comma == std::string::npos) comma = value.size();
       if (!ParseI64(value.substr(pos, comma - pos), &i)) {
-        *error = "bad layers list '" + value + "'";
-        return false;
+        return Status::InvalidArgument("bad layers list '" + value + "'");
       }
       request->layers.push_back(static_cast<int32_t>(i));
       pos = comma + 1;
     }
-    return true;
+    return Status::Ok();
   }
   if (key == "algo") {
     if (value == "ssc") {
@@ -90,42 +89,38 @@ bool ParseSolveArg(const std::string& key, const std::string& value,
     } else if (value == "mbrb") {
       request->algorithm = MolqAlgorithm::kMbrb;
     } else {
-      *error = "unknown algo '" + value + "' (want ssc|rrb|mbrb)";
-      return false;
+      return Status::InvalidArgument("unknown algo '" + value +
+                                     "' (want ssc|rrb|mbrb)");
     }
-    return true;
+    return Status::Ok();
   }
   if (key == "k") {
     if (!ParseI64(value, &i) || i < 1) {
-      *error = "bad k '" + value + "'";
-      return false;
+      return Status::InvalidArgument("bad k '" + value + "'");
     }
     request->topk = static_cast<size_t>(i);
-    return true;
+    return Status::Ok();
   }
   if (key == "epsilon") {
     if (!ParseF64(value, &d) || !(d > 0.0)) {
-      *error = "bad epsilon '" + value + "'";
-      return false;
+      return Status::InvalidArgument("bad epsilon '" + value + "'");
     }
     request->epsilon = d;
-    return true;
+    return Status::Ok();
   }
   if (key == "deadline_ms") {
     if (!ParseF64(value, &d) || d < 0.0) {
-      *error = "bad deadline_ms '" + value + "'";
-      return false;
+      return Status::InvalidArgument("bad deadline_ms '" + value + "'");
     }
     request->deadline_ms = d;
-    return true;
+    return Status::Ok();
   }
   if (key == "threads") {
     if (!ParseI64(value, &i) || i < 0) {
-      *error = "bad threads '" + value + "'";
-      return false;
+      return Status::InvalidArgument("bad threads '" + value + "'");
     }
-    request->threads = static_cast<int>(i);
-    return true;
+    request->exec.threads = static_cast<int>(i);
+    return Status::Ok();
   }
   if (key == "cache") {
     if (value == "0") {
@@ -133,13 +128,11 @@ bool ParseSolveArg(const std::string& key, const std::string& value,
     } else if (value == "1") {
       request->use_cache = true;
     } else {
-      *error = "bad cache '" + value + "' (want 0|1)";
-      return false;
+      return Status::InvalidArgument("bad cache '" + value + "' (want 0|1)");
     }
-    return true;
+    return Status::Ok();
   }
-  *error = "unknown SOLVE argument '" + key + "'";
-  return false;
+  return Status::InvalidArgument("unknown SOLVE argument '" + key + "'");
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars) for
@@ -164,29 +157,26 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
-bool ParseRequestLine(const std::string& line, ServeVerb* verb,
-                      ServeRequest* request, std::string* error) {
+Status ParseRequestLine(const std::string& line, ServeVerb* verb,
+                        ServeRequest* request) {
   const std::vector<std::string> words = SplitWords(line);
   if (words.empty()) {
-    *error = "empty request line";
-    return false;
+    return Status::InvalidArgument("empty request line");
   }
   const std::string name = Upper(words[0]);
   if (name == "STATS" || name == "PING" || name == "QUIT" ||
       name == "SHUTDOWN") {
     if (words.size() != 1) {
-      *error = name + " takes no arguments";
-      return false;
+      return Status::InvalidArgument(name + " takes no arguments");
     }
     *verb = name == "STATS"  ? ServeVerb::kStats
             : name == "PING" ? ServeVerb::kPing
             : name == "QUIT" ? ServeVerb::kQuit
                              : ServeVerb::kShutdown;
-    return true;
+    return Status::Ok();
   }
   if (name != "SOLVE") {
-    *error = "unknown verb '" + words[0] + "'";
-    return false;
+    return Status::InvalidArgument("unknown verb '" + words[0] + "'");
   }
   *verb = ServeVerb::kSolve;
   *request = ServeRequest();
@@ -194,19 +184,19 @@ bool ParseRequestLine(const std::string& line, ServeVerb* verb,
   for (size_t i = 1; i < words.size(); ++i) {
     const size_t eq = words[i].find('=');
     if (eq == std::string::npos || eq == 0) {
-      *error = "expected key=value, got '" + words[i] + "'";
-      return false;
+      return Status::InvalidArgument("expected key=value, got '" + words[i] +
+                                     "'");
     }
     const std::string key = words[i].substr(0, eq);
     const std::string value = words[i].substr(eq + 1);
-    if (!ParseSolveArg(key, value, request, error)) return false;
+    Status status = ParseSolveArg(key, value, request);
+    if (!status.ok()) return status;
     if (key == "dataset") have_dataset = true;
   }
   if (!have_dataset) {
-    *error = "SOLVE requires dataset=<name>";
-    return false;
+    return Status::InvalidArgument("SOLVE requires dataset=<name>");
   }
-  return true;
+  return Status::Ok();
 }
 
 std::string AnswerJson(const MolqQuery& query, const ServeAnswer& answer) {
@@ -232,11 +222,16 @@ std::string AnswerJson(const MolqQuery& query, const ServeAnswer& answer) {
   return out;
 }
 
-std::string ResponseJson(const MolqQuery& query, const ServeResponse& resp) {
+std::string ResponseJson(const MolqQuery& query, const ServeResponse& resp,
+                         bool include_timing) {
   std::string out = "{\"answers\": [";
   for (size_t i = 0; i < resp.answers.size(); ++i) {
     if (i > 0) out += ", ";
     out += AnswerJson(query, resp.answers[i]);
+  }
+  if (!include_timing) {
+    out += "]}";
+    return out;
   }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "], \"cache_hit\": %s, \"seconds\": %.6f}",

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "serve/query_engine.h"
+#include "util/status.h"
 
 namespace movd {
 
@@ -29,12 +30,13 @@ enum class ServeVerb {
 };
 
 /// Parses one request line. On success fills `verb` (and, for SOLVE,
-/// `request`) and returns true; on failure fills `error` and returns false.
-/// Verbs are case-insensitive; SOLVE arguments are space-separated
-/// key=value pairs and unknown keys are rejected (a misspelled option must
-/// not silently fall back to a default).
-bool ParseRequestLine(const std::string& line, ServeVerb* verb,
-                      ServeRequest* request, std::string* error);
+/// `request`) and returns OK; on failure returns kInvalidRequest with the
+/// problem in the status message. Verbs are case-insensitive; SOLVE
+/// arguments are space-separated key=value pairs and unknown keys are
+/// rejected (a misspelled option must not silently fall back to a
+/// default).
+Status ParseRequestLine(const std::string& line, ServeVerb* verb,
+                        ServeRequest* request);
 
 /// One answer as a JSON object — the serializer shared by the server's
 /// SOLVE responses and molq_cli --json, so both fronts emit byte-identical
@@ -45,8 +47,12 @@ bool ParseRequestLine(const std::string& line, ServeVerb* verb,
 std::string AnswerJson(const MolqQuery& query, const ServeAnswer& answer);
 
 /// The body of an OK SOLVE response: {"answers": [...], "cache_hit": ...,
-/// "seconds": ...}.
-std::string ResponseJson(const MolqQuery& query, const ServeResponse& resp);
+/// "seconds": ...}. With include_timing=false the cache_hit/seconds pair
+/// is omitted, leaving only deterministic answer bytes — molq_cli --json
+/// uses this so its stdout is byte-identical run to run (and with or
+/// without --trace), which scripted diffs rely on.
+std::string ResponseJson(const MolqQuery& query, const ServeResponse& resp,
+                         bool include_timing = true);
 
 /// Formats one full response line (without the trailing newline):
 /// "OK <id> <json>" on success, "ERR <id> <STATUS> <detail>" otherwise.

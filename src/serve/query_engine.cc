@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "storage/movd_file.h"
+#include "trace/trace.h"
 #include "util/stopwatch.h"
 
 namespace movd {
@@ -139,9 +140,15 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
   MolqOptions molq;
   molq.algorithm = request.algorithm;
   molq.epsilon = request.epsilon;
-  molq.threads = request.threads;
-  molq.weighted_grid_resolution = options_.weighted_grid_resolution;
-  molq.cancel = &token;
+  molq.exec = request.exec;
+  // The engine owns resolution (cache-key component) and cancellation
+  // (deadline token); a request cannot override either.
+  molq.exec.weighted_grid_resolution = options_.exec.weighted_grid_resolution;
+  molq.exec.cancel = &token;
+  // Request-level trace wins; otherwise the engine-wide sink (if any).
+  if (molq.exec.trace == nullptr) molq.exec.trace = options_.exec.trace;
+  TraceContextScope trace_scope(molq.exec.trace);
+  TRACE_SPAN("serve_request");
 
   if (request.algorithm == MolqAlgorithm::kSsc) {
     if (request.topk != 1) {
@@ -178,8 +185,14 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
                                 ? BoundaryMode::kMbr
                                 : BoundaryMode::kRealRegion;
   bool overlay_hit = false;
-  const std::shared_ptr<const Movd> overlay = GetOverlay(
-      *ds, request.dataset, layers, mode, request, token, &overlay_hit);
+  Stopwatch phase_watch;
+  std::shared_ptr<const Movd> overlay;
+  {
+    TRACE_SPAN("serve_overlay");
+    overlay = GetOverlay(*ds, request.dataset, layers, mode, request, token,
+                         &overlay_hit);
+  }
+  const double overlay_seconds = phase_watch.ElapsedSeconds();
   resp.cache_hit = overlay_hit;
   if (overlay == nullptr) {
     resp.status = ServeStatus::kDeadlineExceeded;
@@ -192,16 +205,21 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
     return resp;
   }
 
-  MolqStatus status = MolqStatus::kOk;
-  const std::vector<RankedLocation> ranked =
-      TopKFromMovd(ds->query, *overlay, request.topk, molq, &status);
-  if (status == MolqStatus::kCancelled) {
+  phase_watch = Stopwatch();
+  MolqResult top;
+  {
+    TRACE_SPAN("serve_optimize");
+    top = TopKFromMovd(ds->query, *overlay, request.topk, molq);
+  }
+  const double optimize_seconds = phase_watch.ElapsedSeconds();
+  if (top.status == StatusCode::kCancelled) {
     resp.status = ServeStatus::kDeadlineExceeded;
     resp.error = "deadline exceeded during optimization";
     return resp;
   }
-  resp.answers.reserve(ranked.size());
-  for (const RankedLocation& r : ranked) {
+  metrics_.RecordPhases(overlay_seconds, optimize_seconds);
+  resp.answers.reserve(top.ranked.size());
+  for (const RankedLocation& r : top.ranked) {
     ServeAnswer answer;
     answer.location = r.location;
     answer.cost = r.cost;
@@ -218,7 +236,7 @@ std::shared_ptr<const Movd> QueryEngine::GetOverlay(
     bool* overlay_hit) {
   *overlay_hit = false;
   const std::string suffix =
-      "/r" + std::to_string(options_.weighted_grid_resolution) + "/w" +
+      "/r" + std::to_string(options_.exec.weighted_grid_resolution) + "/w" +
       ds.weight_tag;
 
   // One basic (single-layer) diagram; cached under a mode-independent key,
@@ -228,9 +246,9 @@ std::shared_ptr<const Movd> QueryEngine::GetOverlay(
   const auto get_basic =
       [&](int32_t layer) -> std::shared_ptr<const Movd> {
     const auto build = [&] {
-      return std::make_shared<const Movd>(
-          BuildBasicMovd(ds.query, layer, ds.world,
-                         options_.weighted_grid_resolution, request.threads));
+      return std::make_shared<const Movd>(BuildBasicMovd(
+          ds.query, layer, ds.world, options_.exec.weighted_grid_resolution,
+          request.exec.threads));
     };
     if (!request.use_cache) return build();
     const std::string key =
@@ -262,43 +280,35 @@ std::shared_ptr<const Movd> QueryEngine::GetOverlay(
   return cache_.GetOrBuild(key, build_overlay, overlay_hit, token.deadline());
 }
 
-bool QueryEngine::SaveCache(const std::string& dir,
-                            std::string* error) const {
+Status QueryEngine::SaveCache(const std::string& dir) const {
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    if (error != nullptr) {
-      *error = "mkdir " + dir + ": " + std::strerror(errno);
-    }
-    return false;
+    return Status::IoError("mkdir " + dir + ": " + std::strerror(errno));
   }
   const auto snapshot = cache_.Snapshot();
   // Manifest lines are written least- to most-recently used, so replaying
   // them in order through Insert() reconstructs the recency order too.
   std::ofstream manifest(dir + "/manifest.txt", std::ios::trunc);
   if (!manifest) {
-    if (error != nullptr) *error = "cannot write " + dir + "/manifest.txt";
-    return false;
+    return Status::IoError("cannot write " + dir + "/manifest.txt");
   }
   for (size_t i = snapshot.size(); i-- > 0;) {
     const std::string file = "art_" + std::to_string(i) + ".movd";
-    if (!SaveMovd(dir + "/" + file, *snapshot[i].second)) {
-      if (error != nullptr) *error = "cannot write " + dir + "/" + file;
-      return false;
-    }
+    const Status saved = SaveMovd(dir + "/" + file, *snapshot[i].second);
+    if (!saved.ok()) return saved;
     manifest << file << '\t' << snapshot[i].first << '\n';
   }
   manifest.flush();
   if (!manifest) {
-    if (error != nullptr) *error = "cannot write " + dir + "/manifest.txt";
-    return false;
+    return Status::IoError("cannot write " + dir + "/manifest.txt");
   }
-  return true;
+  return Status::Ok();
 }
 
 QueryEngine::WarmLoadResult QueryEngine::LoadCache(const std::string& dir) {
   WarmLoadResult result;
   std::ifstream manifest(dir + "/manifest.txt");
   if (!manifest) {
-    result.error = "cannot read " + dir + "/manifest.txt";
+    result.status = Status::IoError("cannot read " + dir + "/manifest.txt");
     return result;
   }
   std::string line;
@@ -306,14 +316,14 @@ QueryEngine::WarmLoadResult QueryEngine::LoadCache(const std::string& dir) {
     if (line.empty()) continue;
     const size_t tab = line.find('\t');
     if (tab == std::string::npos || tab == 0 || tab + 1 >= line.size()) {
-      result.error = "malformed manifest line: " + line;
+      result.status = Status::DataLoss("malformed manifest line: " + line);
       return result;
     }
     const std::string file = line.substr(0, tab);
     const std::string key = line.substr(tab + 1);
     // LoadMovd validates the header and every record; a truncated or
     // corrupted artifact is skipped (colder cache), never inserted.
-    std::optional<Movd> movd = LoadMovd(dir + "/" + file);
+    StatusOr<Movd> movd = LoadMovd(dir + "/" + file);
     if (!movd.has_value()) {
       ++result.failed;
       continue;

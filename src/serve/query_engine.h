@@ -13,6 +13,8 @@
 #include "core/topk.h"
 #include "serve/artifact_cache.h"
 #include "serve/metrics.h"
+#include "util/exec_options.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace movd {
@@ -27,9 +29,12 @@ struct ServeRequest {
   MolqAlgorithm algorithm = MolqAlgorithm::kRrb;
   double epsilon = 1e-3;
   size_t topk = 1;
-  /// Per-request pipeline parallelism (MolqOptions::threads semantics).
-  /// The answer is bit-identical for every value.
-  int threads = 1;
+  /// Per-request execution knobs (the same ExecOptions the core pipeline
+  /// takes). exec.threads is per-request pipeline parallelism — the answer
+  /// is bit-identical for every value. exec.trace (when non-null) traces
+  /// this request. exec.cancel and exec.weighted_grid_resolution are
+  /// overwritten by the engine (deadline token / engine-wide resolution).
+  ExecOptions exec;
   /// Deadline budget in milliseconds, measured from the moment the engine
   /// picks the request up (Solve entry / queue dequeue). <= 0 means none.
   /// A fired deadline yields kDeadlineExceeded with no answer — never a
@@ -68,10 +73,13 @@ struct QueryEngineOptions {
   /// per-request parallelism is ServeRequest::threads, and answers are
   /// bit-identical regardless of either knob.
   int workers = 0;
-  /// Grid resolution for weighted-diagram approximation (part of every
+  /// Engine-wide execution defaults. exec.weighted_grid_resolution is the
+  /// grid resolution for weighted-diagram approximation (part of every
   /// cache key, so datasets served at different resolutions never share
-  /// artifacts).
-  int weighted_grid_resolution = 128;
+  /// artifacts). exec.trace, when non-null, traces every request that does
+  /// not bring its own request-level trace (movd_serve --trace). The
+  /// per-request knobs (threads/cancel) are ignored here.
+  ExecOptions exec;
 };
 
 /// A resident MOLQ serving engine (DESIGN.md §8): owns registered datasets,
@@ -119,14 +127,14 @@ class QueryEngine {
 
   /// Warm start: persists every resident artifact to `dir` (created if
   /// missing) as MOVD files plus a manifest mapping keys to files.
-  /// Returns false (with `error` set) on I/O failure.
-  bool SaveCache(const std::string& dir, std::string* error = nullptr) const;
+  /// kIoError (with the failing path in the message) on I/O failure.
+  Status SaveCache(const std::string& dir) const;
 
   /// Outcome of a warm-start load.
   struct WarmLoadResult {
     size_t loaded = 0;  ///< artifacts inserted into the cache
     size_t failed = 0;  ///< artifacts skipped (corrupt/truncated/missing)
-    std::string error;  ///< non-empty when the manifest itself was bad
+    Status status;      ///< non-OK when the manifest itself was bad
   };
 
   /// Loads a SaveCache snapshot back into the cache. Corrupt or truncated

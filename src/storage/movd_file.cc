@@ -100,19 +100,26 @@ void MovdFileWriter::Append(const Ovr& ovr) {
   ++count_;
 }
 
-bool MovdFileWriter::Close() {
-  if (!writer_.Close()) return false;
+Status MovdFileWriter::Close() {
+  if (!writer_.Close()) {
+    return Status::IoError("cannot write " + path_);
+  }
   // Patch the count into the header.
   std::FILE* f = std::fopen(path_.c_str(), "rb+");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    return Status::IoError("cannot reopen " + path_ + " to patch header");
+  }
   if (std::fseek(f, 8, SEEK_SET) != 0) {
     std::fclose(f);
-    return false;
+    return Status::IoError("cannot seek to header of " + path_);
   }
   unsigned char buf[8];
   for (int i = 0; i < 8; ++i) buf[i] = (count_ >> (8 * i)) & 0xff;
   const bool ok = std::fwrite(buf, 1, 8, f) == 8;
-  return std::fclose(f) == 0 && ok;
+  if (std::fclose(f) != 0 || !ok) {
+    return Status::IoError("cannot patch record count into " + path_);
+  }
+  return Status::Ok();
 }
 
 MovdFileReader::MovdFileReader(const std::string& path) : reader_(path) {
@@ -134,21 +141,33 @@ std::optional<Ovr> MovdFileReader::Next() {
   return ovr;
 }
 
-bool SaveMovd(const std::string& path, const Movd& movd) {
+Status SaveMovd(const std::string& path, const Movd& movd) {
   MovdFileWriter writer(path);
   for (const Ovr& ovr : movd.ovrs) writer.Append(ovr);
   return writer.Close();
 }
 
-std::optional<Movd> LoadMovd(const std::string& path) {
+StatusOr<Movd> LoadMovd(const std::string& path) {
+  // An unreadable file is an I/O problem; a readable file the reader
+  // rejects is a data problem. The caller's recovery differs (report the
+  // path vs. skip the artifact), so probe readability first.
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::fclose(probe);
   MovdFileReader reader(path);
-  if (!reader.ok()) return std::nullopt;
+  if (!reader.ok()) {
+    return Status::DataLoss("bad MOVD header in " + path);
+  }
   Movd movd;
   movd.ovrs.reserve(reader.count());
   while (auto ovr = reader.Next()) {
     movd.ovrs.push_back(std::move(*ovr));
   }
-  if (!reader.ok() && movd.ovrs.size() != reader.count()) return std::nullopt;
+  if (!reader.ok() && movd.ovrs.size() != reader.count()) {
+    return Status::DataLoss("truncated MOVD record in " + path);
+  }
   return movd;
 }
 

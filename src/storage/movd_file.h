@@ -6,6 +6,7 @@
 
 #include "core/movd_model.h"
 #include "storage/io.h"
+#include "util/status.h"
 
 namespace movd {
 
@@ -29,8 +30,8 @@ class MovdFileWriter {
   void Append(const Ovr& ovr);
   uint64_t count() const { return count_; }
 
-  /// Finalises the header; returns false on I/O failure.
-  bool Close();
+  /// Finalises the header; kIoError on I/O failure.
+  Status Close();
 
  private:
   std::string path_;
@@ -56,11 +57,13 @@ class MovdFileReader {
   bool ok_ = false;
 };
 
-/// Writes a whole in-memory MOVD to `path`. Returns false on failure.
-bool SaveMovd(const std::string& path, const Movd& movd);
+/// Writes a whole in-memory MOVD to `path`. kIoError on failure.
+Status SaveMovd(const std::string& path, const Movd& movd);
 
-/// Loads a whole MOVD file into memory; nullopt on failure.
-std::optional<Movd> LoadMovd(const std::string& path);
+/// Loads a whole MOVD file into memory. kIoError when the file cannot be
+/// opened, kDataLoss when the header or a record fails validation
+/// (corrupt/truncated/version mismatch).
+StatusOr<Movd> LoadMovd(const std::string& path);
 
 }  // namespace movd
 

@@ -123,7 +123,7 @@ bool StreamingOverlap(const std::string& sorted_a_path,
   }
 
   if (stats != nullptr) *stats = local;
-  return writer.Close();
+  return writer.Close().ok();
 }
 
 }  // namespace movd

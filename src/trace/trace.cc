@@ -1,0 +1,341 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace movd {
+
+// ---------------------------------------------------------------------------
+// Storage
+// ---------------------------------------------------------------------------
+
+/// One begin or end marker. A begin has a non-null name and carries the
+/// span's global id plus the id of the span that was ambient when it
+/// opened; an end has a null name and carries the counters the span
+/// accumulated. Events are appended in real-time order by the owning
+/// thread only, so each per-thread log is a properly nested B/E sequence
+/// by construction.
+struct Trace::Event {
+  const char* name = nullptr;  // null => end event
+  int64_t t_ns = 0;
+  uint64_t id = 0;      // begin: this span's global id
+  uint64_t parent = 0;  // begin: ambient span id at open (0 = none)
+  std::vector<std::pair<const char*, int64_t>> counters;  // end only
+};
+
+/// A single thread's event log. Only the owning thread appends; readers
+/// (Collect and friends) require quiescence, with the happens-before edge
+/// supplied by the pool join / mutex that made the trace quiescent.
+struct Trace::ThreadLog {
+  int tid = 0;
+  std::vector<Event> events;
+};
+
+namespace {
+
+/// The calling thread's ambient trace + innermost open span.
+thread_local Trace::Context g_ambient;
+
+/// Single-entry cache for Trace::LogForThisThread, keyed on the trace's
+/// globally unique generation id (not its address, which the allocator
+/// may reuse for a later trace).
+struct LogCache {
+  uint64_t gen = 0;
+  Trace::ThreadLog* log = nullptr;
+};
+thread_local LogCache g_log_cache;
+
+std::atomic<uint64_t> g_next_trace_gen{1};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+Trace::Trace() : gen_(g_next_trace_gen.fetch_add(1, std::memory_order_relaxed)) {}
+
+Trace::~Trace() = default;
+
+Trace* Trace::ThreadCurrent() { return g_ambient.trace; }
+
+Trace::Context Trace::CaptureContext() { return g_ambient; }
+
+Trace::ThreadLog* Trace::LogForThisThread() {
+  if (g_log_cache.gen == gen_) return g_log_cache.log;
+  std::lock_guard<std::mutex> lock(mu_);
+  logs_.push_back(std::make_unique<ThreadLog>());
+  ThreadLog* log = logs_.back().get();
+  log->tid = static_cast<int>(logs_.size()) - 1;
+  g_log_cache = {gen_, log};
+  return log;
+}
+
+std::vector<TraceSpanRecord> Trace::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpanRecord> records;
+  std::unordered_map<uint64_t, int> by_id;     // span id -> record index
+  std::vector<uint64_t> parent_of_record;      // span id of each record's parent
+  for (const auto& log : logs_) {
+    std::vector<int> stack;  // indices of open spans on this thread
+    for (const Event& ev : log->events) {
+      if (ev.name != nullptr) {
+        TraceSpanRecord rec;
+        rec.name = ev.name;
+        rec.tid = log->tid;
+        rec.start_ns = ev.t_ns;
+        records.push_back(std::move(rec));
+        by_id[ev.id] = static_cast<int>(records.size()) - 1;
+        parent_of_record.push_back(ev.parent);
+        stack.push_back(static_cast<int>(records.size()) - 1);
+      } else {
+        MOVD_CHECK_MSG(!stack.empty(),
+                       "trace log has an end event with no open span; "
+                       "Collect() requires a quiescent trace");
+        TraceSpanRecord& rec = records[stack.back()];
+        rec.dur_ns = ev.t_ns - rec.start_ns;
+        for (const auto& [key, value] : ev.counters) {
+          rec.counters.emplace_back(key, value);
+        }
+        stack.pop_back();
+      }
+    }
+    MOVD_CHECK_MSG(stack.empty(),
+                   "trace log has open spans; Collect() requires every "
+                   "span closed and every recording thread joined");
+  }
+  // Parent ids resolve to indices only once every log is scanned: a span
+  // opened on a pool thread may precede its parent's record when the
+  // parent lives on a later-registered thread.
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto it = by_id.find(parent_of_record[i]);
+    records[i].parent = it == by_id.end() ? -1 : it->second;
+  }
+  // Depths: parents always have smaller start times than their children,
+  // but not necessarily smaller indices, so iterate until fixed point
+  // (the parent chain is acyclic and short — bounded by nesting depth).
+  std::vector<int> depth(records.size(), -1);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (depth[i] >= 0) continue;
+      int p = records[i].parent;
+      if (p < 0) {
+        depth[i] = 0;
+        changed = true;
+      } else if (depth[p] >= 0) {
+        depth[i] = depth[p] + 1;
+        changed = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < records.size(); ++i) records[i].depth = depth[i];
+  return records;
+}
+
+std::vector<TracePhaseRow> Trace::AggregatePhases() const {
+  std::vector<TraceSpanRecord> records = Collect();
+
+  // Self time: a span's duration minus time spent in same-thread children
+  // (concurrent children on other threads overlap rather than consume).
+  std::vector<int64_t> self_ns;
+  self_ns.reserve(records.size());
+  for (const TraceSpanRecord& rec : records) self_ns.push_back(rec.dur_ns);
+  for (size_t i = 0; i < records.size(); ++i) {
+    int p = records[i].parent;
+    if (p >= 0 && records[p].tid == records[i].tid) {
+      self_ns[p] -= records[i].dur_ns;
+    }
+  }
+
+  std::vector<TracePhaseRow> rows;
+  std::unordered_map<std::string, size_t> by_name;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const TraceSpanRecord& rec = records[i];
+    auto [it, inserted] = by_name.emplace(rec.name, rows.size());
+    if (inserted) {
+      rows.emplace_back();
+      rows.back().name = rec.name;
+    }
+    TracePhaseRow& row = rows[it->second];
+    ++row.count;
+    row.total_ns += rec.dur_ns;
+    row.self_ns += self_ns[i];
+    for (const auto& [key, value] : rec.counters) {
+      bool found = false;
+      for (auto& [rkey, rvalue] : row.counters) {
+        if (rkey == key) {
+          rvalue += value;
+          found = true;
+          break;
+        }
+      }
+      if (!found) row.counters.emplace_back(key, value);
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const TracePhaseRow& a, const TracePhaseRow& b) {
+                     return a.total_ns > b.total_ns;
+                   });
+  return rows;
+}
+
+void Trace::PrintPhaseTable(std::FILE* out) const {
+  Table tbl({"phase", "count", "total(ms)", "self(ms)", "counters"});
+  for (const TracePhaseRow& row : AggregatePhases()) {
+    std::string counters;
+    for (const auto& [key, value] : row.counters) {
+      if (!counters.empty()) counters += " ";
+      counters += key;
+      counters += "=";
+      counters += std::to_string(value);
+    }
+    tbl.AddRow({row.name, std::to_string(row.count),
+                Table::Fmt(static_cast<double>(row.total_ns) * 1e-6),
+                Table::Fmt(static_cast<double>(row.self_ns) * 1e-6),
+                counters});
+  }
+  tbl.Print(out);
+}
+
+namespace {
+
+void AppendJsonEscaped(const char* s, std::string* out) {
+  for (; *s; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Trace::ChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const auto& log : logs_) {
+    // Each per-thread log is already a properly nested B/E stream in
+    // chronological order, which is exactly what trace_event wants per
+    // tid; emitting the logs back to back therefore yields matched pairs.
+    std::vector<const char*> stack;  // open span names, for the E events
+    for (const Event& ev : log->events) {
+      if (!first) out += ",";
+      first = false;
+      if (ev.name != nullptr) {
+        out += "{\"name\":\"";
+        AppendJsonEscaped(ev.name, &out);
+        std::snprintf(buf, sizeof(buf),
+                      "\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}",
+                      static_cast<double>(ev.t_ns) * 1e-3, log->tid);
+        out += buf;
+        stack.push_back(ev.name);
+      } else {
+        MOVD_CHECK_MSG(!stack.empty(),
+                       "trace log has an end event with no open span");
+        out += "{\"name\":\"";
+        AppendJsonEscaped(stack.back(), &out);
+        stack.pop_back();
+        std::snprintf(buf, sizeof(buf),
+                      "\",\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":%d",
+                      static_cast<double>(ev.t_ns) * 1e-3, log->tid);
+        out += buf;
+        if (!ev.counters.empty()) {
+          out += ",\"args\":{";
+          for (size_t i = 0; i < ev.counters.size(); ++i) {
+            if (i > 0) out += ",";
+            out += "\"";
+            AppendJsonEscaped(ev.counters[i].first, &out);
+            std::snprintf(buf, sizeof(buf), "\":%" PRId64,
+                          ev.counters[i].second);
+            out += buf;
+          }
+          out += "}";
+        }
+        out += "}";
+      }
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status Trace::WriteChromeJson(const std::string& path) const {
+  std::string json = ChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("short write to trace output file: " + path);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// TraceContextScope / TraceSpan
+// ---------------------------------------------------------------------------
+
+TraceContextScope::TraceContextScope(Trace* trace) : saved_(g_ambient) {
+  if (g_ambient.trace != trace) g_ambient = {trace, 0};
+}
+
+TraceContextScope::TraceContextScope(const Trace::Context& ctx)
+    : saved_(g_ambient) {
+  g_ambient = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { g_ambient = saved_; }
+
+TraceSpan::TraceSpan(const char* name) : trace_(g_ambient.trace) {
+  if (trace_ == nullptr) return;
+  log_ = trace_->LogForThisThread();
+  id_ = trace_->next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  saved_span_ = g_ambient.span;
+  Trace::Event ev;
+  ev.name = name;
+  ev.id = id_;
+  ev.parent = saved_span_;
+  ev.t_ns = trace_->clock_.ElapsedNanos();  // last: excludes setup cost
+  log_->events.push_back(std::move(ev));
+  g_ambient.span = id_;
+}
+
+TraceSpan::~TraceSpan() {
+  if (trace_ == nullptr) return;
+  Trace::Event ev;
+  ev.t_ns = trace_->clock_.ElapsedNanos();  // first: excludes teardown cost
+  ev.counters = std::move(counters_);
+  log_->events.push_back(std::move(ev));
+  g_ambient.span = saved_span_;
+}
+
+void TraceSpan::Counter(const char* key, int64_t delta) {
+  if (trace_ == nullptr) return;
+  for (auto& [k, v] : counters_) {
+    if (k == key) {
+      v += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(key, delta);
+}
+
+}  // namespace movd

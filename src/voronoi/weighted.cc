@@ -4,6 +4,7 @@
 
 #include "geom/gridcontour.h"
 #include "geom/hull.h"
+#include "trace/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -32,7 +33,10 @@ std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
   // Dominance sampling, one grid row per task: each cell's owner depends
   // only on the sites, so rows are independent and the owner grid is
   // identical for every thread count.
+  const Trace::Context trace_ctx = Trace::CaptureContext();
   ParallelFor(threads, static_cast<size_t>(resolution), [&](size_t row) {
+    TraceContextScope trace_scope(trace_ctx);
+    TRACE_SPAN("weighted_grid_row");
     const int gy = static_cast<int>(row);
     for (int gx = 0; gx < resolution; ++gx) {
       const Point c{bounds.min_x + (gx + 0.5) * step_x,
@@ -65,9 +69,13 @@ std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
   // Per-site cover extraction: each task writes only cells[i] and reads
   // the shared owner grid, so sites are independent.
   ParallelFor(threads, sites.size(), [&](size_t i) {
+    TraceContextScope trace_scope(trace_ctx);
+    TraceSpan span("weighted_cell_cover");
     WeightedCellApprox& cell = cells[i];
     cell.sample_count = samples[i].size();
     cell.empty = samples[i].empty();
+    span.Counter("cells_clipped",
+                 static_cast<int64_t>(cell.sample_count));
     if (cell.empty) return;
     Rect mbr;
     for (const Point& p : samples[i]) mbr.Expand(p);

@@ -440,15 +440,15 @@ TEST_P(AuditPipelineTest, CleanPipelineReportsNoViolations) {
     for (const bool weighted : {false, true}) {
       MolqOptions options;
       options.algorithm = algorithm;
-      options.audit = true;
-      options.threads = threads;
-      options.weighted_grid_resolution = 48;
+      options.exec.audit = true;
+      options.exec.threads = threads;
+      options.exec.weighted_grid_resolution = 48;
       const MolqResult result =
           SolveMolq(TwoSetQuery(seed, weighted), kBounds, options);
-      EXPECT_GT(result.stats.audit_checks, 0u);
-      EXPECT_TRUE(result.stats.audit_violations.empty())
+      EXPECT_GT(result.audit.checks(), 0u);
+      EXPECT_TRUE(result.audit.ok())
           << "seed " << seed << " weighted " << weighted << ": "
-          << result.stats.audit_violations.front();
+          << result.audit.Messages().front();
     }
   }
 }
@@ -461,11 +461,11 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(AuditPipelineTest, AuditOffCollectsNothing) {
   MolqOptions options;
-  options.audit = false;
+  options.exec.audit = false;
   const MolqResult result =
       SolveMolq(TwoSetQuery(1, false), kBounds, options);
-  EXPECT_EQ(result.stats.audit_checks, 0u);
-  EXPECT_TRUE(result.stats.audit_violations.empty());
+  EXPECT_EQ(result.audit.checks(), 0u);
+  EXPECT_TRUE(result.audit.ok());
 }
 
 }  // namespace

@@ -366,7 +366,7 @@ TEST(BatchTest, ParallelMatchesSerialBitwise) {
   const auto base = SolveFermatWeberBatch(problems, serial);
   for (const int threads : {2, 4, 8}) {
     BatchOptions par = serial;
-    par.threads = threads;
+    par.exec.threads = threads;
     const auto r = SolveFermatWeberBatch(problems, par);
     EXPECT_EQ(r.winner, base.winner) << "threads=" << threads;
     EXPECT_EQ(r.cost, base.cost) << "threads=" << threads;

@@ -79,8 +79,8 @@ TEST(IntegrationTest, FullPipelineAgreesAcrossAllPaths) {
 
   // Top-1 of the top-k API matches too.
   const auto topk = SolveMolqTopK(query, kWorld, 3, MolqOptions{});
-  ASSERT_GE(topk.size(), 1u);
-  EXPECT_NEAR(topk[0].cost, ssc.cost, 1e-3 * ssc.cost);
+  ASSERT_GE(topk.ranked.size(), 1u);
+  EXPECT_NEAR(topk.ranked[0].cost, ssc.cost, 1e-3 * ssc.cost);
 
   // The reported cost is a true MWGD value at the reported location.
   EXPECT_NEAR(MinWeightedGroupDistance(query, rrb.location), rrb.cost, tol);
@@ -97,8 +97,8 @@ TEST(IntegrationTest, DiskPipelineMatchesInMemoryEndToEnd) {
   const std::string pa = Tmp("it_a.bin"), pb = Tmp("it_b.bin");
   const std::string sa = Tmp("it_sa.bin"), sb = Tmp("it_sb.bin");
   const std::string out = Tmp("it_out.bin");
-  ASSERT_TRUE(SaveMovd(pa, basic[0]));
-  ASSERT_TRUE(SaveMovd(pb, basic[1]));
+  ASSERT_TRUE(SaveMovd(pa, basic[0]).ok());
+  ASSERT_TRUE(SaveMovd(pb, basic[1]).ok());
   ASSERT_TRUE(ExternalSortMovdFile(pa, sa, 8 << 10));
   ASSERT_TRUE(ExternalSortMovdFile(pb, sb, 8 << 10));
   ASSERT_TRUE(

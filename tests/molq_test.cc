@@ -22,7 +22,7 @@ MolqQuery RandomQuery(const std::vector<size_t>& sizes, uint64_t seed,
   MolqQuery query;
   for (size_t s = 0; s < sizes.size(); ++s) {
     ObjectSet set;
-    set.name = "type" + std::to_string(s);
+    set.name = std::string("type") += std::to_string(s);
     for (size_t i = 0; i < sizes[s]; ++i) {
       SpatialObject obj;
       obj.location = {rng.Uniform(5, 95), rng.Uniform(5, 95)};
@@ -239,7 +239,7 @@ TEST(MolqTest, ObjectWeightsRouteThroughWeightedDiagrams) {
   MolqOptions opts;
   opts.algorithm = MolqAlgorithm::kMbrb;
   opts.epsilon = 1e-6;
-  opts.weighted_grid_resolution = 96;
+  opts.exec.weighted_grid_resolution = 96;
   const auto mbrb = SolveMolq(q, kBounds, opts);
   const auto ssc = Solve(q, MolqAlgorithm::kSsc);
   // MBRB over approximated diagrams keeps false positives, so it scans a
@@ -314,7 +314,7 @@ TEST_P(MolqParallelTest, ThreadCountDoesNotChangeTheAnswer) {
     EXPECT_EQ(serial.stats.threads, 1);
     for (const int threads : {2, 4, 8}) {
       MolqOptions par = opts;
-      par.threads = threads;
+      par.exec.threads = threads;
       const auto r = SolveMolq(q, kBounds, par);
       EXPECT_EQ(r.cost, serial.cost) << "threads=" << threads;
       EXPECT_EQ(r.location.x, serial.location.x) << "threads=" << threads;
@@ -340,10 +340,10 @@ TEST(MolqParallelWeightedTest, GridDiagramsDeterministicAcrossThreads) {
   MolqOptions opts;
   opts.algorithm = MolqAlgorithm::kMbrb;
   opts.epsilon = 1e-6;
-  opts.weighted_grid_resolution = 64;
+  opts.exec.weighted_grid_resolution = 64;
   const auto serial = SolveMolq(q, kBounds, opts);
   MolqOptions par = opts;
-  par.threads = 4;
+  par.exec.threads = 4;
   const auto r = SolveMolq(q, kBounds, par);
   EXPECT_EQ(r.cost, serial.cost);
   EXPECT_EQ(r.location.x, serial.location.x);
@@ -385,7 +385,7 @@ TEST(MolqTest, TiedOptimaAgreeAcrossEnginesAndThreads) {
   MolqOptions par;
   par.algorithm = MolqAlgorithm::kRrb;
   par.epsilon = 1e-6;
-  par.threads = 4;
+  par.exec.threads = 4;
   const auto rrb4 = SolveMolq(q, kBounds, par);
   EXPECT_EQ(rrb4.cost, rrb.cost);
   EXPECT_EQ(rrb4.location.x, rrb.location.x);

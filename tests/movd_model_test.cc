@@ -68,7 +68,7 @@ TEST(OptimizerStatsTest, CountersAddUp) {
   MolqQuery query;
   for (int s = 0; s < 4; ++s) {
     ObjectSet set;
-    set.name = "t" + std::to_string(s);
+    set.name = std::string("t") += std::to_string(s);
     for (int i = 0; i < 4; ++i) {
       SpatialObject obj;
       obj.location = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
@@ -99,7 +99,7 @@ TEST(MovdModelTest, OverlapPreservesPoiSortOrder) {
   MolqQuery query;
   for (int s = 0; s < 3; ++s) {
     ObjectSet set;
-    set.name = "t" + std::to_string(s);
+    set.name = std::string("t") += std::to_string(s);
     for (int i = 0; i < 5; ++i) {
       SpatialObject obj;
       obj.location = {rng.Uniform(0, 100), rng.Uniform(0, 100)};

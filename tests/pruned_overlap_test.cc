@@ -16,7 +16,7 @@ MolqQuery RandomQuery(const std::vector<size_t>& sizes, uint64_t seed) {
   MolqQuery query;
   for (size_t s = 0; s < sizes.size(); ++s) {
     ObjectSet set;
-    set.name = "type" + std::to_string(s);
+    set.name = std::string("type") += std::to_string(s);
     const double type_weight = rng.Uniform(0.5, 10.0);
     for (size_t i = 0; i < sizes[s]; ++i) {
       SpatialObject obj;
@@ -102,7 +102,7 @@ TEST(PrunedPipelineTest, ActuallyPrunesOnSpreadOutData) {
   Rng rng(316);
   for (int32_t s = 0; s < 3; ++s) {
     ObjectSet set;
-    set.name = "t" + std::to_string(s);
+    set.name = std::string("t") += std::to_string(s);
     for (int c = 0; c < 4; ++c) {  // four shared cluster centers
       const Point center{12.5 + 25.0 * c, 12.5 + 25.0 * c};
       for (int i = 0; i < 3; ++i) {

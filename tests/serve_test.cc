@@ -58,7 +58,7 @@ MolqQuery TestQuery(const std::vector<size_t>& sizes, uint64_t seed) {
   MolqQuery query;
   for (size_t s = 0; s < sizes.size(); ++s) {
     ObjectSet set;
-    set.name = "layer" + std::to_string(s);
+    set.name = std::string("layer") += std::to_string(s);
     for (size_t i = 0; i < sizes[s]; ++i) {
       SpatialObject obj;
       obj.location = {rng.Uniform(5, 95), rng.Uniform(5, 95)};
@@ -273,12 +273,11 @@ TEST(ServeMetricsTest, StatusNames) {
 TEST(ServeProtocolTest, ParsesFullSolveLine) {
   ServeVerb verb;
   ServeRequest request;
-  std::string error;
-  ASSERT_TRUE(ParseRequestLine(
+  const Status parsed = ParseRequestLine(
       "SOLVE id=q7 dataset=city layers=2,0 algo=mbrb k=3 epsilon=0.01 "
       "deadline_ms=250 threads=4 cache=0",
-      &verb, &request, &error))
-      << error;
+      &verb, &request);
+  ASSERT_TRUE(parsed.ok()) << parsed.ToString();
   EXPECT_EQ(verb, ServeVerb::kSolve);
   EXPECT_EQ(request.id, "q7");
   EXPECT_EQ(request.dataset, "city");
@@ -289,61 +288,59 @@ TEST(ServeProtocolTest, ParsesFullSolveLine) {
   EXPECT_EQ(request.topk, 3u);
   EXPECT_DOUBLE_EQ(request.epsilon, 0.01);
   EXPECT_DOUBLE_EQ(request.deadline_ms, 250.0);
-  EXPECT_EQ(request.threads, 4);
+  EXPECT_EQ(request.exec.threads, 4);
   EXPECT_FALSE(request.use_cache);
 }
 
 TEST(ServeProtocolTest, SolveDefaultsAndRequiredDataset) {
   ServeVerb verb;
   ServeRequest request;
-  std::string error;
-  ASSERT_TRUE(
-      ParseRequestLine("SOLVE dataset=d", &verb, &request, &error));
+  ASSERT_TRUE(ParseRequestLine("SOLVE dataset=d", &verb, &request).ok());
   EXPECT_EQ(request.id, "-");
   EXPECT_TRUE(request.layers.empty());
   EXPECT_EQ(request.algorithm, MolqAlgorithm::kRrb);
   EXPECT_EQ(request.topk, 1u);
   EXPECT_TRUE(request.use_cache);
-  EXPECT_FALSE(ParseRequestLine("SOLVE id=x k=2", &verb, &request, &error));
-  EXPECT_NE(error.find("dataset"), std::string::npos);
+  const Status missing = ParseRequestLine("SOLVE id=x k=2", &verb, &request);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kInvalidRequest);
+  EXPECT_NE(missing.message().find("dataset"), std::string::npos);
 }
 
 TEST(ServeProtocolTest, RejectsUnknownAndMalformedArguments) {
   ServeVerb verb;
   ServeRequest request;
-  std::string error;
   // A misspelled key must fail loudly, not fall back to a default.
-  EXPECT_FALSE(ParseRequestLine("SOLVE dataset=d epsilonn=0.1", &verb,
-                                &request, &error));
-  EXPECT_NE(error.find("epsilonn"), std::string::npos);
+  const Status misspelled =
+      ParseRequestLine("SOLVE dataset=d epsilonn=0.1", &verb, &request);
+  EXPECT_FALSE(misspelled.ok());
+  EXPECT_NE(misspelled.message().find("epsilonn"), std::string::npos);
+  EXPECT_FALSE(ParseRequestLine("SOLVE dataset=d k=0", &verb, &request).ok());
   EXPECT_FALSE(
-      ParseRequestLine("SOLVE dataset=d k=0", &verb, &request, &error));
+      ParseRequestLine("SOLVE dataset=d epsilon=0", &verb, &request).ok());
   EXPECT_FALSE(
-      ParseRequestLine("SOLVE dataset=d epsilon=0", &verb, &request, &error));
-  EXPECT_FALSE(ParseRequestLine("SOLVE dataset=d layers=1,x", &verb, &request,
-                                &error));
-  EXPECT_FALSE(ParseRequestLine("SOLVE dataset=d algo=fast", &verb, &request,
-                                &error));
+      ParseRequestLine("SOLVE dataset=d layers=1,x", &verb, &request).ok());
   EXPECT_FALSE(
-      ParseRequestLine("SOLVE dataset=d cache=yes", &verb, &request, &error));
-  EXPECT_FALSE(ParseRequestLine("EXPLODE now", &verb, &request, &error));
-  EXPECT_FALSE(ParseRequestLine("", &verb, &request, &error));
-  EXPECT_FALSE(ParseRequestLine("PING extra", &verb, &request, &error));
+      ParseRequestLine("SOLVE dataset=d algo=fast", &verb, &request).ok());
+  EXPECT_FALSE(
+      ParseRequestLine("SOLVE dataset=d cache=yes", &verb, &request).ok());
+  EXPECT_FALSE(ParseRequestLine("EXPLODE now", &verb, &request).ok());
+  EXPECT_FALSE(ParseRequestLine("", &verb, &request).ok());
+  EXPECT_FALSE(ParseRequestLine("PING extra", &verb, &request).ok());
 }
 
 TEST(ServeProtocolTest, VerbsAreCaseInsensitive) {
   ServeVerb verb;
   ServeRequest request;
-  std::string error;
-  ASSERT_TRUE(ParseRequestLine("ping", &verb, &request, &error));
+  ASSERT_TRUE(ParseRequestLine("ping", &verb, &request).ok());
   EXPECT_EQ(verb, ServeVerb::kPing);
-  ASSERT_TRUE(ParseRequestLine("Stats", &verb, &request, &error));
+  ASSERT_TRUE(ParseRequestLine("Stats", &verb, &request).ok());
   EXPECT_EQ(verb, ServeVerb::kStats);
-  ASSERT_TRUE(ParseRequestLine("quit", &verb, &request, &error));
+  ASSERT_TRUE(ParseRequestLine("quit", &verb, &request).ok());
   EXPECT_EQ(verb, ServeVerb::kQuit);
-  ASSERT_TRUE(ParseRequestLine("shutdown", &verb, &request, &error));
+  ASSERT_TRUE(ParseRequestLine("shutdown", &verb, &request).ok());
   EXPECT_EQ(verb, ServeVerb::kShutdown);
-  ASSERT_TRUE(ParseRequestLine("solve dataset=d", &verb, &request, &error));
+  ASSERT_TRUE(ParseRequestLine("solve dataset=d", &verb, &request).ok());
   EXPECT_EQ(verb, ServeVerb::kSolve);
 }
 
@@ -418,7 +415,7 @@ TEST(ServeEngineTest, AnswersIdenticalAcrossThreadCountsAndCacheState) {
   std::vector<ServeAnswer> reference;
   for (const int threads : {1, 2, 4}) {
     for (const bool use_cache : {true, false}) {
-      request.threads = threads;
+      request.exec.threads = threads;
       request.use_cache = use_cache;
       const ServeResponse resp = engine.Solve(request);
       ASSERT_EQ(resp.status, ServeStatus::kOk);
@@ -500,11 +497,11 @@ TEST(ServeEngineTest, TopKMatchesDirectRanking) {
   MolqOptions opts;
   opts.algorithm = MolqAlgorithm::kRrb;
   const auto direct = SolveMolqTopK(query, kBounds, 3, opts);
-  ASSERT_EQ(direct.size(), 3u);
+  ASSERT_EQ(direct.ranked.size(), 3u);
   for (size_t i = 0; i < 3; ++i) {
-    EXPECT_EQ(resp.answers[i].location.x, direct[i].location.x);
-    EXPECT_EQ(resp.answers[i].location.y, direct[i].location.y);
-    EXPECT_EQ(resp.answers[i].cost, direct[i].cost);
+    EXPECT_EQ(resp.answers[i].location.x, direct.ranked[i].location.x);
+    EXPECT_EQ(resp.answers[i].location.y, direct.ranked[i].location.y);
+    EXPECT_EQ(resp.answers[i].cost, direct.ranked[i].cost);
   }
 }
 
@@ -628,13 +625,13 @@ TEST(ServeEngineTest, WarmStartRoundTripServesIdenticalAnswersFromCache) {
     engine.RegisterDataset("d", query, kBounds);
     cold = engine.Solve(request);
     ASSERT_EQ(cold.status, ServeStatus::kOk);
-    std::string error;
-    ASSERT_TRUE(engine.SaveCache(dir, &error)) << error;
+    const Status saved = engine.SaveCache(dir);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
   }
   QueryEngine warm_engine;
   warm_engine.RegisterDataset("d", query, kBounds);
   const auto load = warm_engine.LoadCache(dir);
-  EXPECT_TRUE(load.error.empty()) << load.error;
+  EXPECT_TRUE(load.status.ok()) << load.status.ToString();
   EXPECT_GE(load.loaded, 3u);  // two basics + one overlay
   EXPECT_EQ(load.failed, 0u);
   const ServeResponse warm = warm_engine.Solve(request);
@@ -655,8 +652,8 @@ TEST(ServeEngineTest, WarmStartSkipsCorruptArtifacts) {
     engine.RegisterDataset("d", query, kBounds);
     cold = engine.Solve(request);
     ASSERT_EQ(cold.status, ServeStatus::kOk);
-    std::string error;
-    ASSERT_TRUE(engine.SaveCache(dir, &error)) << error;
+    const Status saved = engine.SaveCache(dir);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
   }
   // Truncate one artifact mid-record: it must be skipped, not served.
   const std::string victim = dir + "/art_0.movd";
@@ -670,7 +667,7 @@ TEST(ServeEngineTest, WarmStartSkipsCorruptArtifacts) {
   QueryEngine engine;
   engine.RegisterDataset("d", query, kBounds);
   const auto load = engine.LoadCache(dir);
-  EXPECT_TRUE(load.error.empty()) << load.error;
+  EXPECT_TRUE(load.status.ok()) << load.status.ToString();
   EXPECT_EQ(load.failed, 1u);
   EXPECT_GE(load.loaded, 2u);
   // The engine still answers correctly, rebuilding what was damaged.
@@ -682,7 +679,8 @@ TEST(ServeEngineTest, WarmStartSkipsCorruptArtifacts) {
 TEST(ServeEngineTest, LoadCacheReportsMissingDirectory) {
   QueryEngine engine;
   const auto load = engine.LoadCache(TmpDir("missing"));
-  EXPECT_FALSE(load.error.empty());
+  EXPECT_FALSE(load.status.ok());
+  EXPECT_EQ(load.status.code(), StatusCode::kIoError);
   EXPECT_EQ(load.loaded, 0u);
 }
 

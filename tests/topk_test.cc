@@ -15,7 +15,7 @@ MolqQuery RandomQuery(const std::vector<size_t>& sizes, uint64_t seed) {
   MolqQuery query;
   for (size_t s = 0; s < sizes.size(); ++s) {
     ObjectSet set;
-    set.name = "type" + std::to_string(s);
+    set.name = std::string("type") += std::to_string(s);
     const double type_weight = rng.Uniform(0.5, 5.0);
     for (size_t i = 0; i < sizes[s]; ++i) {
       SpatialObject obj;
@@ -69,7 +69,7 @@ TEST(TopKTest, TopOneMatchesSolveMolq) {
   const MolqQuery q = RandomQuery({4, 4, 4}, 401);
   MolqOptions opts;
   opts.epsilon = 1e-6;
-  const auto top = SolveMolqTopK(q, kBounds, 1, opts);
+  const auto top = SolveMolqTopK(q, kBounds, 1, opts).ranked;
   ASSERT_EQ(top.size(), 1u);
   const auto single = SolveMolq(q, kBounds, opts);
   EXPECT_NEAR(top[0].cost, single.cost, 1e-9);
@@ -79,7 +79,7 @@ TEST(TopKTest, ResultsAscendAndAreDistinctCombinations) {
   const MolqQuery q = RandomQuery({5, 5}, 402);
   MolqOptions opts;
   opts.epsilon = 1e-6;
-  const auto top = SolveMolqTopK(q, kBounds, 5, opts);
+  const auto top = SolveMolqTopK(q, kBounds, 5, opts).ranked;
   ASSERT_EQ(top.size(), 5u);
   for (size_t i = 1; i < top.size(); ++i) {
     EXPECT_LE(top[i - 1].cost, top[i].cost);
@@ -93,7 +93,7 @@ TEST(TopKTest, MatchesExhaustiveRankingOnCoveredCombinations) {
   const MolqQuery q = RandomQuery({3, 3, 3}, 403);
   MolqOptions opts;
   opts.epsilon = 1e-8;
-  const auto top = SolveMolqTopK(q, kBounds, 4, opts);
+  const auto top = SolveMolqTopK(q, kBounds, 4, opts).ranked;
   const auto all = AllCombinationCosts(q, 1e-8);
   ASSERT_GE(top.size(), 1u);
   EXPECT_NEAR(top[0].cost, all[0], 1e-4 * all[0] + 1e-9);
@@ -113,7 +113,7 @@ TEST(TopKTest, KLargerThanCombinationsReturnsAll) {
   const MolqQuery q = RandomQuery({2, 2}, 404);
   MolqOptions opts;
   opts.epsilon = 1e-6;
-  const auto top = SolveMolqTopK(q, kBounds, 100, opts);
+  const auto top = SolveMolqTopK(q, kBounds, 100, opts).ranked;
   // The MOVD only materialises co-occurring combinations, so the count is
   // at most 4 and at least 1.
   EXPECT_GE(top.size(), 1u);
@@ -148,7 +148,7 @@ TEST(TopKTest, TiedKthPlusOneIsNotPruned) {
   const MolqQuery q = TiedPairQuery();
   MolqOptions opts;
   opts.epsilon = 1e-6;
-  const auto top1 = SolveMolqTopK(q, kBounds, 1, opts);
+  const auto top1 = SolveMolqTopK(q, kBounds, 1, opts).ranked;
   ASSERT_EQ(top1.size(), 1u);
   EXPECT_EQ(top1[0].cost, 5.0);
 }
@@ -157,7 +157,7 @@ TEST(TopKTest, BothTiedGroupsAreRetained) {
   const MolqQuery q = TiedPairQuery();
   MolqOptions opts;
   opts.epsilon = 1e-6;
-  const auto top = SolveMolqTopK(q, kBounds, 2, opts);
+  const auto top = SolveMolqTopK(q, kBounds, 2, opts).ranked;
   ASSERT_EQ(top.size(), 2u);
   EXPECT_EQ(top[0].cost, 5.0);
   EXPECT_EQ(top[1].cost, 5.0);
@@ -171,7 +171,7 @@ TEST(TopKTest, RanksBeyondTheTieStayOrdered) {
   const MolqQuery q = TiedPairQuery();
   MolqOptions opts;
   opts.epsilon = 1e-6;
-  const auto top = SolveMolqTopK(q, kBounds, 4, opts);
+  const auto top = SolveMolqTopK(q, kBounds, 4, opts).ranked;
   // (A, D) co-occurs nowhere in the overlap, so at most 3 combinations
   // materialise; the two tied at 5 must lead.
   ASSERT_GE(top.size(), 2u);
@@ -188,8 +188,8 @@ TEST(TopKTest, MbrbAgreesWithRrbOnTopCosts) {
   rrb.epsilon = 1e-6;
   MolqOptions mbrb = rrb;
   mbrb.algorithm = MolqAlgorithm::kMbrb;
-  const auto a = SolveMolqTopK(q, kBounds, 3, rrb);
-  const auto b = SolveMolqTopK(q, kBounds, 3, mbrb);
+  const auto a = SolveMolqTopK(q, kBounds, 3, rrb).ranked;
+  const auto b = SolveMolqTopK(q, kBounds, 3, mbrb).ranked;
   ASSERT_GE(a.size(), 1u);
   ASSERT_GE(b.size(), 1u);
   // The winner must agree; deeper ranks may differ because MBRB's false

@@ -19,7 +19,7 @@ MolqQuery WeightedQuery(uint64_t seed) {
   MolqQuery query;
   for (int s = 0; s < 2; ++s) {
     ObjectSet set;
-    set.name = "t" + std::to_string(s);
+    set.name = std::string("t") += std::to_string(s);
     for (int i = 0; i < 6; ++i) {
       SpatialObject obj;
       obj.location = {rng.Uniform(10, 90), rng.Uniform(10, 90)};
@@ -80,7 +80,7 @@ TEST_P(WeightedAgreementTest, RrbOnWeightedDiagramsMatchesSscAndGrid) {
   const MolqQuery q = WeightedQuery(GetParam());
   MolqOptions opts;
   opts.epsilon = 1e-6;
-  opts.weighted_grid_resolution = 96;
+  opts.exec.weighted_grid_resolution = 96;
   opts.algorithm = MolqAlgorithm::kSsc;
   const auto ssc = SolveMolq(q, kBounds, opts);
   opts.algorithm = MolqAlgorithm::kRrb;

@@ -26,6 +26,13 @@ know about (see DESIGN.md section 7):
   entry-check-msg   Listed public pipeline entry points must validate their
                     arguments with MOVD_CHECK_MSG (message-carrying checks)
                     near the top of the definition.
+  raw-chrono        No raw std::chrono clock reads (steady_clock::now() and
+                    friends) in src/: all timing flows through
+                    util/stopwatch.h (one monotonic time base shared by
+                    stats, trace spans, and serve latency histograms) or
+                    util/cancel.h (deadline arithmetic). A second ad-hoc
+                    clock drifts against trace timestamps and cannot be
+                    faked in tests.
 
 False positives are suppressed through tools/lint_allowlist.txt; each entry
 is `rule|path-suffix|line-substring` plus a mandatory trailing comment
@@ -60,6 +67,9 @@ UNORDERED_DECL_RE = re.compile(
 SORT_RE = re.compile(r"std::(?:stable_)?sort\s*\(")
 ABORT_RE = re.compile(r"(?<![\w.])(?:std::)?(?:abort|exit)\s*\(")
 TODO_RE = re.compile(r"//.*\b(TODO|FIXME|XXX|HACK)\b")
+RAW_CHRONO_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock|Clock)\s*::\s*"
+    r"now\s*\(")
 
 # entry-check-msg: (file-suffix, function) pairs; the definition must call
 # MOVD_CHECK_MSG within its first 15 lines.
@@ -236,6 +246,12 @@ def lint_file(root, rel_path, findings):
             findings.append(Finding(
                 "naked-abort", rel_path, i, raw,
                 "abort()/exit() outside src/util/check.h; use MOVD_CHECK"))
+
+        if RAW_CHRONO_RE.search(code):
+            findings.append(Finding(
+                "raw-chrono", rel_path, i, raw,
+                "raw chrono clock read; time through util/stopwatch.h "
+                "(or util/cancel.h for deadlines)"))
 
 
 def lint_entry_points(root, findings):

@@ -192,9 +192,9 @@ int Main(int argc, char** argv) {
         }
 
         MolqOptions options;
-        options.audit = true;
-        options.threads = threads;
-        options.weighted_grid_resolution = resolution;
+        options.exec.audit = true;
+        options.exec.threads = threads;
+        options.exec.weighted_grid_resolution = resolution;
         for (const MolqAlgorithm algo :
              {MolqAlgorithm::kRrb, MolqAlgorithm::kMbrb}) {
           options.algorithm = algo;
@@ -202,11 +202,11 @@ int Main(int argc, char** argv) {
           Tally* t = algo == MolqAlgorithm::kRrb ? &t_pipeline_rrb
                                                  : &t_pipeline_mbrb;
           ++t->runs;
-          t->checks += result.stats.audit_checks;
-          t->violations += result.stats.audit_violations.size();
+          t->checks += result.audit.checks();
+          t->violations += result.audit.violations().size();
           const std::string where = AuditStrFormat(
               "seed=%d n=%d weights=%s", seed, size, WeightModeName(mode));
-          for (const std::string& msg : result.stats.audit_violations) {
+          for (const std::string& msg : result.audit.Messages()) {
             if (t->samples.size() >= kMaxSampleMessages) break;
             t->samples.push_back(where + ": " + msg);
           }

@@ -5,7 +5,11 @@
 //       [--layers=3] [--count=400] [--world=10000] [--seed=1]
 //       [--inputs=a.csv,b.csv]
 //       [--cache_mb=256] [--workers=0] [--grid=128]
-//       [--warm_dir=DIR] [--save_warm]
+//       [--warm_dir=DIR] [--save_warm] [--trace=FILE]
+//
+// --trace=FILE traces every served request into one engine-wide trace and
+// writes it as Chrome trace_event JSON (chrome://tracing, Perfetto) on
+// shutdown, plus an aggregated per-phase table on stderr.
 //
 // Always registers a synthetic dataset named "synthetic" (`--layers` object
 // sets of `--count` GeoNames-like points each); `--inputs` additionally
@@ -35,6 +39,7 @@
 #include "data/generate.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
+#include "trace/trace.h"
 #include "util/flags.h"
 
 namespace {
@@ -122,9 +127,10 @@ bool ServeOneLine(QueryEngine* engine, const std::string& line,
                   std::string* out, bool* close_conn) {
   ServeVerb verb = ServeVerb::kPing;
   ServeRequest request;
-  std::string error;
-  if (!ParseRequestLine(line, &verb, &request, &error)) {
-    *out = "ERR - INVALID_REQUEST " + error;
+  const Status parsed = ParseRequestLine(line, &verb, &request);
+  if (!parsed.ok()) {
+    *out = "ERR - " + std::string(StatusCodeName(parsed.code())) + " " +
+           parsed.message();
     return false;
   }
   switch (verb) {
@@ -264,8 +270,11 @@ int Main(int argc, char** argv) {
   options.cache_bytes = static_cast<size_t>(flags.GetInt("cache_mb", 256))
                         << 20;
   options.workers = static_cast<int>(flags.GetInt("workers", 0));
-  options.weighted_grid_resolution =
+  options.exec.weighted_grid_resolution =
       static_cast<int>(flags.GetInt("grid", 128));
+  const std::string trace_path = flags.GetString("trace", "");
+  Trace trace;
+  if (!trace_path.empty()) options.exec.trace = &trace;
   QueryEngine engine(options);
 
   const int layers = static_cast<int>(flags.GetInt("layers", 3));
@@ -283,8 +292,9 @@ int Main(int argc, char** argv) {
 
   if (!warm_dir.empty()) {
     const auto r = engine.LoadCache(warm_dir);
-    if (!r.error.empty()) {
-      std::fprintf(stderr, "movd_serve: warm start: %s\n", r.error.c_str());
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "movd_serve: warm start: %s\n",
+                   r.status.ToString().c_str());
     } else {
       std::fprintf(stderr,
                    "movd_serve: warm start loaded %zu artifacts"
@@ -304,17 +314,28 @@ int Main(int argc, char** argv) {
     if (warm_dir.empty()) {
       std::fprintf(stderr, "movd_serve: --save_warm needs --warm_dir\n");
     } else {
-      std::string error;
-      if (engine.SaveCache(warm_dir, &error)) {
+      const Status saved = engine.SaveCache(warm_dir);
+      if (saved.ok()) {
         std::fprintf(stderr, "movd_serve: saved cache snapshot to %s\n",
                      warm_dir.c_str());
       } else {
         std::fprintf(stderr, "movd_serve: cache snapshot failed: %s\n",
-                     error.c_str());
+                     saved.ToString().c_str());
       }
     }
   }
   engine.DumpMetrics(stderr);
+  if (!trace_path.empty()) {
+    const Status written = trace.WriteChromeJson(trace_path);
+    if (written.ok()) {
+      std::fprintf(stderr, "movd_serve: trace written to %s\n",
+                   trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "movd_serve: trace write failed: %s\n",
+                   written.ToString().c_str());
+    }
+    trace.PrintPhaseTable(stderr);
+  }
   return rc;
 }
 
