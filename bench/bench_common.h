@@ -6,16 +6,21 @@
 #include <string>
 #include <vector>
 
+#include "bench_lib/bench.h"
 #include "core/molq.h"
 #include "core/object.h"
 #include "data/generate.h"
 #include "geom/rect.h"
-#include "trace/trace.h"
-#include "util/flags.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace movd::bench {
+
+/// Workload builders shared by the harnessed bench binaries. Everything
+/// the binaries used to hand-roll around these — flag parsing, warmup /
+/// repetition policy, tracing, JSON emission — lives in the harness
+/// (src/bench_lib, DESIGN.md §10) now; this header only makes paper-shaped
+/// inputs.
 
 /// The search space used by every harness (arbitrary units; the paper's
 /// data is continental-scale but only relative geometry matters).
@@ -64,50 +69,6 @@ inline std::vector<Movd> MakeBasicMovds(const std::vector<size_t>& sizes,
   return out;
 }
 
-/// Shared --threads flag for the harnesses: 1 (default) reproduces the
-/// paper's serial figures, N > 1 opts into the parallel pipeline, 0 means
-/// one thread per hardware thread. Results are identical for every value.
-inline int ThreadsFlag(const Flags& flags) {
-  return static_cast<int>(flags.GetInt("threads", 1));
-}
-
-/// Shared --trace=<file> flag for the harnesses. Construct one at the top
-/// of Main: while it is alive, trace() is the span sink to pass through
-/// ExecOptions (null when the flag is absent — tracing then costs one
-/// thread-local null check per span), and ambient context is installed on
-/// the calling thread so bare library calls (Overlap in the fig11–14
-/// harnesses) are captured too. At scope exit the trace is written as
-/// Chrome trace_event JSON and an aggregated per-phase table goes to
-/// stderr. Tracing never changes any measured answer.
-class BenchTrace {
- public:
-  explicit BenchTrace(const Flags& flags)
-      : path_(flags.GetString("trace", "")),
-        scope_(path_.empty() ? nullptr : &trace_) {}
-
-  BenchTrace(const BenchTrace&) = delete;
-  BenchTrace& operator=(const BenchTrace&) = delete;
-
-  ~BenchTrace() {
-    if (path_.empty()) return;
-    const Status written = trace_.WriteChromeJson(path_);
-    if (written.ok()) {
-      std::fprintf(stderr, "wrote trace to %s\n", path_.c_str());
-    } else {
-      std::fprintf(stderr, "trace write failed: %s\n",
-                   written.ToString().c_str());
-    }
-    trace_.PrintPhaseTable(stderr);
-  }
-
-  Trace* trace() { return path_.empty() ? nullptr : &trace_; }
-
- private:
-  std::string path_;
-  Trace trace_;
-  TraceContextScope scope_;
-};
-
 /// Parses a comma-separated size list (bench --sizes flags).
 inline std::vector<size_t> ParseSizes(const std::string& csv) {
   std::vector<size_t> sizes;
@@ -119,6 +80,26 @@ inline std::vector<size_t> ParseSizes(const std::string& csv) {
     pos = comma + 1;
   }
   return sizes;
+}
+
+/// Parses a comma-separated double list (bench --epsilons flags).
+inline std::vector<double> ParseDoubles(const std::string& csv) {
+  std::vector<double> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    out.push_back(std::strtod(csv.c_str() + pos, nullptr));
+    const size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Compact %g formatting for case names ("eps=0.001", "keep=0.05").
+inline std::string FmtG(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
 }
 
 /// Human-readable byte count.

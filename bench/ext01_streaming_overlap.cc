@@ -3,45 +3,40 @@
 // wall time and the peak number of resident OVRs — the streaming pipeline
 // holds only the sweep-active OVRs regardless of input size.
 //
-// Flags: --sizes=1000,4000,16000  --budget_kb=256  --seed=1  --threads=1
+// Harnessed (DESIGN.md §10): per size there are three measured cases —
+// the in-memory sweep, the external sort, and the streaming sweep over the
+// sorted runs (save/cleanup of the scratch files is unmeasured setup).
+// Extra flags: --sizes=1000,4000,16000  --budget_kb=256  --tmpdir=/tmp.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "util/check.h"
 #include "storage/external_sort.h"
 #include "storage/movd_file.h"
 #include "storage/streaming_overlap.h"
-#include "util/flags.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
+#include "util/check.h"
 
 namespace movd::bench {
-namespace {
 
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const auto sizes = ParseSizes(flags.GetString("sizes", "1000,4000,16000"));
+BENCH(ext01_streaming_overlap) {
+  const auto sizes =
+      ParseSizes(ctx.flags().GetString("sizes", "1000,4000,16000"));
   const size_t budget =
-      static_cast<size_t>(flags.GetInt("budget_kb", 256)) << 10;
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const std::string dir = flags.GetString("tmpdir", "/tmp");
-  const int threads = ThreadsFlag(flags);
-  flags.WarnUnused(stderr);
-
-  std::printf("Extension: disk-based streaming overlap (sorted runs under a "
-              "%s sort budget) vs in-memory sweep, RRB mode\n\n",
-              FormatBytes(budget).c_str());
-  Table table({"objects/type", "in-mem(s)", "stream total(s)", "sort(s)",
-               "sweep(s)", "input OVRs", "peak resident OVRs",
-               "peak resident bytes"});
+      static_cast<size_t>(ctx.flags().GetInt("budget_kb", 256)) << 10;
+  const std::string dir = ctx.flags().GetString("tmpdir", "/tmp");
   for (const size_t n : sizes) {
-    const auto basic = MakeBasicMovds({n, n}, seed, threads);
+    const auto basic = MakeBasicMovds({n, n}, ctx.seed(), ctx.threads());
+    const std::string suffix = "/n=" + std::to_string(n);
 
-    Stopwatch sw;
-    const Movd in_memory =
-        Overlap(basic[0], basic[1], BoundaryMode::kRealRegion);
-    const double mem_s = sw.ElapsedSeconds();
+    BenchCase& mem = ctx.Case("inmem" + suffix).Param("n", n);
+    size_t mem_ovrs = 0;
+    ctx.Measure(mem, [&] {
+      const Movd out = Overlap(basic[0], basic[1],
+                               BoundaryMode::kRealRegion);
+      mem_ovrs = out.ovrs.size();
+      Keep(mem_ovrs);
+    });
+    mem.Metric("ovrs", static_cast<double>(mem_ovrs));
 
     const std::string pa = dir + "/movd_a.bin", pb = dir + "/movd_b.bin";
     const std::string sa = dir + "/movd_a_sorted.bin";
@@ -50,30 +45,36 @@ int Main(int argc, char** argv) {
     MOVD_CHECK(SaveMovd(pa, basic[0]).ok());
     MOVD_CHECK(SaveMovd(pb, basic[1]).ok());
 
-    sw.Reset();
-    ExternalSortMovdFile(pa, sa, budget);
-    ExternalSortMovdFile(pb, sb, budget);
-    const double sort_s = sw.ElapsedSeconds();
+    BenchCase& sort = ctx.Case("sort" + suffix)
+                          .Param("n", n)
+                          .Param("budget_bytes", budget);
+    ctx.Measure(sort, [&] {
+      ExternalSortMovdFile(pa, sa, budget);
+      ExternalSortMovdFile(pb, sb, budget);
+    });
 
+    BenchCase& sweep = ctx.Case("sweep" + suffix)
+                           .Param("n", n)
+                           .Param("budget_bytes", budget);
     StreamingOverlapStats stats;
-    sw.Reset();
-    StreamingOverlap(sa, sb, BoundaryMode::kRealRegion, out, &stats);
-    const double sweep_s = sw.ElapsedSeconds();
+    ctx.Measure(sweep, [&] {
+      stats = StreamingOverlapStats();
+      StreamingOverlap(sa, sb, BoundaryMode::kRealRegion, out, &stats);
+    });
+    sweep.Metric("input_ovrs", static_cast<double>(basic[0].ovrs.size() +
+                                                   basic[1].ovrs.size()));
+    sweep.Metric("peak_active_ovrs",
+                 static_cast<double>(stats.peak_active_ovrs));
+    sweep.Metric("peak_active_bytes",
+                 static_cast<double>(stats.peak_active_bytes));
+    sweep.Derived("stream_over_inmem",
+                  (sort.wall().median + sweep.wall().median) /
+                      mem.wall().median);
 
-    table.AddRow({std::to_string(n), Table::Fmt(mem_s, 3),
-                  Table::Fmt(sort_s + sweep_s, 3), Table::Fmt(sort_s, 3),
-                  Table::Fmt(sweep_s, 3),
-                  std::to_string(basic[0].ovrs.size() + basic[1].ovrs.size()),
-                  std::to_string(stats.peak_active_ovrs),
-                  FormatBytes(stats.peak_active_bytes)});
     for (const auto& p : {pa, pb, sa, sb, out}) std::remove(p.c_str());
-    (void)in_memory;
   }
-  table.Print(stdout);
-  return 0;
 }
 
-}  // namespace
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("ext01_streaming_overlap")

@@ -2,65 +2,66 @@
 // combinations during MOVD overlapping): the combination-pruning overlap
 // vs the plain pipeline, for RRB and MBRB at 3 and 4 object types.
 //
-// Flags: --sizes=16,32,64  --epsilon=1e-3  --seed=1  --threads=1
-
-#include <cstdio>
+// Harnessed (DESIGN.md §10). Extra flags: --sizes=16,32,64 --epsilon=1e-3.
 
 #include "bench/bench_common.h"
-#include "util/flags.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
 
 namespace movd::bench {
-namespace {
 
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const auto sizes = ParseSizes(flags.GetString("sizes", "16,32,64"));
-  const double epsilon = flags.GetDouble("epsilon", 1e-3);
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const int threads = ThreadsFlag(flags);
-  flags.WarnUnused(stderr);
-
-  std::printf("Extension: combination pruning during overlap "
-              "(epsilon=%g, threads=%d)\n\n", epsilon, threads);
-  Table table({"types", "objects", "algo", "plain(s)", "pruned(s)",
-               "plain OVRs", "pruned OVRs", "cut"});
+BENCH(ext02_overlap_pruning) {
+  const auto sizes = ParseSizes(ctx.flags().GetString("sizes", "16,32,64"));
+  const double epsilon = ctx.flags().GetDouble("epsilon", 1e-3);
   for (const size_t types : {3u, 4u}) {
     for (const size_t n : sizes) {
-      const MolqQuery query = MakeQuery(std::vector<size_t>(types, n), seed);
+      const MolqQuery query =
+          MakeQuery(std::vector<size_t>(types, n), ctx.seed());
       for (const auto& [algo, name] :
-           {std::pair{MolqAlgorithm::kRrb, "RRB"},
-            std::pair{MolqAlgorithm::kMbrb, "MBRB"}}) {
+           {std::pair{MolqAlgorithm::kRrb, "rrb"},
+            std::pair{MolqAlgorithm::kMbrb, "mbrb"}}) {
+        const std::string suffix = std::string("/") + name + "/types=" +
+                                   std::to_string(types) + "/n=" +
+                                   std::to_string(n);
         MolqOptions opts;
         opts.algorithm = algo;
         opts.epsilon = epsilon;
-        opts.exec.threads = threads;
-        Stopwatch sw;
-        const MolqResult plain = SolveMolq(query, kWorld, opts);
-        const double plain_s = sw.ElapsedSeconds();
+        opts.exec = ctx.MakeExec();
+
+        BenchCase& plain = ctx.Case("plain" + suffix)
+                               .Param("algo", name)
+                               .Param("types", types)
+                               .Param("n", n);
+        MolqResult plain_r;
+        const Summary& plain_wall = ctx.Measure(
+            plain, [&] { plain_r = SolveMolq(query, kWorld, opts); });
+        plain.Metric("cost", plain_r.cost);
+        plain.Metric("final_ovrs",
+                     static_cast<double>(plain_r.stats.final_ovrs));
+
         opts.use_overlap_pruning = true;
-        sw.Reset();
-        const MolqResult pruned = SolveMolq(query, kWorld, opts);
-        const double pruned_s = sw.ElapsedSeconds();
+        BenchCase& pruned = ctx.Case("pruned" + suffix)
+                                .Param("algo", name)
+                                .Param("types", types)
+                                .Param("n", n);
+        MolqResult pruned_r;
+        const Summary& pruned_wall = ctx.Measure(
+            pruned, [&] { pruned_r = SolveMolq(query, kWorld, opts); });
+        pruned.Metric("cost", pruned_r.cost);
+        pruned.Metric("final_ovrs",
+                      static_cast<double>(pruned_r.stats.final_ovrs));
         const double cut =
-            plain.stats.final_ovrs == 0
+            plain_r.stats.final_ovrs == 0
                 ? 0.0
-                : 100.0 * (1.0 - static_cast<double>(pruned.stats.final_ovrs) /
-                                     plain.stats.final_ovrs);
-        table.AddRow({std::to_string(types), std::to_string(n), name,
-                      Table::Fmt(plain_s, 3), Table::Fmt(pruned_s, 3),
-                      std::to_string(plain.stats.final_ovrs),
-                      std::to_string(pruned.stats.final_ovrs),
-                      Table::Fmt(cut, 1) + "%"});
+                : 100.0 * (1.0 -
+                           static_cast<double>(pruned_r.stats.final_ovrs) /
+                               static_cast<double>(plain_r.stats.final_ovrs));
+        pruned.Derived("ovr_cut_pct", cut);
+        pruned.Derived("speedup_vs_plain",
+                       plain_wall.median / pruned_wall.median);
       }
     }
   }
-  table.Print(stdout);
-  return 0;
 }
 
-}  // namespace
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("ext02_overlap_pruning")

@@ -3,103 +3,114 @@
 // update. Also compares the static cell-construction strategies
 // (kNN-expansion vs Delaunay) used by the VD Generator.
 //
-// Flags: --sizes=500,2000,8000  --updates=64  --seed=1  --threads=1
-
-#include <cstdio>
+// Harnessed (DESIGN.md §10). Each repetition of the repair case constructs
+// a fresh DynamicVoronoi and replays the same scripted update sequence
+// (reseeded Rng per repetition keeps it deterministic), so the repair
+// timing includes the initial construction — compare against the build_*
+// cases to separate the two. The rebuild baseline fans the per-update full
+// rebuilds across --threads workers as before the migration.
+// Extra flags: --sizes=500,2000,8000  --updates=64.
 
 #include "bench/bench_common.h"
-#include "util/flags.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
 #include "voronoi/dynamic.h"
 #include "voronoi/voronoi.h"
 
 namespace movd::bench {
-namespace {
 
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const auto sizes = ParseSizes(flags.GetString("sizes", "500,2000,8000"));
-  const size_t updates = static_cast<size_t>(flags.GetInt("updates", 64));
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const int threads = ThreadsFlag(flags);
-  flags.WarnUnused(stderr);
-
-  std::printf("Extension: dynamic Voronoi maintenance — %zu mixed updates, "
-              "local repair vs full rebuild per update (rebuilds use "
-              "--threads=%d)\n\n", updates, threads);
-  Table table({"sites", "build knn(s)", "build delaunay(s)",
-               "repair total(s)", "rebuild total(s)", "speedup/update"});
+BENCH(ext03_dynamic_voronoi) {
+  const auto sizes =
+      ParseSizes(ctx.flags().GetString("sizes", "500,2000,8000"));
+  const size_t updates =
+      static_cast<size_t>(ctx.flags().GetInt("updates", 64));
   for (const size_t n : sizes) {
-    Rng rng(seed);
+    Rng rng(ctx.seed());
     std::vector<Point> pts;
     for (size_t i = 0; i < n; ++i) {
       pts.push_back({rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
     }
+    const std::string suffix = "/n=" + std::to_string(n);
 
-    Stopwatch sw;
-    const auto knn = VoronoiDiagram::Build(
-        pts, kWorld, VoronoiDiagram::Strategy::kNearestNeighbor);
-    const double knn_s = sw.ElapsedSeconds();
-    sw.Reset();
-    const auto del = VoronoiDiagram::Build(
-        pts, kWorld, VoronoiDiagram::Strategy::kDelaunay);
-    const double del_s = sw.ElapsedSeconds();
-    (void)knn;
-    (void)del;
+    BenchCase& knn = ctx.Case("build_knn" + suffix).Param("n", n);
+    size_t knn_cells = 0;
+    ctx.Measure(knn, [&] {
+      const auto vd = VoronoiDiagram::Build(
+          pts, kWorld, VoronoiDiagram::Strategy::kNearestNeighbor);
+      knn_cells = vd.cells().size();
+      Keep(knn_cells);
+    });
+    knn.Metric("cells", static_cast<double>(knn_cells));
 
-    // Dynamic updates: alternate insertions and removals.
-    DynamicVoronoi dyn(pts, kWorld);
-    std::vector<int32_t> live = dyn.LiveSites();
-    sw.Reset();
-    for (size_t u = 0; u < updates; ++u) {
-      if (u % 2 == 0) {
-        const auto id =
-            dyn.InsertSite({rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
-        if (id.has_value()) live.push_back(*id);
-      } else if (!live.empty()) {
-        const size_t pick = rng.NextBelow(live.size());
-        dyn.RemoveSite(live[pick]);
-        live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    BenchCase& del = ctx.Case("build_delaunay" + suffix).Param("n", n);
+    size_t del_cells = 0;
+    ctx.Measure(del, [&] {
+      const auto vd = VoronoiDiagram::Build(
+          pts, kWorld, VoronoiDiagram::Strategy::kDelaunay);
+      del_cells = vd.cells().size();
+      Keep(del_cells);
+    });
+    del.Metric("cells", static_cast<double>(del_cells));
+
+    // Dynamic updates: alternate insertions and removals, rebuilt and
+    // replayed identically every repetition.
+    BenchCase& repair = ctx.Case("repair" + suffix)
+                            .Param("n", n)
+                            .Param("updates", updates);
+    size_t live_after = 0;
+    ctx.Measure(repair, [&] {
+      Rng update_rng(ctx.seed() + 1);
+      DynamicVoronoi dyn(pts, kWorld);
+      std::vector<int32_t> live = dyn.LiveSites();
+      for (size_t u = 0; u < updates; ++u) {
+        if (u % 2 == 0) {
+          const auto id = dyn.InsertSite({update_rng.Uniform(0, 10000),
+                                          update_rng.Uniform(0, 10000)});
+          if (id.has_value()) live.push_back(*id);
+        } else if (!live.empty()) {
+          const size_t pick = update_rng.NextBelow(live.size());
+          dyn.RemoveSite(live[pick]);
+          live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+        }
       }
-    }
-    const double repair_s = sw.ElapsedSeconds();
+      live_after = live.size();
+      Keep(live_after);
+    });
+    repair.Metric("live_sites_after", static_cast<double>(live_after));
 
     // The baseline: rebuild the whole diagram after each update. The
-    // post-update point sets are materialised first so the rebuilds
-    // themselves can fan out across --threads workers (each update's
-    // rebuild is independent; the timing covers rebuild work only, and the
+    // post-update point sets are materialised first (unmeasured) so the
+    // rebuilds themselves can fan out across --threads workers; the
     // repair-vs-rebuild speedup is reported against this parallel
-    // baseline).
+    // baseline.
     std::vector<std::vector<Point>> snapshots;
     snapshots.reserve(updates);
-    std::vector<Point> rebuild_pts = pts;
-    for (size_t u = 0; u < updates; ++u) {
-      if (u % 2 == 0) {
-        rebuild_pts.push_back(
-            {rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
-      } else if (!rebuild_pts.empty()) {
-        rebuild_pts.pop_back();
+    {
+      Rng update_rng(ctx.seed() + 1);
+      std::vector<Point> rebuild_pts = pts;
+      for (size_t u = 0; u < updates; ++u) {
+        if (u % 2 == 0) {
+          rebuild_pts.push_back({update_rng.Uniform(0, 10000),
+                                 update_rng.Uniform(0, 10000)});
+        } else if (!rebuild_pts.empty()) {
+          rebuild_pts.pop_back();
+        }
+        snapshots.push_back(rebuild_pts);
       }
-      snapshots.push_back(rebuild_pts);
     }
-    sw.Reset();
-    ParallelFor(threads, snapshots.size(), [&](size_t u) {
-      const auto vd = VoronoiDiagram::Build(snapshots[u], kWorld);
-      (void)vd;
+    BenchCase& rebuild = ctx.Case("rebuild" + suffix)
+                             .Param("n", n)
+                             .Param("updates", updates);
+    const Summary& rebuild_wall = ctx.Measure(rebuild, [&] {
+      ParallelFor(ctx.threads(), snapshots.size(), [&](size_t u) {
+        const auto vd = VoronoiDiagram::Build(snapshots[u], kWorld);
+        Keep(vd.cells().size());
+      });
     });
-    const double rebuild_s = sw.ElapsedSeconds();
-
-    table.AddRow({std::to_string(n), Table::Fmt(knn_s, 3),
-                  Table::Fmt(del_s, 3), Table::Fmt(repair_s, 3),
-                  Table::Fmt(rebuild_s, 3),
-                  Table::Fmt(rebuild_s / std::max(repair_s, 1e-9), 0) + "x"});
+    rebuild.Derived("rebuild_over_repair",
+                    rebuild_wall.median /
+                        std::max(repair.wall().median, 1e-9));
   }
-  table.Print(stdout);
-  return 0;
 }
 
-}  // namespace
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("ext03_dynamic_voronoi")

@@ -2,35 +2,23 @@
 // network size and the cost gap between the Euclidean optimum (snapped to
 // the roads) and the true network optimum, as the network gets sparser.
 //
-// Flags: --vertices=500,2000,8000  --seed=1  --threads=1
-
-#include <cstdio>
+// Harnessed (DESIGN.md §10): the measured body is the network solve alone;
+// the Euclidean solve + snapping that produce the gap Metrics run once as
+// unmeasured setup. Extra flags: --vertices=500,2000,8000.
 
 #include "bench/bench_common.h"
 #include "network/graph.h"
 #include "network/network_molq.h"
-#include "util/flags.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
 
 namespace movd::bench {
-namespace {
 
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const auto sizes = ParseSizes(flags.GetString("vertices", "500,2000,8000"));
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const int threads = ThreadsFlag(flags);
-  flags.WarnUnused(stderr);
-
-  std::printf("Extension: network MOLQ — exact vertex optimum via one "
-              "multi-source Dijkstra per type (3 types, 8 objects each)\n\n");
-  Table table({"vertices", "density", "solve(s)", "network cost",
-               "snapped-Euclidean cost", "gap"});
+BENCH(ext04_network_molq) {
+  const auto sizes =
+      ParseSizes(ctx.flags().GetString("vertices", "500,2000,8000"));
   for (const size_t n : sizes) {
     for (const double keep : {0.05, 0.5, 1.0}) {
-      const RoadNetwork net = RandomRoadNetwork(n, kWorld, keep, seed);
-      Rng rng(seed + 7);
+      const RoadNetwork net = RandomRoadNetwork(n, kWorld, keep, ctx.seed());
+      Rng rng(ctx.seed() + 7);
       MolqQuery query;
       std::vector<NetworkObjectSet> sets(3);
       for (size_t s = 0; s < 3; ++s) {
@@ -47,13 +35,17 @@ int Main(int argc, char** argv) {
         query.sets.push_back(std::move(planar));
       }
 
-      Stopwatch sw;
-      const NetworkMolqResult network = SolveNetworkMolq(net, sets);
-      const double solve_s = sw.ElapsedSeconds();
+      BenchCase& c = ctx.Case("solve/v=" + std::to_string(n) +
+                              "/keep=" + FmtG(keep))
+                         .Param("vertices", n)
+                         .Param("keep", keep);
+      NetworkMolqResult network;
+      ctx.Measure(c, [&] { network = SolveNetworkMolq(net, sets); });
+      c.Metric("network_cost", network.cost);
 
       MolqOptions opts;
       opts.epsilon = 1e-6;
-      opts.exec.threads = threads;
+      opts.exec = ctx.MakeExec();
       const MolqResult euclid = SolveMolq(query, kWorld, opts);
       const int32_t snapped = net.NearestVertex(euclid.location);
       double snapped_cost = 0.0;
@@ -61,20 +53,12 @@ int Main(int argc, char** argv) {
         const auto dist = NearestSourceDistances(net, set.vertices);
         snapped_cost += set.type_weight * dist[snapped];
       }
-
-      table.AddRow({std::to_string(n), Table::Fmt(keep, 2),
-                    Table::Fmt(solve_s, 3), Table::Fmt(network.cost, 0),
-                    Table::Fmt(snapped_cost, 0),
-                    Table::Fmt(100.0 * (snapped_cost / network.cost - 1.0),
-                               1) +
-                        "%"});
+      c.Metric("snapped_euclidean_cost", snapped_cost);
+      c.Derived("gap_pct", 100.0 * (snapped_cost / network.cost - 1.0));
     }
   }
-  table.Print(stdout);
-  return 0;
 }
 
-}  // namespace
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("ext04_network_molq")

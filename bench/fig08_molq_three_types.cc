@@ -2,114 +2,121 @@
 // execution time of SSC vs RRB vs MBRB as the per-type object count grows.
 // The cost-bound approach is enabled in all three solvers, as in the paper.
 //
-// Flags: --sizes=16,32,64,128,256  --epsilon=1e-3  --seed=1  --threads=1
-//        --audit (run the invariant auditors inside every solve)
-//        --trace=out.json (Chrome trace_event span trace of every solve)
-// With --threads=N > 1 a second table reports the end-to-end speedup of
-// the parallel pipeline over the serial baseline (identical answers).
+// Harnessed (DESIGN.md §10): bench::RunMain owns warmup/repetitions/seeding
+// and emits BENCH_fig08_molq_three_types.json. Extra flags beyond the
+// shared set: --sizes=16,32,64,128,256  --epsilon=1e-3.
+// With --threads=N > 1 the fig08_parallel bench adds serial-vs-parallel
+// cases and asserts bit-identical answers across thread counts.
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "util/check.h"
-#include "util/flags.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
 
 namespace movd::bench {
 namespace {
 
-// --audit runs the structural invariant auditors (DESIGN.md §7) inside
-// every solve and aborts on the first violation; the timings then include
-// the audit passes, so use it for validation runs, not for figures.
-bool g_audit = false;
-Trace* g_trace = nullptr;
-
-double RunSolver(const MolqQuery& query, MolqAlgorithm algorithm,
-                 double epsilon, double* cost, int threads = 1) {
+// Solves once with the harness's ExecOptions (threads/audit/trace); with
+// --audit the invariant auditors (DESIGN.md §7) run inside the measured
+// solve and the first violation aborts, so audit runs are for validation,
+// not for figures.
+double SolveOnce(const BenchContext& ctx, const MolqQuery& query,
+                 MolqAlgorithm algorithm, double epsilon, int threads) {
   MolqOptions opts;
   opts.algorithm = algorithm;
   opts.epsilon = epsilon;
+  opts.exec = ctx.MakeExec();
   opts.exec.threads = threads;
-  opts.exec.audit = g_audit;
-  opts.exec.trace = g_trace;
-  Stopwatch sw;
   const MolqResult r = SolveMolq(query, kWorld, opts);
-  *cost = r.cost;
-  if (g_audit && !r.audit.ok()) {
+  if (opts.exec.audit && !r.audit.ok()) {
     for (const std::string& v : r.audit.Messages()) {
       std::fprintf(stderr, "audit violation: %s\n", v.c_str());
     }
     MOVD_CHECK_MSG(false, "--audit found invariant violations");
   }
-  return sw.ElapsedSeconds();
+  return r.cost;
 }
 
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const auto sizes =
-      ParseSizes(flags.GetString("sizes", "16,32,64,128,256"));
-  const double epsilon = flags.GetDouble("epsilon", 1e-3);
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const int threads = ThreadsFlag(flags);
-  g_audit = flags.GetBool("audit", false);
-  BenchTrace bench_trace(flags);
-  g_trace = bench_trace.trace();
-  flags.WarnUnused(stderr);
-
-  std::printf("Fig. 8 — MOLQ, three object types {STM, CH, SCH}; "
-              "type weights U[0,10); epsilon=%g\n\n", epsilon);
-  Table table({"objects/type", "SSC(s)", "RRB(s)", "MBRB(s)", "RRB speedup",
-               "MBRB speedup", "cost agreement"});
-  for (const size_t n : sizes) {
-    const MolqQuery query = MakeQuery({n, n, n}, seed);
-    double ssc_cost = 0.0, rrb_cost = 0.0, mbrb_cost = 0.0;
-    const double ssc = RunSolver(query, MolqAlgorithm::kSsc, epsilon,
-                                 &ssc_cost);
-    const double rrb = RunSolver(query, MolqAlgorithm::kRrb, epsilon,
-                                 &rrb_cost);
-    const double mbrb = RunSolver(query, MolqAlgorithm::kMbrb, epsilon,
-                                  &mbrb_cost);
-    const double dev = std::max(std::abs(rrb_cost - ssc_cost),
-                                std::abs(mbrb_cost - ssc_cost)) /
-                       ssc_cost;
-    table.AddRow({std::to_string(n), Table::Fmt(ssc, 3), Table::Fmt(rrb, 3),
-                  Table::Fmt(mbrb, 3), Table::Fmt(ssc / rrb, 1) + "x",
-                  Table::Fmt(ssc / mbrb, 1) + "x",
-                  "dev=" + Table::Fmt(dev * 100, 4) + "%"});
-  }
-  table.Print(stdout);
-
-  if (threads > 1) {
-    std::printf("\nParallel pipeline — end-to-end serial vs %d threads "
-                "(answers are bit-identical)\n\n", threads);
-    Table par({"objects/type", "RRB 1thr(s)", "RRB Nthr(s)", "RRB speedup",
-               "MBRB 1thr(s)", "MBRB Nthr(s)", "MBRB speedup"});
-    for (const size_t n : sizes) {
-      const MolqQuery query = MakeQuery({n, n, n}, seed);
-      double c1 = 0.0, cn = 0.0;
-      const double rrb1 =
-          RunSolver(query, MolqAlgorithm::kRrb, epsilon, &c1, 1);
-      const double rrbn =
-          RunSolver(query, MolqAlgorithm::kRrb, epsilon, &cn, threads);
-      MOVD_CHECK(c1 == cn);  // determinism across thread counts
-      double m1 = 0.0, mn = 0.0;
-      const double mbrb1 =
-          RunSolver(query, MolqAlgorithm::kMbrb, epsilon, &m1, 1);
-      const double mbrbn =
-          RunSolver(query, MolqAlgorithm::kMbrb, epsilon, &mn, threads);
-      MOVD_CHECK(m1 == mn);
-      par.AddRow({std::to_string(n), Table::Fmt(rrb1, 3),
-                  Table::Fmt(rrbn, 3), Table::Fmt(rrb1 / rrbn, 2) + "x",
-                  Table::Fmt(mbrb1, 3), Table::Fmt(mbrbn, 3),
-                  Table::Fmt(mbrb1 / mbrbn, 2) + "x"});
-    }
-    par.Print(stdout);
-  }
-  return 0;
-}
+constexpr struct {
+  MolqAlgorithm algo;
+  const char* name;
+} kAlgos[] = {{MolqAlgorithm::kSsc, "ssc"},
+              {MolqAlgorithm::kRrb, "rrb"},
+              {MolqAlgorithm::kMbrb, "mbrb"}};
 
 }  // namespace
+
+BENCH(fig08_three_types) {
+  const auto sizes =
+      ParseSizes(ctx.flags().GetString("sizes", "16,32,64,128,256"));
+  const double epsilon = ctx.flags().GetDouble("epsilon", 1e-3);
+  for (const size_t n : sizes) {
+    const MolqQuery query = MakeQuery({n, n, n}, ctx.seed());
+    double ssc_median = 0.0;
+    double ssc_cost = 0.0;
+    for (const auto& [algo, name] : kAlgos) {
+      BenchCase& c = ctx.Case(std::string(name) + "/n=" + std::to_string(n))
+                         .Param("algo", name)
+                         .Param("n", n)
+                         .Param("epsilon", epsilon);
+      double cost = 0.0;
+      const Summary& wall = ctx.Measure(c, [&] {
+        cost = SolveOnce(ctx, query, algo, epsilon, ctx.threads());
+      });
+      c.Metric("cost", cost);
+      if (algo == MolqAlgorithm::kSsc) {
+        ssc_median = wall.median;
+        ssc_cost = cost;
+      } else {
+        c.Derived("speedup_vs_ssc", ssc_median / wall.median);
+        c.Derived("cost_dev_pct",
+                  100.0 * std::abs(cost - ssc_cost) / ssc_cost);
+      }
+    }
+  }
+}
+
+// Serial vs --threads=N pipeline on the same queries. Registered always,
+// populated only when --threads > 1 (single-threaded runs have nothing to
+// compare).
+BENCH(fig08_parallel) {
+  const int threads = ctx.threads();
+  if (threads <= 1) return;
+  const auto sizes =
+      ParseSizes(ctx.flags().GetString("sizes", "16,32,64,128,256"));
+  const double epsilon = ctx.flags().GetDouble("epsilon", 1e-3);
+  for (const size_t n : sizes) {
+    const MolqQuery query = MakeQuery({n, n, n}, ctx.seed());
+    for (const auto& [algo, name] : kAlgos) {
+      if (algo == MolqAlgorithm::kSsc) continue;
+      BenchCase& serial =
+          ctx.Case(std::string(name) + "/1thr/n=" + std::to_string(n))
+              .Param("algo", name)
+              .Param("n", n)
+              .Param("threads", static_cast<int64_t>(1));
+      double c1 = 0.0;
+      const Summary& w1 =
+          ctx.Measure(serial, [&] { c1 = SolveOnce(ctx, query, algo,
+                                                   epsilon, 1); });
+      serial.Metric("cost", c1);
+
+      BenchCase& par = ctx.Case(std::string(name) + "/" +
+                                std::to_string(threads) + "thr/n=" +
+                                std::to_string(n))
+                           .Param("algo", name)
+                           .Param("n", n)
+                           .Param("threads", static_cast<int64_t>(threads));
+      double cn = 0.0;
+      const Summary& wn = ctx.Measure(
+          par, [&] { cn = SolveOnce(ctx, query, algo, epsilon, threads); });
+      MOVD_CHECK(c1 == cn);  // determinism across thread counts
+      par.Metric("cost", cn);
+      par.Derived("speedup_vs_serial", w1.median / wn.median);
+    }
+  }
+}
+
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("fig08_molq_three_types")

@@ -3,71 +3,52 @@
 // four types because MBRB's false-positive OVRs compound across overlaps
 // and flood the Optimizer; error bound epsilon = 0.001 as in §6.1.
 //
-// Flags: --sizes=8,16,24,32  --epsilon=1e-3  --seed=1  --threads=1
-
-#include <cstdio>
+// Harnessed (DESIGN.md §10). Extra flags: --sizes=8,16,24,32 --epsilon=1e-3.
 
 #include "bench/bench_common.h"
-#include "util/flags.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
 
 namespace movd::bench {
-namespace {
 
-Trace* g_trace = nullptr;
-
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  BenchTrace bench_trace(flags);
-  g_trace = bench_trace.trace();
-  const auto sizes = ParseSizes(flags.GetString("sizes", "8,16,24,32"));
-  const double epsilon = flags.GetDouble("epsilon", 1e-3);
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const int threads = ThreadsFlag(flags);
-  flags.WarnUnused(stderr);
-
-  std::printf("Fig. 9 — MOLQ, four object types {STM, CH, SCH, PPL}; "
-              "epsilon=%g threads=%d\n\n", epsilon, threads);
-  Table table({"objects/type", "SSC(s)", "RRB(s)", "MBRB(s)", "RRB OVRs",
-               "MBRB OVRs", "OVR ratio"});
+BENCH(fig09_four_types) {
+  const auto sizes = ParseSizes(ctx.flags().GetString("sizes", "8,16,24,32"));
+  const double epsilon = ctx.flags().GetDouble("epsilon", 1e-3);
+  constexpr struct {
+    MolqAlgorithm algo;
+    const char* name;
+  } kAlgos[] = {{MolqAlgorithm::kSsc, "ssc"},
+                {MolqAlgorithm::kRrb, "rrb"},
+                {MolqAlgorithm::kMbrb, "mbrb"}};
   for (const size_t n : sizes) {
-    const MolqQuery query = MakeQuery({n, n, n, n}, seed);
-    MolqOptions opts;
-    opts.epsilon = epsilon;
-    opts.exec.threads = threads;
-    opts.exec.trace = g_trace;
-
-    opts.algorithm = MolqAlgorithm::kSsc;
-    Stopwatch sw;
-    const MolqResult ssc = SolveMolq(query, kWorld, opts);
-    const double ssc_s = sw.ElapsedSeconds();
-
-    opts.algorithm = MolqAlgorithm::kRrb;
-    sw.Reset();
-    const MolqResult rrb = SolveMolq(query, kWorld, opts);
-    const double rrb_s = sw.ElapsedSeconds();
-
-    opts.algorithm = MolqAlgorithm::kMbrb;
-    sw.Reset();
-    const MolqResult mbrb = SolveMolq(query, kWorld, opts);
-    const double mbrb_s = sw.ElapsedSeconds();
-
-    table.AddRow({std::to_string(n), Table::Fmt(ssc_s, 3),
-                  Table::Fmt(rrb_s, 3), Table::Fmt(mbrb_s, 3),
-                  std::to_string(rrb.stats.final_ovrs),
-                  std::to_string(mbrb.stats.final_ovrs),
-                  Table::Fmt(static_cast<double>(mbrb.stats.final_ovrs) /
-                                 std::max<size_t>(1, rrb.stats.final_ovrs),
-                             1) +
-                      "x"});
-    (void)ssc;
+    const MolqQuery query = MakeQuery({n, n, n, n}, ctx.seed());
+    size_t rrb_ovrs = 0;
+    for (const auto& [algo, name] : kAlgos) {
+      BenchCase& c = ctx.Case(std::string(name) + "/n=" + std::to_string(n))
+                         .Param("algo", name)
+                         .Param("n", n)
+                         .Param("epsilon", epsilon);
+      MolqResult result;
+      ctx.Measure(c, [&] {
+        MolqOptions opts;
+        opts.algorithm = algo;
+        opts.epsilon = epsilon;
+        opts.exec = ctx.MakeExec();
+        result = SolveMolq(query, kWorld, opts);
+      });
+      c.Metric("cost", result.cost);
+      if (algo == MolqAlgorithm::kRrb) {
+        rrb_ovrs = result.stats.final_ovrs;
+        c.Metric("final_ovrs", static_cast<double>(rrb_ovrs));
+      } else if (algo == MolqAlgorithm::kMbrb) {
+        c.Metric("final_ovrs",
+                 static_cast<double>(result.stats.final_ovrs));
+        c.Derived("ovr_ratio_vs_rrb",
+                  static_cast<double>(result.stats.final_ovrs) /
+                      static_cast<double>(std::max<size_t>(1, rrb_ovrs)));
+      }
+    }
   }
-  table.Print(stdout);
-  return 0;
 }
 
-}  // namespace
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("fig09_molq_four_types")

@@ -3,22 +3,17 @@
 // bound epsilon. Each problem has 5 points with coordinates and weights
 // drawn from [0, 10), exactly the paper's setup (§6.2).
 //
-// Flags: --problems=1000,5000,10000,50000  --epsilons=1e-2,1e-3,1e-4
-//        --seed=1  --ablate (adds prefilter-only / bound-only rows)
-
-#include <cstdio>
+// Harnessed (DESIGN.md §10). Extra flags:
+//   --problems=1000,5000,10000,50000  --epsilons=1e-2,1e-3,1e-4
+//   --ablate (adds bound-only / prefilter-only cases)
+// With --threads=N > 1 the fig10_parallel bench adds CB serial-vs-parallel
+// cases (shared atomic cost bound).
 
 #include "bench/bench_common.h"
 #include "fermat/batch.h"
-#include "util/flags.h"
-#include "util/rng.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
 
 namespace movd::bench {
 namespace {
-
-Trace* g_trace = nullptr;
 
 std::vector<std::vector<WeightedPoint>> MakeProblems(size_t count,
                                                      uint64_t seed) {
@@ -35,106 +30,125 @@ std::vector<std::vector<WeightedPoint>> MakeProblems(size_t count,
   return problems;
 }
 
-struct RunResult {
-  double seconds;
-  double cost;
-  uint64_t iterations;
-};
-
-RunResult Run(const std::vector<std::vector<WeightedPoint>>& problems,
-              double epsilon, bool cost_bound, bool prefilter,
-              int threads = 1) {
+BatchResult RunBatch(const BenchContext& ctx,
+                     const std::vector<std::vector<WeightedPoint>>& problems,
+                     double epsilon, bool cost_bound, bool prefilter,
+                     int threads) {
   BatchOptions opts;
   opts.epsilon = epsilon;
   opts.use_cost_bound = cost_bound;
   opts.use_two_point_prefilter = prefilter;
+  opts.exec = ctx.MakeExec();
   opts.exec.threads = threads;
-  opts.exec.trace = g_trace;
-  Stopwatch sw;
-  const BatchResult r = SolveFermatWeberBatch(problems, opts);
-  return {sw.ElapsedSeconds(), r.cost, r.total_iterations};
-}
-
-std::vector<double> ParseDoubles(const std::string& csv) {
-  std::vector<double> out;
-  size_t pos = 0;
-  while (pos < csv.size()) {
-    out.push_back(std::strtod(csv.c_str() + pos, nullptr));
-    const size_t comma = csv.find(',', pos);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
-
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  BenchTrace bench_trace(flags);
-  g_trace = bench_trace.trace();
-  const auto counts =
-      ParseSizes(flags.GetString("problems", "1000,5000,10000,50000"));
-  const auto epsilons =
-      ParseDoubles(flags.GetString("epsilons", "1e-2,1e-3,1e-4"));
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const bool ablate = flags.GetBool("ablate", false);
-  const int threads = ThreadsFlag(flags);
-  flags.WarnUnused(stderr);
-
-  std::printf("Fig. 10 — batch Fermat–Weber: Original vs cost-bound (CB); "
-              "5 points/problem, coords & weights U[0,10)\n\n");
-  Table table({"#problems", "epsilon", "Original(s)", "CB(s)", "speedup",
-               "orig iters", "CB iters"});
-  for (const size_t count : counts) {
-    const auto problems = MakeProblems(count, seed);
-    for (const double eps : epsilons) {
-      const RunResult original = Run(problems, eps, false, false);
-      const RunResult cb = Run(problems, eps, true, true);
-      table.AddRow({std::to_string(count), Table::Fmt(eps, 4),
-                    Table::Fmt(original.seconds, 3), Table::Fmt(cb.seconds, 3),
-                    Table::Fmt(original.seconds / cb.seconds, 1) + "x",
-                    std::to_string(original.iterations),
-                    std::to_string(cb.iterations)});
-    }
-  }
-  table.Print(stdout);
-
-  if (threads > 1) {
-    std::printf("\nParallel batch solver — CB serial vs %d threads, shared "
-                "atomic cost bound (epsilon=%g)\n\n", threads,
-                epsilons.back());
-    Table par({"#problems", "CB 1thr(s)", "CB Nthr(s)", "speedup"});
-    for (const size_t count : counts) {
-      const auto problems = MakeProblems(count, seed);
-      const double eps = epsilons.back();
-      const RunResult serial = Run(problems, eps, true, true, 1);
-      const RunResult parallel = Run(problems, eps, true, true, threads);
-      par.AddRow({std::to_string(count), Table::Fmt(serial.seconds, 3),
-                  Table::Fmt(parallel.seconds, 3),
-                  Table::Fmt(serial.seconds / parallel.seconds, 2) + "x"});
-    }
-    par.Print(stdout);
-  }
-
-  if (ablate) {
-    std::printf("\nAblation — contribution of the two CB ingredients "
-                "(epsilon=%g)\n\n", epsilons.back());
-    Table ab({"#problems", "Original(s)", "bound only(s)", "prefilter only(s)",
-              "both(s)"});
-    for (const size_t count : counts) {
-      const auto problems = MakeProblems(count, seed);
-      const double eps = epsilons.back();
-      ab.AddRow({std::to_string(count),
-                 Table::Fmt(Run(problems, eps, false, false).seconds, 3),
-                 Table::Fmt(Run(problems, eps, true, false).seconds, 3),
-                 Table::Fmt(Run(problems, eps, false, true).seconds, 3),
-                 Table::Fmt(Run(problems, eps, true, true).seconds, 3)});
-    }
-    ab.Print(stdout);
-  }
-  return 0;
+  return SolveFermatWeberBatch(problems, opts);
 }
 
 }  // namespace
+
+BENCH(fig10_cost_bound) {
+  const auto counts =
+      ParseSizes(ctx.flags().GetString("problems", "1000,5000,10000,50000"));
+  const auto epsilons =
+      ParseDoubles(ctx.flags().GetString("epsilons", "1e-2,1e-3,1e-4"));
+  for (const size_t count : counts) {
+    const auto problems = MakeProblems(count, ctx.seed());
+    for (const double eps : epsilons) {
+      const std::string suffix =
+          "/p=" + std::to_string(count) + "/eps=" + FmtG(eps);
+      BenchCase& orig = ctx.Case("original" + suffix)
+                            .Param("variant", "original")
+                            .Param("problems", count)
+                            .Param("epsilon", eps);
+      BatchResult r;
+      const Summary& orig_wall = ctx.Measure(orig, [&] {
+        r = RunBatch(ctx, problems, eps, /*cost_bound=*/false,
+                     /*prefilter=*/false, ctx.threads());
+      });
+      orig.Metric("cost", r.cost);
+      orig.Metric("iterations", static_cast<double>(r.total_iterations));
+
+      BenchCase& cb = ctx.Case("cb" + suffix)
+                          .Param("variant", "cb")
+                          .Param("problems", count)
+                          .Param("epsilon", eps);
+      const Summary& cb_wall = ctx.Measure(cb, [&] {
+        r = RunBatch(ctx, problems, eps, /*cost_bound=*/true,
+                     /*prefilter=*/true, ctx.threads());
+      });
+      cb.Metric("cost", r.cost);
+      cb.Metric("iterations", static_cast<double>(r.total_iterations));
+      cb.Derived("speedup_vs_original", orig_wall.median / cb_wall.median);
+    }
+  }
+}
+
+// Contribution of the two CB ingredients at the tightest epsilon; gated on
+// --ablate as before the harness migration.
+BENCH(fig10_ablation) {
+  if (!ctx.flags().GetBool("ablate", false)) return;
+  const auto counts =
+      ParseSizes(ctx.flags().GetString("problems", "1000,5000,10000,50000"));
+  const auto epsilons =
+      ParseDoubles(ctx.flags().GetString("epsilons", "1e-2,1e-3,1e-4"));
+  const double eps = epsilons.back();
+  constexpr struct {
+    const char* name;
+    bool bound;
+    bool prefilter;
+  } kVariants[] = {{"bound_only", true, false},
+                   {"prefilter_only", false, true}};
+  for (const size_t count : counts) {
+    const auto problems = MakeProblems(count, ctx.seed());
+    for (const auto& v : kVariants) {
+      BenchCase& c = ctx.Case(std::string(v.name) + "/p=" +
+                              std::to_string(count) + "/eps=" + FmtG(eps))
+                         .Param("variant", v.name)
+                         .Param("problems", count)
+                         .Param("epsilon", eps);
+      BatchResult r;
+      ctx.Measure(c, [&] {
+        r = RunBatch(ctx, problems, eps, v.bound, v.prefilter,
+                     ctx.threads());
+      });
+      c.Metric("cost", r.cost);
+      c.Metric("iterations", static_cast<double>(r.total_iterations));
+    }
+  }
+}
+
+// CB serial vs --threads=N with the shared atomic cost bound; populated
+// only when --threads > 1.
+BENCH(fig10_parallel) {
+  const int threads = ctx.threads();
+  if (threads <= 1) return;
+  const auto counts =
+      ParseSizes(ctx.flags().GetString("problems", "1000,5000,10000,50000"));
+  const auto epsilons =
+      ParseDoubles(ctx.flags().GetString("epsilons", "1e-2,1e-3,1e-4"));
+  const double eps = epsilons.back();
+  for (const size_t count : counts) {
+    const auto problems = MakeProblems(count, ctx.seed());
+    BenchCase& serial = ctx.Case("cb/1thr/p=" + std::to_string(count))
+                            .Param("problems", count)
+                            .Param("threads", static_cast<int64_t>(1));
+    BatchResult r;
+    const Summary& w1 = ctx.Measure(serial, [&] {
+      r = RunBatch(ctx, problems, eps, true, true, 1);
+    });
+    serial.Metric("cost", r.cost);
+
+    BenchCase& par = ctx.Case("cb/" + std::to_string(threads) + "thr/p=" +
+                              std::to_string(count))
+                         .Param("problems", count)
+                         .Param("threads", static_cast<int64_t>(threads));
+    const Summary& wn = ctx.Measure(par, [&] {
+      r = RunBatch(ctx, problems, eps, true, true, threads);
+    });
+    par.Metric("cost", r.cost);
+    par.Derived("speedup_vs_serial", w1.median / wn.median);
+  }
+}
+
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("fig10_cost_bound")

@@ -4,50 +4,54 @@
 // here is scaled to laptop size — raise --sizes to reproduce the original
 // scale.
 //
-// Flags: --sizes=1000,2000,4000,8000  --seed=1  --threads=1
-
-#include <cstdio>
+// Harnessed (DESIGN.md §10): diagram construction is unmeasured setup; the
+// Measure body is the overlap alone. The harness's default --warmup=1 runs
+// each overlap once untimed first, which is what makes these numbers stable
+// run-to-run (first-touch page faults and allocator growth land in the
+// warmup — see EXPERIMENTS.md). Extra flags: --sizes=1000,2000,4000,8000.
 
 #include "bench/bench_common.h"
-#include "util/flags.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
 
 namespace movd::bench {
-namespace {
 
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  BenchTrace bench_trace(flags);
-  const auto sizes = ParseSizes(flags.GetString("sizes", "1000,2000,4000,8000"));
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const int threads = ThreadsFlag(flags);
-  flags.WarnUnused(stderr);
-
-  std::printf("Fig. 11 — overlap of two Voronoi diagrams (STM x CH): "
-              "execution time, RRB vs MBRB\n\n");
-  Table table({"|STM|", "|CH|", "RRB(s)", "MBRB(s)", "MBRB speedup"});
+BENCH(fig11_overlap_time) {
+  const auto sizes =
+      ParseSizes(ctx.flags().GetString("sizes", "1000,2000,4000,8000"));
   for (const size_t n : sizes) {
     for (const size_t m : sizes) {
-      const auto basic = MakeBasicMovds({n, m}, seed, threads);
-      Stopwatch sw;
-      const Movd rrb = Overlap(basic[0], basic[1], BoundaryMode::kRealRegion);
-      const double rrb_s = sw.ElapsedSeconds();
-      sw.Reset();
-      const Movd mbrb = Overlap(basic[0], basic[1], BoundaryMode::kMbr);
-      const double mbrb_s = sw.ElapsedSeconds();
-      table.AddRow({std::to_string(n), std::to_string(m),
-                    Table::Fmt(rrb_s, 3), Table::Fmt(mbrb_s, 3),
-                    Table::Fmt(rrb_s / mbrb_s, 1) + "x"});
-      (void)rrb;
-      (void)mbrb;
+      const auto basic = MakeBasicMovds({n, m}, ctx.seed(), ctx.threads());
+      const std::string suffix =
+          "/n=" + std::to_string(n) + "/m=" + std::to_string(m);
+
+      BenchCase& rrb = ctx.Case("rrb" + suffix)
+                           .Param("mode", "rrb")
+                           .Param("n", n)
+                           .Param("m", m);
+      size_t rrb_ovrs = 0;
+      const Summary& rrb_wall = ctx.Measure(rrb, [&] {
+        const Movd out = Overlap(basic[0], basic[1],
+                                 BoundaryMode::kRealRegion);
+        rrb_ovrs = out.ovrs.size();
+        Keep(rrb_ovrs);
+      });
+      rrb.Metric("ovrs", static_cast<double>(rrb_ovrs));
+
+      BenchCase& mbrb = ctx.Case("mbrb" + suffix)
+                            .Param("mode", "mbrb")
+                            .Param("n", n)
+                            .Param("m", m);
+      size_t mbrb_ovrs = 0;
+      const Summary& mbrb_wall = ctx.Measure(mbrb, [&] {
+        const Movd out = Overlap(basic[0], basic[1], BoundaryMode::kMbr);
+        mbrb_ovrs = out.ovrs.size();
+        Keep(mbrb_ovrs);
+      });
+      mbrb.Metric("ovrs", static_cast<double>(mbrb_ovrs));
+      mbrb.Derived("speedup_vs_rrb", rrb_wall.median / mbrb_wall.median);
     }
   }
-  table.Print(stdout);
-  return 0;
 }
 
-}  // namespace
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("fig11_overlap_time")

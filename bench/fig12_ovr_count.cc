@@ -3,47 +3,49 @@
 // producing ~150% more OVRs on average (MBR hits that are not real region
 // overlaps).
 //
-// Flags: --sizes=1000,2000,4000,8000  --seed=1  --threads=1
-
-#include <cstdio>
+// Harnessed (DESIGN.md §10): the OVR counts are deterministic Metrics that
+// bench_diff gates exactly — this bench is primarily a correctness tripwire
+// over the overlap machinery. Extra flags: --sizes=1000,2000,4000,8000.
 
 #include "bench/bench_common.h"
-#include "util/flags.h"
-#include "util/table.h"
 
 namespace movd::bench {
-namespace {
 
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  BenchTrace bench_trace(flags);
-  const auto sizes = ParseSizes(flags.GetString("sizes", "1000,2000,4000,8000"));
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const int threads = ThreadsFlag(flags);
-  flags.WarnUnused(stderr);
-
-  std::printf("Fig. 12 — number of OVRs after overlapping two Voronoi "
-              "diagrams, RRB vs MBRB\n\n");
-  Table table({"|STM|", "|CH|", "RRB OVRs", "MBRB OVRs", "MBRB/RRB"});
+BENCH(fig12_ovr_count) {
+  const auto sizes =
+      ParseSizes(ctx.flags().GetString("sizes", "1000,2000,4000,8000"));
   for (const size_t n : sizes) {
     for (const size_t m : sizes) {
-      const auto basic = MakeBasicMovds({n, m}, seed, threads);
-      const Movd rrb = Overlap(basic[0], basic[1], BoundaryMode::kRealRegion);
-      const Movd mbrb = Overlap(basic[0], basic[1], BoundaryMode::kMbr);
-      table.AddRow({std::to_string(n), std::to_string(m),
-                    std::to_string(rrb.ovrs.size()),
-                    std::to_string(mbrb.ovrs.size()),
-                    Table::Fmt(static_cast<double>(mbrb.ovrs.size()) /
-                                   std::max<size_t>(1, rrb.ovrs.size()),
-                               2) +
-                        "x"});
+      const auto basic = MakeBasicMovds({n, m}, ctx.seed(), ctx.threads());
+      const std::string suffix =
+          "/n=" + std::to_string(n) + "/m=" + std::to_string(m);
+      size_t rrb_ovrs = 0;
+      for (const auto& [mode, name] :
+           {std::pair{BoundaryMode::kRealRegion, "rrb"},
+            std::pair{BoundaryMode::kMbr, "mbrb"}}) {
+        BenchCase& c = ctx.Case(std::string(name) + suffix)
+                           .Param("mode", name)
+                           .Param("n", n)
+                           .Param("m", m);
+        size_t ovrs = 0;
+        ctx.Measure(c, [&] {
+          const Movd out = Overlap(basic[0], basic[1], mode);
+          ovrs = out.ovrs.size();
+          Keep(ovrs);
+        });
+        c.Metric("ovrs", static_cast<double>(ovrs));
+        if (mode == BoundaryMode::kRealRegion) {
+          rrb_ovrs = ovrs;
+        } else {
+          c.Derived("ovr_ratio_vs_rrb",
+                    static_cast<double>(ovrs) /
+                        static_cast<double>(std::max<size_t>(1, rrb_ovrs)));
+        }
+      }
     }
   }
-  table.Print(stdout);
-  return 0;
 }
 
-}  // namespace
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("fig12_ovr_count")

@@ -2,51 +2,55 @@
 // overlapping two Voronoi diagrams, RRB vs MBRB. The paper's finding: even
 // though MBRB holds more OVRs (Fig. 12), each is just two points, so MBRB
 // consumes 26-29% less memory at two object types. Memory is measured by
-// byte-accurate structure accounting (see Movd::MemoryBytes).
+// byte-accurate structure accounting (see Movd::MemoryBytes), so the byte
+// counts are deterministic Metrics gated exactly by bench_diff.
 //
-// Flags: --sizes=1000,2000,4000,8000  --seed=1  --threads=1
-
-#include <cstdio>
+// Harnessed (DESIGN.md §10). Extra flags: --sizes=1000,2000,4000,8000.
 
 #include "bench/bench_common.h"
-#include "util/flags.h"
-#include "util/table.h"
 
 namespace movd::bench {
-namespace {
 
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  BenchTrace bench_trace(flags);
-  const auto sizes = ParseSizes(flags.GetString("sizes", "1000,2000,4000,8000"));
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const int threads = ThreadsFlag(flags);
-  flags.WarnUnused(stderr);
-
-  std::printf("Fig. 13 — memory consumption of the overlapped MOVD, "
-              "RRB vs MBRB (structure bytes; points stored)\n\n");
-  Table table({"|STM|", "|CH|", "RRB bytes", "MBRB bytes", "MBRB/RRB",
-               "RRB points", "MBRB points"});
+BENCH(fig13_overlap_memory) {
+  const auto sizes =
+      ParseSizes(ctx.flags().GetString("sizes", "1000,2000,4000,8000"));
   for (const size_t n : sizes) {
     for (const size_t m : sizes) {
-      const auto basic = MakeBasicMovds({n, m}, seed, threads);
-      const Movd rrb = Overlap(basic[0], basic[1], BoundaryMode::kRealRegion);
-      const Movd mbrb = Overlap(basic[0], basic[1], BoundaryMode::kMbr);
-      const size_t rrb_bytes = rrb.MemoryBytes(BoundaryMode::kRealRegion);
-      const size_t mbrb_bytes = mbrb.MemoryBytes(BoundaryMode::kMbr);
-      table.AddRow({std::to_string(n), std::to_string(m),
-                    FormatBytes(rrb_bytes), FormatBytes(mbrb_bytes),
-                    Table::Fmt(static_cast<double>(mbrb_bytes) / rrb_bytes,
-                               2),
-                    std::to_string(rrb.VertexCount()),
-                    std::to_string(2 * mbrb.ovrs.size())});
+      const auto basic = MakeBasicMovds({n, m}, ctx.seed(), ctx.threads());
+      const std::string suffix =
+          "/n=" + std::to_string(n) + "/m=" + std::to_string(m);
+      size_t rrb_bytes = 0;
+      for (const auto& [mode, name] :
+           {std::pair{BoundaryMode::kRealRegion, "rrb"},
+            std::pair{BoundaryMode::kMbr, "mbrb"}}) {
+        BenchCase& c = ctx.Case(std::string(name) + suffix)
+                           .Param("mode", name)
+                           .Param("n", n)
+                           .Param("m", m);
+        size_t bytes = 0;
+        size_t points = 0;
+        ctx.Measure(c, [&] {
+          const Movd out = Overlap(basic[0], basic[1], mode);
+          bytes = out.MemoryBytes(mode);
+          points = mode == BoundaryMode::kRealRegion
+                       ? out.VertexCount()
+                       : 2 * out.ovrs.size();
+          Keep(bytes);
+        });
+        c.Metric("bytes", static_cast<double>(bytes));
+        c.Metric("points", static_cast<double>(points));
+        if (mode == BoundaryMode::kRealRegion) {
+          rrb_bytes = bytes;
+        } else {
+          c.Derived("bytes_ratio_vs_rrb",
+                    static_cast<double>(bytes) /
+                        static_cast<double>(std::max<size_t>(1, rrb_bytes)));
+        }
+      }
     }
   }
-  table.Print(stdout);
-  return 0;
 }
 
-}  // namespace
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("fig13_overlap_memory")

@@ -4,40 +4,32 @@
 //  part (a): availability — the largest per-type object count whose final
 //            MOVD fits a memory budget, per approach (the paper exhausts a
 //            24 GB server; we model a configurable budget with the same
-//            byte-accurate accounting used in Fig. 13).
+//            byte-accurate accounting used in Fig. 13). The search is
+//            unmeasured setup; its result is the max_n Metric.
 //  parts (b)/(c)/(d): execution time / #OVRs / memory along the
 //            availability line, including RRB* (RRB run at MBRB's sizes
-//            for a fair comparison, as in the paper).
+//            for a fair comparison, as in the paper) — one measured case
+//            per (#types, approach).
 //
-// Flags: --budget_mb=8  --max_n=16384  --seed=1  --types=2,3,4,5  --threads=1
-
-#include <cstdio>
+// Harnessed (DESIGN.md §10). Extra flags:
+//   --budget_mb=8  --max_n=16384  --types=2,3,4,5
 
 #include "bench/bench_common.h"
-#include "util/flags.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
 
 namespace movd::bench {
 namespace {
 
-struct Measurement {
+struct Probe {
   size_t ovrs = 0;
   size_t bytes = 0;
-  double overlap_seconds = 0.0;
 };
 
-Measurement Measure(size_t types, size_t n, BoundaryMode mode,
-                    uint64_t seed, int threads) {
+Probe ProbeOverlap(size_t types, size_t n, BoundaryMode mode, uint64_t seed,
+                   int threads) {
   const std::vector<size_t> sizes(types, n);
   const auto basic = MakeBasicMovds(sizes, seed, threads);
-  Stopwatch sw;
   const Movd out = OverlapAll(basic, mode);
-  Measurement m;
-  m.overlap_seconds = sw.ElapsedSeconds();
-  m.ovrs = out.ovrs.size();
-  m.bytes = out.MemoryBytes(mode);
-  return m;
+  return {out.ovrs.size(), out.MemoryBytes(mode)};
 }
 
 // Largest n (doubling + binary search) whose final MOVD memory fits the
@@ -45,11 +37,11 @@ Measurement Measure(size_t types, size_t n, BoundaryMode mode,
 size_t MaxSizeUnderBudget(size_t types, BoundaryMode mode, size_t budget,
                           size_t max_n, uint64_t seed, int threads) {
   size_t lo = 16;
-  if (Measure(types, lo, mode, seed, threads).bytes > budget) return 0;
+  if (ProbeOverlap(types, lo, mode, seed, threads).bytes > budget) return 0;
   size_t hi = lo;
   while (hi < max_n) {
     const size_t next = std::min(max_n, hi * 2);
-    if (Measure(types, next, mode, seed, threads).bytes > budget) {
+    if (ProbeOverlap(types, next, mode, seed, threads).bytes > budget) {
       hi = next;
       break;
     }
@@ -57,7 +49,7 @@ size_t MaxSizeUnderBudget(size_t types, BoundaryMode mode, size_t budget,
   }
   while (hi - lo > std::max<size_t>(1, lo / 16)) {  // ~6% resolution
     const size_t mid = lo + (hi - lo) / 2;
-    if (Measure(types, mid, mode, seed, threads).bytes > budget) {
+    if (ProbeOverlap(types, mid, mode, seed, threads).bytes > budget) {
       hi = mid;
     } else {
       lo = mid;
@@ -66,63 +58,51 @@ size_t MaxSizeUnderBudget(size_t types, BoundaryMode mode, size_t budget,
   return lo;
 }
 
-int Main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  BenchTrace bench_trace(flags);
-  const size_t budget =
-      static_cast<size_t>(flags.GetInt("budget_mb", 8)) << 20;
-  const size_t max_n = static_cast<size_t>(flags.GetInt("max_n", 16384));
-  const uint64_t seed = flags.GetInt("seed", 1);
-  const auto types_list = ParseSizes(flags.GetString("types", "2,3,4,5"));
-  const int threads = ThreadsFlag(flags);
-  flags.WarnUnused(stderr);
-
-  std::printf("Fig. 14(a) — availability: max objects/type under a %s "
-              "MOVD-memory budget\n\n", FormatBytes(budget).c_str());
-  std::vector<size_t> rrb_max(types_list.size());
-  std::vector<size_t> mbrb_max(types_list.size());
-  {
-    Table table({"#types", "RRB max objects", "MBRB max objects"});
-    for (size_t i = 0; i < types_list.size(); ++i) {
-      const size_t t = types_list[i];
-      rrb_max[i] = MaxSizeUnderBudget(t, BoundaryMode::kRealRegion, budget,
-                                      max_n, seed, threads);
-      mbrb_max[i] = MaxSizeUnderBudget(t, BoundaryMode::kMbr, budget, max_n,
-                                       seed, threads);
-      table.AddRow({std::to_string(t), std::to_string(rrb_max[i]),
-                    std::to_string(mbrb_max[i])});
-    }
-    table.Print(stdout);
-  }
-
-  std::printf("\nFig. 14(b)/(c)/(d) — overlap time, #OVRs and memory along "
-              "the availability line (RRB* = RRB at MBRB's sizes)\n\n");
-  Table table({"#types", "n(RRB)", "RRB(s)", "RRB OVRs", "RRB mem",
-               "n(MBRB)", "MBRB(s)", "MBRB OVRs", "MBRB mem", "RRB*(s)",
-               "RRB* OVRs", "RRB* mem"});
-  for (size_t i = 0; i < types_list.size(); ++i) {
-    const size_t t = types_list[i];
-    if (rrb_max[i] == 0 || mbrb_max[i] == 0) continue;
-    const Measurement rrb =
-        Measure(t, rrb_max[i], BoundaryMode::kRealRegion, seed, threads);
-    const Measurement mbrb =
-        Measure(t, mbrb_max[i], BoundaryMode::kMbr, seed, threads);
-    const Measurement rrb_star =
-        Measure(t, mbrb_max[i], BoundaryMode::kRealRegion, seed, threads);
-    table.AddRow({std::to_string(t), std::to_string(rrb_max[i]),
-                  Table::Fmt(rrb.overlap_seconds, 3),
-                  std::to_string(rrb.ovrs), FormatBytes(rrb.bytes),
-                  std::to_string(mbrb_max[i]),
-                  Table::Fmt(mbrb.overlap_seconds, 3),
-                  std::to_string(mbrb.ovrs), FormatBytes(mbrb.bytes),
-                  Table::Fmt(rrb_star.overlap_seconds, 3),
-                  std::to_string(rrb_star.ovrs), FormatBytes(rrb_star.bytes)});
-  }
-  table.Print(stdout);
-  return 0;
+void MeasureAt(BenchContext& ctx, const char* approach, size_t types,
+               size_t n, BoundaryMode mode) {
+  BenchCase& c = ctx.Case(std::string(approach) + "/types=" +
+                          std::to_string(types))
+                     .Param("approach", approach)
+                     .Param("types", types)
+                     .Param("n", n);
+  const std::vector<size_t> sizes(types, n);
+  const auto basic = MakeBasicMovds(sizes, ctx.seed(), ctx.threads());
+  size_t ovrs = 0;
+  size_t bytes = 0;
+  ctx.Measure(c, [&] {
+    const Movd out = OverlapAll(basic, mode);
+    ovrs = out.ovrs.size();
+    bytes = out.MemoryBytes(mode);
+    Keep(bytes);
+  });
+  c.Metric("max_n", static_cast<double>(n));
+  c.Metric("ovrs", static_cast<double>(ovrs));
+  c.Metric("bytes", static_cast<double>(bytes));
 }
 
 }  // namespace
+
+BENCH(fig14_multi_overlap) {
+  const size_t budget =
+      static_cast<size_t>(ctx.flags().GetInt("budget_mb", 8)) << 20;
+  const size_t max_n =
+      static_cast<size_t>(ctx.flags().GetInt("max_n", 16384));
+  const auto types_list =
+      ParseSizes(ctx.flags().GetString("types", "2,3,4,5"));
+  for (const size_t t : types_list) {
+    const size_t rrb_max = MaxSizeUnderBudget(
+        t, BoundaryMode::kRealRegion, budget, max_n, ctx.seed(),
+        ctx.threads());
+    const size_t mbrb_max = MaxSizeUnderBudget(
+        t, BoundaryMode::kMbr, budget, max_n, ctx.seed(), ctx.threads());
+    if (rrb_max == 0 || mbrb_max == 0) continue;
+    MeasureAt(ctx, "rrb", t, rrb_max, BoundaryMode::kRealRegion);
+    MeasureAt(ctx, "mbrb", t, mbrb_max, BoundaryMode::kMbr);
+    // RRB* = RRB at MBRB's availability line.
+    MeasureAt(ctx, "rrb_star", t, mbrb_max, BoundaryMode::kRealRegion);
+  }
+}
+
 }  // namespace movd::bench
 
-int main(int argc, char** argv) { return movd::bench::Main(argc, argv); }
+MOVD_BENCH_MAIN("fig14_multi_overlap")

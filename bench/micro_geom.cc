@@ -1,97 +1,146 @@
-// Micro-benchmarks of the geometry kernel (google-benchmark): predicate
-// fast path vs exact fallback, convex clipping, hull construction.
+// Micro-benchmarks of the geometry kernel: predicate fast path vs exact
+// fallback, convex clipping, hull construction.
+//
+// Harnessed (DESIGN.md §10): fixed internal op batches per repetition with
+// bench::Keep; ns_per_op is Derived (never gated), kernel outputs are
+// Metrics (gated exactly).
 
-#include <benchmark/benchmark.h>
+#include <cmath>
 
+#include "bench/bench_common.h"
 #include "geom/hull.h"
 #include "geom/polygon.h"
 #include "geom/predicates.h"
-#include "util/rng.h"
 
-namespace movd {
-namespace {
+namespace movd::bench {
 
-void BM_Orient2DFastPath(benchmark::State& state) {
-  Rng rng(1);
-  std::vector<Point> pts;
-  for (int i = 0; i < 3000; ++i) {
-    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+BENCH(micro_predicates) {
+  {
+    BenchCase& c = ctx.Case("orient2d_fast_path");
+    Rng rng(1);
+    std::vector<Point> pts;
+    for (int i = 0; i < 3000; ++i) {
+      pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    }
+    constexpr int kOps = 1000000;
+    double last = 0.0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < kOps; ++i) {
+        const Point& a = pts[i % pts.size()];
+        const Point& b = pts[(i + 1) % pts.size()];
+        const Point& cc = pts[(i + 2) % pts.size()];
+        last = Orient2D(a, b, cc);
+        Keep(last);
+      }
+    });
+    c.Metric("last_orient", last);
+    c.Derived("ns_per_op", wall.median / kOps * 1e9);
   }
-  size_t i = 0;
-  for (auto _ : state) {
-    const Point& a = pts[i % pts.size()];
-    const Point& b = pts[(i + 1) % pts.size()];
-    const Point& c = pts[(i + 2) % pts.size()];
-    benchmark::DoNotOptimize(Orient2D(a, b, c));
-    ++i;
+
+  {
+    // Nearly collinear triples force the exact expansion path.
+    BenchCase& c = ctx.Case("orient2d_exact_fallback");
+    const Point a{0.5, 0.5};
+    const Point b{12.0, 12.0};
+    const Point cc{3.0, 3.0000000000000004};
+    constexpr int kOps = 200000;
+    double last = 0.0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < kOps; ++i) {
+        last = Orient2D(a, b, cc);
+        Keep(last);
+      }
+    });
+    c.Metric("last_orient", last);
+    c.Derived("ns_per_op", wall.median / kOps * 1e9);
+  }
+
+  {
+    BenchCase& c = ctx.Case("incircle_fast_path");
+    Rng rng(2);
+    std::vector<Point> pts;
+    for (int i = 0; i < 4000; ++i) {
+      pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    }
+    constexpr int kOps = 500000;
+    double last = 0.0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < kOps; ++i) {
+        last = InCircle(pts[i % 997], pts[(i + 1) % 997], pts[(i + 2) % 997],
+                        pts[(i + 3) % 997]);
+        Keep(last);
+      }
+    });
+    c.Metric("last_incircle", last);
+    c.Derived("ns_per_op", wall.median / kOps * 1e9);
+  }
+
+  {
+    // Cocircular points (square corners) force the exact path.
+    BenchCase& c = ctx.Case("incircle_exact_fallback");
+    const Point a{0, 0}, b{1, 0}, cc{1, 1}, d{0, 1};
+    constexpr int kOps = 100000;
+    double last = 0.0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < kOps; ++i) {
+        last = InCircle(a, b, cc, d);
+        Keep(last);
+      }
+    });
+    c.Metric("last_incircle", last);
+    c.Derived("ns_per_op", wall.median / kOps * 1e9);
   }
 }
-BENCHMARK(BM_Orient2DFastPath);
 
-void BM_Orient2DExactFallback(benchmark::State& state) {
-  // Nearly collinear triples force the exact expansion path.
-  const Point a{0.5, 0.5};
-  const Point b{12.0, 12.0};
-  const Point c{3.0, 3.0000000000000004};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Orient2D(a, b, c));
+BENCH(micro_polygons) {
+  for (const int64_t verts : {4, 8, 32, 128}) {
+    BenchCase& c = ctx.Case("convex_intersect/verts=" +
+                            std::to_string(verts))
+                       .Param("verts", verts);
+    // Two regular polygons with `verts` vertices, offset to half-overlap.
+    std::vector<Point> ring_a, ring_b;
+    for (int64_t i = 0; i < verts; ++i) {
+      const double ang =
+          2.0 * M_PI * static_cast<double>(i) / static_cast<double>(verts);
+      ring_a.push_back({std::cos(ang), std::sin(ang)});
+      ring_b.push_back({0.8 + std::cos(ang), 0.3 + std::sin(ang)});
+    }
+    const ConvexPolygon a(ring_a), b(ring_b);
+    constexpr int kOps = 20000;
+    size_t out_verts = 0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < kOps; ++i) {
+        const auto clipped = ConvexPolygon::Intersect(a, b);
+        out_verts = clipped.vertices().size();
+        Keep(out_verts);
+      }
+    });
+    c.Metric("out_verts", static_cast<double>(out_verts));
+    c.Derived("ns_per_op", wall.median / kOps * 1e9);
+  }
+
+  for (const int64_t n : {100, 1000, 10000}) {
+    BenchCase& c = ctx.Case("convex_hull/n=" + std::to_string(n))
+                       .Param("n", n);
+    Rng rng(3);
+    std::vector<Point> pts;
+    for (int64_t i = 0; i < n; ++i) {
+      pts.push_back({rng.NextGaussian(), rng.NextGaussian()});
+    }
+    const int ops = n <= 1000 ? 2000 : 200;
+    size_t hull_verts = 0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < ops; ++i) {
+        const auto hull = ConvexHull(pts);
+        hull_verts = hull.vertices().size();
+        Keep(hull_verts);
+      }
+    });
+    c.Metric("hull_verts", static_cast<double>(hull_verts));
+    c.Derived("ns_per_op", wall.median / ops * 1e9);
   }
 }
-BENCHMARK(BM_Orient2DExactFallback);
 
-void BM_InCircleFastPath(benchmark::State& state) {
-  Rng rng(2);
-  std::vector<Point> pts;
-  for (int i = 0; i < 4000; ++i) {
-    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
-  }
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(InCircle(pts[i % 997], pts[(i + 1) % 997],
-                                      pts[(i + 2) % 997], pts[(i + 3) % 997]));
-    ++i;
-  }
-}
-BENCHMARK(BM_InCircleFastPath);
+}  // namespace movd::bench
 
-void BM_InCircleExactFallback(benchmark::State& state) {
-  // Cocircular points (square corners) force the exact path.
-  const Point a{0, 0}, b{1, 0}, c{1, 1}, d{0, 1};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(InCircle(a, b, c, d));
-  }
-}
-BENCHMARK(BM_InCircleExactFallback);
-
-void BM_ConvexIntersect(benchmark::State& state) {
-  const int64_t verts = state.range(0);
-  // Two regular polygons with `verts` vertices, offset to half-overlap.
-  std::vector<Point> ring_a, ring_b;
-  for (int64_t i = 0; i < verts; ++i) {
-    const double ang = 2.0 * M_PI * static_cast<double>(i) / verts;
-    ring_a.push_back({std::cos(ang), std::sin(ang)});
-    ring_b.push_back({0.8 + std::cos(ang), 0.3 + std::sin(ang)});
-  }
-  const ConvexPolygon a(ring_a), b(ring_b);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ConvexPolygon::Intersect(a, b));
-  }
-}
-BENCHMARK(BM_ConvexIntersect)->Arg(4)->Arg(8)->Arg(32)->Arg(128);
-
-void BM_ConvexHull(benchmark::State& state) {
-  Rng rng(3);
-  std::vector<Point> pts;
-  for (int64_t i = 0; i < state.range(0); ++i) {
-    pts.push_back({rng.NextGaussian(), rng.NextGaussian()});
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ConvexHull(pts));
-  }
-}
-BENCHMARK(BM_ConvexHull)->Arg(100)->Arg(1000)->Arg(10000);
-
-}  // namespace
-}  // namespace movd
-
-BENCHMARK_MAIN();
+MOVD_BENCH_MAIN("micro_geom")

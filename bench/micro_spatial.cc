@@ -1,15 +1,19 @@
-// Micro-benchmarks of the spatial substrates (google-benchmark): R-tree
-// construction and queries, Delaunay triangulation, Voronoi cell building.
+// Micro-benchmarks of the spatial substrates: R-tree construction and
+// queries, k-d tree, Delaunay triangulation, Voronoi cell building.
+//
+// Harnessed (DESIGN.md §10): fixed internal op batches per repetition with
+// bench::Keep; ns_per_op is Derived (never gated), structure outputs are
+// Metrics (gated exactly). The heavyweight default sizes of the old
+// google-benchmark suite are trimmed via --scale so the CI perf job can run
+// this suite at small sizes.
 
-#include <benchmark/benchmark.h>
-
+#include "bench/bench_common.h"
 #include "index/kdtree.h"
 #include "index/rtree.h"
-#include "util/rng.h"
 #include "voronoi/delaunay.h"
 #include "voronoi/voronoi.h"
 
-namespace movd {
+namespace movd::bench {
 namespace {
 
 std::vector<Point> MakePoints(int64_t n, uint64_t seed) {
@@ -21,76 +25,160 @@ std::vector<Point> MakePoints(int64_t n, uint64_t seed) {
   return pts;
 }
 
-void BM_RTreeBulkLoad(benchmark::State& state) {
-  const auto pts = MakePoints(state.range(0), 11);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(RTree::BulkLoadPoints(pts));
+// Divides the base sizes by --scale (floor 16) and drops duplicates so an
+// aggressive scale cannot produce two cases with the same name.
+std::vector<int64_t> ScaledSizes(std::initializer_list<int64_t> base,
+                                 int64_t scale) {
+  std::vector<int64_t> out;
+  for (const int64_t n : base) {
+    const int64_t size = std::max<int64_t>(16, n / scale);
+    if (out.empty() || out.back() != size) out.push_back(size);
   }
+  return out;
 }
-BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000)->Arg(100000);
-
-void BM_RTreeKnn(benchmark::State& state) {
-  const auto pts = MakePoints(100000, 12);
-  const RTree tree = RTree::BulkLoadPoints(pts);
-  Rng rng(13);
-  for (auto _ : state) {
-    const Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
-    benchmark::DoNotOptimize(tree.Nearest(q, state.range(0)));
-  }
-}
-BENCHMARK(BM_RTreeKnn)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_RTreeInsert(benchmark::State& state) {
-  const auto pts = MakePoints(state.range(0), 14);
-  for (auto _ : state) {
-    RTree tree;
-    for (size_t i = 0; i < pts.size(); ++i) {
-      tree.Insert({Rect::OfPoint(pts[i]), static_cast<int64_t>(i)});
-    }
-    benchmark::DoNotOptimize(tree);
-  }
-}
-BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
-
-void BM_KdTreeBuild(benchmark::State& state) {
-  const auto pts = MakePoints(state.range(0), 17);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(KdTree::Build(pts));
-  }
-}
-BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
-
-void BM_KdTreeKnn(benchmark::State& state) {
-  const auto pts = MakePoints(100000, 18);
-  const KdTree tree = KdTree::Build(pts);
-  Rng rng(19);
-  for (auto _ : state) {
-    const Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
-    benchmark::DoNotOptimize(tree.Nearest(q, state.range(0)));
-  }
-}
-BENCHMARK(BM_KdTreeKnn)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_DelaunayBuild(benchmark::State& state) {
-  const auto pts = MakePoints(state.range(0), 15);
-  for (auto _ : state) {
-    const Delaunay dt(pts);
-    benchmark::DoNotOptimize(dt.num_real_points());
-  }
-}
-BENCHMARK(BM_DelaunayBuild)->Arg(1000)->Arg(10000)->Arg(50000);
-
-void BM_VoronoiBuild(benchmark::State& state) {
-  const auto pts = MakePoints(state.range(0), 16);
-  const Rect bounds(0, 0, 10000, 10000);
-  for (auto _ : state) {
-    const auto vd = VoronoiDiagram::Build(pts, bounds);
-    benchmark::DoNotOptimize(vd.cells().size());
-  }
-}
-BENCHMARK(BM_VoronoiBuild)->Arg(1000)->Arg(10000)->Arg(50000);
 
 }  // namespace
-}  // namespace movd
 
-BENCHMARK_MAIN();
+BENCH(micro_index) {
+  // --scale divides every data-set size (CI uses --scale=10).
+  const int64_t scale = std::max<int64_t>(1, ctx.flags().GetInt("scale", 1));
+
+  for (const int64_t size : ScaledSizes({1000, 10000, 100000}, scale)) {
+    BenchCase& c = ctx.Case("rtree_bulk_load/n=" + std::to_string(size))
+                       .Param("n", size);
+    const auto pts = MakePoints(size, 11);
+    const int ops = size <= 1000 ? 200 : 20;
+    size_t tree_size = 0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < ops; ++i) {
+        const RTree tree = RTree::BulkLoadPoints(pts);
+        tree_size = tree.size();
+        Keep(tree_size);
+      }
+    });
+    c.Metric("entries", static_cast<double>(tree_size));
+    c.Derived("ns_per_op", wall.median / ops * 1e9);
+  }
+
+  {
+    const int64_t size = std::max<int64_t>(1000, 100000 / scale);
+    const auto pts = MakePoints(size, 12);
+    const RTree tree = RTree::BulkLoadPoints(pts);
+    for (const int64_t k : {1, 10, 100}) {
+      BenchCase& c = ctx.Case("rtree_knn/k=" + std::to_string(k))
+                         .Param("n", size)
+                         .Param("k", k);
+      constexpr int kOps = 2000;
+      size_t found = 0;
+      const Summary& wall = ctx.Measure(c, [&] {
+        Rng rng(13);
+        for (int i = 0; i < kOps; ++i) {
+          const Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+          found = tree.Nearest(q, k).size();
+          Keep(found);
+        }
+      });
+      c.Metric("found", static_cast<double>(found));
+      c.Derived("ns_per_op", wall.median / kOps * 1e9);
+    }
+  }
+
+  for (const int64_t size : ScaledSizes({1000, 10000}, scale)) {
+    BenchCase& c = ctx.Case("rtree_insert/n=" + std::to_string(size))
+                       .Param("n", size);
+    const auto pts = MakePoints(size, 14);
+    const int ops = size <= 1000 ? 50 : 5;
+    size_t tree_size = 0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < ops; ++i) {
+        RTree tree;
+        for (size_t j = 0; j < pts.size(); ++j) {
+          tree.Insert({Rect::OfPoint(pts[j]), static_cast<int64_t>(j)});
+        }
+        tree_size = tree.size();
+        Keep(tree_size);
+      }
+    });
+    c.Metric("entries", static_cast<double>(tree_size));
+    c.Derived("ns_per_op", wall.median / ops * 1e9);
+  }
+
+  for (const int64_t size : ScaledSizes({1000, 10000, 100000}, scale)) {
+    BenchCase& c = ctx.Case("kdtree_build/n=" + std::to_string(size))
+                       .Param("n", size);
+    const auto pts = MakePoints(size, 17);
+    const int ops = size <= 1000 ? 200 : 20;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < ops; ++i) {
+        const KdTree tree = KdTree::Build(pts);
+        Keep(tree);
+      }
+    });
+    c.Derived("ns_per_op", wall.median / ops * 1e9);
+  }
+
+  {
+    const int64_t size = std::max<int64_t>(1000, 100000 / scale);
+    const auto pts = MakePoints(size, 18);
+    const KdTree tree = KdTree::Build(pts);
+    for (const int64_t k : {1, 10, 100}) {
+      BenchCase& c = ctx.Case("kdtree_knn/k=" + std::to_string(k))
+                         .Param("n", size)
+                         .Param("k", k);
+      constexpr int kOps = 2000;
+      size_t found = 0;
+      const Summary& wall = ctx.Measure(c, [&] {
+        Rng rng(19);
+        for (int i = 0; i < kOps; ++i) {
+          const Point q{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+          found = tree.Nearest(q, k).size();
+          Keep(found);
+        }
+      });
+      c.Metric("found", static_cast<double>(found));
+      c.Derived("ns_per_op", wall.median / kOps * 1e9);
+    }
+  }
+}
+
+BENCH(micro_voronoi) {
+  const int64_t scale = std::max<int64_t>(1, ctx.flags().GetInt("scale", 1));
+
+  for (const int64_t size : ScaledSizes({1000, 10000, 50000}, scale)) {
+    BenchCase& c = ctx.Case("delaunay_build/n=" + std::to_string(size))
+                       .Param("n", size);
+    const auto pts = MakePoints(size, 15);
+    const int ops = size <= 1000 ? 20 : 2;
+    size_t real_points = 0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < ops; ++i) {
+        const Delaunay dt(pts);
+        real_points = dt.num_real_points();
+        Keep(real_points);
+      }
+    });
+    c.Metric("real_points", static_cast<double>(real_points));
+    c.Derived("ns_per_op", wall.median / ops * 1e9);
+  }
+
+  for (const int64_t size : ScaledSizes({1000, 10000, 50000}, scale)) {
+    BenchCase& c = ctx.Case("voronoi_build/n=" + std::to_string(size))
+                       .Param("n", size);
+    const auto pts = MakePoints(size, 16);
+    const int ops = size <= 1000 ? 20 : 2;
+    size_t cells = 0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      for (int i = 0; i < ops; ++i) {
+        const auto vd = VoronoiDiagram::Build(pts, kWorld);
+        cells = vd.cells().size();
+        Keep(cells);
+      }
+    });
+    c.Metric("cells", static_cast<double>(cells));
+    c.Derived("ns_per_op", wall.median / ops * 1e9);
+  }
+}
+
+}  // namespace movd::bench
+
+MOVD_BENCH_MAIN("micro_spatial")

@@ -1,0 +1,278 @@
+#include "bench_lib/bench.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "trace/trace.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace movd::bench {
+namespace {
+
+struct Registration {
+  const char* name;
+  BenchFn fn;
+};
+
+std::vector<Registration>& Registry() {
+  static std::vector<Registration> registry;
+  return registry;
+}
+
+/// Total nanoseconds per span name, snapshotted between cases (the run is
+/// quiescent there: every span closed, every ParallelFor joined).
+std::map<std::string, int64_t> PhaseTotals(const Trace& trace) {
+  std::map<std::string, int64_t> totals;
+  for (const TracePhaseRow& row : trace.AggregatePhases()) {
+    totals[row.name] += row.total_ns;
+  }
+  return totals;
+}
+
+std::string JoinPairs(
+    const std::vector<std::pair<std::string, double>>& pairs, int digits) {
+  std::string out;
+  for (const auto& [k, v] : pairs) {
+    if (!out.empty()) out += " ";
+    out += k + "=" + Table::Fmt(v, digits);
+  }
+  return out;
+}
+
+void PrintBenchTable(const std::string& bench,
+                     const std::vector<std::unique_ptr<BenchCase>>& cases,
+                     const BenchReport::Config& config) {
+  std::printf("\n%s — %lld repetition(s) after %lld warmup run(s), "
+              "seed=%llu, threads=%lld\n\n",
+              bench.c_str(), static_cast<long long>(config.repetitions),
+              static_cast<long long>(config.warmup),
+              static_cast<unsigned long long>(config.seed),
+              static_cast<long long>(config.threads));
+  Table table({"case", "median(s)", "min(s)", "p95(s)", "stddev", "reps",
+               "out", "metrics", "derived"});
+  for (const auto& c : cases) {
+    const BenchCaseResult& r = c->result();
+    table.AddRow({r.name, Table::Fmt(r.wall.median, 4),
+                  Table::Fmt(r.wall.min, 4), Table::Fmt(r.wall.p95, 4),
+                  Table::Fmt(r.wall.stddev, 4),
+                  std::to_string(r.wall.count),
+                  std::to_string(r.wall.outliers),
+                  JoinPairs(r.metrics, 4), JoinPairs(r.derived, 2)});
+  }
+  table.Print(stdout);
+
+  // Phase splits (trace aggregation): top phases per case by total time.
+  bool any_phases = false;
+  for (const auto& c : cases) any_phases |= !c->result().phases.empty();
+  if (!any_phases) return;
+  std::printf("\nper-phase splits (mean seconds/repetition, from the trace "
+              "aggregation; parents include children)\n\n");
+  Table phases({"case", "phases"});
+  for (const auto& c : cases) {
+    auto sorted = c->result().phases;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    if (sorted.size() > 4) sorted.resize(4);
+    phases.AddRow({c->result().name, JoinPairs(sorted, 4)});
+  }
+  phases.Print(stdout);
+}
+
+BenchReport RunAll(const std::string& suite, const Flags& flags,
+                   bool print) {
+  const bool phases =
+      flags.GetBool("phases", true) || flags.Has("trace");
+  const std::string filter = flags.GetString("filter", "");
+
+  Trace trace;
+  TraceContextScope scope(phases ? &trace : nullptr);
+
+  BenchReport report;
+  report.suite = suite;
+  report.machine = BenchReport::ThisMachine();
+  {
+    // One context per bench re-reads these, so read once for the report.
+    report.config.threads = flags.GetInt("threads", 1);
+    report.config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    report.config.repetitions =
+        std::max<int64_t>(1, flags.GetInt("repetitions", 3));
+    report.config.warmup = std::max<int64_t>(0, flags.GetInt("warmup", 1));
+    report.config.phases = phases;
+  }
+
+  size_t matched = 0;
+  for (const Registration& reg : Registry()) {
+    if (!filter.empty() &&
+        std::string(reg.name).find(filter) == std::string::npos) {
+      continue;
+    }
+    ++matched;
+    BenchContext ctx(flags, reg.name, phases ? &trace : nullptr);
+    reg.fn(ctx);
+    if (print) PrintBenchTable(reg.name, ctx.cases(), report.config);
+    for (const auto& c : ctx.cases()) report.cases.push_back(c->result());
+  }
+  MOVD_CHECK_MSG(filter.empty() || matched > 0,
+                 "--filter matched no registered bench");
+
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    const Status written = trace.WriteChromeJson(trace_path);
+    if (written.ok()) {
+      std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+    }
+    trace.PrintPhaseTable(stderr);
+  }
+  return report;
+}
+
+}  // namespace
+
+BenchCase& BenchCase::Param(const std::string& key,
+                            const std::string& value) {
+  result_.params.emplace_back(key, value);
+  return *this;
+}
+
+BenchCase& BenchCase::Param(const std::string& key, int64_t value) {
+  return Param(key, std::to_string(value));
+}
+
+BenchCase& BenchCase::Param(const std::string& key, size_t value) {
+  return Param(key, std::to_string(value));
+}
+
+BenchCase& BenchCase::Param(const std::string& key, double value) {
+  return Param(key, Table::Fmt(value, 6));
+}
+
+BenchCase& BenchCase::Metric(const std::string& key, double value) {
+  result_.metrics.emplace_back(key, value);
+  return *this;
+}
+
+BenchCase& BenchCase::Derived(const std::string& key, double value) {
+  result_.derived.emplace_back(key, value);
+  return *this;
+}
+
+BenchContext::BenchContext(const Flags& flags,
+                           const std::string& bench_name, Trace* trace)
+    : flags_(flags),
+      bench_name_(bench_name),
+      trace_(trace),
+      seed_(static_cast<uint64_t>(flags.GetInt("seed", 1))),
+      threads_(static_cast<int>(flags.GetInt("threads", 1))),
+      repetitions_(
+          std::max<int>(1, static_cast<int>(flags.GetInt("repetitions", 3)))),
+      warmup_(std::max<int>(0, static_cast<int>(flags.GetInt("warmup", 1)))),
+      audit_(flags.GetBool("audit", ExecOptions{}.audit)) {}
+
+ExecOptions BenchContext::MakeExec() const {
+  ExecOptions exec;
+  exec.threads = threads_;
+  exec.audit = audit_;
+  exec.trace = trace_;
+  return exec;
+}
+
+BenchCase& BenchContext::Case(std::string name) {
+  for (const auto& existing : cases_) {
+    MOVD_CHECK_MSG(existing->result_.name != name,
+                   "duplicate bench case name");
+  }
+  auto c = std::make_unique<BenchCase>();
+  c->result_.bench = bench_name_;
+  c->result_.name = std::move(name);
+  cases_.push_back(std::move(c));
+  return *cases_.back();
+}
+
+const Summary& BenchContext::Measure(BenchCase& c,
+                                     const std::function<void()>& fn) {
+  // Untimed warmup: first-touch page faults, allocator growth, and the
+  // weighted-grid memoisation cold path all land here instead of in the
+  // first timed repetition (the fig11/fig13 instability the harness
+  // exists to fix — EXPERIMENTS.md records the before/after).
+  for (int i = 0; i < warmup_; ++i) fn();
+
+  std::map<std::string, int64_t> before;
+  if (trace_ != nullptr) before = PhaseTotals(*trace_);
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repetitions_));
+  for (int i = 0; i < repetitions_; ++i) {
+    Stopwatch sw;
+    fn();
+    samples.push_back(sw.ElapsedSeconds());
+  }
+  c.result_.wall = Summary::FromSamples(std::move(samples));
+
+  if (trace_ != nullptr) {
+    const std::map<std::string, int64_t> after = PhaseTotals(*trace_);
+    for (const auto& [name, total_ns] : after) {
+      const auto it = before.find(name);
+      const int64_t delta =
+          total_ns - (it == before.end() ? 0 : it->second);
+      if (delta > 0) {
+        c.result_.phases.emplace_back(
+            name, static_cast<double>(delta) * 1e-9 /
+                      static_cast<double>(repetitions_));
+      }
+    }
+  }
+  return c.result_.wall;
+}
+
+BenchRegistrar::BenchRegistrar(const char* name, BenchFn fn) {
+  Registry().push_back({name, fn});
+}
+
+int RunMain(const std::string& suite, int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.GetBool("list", false)) {
+    for (const Registration& reg : Registry()) {
+      std::printf("%s\n", reg.name);
+    }
+    return 0;
+  }
+
+  const BenchReport report = RunAll(suite, flags, /*print=*/true);
+
+  const std::string json_path =
+      flags.GetString("json", "BENCH_" + suite + ".json");
+  flags.WarnUnused(stderr);
+  if (json_path != "off") {
+    const Status saved = report.Save(json_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "bench report write failed: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu cases)\n", json_path.c_str(),
+                 report.cases.size());
+  }
+  return 0;
+}
+
+BenchReport RunBenchesForTest(const std::string& suite,
+                              const std::vector<std::string>& args) {
+  std::vector<std::string> argv_storage;
+  argv_storage.push_back(suite);
+  for (const std::string& a : args) argv_storage.push_back(a);
+  std::vector<char*> argv;
+  argv.reserve(argv_storage.size());
+  for (std::string& a : argv_storage) argv.push_back(a.data());
+  const Flags flags(static_cast<int>(argv.size()), argv.data());
+  return RunAll(suite, flags, /*print=*/false);
+}
+
+}  // namespace movd::bench

@@ -1,0 +1,370 @@
+#include "bench_lib/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace movd::bench {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; emit null
+    *out += "null";
+    return;
+  }
+  // Integers up to 2^53 print without an exponent so counts stay exact
+  // and readable; everything else gets %.17g (shortest exact roundtrip
+  // is overkill here, 17 significant digits always roundtrips).
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Run() {
+    JsonValue v;
+    Status s = ParseValue(&v);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) {
+    return Status::DataLoss("json parse error at byte " +
+                            std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') return ParseString(out);
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseNull(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      JsonValue key;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      if (!Consume(':')) return Fail("expected ':' after key");
+      JsonValue value;
+      s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->Set(key.AsString(), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue value;
+      Status s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->Append(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(JsonValue* out) {
+    ++pos_;  // '"'
+    std::string s;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        *out = JsonValue::Str(std::move(s));
+        return Status::Ok();
+      }
+      if (c != '\\') {
+        s += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'n': s += '\n'; break;
+        case 't': s += '\t'; break;
+        case 'r': s += '\r'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          if (code < 0x80) {
+            s += static_cast<char>(code);
+          } else {  // encode BMP code point as UTF-8 (no surrogate pairs)
+            if (code < 0x800) {
+              s += static_cast<char>(0xC0 | (code >> 6));
+            } else {
+              s += static_cast<char>(0xE0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            }
+            s += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseBool(JsonValue* out) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = JsonValue::Bool(true);
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = JsonValue::Bool(false);
+      return Status::Ok();
+    }
+    return Fail("bad literal");
+  }
+
+  Status ParseNull(JsonValue* out) {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = JsonValue();
+      return Status::Ok();
+    }
+    return Fail("bad literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return Fail("expected a value");
+    pos_ += static_cast<size_t>(end - begin);
+    *out = JsonValue::Number(v);
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void WriteValue(const JsonValue& v, int indent, int depth, std::string* out) {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(
+      static_cast<size_t>(indent) * (static_cast<size_t>(depth) + 1), ' ')
+                                 : "";
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent) *
+                           static_cast<size_t>(depth), ' ')
+             : "";
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      AppendNumber(out, v.AsNumber());
+      break;
+    case JsonValue::Kind::kString:
+      AppendEscaped(out, v.AsString());
+      break;
+    case JsonValue::Kind::kArray: {
+      if (v.items().empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) *out += ',';
+        first = false;
+        if (pretty) {
+          *out += '\n';
+          *out += pad;
+        }
+        WriteValue(item, indent, depth + 1, out);
+      }
+      if (pretty) {
+        *out += '\n';
+        *out += close_pad;
+      }
+      *out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      if (v.members().empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) *out += ',';
+        first = false;
+        if (pretty) {
+          *out += '\n';
+          *out += pad;
+        }
+        AppendEscaped(out, key);
+        *out += pretty ? ": " : ":";
+        WriteValue(value, indent, depth + 1, out);
+      }
+      if (pretty) {
+        *out += '\n';
+        *out += close_pad;
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double def) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsNumber() : def;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& def) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : def;
+}
+
+std::string JsonValue::Write(int indent) const {
+  std::string out;
+  WriteValue(*this, indent, 0, &out);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+StatusOr<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace movd::bench

@@ -1,0 +1,78 @@
+#ifndef MOVD_BENCH_LIB_JSON_H_
+#define MOVD_BENCH_LIB_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace movd::bench {
+
+/// Minimal JSON document model for the benchmark pipeline: BENCH_*.json
+/// emission, baseline parsing in tools/bench_diff, and the roundtrip
+/// tests. Objects preserve insertion order (a std::vector of pairs, not a
+/// hash map) so emission is deterministic and diffs of emitted files stay
+/// readable. This is not a general-purpose JSON library: numbers are
+/// doubles, strings hold the repo's ASCII identifiers (escapes are
+/// handled, full UTF-16 surrogate pairs are not), and parse errors carry
+/// byte offsets instead of line/column.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Array elements (valid for kArray).
+  const std::vector<JsonValue>& items() const { return items_; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  /// Object members in insertion order (valid for kObject).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  void Set(std::string key, JsonValue v);
+
+  /// Member lookup; null when absent or when this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience typed lookups with defaults.
+  double NumberOr(const std::string& key, double def) const;
+  std::string StringOr(const std::string& key, const std::string& def) const;
+
+  /// Serialises this value. `indent` < 0 emits compact one-line JSON;
+  /// otherwise pretty-prints with that many spaces per level.
+  std::string Write(int indent = -1) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace movd::bench
+
+#endif  // MOVD_BENCH_LIB_JSON_H_

@@ -1,0 +1,211 @@
+#include "bench_lib/report.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <thread>
+
+namespace movd::bench {
+namespace {
+
+#ifndef MOVD_BUILD_TYPE
+#define MOVD_BUILD_TYPE "unknown"
+#endif
+
+JsonValue SummaryToJson(const Summary& s) {
+  JsonValue o = JsonValue::Object();
+  o.Set("count", JsonValue::Number(static_cast<double>(s.count)));
+  o.Set("outliers", JsonValue::Number(static_cast<double>(s.outliers)));
+  o.Set("min", JsonValue::Number(s.min));
+  o.Set("median", JsonValue::Number(s.median));
+  o.Set("mean", JsonValue::Number(s.mean));
+  o.Set("p95", JsonValue::Number(s.p95));
+  o.Set("max", JsonValue::Number(s.max));
+  o.Set("stddev", JsonValue::Number(s.stddev));
+  return o;
+}
+
+Summary SummaryFromJson(const JsonValue& o) {
+  Summary s;
+  s.count = static_cast<uint64_t>(o.NumberOr("count", 0));
+  s.outliers = static_cast<uint64_t>(o.NumberOr("outliers", 0));
+  s.min = o.NumberOr("min", 0.0);
+  s.median = o.NumberOr("median", 0.0);
+  s.mean = o.NumberOr("mean", 0.0);
+  s.p95 = o.NumberOr("p95", 0.0);
+  s.max = o.NumberOr("max", 0.0);
+  s.stddev = o.NumberOr("stddev", 0.0);
+  return s;
+}
+
+JsonValue PairsToJson(
+    const std::vector<std::pair<std::string, double>>& pairs) {
+  JsonValue o = JsonValue::Object();
+  for (const auto& [k, v] : pairs) o.Set(k, JsonValue::Number(v));
+  return o;
+}
+
+std::vector<std::pair<std::string, double>> PairsFromJson(
+    const JsonValue* o) {
+  std::vector<std::pair<std::string, double>> out;
+  if (o == nullptr || !o->is_object()) return out;
+  for (const auto& [k, v] : o->members()) {
+    if (v.is_number()) out.emplace_back(k, v.AsNumber());
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchReport::Machine BenchReport::ThisMachine() {
+  Machine m;
+  char host[256] = {};
+  if (gethostname(host, sizeof(host) - 1) == 0) m.host = host;
+  m.hardware_threads =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  m.compiler = __VERSION__;
+  m.build_type = MOVD_BUILD_TYPE;
+  return m;
+}
+
+JsonValue BenchReport::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::Str(kBenchSchema));
+  doc.Set("suite", JsonValue::Str(suite));
+
+  JsonValue m = JsonValue::Object();
+  m.Set("host", JsonValue::Str(machine.host));
+  m.Set("hardware_threads",
+        JsonValue::Number(static_cast<double>(machine.hardware_threads)));
+  m.Set("compiler", JsonValue::Str(machine.compiler));
+  m.Set("build_type", JsonValue::Str(machine.build_type));
+  doc.Set("machine", std::move(m));
+
+  JsonValue c = JsonValue::Object();
+  c.Set("threads", JsonValue::Number(static_cast<double>(config.threads)));
+  c.Set("seed", JsonValue::Number(static_cast<double>(config.seed)));
+  c.Set("repetitions",
+        JsonValue::Number(static_cast<double>(config.repetitions)));
+  c.Set("warmup", JsonValue::Number(static_cast<double>(config.warmup)));
+  c.Set("phases", JsonValue::Bool(config.phases));
+  doc.Set("config", std::move(c));
+
+  JsonValue arr = JsonValue::Array();
+  for (const BenchCaseResult& cr : cases) {
+    JsonValue o = JsonValue::Object();
+    o.Set("bench", JsonValue::Str(cr.bench));
+    o.Set("name", JsonValue::Str(cr.name));
+    JsonValue params = JsonValue::Object();
+    for (const auto& [k, v] : cr.params) params.Set(k, JsonValue::Str(v));
+    o.Set("params", std::move(params));
+    o.Set("wall_seconds", SummaryToJson(cr.wall));
+    if (!cr.phases.empty()) {
+      o.Set("phases_seconds", PairsToJson(cr.phases));
+    }
+    if (!cr.metrics.empty()) o.Set("metrics", PairsToJson(cr.metrics));
+    if (!cr.derived.empty()) o.Set("derived", PairsToJson(cr.derived));
+    arr.Append(std::move(o));
+  }
+  doc.Set("cases", std::move(arr));
+  return doc;
+}
+
+StatusOr<BenchReport> BenchReport::FromJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::DataLoss("bench report: top level is not an object");
+  }
+  const std::string schema = doc.StringOr("schema", "");
+  if (schema != kBenchSchema) {
+    return Status::DataLoss("bench report: schema '" + schema +
+                            "' (expected '" + kBenchSchema + "')");
+  }
+  BenchReport r;
+  r.suite = doc.StringOr("suite", "");
+  if (r.suite.empty()) {
+    return Status::DataLoss("bench report: missing suite name");
+  }
+  if (const JsonValue* m = doc.Find("machine"); m != nullptr) {
+    r.machine.host = m->StringOr("host", "");
+    r.machine.hardware_threads =
+        static_cast<int64_t>(m->NumberOr("hardware_threads", 0));
+    r.machine.compiler = m->StringOr("compiler", "");
+    r.machine.build_type = m->StringOr("build_type", "");
+  }
+  if (const JsonValue* c = doc.Find("config"); c != nullptr) {
+    r.config.threads = static_cast<int64_t>(c->NumberOr("threads", 1));
+    r.config.seed = static_cast<uint64_t>(c->NumberOr("seed", 1));
+    r.config.repetitions =
+        static_cast<int64_t>(c->NumberOr("repetitions", 0));
+    r.config.warmup = static_cast<int64_t>(c->NumberOr("warmup", 0));
+    const JsonValue* phases = c->Find("phases");
+    r.config.phases = phases == nullptr || phases->AsBool();
+  }
+  const JsonValue* cases = doc.Find("cases");
+  if (cases == nullptr || !cases->is_array()) {
+    return Status::DataLoss("bench report: missing cases array");
+  }
+  for (const JsonValue& o : cases->items()) {
+    BenchCaseResult cr;
+    cr.bench = o.StringOr("bench", "");
+    cr.name = o.StringOr("name", "");
+    if (cr.name.empty()) {
+      return Status::DataLoss("bench report: case without a name");
+    }
+    if (const JsonValue* params = o.Find("params");
+        params != nullptr && params->is_object()) {
+      for (const auto& [k, v] : params->members()) {
+        if (v.is_string()) cr.params.emplace_back(k, v.AsString());
+      }
+    }
+    const JsonValue* wall = o.Find("wall_seconds");
+    if (wall == nullptr || !wall->is_object()) {
+      return Status::DataLoss("bench report: case '" + cr.name +
+                              "' has no wall_seconds summary");
+    }
+    cr.wall = SummaryFromJson(*wall);
+    cr.phases = PairsFromJson(o.Find("phases_seconds"));
+    cr.metrics = PairsFromJson(o.Find("metrics"));
+    cr.derived = PairsFromJson(o.Find("derived"));
+    r.cases.push_back(std::move(cr));
+  }
+  return r;
+}
+
+Status BenchReport::Save(const std::string& path) const {
+  const std::string text = ToJson().Write(/*indent=*/2);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<BenchReport> BenchReport::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string text;
+  char buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  StatusOr<JsonValue> doc = JsonValue::Parse(text);
+  if (!doc.ok()) {
+    return Status::DataLoss(path + ": " + doc.status().message());
+  }
+  StatusOr<BenchReport> report = FromJson(*doc);
+  if (!report.ok()) {
+    return Status::DataLoss(path + ": " + report.status().message());
+  }
+  return report;
+}
+
+}  // namespace movd::bench

@@ -1,0 +1,87 @@
+#ifndef MOVD_BENCH_LIB_REPORT_H_
+#define MOVD_BENCH_LIB_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_lib/json.h"
+#include "util/status.h"
+#include "util/summary.h"
+
+namespace movd::bench {
+
+/// Schema identifier emitted in every BENCH_*.json. Bump the suffix when
+/// the document shape changes incompatibly; bench_diff refuses to compare
+/// documents whose schema strings differ (DESIGN.md §10 documents the
+/// fields).
+inline constexpr char kBenchSchema[] = "movd-bench/1";
+
+/// One measured configuration of one registered benchmark.
+struct BenchCaseResult {
+  std::string bench;  ///< registered BENCH() name
+  std::string name;   ///< case id, unique within the bench ("rrb/n=64")
+  /// Declared parameters, in declaration order ("n" -> "64"). Stringly
+  /// typed on purpose: parameters identify a case, they are not compared
+  /// numerically.
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Per-repetition wall seconds (IQR-rejected; see util/summary.h).
+  Summary wall;
+  /// Mean seconds per repetition spent in each trace phase (span name ->
+  /// seconds), from the PR-4 trace aggregation. Empty when --phases=0.
+  std::vector<std::pair<std::string, double>> phases;
+  /// Deterministic outputs (costs, OVR counts, bytes). bench_diff gates
+  /// on these exactly (within a tiny relative tolerance): a drift here is
+  /// an answer change, not noise.
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Timing-derived informational values (speedups, ns/op). Reported and
+  /// plotted but never gated — they inherit wall-clock noise.
+  std::vector<std::pair<std::string, double>> derived;
+};
+
+/// A full harness run: identity, environment, policy, results.
+struct BenchReport {
+  std::string suite;  ///< binary-level name ("fig08_molq_three_types")
+
+  /// Machine fingerprint. bench_diff treats timing comparisons between
+  /// different fingerprints as advisory (cross-machine wall clocks are
+  /// not comparable); metric comparisons always apply.
+  struct Machine {
+    std::string host;
+    int64_t hardware_threads = 0;
+    std::string compiler;    ///< __VERSION__
+    std::string build_type;  ///< CMAKE_BUILD_TYPE baked in at compile time
+
+    bool SameAs(const Machine& other) const {
+      return host == other.host &&
+             hardware_threads == other.hardware_threads &&
+             compiler == other.compiler && build_type == other.build_type;
+    }
+  } machine;
+
+  /// Harness policy the run used (the shared flags).
+  struct Config {
+    int64_t threads = 1;
+    uint64_t seed = 1;
+    int64_t repetitions = 3;
+    int64_t warmup = 1;
+    bool phases = true;
+  } config;
+
+  std::vector<BenchCaseResult> cases;
+
+  /// The running binary's fingerprint.
+  static Machine ThisMachine();
+
+  JsonValue ToJson() const;
+  static StatusOr<BenchReport> FromJson(const JsonValue& doc);
+
+  /// Whole-file convenience wrappers (pretty-printed, 2-space indent).
+  Status Save(const std::string& path) const;
+  static StatusOr<BenchReport> Load(const std::string& path);
+};
+
+}  // namespace movd::bench
+
+#endif  // MOVD_BENCH_LIB_REPORT_H_

@@ -1,59 +1,8 @@
 #include "serve/metrics.h"
 
-#include "util/check.h"
 #include "util/table.h"
 
 namespace movd {
-namespace {
-
-// Microsecond upper bound of bucket i: 2^i (bucket 0 catches sub-1us).
-uint64_t BucketBoundUs(int i) { return 1ull << i; }
-
-}  // namespace
-
-void LatencyHistogram::Record(double seconds) {
-  const double us = seconds * 1e6;
-  int bucket = 0;
-  while (bucket < kBuckets - 1 &&
-         us >= static_cast<double>(BucketBoundUs(bucket))) {
-    ++bucket;
-  }
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-}
-
-uint64_t LatencyHistogram::Count() const {
-  uint64_t total = 0;
-  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
-  return total;
-}
-
-double LatencyHistogram::PercentileSeconds(double p) const {
-  MOVD_CHECK_MSG(p > 0.0 && p <= 100.0,
-                 "percentile must be in (0, 100]");
-  const uint64_t total = Count();
-  if (total == 0) return 0.0;
-  // Rank of the percentile observation, 1-based, rounded up.
-  const uint64_t rank =
-      static_cast<uint64_t>((p / 100.0) * static_cast<double>(total - 1)) + 1;
-  uint64_t cumulative = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    cumulative += buckets_[i].load(std::memory_order_relaxed);
-    if (cumulative >= rank) {
-      return static_cast<double>(BucketBoundUs(i)) * 1e-6;
-    }
-  }
-  return static_cast<double>(BucketBoundUs(kBuckets - 1)) * 1e-6;
-}
-
-std::string LatencyHistogram::Json() const {
-  std::string out = "[";
-  for (int i = 0; i < kBuckets; ++i) {
-    if (i > 0) out += ",";
-    out += std::to_string(buckets_[i].load(std::memory_order_relaxed));
-  }
-  out += "]";
-  return out;
-}
 
 void ServeMetrics::RecordRequest(ServeStatus status, double seconds,
                                  bool cache_hit) {

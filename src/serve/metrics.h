@@ -8,6 +8,7 @@
 
 #include "serve/artifact_cache.h"
 #include "util/status.h"
+#include "util/summary.h"
 
 namespace movd {
 
@@ -23,32 +24,11 @@ inline const char* ServeStatusName(ServeStatus status) {
   return StatusCodeName(status);
 }
 
-/// Fixed-bucket latency histogram: bucket i counts requests with latency
-/// in [2^(i-1), 2^i) microseconds (bucket 0: < 1us; the last bucket is an
-/// overflow catch-all of ~67s and up). Fixed buckets keep Record() a
-/// single atomic increment — no allocation, no lock — which is what a
-/// per-request hot path wants; the price is that percentiles are resolved
-/// to bucket upper bounds (~2x resolution), plenty for p50/p99 dashboards.
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 28;
-
-  /// Records one observation. Thread-safe (relaxed atomic increment).
-  void Record(double seconds);
-
-  /// Total observations recorded.
-  uint64_t Count() const;
-
-  /// Upper bound (in seconds) of the bucket containing the p-th percentile
-  /// observation, p in (0, 100]. Returns 0 when empty.
-  double PercentileSeconds(double p) const;
-
-  /// Bucket counts as a JSON array ("[0,3,17,...]").
-  std::string Json() const;
-
- private:
-  std::atomic<uint64_t> buckets_[kBuckets] = {};
-};
+/// The latency histogram lives in util/summary.h (DESIGN.md §10) so the
+/// serving layer and the benchmark harness share one stats implementation
+/// and one JSON serialisation. This alias preserves the historical serve
+/// spelling; ServeMetrics' public accessors are unchanged.
+using LatencyHistogram = ::movd::LatencyHistogram;
 
 /// Serving counters for one QueryEngine: request outcomes, overlay-cache
 /// effectiveness as seen per-request, and end-to-end service latency. All

@@ -1,0 +1,121 @@
+// Tests for the shared statistics vocabulary (util/summary.h): exact
+// quantiles on known inputs, IQR outlier rejection, and the latency
+// histogram that serve/metrics.h re-exports.
+
+#include "util/summary.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace movd {
+namespace {
+
+TEST(SortedQuantileTest, ExactValuesOnKnownInput) {
+  // Type-7 (linear interpolation) quantiles of 1..5.
+  const std::vector<double> sorted = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.75), 4.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 1.0), 5.0);
+  // Interpolated between ranks: p95 of 1..5 sits at index 3.8.
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.95), 4.8);
+}
+
+TEST(SortedQuantileTest, EvenCountInterpolates) {
+  const std::vector<double> sorted = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.5), 25.0);
+}
+
+TEST(SortedQuantileTest, SingleElement) {
+  const std::vector<double> sorted = {7.0};
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 1.0), 7.0);
+}
+
+TEST(SummaryTest, BasicStatisticsExact) {
+  const Summary s = Summary::FromSamples({3, 1, 2, 5, 4},
+                                         /*iqr_reject=*/false);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.outliers, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  // Sample stddev (n-1) of 1..5 is sqrt(2.5).
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(2.5));
+}
+
+TEST(SummaryTest, EmptyInput) {
+  const Summary s = Summary::FromSamples({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, SingleSampleHasZeroStddev) {
+  const Summary s = Summary::FromSamples({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, IqrRejectsFarOutlier) {
+  // Nine tight samples plus one wild repetition (a GC pause, a page-fault
+  // storm): the Tukey fence drops it and the summary reports clean stats.
+  std::vector<double> samples = {10, 10.1, 10.2, 9.9, 9.8,
+                                 10.05, 10.15, 9.95, 10.0, 100.0};
+  const Summary s = Summary::FromSamples(samples);
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_EQ(s.outliers, 1u);
+  EXPECT_LE(s.max, 10.2);
+  EXPECT_NEAR(s.median, 10.0, 0.1);
+}
+
+TEST(SummaryTest, IqrKeepsTightSamples) {
+  const Summary s = Summary::FromSamples({1.0, 1.01, 0.99, 1.005});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.outliers, 0u);
+}
+
+TEST(SummaryTest, NoRejectionBelowFourSamples) {
+  // With n < 4 the quartiles are meaningless; everything is kept.
+  const Summary s = Summary::FromSamples({1.0, 1.0, 50.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.outliers, 0u);
+  EXPECT_DOUBLE_EQ(s.max, 50.0);
+}
+
+TEST(SummaryTest, JsonContainsAllFields) {
+  const std::string json = Summary::FromSamples({1, 2, 3, 4, 5}).Json();
+  for (const char* field : {"\"count\"", "\"outliers\"", "\"min\"",
+                            "\"median\"", "\"mean\"", "\"p95\"", "\"max\"",
+                            "\"stddev\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(LatencyHistogramTest, CountAndPercentiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(0.001);  // 1ms
+  EXPECT_EQ(h.Count(), 1000u);
+  // The bucketed percentile lands within the 1ms bucket's bounds (the
+  // histogram is log-bucketed; exactness is not promised, the bound is).
+  const double p50 = h.PercentileSeconds(50.0);
+  EXPECT_GT(p50, 0.0001);
+  EXPECT_LT(p50, 0.01);
+}
+
+TEST(LatencyHistogramTest, ToSummaryApproximates) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(0.002);
+  const Summary s = h.ToSummary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_GT(s.median, 0.0);
+}
+
+}  // namespace
+}  // namespace movd

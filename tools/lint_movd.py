@@ -33,6 +33,12 @@ know about (see DESIGN.md section 7):
                     util/cancel.h (deadline arithmetic). A second ad-hoc
                     clock drifts against trace timestamps and cannot be
                     faked in tests.
+  bench-printf      No stdout printing (printf/std::cout/puts) in bench/:
+                    every bench reports through the shared harness
+                    (src/bench_lib), which owns the result tables and the
+                    BENCH_<suite>.json emitter. Hand-rolled tables drift
+                    from the JSON and defeat bench_diff. stderr diagnostics
+                    remain legal.
 
 False positives are suppressed through tools/lint_allowlist.txt; each entry
 is `rule|path-suffix|line-substring` plus a mandatory trailing comment
@@ -70,6 +76,11 @@ TODO_RE = re.compile(r"//.*\b(TODO|FIXME|XXX|HACK)\b")
 RAW_CHRONO_RE = re.compile(
     r"\b(?:steady_clock|system_clock|high_resolution_clock|Clock)\s*::\s*"
     r"now\s*\(")
+# bench-printf: stdout writers. fprintf is only flagged when aimed at
+# stdout; snprintf (buffer formatting) never matches.
+BENCH_PRINTF_RE = re.compile(
+    r"(?<![\w.])(?:std::)?(?:printf\s*\(|puts\s*\(|fprintf\s*\(\s*stdout\b)"
+    r"|std::cout\b")
 
 # entry-check-msg: (file-suffix, function) pairs; the definition must call
 # MOVD_CHECK_MSG within its first 15 lines.
@@ -199,6 +210,15 @@ def lint_file(root, rel_path, findings):
         code_lines.append(code)
 
     in_src = rel_path.startswith("src/")
+    in_bench = rel_path.startswith("bench/")
+
+    if in_bench:
+        for i, code in enumerate(code_lines, 1):
+            if BENCH_PRINTF_RE.search(code):
+                findings.append(Finding(
+                    "bench-printf", rel_path, i, raw_lines[i - 1],
+                    "stdout printing in bench/; report through the harness "
+                    "(bench_lib) so tables and BENCH_*.json stay in sync"))
 
     # untracked-todo runs on raw lines (markers live in comments).
     for i, line in enumerate(raw_lines, 1):
