@@ -69,6 +69,75 @@ inline std::vector<Movd> MakeBasicMovds(const std::vector<size_t>& sizes,
   return out;
 }
 
+/// Weighted variant of MakeQuery: per-object weights drawn from (0.5, 2.5)
+/// make ς^o rank-shuffling, so every set routes to the approximated
+/// weighted diagram instead of the exact ordinary one. This is the
+/// VD-Generator configuration the weighted-build benchmark cases measure.
+inline MolqQuery MakeWeightedQuery(const std::vector<size_t>& sizes,
+                                   uint64_t seed) {
+  MolqQuery query = MakeQuery(sizes, seed);
+  Rng rng(seed ^ 0x5eedull);
+  for (ObjectSet& set : query.sets) {
+    for (SpatialObject& obj : set.objects) {
+      obj.object_weight = rng.Uniform(0.5, 2.5);
+    }
+  }
+  return query;
+}
+
+/// One weighted basic MOVD per class, built with the given construction
+/// method (paper §5.3; DESIGN.md §11). The `ovrs_out` sum is a
+/// deterministic metric: both methods derive ownership from the shared
+/// BestWeightedSite tie rule, and each construction is bit-identical for
+/// every thread count.
+inline std::vector<Movd> MakeWeightedBasicMovds(const MolqQuery& query,
+                                                WeightedMethod method,
+                                                int resolution, int threads) {
+  std::vector<Movd> out(query.sets.size());
+  for (size_t s = 0; s < query.sets.size(); ++s) {
+    out[s] = BuildBasicMovd(query, static_cast<int32_t>(s), kWorld,
+                            resolution, threads, /*audit=*/nullptr, method);
+  }
+  return out;
+}
+
+/// The weighted VD-Generator (build-phase) cases shared by the Fig. 11-14
+/// harnesses: one adaptive and one dense-grid case per workload, measuring
+/// BuildBasicMovd over a `types`-set weighted query of `n` objects per
+/// set. The summed OVR count is a deterministic gated Metric; the adaptive
+/// case carries a Derived speedup_vs_dense for observability.
+inline void WeightedBuildCases(BenchContext& ctx, size_t types, size_t n,
+                               int resolution) {
+  const MolqQuery query =
+      MakeWeightedQuery(std::vector<size_t>(types, n), ctx.seed());
+  const std::string suffix =
+      "/types=" + std::to_string(types) + "/n=" + std::to_string(n);
+  const Summary* dense_wall = nullptr;
+  for (const auto& [method, name] :
+       {std::pair{WeightedMethod::kDenseGrid, "dense"},
+        std::pair{WeightedMethod::kAdaptive, "adaptive"}}) {
+    BenchCase& c = ctx.Case(std::string("wbuild_") + name + suffix)
+                       .Param("method", name)
+                       .Param("types", types)
+                       .Param("n", n)
+                       .Param("resolution", static_cast<int64_t>(resolution));
+    size_t ovrs = 0;
+    const Summary& wall = ctx.Measure(c, [&] {
+      const auto basic =
+          MakeWeightedBasicMovds(query, method, resolution, ctx.threads());
+      ovrs = 0;
+      for (const Movd& m : basic) ovrs += m.ovrs.size();
+      Keep(ovrs);
+    });
+    c.Metric("movd_ovrs", static_cast<double>(ovrs));
+    if (method == WeightedMethod::kDenseGrid) {
+      dense_wall = &wall;
+    } else {
+      c.Derived("speedup_vs_dense", dense_wall->median / wall.median);
+    }
+  }
+}
+
 /// Parses a comma-separated size list (bench --sizes flags).
 inline std::vector<size_t> ParseSizes(const std::string& csv) {
   std::vector<size_t> sizes;

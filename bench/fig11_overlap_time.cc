@@ -50,6 +50,11 @@ BENCH(fig11_overlap_time) {
       mbrb.Derived("speedup_vs_rrb", rrb_wall.median / mbrb_wall.median);
     }
   }
+  // Build phase with per-object weights: the VD Generator routes to the
+  // weighted constructions instead of exact ordinary Voronoi
+  // (--wres controls the diagram resolution).
+  const int wres = static_cast<int>(ctx.flags().GetInt("wres", 256));
+  for (const size_t n : sizes) WeightedBuildCases(ctx, 2, n, wres);
 }
 
 }  // namespace movd::bench

@@ -44,6 +44,10 @@ BENCH(fig12_ovr_count) {
       }
     }
   }
+  // Weighted build phase (see fig11): OVR counts double as a correctness
+  // tripwire over the adaptive construction's non-empty-cell set.
+  const int wres = static_cast<int>(ctx.flags().GetInt("wres", 256));
+  for (const size_t n : sizes) WeightedBuildCases(ctx, 2, n, wres);
 }
 
 }  // namespace movd::bench

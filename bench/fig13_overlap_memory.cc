@@ -49,6 +49,9 @@ BENCH(fig13_overlap_memory) {
       }
     }
   }
+  // Weighted build phase (see fig11).
+  const int wres = static_cast<int>(ctx.flags().GetInt("wres", 256));
+  for (const size_t n : sizes) WeightedBuildCases(ctx, 2, n, wres);
 }
 
 }  // namespace movd::bench

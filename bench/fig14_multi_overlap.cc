@@ -101,6 +101,14 @@ BENCH(fig14_multi_overlap) {
     // RRB* = RRB at MBRB's availability line.
     MeasureAt(ctx, "rrb_star", t, mbrb_max, BoundaryMode::kRealRegion);
   }
+  // Weighted build phase across type counts (see fig11): fixed per-set
+  // size, so the case sweep isolates how the number of diagrams scales.
+  const int wres = static_cast<int>(ctx.flags().GetInt("wres", 256));
+  const size_t wbuild_n =
+      static_cast<size_t>(ctx.flags().GetInt("wbuild_n", 128));
+  for (const size_t t : types_list) {
+    WeightedBuildCases(ctx, t, wbuild_n, wres);
+  }
 }
 
 }  // namespace movd::bench

@@ -52,7 +52,9 @@ void RenderWeighted(const std::string& path) {
   for (const Point& p : RandomSites(10, 103)) {
     sites.push_back(MultiplicativeSite(p, rng.Uniform(0.5, 3.0)));
   }
-  const auto cells = ApproximateWeightedVoronoi(sites, kWorld, 192);
+  WeightedOptions wopts;
+  wopts.resolution = 192;
+  const auto cells = BuildWeightedCells(sites, kWorld, wopts);
   SvgWriter svg(kWorld, 640);
   for (size_t i = 0; i < cells.size(); ++i) {
     if (cells[i].empty) continue;

@@ -29,6 +29,7 @@ const char* AuditKindName(AuditKind kind) {
     case AuditKind::kWeightedDominance: return "weighted-dominance";
     case AuditKind::kWeightedSampleCount: return "weighted-sample-count";
     case AuditKind::kWeightedCoverRing: return "weighted-cover-ring";
+    case AuditKind::kWeightedCoverMiss: return "weighted-cover-miss";
     case AuditKind::kOverlayPoiOrder: return "overlay-poi-order";
     case AuditKind::kOverlayMbr: return "overlay-mbr";
     case AuditKind::kOverlayRegion: return "overlay-region";

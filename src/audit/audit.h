@@ -44,6 +44,7 @@ enum class AuditKind {
   kWeightedDominance,   ///< a hull vertex not dominated by its generator
   kWeightedSampleCount, ///< per-cell sample counts do not sum to the grid
   kWeightedCoverRing,   ///< a cover contour is not a simple CCW ring
+  kWeightedCoverMiss,   ///< a dominated lattice sample escapes its cover
   // AuditMovdOverlay
   kOverlayPoiOrder,    ///< poi list not sorted/unique by (set, object)
   kOverlayMbr,         ///< OVR MBR empty, outside the search space, or

@@ -8,21 +8,104 @@
 namespace movd {
 namespace {
 
-// Replays the dominance sampler's owner rule at point `p`: the lowest-index
-// generator achieving the minimum weighted distance. Identical arithmetic
-// to ApproximateWeightedVoronoi's scan, so the result is bit-exact when `p`
-// is one of the sampled grid centers.
-size_t OwnerAt(const Point& p, const std::vector<WeightedSite>& sites) {
-  size_t best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < sites.size(); ++i) {
-    const double d = WeightedSiteDistance(p, sites[i]);
-    if (d < best_d) {
-      best_d = d;
-      best = i;
+// Structural invariants shared by both construction methods: cell/site
+// alignment, empty-flag consistency (empty cells keep the sentinel invalid
+// Rect and no hull/cover), the MBR containment chain, and simple-CCW cover
+// rings. Returns false when the cell vector does not even line up with the
+// sites (the per-cell checks would be meaningless).
+bool StructuralChecks(const std::vector<WeightedSite>& sites,
+                      const std::vector<WeightedCellApprox>& cells,
+                      const Rect& bounds, AuditReport* report) {
+  report->NoteChecks(1);
+  if (cells.size() != sites.size()) {
+    report->Add(AuditKind::kWeightedCellCount,
+                AuditStrFormat("%zu cells for %zu generators", cells.size(),
+                               sites.size()),
+                {static_cast<int64_t>(cells.size()),
+                 static_cast<int64_t>(sites.size())});
+    return false;
+  }
+
+  const double slack = 1e-9 * std::max(bounds.Width(), bounds.Height());
+  const Rect slack_bounds(bounds.min_x - slack, bounds.min_y - slack,
+                          bounds.max_x + slack, bounds.max_y + slack);
+
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const WeightedCellApprox& cell = cells[i];
+
+    report->NoteChecks(2);
+    if (cell.site != static_cast<int32_t>(i)) {
+      report->Add(AuditKind::kWeightedCellCount,
+                  AuditStrFormat("cell %zu tagged with generator %d", i,
+                                 cell.site),
+                  {static_cast<int64_t>(i), cell.site});
+    }
+    if (cell.empty != (cell.sample_count == 0)) {
+      report->Add(AuditKind::kWeightedEmptyFlag,
+                  AuditStrFormat("cell %zu: empty=%d but sample_count=%zu",
+                                 i, cell.empty ? 1 : 0, cell.sample_count),
+                  {static_cast<int64_t>(i),
+                   static_cast<int64_t>(cell.sample_count)});
+    }
+    if (cell.empty) {
+      report->NoteChecks(1);
+      if (!cell.mbr.Empty() || !cell.hull.Empty() || !cell.cover.empty()) {
+        report->Add(AuditKind::kWeightedEmptyFlag,
+                    AuditStrFormat("empty cell %zu still carries an MBR, "
+                                   "hull, or cover (the MBR must stay the "
+                                   "sentinel invalid Rect)",
+                                   i),
+                    {static_cast<int64_t>(i)});
+      }
+      continue;
+    }
+
+    // MBR containment chain: hull bbox and cover bboxes inside the MBR,
+    // MBR inside the bounds.
+    report->NoteChecks(2);
+    if (cell.mbr.Empty()) {
+      report->Add(AuditKind::kWeightedContainment,
+                  AuditStrFormat("non-empty cell %zu has an empty MBR", i),
+                  {static_cast<int64_t>(i)});
+      continue;
+    }
+    if (!slack_bounds.Contains(cell.mbr)) {
+      report->Add(AuditKind::kWeightedContainment,
+                  AuditStrFormat("cell %zu MBR [%g, %g]x[%g, %g] escapes "
+                                 "the bounds",
+                                 i, cell.mbr.min_x, cell.mbr.max_x,
+                                 cell.mbr.min_y, cell.mbr.max_y),
+                  {static_cast<int64_t>(i)});
+    }
+    if (!cell.hull.Empty()) {
+      report->NoteChecks(1);
+      if (!cell.mbr.Contains(cell.hull.Bbox())) {
+        report->Add(AuditKind::kWeightedContainment,
+                    AuditStrFormat("cell %zu hull bbox escapes its MBR", i),
+                    {static_cast<int64_t>(i)});
+      }
+    }
+    for (size_t r = 0; r < cell.cover.size(); ++r) {
+      report->NoteChecks(1);
+      if (!cell.mbr.Contains(cell.cover[r].Bbox())) {
+        report->Add(AuditKind::kWeightedContainment,
+                    AuditStrFormat("cell %zu cover ring %zu escapes its "
+                                   "MBR",
+                                   i, r),
+                    {static_cast<int64_t>(i), static_cast<int64_t>(r)});
+      }
+      AuditReport ring = AuditPolygon(cell.cover[r],
+                                      static_cast<int64_t>(i));
+      for (const AuditViolation& v : ring.violations()) {
+        report->Add(AuditKind::kWeightedCoverRing,
+                    AuditStrFormat("cell %zu cover ring %zu: %s", i, r,
+                                   v.message.c_str()),
+                    v.indices, v.witness);
+      }
+      report->NoteChecks(ring.checks());
     }
   }
-  return best;
+  return true;
 }
 
 }  // namespace
@@ -31,109 +114,24 @@ AuditReport AuditWeightedCells(const std::vector<WeightedSite>& sites,
                                const std::vector<WeightedCellApprox>& cells,
                                const Rect& bounds, int resolution) {
   AuditReport report;
-
-  report.NoteChecks(1);
-  if (cells.size() != sites.size()) {
-    report.Add(AuditKind::kWeightedCellCount,
-               AuditStrFormat("%zu cells for %zu generators", cells.size(),
-                              sites.size()),
-               {static_cast<int64_t>(cells.size()),
-                static_cast<int64_t>(sites.size())});
-    return report;
-  }
+  if (!StructuralChecks(sites, cells, bounds, &report)) return report;
   if (sites.empty()) return report;
-
-  const double slack =
-      1e-9 * std::max(bounds.Width(), bounds.Height());
-  // The MBR may extend half a grid step past the outermost sample center
-  // and the dilated cover one full step; both stay inside the bounds by
-  // construction, but allow rounding slack.
-  const Rect slack_bounds(bounds.min_x - slack, bounds.min_y - slack,
-                          bounds.max_x + slack, bounds.max_y + slack);
 
   size_t total_samples = 0;
   for (size_t i = 0; i < cells.size(); ++i) {
     const WeightedCellApprox& cell = cells[i];
     total_samples += cell.sample_count;
-
-    report.NoteChecks(2);
-    if (cell.site != static_cast<int32_t>(i)) {
-      report.Add(AuditKind::kWeightedCellCount,
-                 AuditStrFormat("cell %zu tagged with generator %d", i,
-                                cell.site),
-                 {static_cast<int64_t>(i), cell.site});
-    }
-    if (cell.empty != (cell.sample_count == 0)) {
-      report.Add(AuditKind::kWeightedEmptyFlag,
-                 AuditStrFormat("cell %zu: empty=%d but sample_count=%zu", i,
-                                cell.empty ? 1 : 0, cell.sample_count),
-                 {static_cast<int64_t>(i),
-                  static_cast<int64_t>(cell.sample_count)});
-    }
-    if (cell.empty) {
-      report.NoteChecks(1);
-      if (!cell.mbr.Empty() || !cell.hull.Empty() || !cell.cover.empty()) {
-        report.Add(AuditKind::kWeightedEmptyFlag,
-                   AuditStrFormat("empty cell %zu still carries an MBR, "
-                                  "hull, or cover",
-                                  i),
-                   {static_cast<int64_t>(i)});
-      }
-      continue;
-    }
-
-    // MBR containment chain: hull bbox and cover bboxes inside the MBR,
-    // MBR inside the bounds.
-    report.NoteChecks(2);
-    if (cell.mbr.Empty()) {
-      report.Add(AuditKind::kWeightedContainment,
-                 AuditStrFormat("non-empty cell %zu has an empty MBR", i),
-                 {static_cast<int64_t>(i)});
-      continue;
-    }
-    if (!slack_bounds.Contains(cell.mbr)) {
-      report.Add(AuditKind::kWeightedContainment,
-                 AuditStrFormat("cell %zu MBR [%g, %g]x[%g, %g] escapes the "
-                                "bounds",
-                                i, cell.mbr.min_x, cell.mbr.max_x,
-                                cell.mbr.min_y, cell.mbr.max_y),
-                 {static_cast<int64_t>(i)});
-    }
-    if (!cell.hull.Empty()) {
-      report.NoteChecks(1);
-      if (!cell.mbr.Contains(cell.hull.Bbox())) {
-        report.Add(AuditKind::kWeightedContainment,
-                   AuditStrFormat("cell %zu hull bbox escapes its MBR", i),
-                   {static_cast<int64_t>(i)});
-      }
-    }
-    for (size_t r = 0; r < cell.cover.size(); ++r) {
-      report.NoteChecks(1);
-      if (!cell.mbr.Contains(cell.cover[r].Bbox())) {
-        report.Add(AuditKind::kWeightedContainment,
-                   AuditStrFormat("cell %zu cover ring %zu escapes its MBR",
-                                  i, r),
-                   {static_cast<int64_t>(i), static_cast<int64_t>(r)});
-      }
-      AuditReport ring = AuditPolygon(cell.cover[r],
-                                      static_cast<int64_t>(i));
-      for (const AuditViolation& v : ring.violations()) {
-        report.Add(AuditKind::kWeightedCoverRing,
-                   AuditStrFormat("cell %zu cover ring %zu: %s", i, r,
-                                  v.message.c_str()),
-                   v.indices, v.witness);
-      }
-      report.NoteChecks(ring.checks());
-    }
+    if (cell.empty) continue;
 
     // Dominance re-check at every hull vertex: the hull is built from
-    // dominated sample centers, so replaying the owner rule must pick this
-    // generator — a hull vertex owned by someone else means the cell leaks
-    // outside its dominance region.
+    // dominated sample centers, so replaying the owner rule — the shared
+    // BestWeightedSite, bit-exact with the sampler's arithmetic — must
+    // pick this generator. A hull vertex owned by someone else means the
+    // cell leaks outside its dominance region.
     for (size_t k = 0; k < cell.hull.vertices().size(); ++k) {
       report.NoteChecks(1);
       const Point& v = cell.hull.vertices()[k];
-      const size_t owner = OwnerAt(v, sites);
+      const size_t owner = BestWeightedSite(v, sites);
       if (owner != i) {
         report.Add(AuditKind::kWeightedDominance,
                    AuditStrFormat("cell %zu hull vertex %zu (%g, %g) is "
@@ -156,6 +154,59 @@ AuditReport AuditWeightedCells(const std::vector<WeightedSite>& sites,
                               total_samples, resolution, resolution, want),
                {static_cast<int64_t>(total_samples),
                 static_cast<int64_t>(want)});
+  }
+
+  return report;
+}
+
+AuditReport AuditAdaptiveWeightedCells(
+    const std::vector<WeightedSite>& sites,
+    const std::vector<WeightedCellApprox>& cells, const Rect& bounds,
+    int resolution) {
+  AuditReport report;
+  if (!StructuralChecks(sites, cells, bounds, &report)) return report;
+  if (sites.empty()) return report;
+
+  // Cross-method dominance containment: replay the dense lattice at the
+  // adaptive method's effective resolution with the shared tie rule and
+  // demand every dominated sample center inside its owner's cover. This
+  // is the "adaptive strictly contains the dense-grid dominated set"
+  // guarantee; it also pins the tie rule to one shared implementation —
+  // if any caller diverged from BestWeightedSite, the replay would flag
+  // the flipped boundary samples here.
+  const int res = EffectiveWeightedResolution(resolution);
+  const double step_x = bounds.Width() / res;
+  const double step_y = bounds.Height() / res;
+  for (int gy = 0; gy < res; ++gy) {
+    for (int gx = 0; gx < res; ++gx) {
+      const Point c{bounds.min_x + (gx + 0.5) * step_x,
+                    bounds.min_y + (gy + 0.5) * step_y};
+      const size_t owner = BestWeightedSite(c, sites);
+      const WeightedCellApprox& cell = cells[owner];
+      report.NoteChecks(1);
+      if (cell.empty || !cell.mbr.Contains(c)) {
+        report.Add(AuditKind::kWeightedCoverMiss,
+                   AuditStrFormat("dominated sample (%g, %g) of generator "
+                                  "%zu outside the cell MBR",
+                                  c.x, c.y, owner),
+                   {static_cast<int64_t>(owner), gx, gy}, {c});
+        continue;
+      }
+      bool covered = false;
+      for (const Polygon& ring : cell.cover) {
+        if (ring.Contains(c)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        report.Add(AuditKind::kWeightedCoverMiss,
+                   AuditStrFormat("dominated sample (%g, %g) of generator "
+                                  "%zu outside every cover ring",
+                                  c.x, c.y, owner),
+                   {static_cast<int64_t>(owner), gx, gy}, {c});
+      }
+    }
   }
 
   return report;

@@ -28,6 +28,28 @@ AuditReport AuditWeightedCells(const std::vector<WeightedSite>& sites,
                                const std::vector<WeightedCellApprox>& cells,
                                const Rect& bounds, int resolution);
 
+/// Validates the adaptive quadtree diagram (WeightedMethod::kAdaptive,
+/// DESIGN.md §11) against its conservative-cover contract:
+///  - the structural invariants shared with the dense method (cell/site
+///    alignment, empty-flag consistency with the sentinel invalid MBR,
+///    MBR-in-bounds and cover-in-MBR containment, simple CCW cover rings);
+///  - the cross-method dominance guarantee: every sample center of the
+///    EffectiveWeightedResolution(resolution) dense lattice that the
+///    BestWeightedSite tie rule assigns to generator i lies inside cell
+///    i's cover (and MBR). The replay uses the same shared owner function
+///    as both builders, so the tie rule is asserted to be
+///    resolution-independent and method-independent at once. Because the
+///    adaptive covers contain the whole classified dominance region, a
+///    single missed sample is a real construction bug, not tolerance
+///    noise.
+/// The dense-lattice replay costs O(resolution^2 * sites) — the price the
+/// construction avoided — so this belongs in opt-in audit sweeps, not on
+/// the hot path.
+AuditReport AuditAdaptiveWeightedCells(
+    const std::vector<WeightedSite>& sites,
+    const std::vector<WeightedCellApprox>& cells, const Rect& bounds,
+    int resolution);
+
 }  // namespace movd
 
 #endif  // MOVD_AUDIT_AUDIT_WEIGHTED_H_

@@ -57,7 +57,8 @@ void MergeStageAudit(AuditReport sub, const std::string& stage,
 
 Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
                     const Rect& search_space, int weighted_grid_resolution,
-                    int threads, AuditReport* audit) {
+                    int threads, AuditReport* audit,
+                    WeightedMethod weighted_method) {
   const ObjectSet& objects = query.sets.at(set);
   MOVD_CHECK_MSG(!objects.objects.empty(),
                  "every query set needs at least one object");
@@ -96,10 +97,11 @@ Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
     return MovdFromVoronoi(vd, set, object_of_site);
   }
 
-  // Weighted diagram: grid approximation (paper §5.3; see DESIGN.md). The
-  // dominance metric is the set's full affine weighted distance
-  // WD(q, p) = a*d + b with (a, b) from the ς^t/ς^o decomposition, so the
-  // diagram is exact in intent for every supported weight-function combo.
+  // Weighted diagram: conservative approximation (paper §5.3; see
+  // DESIGN.md §11). The dominance metric is the set's full affine weighted
+  // distance WD(q, p) = a*d + b with (a, b) from the ς^t/ς^o
+  // decomposition, so the diagram is exact in intent for every supported
+  // weight-function combo.
   TRACE_SPAN("weighted_grid");
   std::vector<WeightedSite> sites;
   sites.reserve(objects.objects.size());
@@ -108,13 +110,24 @@ Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
         obj, query.type_function, query.ObjectFunction(set));
     sites.push_back({obj.location, term.fw_weight, term.offset});
   }
-  const auto cells = ApproximateWeightedVoronoi(
-      sites, search_space, weighted_grid_resolution, threads);
+  WeightedOptions wopts;
+  wopts.method = weighted_method;
+  wopts.resolution = weighted_grid_resolution;
+  wopts.threads = threads;
+  const auto cells = BuildWeightedCells(sites, search_space, wopts);
   if (audit != nullptr) {
-    // Post-cell-extraction seam, weighted route.
-    MergeStageAudit(AuditWeightedCells(sites, cells, search_space,
-                                       weighted_grid_resolution),
-                    "set " + std::to_string(set) + " weighted cells", audit);
+    // Post-cell-extraction seam, weighted route. The dense auditor's
+    // sample-sum and hull-vertex invariants only hold for the dense
+    // sampler, so the adaptive route gets its own auditor (which also
+    // replays the cross-method dominance-containment guarantee).
+    const AuditReport sub =
+        weighted_method == WeightedMethod::kDenseGrid
+            ? AuditWeightedCells(sites, cells, search_space,
+                                 weighted_grid_resolution)
+            : AuditAdaptiveWeightedCells(sites, cells, search_space,
+                                         weighted_grid_resolution);
+    MergeStageAudit(sub, "set " + std::to_string(set) + " weighted cells",
+                    audit);
   }
   std::vector<int32_t> object_of_site(cells.size());
   for (size_t i = 0; i < cells.size(); ++i) {
@@ -191,7 +204,8 @@ MolqResult SolveMolq(const MolqQuery& query, const Rect& search_space,
       basic[i] = BuildBasicMovd(
           query, static_cast<int32_t>(i), search_space,
           options.exec.weighted_grid_resolution, inner_threads,
-          options.exec.audit ? &set_audits[i] : nullptr);
+          options.exec.audit ? &set_audits[i] : nullptr,
+          options.exec.weighted_method);
     });
   }
   result.stats.vd_seconds = sw.ElapsedSeconds();

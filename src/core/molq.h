@@ -106,16 +106,21 @@ struct MolqResult {
 
 /// Builds the basic MOVD of one object set (the framework's VD Generator,
 /// Fig. 3): an exact ordinary Voronoi diagram when all object weights in
-/// the set are equal (ς^o is then rank-preserving in the distance), or a
-/// grid-approximated weighted diagram otherwise.
-/// `threads` parallelises the weighted-grid sampling when the set routes
-/// to the approximated diagram (no effect on the exact ordinary path).
+/// the set are equal (ς^o is then rank-preserving in the distance), or an
+/// approximated weighted diagram otherwise. `weighted_method` picks the
+/// weighted construction (adaptive quadtree by default, dense grid as the
+/// reference fallback — see DESIGN.md §11); both share the same owner tie
+/// rule, so the method changes cover tightness and build time, never which
+/// generator dominates a point.
+/// `threads` parallelises the weighted construction when the set routes to
+/// the approximated diagram (no effect on the exact ordinary path).
 /// When `audit` is non-null, the structural auditors run on the built
-/// diagram (post-Delaunay and post-cell-extraction seams) and merge their
-/// findings into it.
+/// diagram (post-Delaunay and post-cell-extraction seams, with the
+/// weighted auditor matching the method) and merge their findings into it.
 Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
                     const Rect& search_space, int weighted_grid_resolution,
-                    int threads = 1, AuditReport* audit = nullptr);
+                    int threads = 1, AuditReport* audit = nullptr,
+                    WeightedMethod weighted_method = WeightedMethod::kAdaptive);
 
 /// Evaluates MOLQ(Ē, ς^t, σ) over `search_space` (paper Eq. 4): the
 /// location minimising MWGD. Dispatches to SSC or to the MOVD pipeline

@@ -54,7 +54,11 @@ Movd MovdFromWeightedApprox(const std::vector<WeightedCellApprox>& cells,
   MOVD_CHECK(object_of_site.size() == cells.size());
   Movd movd;
   for (const WeightedCellApprox& cell : cells) {
-    if (cell.empty) continue;
+    // Empty generators carry the sentinel invalid Rect() as their MBR; a
+    // default-constructed Rect fed into MBRB prefiltering would silently
+    // drop every intersection test, so skip them (and any cell whose MBR
+    // is degenerate) before they can become OVRs.
+    if (cell.empty || cell.mbr.Empty()) continue;
     Ovr ovr;
     ovr.mbr = cell.mbr;
     // Weighted cells may be concave or disconnected. RRB uses the tight

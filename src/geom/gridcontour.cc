@@ -74,10 +74,16 @@ std::vector<Polygon> ExtractOuterContours(const std::vector<uint8_t>& mask,
 
   const double sx = bounds.Width() / width;
   const double sy = bounds.Height() / height;
+  // The far edge of the lattice is pinned to bounds.max exactly: computing
+  // it as min + width * sx can land one ulp past max, which would leak the
+  // (dilated) contour outside the domain rectangle at the grid edge —
+  // consumers treat these contours as dominance covers and must never
+  // report dominance outside the query domain.
   const auto to_world = [&](int32_t v) {
     const int x = v % lattice_w;
     const int y = v / lattice_w;
-    return Point(bounds.min_x + x * sx, bounds.min_y + y * sy);
+    return Point(x == width ? bounds.max_x : bounds.min_x + x * sx,
+                 y == height ? bounds.max_y : bounds.min_y + y * sy);
   };
 
   std::vector<Polygon> out;

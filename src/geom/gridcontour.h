@@ -20,7 +20,10 @@ namespace movd {
 /// with sx = bounds.Width()/width. Runs of collinear boundary vertices are
 /// merged. When `dilate` is true, the mask is first grown by one cell
 /// (8-connectivity), guaranteeing the contour strictly covers the original
-/// cells even under later floating-point clipping.
+/// cells even under later floating-point clipping. Contours are always
+/// clipped to `bounds`: the outermost lattice line maps to bounds.max
+/// exactly (not min + width * step, which can overshoot by an ulp), so a
+/// dilated cover can never leak outside the domain rectangle.
 std::vector<Polygon> ExtractOuterContours(const std::vector<uint8_t>& mask,
                                           int width, int height,
                                           const Rect& bounds,

@@ -235,9 +235,14 @@ std::shared_ptr<const Movd> QueryEngine::GetOverlay(
     const ServeRequest& request, const CancelToken& token,
     bool* overlay_hit) {
   *overlay_hit = false;
+  // The weighted method changes the cover geometry (adaptive and dense
+  // covers differ while answering identically), so cached diagrams built
+  // under one method must never serve a configuration using the other.
   const std::string suffix =
-      "/r" + std::to_string(options_.exec.weighted_grid_resolution) + "/w" +
-      ds.weight_tag;
+      "/r" + std::to_string(options_.exec.weighted_grid_resolution) +
+      (options_.exec.weighted_method == WeightedMethod::kDenseGrid ? "/mdense"
+                                                                   : "/madapt") +
+      "/w" + ds.weight_tag;
 
   // One basic (single-layer) diagram; cached under a mode-independent key,
   // since basics carry both real regions and MBRs. The basic is built from
@@ -248,7 +253,8 @@ std::shared_ptr<const Movd> QueryEngine::GetOverlay(
     const auto build = [&] {
       return std::make_shared<const Movd>(BuildBasicMovd(
           ds.query, layer, ds.world, options_.exec.weighted_grid_resolution,
-          request.exec.threads));
+          request.exec.threads, /*audit=*/nullptr,
+          options_.exec.weighted_method));
     };
     if (!request.use_cache) return build();
     const std::string key =

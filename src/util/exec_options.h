@@ -7,6 +7,24 @@ namespace movd {
 
 class Trace;
 
+/// Construction algorithm for the approximated weighted Voronoi diagrams
+/// (paper §5.3). Both produce the same WeightedCellApprox shape with the
+/// same conservative-cover guarantee; they differ in how the dominance
+/// regions are found.
+enum class WeightedMethod {
+  /// Adaptive quadtree refinement (DESIGN.md §11): classifies quad nodes
+  /// by interval-arithmetic dominance bounds on the affine weighted
+  /// distance and recurses only where the boundary is ambiguous. The
+  /// default — orders of magnitude less work than the dense grid at the
+  /// same effective resolution, and its covers contain the *entire*
+  /// dominance region (not just sampled centers).
+  kAdaptive,
+  /// Brute-force dense-grid dominance sampling: O(resolution^2 * sites).
+  /// Kept as the reference fallback; its per-sample owner grid is what
+  /// the audit cross-checks replay bit-exactly.
+  kDenseGrid,
+};
+
 /// Execution knobs shared by every pipeline entry point — solver options
 /// (MolqOptions, OptimizerOptions, SscOptions, BatchOptions) and the
 /// serving layer (ServeRequest, QueryEngineOptions) embed one of these
@@ -49,8 +67,14 @@ struct ExecOptions {
   const CancelToken* cancel = nullptr;
 
   /// Grid resolution used to approximate weighted Voronoi diagrams when a
-  /// set has non-uniform object weights (§5.3).
+  /// set has non-uniform object weights (§5.3). The adaptive method rounds
+  /// this up to the next power of two (its effective leaf lattice).
   int weighted_grid_resolution = 128;
+
+  /// How weighted diagrams are constructed (see WeightedMethod). Changes
+  /// only the conservative covers' tightness/cost, never which locations a
+  /// correct answer may come from.
+  WeightedMethod weighted_method = WeightedMethod::kAdaptive;
 };
 
 }  // namespace movd

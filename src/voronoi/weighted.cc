@@ -1,7 +1,5 @@
 #include "voronoi/weighted.h"
 
-#include <limits>
-
 #include "geom/gridcontour.h"
 #include "geom/hull.h"
 #include "trace/trace.h"
@@ -12,6 +10,31 @@ namespace movd {
 
 double WeightedSiteDistance(const Point& p, const WeightedSite& site) {
   return site.multiplier * Distance(p, site.location) + site.offset;
+}
+
+int EffectiveWeightedResolution(int resolution) {
+  MOVD_CHECK_MSG(resolution > 0, "the dominance lattice needs >= 1 cell");
+  int r = 1;
+  while (r < resolution && r < (1 << 14)) r <<= 1;
+  return r;
+}
+
+std::vector<WeightedCellApprox> BuildWeightedCells(
+    const std::vector<WeightedSite>& sites, const Rect& bounds,
+    const WeightedOptions& options) {
+  MOVD_CHECK_MSG(options.resolution > 0,
+                 "weighted diagrams need a positive target resolution");
+  MOVD_CHECK_MSG(!bounds.Empty(),
+                 "weighted diagrams need a non-empty bounding rectangle");
+  switch (options.method) {
+    case WeightedMethod::kDenseGrid:
+      return ApproximateWeightedVoronoi(sites, bounds, options.resolution,
+                                        options.threads);
+    case WeightedMethod::kAdaptive:
+      break;
+  }
+  return AdaptiveWeightedVoronoi(sites, bounds, options.resolution,
+                                 options.threads);
 }
 
 std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
@@ -41,17 +64,11 @@ std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
     for (int gx = 0; gx < resolution; ++gx) {
       const Point c{bounds.min_x + (gx + 0.5) * step_x,
                     bounds.min_y + (gy + 0.5) * step_y};
-      size_t best = 0;
-      double best_d = std::numeric_limits<double>::infinity();
-      for (size_t i = 0; i < sites.size(); ++i) {
-        const double d = WeightedSiteDistance(c, sites[i]);
-        if (d < best_d) {
-          best_d = d;
-          best = i;
-        }
-      }
+      // The shared tie rule (strict <, lowest index): the owner of a
+      // sample center is a pure function of the point, never of the grid
+      // it was sampled on.
       owner[static_cast<size_t>(gy) * resolution + gx] =
-          static_cast<int32_t>(best);
+          static_cast<int32_t>(BestWeightedSite(c, sites));
     }
   });
 
@@ -97,6 +114,10 @@ std::vector<WeightedCellApprox> ApproximateWeightedVoronoi(
     for (const Polygon& piece : cell.cover) {
       cell.mbr.Expand(piece.Bbox());
     }
+    // The half-step expansion can land an ulp past the domain edge; the
+    // dominance region lives inside `bounds` by definition, so clipping
+    // the MBR to it loses nothing and keeps every consumer in-domain.
+    cell.mbr = cell.mbr.Intersect(bounds);
   });
   return cells;
 }

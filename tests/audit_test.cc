@@ -258,10 +258,20 @@ std::vector<WeightedSite> RandomWeightedSites(size_t n, uint64_t seed) {
 
 constexpr int kResolution = 32;
 
+// Dense cells through the WeightedOptions dispatch (direct
+// ApproximateWeightedVoronoi calls are lint-rejected); these audits assert
+// the dense sampler's invariants, so the method is pinned.
+std::vector<WeightedCellApprox> DenseWeightedCells(
+    const std::vector<WeightedSite>& sites) {
+  WeightedOptions opts;
+  opts.method = WeightedMethod::kDenseGrid;
+  opts.resolution = kResolution;
+  return BuildWeightedCells(sites, kBounds, opts);
+}
+
 TEST(AuditWeightedTest, AcceptsCleanApproximation) {
   const auto sites = RandomWeightedSites(8, 31);
-  const auto cells =
-      ApproximateWeightedVoronoi(sites, kBounds, kResolution, 1);
+  const auto cells = DenseWeightedCells(sites);
   const AuditReport report =
       AuditWeightedCells(sites, cells, kBounds, kResolution);
   EXPECT_TRUE(report.ok()) << report.Summary();
@@ -270,7 +280,7 @@ TEST(AuditWeightedTest, AcceptsCleanApproximation) {
 
 TEST(AuditWeightedTest, DetectsHullVertexOutsideDominanceRegion) {
   const auto sites = RandomWeightedSites(8, 31);
-  auto cells = ApproximateWeightedVoronoi(sites, kBounds, kResolution, 1);
+  auto cells = DenseWeightedCells(sites);
   // Move one hull vertex of a non-empty cell onto a DIFFERENT generator's
   // location: the weighted distance there is exactly zero for that
   // generator, so the dominance re-check must attribute it elsewhere.
@@ -306,7 +316,7 @@ TEST(AuditWeightedTest, DetectsHullVertexOutsideDominanceRegion) {
 
 TEST(AuditWeightedTest, DetectsSampleCountTampering) {
   const auto sites = RandomWeightedSites(8, 31);
-  auto cells = ApproximateWeightedVoronoi(sites, kBounds, kResolution, 1);
+  auto cells = DenseWeightedCells(sites);
   for (auto& cell : cells) {
     if (!cell.empty) {
       cell.sample_count += 5;
@@ -321,7 +331,7 @@ TEST(AuditWeightedTest, DetectsSampleCountTampering) {
 
 TEST(AuditWeightedTest, DetectsEmptyFlagMismatch) {
   const auto sites = RandomWeightedSites(8, 31);
-  auto cells = ApproximateWeightedVoronoi(sites, kBounds, kResolution, 1);
+  auto cells = DenseWeightedCells(sites);
   for (auto& cell : cells) {
     if (!cell.empty) {
       cell.empty = true;  // still carries samples, hull, cover

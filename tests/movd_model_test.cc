@@ -54,7 +54,11 @@ TEST(MovdModelTest, FromWeightedApproxDropsEmptyCells) {
   const std::vector<WeightedSite> sites = {
       MultiplicativeSite({50, 50}, 1.0),
       MultiplicativeSite({50.5, 50}, 100.0)};  // dominated -> empty
-  const auto cells = ApproximateWeightedVoronoi(sites, kBounds, 64);
+  WeightedOptions wopts;
+  wopts.method = WeightedMethod::kDenseGrid;
+  wopts.resolution = 64;
+  const auto cells = BuildWeightedCells(sites, kBounds, wopts);
+  EXPECT_TRUE(cells[1].mbr.Empty());  // the sentinel invalid Rect
   std::vector<int32_t> ids = {0, 1};
   const Movd movd = MovdFromWeightedApprox(cells, 0, ids);
   ASSERT_EQ(movd.ovrs.size(), 1u);  // the empty cell is not an OVR

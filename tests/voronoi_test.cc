@@ -167,11 +167,23 @@ TEST(VoronoiStrategyTest, AgreeOnCollinearSites) {
   }
 }
 
+// The dense reference construction through the WeightedOptions dispatch
+// (direct ApproximateWeightedVoronoi calls are lint-rejected). These tests
+// assert dense-sampler semantics — per-cell sample counts over the exact
+// requested lattice — so they pin the method explicitly.
+std::vector<WeightedCellApprox> DenseCells(const std::vector<WeightedSite>& ws,
+                                           int resolution) {
+  WeightedOptions opts;
+  opts.method = WeightedMethod::kDenseGrid;
+  opts.resolution = resolution;
+  return BuildWeightedCells(ws, kBounds, opts);
+}
+
 TEST(WeightedVoronoiTest, EqualWeightsMatchOrdinaryAssignment) {
   const auto sites = RandomPoints(10, 57);
   std::vector<WeightedSite> ws;
   for (const Point& p : sites) ws.push_back(MultiplicativeSite(p, 2.5));
-  const auto cells = ApproximateWeightedVoronoi(ws, kBounds, 64);
+  const auto cells = DenseCells(ws, 64);
   const auto vd = VoronoiDiagram::Build(sites, kBounds);
   // Each weighted cell's MBR must cover the corresponding ordinary cell
   // (the diagram sorts its sites, so match cells through the site point).
@@ -190,7 +202,7 @@ TEST(WeightedVoronoiTest, HeavyWeightShrinksCell) {
   // hence a smaller dominance region.
   const std::vector<WeightedSite> ws = {MultiplicativeSite({30, 50}, 1.0),
                                         MultiplicativeSite({70, 50}, 4.0)};
-  const auto cells = ApproximateWeightedVoronoi(ws, kBounds, 128);
+  const auto cells = DenseCells(ws, 128);
   ASSERT_EQ(cells.size(), 2u);
   EXPECT_GT(cells[0].sample_count, 3 * cells[1].sample_count);
 }
@@ -198,7 +210,7 @@ TEST(WeightedVoronoiTest, HeavyWeightShrinksCell) {
 TEST(WeightedVoronoiTest, AdditiveWeightsShiftBoundary) {
   const std::vector<WeightedSite> ws = {AdditiveSite({30, 50}, 0.0),
                                         AdditiveSite({70, 50}, 20.0)};
-  const auto cells = ApproximateWeightedVoronoi(ws, kBounds, 128);
+  const auto cells = DenseCells(ws, 128);
   ASSERT_EQ(cells.size(), 2u);
   // The additive handicap moves the boundary 10 units toward site 1:
   // boundary near x = 60.
@@ -211,7 +223,7 @@ TEST(WeightedVoronoiTest, AffineSitesCombineBothDeformations) {
   // reverse. Near site 1 the fixed cost dominates; far away the slope does.
   const std::vector<WeightedSite> ws = {{{30, 50}, 1.0, 30.0},
                                         {{70, 50}, 3.0, 0.0}};
-  const auto cells = ApproximateWeightedVoronoi(ws, kBounds, 128);
+  const auto cells = DenseCells(ws, 128);
   ASSERT_EQ(cells.size(), 2u);
   EXPECT_FALSE(cells[0].empty);
   EXPECT_FALSE(cells[1].empty);
@@ -228,9 +240,14 @@ TEST(WeightedVoronoiTest, DominatedSiteHasEmptyCell) {
   const std::vector<WeightedSite> ws = {
       MultiplicativeSite({50, 50}, 1.0),
       MultiplicativeSite({50.5, 50}, 50.0)};
-  const auto cells = ApproximateWeightedVoronoi(ws, kBounds, 64);
+  const auto cells = DenseCells(ws, 64);
   EXPECT_FALSE(cells[0].empty);
   EXPECT_TRUE(cells[1].empty);
+  // Empty cells carry the sentinel invalid Rect so downstream consumers
+  // can never mistake them for a real (even degenerate) region.
+  EXPECT_TRUE(cells[1].mbr.Empty());
+  EXPECT_TRUE(cells[1].hull.Empty());
+  EXPECT_TRUE(cells[1].cover.empty());
 }
 
 }  // namespace

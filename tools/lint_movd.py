@@ -39,6 +39,13 @@ know about (see DESIGN.md section 7):
                     BENCH_<suite>.json emitter. Hand-rolled tables drift
                     from the JSON and defeat bench_diff. stderr diagnostics
                     remain legal.
+  weighted-direct   No direct calls to the weighted-Voronoi construction
+                    backends (ApproximateWeightedVoronoi /
+                    AdaptiveWeightedVoronoi) outside the WeightedOptions
+                    dispatch in src/voronoi/weighted.{h,cc} and
+                    weighted_adaptive.cc. Callers go through
+                    BuildWeightedCells so the method knob, its validation,
+                    and future backends stay in one place.
 
 False positives are suppressed through tools/lint_allowlist.txt; each entry
 is `rule|path-suffix|line-substring` plus a mandatory trailing comment
@@ -82,6 +89,17 @@ BENCH_PRINTF_RE = re.compile(
     r"(?<![\w.])(?:std::)?(?:printf\s*\(|puts\s*\(|fprintf\s*\(\s*stdout\b)"
     r"|std::cout\b")
 
+# weighted-direct: construction backends reachable only via the
+# BuildWeightedCells dispatch. The dispatch and the backends' own homes are
+# exempt (declaration + definition sites).
+WEIGHTED_DIRECT_RE = re.compile(
+    r"\b(?:ApproximateWeightedVoronoi|AdaptiveWeightedVoronoi)\s*\(")
+WEIGHTED_DIRECT_EXEMPT_FILES = (
+    "src/voronoi/weighted.h",
+    "src/voronoi/weighted.cc",
+    "src/voronoi/weighted_adaptive.cc",
+)
+
 # entry-check-msg: (file-suffix, function) pairs; the definition must call
 # MOVD_CHECK_MSG within its first 15 lines.
 ENTRY_POINTS = [
@@ -94,6 +112,10 @@ ENTRY_POINTS = [
     ("src/fermat/batch.cc", "BatchResult SolveFermatWeberBatch"),
     ("src/voronoi/weighted.cc",
      "std::vector<WeightedCellApprox> ApproximateWeightedVoronoi"),
+    ("src/voronoi/weighted.cc",
+     "std::vector<WeightedCellApprox> BuildWeightedCells"),
+    ("src/voronoi/weighted_adaptive.cc",
+     "std::vector<WeightedCellApprox> AdaptiveWeightedVoronoi"),
     ("src/geom/gridcontour.cc", "std::vector<Polygon> ExtractOuterContours"),
 ]
 
@@ -219,6 +241,17 @@ def lint_file(root, rel_path, findings):
                     "bench-printf", rel_path, i, raw_lines[i - 1],
                     "stdout printing in bench/; report through the harness "
                     "(bench_lib) so tables and BENCH_*.json stay in sync"))
+
+    # weighted-direct runs everywhere the linter looks, not just src/: a
+    # test or tool bypassing the dispatch is exactly the drift the rule
+    # exists to stop.
+    if not any(rel_path.endswith(p) for p in WEIGHTED_DIRECT_EXEMPT_FILES):
+        for i, code in enumerate(code_lines, 1):
+            if WEIGHTED_DIRECT_RE.search(code):
+                findings.append(Finding(
+                    "weighted-direct", rel_path, i, raw_lines[i - 1],
+                    "direct weighted-Voronoi backend call; route through "
+                    "BuildWeightedCells (WeightedOptions dispatch)"))
 
     # untracked-todo runs on raw lines (markers live in comments).
     for i, line in enumerate(raw_lines, 1):

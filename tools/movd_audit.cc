@@ -115,6 +115,8 @@ int Main(int argc, char** argv) {
   Tally t_voronoi_dt{"voronoi/delaunay"};
   Tally t_weighted_mult{"weighted/mult"};
   Tally t_weighted_add{"weighted/add"};
+  Tally t_adaptive_mult{"adaptive/mult"};
+  Tally t_adaptive_add{"adaptive/add"};
   Tally t_pipeline_rrb{"pipeline/rrb"};
   Tally t_pipeline_mbrb{"pipeline/mbrb"};
 
@@ -150,18 +152,31 @@ int Main(int argc, char** argv) {
           mult_sites.push_back({p, mult(rng), 0.0});
           add_sites.push_back({p, 1.0, add(rng)});
         }
+        WeightedOptions wopts;
+        wopts.resolution = resolution;
+        wopts.threads = threads;
+        wopts.method = WeightedMethod::kDenseGrid;
         Absorb(AuditWeightedCells(
-                   mult_sites,
-                   ApproximateWeightedVoronoi(mult_sites, bounds, resolution,
-                                              threads),
+                   mult_sites, BuildWeightedCells(mult_sites, bounds, wopts),
                    bounds, resolution),
                where, &t_weighted_mult);
         Absorb(AuditWeightedCells(
-                   add_sites,
-                   ApproximateWeightedVoronoi(add_sites, bounds, resolution,
-                                              threads),
+                   add_sites, BuildWeightedCells(add_sites, bounds, wopts),
                    bounds, resolution),
                where, &t_weighted_add);
+        // The adaptive construction, cross-checked against a dense-lattice
+        // dominance replay at the same effective resolution (the
+        // "adaptive cover contains every dense-dominated sample"
+        // guarantee, DESIGN.md §11).
+        wopts.method = WeightedMethod::kAdaptive;
+        Absorb(AuditAdaptiveWeightedCells(
+                   mult_sites, BuildWeightedCells(mult_sites, bounds, wopts),
+                   bounds, resolution),
+               where, &t_adaptive_mult);
+        Absorb(AuditAdaptiveWeightedCells(
+                   add_sites, BuildWeightedCells(add_sites, bounds, wopts),
+                   bounds, resolution),
+               where, &t_adaptive_add);
       }
 
       // Full pipelines: two-set queries mixing distributions and weight
@@ -217,7 +232,8 @@ int Main(int argc, char** argv) {
 
   const Tally* tallies[] = {&t_delaunay,      &t_voronoi_nn,
                             &t_voronoi_dt,    &t_weighted_mult,
-                            &t_weighted_add,  &t_pipeline_rrb,
+                            &t_weighted_add,  &t_adaptive_mult,
+                            &t_adaptive_add,  &t_pipeline_rrb,
                             &t_pipeline_mbrb};
   Table table({"component", "runs", "checks", "violations"});
   uint64_t total_violations = 0;

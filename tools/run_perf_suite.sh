@@ -25,3 +25,21 @@ common=(--threads=2 --seed=42 --repetitions=7 --warmup=1)
     --json="$out/BENCH_micro_geom.json"
 "$build/bench/micro_spatial" "${common[@]}" --scale=16 \
     --json="$out/BENCH_micro_spatial.json"
+
+# Weighted-diagram construction gates (DESIGN.md §11): the micro suite
+# compares the adaptive builder against the dense-grid reference directly;
+# the fig11-14 runs pin small overlap workloads plus the weighted build
+# phase end-to-end through BuildBasicMovd. Sizes keep the dense reference
+# cases around a second while leaving the adaptive speedup well above the
+# measurement noise.
+"$build/bench/micro_weighted" "${common[@]}" --sizes=64,256 --resolution=256 \
+    --json="$out/BENCH_micro_weighted.json"
+"$build/bench/fig11_overlap_time" "${common[@]}" --sizes=128 --wres=512 \
+    --json="$out/BENCH_fig11_overlap_time.json"
+"$build/bench/fig12_ovr_count" "${common[@]}" --sizes=128 --wres=512 \
+    --json="$out/BENCH_fig12_ovr_count.json"
+"$build/bench/fig13_overlap_memory" "${common[@]}" --sizes=128 --wres=512 \
+    --json="$out/BENCH_fig13_overlap_memory.json"
+"$build/bench/fig14_multi_overlap" "${common[@]}" --budget_mb=2 --max_n=512 \
+    --types=2,3 --wres=512 --wbuild_n=128 \
+    --json="$out/BENCH_fig14_multi_overlap.json"
