@@ -8,7 +8,7 @@
 
 #include "bench_lib/bench.h"
 #include "core/molq.h"
-#include "core/object.h"
+#include "model/object.h"
 #include "data/generate.h"
 #include "geom/rect.h"
 #include "util/rng.h"

@@ -35,6 +35,7 @@
 #include "serve/query_engine.h"
 #include "trace/trace.h"
 #include "util/flags.h"
+#include "util/status.h"
 #include "util/stopwatch.h"
 #include "viz/svg.h"
 
@@ -216,8 +217,8 @@ int Solve(const Flags& flags) {
       }
     }
     svg.AddCircle(answer, 8.0, "#ff7f0e");
-    if (!svg.Save(svg_path)) {
-      std::fprintf(stderr, "solve: cannot write %s\n", svg_path.c_str());
+    if (const Status s = svg.Save(svg_path); !s.ok()) {
+      std::fprintf(stderr, "solve: %s\n", s.ToString().c_str());
       return 1;
     }
     std::fprintf(stderr, "wrote %s\n", svg_path.c_str());

@@ -18,6 +18,7 @@
 #include "core/weighted_distance.h"
 #include "data/generate.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "viz/svg.h"
 
 namespace {
@@ -84,8 +85,10 @@ void Render(const MolqQuery& query, const MolqResult& result,
   }
   svg.AddCircle(result.location, 8.0, "#ff7f0e");
   svg.AddText(result.location + Point{150, 150}, "optimal residence", 16);
-  if (svg.Save(path)) {
+  if (const Status s = svg.Save(path); s.ok()) {
     std::printf("  wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
   }
 }
 

@@ -12,6 +12,7 @@
 #include "network/graph.h"
 #include "network/network_molq.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "viz/svg.h"
 
 namespace {
@@ -91,6 +92,11 @@ int main(int argc, char** argv) {
   svg.AddCircle(network_at, 9.0, "#9467bd");
   svg.AddText(network_at + Point{120, -120}, "network", 14);
   const std::string path = out_dir + "/road_network_planning.svg";
-  if (svg.Save(path)) std::printf("wrote %s\n", path.c_str());
+  if (const Status s = svg.Save(path); s.ok()) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

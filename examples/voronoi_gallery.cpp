@@ -8,9 +8,10 @@
 #include <cstdio>
 #include <string>
 
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 #include "core/overlap.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "viz/svg.h"
 #include "voronoi/voronoi.h"
 #include "voronoi/weighted.h"
@@ -43,7 +44,11 @@ void RenderOrdinary(const std::string& path) {
     svg.AddPolygon(vd.cells()[i].region, Palette(i), "#444444", 1.0, 0.55);
     svg.AddCircle(vd.sites()[i], 3.0, "#000000");
   }
-  if (svg.Save(path)) std::printf("wrote %s\n", path.c_str());
+  if (const Status s = svg.Save(path); s.ok()) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
 }
 
 void RenderWeighted(const std::string& path) {
@@ -65,7 +70,11 @@ void RenderWeighted(const std::string& path) {
     std::snprintf(label, sizeof(label), "w=%.1f", sites[i].multiplier);
     svg.AddText(sites[i].location + Point{8, 8}, label, 11);
   }
-  if (svg.Save(path)) std::printf("wrote %s\n", path.c_str());
+  if (const Status s = svg.Save(path); s.ok()) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
 }
 
 void RenderOverlap(const std::string& path) {
@@ -85,9 +94,11 @@ void RenderOverlap(const std::string& path) {
   }
   for (const Point& p : va.sites()) svg.AddCircle(p, 4.0, "#d62728");
   for (const Point& p : vb.sites()) svg.AddCircle(p, 4.0, "#1f77b4");
-  if (svg.Save(path)) {
+  if (const Status s = svg.Save(path); s.ok()) {
     std::printf("wrote %s (%zu OVRs from 8 x 8 cells)\n", path.c_str(),
                 overlap.ovrs.size());
+  } else {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
   }
 }
 

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "audit/audit.h"
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 #include "geom/rect.h"
 
 namespace movd {

@@ -1,7 +1,7 @@
 #ifndef MOVD_CORE_GRID_SCAN_H_
 #define MOVD_CORE_GRID_SCAN_H_
 
-#include "core/object.h"
+#include "model/object.h"
 #include "geom/point.h"
 #include "geom/rect.h"
 

@@ -6,8 +6,8 @@
 #include <vector>
 
 #include "audit/audit.h"
-#include "core/movd_model.h"
-#include "core/object.h"
+#include "model/movd_model.h"
+#include "model/object.h"
 #include "core/optimizer.h"
 #include "core/overlap.h"
 #include "core/ssc.h"

@@ -3,8 +3,8 @@
 
 #include <cstdint>
 
-#include "core/movd_model.h"
-#include "core/object.h"
+#include "model/movd_model.h"
+#include "model/object.h"
 #include "util/exec_options.h"
 
 namespace movd {

@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 #include "util/cancel.h"
 
 namespace movd {

@@ -1,8 +1,8 @@
 #ifndef MOVD_CORE_PRUNED_OVERLAP_H_
 #define MOVD_CORE_PRUNED_OVERLAP_H_
 
-#include "core/movd_model.h"
-#include "core/object.h"
+#include "model/movd_model.h"
+#include "model/object.h"
 #include "core/overlap.h"
 
 namespace movd {

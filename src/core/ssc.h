@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/object.h"
+#include "model/object.h"
 #include "geom/point.h"
 #include "util/exec_options.h"
 

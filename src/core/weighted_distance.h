@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "core/object.h"
+#include "model/object.h"
 #include "geom/point.h"
 
 namespace movd {

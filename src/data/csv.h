@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "core/object.h"
+#include "model/object.h"
 #include "geom/point.h"
 
 namespace movd {

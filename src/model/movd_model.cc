@@ -1,4 +1,4 @@
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 
 #include "util/check.h"
 

@@ -1,10 +1,10 @@
-#ifndef MOVD_CORE_MOVD_MODEL_H_
-#define MOVD_CORE_MOVD_MODEL_H_
+#ifndef MOVD_MODEL_MOVD_MODEL_H_
+#define MOVD_MODEL_MOVD_MODEL_H_
 
 #include <cstdint>
 #include <vector>
 
-#include "core/object.h"
+#include "model/object.h"
 #include "geom/polygon.h"
 #include "geom/rect.h"
 #include "voronoi/voronoi.h"
@@ -64,4 +64,4 @@ Movd MovdFromWeightedApprox(const std::vector<WeightedCellApprox>& cells,
 
 }  // namespace movd
 
-#endif  // MOVD_CORE_MOVD_MODEL_H_
+#endif  // MOVD_MODEL_MOVD_MODEL_H_

@@ -1,5 +1,5 @@
-#ifndef MOVD_CORE_OBJECT_H_
-#define MOVD_CORE_OBJECT_H_
+#ifndef MOVD_MODEL_OBJECT_H_
+#define MOVD_MODEL_OBJECT_H_
 
 #include <cstdint>
 #include <string>
@@ -69,4 +69,4 @@ struct MolqQuery {
 
 }  // namespace movd
 
-#endif  // MOVD_CORE_OBJECT_H_
+#endif  // MOVD_MODEL_OBJECT_H_

@@ -18,14 +18,19 @@ std::shared_ptr<const Movd> ArtifactCache::GetOrBuild(
     const std::string& key, const Builder& builder, bool* was_hit,
     CancelToken::Clock::time_point wait_deadline) {
   if (was_hit != nullptr) *was_hit = false;
-  std::unique_lock<std::mutex> lock(mu_);
+  // Manual Lock/Unlock (not MutexLock): the single-flight protocol drops
+  // the lock around the builder call. Clang's thread-safety analysis
+  // checks that every return path below releases mu_ exactly once.
+  mu_.Lock();
   for (;;) {
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
       ++hits_;
       if (was_hit != nullptr) *was_hit = true;
-      return it->second->artifact;
+      std::shared_ptr<const Movd> artifact = it->second->artifact;
+      mu_.Unlock();
+      return artifact;
     }
     const auto fl = inflight_.find(key);
     if (fl == inflight_.end()) break;  // this caller becomes the builder
@@ -34,30 +39,35 @@ std::shared_ptr<const Movd> ArtifactCache::GetOrBuild(
     // caller takes over as the next builder.
     const std::shared_ptr<InFlight> flight = fl->second;
     if (wait_deadline == CancelToken::Clock::time_point::max()) {
-      flight->cv.wait(lock, [&] { return flight->done; });
-    } else if (!flight->cv.wait_until(lock, wait_deadline,
-                                      [&] { return flight->done; })) {
-      ++wait_timeouts_;
-      return nullptr;
+      while (!flight->done) flight->cv.Wait(mu_);
+    } else {
+      while (!flight->done) {
+        if (!flight->cv.WaitUntil(mu_, wait_deadline) && !flight->done) {
+          ++wait_timeouts_;
+          mu_.Unlock();
+          return nullptr;
+        }
+      }
     }
   }
   ++misses_;
   const auto flight = std::make_shared<InFlight>();
   inflight_.emplace(key, flight);
-  lock.unlock();
+  mu_.Unlock();
 
   std::shared_ptr<const Movd> artifact = builder();  // outside the lock
 
-  lock.lock();
+  mu_.Lock();
   inflight_.erase(key);
   flight->done = true;
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
   if (artifact != nullptr) InsertLocked(key, artifact);
+  mu_.Unlock();
   return artifact;
 }
 
 std::shared_ptr<const Movd> ArtifactCache::Lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);
@@ -68,7 +78,7 @@ void ArtifactCache::Insert(const std::string& key,
                            std::shared_ptr<const Movd> artifact) {
   MOVD_CHECK_MSG(artifact != nullptr,
                  "the artifact cache stores built diagrams, never null");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   InsertLocked(key, std::move(artifact));
 }
 
@@ -107,7 +117,7 @@ void ArtifactCache::InsertLocked(const std::string& key,
 }
 
 ArtifactCache::Stats ArtifactCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -123,7 +133,7 @@ ArtifactCache::Stats ArtifactCache::stats() const {
 
 std::vector<std::pair<std::string, std::shared_ptr<const Movd>>>
 ArtifactCache::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, std::shared_ptr<const Movd>>> out;
   out.reserve(lru_.size());
   for (const Entry& e : lru_) out.emplace_back(e.key, e.artifact);

@@ -1,19 +1,19 @@
 #ifndef MOVD_SERVE_ARTIFACT_CACHE_H_
 #define MOVD_SERVE_ARTIFACT_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 #include "util/cancel.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace movd {
 
@@ -81,24 +81,26 @@ class ArtifactCache {
       const std::string& key, const Builder& builder,
       bool* was_hit = nullptr,
       CancelToken::Clock::time_point wait_deadline =
-          CancelToken::Clock::time_point::max());
+          CancelToken::Clock::time_point::max()) MOVD_EXCLUDES(mu_);
 
   /// Pure lookup: the artifact, or null on a miss. Does not count a miss
   /// toward stats (used by tests and warm-start bookkeeping).
-  std::shared_ptr<const Movd> Lookup(const std::string& key);
+  std::shared_ptr<const Movd> Lookup(const std::string& key)
+      MOVD_EXCLUDES(mu_);
 
   /// Inserts (or refreshes) an artifact, evicting LRU entries to fit. An
   /// artifact bigger than the whole budget is not cached (counted as
   /// oversize). Used by GetOrBuild and by warm-start loading.
-  void Insert(const std::string& key, std::shared_ptr<const Movd> artifact);
+  void Insert(const std::string& key, std::shared_ptr<const Movd> artifact)
+      MOVD_EXCLUDES(mu_);
 
   /// Current counters/occupancy snapshot.
-  Stats stats() const;
+  Stats stats() const MOVD_EXCLUDES(mu_);
 
   /// All resident artifacts, most- to least-recently used. The snapshot
   /// is what warm-start persistence serializes.
   std::vector<std::pair<std::string, std::shared_ptr<const Movd>>> Snapshot()
-      const;
+      const MOVD_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -106,29 +108,33 @@ class ArtifactCache {
     std::shared_ptr<const Movd> artifact;
     size_t bytes = 0;
   };
-  /// One in-flight build; waiters block on `cv` until `done`.
+  /// One in-flight build; waiters block on `cv` until `done`. `done` is
+  /// guarded by the owning cache's mu_ (unannotated: the capability lives
+  /// in the outer class, out of this struct's scope).
   struct InFlight {
-    std::condition_variable cv;
+    CondVar cv;
     bool done = false;
   };
 
   void InsertLocked(const std::string& key,
-                    std::shared_ptr<const Movd> artifact);
+                    std::shared_ptr<const Movd> artifact) MOVD_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// LRU list, front = most recently used. Iteration for snapshots walks
   /// this list (deterministic recency order), never the unordered index.
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
-  size_t capacity_ = 0;
-  size_t bytes_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t inserts_ = 0;
-  uint64_t oversize_ = 0;
-  uint64_t wait_timeouts_ = 0;
+  std::list<Entry> lru_ MOVD_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      MOVD_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_
+      MOVD_GUARDED_BY(mu_);
+  size_t capacity_ = 0;  ///< immutable after construction
+  size_t bytes_ MOVD_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ MOVD_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ MOVD_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ MOVD_GUARDED_BY(mu_) = 0;
+  uint64_t inserts_ MOVD_GUARDED_BY(mu_) = 0;
+  uint64_t oversize_ MOVD_GUARDED_BY(mu_) = 0;
+  uint64_t wait_timeouts_ MOVD_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace movd

@@ -35,6 +35,13 @@ using LatencyHistogram = ::movd::LatencyHistogram;
 /// counters are monotonic atomics — reading them never blocks the serving
 /// path. Cache occupancy/eviction stats live in ArtifactCache::Stats and
 /// are passed in at dump time so one report covers both.
+///
+/// Thread-safety (DESIGN.md §12): lock-free by design, so no
+/// MOVD_GUARDED_BY capabilities here. Every counter is a monotonic
+/// relaxed atomic increment (LatencyHistogram buckets included); dumps
+/// read each counter independently, so a report is per-counter exact but
+/// not a cross-counter snapshot — fine for dashboards, and the price of
+/// never blocking RecordRequest.
 class ServeMetrics {
  public:
   /// Records one finished request: terminal status, end-to-end seconds

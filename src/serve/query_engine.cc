@@ -60,7 +60,7 @@ void QueryEngine::RegisterDataset(const std::string& name, MolqQuery query,
   ds.weight_tag = WeightTag(query);
   ds.query = std::move(query);
   ds.world = world;
-  std::lock_guard<std::mutex> lock(datasets_mu_);
+  MutexLock lock(datasets_mu_);
   datasets_[name] = std::move(ds);
 }
 
@@ -71,7 +71,7 @@ const MolqQuery* QueryEngine::dataset_query(const std::string& name) const {
 
 const QueryEngine::Dataset* QueryEngine::FindDataset(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(datasets_mu_);
+  MutexLock lock(datasets_mu_);
   const auto it = datasets_.find(name);
   // Datasets are registered before serving starts and never erased, so the
   // pointer stays valid after the lock drops.

@@ -5,7 +5,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,7 +13,9 @@
 #include "serve/artifact_cache.h"
 #include "serve/metrics.h"
 #include "util/exec_options.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace movd {
@@ -103,7 +104,7 @@ class QueryEngine {
   /// Registers (or replaces) a dataset: the object sets, their weight
   /// functions, and the search space queries run over.
   void RegisterDataset(const std::string& name, MolqQuery query,
-                       const Rect& world);
+                       const Rect& world) MOVD_EXCLUDES(datasets_mu_);
 
   /// Dataset lookup for response formatting; null when unknown.
   const MolqQuery* dataset_query(const std::string& name) const;
@@ -150,7 +151,8 @@ class QueryEngine {
     std::string weight_tag;  ///< weight-mode component of cache keys
   };
 
-  const Dataset* FindDataset(const std::string& name) const;
+  const Dataset* FindDataset(const std::string& name) const
+      MOVD_EXCLUDES(datasets_mu_);
   ServeResponse SolveInternal(const ServeRequest& request,
                               const CancelToken& token);
   /// The overlay artifact for (dataset, layers, mode): cache lookup, else
@@ -165,8 +167,11 @@ class QueryEngine {
                                          bool* overlay_hit);
 
   QueryEngineOptions options_;
-  mutable std::mutex datasets_mu_;
-  std::map<std::string, Dataset> datasets_;
+  mutable Mutex datasets_mu_;
+  /// Registration inserts under the lock; Dataset values are never erased
+  /// or mutated after registration, so pointers handed out by FindDataset
+  /// stay valid after the lock drops (see the class comment's contract).
+  std::map<std::string, Dataset> datasets_ MOVD_GUARDED_BY(datasets_mu_);
   ArtifactCache cache_;
   ServeMetrics metrics_;
   ThreadPool pool_;

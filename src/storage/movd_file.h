@@ -4,7 +4,7 @@
 #include <optional>
 #include <string>
 
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 #include "storage/io.h"
 #include "util/status.h"
 

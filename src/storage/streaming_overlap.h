@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <string>
 
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 
 namespace movd {
 

@@ -68,7 +68,7 @@ Trace::Context Trace::CaptureContext() { return g_ambient; }
 
 Trace::ThreadLog* Trace::LogForThisThread() {
   if (g_log_cache.gen == gen_) return g_log_cache.log;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   logs_.push_back(std::make_unique<ThreadLog>());
   ThreadLog* log = logs_.back().get();
   log->tid = static_cast<int>(logs_.size()) - 1;
@@ -77,7 +77,7 @@ Trace::ThreadLog* Trace::LogForThisThread() {
 }
 
 std::vector<TraceSpanRecord> Trace::Collect() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceSpanRecord> records;
   std::unordered_map<uint64_t, int> by_id;     // span id -> record index
   std::vector<uint64_t> parent_of_record;      // span id of each record's parent
@@ -225,7 +225,7 @@ void AppendJsonEscaped(const char* s, std::string* out) {
 }  // namespace
 
 std::string Trace::ChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   char buf[160];

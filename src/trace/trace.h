@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace movd {
 
@@ -92,7 +93,7 @@ class Trace {
 
   /// Reconstructs all closed spans. Requires quiescence (see above).
   /// Records are grouped by thread and chronological within a thread.
-  std::vector<TraceSpanRecord> Collect() const;
+  std::vector<TraceSpanRecord> Collect() const MOVD_EXCLUDES(mu_);
 
   /// Aggregates Collect() by span name, ordered by descending total time.
   std::vector<TracePhaseRow> AggregatePhases() const;
@@ -103,7 +104,7 @@ class Trace {
   /// Chrome trace_event JSON (load in chrome://tracing or Perfetto).
   /// Every span is a matched "ph":"B"/"ph":"E" pair on its thread;
   /// counters ride in the E event's "args".
-  std::string ChromeJson() const;
+  std::string ChromeJson() const MOVD_EXCLUDES(mu_);
 
   /// Writes ChromeJson() to `path`.
   Status WriteChromeJson(const std::string& path) const;
@@ -117,14 +118,18 @@ class Trace {
   /// The calling thread's log, registering it on first use. Hot path is
   /// a thread-local cache hit keyed on `gen_` (globally unique per Trace,
   /// so a recycled Trace address can never alias a stale cache entry).
-  ThreadLog* LogForThisThread();
+  ThreadLog* LogForThisThread() MOVD_EXCLUDES(mu_);
 
   const uint64_t gen_;  ///< globally unique trace id, never reused
   Stopwatch clock_;     ///< time base; read-only after construction
   std::atomic<uint64_t> next_span_id_{1};
 
-  mutable std::mutex mu_;  ///< guards `logs_` (registration + collection)
-  std::vector<std::unique_ptr<ThreadLog>> logs_;
+  /// Guards the `logs_` vector itself (registration + collection). A
+  /// ThreadLog's *contents* are owner-thread-only on the hot path and are
+  /// read by collectors only at quiescence, so they are deliberately not
+  /// pt_guarded_by: the happens-before edge is the pool join, not mu_.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_ MOVD_GUARDED_BY(mu_);
 };
 
 /// RAII install/restore of the calling thread's ambient trace context.

@@ -19,6 +19,12 @@ namespace movd {
 /// agrees on whether the run was cancelled. The latch is the only mutable
 /// state and is atomic, making Expired() safe to call concurrently from
 /// every worker of a ParallelFor fan-out.
+///
+/// Thread-safety (DESIGN.md §12): deliberately lock-free, so the token
+/// carries no MOVD_GUARDED_BY capability. `cancelled_` is a monotonic
+/// false->true latch under relaxed ordering — a stale read can only delay
+/// the checkpoint by one poll, never un-cancel a run — and `deadline_` is
+/// immutable after construction.
 class CancelToken {
  public:
   using Clock = std::chrono::steady_clock;

@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -28,32 +28,32 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) task_ready_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

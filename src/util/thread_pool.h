@@ -2,13 +2,14 @@
 #define MOVD_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace movd {
 
@@ -31,23 +32,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues one task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) MOVD_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() MOVD_EXCLUDES(mu_);
 
   /// Number of worker threads.
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() MOVD_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently running
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ MOVD_GUARDED_BY(mu_);
+  size_t in_flight_ MOVD_GUARDED_BY(mu_) = 0;  // queued + currently running
+  bool stop_ MOVD_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, then immutable; joined by the
+  /// destructor. No lock needed.
   std::vector<std::thread> workers_;
 };
 

@@ -95,12 +95,18 @@ std::string SvgWriter::ToString() const {
          "\">\n" + body_ + "</svg>\n";
 }
 
-bool SvgWriter::Save(const std::string& path) const {
+Status SvgWriter::Save(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    return Status::IoError("SvgWriter::Save: cannot open " + path);
+  }
   const std::string doc = ToString();
-  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-  return std::fclose(f) == 0 && ok;
+  const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    return Status::IoError("SvgWriter::Save: short write to " + path);
+  }
+  return Status::Ok();
 }
 
 }  // namespace movd

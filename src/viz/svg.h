@@ -7,6 +7,7 @@
 #include "geom/point.h"
 #include "geom/polygon.h"
 #include "geom/rect.h"
+#include "util/status.h"
 
 namespace movd {
 
@@ -35,8 +36,8 @@ class SvgWriter {
   void AddText(const Point& at, const std::string& text,
                double font_size_px = 12.0);
 
-  /// Serialises the document. Returns false on I/O failure.
-  bool Save(const std::string& path) const;
+  /// Serialises the document to `path`.
+  Status Save(const std::string& path) const;
 
   /// The document body (for tests).
   std::string ToString() const;

@@ -14,7 +14,7 @@
 #include "audit/audit_voronoi.h"
 #include "audit/audit_weighted.h"
 #include "core/molq.h"
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 #include "core/overlap.h"
 #include "util/rng.h"
 #include "voronoi/delaunay.h"

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/molq.h"
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 #include "core/optimizer.h"
 #include "core/overlap.h"
 #include "core/weighted_distance.h"

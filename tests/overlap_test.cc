@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 #include "core/overlap.h"
 #include "util/rng.h"
 #include "voronoi/voronoi.h"

@@ -18,7 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "core/molq.h"
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 #include "core/topk.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"

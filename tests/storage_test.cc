@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/movd_model.h"
+#include "model/movd_model.h"
 #include "core/overlap.h"
 #include "storage/external_sort.h"
 #include "storage/io.h"

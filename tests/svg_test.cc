@@ -40,7 +40,7 @@ TEST(SvgTest, SaveWritesFile) {
   SvgWriter svg(Rect(0, 0, 1, 1));
   svg.AddCircle({0.5, 0.5}, 2.0, "black");
   const std::string path = ::testing::TempDir() + "/out.svg";
-  EXPECT_TRUE(svg.Save(path));
+  EXPECT_TRUE(svg.Save(path).ok());
   std::FILE* f = std::fopen(path.c_str(), "r");
   ASSERT_NE(f, nullptr);
   std::fclose(f);

@@ -1,0 +1,18 @@
+"""Static-analysis checkers for the MOVD repo (DESIGN.md section 12).
+
+Three checkers, each with its own CLI entry point and all registered as
+ctest tests under the `analysis` label:
+
+  lint_rules.py       The regex rule engine behind tools/lint_movd.py
+                      (determinism/robustness conventions + the
+                      stale-rejecting suppression allowlist).
+  check_includes.py   Include-layering enforcement: every src/ module may
+                      include only the modules below it in the documented
+                      DAG, and the file-level include graph must be
+                      acyclic.
+  check_headers.py    Header self-containment: every src/ header compiles
+                      as the first include of an otherwise empty TU.
+
+test_analysis.py exercises each rule against positive/negative fixture
+snippets (fixtures/), so rule regressions are caught like code regressions.
+"""

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Header self-containment check (DESIGN.md section 12).
+
+Every public header under src/ must compile as the FIRST include of an
+otherwise empty translation unit. A header that only compiles after some
+sibling has been included first is a refactoring landmine: reordering
+includes (or clang-tidy's include-sorter) breaks the build far from the
+actual bug. The check compiles one synthetic TU per header with
+`-fsyntax-only`, in parallel.
+
+Usage:
+  python3 tools/analysis/check_headers.py [--root=R] [--cxx=c++] [--jobs=N]
+
+Exits 1 when any header fails to compile standalone; the compiler output
+for each failing header is printed.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_headers(root):
+    headers = []
+    base = os.path.join(root, "src")
+    for dirpath, _, files in os.walk(base):
+        for name in sorted(files):
+            if name.endswith(".h"):
+                rel = os.path.relpath(os.path.join(dirpath, name), base)
+                headers.append(rel)
+    return sorted(headers)
+
+
+def compile_header(cxx, src_dir, tmp_dir, rel_header):
+    """Compiles `#include "rel_header"` as its own TU. Returns (rel_header,
+    returncode, compiler-output)."""
+    stem = rel_header.replace("/", "_").replace(".", "_")
+    tu = os.path.join(tmp_dir, stem + ".cc")
+    with open(tu, "w", encoding="utf-8") as f:
+        f.write('#include "%s"\n' % rel_header)
+    cmd = [cxx, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra", "-Werror",
+           "-fno-fast-math", "-I", src_dir, tu]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    return rel_header, proc.returncode, proc.stdout
+
+
+def run_check(root, cxx, jobs):
+    """Compiles every src/ header standalone. Returns a list of
+    (header, compiler-output) failures."""
+    src_dir = os.path.join(root, "src")
+    headers = find_headers(root)
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="movd_hdr_") as tmp_dir:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(compile_header, cxx, src_dir, tmp_dir, h)
+                       for h in headers]
+            for fut in concurrent.futures.as_completed(futures):
+                rel_header, rc, output = fut.result()
+                if rc != 0:
+                    failures.append((rel_header, output))
+    failures.sort()
+    return headers, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: grandparent of this "
+                             "script)")
+    parser.add_argument("--cxx", default=os.environ.get("CXX", "c++"),
+                        help="compiler to syntax-check with (default: $CXX "
+                             "or c++)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+    headers, failures = run_check(root, args.cxx, args.jobs)
+    for rel_header, output in failures:
+        print("src/%s is not self-contained:" % rel_header)
+        print(output)
+    if failures:
+        print("check_headers: %d of %d header(s) failed"
+              % (len(failures), len(headers)))
+        return 1
+    print("check_headers: all %d src/ headers compile standalone (%s)"
+          % (len(headers), args.cxx))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,4 @@
+#include <cstdio>
+// Positive fixture (lands under bench/): stdout printing defeats the
+// shared harness.
+void Report(double s) { std::printf("time=%f\n", s); }

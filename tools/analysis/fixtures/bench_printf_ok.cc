@@ -1,0 +1,3 @@
+#include <cstdio>
+// Negative fixture: stderr diagnostics stay legal in bench/.
+void Warn(const char* msg) { std::fprintf(stderr, "%s\n", msg); }

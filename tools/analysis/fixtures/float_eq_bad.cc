@@ -1,0 +1,3 @@
+// Positive fixture: float-eq must flag an exact compare against a float
+// literal outside the predicate kernels.
+bool Near(double x) { return x == 1.0; }

@@ -1,0 +1,2 @@
+// Negative fixture: integer equality and tolerance compares are legal.
+bool Check(int n, double x) { return n != 0 && (x < 1e-9 || x > -1e-9); }

@@ -1,0 +1,3 @@
+// Negative fixture (lands at src/geom/predicates.cc): the exact-predicate
+// kernels are exempt from float-eq.
+bool Sign(double d) { return d == 0.0; }

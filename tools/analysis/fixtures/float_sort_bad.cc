@@ -1,0 +1,4 @@
+#include <algorithm>
+#include <vector>
+// Positive fixture: every sort call site must be vetted via the allowlist.
+void Order(std::vector<double>* xs) { std::sort(xs->begin(), xs->end()); }

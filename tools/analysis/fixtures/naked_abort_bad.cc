@@ -1,0 +1,3 @@
+#include <cstdlib>
+// Positive fixture: abort() outside util/check.h.
+void Die() { std::abort(); }

@@ -1,0 +1,3 @@
+// Negative fixture: the string "abortion" or a member named abort_ must
+// not match, and checks route through MOVD_CHECK.
+struct S { bool abort_requested = false; };

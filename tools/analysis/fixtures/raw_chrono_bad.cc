@@ -1,0 +1,5 @@
+#include <chrono>
+// Positive fixture: raw monotonic clock read outside stopwatch/cancel.
+long Now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,3 @@
+// Negative fixture: mentioning a deadline type without reading a clock.
+#include <chrono>
+using TimePoint = std::chrono::steady_clock::time_point;

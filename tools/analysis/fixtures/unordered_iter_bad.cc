@@ -1,0 +1,8 @@
+#include <unordered_map>
+// Positive fixture: iterating an unordered container is nondeterministic.
+int Sum() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}

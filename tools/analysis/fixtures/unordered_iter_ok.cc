@@ -1,0 +1,7 @@
+#include <unordered_map>
+// Negative fixture: point lookups in an unordered container are fine.
+int Get(int key) {
+  std::unordered_map<int, int> counts;
+  auto it = counts.find(key);
+  return it == counts.end() ? 0 : it->second;
+}

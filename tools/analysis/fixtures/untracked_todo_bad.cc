@@ -1,0 +1,1 @@
+int x = 0;  // TODO: tighten this bound

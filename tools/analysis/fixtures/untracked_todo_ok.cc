@@ -1,0 +1,1 @@
+int x = 0;  // TODO(DESIGN.md section 5): tighten this bound

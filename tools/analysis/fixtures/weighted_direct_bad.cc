@@ -1,0 +1,3 @@
+// Positive fixture: calling a weighted-Voronoi backend outside the
+// BuildWeightedCells dispatch.
+void Build() { AdaptiveWeightedVoronoi(); }

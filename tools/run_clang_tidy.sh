@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Parallel clang-tidy driver with a stale-rejecting suppression baseline
+# (DESIGN.md §12).
+#
+# Runs clang-tidy (config: .clang-tidy) over every .cc/.cpp under src/,
+# tools/, examples/, bench/ and tests/ using the compile_commands.json the
+# build exports, filters findings through tools/clang_tidy_baseline.txt,
+# and fails on:
+#   - any finding not covered by a baseline entry, or
+#   - any baseline entry that matches no finding (stale suppression).
+#
+# Usage: tools/run_clang_tidy.sh [BUILD_DIR] [--require] [--jobs=N]
+#   BUILD_DIR   directory containing compile_commands.json (default: build)
+#   --require   fail (exit 2) when clang-tidy is missing instead of
+#               skipping; CI passes this, local GCC-only machines get a
+#               clean skip.
+#   --jobs=N    parallelism (default: nproc)
+#
+# Exit codes: 0 clean/skipped, 1 findings or stale baseline entries,
+# 2 environment problems (missing tool under --require, no compile DB).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="build"
+REQUIRE=0
+JOBS="$(nproc 2>/dev/null || echo 4)"
+for arg in "$@"; do
+  case "$arg" in
+    --require) REQUIRE=1 ;;
+    --jobs=*) JOBS="${arg#--jobs=}" ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+# Locate clang-tidy: $CLANG_TIDY, then PATH, then versioned spellings.
+CLANG_TIDY="${CLANG_TIDY:-}"
+if [ -z "$CLANG_TIDY" ]; then
+  for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+              clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      CLANG_TIDY="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG_TIDY" ]; then
+  if [ "$REQUIRE" = 1 ]; then
+    echo "run_clang_tidy: clang-tidy not found and --require set" >&2
+    exit 2
+  fi
+  echo "run_clang_tidy: clang-tidy not found; skipping (install clang-tidy" \
+       "or set \$CLANG_TIDY; CI runs this gate with --require)" >&2
+  exit 0
+fi
+
+COMPILE_DB="$ROOT/$BUILD_DIR/compile_commands.json"
+if [ ! -f "$COMPILE_DB" ]; then
+  echo "run_clang_tidy: $COMPILE_DB not found; configure first:" \
+       "cmake -B $BUILD_DIR -S . (CMAKE_EXPORT_COMPILE_COMMANDS is on by" \
+       "default)" >&2
+  exit 2
+fi
+
+cd "$ROOT"
+FILES="$(find src tools examples bench -name '*.cc' -o -name '*.cpp' \
+         | grep -v 'tools/analysis/fixtures' | sort)"
+COUNT="$(echo "$FILES" | wc -l)"
+echo "run_clang_tidy: $("$CLANG_TIDY" --version | head -1 | sed 's/^ *//')," \
+     "$COUNT files, $JOBS jobs"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+# shellcheck disable=SC2086
+echo "$FILES" | xargs -P "$JOBS" -n 8 \
+  "$CLANG_TIDY" -p "$ROOT/$BUILD_DIR" --quiet 2>/dev/null >> "$RAW"
+
+# Normalize findings to "path:line:col: warning: text [check]" lines and
+# apply the baseline in one pass.
+python3 - "$RAW" "$ROOT" <<'PY'
+import os
+import re
+import sys
+
+raw_path, root = sys.argv[1], sys.argv[2]
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):\d+: "
+    r"(?:warning|error): (?P<text>.*) \[(?P<check>[^\]]+)\]$")
+
+findings = []
+with open(raw_path, encoding="utf-8", errors="replace") as f:
+    for line in f:
+        m = FINDING_RE.match(line.rstrip("\n"))
+        if not m:
+            continue
+        path = os.path.relpath(m.group("path"), root)
+        findings.append((path, int(m.group("line")), m.group("check"),
+                         m.group("text")))
+# clang-tidy repeats header findings once per including TU; dedupe.
+findings = sorted(set(findings))
+
+baseline_path = os.path.join(root, "tools", "clang_tidy_baseline.txt")
+baseline = []
+if os.path.exists(baseline_path):
+    with open(baseline_path, encoding="utf-8") as f:
+        for raw in f:
+            entry = raw.split("#", 1)[0].strip()
+            if not entry:
+                continue
+            parts = [p.strip() for p in entry.split("|")]
+            if len(parts) != 3:
+                print("clang_tidy_baseline.txt: malformed entry: %s"
+                      % raw.strip(), file=sys.stderr)
+                sys.exit(2)
+            baseline.append(tuple(parts))
+
+used = set()
+kept = []
+for path, line, check, text in findings:
+    suppressed = False
+    for idx, (b_check, b_suffix, b_substr) in enumerate(baseline):
+        if check == b_check and path.endswith(b_suffix) and b_substr in text:
+            used.add(idx)
+            suppressed = True
+            break
+    if not suppressed:
+        kept.append((path, line, check, text))
+
+for path, line, check, text in kept:
+    print("%s:%d: [%s] %s" % (path, line, check, text))
+stale = [e for i, e in enumerate(baseline) if i not in used]
+for b_check, b_suffix, b_substr in stale:
+    print("clang_tidy_baseline.txt: stale entry (matches nothing): %s|%s|%s"
+          % (b_check, b_suffix, b_substr))
+
+if kept or stale:
+    print("\nrun_clang_tidy: %d finding(s), %d stale baseline entrie(s)"
+          % (len(kept), len(stale)))
+    sys.exit(1)
+print("run_clang_tidy: clean (%d finding(s) suppressed by baseline)"
+      % (len(findings) - len(kept)))
+PY
+exit $?
