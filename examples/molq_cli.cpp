@@ -9,6 +9,7 @@
 //       [--algorithm=rrb|mbrb|ssc] [--epsilon=1e-3] [--topk=1]
 //       [--world=10000] [--svg=answer.svg] [--prune] [--threads=1]
 //       [--json] [--trace=out.json]
+//       [--allow=x,y;x,y;x,y...] [--exclude=x,y;...] [--audit]
 //     Evaluates MOLQ over the given object sets (one CSV per type) and
 //     prints the answer(s) as JSON lines. --threads=N parallelises the
 //     pipeline (0 = one thread per hardware thread); the answer is
@@ -17,10 +18,32 @@
 //     the same code path and answer serializer movd_serve uses, so the
 //     CLI output is byte-identical to a served answer (timing fields are
 //     left to stderr so stdout is deterministic and diffable).
-//     --trace=FILE records a hierarchical span trace of the solve and
-//     writes it as Chrome trace_event JSON (open in chrome://tracing or
-//     Perfetto); an aggregated per-phase table goes to stderr. Tracing
-//     never changes the answer bytes.
+//     --allow/--exclude turn the solve into a constrained MOLQ (RRB only;
+//     the answer must fall inside the --allow polygon and outside every
+//     --exclude polygon's interior), routed through the serving engine
+//     like --json. --trace=FILE records a hierarchical span trace of the
+//     solve and writes it as Chrome trace_event JSON (open in
+//     chrome://tracing or Perfetto); an aggregated per-phase table goes to
+//     stderr. Tracing never changes the answer bytes.
+//
+//   molq_cli skyline --inputs=... [--algorithm=rrb|mbrb] [--epsilon=]
+//       [--threads=] [--json] [--audit]
+//     The multi-criteria skyline: every candidate site not Pareto-
+//     dominated on its per-set criteria vector, one JSON line per member
+//     (with --json, the full response object movd_serve would send).
+//
+//   molq_cli diverse --inputs=... --topk=K --min_dist=D
+//       [--algorithm=rrb|mbrb] [--epsilon=] [--threads=] [--json] [--audit]
+//     Diversified top-k: the K best sites with pairwise distance >= D.
+//
+//   molq_cli whatif --inputs=... --sweep=s,s|s,s|... [--topk=1]
+//       [--algorithm=rrb|mbrb] [--epsilon=] [--threads=] [--json] [--audit]
+//     Batched what-if sweep: one top-k ranking per '|'-separated weight
+//     vector (one comma-separated scale per input set), all served from a
+//     single MOVD build. Prints the response object ({"sweeps": [...]}).
+//
+//   --audit runs the src/audit re-check validators on the answer before
+//   printing (a validator failure is a hard error), on every shape above.
 
 #include <cstdio>
 #include <string>
@@ -43,19 +66,52 @@ namespace {
 
 using namespace movd;
 
-std::vector<std::string> SplitCsvList(const std::string& csv) {
+std::vector<std::string> SplitList(const std::string& text, char sep) {
   std::vector<std::string> out;
   size_t pos = 0;
-  while (pos <= csv.size()) {
-    const size_t comma = csv.find(',', pos);
-    if (comma == std::string::npos) {
-      if (pos < csv.size()) out.push_back(csv.substr(pos));
+  while (pos <= text.size()) {
+    const size_t at = text.find(sep, pos);
+    if (at == std::string::npos) {
+      if (pos < text.size()) out.push_back(text.substr(pos));
       break;
     }
-    out.push_back(csv.substr(pos, comma - pos));
-    pos = comma + 1;
+    out.push_back(text.substr(pos, at - pos));
+    pos = at + 1;
   }
   return out;
+}
+
+std::vector<std::string> SplitCsvList(const std::string& csv) {
+  return SplitList(csv, ',');
+}
+
+// Loads the --inputs CSV layers into `query` and grows `world` to cover
+// them (overridden by --world). Returns 0 on success, else an exit code.
+int LoadQueryFromFlags(const Flags& flags, const char* cmd, MolqQuery* query,
+                       Rect* world) {
+  const auto inputs = SplitCsvList(flags.GetString("inputs", ""));
+  if (inputs.size() < 1) {
+    std::fprintf(stderr, "%s: --inputs=a.csv,b.csv,... is required\n", cmd);
+    return 2;
+  }
+  for (const std::string& path : inputs) {
+    const auto objects = LoadObjectsCsv(path);
+    if (!objects.has_value() || objects->empty()) {
+      std::fprintf(stderr, "%s: cannot read objects from %s\n", cmd,
+                   path.c_str());
+      return 1;
+    }
+    ObjectSet set;
+    set.name = path;
+    set.objects = *objects;
+    for (const SpatialObject& obj : set.objects) world->Expand(obj.location);
+    query->sets.push_back(std::move(set));
+  }
+  if (flags.Has("world")) {
+    const double w = flags.GetDouble("world", 10000.0);
+    *world = Rect(0, 0, w, w);
+  }
+  return 0;
 }
 
 int Generate(const Flags& flags) {
@@ -98,30 +154,50 @@ void PrintAnswerJson(const MolqQuery& query, const Point& location,
   std::printf("%s\n", AnswerJson(query, answer).c_str());
 }
 
-int Solve(const Flags& flags) {
-  const auto inputs = SplitCsvList(flags.GetString("inputs", ""));
-  if (inputs.size() < 1) {
-    std::fprintf(stderr, "solve: --inputs=a.csv,b.csv,... is required\n");
-    return 2;
+// Routes a fully-built request through the serving engine and prints the
+// result: with full_object (or for a sweep, whose natural container is
+// the response object) the engine's ResponseJson without timing fields,
+// otherwise one AnswerJson line per answer — both byte-identical run to
+// run. Timing goes to stderr. Shared by every query-algebra subcommand
+// and by solve --json / --allow / --exclude.
+int ServeAndPrint(const MolqQuery& query, const Rect& world,
+                  ServeRequest request, const char* cmd, bool full_object,
+                  Point* answer_out) {
+  QueryEngine engine;
+  engine.RegisterDataset("cli", query, world);
+  request.id = "cli";
+  request.dataset = "cli";
+  const ServeResponse resp = engine.Solve(request);
+  if (resp.status != ServeStatus::kOk) {
+    std::fprintf(stderr, "%s: %s %s\n", cmd, ServeStatusName(resp.status),
+                 resp.error.c_str());
+    return 1;
   }
+  const MolqQuery& resolved = *engine.dataset_query("cli");
+  if (full_object || !resp.sweep_answers.empty()) {
+    std::printf("%s\n",
+                ResponseJson(resolved, resp, /*include_timing=*/false).c_str());
+  } else {
+    for (const ServeAnswer& answer : resp.answers) {
+      std::printf("%s\n", AnswerJson(resolved, answer).c_str());
+    }
+  }
+  if (resp.answers.empty() && resp.sweep_answers.empty()) {
+    std::fprintf(stderr, "%s: no feasible answer\n", cmd);
+  }
+  std::fprintf(stderr, "serve: cache_hit=%s seconds=%.6f\n",
+               resp.cache_hit ? "true" : "false", resp.seconds);
+  if (answer_out != nullptr && !resp.answers.empty()) {
+    *answer_out = resp.answers.front().location;
+  }
+  return 0;
+}
+
+int Solve(const Flags& flags) {
   MolqQuery query;
   Rect world;
-  for (const std::string& path : inputs) {
-    const auto objects = LoadObjectsCsv(path);
-    if (!objects.has_value() || objects->empty()) {
-      std::fprintf(stderr, "solve: cannot read objects from %s\n",
-                   path.c_str());
-      return 1;
-    }
-    ObjectSet set;
-    set.name = path;
-    set.objects = *objects;
-    for (const SpatialObject& obj : set.objects) world.Expand(obj.location);
-    query.sets.push_back(std::move(set));
-  }
-  if (flags.Has("world")) {
-    const double w = flags.GetDouble("world", 10000.0);
-    world = Rect(0, 0, w, w);
+  if (const int rc = LoadQueryFromFlags(flags, "solve", &query, &world)) {
+    return rc;
   }
 
   MolqOptions options;
@@ -139,45 +215,69 @@ int Solve(const Flags& flags) {
   options.epsilon = flags.GetDouble("epsilon", 1e-3);
   options.use_overlap_pruning = flags.GetBool("prune", false);
   options.exec.threads = static_cast<int>(flags.GetInt("threads", 1));
+  if (flags.GetBool("audit", false)) options.exec.audit = true;
 
   const size_t k = static_cast<size_t>(flags.GetInt("topk", 1));
   const bool json = flags.GetBool("json", false);
   const std::string svg_path = flags.GetString("svg", "");
   const std::string trace_path = flags.GetString("trace", "");
+  const std::string allow = flags.GetString("allow", "");
+  const std::string exclude = flags.GetString("exclude", "");
+  const bool constrained = !allow.empty() || !exclude.empty();
+  if (constrained && options.algorithm != MolqAlgorithm::kRrb) {
+    std::fprintf(stderr,
+                 "solve: --allow/--exclude require --algorithm=rrb "
+                 "(the clipper needs real region boundaries)\n");
+    return 2;
+  }
   Trace trace;
   if (!trace_path.empty()) options.exec.trace = &trace;
   flags.WarnUnused(stderr);
   Stopwatch sw;
   Point answer;
-  if (json) {
+  if (json || constrained) {
     // Serve the query through the resident engine: same validation, same
-    // solve path, same serializer as a movd_serve SOLVE request.
+    // solve path, same serializer as a movd_serve SOLVE (or CONSTRAIN)
+    // request. Timing is excluded from stdout (it varies run to run) and
+    // reported on stderr, so stdout stays byte-identical across runs and
+    // trace modes.
     if (options.use_overlap_pruning) {
       std::fprintf(stderr, "solve: --prune is ignored with --json\n");
     }
-    QueryEngine engine;
-    engine.RegisterDataset("cli", query, world);
     ServeRequest request;
-    request.id = "cli";
-    request.dataset = "cli";
     request.algorithm = options.algorithm;
     request.epsilon = options.epsilon;
-    request.topk = k;
     request.exec = options.exec;
-    const ServeResponse resp = engine.Solve(request);
-    if (resp.status != ServeStatus::kOk) {
-      std::fprintf(stderr, "solve: %s %s\n", ServeStatusName(resp.status),
-                   resp.error.c_str());
-      return 1;
+    if (constrained) {
+      request.kind = ServeQueryKind::kConstrained;
+      if (k > 1) {
+        std::fprintf(stderr,
+                     "solve: --topk is ignored with --allow/--exclude "
+                     "(constrained MOLQ returns the single optimum)\n");
+      }
+      if (!allow.empty()) {
+        if (const Status s = ParsePolygonSpec(allow, &request.constraint.boundary);
+            !s.ok()) {
+          std::fprintf(stderr, "solve: --allow: %s\n", s.message().c_str());
+          return 2;
+        }
+      }
+      // '+' separates multiple exclusion polygons ("x,y;x,y;x,y+x,y;...")
+      // since the flag parser keeps only the last --exclude occurrence.
+      for (const std::string& spec : SplitList(exclude, '+')) {
+        Polygon poly;
+        if (const Status s = ParsePolygonSpec(spec, &poly); !s.ok()) {
+          std::fprintf(stderr, "solve: --exclude: %s\n", s.message().c_str());
+          return 2;
+        }
+        request.constraint.exclusions.push_back(std::move(poly));
+      }
+    } else {
+      request.topk = k;
     }
-    // Timing is excluded from stdout (it varies run to run); report it on
-    // stderr so stdout stays byte-identical across runs and trace modes.
-    std::printf("%s\n", ResponseJson(*engine.dataset_query("cli"), resp,
-                                     /*include_timing=*/false)
-                            .c_str());
-    std::fprintf(stderr, "serve: cache_hit=%s seconds=%.6f\n",
-                 resp.cache_hit ? "true" : "false", resp.seconds);
-    if (!resp.answers.empty()) answer = resp.answers.front().location;
+    const int rc = ServeAndPrint(query, world, std::move(request), "solve",
+                                 json, &answer);
+    if (rc != 0) return rc;
   } else if (k > 1 && options.algorithm != MolqAlgorithm::kSsc) {
     const MolqResult top = SolveMolqTopK(query, world, k, options);
     for (const RankedLocation& r : top.ranked) {
@@ -226,21 +326,90 @@ int Solve(const Flags& flags) {
   return 0;
 }
 
+// skyline / diverse / whatif — the query-algebra shapes, all routed
+// through the serving engine so the CLI exercises exactly the code path
+// (validation, artifact cache, serializer) movd_serve runs.
+int RunShape(const Flags& flags, ServeQueryKind kind, const char* cmd) {
+  MolqQuery query;
+  Rect world;
+  if (const int rc = LoadQueryFromFlags(flags, cmd, &query, &world)) {
+    return rc;
+  }
+
+  ServeRequest request;
+  request.kind = kind;
+  const std::string algo = flags.GetString("algorithm", "rrb");
+  if (algo == "rrb") {
+    request.algorithm = MolqAlgorithm::kRrb;
+  } else if (algo == "mbrb") {
+    request.algorithm = MolqAlgorithm::kMbrb;
+  } else {
+    std::fprintf(stderr, "%s: --algorithm must be rrb or mbrb (got %s)\n",
+                 cmd, algo.c_str());
+    return 2;
+  }
+  request.epsilon = flags.GetDouble("epsilon", 1e-3);
+  request.exec.threads = static_cast<int>(flags.GetInt("threads", 1));
+  if (flags.GetBool("audit", false)) request.exec.audit = true;
+  const bool json = flags.GetBool("json", false);
+
+  if (kind == ServeQueryKind::kDiverse) {
+    if (!flags.Has("topk") || !flags.Has("min_dist")) {
+      std::fprintf(stderr, "%s: --topk and --min_dist are required\n", cmd);
+      return 2;
+    }
+    request.topk = static_cast<size_t>(flags.GetInt("topk", 1));
+    request.min_distance = flags.GetDouble("min_dist", 0.0);
+  } else if (kind == ServeQueryKind::kWhatIf) {
+    const std::string sweep = flags.GetString("sweep", "");
+    if (sweep.empty()) {
+      std::fprintf(stderr, "%s: --sweep=s,s|s,s|... is required\n", cmd);
+      return 2;
+    }
+    if (const Status s = ParseSweepSpec(sweep, &request.sweep); !s.ok()) {
+      std::fprintf(stderr, "%s: --sweep: %s\n", cmd, s.message().c_str());
+      return 2;
+    }
+    request.topk = static_cast<size_t>(flags.GetInt("topk", 1));
+  }
+  flags.WarnUnused(stderr);
+  Stopwatch sw;
+  const int rc =
+      ServeAndPrint(query, world, std::move(request), cmd, json, nullptr);
+  std::fprintf(stderr, "solved in %.3fs\n", sw.ElapsedSeconds());
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   if (flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: molq_cli <generate|solve> [flags]\n"
+                 "usage: molq_cli <generate|solve|skyline|diverse|whatif> "
+                 "[flags]\n"
                  "  generate --class=STM --count=1000 --out=file.csv\n"
                  "  solve --inputs=a.csv,b.csv[,...] [--algorithm=rrb] "
-                 "[--topk=3] [--svg=out.svg] [--threads=1] [--json]\n");
+                 "[--topk=3] [--svg=out.svg] [--threads=1] [--json]\n"
+                 "        [--allow=x,y;x,y;x,y] [--exclude=x,y;...[+x,y;...]]\n"
+                 "  skyline --inputs=... [--algorithm=rrb|mbrb] [--json]\n"
+                 "  diverse --inputs=... --topk=K --min_dist=D [--json]\n"
+                 "  whatif --inputs=... --sweep=s,s|s,s[|...] [--topk=1] "
+                 "[--json]\n");
     return 2;
   }
   const std::string& command = flags.positional()[0];
   if (command == "generate") return Generate(flags);
   if (command == "solve") return Solve(flags);
+  if (command == "skyline") {
+    return RunShape(flags, ServeQueryKind::kSkyline, "skyline");
+  }
+  if (command == "diverse") {
+    return RunShape(flags, ServeQueryKind::kDiverse, "diverse");
+  }
+  if (command == "whatif") {
+    return RunShape(flags, ServeQueryKind::kWhatIf, "whatif");
+  }
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 2;
 }

@@ -41,6 +41,12 @@ const char* AuditKindName(AuditKind kind) {
     case AuditKind::kPolygonNotConvex: return "polygon-not-convex";
     case AuditKind::kPolygonSelfIntersection:
       return "polygon-self-intersection";
+    case AuditKind::kQueryGroupShape: return "query-group-shape";
+    case AuditKind::kQueryCostMismatch: return "query-cost-mismatch";
+    case AuditKind::kQueryOrder: return "query-order";
+    case AuditKind::kQueryDominated: return "query-dominated";
+    case AuditKind::kQueryDiversity: return "query-diversity";
+    case AuditKind::kQueryInfeasible: return "query-infeasible";
   }
   return "unknown";
 }

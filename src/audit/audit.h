@@ -59,6 +59,15 @@ enum class AuditKind {
   kPolygonOrientation,      ///< ring is clockwise or has zero signed area
   kPolygonNotConvex,        ///< clockwise turn in a ConvexPolygon
   kPolygonSelfIntersection, ///< two non-adjacent edges intersect
+  // Query-algebra answer validators (audit_query.cc)
+  kQueryGroupShape,    ///< group not sorted one-per-set, or criteria size
+                       ///< does not match the group
+  kQueryCostMismatch,  ///< cost/criteria disagree with an independent WD
+                       ///< recomputation at the reported location
+  kQueryOrder,         ///< result sequence violates its documented tie order
+  kQueryDominated,     ///< a reported skyline member dominated by another
+  kQueryDiversity,     ///< a selected pair closer than the min distance
+  kQueryInfeasible,    ///< a constrained answer outside the feasible region
 };
 
 /// Short stable identifier for a kind, e.g. "delaunay-circumcircle".

@@ -1,0 +1,278 @@
+#include "audit/audit_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace movd {
+namespace {
+
+/// Relative tolerance for cost/criteria recomputation. The evaluators
+/// compute WD through the Fermat–Weber decomposition (fw_weight * d +
+/// offset) while this file recomputes it through the raw ApplyWeight
+/// composition; the two differ by a few ulps of rounding, orders of
+/// magnitude below this bound, while a real evaluator bug (wrong object,
+/// wrong weight function, stale location) lands far above it.
+constexpr double kRelTol = 1e-9;
+
+/// Absolute distance below which a point counts as *on* an exclusion edge
+/// (boundary points are feasible under the closed-set semantics).
+constexpr double kBoundaryTol = 1e-7;
+
+bool NearlyEqual(double a, double b) {
+  return std::abs(a - b) <= kRelTol * (1.0 + std::abs(a) + std::abs(b));
+}
+
+/// WD recomputed from the model alone (paper Eq. 1), independent of
+/// core/weighted_distance.cc.
+double RecomputeWd(const MolqQuery& query, const Point& q,
+                   const PoiRef& ref) {
+  const SpatialObject& obj =
+      query.sets[static_cast<size_t>(ref.set)]
+          .objects[static_cast<size_t>(ref.object)];
+  const double d = Distance(q, obj.location);
+  const double od = ApplyWeight(query.ObjectFunction(
+                                    static_cast<size_t>(ref.set)),
+                                d, obj.object_weight);
+  return ApplyWeight(query.type_function, od, obj.type_weight);
+}
+
+/// Shape + cost/criteria recomputation for one reported candidate.
+/// `where` labels the candidate in violation messages ("skyline[3]").
+void CheckCandidate(const MolqQuery& query, const SiteCandidate& c,
+                    const std::string& where, AuditReport* report) {
+  report->NoteChecks(3 + c.group.size());
+  if (c.group.empty()) {
+    report->Add(AuditKind::kQueryGroupShape, where + ": empty group");
+    return;
+  }
+  for (size_t i = 0; i < c.group.size(); ++i) {
+    const PoiRef& ref = c.group[i];
+    if (ref.set < 0 ||
+        static_cast<size_t>(ref.set) >= query.sets.size() ||
+        ref.object < 0 ||
+        static_cast<size_t>(ref.object) >=
+            query.sets[static_cast<size_t>(ref.set)].objects.size()) {
+      report->Add(AuditKind::kQueryGroupShape,
+                  AuditStrFormat("%s: group[%zu] = (%d, %d) out of range",
+                                 where.c_str(), i, ref.set, ref.object));
+      return;
+    }
+    if (i > 0 && !(c.group[i - 1].set < ref.set)) {
+      report->Add(AuditKind::kQueryGroupShape,
+                  AuditStrFormat("%s: group sets not strictly ascending at "
+                                 "position %zu",
+                                 where.c_str(), i));
+      return;
+    }
+  }
+  if (c.criteria.size() != c.group.size()) {
+    report->Add(AuditKind::kQueryGroupShape,
+                AuditStrFormat("%s: %zu criteria for a group of %zu",
+                               where.c_str(), c.criteria.size(),
+                               c.group.size()));
+    return;
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < c.group.size(); ++i) {
+    const double wd = RecomputeWd(query, c.location, c.group[i]);
+    sum += wd;
+    if (!NearlyEqual(c.criteria[i], wd)) {
+      report->Add(AuditKind::kQueryCostMismatch,
+                  AuditStrFormat("%s: criteria[%zu] = %.17g but WD "
+                                 "recomputes to %.17g",
+                                 where.c_str(), i, c.criteria[i], wd),
+                  {}, {c.location});
+    }
+  }
+  if (!NearlyEqual(c.cost, sum)) {
+    report->Add(AuditKind::kQueryCostMismatch,
+                AuditStrFormat("%s: cost = %.17g but WGD recomputes to "
+                               "%.17g",
+                               where.c_str(), c.cost, sum),
+                {}, {c.location});
+  }
+}
+
+void CheckOrder(const std::vector<SiteCandidate>& seq,
+                bool (*before)(const SiteCandidate&, const SiteCandidate&),
+                const char* what, AuditReport* report) {
+  for (size_t i = 1; i < seq.size(); ++i) {
+    report->NoteChecks(1);
+    if (before(seq[i], seq[i - 1])) {
+      report->Add(AuditKind::kQueryOrder,
+                  AuditStrFormat("%s[%zu] orders before its predecessor",
+                                 what, i),
+                  {static_cast<int64_t>(i)});
+    }
+  }
+}
+
+double PointSegmentDistance2(const Point& p, const Point& a,
+                             const Point& b) {
+  const Point ab = b - a;
+  const double len2 = ab.Norm2();
+  if (!(len2 > 0.0)) return Distance2(p, a);
+  double t = (p - a).Dot(ab) / len2;
+  t = std::max(0.0, std::min(1.0, t));
+  return Distance2(p, a + ab * t);
+}
+
+/// Contained, or within the boundary tolerance of a ring edge: closed-set
+/// membership made robust to the optimizer's boundary solves, whose
+/// golden-section iterates can round a last ulp outside the exact ring.
+bool InsideOrNearRing(const Polygon& ring, const Point& p) {
+  if (ring.Contains(p)) return true;
+  const std::vector<Point>& v = ring.vertices();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (PointSegmentDistance2(p, v[i], v[(i + 1) % v.size()]) <=
+        kBoundaryTol * kBoundaryTol) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Contained and farther than the boundary tolerance from every edge:
+/// strictly inside for the closed-set exclusion semantics.
+bool StrictlyInside(const Polygon& ring, const Point& p) {
+  if (!ring.Contains(p)) return false;
+  const std::vector<Point>& v = ring.vertices();
+  for (size_t i = 0; i < v.size(); ++i) {
+    const Point& a = v[i];
+    const Point& b = v[(i + 1) % v.size()];
+    if (PointSegmentDistance2(p, a, b) <= kBoundaryTol * kBoundaryTol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AuditReport AuditSkyline(const MolqQuery& query,
+                         const SkylineResult& result) {
+  AuditReport report;
+  for (size_t i = 0; i < result.skyline.size(); ++i) {
+    CheckCandidate(query, result.skyline[i],
+                   AuditStrFormat("skyline[%zu]", i), &report);
+  }
+  CheckOrder(result.skyline, &SkylineOrderBefore, "skyline", &report);
+  for (size_t i = 0; i < result.skyline.size(); ++i) {
+    for (size_t j = 0; j < result.skyline.size(); ++j) {
+      if (i == j) continue;
+      report.NoteChecks(1);
+      if (Dominates(result.skyline[i].criteria,
+                    result.skyline[j].criteria)) {
+        report.Add(AuditKind::kQueryDominated,
+                   AuditStrFormat("skyline[%zu] dominates skyline[%zu]", i,
+                                  j),
+                   {static_cast<int64_t>(i), static_cast<int64_t>(j)});
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport AuditDiverseTopK(const MolqQuery& query, size_t k,
+                             double min_distance,
+                             const DiverseTopKResult& result) {
+  AuditReport report;
+  report.NoteChecks(1);
+  if (result.selected.size() > k) {
+    report.Add(AuditKind::kQueryOrder,
+               AuditStrFormat("%zu selected answers for k = %zu",
+                              result.selected.size(), k));
+  }
+  for (size_t i = 0; i < result.selected.size(); ++i) {
+    CheckCandidate(query, result.selected[i],
+                   AuditStrFormat("selected[%zu]", i), &report);
+  }
+  CheckOrder(result.selected, &CandidateOrderBefore, "selected", &report);
+  const double min2 = min_distance * min_distance;
+  for (size_t i = 0; i < result.selected.size(); ++i) {
+    for (size_t j = i + 1; j < result.selected.size(); ++j) {
+      report.NoteChecks(1);
+      // The exact comparison the evaluator makes — no tolerance.
+      if (Distance2(result.selected[i].location,
+                    result.selected[j].location) < min2) {
+        report.Add(AuditKind::kQueryDiversity,
+                   AuditStrFormat("selected[%zu] and selected[%zu] are "
+                                  "closer than the min distance %.17g",
+                                  i, j, min_distance),
+                   {static_cast<int64_t>(i), static_cast<int64_t>(j)},
+                   {result.selected[i].location,
+                    result.selected[j].location});
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport AuditConstrainedMolq(const MolqQuery& query,
+                                 const QueryConstraint& constraint,
+                                 const Rect& search_space,
+                                 const ConstrainedMolqResult& result) {
+  AuditReport report;
+  report.NoteChecks(1);
+  if (!result.feasible) {
+    if (!result.best.group.empty()) {
+      report.Add(AuditKind::kQueryInfeasible,
+                 "infeasible result carries an answer");
+    }
+    return report;
+  }
+  CheckCandidate(query, result.best, "best", &report);
+  report.NoteChecks(2 + constraint.exclusions.size());
+  if (!search_space.Contains(result.best.location)) {
+    report.Add(AuditKind::kQueryInfeasible,
+               "answer outside the search space", {},
+               {result.best.location});
+  }
+  if (!constraint.boundary.Empty() &&
+      !InsideOrNearRing(constraint.boundary, result.best.location)) {
+    report.Add(AuditKind::kQueryInfeasible,
+               "answer outside the boundary ring", {},
+               {result.best.location});
+  }
+  for (size_t i = 0; i < constraint.exclusions.size(); ++i) {
+    if (StrictlyInside(constraint.exclusions[i], result.best.location)) {
+      report.Add(AuditKind::kQueryInfeasible,
+                 AuditStrFormat("answer strictly inside exclusion %zu", i),
+                 {static_cast<int64_t>(i)}, {result.best.location});
+    }
+  }
+  return report;
+}
+
+AuditReport AuditWhatIfSweep(const MolqQuery& base,
+                             const std::vector<WhatIfVector>& vectors,
+                             size_t k, const WhatIfSweepResult& result) {
+  AuditReport report;
+  report.NoteChecks(1);
+  if (result.per_vector.size() != vectors.size()) {
+    report.Add(AuditKind::kQueryOrder,
+               AuditStrFormat("%zu rankings for %zu sweep vectors",
+                              result.per_vector.size(), vectors.size()));
+    return report;
+  }
+  for (size_t v = 0; v < vectors.size(); ++v) {
+    const MolqQuery scaled = ApplyWhatIfVector(base, vectors[v]);
+    const std::vector<SiteCandidate>& ranking = result.per_vector[v];
+    report.NoteChecks(1);
+    if (ranking.size() > k) {
+      report.Add(AuditKind::kQueryOrder,
+                 AuditStrFormat("sweep[%zu] has %zu answers for k = %zu", v,
+                                ranking.size(), k));
+    }
+    for (size_t i = 0; i < ranking.size(); ++i) {
+      CheckCandidate(scaled, ranking[i],
+                     AuditStrFormat("sweep[%zu][%zu]", v, i), &report);
+    }
+    CheckOrder(ranking, &CandidateOrderBefore,
+               AuditStrFormat("sweep[%zu]", v).c_str(), &report);
+  }
+  return report;
+}
+
+}  // namespace movd

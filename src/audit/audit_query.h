@@ -1,0 +1,58 @@
+#ifndef MOVD_AUDIT_AUDIT_QUERY_H_
+#define MOVD_AUDIT_AUDIT_QUERY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "audit/audit.h"
+#include "geom/rect.h"
+#include "model/object.h"
+#include "model/query_model.h"
+
+namespace movd {
+
+/// Re-check validators for the query-algebra answers (DESIGN.md §13).
+///
+/// Each validator replays the *answer contract* from the model-layer data
+/// alone — weighted distances are recomputed from the raw query objects
+/// through model/object.h's ApplyWeight, never through core — so a bug in
+/// the evaluators (src/query) cannot also hide in the checker. Violations
+/// come back as structured AuditReport entries, one witness per failure.
+
+/// Validates a skyline answer: group/criteria shape, cost and criteria
+/// agreement with an independent WD recomputation at each reported
+/// location, SkylineOrderBefore output order, and a full pairwise
+/// dominance replay (no member may dominate another).
+AuditReport AuditSkyline(const MolqQuery& query, const SkylineResult& result);
+
+/// Validates a diversified top-k answer: shape and cost recomputation as
+/// above, at most k results, ascending CandidateOrderBefore order, and
+/// every selected pair at squared distance >= min_distance^2 (the same
+/// exact comparison the evaluator makes).
+AuditReport AuditDiverseTopK(const MolqQuery& query, size_t k,
+                             double min_distance,
+                             const DiverseTopKResult& result);
+
+/// Validates a constrained-MOLQ answer: shape and cost recomputation, the
+/// location inside the search space and the boundary ring (when present;
+/// a point within a small tolerance of a boundary edge counts as inside,
+/// since boundary solves legitimately land on the ring), and not strictly
+/// inside any exclusion ring (a point on an exclusion edge is feasible;
+/// "strictly inside" is contained and farther than a tolerance from every
+/// exclusion edge). Infeasible results must be empty.
+AuditReport AuditConstrainedMolq(const MolqQuery& query,
+                                 const QueryConstraint& constraint,
+                                 const Rect& search_space,
+                                 const ConstrainedMolqResult& result);
+
+/// Validates a what-if sweep: one ranking per vector, each checked for
+/// shape, ascending CandidateOrderBefore order, at most k entries, and
+/// cost/criteria recomputation against the *scaled* query
+/// (ApplyWhatIfVector applied to `base`).
+AuditReport AuditWhatIfSweep(const MolqQuery& base,
+                             const std::vector<WhatIfVector>& vectors,
+                             size_t k, const WhatIfSweepResult& result);
+
+}  // namespace movd
+
+#endif  // MOVD_AUDIT_AUDIT_QUERY_H_

@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 #include <queue>
+#include <set>
 
 #include "core/pruned_overlap.h"
 #include "core/weighted_distance.h"
@@ -27,8 +28,11 @@ MolqResult TopKFromMovd(const MolqQuery& query, const Movd& movd, size_t k,
   TraceSpan span("topk_optimize");
 
   // Best cost per distinct combination; duplicates (MBRB false positives)
-  // collapse naturally.
+  // collapse naturally. Groups the bound already pruned are remembered too:
+  // the bound only ever decreases, so a pruned group stays pruned, and a
+  // duplicate OVR must not re-run its Weiszfeld iteration.
   std::map<std::vector<PoiRef>, RankedLocation> best_by_group;
+  std::set<std::vector<PoiRef>> pruned_groups;
 
   // The k smallest costs seen so far, as a bounded max-heap: the root is
   // the running k-th best, which is the prune bound. O(log k) per
@@ -50,7 +54,9 @@ MolqResult TopKFromMovd(const MolqQuery& query, const Movd& movd, size_t k,
       return result;
     }
     MOVD_CHECK(!ovr.pois.empty());
-    if (best_by_group.count(ovr.pois)) continue;  // combination already done
+    if (best_by_group.count(ovr.pois) || pruned_groups.count(ovr.pois)) {
+      continue;  // combination already solved (or already proven worse)
+    }
     std::vector<WeightedPoint> points;
     double offset = 0.0;
     for (const PoiRef& ref : ovr.pois) {
@@ -68,7 +74,10 @@ MolqResult TopKFromMovd(const MolqQuery& query, const Movd& movd, size_t k,
     }
     const FermatWeberResult r = SolveFermatWeber(points, fw);
     span.Counter("weiszfeld_iters", r.iterations);
-    if (r.pruned) continue;  // provably worse than the current k-th best
+    if (r.pruned) {  // provably worse than the current k-th best
+      pruned_groups.insert(ovr.pois);
+      continue;
+    }
     RankedLocation ranked;
     ranked.location = r.location;
     ranked.cost = r.cost + offset;
@@ -89,7 +98,8 @@ MolqResult TopKFromMovd(const MolqQuery& query, const Movd& movd, size_t k,
   result.ranked.reserve(best_by_group.size());
   for (auto& [group, r] : best_by_group) result.ranked.push_back(std::move(r));
   // stable_sort keeps the map's (set, object) group order among equal
-  // costs, so tied tails are deterministic.
+  // costs, so tied tails are deterministic: when every candidate ties, the
+  // ranking is exactly the lexicographic group order.
   std::stable_sort(result.ranked.begin(), result.ranked.end(),
                    [](const RankedLocation& a, const RankedLocation& b) {
                      return a.cost < b.cost;

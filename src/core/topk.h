@@ -16,6 +16,13 @@ namespace movd {
 /// bound used for pruning is the k-th best cost so far, so correctness of
 /// all k results is preserved.
 ///
+/// Edge cases (deterministic by contract):
+///  - k exceeding the number of distinct object combinations returns every
+///    combination, ascending by cost — ranked.size() < k, never an error.
+///  - Cost ties (including all candidates tied) rank in lexicographic
+///    group order, the repo-wide (set, object) tie rule; the result is
+///    identical for every thread count and pruning setting.
+///
 /// MolqResult::status is kCancelled when options.exec.cancel fired
 /// mid-run, in which case `ranked` is empty (never a partial ranking).
 MolqResult SolveMolqTopK(const MolqQuery& query, const Rect& search_space,

@@ -1,0 +1,133 @@
+#include "model/query_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace movd {
+
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) return false;
+  bool strict = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+bool GroupBefore(const std::vector<PoiRef>& a, const std::vector<PoiRef>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool CandidateOrderBefore(const SiteCandidate& a, const SiteCandidate& b) {
+  if (a.cost < b.cost) return true;
+  if (b.cost < a.cost) return false;
+  return GroupBefore(a.group, b.group);
+}
+
+namespace {
+
+/// Left-to-right criteria sum. The fixed association order makes the sum a
+/// deterministic function of the vector, and rounded addition is monotone
+/// in each term — the property SkylineOrderBefore's doc comment leans on.
+double CriteriaSum(const std::vector<double>& criteria) {
+  double sum = 0.0;
+  for (const double c : criteria) sum += c;
+  return sum;
+}
+
+}  // namespace
+
+bool SkylineOrderBefore(const SiteCandidate& a, const SiteCandidate& b) {
+  const double sa = CriteriaSum(a.criteria);
+  const double sb = CriteriaSum(b.criteria);
+  if (sa < sb) return true;
+  if (sb < sa) return false;
+  const size_t n = std::min(a.criteria.size(), b.criteria.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a.criteria[i] < b.criteria[i]) return true;
+    if (b.criteria[i] < a.criteria[i]) return false;
+  }
+  if (a.criteria.size() != b.criteria.size()) {
+    return a.criteria.size() < b.criteria.size();
+  }
+  return GroupBefore(a.group, b.group);
+}
+
+namespace {
+
+Status CheckRing(const Polygon& ring, const char* what,
+                 bool require_positive_area) {
+  if (ring.vertices().size() < 3) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " ring needs at least 3 vertices");
+  }
+  for (const Point& v : ring.vertices()) {
+    if (!std::isfinite(v.x) || !std::isfinite(v.y)) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " ring has a non-finite coordinate");
+    }
+  }
+  const double area = ring.SignedArea();
+  if (area < 0.0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " ring is clockwise; rings must be CCW");
+  }
+  if (require_positive_area && !(area > 0.0)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " ring has zero area");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateConstraint(const QueryConstraint& constraint) {
+  if (!constraint.boundary.vertices().empty()) {
+    const Status s = CheckRing(constraint.boundary, "boundary",
+                               /*require_positive_area=*/true);
+    if (!s.ok()) return s;
+  }
+  for (const Polygon& excl : constraint.exclusions) {
+    // Zero-area exclusions are legal no-ops (no interior to exclude).
+    const Status s = CheckRing(excl, "exclusion",
+                               /*require_positive_area=*/false);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status ValidateWhatIfVector(const MolqQuery& base, const WhatIfVector& v) {
+  if (v.scale.size() != base.sets.size()) {
+    return Status::InvalidArgument(
+        "what-if vector has " + std::to_string(v.scale.size()) +
+        " entries; the query has " + std::to_string(base.sets.size()) +
+        " sets");
+  }
+  const bool multiplicative =
+      base.type_function == WeightFunctionKind::kMultiplicative;
+  for (const double s : v.scale) {
+    if (!std::isfinite(s)) {
+      return Status::InvalidArgument("what-if entry is not finite");
+    }
+    if (multiplicative && !(s > 0.0)) {
+      return Status::InvalidArgument(
+          "what-if entries must be > 0 under a multiplicative type "
+          "function");
+    }
+  }
+  return Status::Ok();
+}
+
+MolqQuery ApplyWhatIfVector(const MolqQuery& base, const WhatIfVector& v) {
+  MolqQuery out = base;
+  for (size_t i = 0; i < out.sets.size() && i < v.scale.size(); ++i) {
+    for (SpatialObject& obj : out.sets[i].objects) {
+      obj.type_weight =
+          ApplyWeight(base.type_function, obj.type_weight, v.scale[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace movd

@@ -1,0 +1,86 @@
+#include "query/diversify.h"
+
+#include <algorithm>
+
+#include "trace/trace.h"
+#include "util/check.h"
+
+namespace movd {
+
+DiverseTopKResult DiverseTopKFromMovd(const MolqQuery& query,
+                                      const Movd& movd, size_t k,
+                                      double min_distance,
+                                      const CandidateOptions& options) {
+  MOVD_CHECK_MSG(k > 0 && min_distance >= 0.0 && !movd.ovrs.empty(),
+                 "diversified top-k needs k >= 1, min_distance >= 0 and a "
+                 "non-empty MOVD");
+  DiverseTopKResult result;
+  TraceContextScope trace_scope(options.exec.trace);
+  TraceSpan span("query_diversify");
+  std::vector<SiteCandidate> candidates;
+  result.status = EnumerateCandidates(query, movd, options, &candidates);
+  if (result.status != StatusCode::kOk) return result;
+  result.candidates = candidates.size();
+
+  std::sort(candidates.begin(), candidates.end(), CandidateOrderBefore);
+  const double min2 = min_distance * min_distance;
+  for (SiteCandidate& c : candidates) {
+    if (result.selected.size() == k) break;
+    bool far_enough = true;
+    for (const SiteCandidate& s : result.selected) {
+      if (Distance2(c.location, s.location) < min2) {
+        far_enough = false;
+        break;
+      }
+    }
+    if (far_enough) {
+      result.selected.push_back(std::move(c));
+    } else {
+      ++result.skipped;
+    }
+  }
+  span.Counter("selected", static_cast<int64_t>(result.selected.size()));
+  span.Counter("skipped", static_cast<int64_t>(result.skipped));
+  return result;
+}
+
+DiverseTopKResult DiverseTopKBruteForce(const MolqQuery& query,
+                                        const Movd& movd, size_t k,
+                                        double min_distance,
+                                        const CandidateOptions& options) {
+  MOVD_CHECK_MSG(k > 0 && min_distance >= 0.0 && !movd.ovrs.empty(),
+                 "the diversified top-k reference needs k >= 1, "
+                 "min_distance >= 0 and a non-empty MOVD");
+  DiverseTopKResult result;
+  std::vector<SiteCandidate> candidates;
+  result.status = EnumerateCandidates(query, movd, options, &candidates);
+  if (result.status != StatusCode::kOk) return result;
+  result.candidates = candidates.size();
+
+  const double min2 = min_distance * min_distance;
+  std::vector<bool> used(candidates.size(), false);
+  while (result.selected.size() < k) {
+    size_t best = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      bool feasible = true;
+      for (const SiteCandidate& s : result.selected) {
+        if (Distance2(candidates[i].location, s.location) < min2) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      if (best == candidates.size() ||
+          CandidateOrderBefore(candidates[i], candidates[best])) {
+        best = i;
+      }
+    }
+    if (best == candidates.size()) break;
+    used[best] = true;
+    result.selected.push_back(candidates[best]);
+  }
+  return result;
+}
+
+}  // namespace movd

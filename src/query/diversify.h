@@ -1,0 +1,40 @@
+#ifndef MOVD_QUERY_DIVERSIFY_H_
+#define MOVD_QUERY_DIVERSIFY_H_
+
+#include <cstddef>
+
+#include "model/movd_model.h"
+#include "model/query_model.h"
+#include "query/candidates.h"
+
+namespace movd {
+
+/// Diversified top-k (DESIGN.md §13.2): the best k candidate sites whose
+/// pairwise Euclidean distance is >= `min_distance` — alternatives a
+/// planner can actually choose between, rather than k near-coincident
+/// optima of neighbouring combinations.
+///
+/// Greedy in CandidateOrderBefore order (ascending cost, ties by the
+/// lexicographic group order — the same tie rule as top-k): a candidate is
+/// selected iff its distance to every already-selected site is
+/// >= min_distance, until k are selected or candidates run out. With
+/// min_distance = 0 this is exactly the top-k ranking. The comparison is
+/// on squared distances (d^2 >= min_distance^2, boundary inclusive), so
+/// the audit validator can replay it bit-exactly.
+DiverseTopKResult DiverseTopKFromMovd(const MolqQuery& query,
+                                      const Movd& movd, size_t k,
+                                      double min_distance,
+                                      const CandidateOptions& options = {});
+
+/// Independent reference: repeatedly scans the full candidate set for the
+/// CandidateOrderBefore-least unselected candidate that respects the
+/// distance constraint. Tests assert exact agreement with the greedy
+/// evaluator's `selected` sequence.
+DiverseTopKResult DiverseTopKBruteForce(const MolqQuery& query,
+                                        const Movd& movd, size_t k,
+                                        double min_distance,
+                                        const CandidateOptions& options = {});
+
+}  // namespace movd
+
+#endif  // MOVD_QUERY_DIVERSIFY_H_

@@ -1,0 +1,65 @@
+#include "query/skyline.h"
+
+#include <algorithm>
+
+#include "trace/trace.h"
+#include "util/check.h"
+
+namespace movd {
+
+SkylineResult SkylineFromMovd(const MolqQuery& query, const Movd& movd,
+                              const CandidateOptions& options) {
+  MOVD_CHECK_MSG(!movd.ovrs.empty(),
+                 "the skyline evaluator needs a non-empty MOVD to scan");
+  SkylineResult result;
+  TraceContextScope trace_scope(options.exec.trace);
+  TraceSpan span("query_skyline");
+  std::vector<SiteCandidate> candidates;
+  result.status = EnumerateCandidates(query, movd, options, &candidates);
+  if (result.status != StatusCode::kOk) return result;
+  result.candidates = candidates.size();
+
+  // SkylineOrderBefore places every dominator before what it dominates, so
+  // one forward scan comparing only against retained members is complete.
+  std::sort(candidates.begin(), candidates.end(), SkylineOrderBefore);
+  for (SiteCandidate& c : candidates) {
+    bool dominated = false;
+    for (const SiteCandidate& s : result.skyline) {
+      ++result.dominance_tests;
+      if (Dominates(s.criteria, c.criteria)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.skyline.push_back(std::move(c));
+  }
+  span.Counter("skyline", static_cast<int64_t>(result.skyline.size()));
+  span.Counter("dominance_tests",
+               static_cast<int64_t>(result.dominance_tests));
+  return result;
+}
+
+SkylineResult SkylineBruteForce(const MolqQuery& query, const Movd& movd,
+                                const CandidateOptions& options) {
+  MOVD_CHECK_MSG(!movd.ovrs.empty(),
+                 "the skyline reference needs a non-empty MOVD to scan");
+  SkylineResult result;
+  std::vector<SiteCandidate> candidates;
+  result.status = EnumerateCandidates(query, movd, options, &candidates);
+  if (result.status != StatusCode::kOk) return result;
+  result.candidates = candidates.size();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < candidates.size() && !dominated; ++j) {
+      if (j == i) continue;
+      ++result.dominance_tests;
+      dominated = Dominates(candidates[j].criteria, candidates[i].criteria);
+    }
+    if (!dominated) result.skyline.push_back(candidates[i]);
+  }
+  std::sort(result.skyline.begin(), result.skyline.end(),
+            SkylineOrderBefore);
+  return result;
+}
+
+}  // namespace movd

@@ -1,0 +1,45 @@
+#ifndef MOVD_QUERY_WHATIF_H_
+#define MOVD_QUERY_WHATIF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/movd_model.h"
+#include "model/query_model.h"
+#include "util/exec_options.h"
+
+namespace movd {
+
+struct WhatIfOptions {
+  /// Fermat–Weber stopping-rule error bound per ranking.
+  double epsilon = 1e-3;
+
+  /// Ranking depth per weight vector (>= 1).
+  size_t topk = 1;
+
+  /// Threads parallelise ACROSS sweep vectors (one vector per slot; each
+  /// inner ranking runs single-threaded). Trace/cancel flow through.
+  ExecOptions exec;
+};
+
+/// Batched what-if sweep (DESIGN.md §13.4): the top-k ranking of the base
+/// query under each weight vector, all answered from ONE prebuilt MOVD.
+///
+/// Reuse is sound because a what-if vector adjusts every type weight of a
+/// set by the same amount through the query's ς^t composition, which
+/// preserves the set's internal distance ranking — so the per-set Voronoi
+/// partitions, and hence the overlap structure, are unchanged. Only the
+/// Optimizer stage reruns per vector. Every vector must satisfy
+/// ValidateWhatIfVector against `base`.
+///
+/// per_vector[i] is the ranking under vectors[i], ascending by
+/// CandidateOrderBefore — bit-identical to TopKFromMovd on the explicitly
+/// scaled query, for every thread count. On cancellation the result is
+/// kCancelled with per_vector empty (never a partial sweep).
+WhatIfSweepResult WhatIfSweepFromMovd(const MolqQuery& base, const Movd& movd,
+                                      const std::vector<WhatIfVector>& vectors,
+                                      const WhatIfOptions& options = {});
+
+}  // namespace movd
+
+#endif  // MOVD_QUERY_WHATIF_H_

@@ -55,8 +55,21 @@ bool ParseF64(const std::string& s, double* out) {
   return true;
 }
 
+/// The verb keyword a request kind parses under, for error messages.
+const char* KindVerbName(ServeQueryKind kind) {
+  switch (kind) {
+    case ServeQueryKind::kMolq: return "SOLVE";
+    case ServeQueryKind::kSkyline: return "SKYLINE";
+    case ServeQueryKind::kDiverse: return "DIVERSE";
+    case ServeQueryKind::kConstrained: return "CONSTRAIN";
+    case ServeQueryKind::kWhatIf: return "WHATIF";
+  }
+  return "?";
+}
+
 Status ParseSolveArg(const std::string& key, const std::string& value,
                      ServeRequest* request) {
+  const ServeQueryKind kind = request->kind;
   int64_t i = 0;
   double d = 0.0;
   if (key == "id") {
@@ -66,6 +79,39 @@ Status ParseSolveArg(const std::string& key, const std::string& value,
   if (key == "dataset") {
     request->dataset = value;
     return Status::Ok();
+  }
+  if (key == "min_dist") {
+    if (kind != ServeQueryKind::kDiverse) {
+      return Status::InvalidArgument("min_dist applies to DIVERSE only");
+    }
+    if (!ParseF64(value, &d) || d < 0.0) {
+      return Status::InvalidArgument("bad min_dist '" + value + "'");
+    }
+    request->min_distance = d;
+    return Status::Ok();
+  }
+  if (key == "boundary" || key == "exclude") {
+    if (kind != ServeQueryKind::kConstrained) {
+      return Status::InvalidArgument(key + " applies to CONSTRAIN only");
+    }
+    Polygon poly;
+    const Status parsed = ParsePolygonSpec(value, &poly);
+    if (!parsed.ok()) return parsed;
+    if (key == "boundary") {
+      if (!request->constraint.boundary.Empty()) {
+        return Status::InvalidArgument("boundary given twice");
+      }
+      request->constraint.boundary = std::move(poly);
+    } else {
+      request->constraint.exclusions.push_back(std::move(poly));
+    }
+    return Status::Ok();
+  }
+  if (key == "sweep") {
+    if (kind != ServeQueryKind::kWhatIf) {
+      return Status::InvalidArgument("sweep applies to WHATIF only");
+    }
+    return ParseSweepSpec(value, &request->sweep);
   }
   if (key == "layers") {
     request->layers.clear();
@@ -82,7 +128,17 @@ Status ParseSolveArg(const std::string& key, const std::string& value,
     return Status::Ok();
   }
   if (key == "algo") {
+    if (kind == ServeQueryKind::kConstrained) {
+      return Status::InvalidArgument(
+          "CONSTRAIN is RRB-only (the clipper needs real regions); "
+          "algo cannot be set");
+    }
     if (value == "ssc") {
+      if (kind != ServeQueryKind::kMolq) {
+        return Status::InvalidArgument(
+            std::string("algo=ssc serves plain SOLVE only; ") +
+            KindVerbName(kind) + " needs a MOVD artifact (rrb|mbrb)");
+      }
       request->algorithm = MolqAlgorithm::kSsc;
     } else if (value == "rrb") {
       request->algorithm = MolqAlgorithm::kRrb;
@@ -95,6 +151,13 @@ Status ParseSolveArg(const std::string& key, const std::string& value,
     return Status::Ok();
   }
   if (key == "k") {
+    if (kind == ServeQueryKind::kSkyline ||
+        kind == ServeQueryKind::kConstrained) {
+      return Status::InvalidArgument(
+          std::string(KindVerbName(kind)) +
+          " has no k (the skyline/constrained answer set is not a "
+          "ranking depth)");
+    }
     if (!ParseI64(value, &i) || i < 1) {
       return Status::InvalidArgument("bad k '" + value + "'");
     }
@@ -132,7 +195,9 @@ Status ParseSolveArg(const std::string& key, const std::string& value,
     }
     return Status::Ok();
   }
-  return Status::InvalidArgument("unknown SOLVE argument '" + key + "'");
+  return Status::InvalidArgument(std::string("unknown ") +
+                                 KindVerbName(kind) + " argument '" + key +
+                                 "'");
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars) for
@@ -175,12 +240,26 @@ Status ParseRequestLine(const std::string& line, ServeVerb* verb,
                              : ServeVerb::kShutdown;
     return Status::Ok();
   }
-  if (name != "SOLVE") {
+  ServeQueryKind kind;
+  if (name == "SOLVE") {
+    kind = ServeQueryKind::kMolq;
+  } else if (name == "SKYLINE") {
+    kind = ServeQueryKind::kSkyline;
+  } else if (name == "DIVERSE") {
+    kind = ServeQueryKind::kDiverse;
+  } else if (name == "CONSTRAIN") {
+    kind = ServeQueryKind::kConstrained;
+  } else if (name == "WHATIF") {
+    kind = ServeQueryKind::kWhatIf;
+  } else {
     return Status::InvalidArgument("unknown verb '" + words[0] + "'");
   }
   *verb = ServeVerb::kSolve;
   *request = ServeRequest();
+  request->kind = kind;
   bool have_dataset = false;
+  bool have_min_dist = false;
+  bool have_k = false;
   for (size_t i = 1; i < words.size(); ++i) {
     const size_t eq = words[i].find('=');
     if (eq == std::string::npos || eq == 0) {
@@ -192,9 +271,83 @@ Status ParseRequestLine(const std::string& line, ServeVerb* verb,
     Status status = ParseSolveArg(key, value, request);
     if (!status.ok()) return status;
     if (key == "dataset") have_dataset = true;
+    if (key == "min_dist") have_min_dist = true;
+    if (key == "k") have_k = true;
   }
   if (!have_dataset) {
-    return Status::InvalidArgument("SOLVE requires dataset=<name>");
+    return Status::InvalidArgument(name + " requires dataset=<name>");
+  }
+  if (kind == ServeQueryKind::kDiverse && (!have_min_dist || !have_k)) {
+    return Status::InvalidArgument(
+        "DIVERSE requires k=<n> and min_dist=<d>");
+  }
+  if (kind == ServeQueryKind::kConstrained &&
+      request->constraint.Unconstrained()) {
+    return Status::InvalidArgument(
+        "CONSTRAIN requires boundary=<poly> and/or exclude=<poly>");
+  }
+  if (kind == ServeQueryKind::kWhatIf && request->sweep.empty()) {
+    return Status::InvalidArgument("WHATIF requires sweep=<v>|<v>|...");
+  }
+  return Status::Ok();
+}
+
+Status ParsePolygonSpec(const std::string& spec, Polygon* out) {
+  std::vector<Point> ring;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string pair = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (pair.empty()) continue;
+    const size_t comma = pair.find(',');
+    double x = 0.0;
+    double y = 0.0;
+    if (comma == std::string::npos ||
+        !ParseF64(pair.substr(0, comma), &x) ||
+        !ParseF64(pair.substr(comma + 1), &y)) {
+      return Status::InvalidArgument("bad polygon vertex '" + pair +
+                                     "' (want x,y)");
+    }
+    ring.push_back(Point{x, y});
+  }
+  if (ring.size() < 3) {
+    return Status::InvalidArgument(
+        "polygon needs >= 3 vertices ('x,y;x,y;x,y...')");
+  }
+  *out = Polygon(std::move(ring));
+  return Status::Ok();
+}
+
+Status ParseSweepSpec(const std::string& spec,
+                      std::vector<std::vector<double>>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t bar = spec.find('|', pos);
+    if (bar == std::string::npos) bar = spec.size();
+    const std::string vec = spec.substr(pos, bar - pos);
+    pos = bar + 1;
+    std::vector<double> scales;
+    size_t vpos = 0;
+    while (vpos <= vec.size()) {
+      size_t comma = vec.find(',', vpos);
+      if (comma == std::string::npos) comma = vec.size();
+      const std::string tok = vec.substr(vpos, comma - vpos);
+      vpos = comma + 1;
+      if (tok.empty()) continue;
+      double d = 0.0;
+      if (!ParseF64(tok, &d)) {
+        return Status::InvalidArgument("bad sweep scale '" + tok + "'");
+      }
+      scales.push_back(d);
+    }
+    if (scales.empty()) {
+      return Status::InvalidArgument(
+          "empty sweep vector (want s,s,...|s,s,...)");
+    }
+    out->push_back(std::move(scales));
   }
   return Status::Ok();
 }
@@ -218,16 +371,43 @@ std::string AnswerJson(const MolqQuery& query, const ServeAnswer& answer) {
                   ref.object, obj.location.x, obj.location.y);
     out += buf;
   }
-  out += "]}";
+  out += "]";
+  // Present only for query-algebra answers, so plain-MOLQ responses keep
+  // their exact historical bytes.
+  if (!answer.criteria.empty()) {
+    out += ", \"criteria\": [";
+    for (size_t i = 0; i < answer.criteria.size(); ++i) {
+      if (i > 0) out += ", ";
+      std::snprintf(buf, sizeof(buf), "%.6f", answer.criteria[i]);
+      out += buf;
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 
 std::string ResponseJson(const MolqQuery& query, const ServeResponse& resp,
                          bool include_timing) {
-  std::string out = "{\"answers\": [";
-  for (size_t i = 0; i < resp.answers.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += AnswerJson(query, resp.answers[i]);
+  std::string out;
+  if (!resp.sweep_answers.empty()) {
+    // A what-if sweep: one ranking array per weight vector.
+    out = "{\"sweeps\": [";
+    for (size_t v = 0; v < resp.sweep_answers.size(); ++v) {
+      if (v > 0) out += ", ";
+      out += "[";
+      for (size_t i = 0; i < resp.sweep_answers[v].size(); ++i) {
+        if (i > 0) out += ", ";
+        out += AnswerJson(query, resp.sweep_answers[v][i]);
+      }
+      out += "]";
+    }
+  } else {
+    out = "{\"answers\": [";
+    for (size_t i = 0; i < resp.answers.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += AnswerJson(query, resp.answers[i]);
+    }
   }
   if (!include_timing) {
     out += "]}";

@@ -13,13 +13,28 @@ namespace movd {
 ///
 ///   SOLVE id=<tok> dataset=<name> [layers=0,2] [algo=ssc|rrb|mbrb]
 ///         [k=1] [epsilon=1e-3] [deadline_ms=0] [threads=1] [cache=0|1]
+///   SKYLINE   id= dataset= [layers=] [algo=rrb|mbrb] [epsilon=] ...
+///   DIVERSE   id= dataset= k=<n> min_dist=<d> [layers=] [algo=rrb|mbrb] ...
+///   CONSTRAIN id= dataset= [boundary=<poly>] [exclude=<poly>]...
+///             [layers=] [epsilon=] ...            (RRB only; at least one
+///             of boundary=/exclude= required; exclude= may repeat)
+///   WHATIF    id= dataset= sweep=<v>|<v>|... [k=1] [layers=] ...
 ///   STATS            -> OK - <metrics json>
 ///   PING             -> OK - pong
 ///   QUIT             -> closes this connection
 ///   SHUTDOWN         -> stops the whole server
 ///
-/// SOLVE responses:
+/// <poly> is "x,y;x,y;x,y..." (>= 3 CCW vertices); <v> is one
+/// comma-separated scale factor per selected layer. The query-shape verbs
+/// share SOLVE's common keys (minus algo restrictions above and k, which
+/// SKYLINE/CONSTRAIN reject) and all parse to ServeVerb::kSolve with
+/// ServeRequest::kind set — the serving loop treats every shape alike.
+///
+/// SOLVE/SKYLINE/DIVERSE/CONSTRAIN responses:
 ///   OK <id> {"answers":[...],"cache_hit":...,"seconds":...}
+/// WHATIF responses:
+///   OK <id> {"sweeps":[[...],...],"cache_hit":...,"seconds":...}
+/// errors:
 ///   ERR <id> <STATUS> <detail...>        (status per ServeStatusName)
 enum class ServeVerb {
   kSolve,
@@ -37,6 +52,19 @@ enum class ServeVerb {
 /// default).
 Status ParseRequestLine(const std::string& line, ServeVerb* verb,
                         ServeRequest* request);
+
+/// Parses a "x,y;x,y;x,y..." polygon spec (>= 3 vertices, finite doubles)
+/// into a CCW Polygon. Orientation/area checks are NOT applied here — the
+/// engine runs ValidateConstraint so protocol parsing and constraint
+/// semantics stay separable. Shared with molq_cli --allow/--exclude.
+Status ParsePolygonSpec(const std::string& spec, Polygon* out);
+
+/// Parses a "s,s,...|s,s,...|..." sweep spec: '|' separates vectors, ','
+/// separates per-layer scale factors. Finiteness/positivity are checked by
+/// the engine against the dataset's weight functions. Shared with
+/// molq_cli whatif.
+Status ParseSweepSpec(const std::string& spec,
+                      std::vector<std::vector<double>>* out);
 
 /// One answer as a JSON object — the serializer shared by the server's
 /// SOLVE responses and molq_cli --json, so both fronts emit byte-identical

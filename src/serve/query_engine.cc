@@ -3,11 +3,17 @@
 #include <sys/stat.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <set>
 #include <utility>
 
+#include "audit/audit_query.h"
+#include "query/constrained.h"
+#include "query/diversify.h"
+#include "query/skyline.h"
+#include "query/whatif.h"
 #include "storage/movd_file.h"
 #include "trace/trace.h"
 #include "util/stopwatch.h"
@@ -42,6 +48,64 @@ ServeResponse Invalid(const std::string& id, std::string why) {
   resp.status = ServeStatus::kInvalidRequest;
   resp.id = id;
   resp.error = std::move(why);
+  return resp;
+}
+
+/// Cache-key component every artifact key shares: grid resolution, weighted
+/// method, and the dataset's weight-function tag (see GetOverlay's comment
+/// on why the method is part of the key).
+std::string ArtifactKeySuffix(int resolution, WeightedMethod method,
+                              const std::string& weight_tag) {
+  return "/r" + std::to_string(resolution) +
+         (method == WeightedMethod::kDenseGrid ? "/mdense" : "/madapt") +
+         "/w" + weight_tag;
+}
+
+/// FNV-1a over the constraint's vertex coordinates (double bit patterns,
+/// with ring separators), hex-encoded: two requests share a clipped-overlay
+/// artifact iff their constraint geometry is bit-identical.
+std::string ConstraintHash(const QueryConstraint& constraint) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_ring = [&](const Polygon& poly) {
+    mix(poly.vertices().size());
+    for (const Point& p : poly.vertices()) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &p.x, sizeof(bits));
+      mix(bits);
+      std::memcpy(&bits, &p.y, sizeof(bits));
+      mix(bits);
+    }
+  };
+  mix_ring(constraint.boundary);
+  for (const Polygon& exclusion : constraint.exclusions) mix_ring(exclusion);
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+ServeAnswer AnswerFromCandidate(const SiteCandidate& c) {
+  ServeAnswer answer;
+  answer.location = c.location;
+  answer.cost = c.cost;
+  answer.group = c.group;
+  answer.criteria = c.criteria;
+  return answer;
+}
+
+ServeResponse AuditFailure(const std::string& id, const char* shape,
+                           const AuditReport& report) {
+  ServeResponse resp;
+  resp.status = ServeStatus::kInternalError;
+  resp.id = id;
+  resp.error =
+      std::string(shape) + " audit failed: " + report.Summary();
   return resp;
 }
 
@@ -92,7 +156,10 @@ ServeResponse QueryEngine::Solve(const ServeRequest& request) {
   ServeResponse resp = SolveInternal(request, token);
   // Belt and braces for the "never a partial answer" contract: a non-OK
   // response carries no answers, whatever path produced it.
-  if (resp.status != ServeStatus::kOk) resp.answers.clear();
+  if (resp.status != ServeStatus::kOk) {
+    resp.answers.clear();
+    resp.sweep_answers.clear();
+  }
   resp.seconds = watch.ElapsedSeconds();
   metrics_.RecordRequest(resp.status, resp.seconds, resp.cache_hit);
   return resp;
@@ -147,8 +214,24 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
   molq.exec.cancel = &token;
   // Request-level trace wins; otherwise the engine-wide sink (if any).
   if (molq.exec.trace == nullptr) molq.exec.trace = options_.exec.trace;
+  // Either side may opt into the re-check validators.
+  molq.exec.audit = molq.exec.audit || options_.exec.audit;
   TraceContextScope trace_scope(molq.exec.trace);
   TRACE_SPAN("serve_request");
+
+  // Engine-level shape restrictions (the protocol parser enforces the same
+  // rules, but the engine is also called directly by molq_cli and tests).
+  if (request.kind != ServeQueryKind::kMolq &&
+      request.algorithm == MolqAlgorithm::kSsc) {
+    return Invalid(request.id,
+                   "query-algebra shapes need a MOVD artifact (rrb|mbrb), "
+                   "not ssc");
+  }
+  if (request.kind == ServeQueryKind::kConstrained &&
+      request.algorithm == MolqAlgorithm::kMbrb) {
+    return Invalid(request.id,
+                   "CONSTRAIN is RRB-only (the clipper needs real regions)");
+  }
 
   if (request.algorithm == MolqAlgorithm::kSsc) {
     if (request.topk != 1) {
@@ -181,6 +264,41 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
     return resp;
   }
 
+  // Shape-specific request validation, before any artifact work.
+  if (request.kind == ServeQueryKind::kConstrained) {
+    const Status valid = ValidateConstraint(request.constraint);
+    if (!valid.ok()) return Invalid(request.id, valid.message());
+  }
+  std::vector<WhatIfVector> vectors;
+  if (request.kind == ServeQueryKind::kWhatIf) {
+    if (request.sweep.empty()) {
+      return Invalid(request.id, "what-if needs at least one sweep vector");
+    }
+    // Pad each per-layer sweep vector to a full-dataset WhatIfVector with
+    // the identity adjustment on unselected sets, so evaluation runs on
+    // the full query (where PoiRef::set is the dataset layer index).
+    const double identity =
+        ds->query.type_function == WeightFunctionKind::kMultiplicative ? 1.0
+                                                                       : 0.0;
+    vectors.reserve(request.sweep.size());
+    for (const std::vector<double>& scales : request.sweep) {
+      if (scales.size() != layers.size()) {
+        return Invalid(request.id,
+                       "sweep vector has " + std::to_string(scales.size()) +
+                           " entries for " + std::to_string(layers.size()) +
+                           " selected layers");
+      }
+      WhatIfVector v;
+      v.scale.assign(ds->query.sets.size(), identity);
+      for (size_t j = 0; j < layers.size(); ++j) {
+        v.scale[static_cast<size_t>(layers[j])] = scales[j];
+      }
+      const Status valid = ValidateWhatIfVector(ds->query, v);
+      if (!valid.ok()) return Invalid(request.id, valid.message());
+      vectors.push_back(std::move(v));
+    }
+  }
+
   const BoundaryMode mode = request.algorithm == MolqAlgorithm::kMbrb
                                 ? BoundaryMode::kMbr
                                 : BoundaryMode::kRealRegion;
@@ -189,8 +307,11 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
   std::shared_ptr<const Movd> overlay;
   {
     TRACE_SPAN("serve_overlay");
-    overlay = GetOverlay(*ds, request.dataset, layers, mode, request, token,
-                         &overlay_hit);
+    overlay = request.kind == ServeQueryKind::kConstrained
+                  ? GetClippedOverlay(*ds, request.dataset, layers, request,
+                                      token, &overlay_hit)
+                  : GetOverlay(*ds, request.dataset, layers, mode, request,
+                               token, &overlay_hit);
   }
   const double overlay_seconds = phase_watch.ElapsedSeconds();
   resp.cache_hit = overlay_hit;
@@ -199,33 +320,137 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
     resp.error = "deadline exceeded building the MOVD overlay";
     return resp;
   }
-  if (overlay->ovrs.empty()) {
+  // A clipped overlay may legitimately be empty — the constraint excluded
+  // every candidate region — and answers as "infeasible" below. Every
+  // other shape requires a non-empty artifact.
+  if (overlay->ovrs.empty() &&
+      request.kind != ServeQueryKind::kConstrained) {
     resp.status = ServeStatus::kInternalError;
     resp.error = "overlay produced an empty MOVD";
     return resp;
   }
 
+  CandidateOptions candidate_options;
+  candidate_options.epsilon = request.epsilon;
+  candidate_options.exec = molq.exec;
+
   phase_watch = Stopwatch();
-  MolqResult top;
   {
     TRACE_SPAN("serve_optimize");
-    top = TopKFromMovd(ds->query, *overlay, request.topk, molq);
+    switch (request.kind) {
+      case ServeQueryKind::kMolq: {
+        const MolqResult top =
+            TopKFromMovd(ds->query, *overlay, request.topk, molq);
+        if (top.status == StatusCode::kCancelled) {
+          resp.status = ServeStatus::kDeadlineExceeded;
+          resp.error = "deadline exceeded during optimization";
+          return resp;
+        }
+        resp.answers.reserve(top.ranked.size());
+        for (const RankedLocation& r : top.ranked) {
+          ServeAnswer answer;
+          answer.location = r.location;
+          answer.cost = r.cost;
+          answer.group = r.group;
+          resp.answers.push_back(std::move(answer));
+        }
+        break;
+      }
+      case ServeQueryKind::kSkyline: {
+        const SkylineResult r =
+            SkylineFromMovd(ds->query, *overlay, candidate_options);
+        if (r.status == StatusCode::kCancelled) {
+          resp.status = ServeStatus::kDeadlineExceeded;
+          resp.error = "deadline exceeded during skyline evaluation";
+          return resp;
+        }
+        if (molq.exec.audit) {
+          const AuditReport report = AuditSkyline(ds->query, r);
+          if (!report.ok()) return AuditFailure(request.id, "skyline", report);
+        }
+        resp.answers.reserve(r.skyline.size());
+        for (const SiteCandidate& c : r.skyline) {
+          resp.answers.push_back(AnswerFromCandidate(c));
+        }
+        break;
+      }
+      case ServeQueryKind::kDiverse: {
+        const DiverseTopKResult r =
+            DiverseTopKFromMovd(ds->query, *overlay, request.topk,
+                                request.min_distance, candidate_options);
+        if (r.status == StatusCode::kCancelled) {
+          resp.status = ServeStatus::kDeadlineExceeded;
+          resp.error = "deadline exceeded during diversified top-k";
+          return resp;
+        }
+        if (molq.exec.audit) {
+          const AuditReport report = AuditDiverseTopK(
+              ds->query, request.topk, request.min_distance, r);
+          if (!report.ok()) {
+            return AuditFailure(request.id, "diversified top-k", report);
+          }
+        }
+        resp.answers.reserve(r.selected.size());
+        for (const SiteCandidate& c : r.selected) {
+          resp.answers.push_back(AnswerFromCandidate(c));
+        }
+        break;
+      }
+      case ServeQueryKind::kConstrained: {
+        const ConstrainedMolqResult r =
+            ConstrainedFromClippedMovd(ds->query, *overlay,
+                                       candidate_options);
+        if (r.status == StatusCode::kCancelled) {
+          resp.status = ServeStatus::kDeadlineExceeded;
+          resp.error = "deadline exceeded during constrained optimization";
+          return resp;
+        }
+        if (molq.exec.audit) {
+          const AuditReport report = AuditConstrainedMolq(
+              ds->query, request.constraint, ds->world, r);
+          if (!report.ok()) {
+            return AuditFailure(request.id, "constrained MOLQ", report);
+          }
+        }
+        // Infeasible constraints answer OK with zero answers: the request
+        // was well-formed; the feasible set just contains no candidate.
+        if (r.feasible) resp.answers.push_back(AnswerFromCandidate(r.best));
+        break;
+      }
+      case ServeQueryKind::kWhatIf: {
+        WhatIfOptions what_if;
+        what_if.epsilon = request.epsilon;
+        what_if.topk = request.topk;
+        what_if.exec = molq.exec;
+        const WhatIfSweepResult r =
+            WhatIfSweepFromMovd(ds->query, *overlay, vectors, what_if);
+        if (r.status == StatusCode::kCancelled) {
+          resp.status = ServeStatus::kDeadlineExceeded;
+          resp.error = "deadline exceeded during what-if sweep";
+          return resp;
+        }
+        if (molq.exec.audit) {
+          const AuditReport report =
+              AuditWhatIfSweep(ds->query, vectors, request.topk, r);
+          if (!report.ok()) {
+            return AuditFailure(request.id, "what-if sweep", report);
+          }
+        }
+        resp.sweep_answers.reserve(r.per_vector.size());
+        for (const std::vector<SiteCandidate>& ranking : r.per_vector) {
+          std::vector<ServeAnswer> answers;
+          answers.reserve(ranking.size());
+          for (const SiteCandidate& c : ranking) {
+            answers.push_back(AnswerFromCandidate(c));
+          }
+          resp.sweep_answers.push_back(std::move(answers));
+        }
+        break;
+      }
+    }
   }
   const double optimize_seconds = phase_watch.ElapsedSeconds();
-  if (top.status == StatusCode::kCancelled) {
-    resp.status = ServeStatus::kDeadlineExceeded;
-    resp.error = "deadline exceeded during optimization";
-    return resp;
-  }
   metrics_.RecordPhases(overlay_seconds, optimize_seconds);
-  resp.answers.reserve(top.ranked.size());
-  for (const RankedLocation& r : top.ranked) {
-    ServeAnswer answer;
-    answer.location = r.location;
-    answer.cost = r.cost;
-    answer.group = r.group;
-    resp.answers.push_back(std::move(answer));
-  }
   return resp;
 }
 
@@ -239,10 +464,8 @@ std::shared_ptr<const Movd> QueryEngine::GetOverlay(
   // covers differ while answering identically), so cached diagrams built
   // under one method must never serve a configuration using the other.
   const std::string suffix =
-      "/r" + std::to_string(options_.exec.weighted_grid_resolution) +
-      (options_.exec.weighted_method == WeightedMethod::kDenseGrid ? "/mdense"
-                                                                   : "/madapt") +
-      "/w" + ds.weight_tag;
+      ArtifactKeySuffix(options_.exec.weighted_grid_resolution,
+                        options_.exec.weighted_method, ds.weight_tag);
 
   // One basic (single-layer) diagram; cached under a mode-independent key,
   // since basics carry both real regions and MBRs. The basic is built from
@@ -284,6 +507,34 @@ std::shared_ptr<const Movd> QueryEngine::GetOverlay(
       "ovl/" + ds_name + "/L" + LayersTag(layers) +
       (mode == BoundaryMode::kMbr ? "/mbrb" : "/rrb") + suffix;
   return cache_.GetOrBuild(key, build_overlay, overlay_hit, token.deadline());
+}
+
+std::shared_ptr<const Movd> QueryEngine::GetClippedOverlay(
+    const Dataset& ds, const std::string& ds_name,
+    const std::vector<int32_t>& layers, const ServeRequest& request,
+    const CancelToken& token, bool* overlay_hit) {
+  *overlay_hit = false;
+  const auto build = [&]() -> std::shared_ptr<const Movd> {
+    // The unclipped RRB overlay goes through the ordinary artifact path,
+    // so constrained requests warm the same cache entries plain MOLQ uses
+    // (and vice versa) — only the clip is constraint-specific.
+    bool base_hit = false;
+    const std::shared_ptr<const Movd> overlay =
+        GetOverlay(ds, ds_name, layers, BoundaryMode::kRealRegion, request,
+                   token, &base_hit);
+    if (overlay == nullptr) return nullptr;
+    const Region feasible = BuildFeasibleRegion(request.constraint, ds.world);
+    if (token.Expired()) return nullptr;
+    return std::make_shared<const Movd>(
+        ClipMovdToFeasible(*overlay, feasible));
+  };
+  if (!request.use_cache) return build();
+  const std::string key =
+      "cns/" + ds_name + "/L" + LayersTag(layers) + "/rrb" +
+      ArtifactKeySuffix(options_.exec.weighted_grid_resolution,
+                        options_.exec.weighted_method, ds.weight_tag) +
+      "/c" + ConstraintHash(request.constraint);
+  return cache_.GetOrBuild(key, build, overlay_hit, token.deadline());
 }
 
 Status QueryEngine::SaveCache(const std::string& dir) const {

@@ -10,6 +10,7 @@
 
 #include "core/molq.h"
 #include "core/topk.h"
+#include "model/query_model.h"
 #include "serve/artifact_cache.h"
 #include "serve/metrics.h"
 #include "util/exec_options.h"
@@ -19,6 +20,19 @@
 #include "util/thread_pool.h"
 
 namespace movd {
+
+/// Which query shape a request evaluates (DESIGN.md §13). All shapes run
+/// against the same cached MOVD artifacts; only the per-request evaluation
+/// differs. SSC is a plain-MOLQ-only baseline, so every shape other than
+/// kMolq rejects algo=ssc, and kConstrained additionally rejects mbrb (the
+/// constraint clipper needs real regions).
+enum class ServeQueryKind {
+  kMolq,         ///< SOLVE: top-k optimal locations
+  kSkyline,      ///< SKYLINE: Pareto-optimal candidate sites
+  kDiverse,      ///< DIVERSE: top-k with a minimum pairwise distance
+  kConstrained,  ///< CONSTRAIN: optimum inside a polygon, minus exclusions
+  kWhatIf,       ///< WHATIF: batched rankings under scaled type weights
+};
 
 /// One MOLQ/top-k serving request. `layers` selects a subset of the
 /// dataset's object sets (empty = all); overlapping requests that share
@@ -45,6 +59,17 @@ struct ServeRequest {
   /// rebuild; used by the load generator to measure the cold path through
   /// the same engine).
   bool use_cache = true;
+  /// Query shape; the fields below it apply only to the shapes noted.
+  ServeQueryKind kind = ServeQueryKind::kMolq;
+  /// kDiverse: minimum pairwise distance between selected sites (>= 0).
+  double min_distance = 0.0;
+  /// kConstrained: the feasible-set polygons (ValidateConstraint'd before
+  /// evaluation; an invalid constraint is an error response, not a crash).
+  QueryConstraint constraint;
+  /// kWhatIf: one scale vector per sweep entry, each with exactly one
+  /// entry per SELECTED layer (in ascending layer order). The engine pads
+  /// them to full-dataset vectors with the identity adjustment.
+  std::vector<std::vector<double>> sweep;
 };
 
 /// One ranked answer: the location, its cost, and the winning object
@@ -53,6 +78,10 @@ struct ServeAnswer {
   Point location;
   double cost = 0.0;
   std::vector<PoiRef> group;
+  /// Per-member criteria vector (skyline/diverse/constrained/what-if
+  /// answers); empty for plain MOLQ, and omitted from the JSON then, so
+  /// MOLQ response bytes are unchanged by the query-algebra shapes.
+  std::vector<double> criteria;
 };
 
 /// The engine's reply to one request.
@@ -61,6 +90,9 @@ struct ServeResponse {
   std::string id = "-";
   std::string error;                 ///< human-readable detail on non-kOk
   std::vector<ServeAnswer> answers;  ///< ascending by cost; empty on error
+  /// kWhatIf only: one ranking per sweep vector, in request order
+  /// (`answers` stays empty — a sweep has no single answer list).
+  std::vector<std::vector<ServeAnswer>> sweep_answers;
   bool cache_hit = false;  ///< overlay artifact came straight from cache
   double seconds = 0.0;    ///< service time (solve, excluding queue wait)
 };
@@ -165,6 +197,15 @@ class QueryEngine {
                                          const ServeRequest& request,
                                          const CancelToken& token,
                                          bool* overlay_hit);
+  /// The RRB overlay clipped to the request's feasible set, cached under a
+  /// constraint-hashed key ("cns/...") so repeats of the same constraint
+  /// reuse the clip. The unclipped overlay is fetched through GetOverlay
+  /// (hence itself cached); `overlay_hit` reports the clipped-artifact
+  /// lookup. Null when the deadline fired.
+  std::shared_ptr<const Movd> GetClippedOverlay(
+      const Dataset& ds, const std::string& ds_name,
+      const std::vector<int32_t>& layers, const ServeRequest& request,
+      const CancelToken& token, bool* overlay_hit);
 
   QueryEngineOptions options_;
   mutable Mutex datasets_mu_;

@@ -1,0 +1,292 @@
+// Tests of constrained MOLQ (src/query/constrained): the overlay clipper
+// must honor boundary polygons fully inside / outside / straddling the
+// search space and treat zero-area exclusions as documented no-ops; the
+// piecewise optimizer must agree with an independent grid reference across
+// seeds, move the answer onto clip edges when the free optimum is
+// excluded, stay bit-identical across thread counts, and satisfy the
+// audit validator (which must also catch infeasible tampering).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "audit/audit_query.h"
+#include "core/molq.h"
+#include "core/weighted_distance.h"
+#include "model/query_model.h"
+#include "query/constrained.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kBounds(0, 0, 100, 100);
+
+MolqQuery RandomQuery(const std::vector<size_t>& sizes, uint64_t seed) {
+  Rng rng(seed);
+  MolqQuery query;
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    ObjectSet set;
+    set.name = std::string("type") += std::to_string(s);
+    const double type_weight = rng.Uniform(0.5, 3.0);
+    for (size_t i = 0; i < sizes[s]; ++i) {
+      SpatialObject obj;
+      obj.location = {rng.Uniform(5, 95), rng.Uniform(5, 95)};
+      obj.type_weight = type_weight;
+      set.objects.push_back(obj);
+    }
+    query.sets.push_back(std::move(set));
+  }
+  return query;
+}
+
+Movd BuildRrbOverlay(const MolqQuery& query) {
+  std::vector<Movd> basic;
+  for (int32_t s = 0; s < static_cast<int32_t>(query.sets.size()); ++s) {
+    basic.push_back(BuildBasicMovd(query, s, kBounds, 64));
+  }
+  return OverlapAll(basic, BoundaryMode::kRealRegion);
+}
+
+Polygon Box(double x0, double y0, double x1, double y1) {
+  return Polygon({{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}});
+}
+
+TEST(ValidateConstraintTest, RejectsMalformedRings) {
+  // Clockwise input is normalised to CCW by the Polygon constructor, so a
+  // CW spec validates (as the normalised ring) rather than erroring.
+  QueryConstraint cw;
+  cw.boundary = Polygon({{0, 0}, {0, 10}, {10, 10}, {10, 0}});  // clockwise
+  EXPECT_GT(cw.boundary.SignedArea(), 0.0);
+  EXPECT_TRUE(ValidateConstraint(cw).ok());
+
+  QueryConstraint zero_area_boundary;
+  zero_area_boundary.boundary = Polygon({{0, 0}, {10, 0}, {20, 0}});
+  EXPECT_FALSE(ValidateConstraint(zero_area_boundary).ok());
+
+  // Fewer than three vertices cannot form a ring; the Polygon constructor
+  // clears such input to empty, which validates as "no boundary".
+  QueryConstraint few_vertices;
+  few_vertices.boundary = Polygon({{0, 0}, {10, 0}});
+  EXPECT_TRUE(few_vertices.boundary.Empty());
+  EXPECT_TRUE(ValidateConstraint(few_vertices).ok());
+
+  // A zero-area (collinear) exclusion is a documented no-op, not an error.
+  QueryConstraint degenerate_exclusion;
+  degenerate_exclusion.exclusions.push_back(
+      Polygon({{0, 0}, {10, 0}, {20, 0}}));
+  EXPECT_TRUE(ValidateConstraint(degenerate_exclusion).ok());
+
+  QueryConstraint good;
+  good.boundary = Box(10, 10, 90, 90);
+  good.exclusions.push_back(Box(20, 20, 30, 30));
+  EXPECT_TRUE(ValidateConstraint(good).ok());
+}
+
+TEST(ConstrainedTest, BoundaryFullyInsideRestrictsTheAnswer) {
+  const MolqQuery q = RandomQuery({4, 4}, 700);
+  const Movd movd = BuildRrbOverlay(q);
+  QueryConstraint c;
+  c.boundary = Box(10, 10, 60, 60);
+  const ConstrainedMolqResult r =
+      ConstrainedMolqFromMovd(q, movd, c, kBounds);
+  ASSERT_EQ(r.status, StatusCode::kOk);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(c.boundary.Contains(r.best.location));
+  EXPECT_GT(r.clipped_ovrs, 0u);
+}
+
+TEST(ConstrainedTest, BoundaryFullyOutsideIsInfeasible) {
+  const MolqQuery q = RandomQuery({4, 4}, 701);
+  const Movd movd = BuildRrbOverlay(q);
+  QueryConstraint c;
+  c.boundary = Box(200, 200, 300, 300);  // disjoint from kBounds
+  const ConstrainedMolqResult r =
+      ConstrainedMolqFromMovd(q, movd, c, kBounds);
+  ASSERT_EQ(r.status, StatusCode::kOk);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.clipped_ovrs, 0u);
+  EXPECT_TRUE(r.best.group.empty());
+  EXPECT_TRUE(AuditConstrainedMolq(q, c, kBounds, r).ok());
+}
+
+TEST(ConstrainedTest, BoundaryStraddlingTheSearchSpaceClipsToIt) {
+  const MolqQuery q = RandomQuery({4, 4}, 702);
+  const Movd movd = BuildRrbOverlay(q);
+  QueryConstraint c;
+  c.boundary = Box(50, -50, 150, 50);  // only [50,100]x[0,50] is in-bounds
+  const ConstrainedMolqResult r =
+      ConstrainedMolqFromMovd(q, movd, c, kBounds);
+  ASSERT_EQ(r.status, StatusCode::kOk);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(c.boundary.Contains(r.best.location));
+  EXPECT_TRUE(kBounds.Contains(r.best.location));
+  EXPECT_TRUE(AuditConstrainedMolq(q, c, kBounds, r).ok());
+}
+
+TEST(ConstrainedTest, ZeroAreaExclusionIsANoOp) {
+  const MolqQuery q = RandomQuery({4, 3}, 703);
+  const Movd movd = BuildRrbOverlay(q);
+  QueryConstraint base;
+  base.boundary = Box(5, 5, 95, 95);
+  QueryConstraint with_sliver = base;
+  with_sliver.exclusions.push_back(Polygon({{10, 10}, {50, 50}, {90, 90}}));
+  const ConstrainedMolqResult a =
+      ConstrainedMolqFromMovd(q, movd, base, kBounds);
+  const ConstrainedMolqResult b =
+      ConstrainedMolqFromMovd(q, movd, with_sliver, kBounds);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_EQ(a.best.location.x, b.best.location.x);
+  EXPECT_EQ(a.best.location.y, b.best.location.y);
+  EXPECT_EQ(a.best.cost, b.best.cost);
+  EXPECT_EQ(a.clipped_ovrs, b.clipped_ovrs);
+  EXPECT_EQ(a.boundary_solves, b.boundary_solves);
+}
+
+TEST(ConstrainedTest, ExclusionCoveringTheOptimumForcesABoundarySolve) {
+  const MolqQuery q = RandomQuery({4, 4}, 704);
+  const Movd movd = BuildRrbOverlay(q);
+  // Locate the unconstrained optimum, then exclude a box around it.
+  QueryConstraint free;
+  free.boundary = Box(0, 0, 100, 100);
+  const ConstrainedMolqResult unconstrained =
+      ConstrainedMolqFromMovd(q, movd, free, kBounds);
+  ASSERT_TRUE(unconstrained.feasible);
+  const Point opt = unconstrained.best.location;
+  QueryConstraint c;
+  c.exclusions.push_back(
+      Box(opt.x - 10.0, opt.y - 10.0, opt.x + 10.0, opt.y + 10.0));
+  const ConstrainedMolqResult r =
+      ConstrainedMolqFromMovd(q, movd, c, kBounds);
+  ASSERT_EQ(r.status, StatusCode::kOk);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.boundary_solves, 0u);
+  EXPECT_GE(r.best.cost, unconstrained.best.cost);
+  // The answer sits outside the exclusion's interior (closed-set
+  // semantics: its edges remain feasible, so allow the boundary).
+  const Polygon& ex = c.exclusions[0];
+  const bool strictly_inside = ex.Contains(r.best.location) &&
+                               std::abs(r.best.location.x - (opt.x - 10.0)) >
+                                   1e-9 &&
+                               std::abs(r.best.location.x - (opt.x + 10.0)) >
+                                   1e-9 &&
+                               std::abs(r.best.location.y - (opt.y - 10.0)) >
+                                   1e-9 &&
+                               std::abs(r.best.location.y - (opt.y + 10.0)) >
+                                   1e-9;
+  EXPECT_FALSE(strictly_inside);
+  EXPECT_TRUE(AuditConstrainedMolq(q, c, kBounds, r).ok());
+}
+
+TEST(ConstrainedTest, AgreesWithGridReferenceAcrossSeeds) {
+  // The optimizer against an independent lattice scan: on a resolution-R
+  // lattice the best grid cost can exceed the true constrained optimum by
+  // at most the cost variation across one cell, so the optimizer must
+  // never be worse than the reference and never better by more than the
+  // lattice tolerance... and the reference in turn bounds the optimizer's
+  // cost from above.
+  const int resolution = 161;  // 0.625 lattice step on [0,100]^2
+  int feasible_cases = 0;
+  for (uint64_t seed = 710; seed < 734; ++seed) {
+    const MolqQuery q = RandomQuery({3, 3}, seed);
+    const Movd movd = BuildRrbOverlay(q);
+    Rng rng(seed * 7 + 1);
+    QueryConstraint c;
+    const double x0 = rng.Uniform(0, 40), y0 = rng.Uniform(0, 40);
+    c.boundary = Box(x0, y0, x0 + rng.Uniform(30, 55), y0 + rng.Uniform(30, 55));
+    const double ex = rng.Uniform(10, 70), ey = rng.Uniform(10, 70);
+    c.exclusions.push_back(Box(ex, ey, ex + 15, ey + 15));
+    const ConstrainedMolqResult r =
+        ConstrainedMolqFromMovd(q, movd, c, kBounds);
+    const ConstrainedGridReferenceResult ref =
+        ConstrainedGridReference(q, c, kBounds, resolution);
+    ASSERT_EQ(r.status, StatusCode::kOk) << "seed " << seed;
+    if (!ref.feasible) {
+      // The whole feasible set can be thinner than the lattice; the
+      // optimizer may still find it, but the reference has nothing to say.
+      continue;
+    }
+    ASSERT_TRUE(r.feasible) << "seed " << seed;
+    ++feasible_cases;
+    // Reference lattice points are feasible, so their best cost bounds the
+    // true constrained optimum from above (up to FW epsilon slack).
+    EXPECT_LE(r.best.cost, ref.cost + 1e-6 * (1.0 + ref.cost))
+        << "seed " << seed;
+    // And the optimizer cannot beat the true optimum, which the lattice
+    // approaches within one cell's cost variation (Lipschitz constant =
+    // total weight; be generous and only require agreement at lattice
+    // scale).
+    const double step = 100.0 / (resolution - 1);
+    double weight_sum = 0.0;
+    for (size_t s = 0; s < q.sets.size(); ++s) {
+      double max_w = 0.0;
+      for (const SpatialObject& obj : q.sets[s].objects) {
+        max_w = std::max(max_w, obj.type_weight * obj.object_weight);
+      }
+      weight_sum += max_w;
+    }
+    EXPECT_GE(r.best.cost,
+              ref.cost - 2.0 * step * weight_sum - 1e-6 * (1.0 + ref.cost))
+        << "seed " << seed;
+    EXPECT_TRUE(AuditConstrainedMolq(q, c, kBounds, r).ok())
+        << "seed " << seed;
+  }
+  // The random boxes must have produced a meaningful number of feasible
+  // comparisons, or the test is vacuous.
+  EXPECT_GE(feasible_cases, 15);
+}
+
+TEST(ConstrainedTest, BitIdenticalAcrossThreadCounts) {
+  const MolqQuery q = RandomQuery({5, 4}, 740);
+  const Movd movd = BuildRrbOverlay(q);
+  QueryConstraint c;
+  c.boundary = Box(15, 15, 85, 85);
+  c.exclusions.push_back(Box(40, 40, 60, 60));
+  CandidateOptions serial;
+  const Region feasible = BuildFeasibleRegion(c, kBounds);
+  const Movd clipped = ClipMovdToFeasible(movd, feasible);
+  const ConstrainedMolqResult base =
+      ConstrainedFromClippedMovd(q, clipped, serial);
+  for (const int threads : {2, 4, 8}) {
+    CandidateOptions par;
+    par.exec.threads = threads;
+    const ConstrainedMolqResult r =
+        ConstrainedFromClippedMovd(q, clipped, par);
+    EXPECT_EQ(r.feasible, base.feasible);
+    EXPECT_EQ(r.best.location.x, base.best.location.x);
+    EXPECT_EQ(r.best.location.y, base.best.location.y);
+    EXPECT_EQ(r.best.cost, base.best.cost);
+    EXPECT_EQ(r.boundary_solves, base.boundary_solves);
+  }
+}
+
+TEST(ConstrainedTest, AuditCatchesTampering) {
+  const MolqQuery q = RandomQuery({4, 4}, 750);
+  const Movd movd = BuildRrbOverlay(q);
+  QueryConstraint c;
+  c.boundary = Box(10, 10, 90, 90);
+  c.exclusions.push_back(Box(40, 40, 60, 60));
+  const ConstrainedMolqResult r =
+      ConstrainedMolqFromMovd(q, movd, c, kBounds);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(AuditConstrainedMolq(q, c, kBounds, r).ok());
+
+  // Moving the answer deep into the exclusion violates feasibility.
+  ConstrainedMolqResult bad_location = r;
+  bad_location.best.location = {50.0, 50.0};
+  EXPECT_FALSE(AuditConstrainedMolq(q, c, kBounds, bad_location).ok());
+
+  // Corrupting the cost violates the independent recomputation.
+  ConstrainedMolqResult bad_cost = r;
+  bad_cost.best.cost += 1.0;
+  EXPECT_FALSE(AuditConstrainedMolq(q, c, kBounds, bad_cost).ok());
+
+  // An "infeasible" result that still carries an answer is inconsistent.
+  ConstrainedMolqResult bad_flag = r;
+  bad_flag.feasible = false;
+  EXPECT_FALSE(AuditConstrainedMolq(q, c, kBounds, bad_flag).ok());
+}
+
+}  // namespace
+}  // namespace movd

@@ -1,0 +1,337 @@
+// Tests of the query algebra (src/query): the skyline's dominance-pruning
+// pass must agree exactly with the O(n^2) reference, diversified top-k
+// with its rescan reference (and with plain top-k at min_dist=0), and
+// what-if sweeps with fresh end-to-end solves of explicitly scaled
+// queries — all bit-identical across thread counts, and all accepted by
+// the src/audit re-check validators (which must also catch tampering).
+
+#include <gtest/gtest.h>
+
+#include "audit/audit_query.h"
+#include "core/molq.h"
+#include "core/topk.h"
+#include "model/query_model.h"
+#include "query/candidates.h"
+#include "query/diversify.h"
+#include "query/skyline.h"
+#include "query/whatif.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kBounds(0, 0, 100, 100);
+
+MolqQuery RandomQuery(const std::vector<size_t>& sizes, uint64_t seed) {
+  Rng rng(seed);
+  MolqQuery query;
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    ObjectSet set;
+    set.name = std::string("type") += std::to_string(s);
+    const double type_weight = rng.Uniform(0.5, 5.0);
+    for (size_t i = 0; i < sizes[s]; ++i) {
+      SpatialObject obj;
+      obj.location = {rng.Uniform(5, 95), rng.Uniform(5, 95)};
+      obj.type_weight = type_weight;
+      set.objects.push_back(obj);
+    }
+    query.sets.push_back(std::move(set));
+  }
+  return query;
+}
+
+Movd BuildOverlay(const MolqQuery& query, BoundaryMode mode) {
+  std::vector<Movd> basic;
+  for (int32_t s = 0; s < static_cast<int32_t>(query.sets.size()); ++s) {
+    basic.push_back(BuildBasicMovd(query, s, kBounds, 64));
+  }
+  return OverlapAll(basic, mode);
+}
+
+// Bitwise equality of two candidate lists — the determinism contract is
+// exact doubles, not tolerances.
+void ExpectSameCandidates(const std::vector<SiteCandidate>& a,
+                          const std::vector<SiteCandidate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].location.x, b[i].location.x) << "candidate " << i;
+    EXPECT_EQ(a[i].location.y, b[i].location.y) << "candidate " << i;
+    EXPECT_EQ(a[i].cost, b[i].cost) << "candidate " << i;
+    EXPECT_EQ(a[i].criteria, b[i].criteria) << "candidate " << i;
+    ASSERT_EQ(a[i].group.size(), b[i].group.size()) << "candidate " << i;
+    for (size_t m = 0; m < a[i].group.size(); ++m) {
+      EXPECT_EQ(a[i].group[m].set, b[i].group[m].set);
+      EXPECT_EQ(a[i].group[m].object, b[i].group[m].object);
+    }
+  }
+}
+
+TEST(SkylineTest, MatchesBruteForceAcrossSeedsAndModes) {
+  for (uint64_t seed = 900; seed < 922; ++seed) {
+    const MolqQuery q = RandomQuery({4, 4, 3}, seed);
+    for (const BoundaryMode mode :
+         {BoundaryMode::kRealRegion, BoundaryMode::kMbr}) {
+      const Movd movd = BuildOverlay(q, mode);
+      const SkylineResult fast = SkylineFromMovd(q, movd);
+      const SkylineResult slow = SkylineBruteForce(q, movd);
+      ASSERT_EQ(fast.status, StatusCode::kOk);
+      ASSERT_EQ(slow.status, StatusCode::kOk);
+      EXPECT_EQ(fast.candidates, slow.candidates) << "seed " << seed;
+      ExpectSameCandidates(fast.skyline, slow.skyline);
+    }
+  }
+}
+
+TEST(SkylineTest, PruningPassDoesFewerDominanceTestsThanAllPairs) {
+  const MolqQuery q = RandomQuery({5, 5, 4}, 930);
+  const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+  const SkylineResult fast = SkylineFromMovd(q, movd);
+  const SkylineResult slow = SkylineBruteForce(q, movd);
+  ASSERT_GT(fast.candidates, 2u);
+  // The whole point of the sort-filter pass: candidates are tested only
+  // against retained skyline members, not against every other candidate.
+  EXPECT_LT(fast.dominance_tests, slow.dominance_tests);
+}
+
+TEST(SkylineTest, MembersAreMutuallyNonDominatedAndCoverTheRest) {
+  const MolqQuery q = RandomQuery({4, 4}, 931);
+  const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+  const SkylineResult r = SkylineFromMovd(q, movd);
+  for (size_t i = 0; i < r.skyline.size(); ++i) {
+    for (size_t j = 0; j < r.skyline.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(Dominates(r.skyline[i].criteria, r.skyline[j].criteria));
+    }
+  }
+  // Every enumerated candidate outside the skyline is dominated by some
+  // member.
+  std::vector<SiteCandidate> all;
+  CandidateOptions copts;
+  ASSERT_EQ(EnumerateCandidates(q, movd, copts, &all), StatusCode::kOk);
+  for (const SiteCandidate& c : all) {
+    bool in_skyline = false;
+    for (const SiteCandidate& s : r.skyline) {
+      if (s.group.size() == c.group.size() && !GroupBefore(s.group, c.group) &&
+          !GroupBefore(c.group, s.group)) {
+        in_skyline = true;
+      }
+    }
+    if (in_skyline) continue;
+    bool dominated = false;
+    for (const SiteCandidate& s : r.skyline) {
+      if (Dominates(s.criteria, c.criteria)) dominated = true;
+    }
+    EXPECT_TRUE(dominated);
+  }
+}
+
+TEST(SkylineTest, BitIdenticalAcrossThreadCounts) {
+  const MolqQuery q = RandomQuery({5, 4, 4}, 932);
+  const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+  CandidateOptions serial;
+  const SkylineResult base = SkylineFromMovd(q, movd, serial);
+  for (const int threads : {2, 4, 8}) {
+    CandidateOptions par;
+    par.exec.threads = threads;
+    const SkylineResult r = SkylineFromMovd(q, movd, par);
+    ExpectSameCandidates(base.skyline, r.skyline);
+  }
+}
+
+TEST(SkylineTest, AuditAcceptsGoodAndCatchesTampering) {
+  const MolqQuery q = RandomQuery({4, 4}, 933);
+  const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+  SkylineResult r = SkylineFromMovd(q, movd);
+  EXPECT_TRUE(AuditSkyline(q, r).ok());
+  ASSERT_FALSE(r.skyline.empty());
+  // A corrupted cost must be flagged by the independent recomputation.
+  SkylineResult bad_cost = r;
+  bad_cost.skyline.front().cost += 1.0;
+  EXPECT_FALSE(AuditSkyline(q, bad_cost).ok());
+  // Appending a genuine but dominated candidate (self-consistent costs, so
+  // only the skyline contract is broken) must be refused by the pairwise
+  // dominance replay.
+  std::vector<SiteCandidate> all;
+  CandidateOptions copts;
+  ASSERT_EQ(EnumerateCandidates(q, movd, copts, &all), StatusCode::kOk);
+  for (const SiteCandidate& c : all) {
+    bool dominated = false;
+    for (const SiteCandidate& s : r.skyline) {
+      if (Dominates(s.criteria, c.criteria)) dominated = true;
+    }
+    if (!dominated) continue;
+    SkylineResult bad_member = r;
+    bad_member.skyline.push_back(c);
+    EXPECT_FALSE(AuditSkyline(q, bad_member).ok());
+    break;
+  }
+}
+
+TEST(DiverseTopKTest, MatchesBruteForceAcrossSeeds) {
+  for (uint64_t seed = 940; seed < 962; ++seed) {
+    const MolqQuery q = RandomQuery({4, 4, 3}, seed);
+    const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+    for (const double min_dist : {0.0, 10.0, 40.0}) {
+      const DiverseTopKResult fast =
+          DiverseTopKFromMovd(q, movd, 3, min_dist);
+      const DiverseTopKResult slow =
+          DiverseTopKBruteForce(q, movd, 3, min_dist);
+      ASSERT_EQ(fast.status, StatusCode::kOk);
+      ExpectSameCandidates(fast.selected, slow.selected);
+    }
+  }
+}
+
+TEST(DiverseTopKTest, ZeroMinDistanceIsExactlyTopK) {
+  for (uint64_t seed = 970; seed < 975; ++seed) {
+    const MolqQuery q = RandomQuery({5, 4}, seed);
+    const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+    const size_t k = 4;
+    const DiverseTopKResult diverse = DiverseTopKFromMovd(q, movd, k, 0.0);
+    MolqOptions mopts;
+    const MolqResult top = TopKFromMovd(q, movd, k, mopts);
+    ASSERT_EQ(diverse.selected.size(), top.ranked.size());
+    for (size_t i = 0; i < top.ranked.size(); ++i) {
+      EXPECT_EQ(diverse.selected[i].location.x, top.ranked[i].location.x);
+      EXPECT_EQ(diverse.selected[i].location.y, top.ranked[i].location.y);
+      EXPECT_EQ(diverse.selected[i].cost, top.ranked[i].cost);
+      EXPECT_EQ(diverse.selected[i].group.size(), top.ranked[i].group.size());
+    }
+    EXPECT_EQ(diverse.skipped, 0u);
+  }
+}
+
+TEST(DiverseTopKTest, SelectionRespectsMinDistanceAndAuditAgrees) {
+  const MolqQuery q = RandomQuery({5, 5}, 980);
+  const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+  const double min_dist = 25.0;
+  const DiverseTopKResult r = DiverseTopKFromMovd(q, movd, 4, min_dist);
+  for (size_t i = 0; i < r.selected.size(); ++i) {
+    for (size_t j = i + 1; j < r.selected.size(); ++j) {
+      const double dx = r.selected[i].location.x - r.selected[j].location.x;
+      const double dy = r.selected[i].location.y - r.selected[j].location.y;
+      EXPECT_GE(dx * dx + dy * dy, min_dist * min_dist);
+    }
+  }
+  EXPECT_TRUE(AuditDiverseTopK(q, 4, min_dist, r).ok());
+  // Tampering: duplicating a selected site violates the pairwise distance
+  // floor (distance 0), which the validator replays exactly.
+  if (!r.selected.empty()) {
+    DiverseTopKResult bad = r;
+    bad.selected.push_back(bad.selected.front());
+    EXPECT_FALSE(AuditDiverseTopK(q, 5, min_dist, bad).ok());
+  }
+}
+
+TEST(DiverseTopKTest, BitIdenticalAcrossThreadCounts) {
+  const MolqQuery q = RandomQuery({5, 4, 4}, 981);
+  const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+  CandidateOptions serial;
+  const DiverseTopKResult base =
+      DiverseTopKFromMovd(q, movd, 3, 15.0, serial);
+  for (const int threads : {2, 4, 8}) {
+    CandidateOptions par;
+    par.exec.threads = threads;
+    const DiverseTopKResult r = DiverseTopKFromMovd(q, movd, 3, 15.0, par);
+    ExpectSameCandidates(base.selected, r.selected);
+  }
+}
+
+TEST(WhatIfTest, IdentityVectorReproducesTopKExactly) {
+  const MolqQuery q = RandomQuery({4, 4}, 990);
+  const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+  WhatIfVector identity;
+  identity.scale = {1.0, 1.0};
+  WhatIfOptions opts;
+  opts.topk = 3;
+  const WhatIfSweepResult sweep =
+      WhatIfSweepFromMovd(q, movd, {identity}, opts);
+  ASSERT_EQ(sweep.status, StatusCode::kOk);
+  ASSERT_EQ(sweep.per_vector.size(), 1u);
+  MolqOptions mopts;
+  const MolqResult top = TopKFromMovd(q, movd, 3, mopts);
+  ASSERT_EQ(sweep.per_vector[0].size(), top.ranked.size());
+  for (size_t i = 0; i < top.ranked.size(); ++i) {
+    EXPECT_EQ(sweep.per_vector[0][i].location.x, top.ranked[i].location.x);
+    EXPECT_EQ(sweep.per_vector[0][i].location.y, top.ranked[i].location.y);
+    EXPECT_EQ(sweep.per_vector[0][i].cost, top.ranked[i].cost);
+  }
+}
+
+TEST(WhatIfTest, SweepMatchesFreshSolvesOfScaledQueries) {
+  // The artifact-reuse claim: evaluating a scaled query over the *base*
+  // query's MOVD equals rebuilding the whole pipeline for that scaled
+  // query — per-set type-weight scaling preserves every set's internal
+  // ranking, so the diagrams coincide.
+  for (uint64_t seed = 991; seed < 996; ++seed) {
+    const MolqQuery q = RandomQuery({4, 3, 3}, seed);
+    const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+    std::vector<WhatIfVector> vectors(2);
+    vectors[0].scale = {1.5, 0.5, 1.0};
+    vectors[1].scale = {0.25, 2.0, 3.0};
+    WhatIfOptions opts;
+    opts.topk = 2;
+    const WhatIfSweepResult sweep =
+        WhatIfSweepFromMovd(q, movd, vectors, opts);
+    ASSERT_EQ(sweep.status, StatusCode::kOk);
+    ASSERT_EQ(sweep.per_vector.size(), vectors.size());
+    for (size_t v = 0; v < vectors.size(); ++v) {
+      const MolqQuery scaled = ApplyWhatIfVector(q, vectors[v]);
+      MolqOptions mopts;
+      const MolqResult fresh = SolveMolqTopK(scaled, kBounds, 2, mopts);
+      ASSERT_EQ(sweep.per_vector[v].size(), fresh.ranked.size());
+      for (size_t i = 0; i < fresh.ranked.size(); ++i) {
+        EXPECT_EQ(sweep.per_vector[v][i].location.x,
+                  fresh.ranked[i].location.x);
+        EXPECT_EQ(sweep.per_vector[v][i].location.y,
+                  fresh.ranked[i].location.y);
+        EXPECT_EQ(sweep.per_vector[v][i].cost, fresh.ranked[i].cost);
+      }
+    }
+  }
+}
+
+TEST(WhatIfTest, BitIdenticalAcrossThreadCountsAndAuditAgrees) {
+  const MolqQuery q = RandomQuery({4, 4}, 997);
+  const Movd movd = BuildOverlay(q, BoundaryMode::kRealRegion);
+  std::vector<WhatIfVector> vectors(3);
+  vectors[0].scale = {1.0, 1.0};
+  vectors[1].scale = {2.0, 0.5};
+  vectors[2].scale = {0.1, 5.0};
+  WhatIfOptions serial;
+  serial.topk = 2;
+  const WhatIfSweepResult base = WhatIfSweepFromMovd(q, movd, vectors, serial);
+  EXPECT_TRUE(AuditWhatIfSweep(q, vectors, 2, base).ok());
+  for (const int threads : {2, 4, 8}) {
+    WhatIfOptions par = serial;
+    par.exec.threads = threads;
+    const WhatIfSweepResult r = WhatIfSweepFromMovd(q, movd, vectors, par);
+    ASSERT_EQ(r.per_vector.size(), base.per_vector.size());
+    for (size_t v = 0; v < base.per_vector.size(); ++v) {
+      ExpectSameCandidates(base.per_vector[v], r.per_vector[v]);
+    }
+  }
+  // Tampering: a corrupted cost in any ranking must be caught against the
+  // scaled query's recomputation.
+  WhatIfSweepResult bad = base;
+  ASSERT_FALSE(bad.per_vector.empty());
+  ASSERT_FALSE(bad.per_vector[1].empty());
+  bad.per_vector[1][0].cost *= 0.5;
+  EXPECT_FALSE(AuditWhatIfSweep(q, vectors, 2, bad).ok());
+}
+
+TEST(WhatIfTest, RejectsMalformedVectors) {
+  const MolqQuery q = RandomQuery({3, 3}, 998);
+  WhatIfVector short_vec;
+  short_vec.scale = {1.0};
+  EXPECT_FALSE(ValidateWhatIfVector(q, short_vec).ok());
+  WhatIfVector nonpositive;
+  nonpositive.scale = {1.0, 0.0};
+  EXPECT_FALSE(ValidateWhatIfVector(q, nonpositive).ok());
+  WhatIfVector good;
+  good.scale = {2.0, 0.5};
+  EXPECT_TRUE(ValidateWhatIfVector(q, good).ok());
+}
+
+}  // namespace
+}  // namespace movd

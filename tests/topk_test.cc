@@ -182,6 +182,82 @@ TEST(TopKTest, RanksBeyondTheTieStayOrdered) {
   }
 }
 
+TEST(TopKTest, KLargerThanCombinationCountReturnsEveryCombination) {
+  // Documented edge case: an oversized k is not an error — the ranking
+  // simply ends when the distinct combinations run out, still ascending.
+  const MolqQuery q = RandomQuery({2, 2}, 420);
+  MolqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto top = SolveMolqTopK(q, kBounds, 99, opts).ranked;
+  EXPECT_LE(top.size(), 4u);  // at most |set0| * |set1| combinations
+  ASSERT_GE(top.size(), 1u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1].cost, top[i].cost);
+    EXPECT_NE(top[i - 1].group, top[i].group);
+  }
+  // Asking for even more changes nothing.
+  const auto again = SolveMolqTopK(q, kBounds, 1000, opts).ranked;
+  ASSERT_EQ(again.size(), top.size());
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(again[i].cost, top[i].cost);
+    EXPECT_EQ(again[i].group, top[i].group);
+  }
+}
+
+// A hand-built MOVD whose every OVR pairs two co-located objects: each
+// combination's optimum costs exactly 0.0, so ALL candidates tie and the
+// ranking must fall back to the documented lexicographic group order.
+TEST(TopKTest, AllCandidatesTiedRankInLexicographicGroupOrder) {
+  MolqQuery q;
+  for (int s = 0; s < 2; ++s) {
+    ObjectSet set;
+    set.name = std::string("type") += std::to_string(s);
+    for (int i = 0; i < 3; ++i) {
+      SpatialObject obj;
+      obj.location = {10.0 + 30.0 * i, 50.0};
+      set.objects.push_back(obj);
+    }
+    q.sets.push_back(std::move(set));
+  }
+  Movd movd;
+  // Insert in reverse group order to prove the ranking does not depend on
+  // OVR scan order when every cost ties.
+  for (int i = 2; i >= 0; --i) {
+    Ovr ovr;
+    const Rect cell(30.0 * i, 0, 30.0 * i + 30.0, 100);
+    ovr.region = Region::FromRect(cell);
+    ovr.mbr = cell;
+    ovr.pois = {{0, i}, {1, i}};
+    movd.ovrs.push_back(std::move(ovr));
+  }
+  MolqOptions opts;
+  opts.epsilon = 1e-6;
+  const auto top = TopKFromMovd(q, movd, 5, opts).ranked;
+  ASSERT_EQ(top.size(), 3u);  // oversized k: every combination, once
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(top[i].cost, 0.0);
+    ASSERT_EQ(top[i].group.size(), 2u);
+    EXPECT_EQ(top[i].group[0].object, static_cast<int32_t>(i));
+    EXPECT_EQ(top[i].group[1].object, static_cast<int32_t>(i));
+  }
+}
+
+TEST(TopKTest, DuplicateOvrsOfOneCombinationCollapse) {
+  // MBRB-style false positives present the same poi combination through
+  // several OVRs; the ranking must keep exactly one entry per combination
+  // and be unaffected by the duplicates.
+  const MolqQuery q = RandomQuery({3, 3}, 421);
+  MolqOptions opts;
+  opts.algorithm = MolqAlgorithm::kMbrb;
+  opts.epsilon = 1e-6;
+  const auto ranked = SolveMolqTopK(q, kBounds, 9, opts).ranked;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    for (size_t j = i + 1; j < ranked.size(); ++j) {
+      EXPECT_NE(ranked[i].group, ranked[j].group);
+    }
+  }
+}
+
 TEST(TopKTest, MbrbAgreesWithRrbOnTopCosts) {
   const MolqQuery q = RandomQuery({4, 4, 3}, 405);
   MolqOptions rrb;

@@ -26,7 +26,8 @@ The module DAG, bottom to top (see the diagram in DESIGN.md section 12):
    │           └─ audit
    │               └─ core   (also uses fermat)
    │                   ├─ network, data, storage
-   │                   └─ serve (also uses storage)
+   │                   ├─ query (also uses fermat)
+   │                   └─ serve (also uses query, storage, audit)
    └─ (tests, bench, tools, examples ride on top of everything)
 
 Usage: python3 tools/analysis/check_includes.py [--root=REPO_ROOT]
@@ -57,10 +58,12 @@ ALLOWED_DEPS = {
     "model": {"geom", "util", "voronoi"},
     "audit": {"geom", "model", "util", "voronoi"},
     "core": {"audit", "fermat", "geom", "model", "trace", "util", "voronoi"},
+    "query": {"core", "fermat", "geom", "model", "trace", "util"},
     "network": {"core", "geom", "model", "util", "voronoi"},
     "data": {"core", "geom", "model", "util"},
     "storage": {"core", "geom", "model", "util"},
-    "serve": {"core", "model", "storage", "trace", "util"},
+    "serve": {"audit", "core", "model", "query", "storage", "trace",
+              "util"},
 }
 
 # Directories whose sources sit above the whole module DAG.

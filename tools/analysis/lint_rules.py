@@ -67,6 +67,14 @@ ENTRY_POINTS = [
     ("src/voronoi/weighted_adaptive.cc",
      "std::vector<WeightedCellApprox> AdaptiveWeightedVoronoi"),
     ("src/geom/gridcontour.cc", "std::vector<Polygon> ExtractOuterContours"),
+    ("src/query/candidates.cc", "StatusCode EnumerateCandidates"),
+    ("src/query/skyline.cc", "SkylineResult SkylineFromMovd"),
+    ("src/query/diversify.cc", "DiverseTopKResult DiverseTopKFromMovd"),
+    ("src/query/constrained.cc",
+     "ConstrainedMolqResult ConstrainedFromClippedMovd"),
+    ("src/query/constrained.cc",
+     "ConstrainedMolqResult ConstrainedMolqFromMovd"),
+    ("src/query/whatif.cc", "WhatIfSweepResult WhatIfSweepFromMovd"),
 ]
 
 

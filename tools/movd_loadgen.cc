@@ -4,7 +4,8 @@
 //       [--requests=0] [--dataset=synthetic] [--dataset_layers=3]
 //       [--algo=rrb] [--k=1] [--epsilon=1e-3] [--deadline_ms=0]
 //       [--threads=1] [--cache=1] [--seed=1] [--check=1]
-//       [--require_cache_hits] [--shutdown]
+//       [--mix=solve:8,skyline:1,diverse:1,constrain:1,whatif:1]
+//       [--world=10000] [--min_dist=0] [--require_cache_hits] [--shutdown]
 //
 // Spawns `--clients` connections; each runs a closed loop (send one SOLVE,
 // wait for the answer, repeat) for `--duration_s` seconds (or `--requests`
@@ -13,8 +14,17 @@
 // concurrent clients overlap on the same cached artifacts. Reports
 // throughput, latency percentiles and the server's cache statistics, and
 // (with --check, default on) verifies that every response for the same
-// (layers, algo, k) pattern is byte-identical — the serving determinism
-// contract.
+// (verb, layers, algo, k) pattern is byte-identical — the serving
+// determinism contract.
+//
+// --mix=verb:weight,... turns on mixed-workload mode: each request draws
+// its verb (solve, skyline, diverse, constrain, whatif) from the weighted
+// pool, interleaving the query-algebra shapes with plain MOLQ solves
+// against the same cached artifacts, and the report grows a per-verb
+// latency histogram. CONSTRAIN requests use a centered box covering half
+// of [0, --world)^2 as the boundary; DIVERSE uses --k and --min_dist
+// (default world/100); WHATIF sweeps two fixed weight vectors per layer
+// pattern. All shapes are deterministic, so --check applies to every verb.
 //
 // Exit status is non-zero on connection failures, protocol errors,
 // determinism mismatches, or (with --require_cache_hits) a cache that
@@ -46,12 +56,19 @@ namespace {
 
 using namespace movd;
 
+/// The request verbs mixed-workload mode can draw from.
+enum Verb { kSolve = 0, kSkyline, kDiverse, kConstrain, kWhatIf, kNumVerbs };
+const char* const kVerbNames[kNumVerbs] = {"solve", "skyline", "diverse",
+                                           "constrain", "whatif"};
+
 struct ClientStats {
   uint64_t requests = 0;
   uint64_t errors = 0;             ///< ERR responses other than deadline
   uint64_t deadline_exceeded = 0;  ///< ERR ... DEADLINE_EXCEEDED responses
   bool connection_ok = true;
   std::vector<double> latencies_ms;
+  /// Mixed-workload mode: latencies split per request verb.
+  std::vector<double> verb_latencies_ms[kNumVerbs];
 };
 
 std::mutex g_check_mu;
@@ -107,10 +124,12 @@ bool RecvLine(int fd, std::string* buffer, std::string* line) {
   }
 }
 
-/// The "answers": [...] slice of an OK SOLVE body — everything that must be
-/// deterministic (cache_hit and seconds legitimately vary per request).
+/// The "answers": [...] (or, for WHATIF, "sweeps": [...]) slice of an OK
+/// body — everything that must be deterministic (cache_hit and seconds
+/// legitimately vary per request).
 std::string AnswersSlice(const std::string& ok_line) {
-  const size_t begin = ok_line.find("\"answers\": ");
+  size_t begin = ok_line.find("\"answers\": ");
+  if (begin == std::string::npos) begin = ok_line.find("\"sweeps\": ");
   const size_t end = ok_line.rfind(", \"cache_hit\"");
   if (begin == std::string::npos || end == std::string::npos || end <= begin) {
     return ok_line;  // unexpected shape: compare the whole line
@@ -150,7 +169,104 @@ struct LoadConfig {
   uint64_t seed = 1;
   bool check = true;
   std::vector<std::string> patterns;
+  /// Mixed-workload mode: per-verb draw weights (all on kSolve when --mix
+  /// is absent) and the derived request ingredients.
+  int mix_weights[kNumVerbs] = {1, 0, 0, 0, 0};
+  int mix_total = 1;
+  double min_dist = 0.0;
+  std::string boundary_spec;  ///< CONSTRAIN boundary= polygon
 };
+
+/// Parses "--mix=solve:8,skyline:1,..." into per-verb weights. Unlisted
+/// verbs get weight 0; at least one weight must be positive.
+bool ParseMix(const std::string& spec, int weights[kNumVerbs]) {
+  for (int v = 0; v < kNumVerbs; ++v) weights[v] = 0;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string name = entry.substr(0, colon);
+    const int weight = std::atoi(entry.c_str() + colon + 1);
+    if (weight <= 0) return false;
+    int verb = -1;
+    for (int v = 0; v < kNumVerbs; ++v) {
+      if (name == kVerbNames[v]) verb = v;
+    }
+    if (verb < 0) return false;
+    weights[verb] += weight;
+  }
+  for (int v = 0; v < kNumVerbs; ++v) {
+    if (weights[v] > 0) return true;
+  }
+  return false;
+}
+
+/// Two fixed WHATIF weight vectors for a `layer_count`-layer pattern: the
+/// identity sweep and an alternating 1.5/0.5 scaling — deterministic, so
+/// --check can compare responses across clients.
+std::string SweepSpec(int layer_count) {
+  std::string identity, skewed;
+  for (int i = 0; i < layer_count; ++i) {
+    if (i > 0) {
+      identity += ",";
+      skewed += ",";
+    }
+    identity += "1";
+    skewed += (i % 2 == 0) ? "1.5" : "0.5";
+  }
+  return identity + "|" + skewed;
+}
+
+/// One request line (without the trailing newline) for `verb` against the
+/// given layer pattern. The common keys mirror the plain-SOLVE path; verb
+/// specific keys follow the protocol's requirements (DIVERSE needs
+/// k/min_dist, CONSTRAIN takes no algo/k, WHATIF needs sweep).
+std::string BuildRequestLine(const LoadConfig& cfg, Verb verb, int client,
+                             uint64_t n, const std::string& layers) {
+  std::string line = verb == kSolve     ? "SOLVE"
+                     : verb == kSkyline ? "SKYLINE"
+                     : verb == kDiverse ? "DIVERSE"
+                     : verb == kConstrain ? "CONSTRAIN"
+                                          : "WHATIF";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), " id=c%d-%llu dataset=%s layers=%s", client,
+                static_cast<unsigned long long>(n), cfg.dataset.c_str(),
+                layers.c_str());
+  line += buf;
+  if (verb != kConstrain) {
+    line += " algo=" + cfg.algo;
+  }
+  if (verb == kSolve || verb == kDiverse || verb == kWhatIf) {
+    std::snprintf(buf, sizeof(buf), " k=%lld",
+                  static_cast<long long>(cfg.k));
+    line += buf;
+  }
+  if (verb == kDiverse) {
+    std::snprintf(buf, sizeof(buf), " min_dist=%g", cfg.min_dist);
+    line += buf;
+  }
+  if (verb == kConstrain) {
+    line += " boundary=" + cfg.boundary_spec;
+  }
+  if (verb == kWhatIf) {
+    const int layer_count =
+        1 + static_cast<int>(std::count(layers.begin(), layers.end(), ','));
+    line += " sweep=" + SweepSpec(layer_count);
+  }
+  std::snprintf(buf, sizeof(buf), " epsilon=%g threads=%lld cache=%d",
+                cfg.epsilon, static_cast<long long>(cfg.threads),
+                cfg.cache ? 1 : 0);
+  line += buf;
+  if (cfg.deadline_ms > 0.0) {
+    std::snprintf(buf, sizeof(buf), " deadline_ms=%g", cfg.deadline_ms);
+    line += buf;
+  }
+  return line;
+}
 
 void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
   const int fd = ConnectUnix(cfg.socket);
@@ -166,29 +282,30 @@ void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
          (cfg.requests_cap == 0 || n < cfg.requests_cap)) {
     const std::string& layers =
         cfg.patterns[rng.NextBelow(cfg.patterns.size())];
-    const std::string pattern = layers + "/" + cfg.algo + "/k" +
-                                std::to_string(cfg.k);
-    char head[160];
-    std::snprintf(head, sizeof(head),
-                  "SOLVE id=c%d-%llu dataset=%s layers=%s algo=%s k=%lld "
-                  "epsilon=%g threads=%lld cache=%d",
-                  index, static_cast<unsigned long long>(n),
-                  cfg.dataset.c_str(), layers.c_str(), cfg.algo.c_str(),
-                  static_cast<long long>(cfg.k), cfg.epsilon,
-                  static_cast<long long>(cfg.threads), cfg.cache ? 1 : 0);
-    std::string line = head;
-    if (cfg.deadline_ms > 0.0) {
-      std::snprintf(head, sizeof(head), " deadline_ms=%g", cfg.deadline_ms);
-      line += head;
+    // Draw the verb from the weighted mix (always kSolve without --mix).
+    Verb verb = kSolve;
+    int draw = static_cast<int>(
+        rng.NextBelow(static_cast<uint64_t>(cfg.mix_total)));
+    for (int v = 0; v < kNumVerbs; ++v) {
+      draw -= cfg.mix_weights[v];
+      if (draw < 0) {
+        verb = static_cast<Verb>(v);
+        break;
+      }
     }
-    line += '\n';
+    const std::string pattern = std::string(kVerbNames[verb]) + "/" + layers +
+                                "/" + cfg.algo + "/k" + std::to_string(cfg.k);
+    const std::string line =
+        BuildRequestLine(cfg, verb, index, n, layers) + "\n";
     Stopwatch latency;
     std::string response;
     if (!SendAll(fd, line) || !RecvLine(fd, &buffer, &response)) {
       stats->connection_ok = false;
       break;
     }
-    stats->latencies_ms.push_back(latency.ElapsedMillis());
+    const double ms = latency.ElapsedMillis();
+    stats->latencies_ms.push_back(ms);
+    stats->verb_latencies_ms[verb].push_back(ms);
     ++stats->requests;
     ++n;
     if (response.rfind("OK ", 0) == 0) {
@@ -243,6 +360,32 @@ int Main(int argc, char** argv) {
   const int clients = static_cast<int>(flags.GetInt("clients", 4));
   const bool require_hits = flags.GetBool("require_cache_hits", false);
   const bool shutdown_server = flags.GetBool("shutdown", false);
+  const double world = flags.GetDouble("world", 10000.0);
+  cfg.min_dist = flags.GetDouble("min_dist", world / 100.0);
+  const bool mixed = flags.Has("mix");
+  if (mixed && !ParseMix(flags.GetString("mix", ""), cfg.mix_weights)) {
+    std::fprintf(stderr,
+                 "movd_loadgen: bad --mix (want verb:weight,... with verbs "
+                 "solve|skyline|diverse|constrain|whatif)\n");
+    return 2;
+  }
+  cfg.mix_total = 0;
+  for (int v = 0; v < kNumVerbs; ++v) cfg.mix_total += cfg.mix_weights[v];
+  if (mixed && cfg.algo == "ssc" &&
+      cfg.mix_weights[kSolve] != cfg.mix_total) {
+    std::fprintf(stderr,
+                 "movd_loadgen: --algo=ssc only supports a solve-only mix "
+                 "(the query-algebra verbs reject ssc)\n");
+    return 2;
+  }
+  // CONSTRAIN boundary: the centered box covering half of [0, world)^2.
+  {
+    char spec[128];
+    std::snprintf(spec, sizeof(spec), "%g,%g;%g,%g;%g,%g;%g,%g", 0.25 * world,
+                  0.25 * world, 0.75 * world, 0.25 * world, 0.75 * world,
+                  0.75 * world, 0.25 * world, 0.75 * world);
+    cfg.boundary_spec = spec;
+  }
   flags.WarnUnused(stderr);
   if (cfg.socket.empty()) {
     std::fprintf(stderr, "movd_loadgen: --socket=PATH is required\n");
@@ -265,6 +408,7 @@ int Main(int argc, char** argv) {
   uint64_t requests = 0, errors = 0, deadlines = 0;
   bool connections_ok = true;
   std::vector<double> latencies;
+  std::vector<double> verb_latencies[kNumVerbs];
   for (const ClientStats& s : stats) {
     requests += s.requests;
     errors += s.errors;
@@ -272,6 +416,11 @@ int Main(int argc, char** argv) {
     connections_ok = connections_ok && s.connection_ok;
     latencies.insert(latencies.end(), s.latencies_ms.begin(),
                      s.latencies_ms.end());
+    for (int v = 0; v < kNumVerbs; ++v) {
+      verb_latencies[v].insert(verb_latencies[v].end(),
+                               s.verb_latencies_ms[v].begin(),
+                               s.verb_latencies_ms[v].end());
+    }
   }
   std::sort(latencies.begin(), latencies.end());
   const auto percentile = [&latencies](double p) {
@@ -324,6 +473,39 @@ int Main(int argc, char** argv) {
   table.AddRow({"server cache misses",
                 stats_ok ? std::to_string(cache_misses) : "(unavailable)"});
   table.Print(stdout);
+
+  if (mixed) {
+    // Per-verb latency histogram: power-of-two millisecond buckets plus
+    // percentiles, one row per verb that appeared in the mix.
+    static const double kBucketsMs[] = {0.5, 1.0, 2.0, 4.0, 8.0,
+                                        16.0, 32.0, 64.0};
+    const size_t buckets = sizeof(kBucketsMs) / sizeof(kBucketsMs[0]);
+    Table hist({"verb", "count", "<0.5ms", "<1", "<2", "<4", "<8", "<16",
+                "<32", "<64", ">=64", "p50 ms", "p99 ms"});
+    for (int v = 0; v < kNumVerbs; ++v) {
+      std::vector<double>& lat = verb_latencies[v];
+      if (lat.empty()) continue;
+      std::sort(lat.begin(), lat.end());
+      std::vector<uint64_t> counts(buckets + 1, 0);
+      for (const double ms : lat) {
+        size_t b = 0;
+        while (b < buckets && ms >= kBucketsMs[b]) ++b;
+        ++counts[b];
+      }
+      std::vector<std::string> row = {kVerbNames[v],
+                                      std::to_string(lat.size())};
+      for (const uint64_t c : counts) row.push_back(std::to_string(c));
+      const auto verb_pct = [&lat](double p) {
+        const size_t idx = static_cast<size_t>(
+            (p / 100.0) * static_cast<double>(lat.size() - 1));
+        return lat[idx];
+      };
+      row.push_back(Table::Fmt(verb_pct(50), 3));
+      row.push_back(Table::Fmt(verb_pct(99), 3));
+      hist.AddRow(row);
+    }
+    hist.Print(stdout);
+  }
 
   if (!connections_ok) {
     std::fprintf(stderr, "movd_loadgen: connection failures\n");

@@ -26,6 +26,13 @@ common=(--threads=2 --seed=42 --repetitions=7 --warmup=1)
 "$build/bench/micro_spatial" "${common[@]}" --scale=16 \
     --json="$out/BENCH_micro_spatial.json"
 
+# Query-algebra gates (DESIGN.md §13): the four shape evaluators against a
+# shared prebuilt overlay, plus the overlay build itself as its own case.
+# The deterministic metrics (skyline size, dominance tests, boundary
+# solves, sweep answers) gate exactly and survive hardware changes.
+"$build/bench/query_shapes" "${common[@]}" --sizes=16,32 --vectors=8 \
+    --json="$out/BENCH_query.json"
+
 # Weighted-diagram construction gates (DESIGN.md §11): the micro suite
 # compares the adaptive builder against the dense-grid reference directly;
 # the fig11-14 runs pin small overlap workloads plus the weighted build
