@@ -173,7 +173,8 @@ int ServeAndPrint(const MolqQuery& query, const Rect& world,
                  resp.error.c_str());
     return 1;
   }
-  const MolqQuery& resolved = *engine.dataset_query("cli");
+  // The snapshot the response pinned resolves answer group refs.
+  const MolqQuery& resolved = resp.snapshot->query;
   if (full_object || !resp.sweep_answers.empty()) {
     std::printf("%s\n",
                 ResponseJson(resolved, resp, /*include_timing=*/false).c_str());

@@ -47,6 +47,8 @@ const char* AuditKindName(AuditKind kind) {
     case AuditKind::kQueryDominated: return "query-dominated";
     case AuditKind::kQueryDiversity: return "query-diversity";
     case AuditKind::kQueryInfeasible: return "query-infeasible";
+    case AuditKind::kPatchedOvrCount: return "patched-ovr-count";
+    case AuditKind::kPatchedOvrMismatch: return "patched-ovr-mismatch";
   }
   return "unknown";
 }

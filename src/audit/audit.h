@@ -68,6 +68,9 @@ enum class AuditKind {
   kQueryDominated,     ///< a reported skyline member dominated by another
   kQueryDiversity,     ///< a selected pair closer than the min distance
   kQueryInfeasible,    ///< a constrained answer outside the feasible region
+  // Patched-vs-rebuilt equivalence (audit_update.cc)
+  kPatchedOvrCount,    ///< patched artifact OVR count differs from rebuild
+  kPatchedOvrMismatch, ///< a patched OVR differs bytewise from the rebuild
 };
 
 /// Short stable identifier for a kind, e.g. "delaunay-circumcircle".

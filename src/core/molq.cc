@@ -19,7 +19,6 @@
 #include "voronoi/weighted.h"
 
 namespace movd {
-namespace {
 
 // True when the set's full weighted distance WD(q, p) = a*d(q, p) + b has
 // identical coefficients (a, b) for every object, so WD ranks objects
@@ -40,6 +39,8 @@ bool OrdinaryDiagramSuffices(const MolqQuery& query, int32_t set) {
   }
   return true;
 }
+
+namespace {
 
 // Re-labels every violation of `sub` with the pipeline seam that caught it
 // and folds it into `total`.
@@ -70,7 +71,13 @@ Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
     for (const SpatialObject& obj : objects.objects) {
       sites.push_back(obj.location);
     }
-    const VoronoiDiagram vd = VoronoiDiagram::Build(sites, search_space);
+    // Cells come from the Delaunay-neighbour builder: a cell is then a
+    // pure function of (site, LessXY-sorted neighbour set, bounds), which
+    // is what lets the live-update path (src/core/update) recompute only
+    // the cells whose neighbour sets a mutation touched and still produce
+    // bytes identical to this full build.
+    const VoronoiDiagram vd = VoronoiDiagram::Build(
+        sites, search_space, VoronoiDiagram::Strategy::kDelaunay);
     if (audit != nullptr) {
       // Post-Delaunay seam: the triangulation substrate the Voronoi cells
       // are cross-validated against (built here on demand — the default

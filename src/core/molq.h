@@ -122,6 +122,13 @@ Movd BuildBasicMovd(const MolqQuery& query, int32_t set,
                     int threads = 1, AuditReport* audit = nullptr,
                     WeightedMethod weighted_method = WeightedMethod::kAdaptive);
 
+/// True when BuildBasicMovd would take the exact ordinary-Voronoi route
+/// for `set`: every object decomposes to the same affine weighted-distance
+/// coefficients (a, b), so WD ranks objects exactly like plain distance.
+/// The live-update path (src/core/update) uses this to decide whether a
+/// layer can be patched incrementally or needs a full weighted rebuild.
+bool OrdinaryDiagramSuffices(const MolqQuery& query, int32_t set);
+
 /// Evaluates MOLQ(Ē, ς^t, σ) over `search_space` (paper Eq. 4): the
 /// location minimising MWGD. Dispatches to SSC or to the MOVD pipeline
 /// (VD Generator -> MOVD Overlapper -> Optimizer).

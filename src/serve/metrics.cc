@@ -19,7 +19,11 @@ void ServeMetrics::RecordRequest(ServeStatus status, double seconds,
       break;
     case StatusCode::kInvalidArgument:
     case StatusCode::kNotFound:
+    case StatusCode::kUnsupportedVerb:
       invalid_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kOverloaded:
+      shed_.fetch_add(1, std::memory_order_relaxed);
       break;
     default:  // kDataLoss, kIoError, kInternal: the server's fault
       internal_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -27,6 +31,10 @@ void ServeMetrics::RecordRequest(ServeStatus status, double seconds,
   }
   if (cache_hit) overlay_hits_.fetch_add(1, std::memory_order_relaxed);
   latency_.Record(seconds);
+}
+
+void ServeMetrics::RecordMutation() {
+  mutations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServeMetrics::RecordPhases(double overlay_seconds,
@@ -50,6 +58,8 @@ std::string ServeMetrics::Json(const ArtifactCache::Stats& cache) const {
   field("deadline_exceeded", deadline_exceeded());
   field("invalid", invalid());
   field("internal_errors", internal_errors());
+  field("shed", shed());
+  field("mutations", mutations());
   field("overlay_cache_hits", overlay_hits());
   field("cache_hits", cache.hits);
   field("cache_misses", cache.misses);
@@ -91,6 +101,8 @@ void ServeMetrics::DumpTable(std::FILE* out,
   row("deadline_exceeded", deadline_exceeded());
   row("invalid", invalid());
   row("internal_errors", internal_errors());
+  row("shed", shed());
+  row("mutations", mutations());
   row("overlay_cache_hits", overlay_hits());
   table.AddRow({"p50", Table::Fmt(latency_.PercentileSeconds(50) * 1e3, 3) +
                            "ms"});

@@ -56,11 +56,17 @@ class ServeMetrics {
   /// phase counts can be below requests().
   void RecordPhases(double overlay_seconds, double optimize_seconds);
 
+  /// Records one successfully applied dataset mutation (the request itself
+  /// is also counted through RecordRequest, like any other request).
+  void RecordMutation();
+
   uint64_t requests() const { return requests_.load(); }
   uint64_t ok() const { return ok_.load(); }
   uint64_t deadline_exceeded() const { return deadline_exceeded_.load(); }
   uint64_t invalid() const { return invalid_.load(); }
   uint64_t internal_errors() const { return internal_errors_.load(); }
+  uint64_t shed() const { return shed_.load(); }
+  uint64_t mutations() const { return mutations_.load(); }
   uint64_t overlay_hits() const { return overlay_hits_.load(); }
   const LatencyHistogram& latency() const { return latency_; }
   const LatencyHistogram& overlay_latency() const { return overlay_latency_; }
@@ -81,6 +87,8 @@ class ServeMetrics {
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> invalid_{0};
   std::atomic<uint64_t> internal_errors_{0};
+  std::atomic<uint64_t> shed_{0};       ///< rejected by admission control
+  std::atomic<uint64_t> mutations_{0};  ///< applied dataset mutations
   std::atomic<uint64_t> overlay_hits_{0};
   LatencyHistogram latency_;
   LatencyHistogram overlay_latency_;   ///< artifact phase (VD + overlap)

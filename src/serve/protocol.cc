@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -55,149 +56,190 @@ bool ParseF64(const std::string& s, double* out) {
   return true;
 }
 
-/// The verb keyword a request kind parses under, for error messages.
-const char* KindVerbName(ServeQueryKind kind) {
-  switch (kind) {
-    case ServeQueryKind::kMolq: return "SOLVE";
-    case ServeQueryKind::kSkyline: return "SKYLINE";
-    case ServeQueryKind::kDiverse: return "DIVERSE";
-    case ServeQueryKind::kConstrained: return "CONSTRAIN";
-    case ServeQueryKind::kWhatIf: return "WHATIF";
+/// Wire spelling and HELP usage hint of one argument key. The registry's
+/// arg masks index into this table; the parser, the per-verb "X requires
+/// ..." errors, and the HELP output all read it.
+struct ArgSpec {
+  uint32_t bit;
+  const char* key;
+  const char* hint;
+};
+
+constexpr ArgSpec kArgSpecs[] = {
+    {kArgId, "id", "id=<tok>"},
+    {kArgDataset, "dataset", "dataset=<name>"},
+    {kArgLayers, "layers", "layers=<i,j,...>"},
+    {kArgAlgo, "algo", "algo=ssc|rrb|mbrb"},
+    {kArgK, "k", "k=<n>"},
+    {kArgEpsilon, "epsilon", "epsilon=<e>"},
+    {kArgDeadlineMs, "deadline_ms", "deadline_ms=<ms>"},
+    {kArgThreads, "threads", "threads=<n>"},
+    {kArgCache, "cache", "cache=0|1"},
+    {kArgMinDist, "min_dist", "min_dist=<d>"},
+    {kArgBoundary, "boundary", "boundary=<poly>"},
+    {kArgExclude, "exclude", "exclude=<poly>"},
+    {kArgSweep, "sweep", "sweep=<v>|<v>|..."},
+    {kArgLayer, "layer", "layer=<i>"},
+    {kArgX, "x", "x=<f>"},
+    {kArgY, "y", "y=<f>"},
+};
+
+const ArgSpec* FindArg(const std::string& key) {
+  for (const ArgSpec& spec : kArgSpecs) {
+    if (key == spec.key) return &spec;
   }
-  return "?";
+  return nullptr;
 }
 
-Status ParseSolveArg(const std::string& key, const std::string& value,
-                     ServeRequest* request) {
-  const ServeQueryKind kind = request->kind;
+/// "SOLVE, DIVERSE, WHATIF" — the non-control verbs whose allowed_args
+/// contain `bit`, for "X applies to ... only" errors. Derived from the
+/// registry so the message stays correct when a verb row changes.
+std::string VerbsAllowing(uint32_t bit) {
+  std::string out;
+  for (const VerbDescriptor& d : VerbRegistry()) {
+    if ((d.caps & kCapControl) != 0 || (d.allowed_args & bit) == 0) continue;
+    if (!out.empty()) out += ", ";
+    out += d.name;
+  }
+  return out;
+}
+
+/// Joins the usage hints of the args in `mask` with `sep`.
+std::string JoinHints(uint32_t mask, const char* sep) {
+  std::string out;
+  for (const ArgSpec& spec : kArgSpecs) {
+    if ((mask & spec.bit) == 0) continue;
+    if (!out.empty()) out += sep;
+    out += spec.hint;
+  }
+  return out;
+}
+
+/// Parses one key=value pair for the verb `d` into `request`. The
+/// registry's allowed_args mask has already admitted the key; this is the
+/// per-key typed parse and value validation.
+Status ParseVerbArg(const VerbDescriptor& d, const ArgSpec& arg,
+                    const std::string& value, ServeRequest* request) {
   int64_t i = 0;
-  double d = 0.0;
-  if (key == "id") {
-    request->id = value;
-    return Status::Ok();
-  }
-  if (key == "dataset") {
-    request->dataset = value;
-    return Status::Ok();
-  }
-  if (key == "min_dist") {
-    if (kind != ServeQueryKind::kDiverse) {
-      return Status::InvalidArgument("min_dist applies to DIVERSE only");
+  double f = 0.0;
+  switch (arg.bit) {
+    case kArgId:
+      request->id = value;
+      return Status::Ok();
+    case kArgDataset:
+      request->dataset = value;
+      return Status::Ok();
+    case kArgLayers: {
+      request->layers.clear();
+      size_t pos = 0;
+      while (pos < value.size()) {
+        size_t comma = value.find(',', pos);
+        if (comma == std::string::npos) comma = value.size();
+        if (!ParseI64(value.substr(pos, comma - pos), &i)) {
+          return Status::InvalidArgument("bad layers list '" + value + "'");
+        }
+        request->layers.push_back(static_cast<int32_t>(i));
+        pos = comma + 1;
+      }
+      return Status::Ok();
     }
-    if (!ParseF64(value, &d) || d < 0.0) {
-      return Status::InvalidArgument("bad min_dist '" + value + "'");
-    }
-    request->min_distance = d;
-    return Status::Ok();
-  }
-  if (key == "boundary" || key == "exclude") {
-    if (kind != ServeQueryKind::kConstrained) {
-      return Status::InvalidArgument(key + " applies to CONSTRAIN only");
-    }
-    Polygon poly;
-    const Status parsed = ParsePolygonSpec(value, &poly);
-    if (!parsed.ok()) return parsed;
-    if (key == "boundary") {
+    case kArgAlgo:
+      if (value == "ssc") {
+        if ((d.caps & kCapRequiresOverlay) != 0) {
+          return Status::InvalidArgument(
+              std::string("algo=ssc serves plain SOLVE only; ") + d.name +
+              " needs a MOVD artifact (rrb|mbrb)");
+        }
+        request->algorithm = MolqAlgorithm::kSsc;
+      } else if (value == "rrb") {
+        request->algorithm = MolqAlgorithm::kRrb;
+      } else if (value == "mbrb") {
+        request->algorithm = MolqAlgorithm::kMbrb;
+      } else {
+        return Status::InvalidArgument("unknown algo '" + value +
+                                       "' (want ssc|rrb|mbrb)");
+      }
+      return Status::Ok();
+    case kArgK:
+      if (!ParseI64(value, &i) || i < 1) {
+        return Status::InvalidArgument("bad k '" + value + "'");
+      }
+      request->topk = static_cast<size_t>(i);
+      return Status::Ok();
+    case kArgEpsilon:
+      if (!ParseF64(value, &f) || !(f > 0.0)) {
+        return Status::InvalidArgument("bad epsilon '" + value + "'");
+      }
+      request->epsilon = f;
+      return Status::Ok();
+    case kArgDeadlineMs:
+      if (!ParseF64(value, &f) || f < 0.0) {
+        return Status::InvalidArgument("bad deadline_ms '" + value + "'");
+      }
+      request->deadline_ms = f;
+      return Status::Ok();
+    case kArgThreads:
+      if (!ParseI64(value, &i) || i < 0) {
+        return Status::InvalidArgument("bad threads '" + value + "'");
+      }
+      request->exec.threads = static_cast<int>(i);
+      return Status::Ok();
+    case kArgCache:
+      if (value == "0") {
+        request->use_cache = false;
+      } else if (value == "1") {
+        request->use_cache = true;
+      } else {
+        return Status::InvalidArgument("bad cache '" + value +
+                                       "' (want 0|1)");
+      }
+      return Status::Ok();
+    case kArgMinDist:
+      if (!ParseF64(value, &f) || f < 0.0) {
+        return Status::InvalidArgument("bad min_dist '" + value + "'");
+      }
+      request->min_distance = f;
+      return Status::Ok();
+    case kArgBoundary: {
+      Polygon poly;
+      const Status parsed = ParsePolygonSpec(value, &poly);
+      if (!parsed.ok()) return parsed;
       if (!request->constraint.boundary.Empty()) {
         return Status::InvalidArgument("boundary given twice");
       }
       request->constraint.boundary = std::move(poly);
-    } else {
+      return Status::Ok();
+    }
+    case kArgExclude: {
+      Polygon poly;
+      const Status parsed = ParsePolygonSpec(value, &poly);
+      if (!parsed.ok()) return parsed;
       request->constraint.exclusions.push_back(std::move(poly));
+      return Status::Ok();
     }
-    return Status::Ok();
-  }
-  if (key == "sweep") {
-    if (kind != ServeQueryKind::kWhatIf) {
-      return Status::InvalidArgument("sweep applies to WHATIF only");
-    }
-    return ParseSweepSpec(value, &request->sweep);
-  }
-  if (key == "layers") {
-    request->layers.clear();
-    size_t pos = 0;
-    while (pos < value.size()) {
-      size_t comma = value.find(',', pos);
-      if (comma == std::string::npos) comma = value.size();
-      if (!ParseI64(value.substr(pos, comma - pos), &i)) {
-        return Status::InvalidArgument("bad layers list '" + value + "'");
+    case kArgSweep:
+      return ParseSweepSpec(value, &request->sweep);
+    case kArgLayer:
+      if (!ParseI64(value, &i) || i < 0) {
+        return Status::InvalidArgument("bad layer '" + value + "'");
       }
-      request->layers.push_back(static_cast<int32_t>(i));
-      pos = comma + 1;
-    }
-    return Status::Ok();
-  }
-  if (key == "algo") {
-    if (kind == ServeQueryKind::kConstrained) {
-      return Status::InvalidArgument(
-          "CONSTRAIN is RRB-only (the clipper needs real regions); "
-          "algo cannot be set");
-    }
-    if (value == "ssc") {
-      if (kind != ServeQueryKind::kMolq) {
-        return Status::InvalidArgument(
-            std::string("algo=ssc serves plain SOLVE only; ") +
-            KindVerbName(kind) + " needs a MOVD artifact (rrb|mbrb)");
+      request->mutation.layer = static_cast<int32_t>(i);
+      return Status::Ok();
+    case kArgX:
+    case kArgY:
+      if (!ParseF64(value, &f) || !std::isfinite(f)) {
+        return Status::InvalidArgument(std::string("bad ") + arg.key + " '" +
+                                       value + "'");
       }
-      request->algorithm = MolqAlgorithm::kSsc;
-    } else if (value == "rrb") {
-      request->algorithm = MolqAlgorithm::kRrb;
-    } else if (value == "mbrb") {
-      request->algorithm = MolqAlgorithm::kMbrb;
-    } else {
-      return Status::InvalidArgument("unknown algo '" + value +
-                                     "' (want ssc|rrb|mbrb)");
-    }
-    return Status::Ok();
+      if (arg.bit == kArgX) {
+        request->mutation.location.x = f;
+      } else {
+        request->mutation.location.y = f;
+      }
+      return Status::Ok();
   }
-  if (key == "k") {
-    if (kind == ServeQueryKind::kSkyline ||
-        kind == ServeQueryKind::kConstrained) {
-      return Status::InvalidArgument(
-          std::string(KindVerbName(kind)) +
-          " has no k (the skyline/constrained answer set is not a "
-          "ranking depth)");
-    }
-    if (!ParseI64(value, &i) || i < 1) {
-      return Status::InvalidArgument("bad k '" + value + "'");
-    }
-    request->topk = static_cast<size_t>(i);
-    return Status::Ok();
-  }
-  if (key == "epsilon") {
-    if (!ParseF64(value, &d) || !(d > 0.0)) {
-      return Status::InvalidArgument("bad epsilon '" + value + "'");
-    }
-    request->epsilon = d;
-    return Status::Ok();
-  }
-  if (key == "deadline_ms") {
-    if (!ParseF64(value, &d) || d < 0.0) {
-      return Status::InvalidArgument("bad deadline_ms '" + value + "'");
-    }
-    request->deadline_ms = d;
-    return Status::Ok();
-  }
-  if (key == "threads") {
-    if (!ParseI64(value, &i) || i < 0) {
-      return Status::InvalidArgument("bad threads '" + value + "'");
-    }
-    request->exec.threads = static_cast<int>(i);
-    return Status::Ok();
-  }
-  if (key == "cache") {
-    if (value == "0") {
-      request->use_cache = false;
-    } else if (value == "1") {
-      request->use_cache = true;
-    } else {
-      return Status::InvalidArgument("bad cache '" + value + "' (want 0|1)");
-    }
-    return Status::Ok();
-  }
-  return Status::InvalidArgument(std::string("unknown ") +
-                                 KindVerbName(kind) + " argument '" + key +
-                                 "'");
+  return Status::Internal("unhandled argument '" + std::string(arg.key) +
+                          "'");
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars) for
@@ -222,6 +264,113 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+const std::vector<VerbDescriptor>& VerbRegistry() {
+  // The common keys every query shape shares; per-shape rows add algo/k/
+  // shape-specific keys on top.
+  constexpr uint32_t kCommonQuery = kArgId | kArgDataset | kArgLayers |
+                                    kArgEpsilon | kArgDeadlineMs |
+                                    kArgThreads | kArgCache;
+  constexpr uint32_t kMutation = kArgId | kArgDataset | kArgLayer | kArgX |
+                                 kArgY;
+  static const std::vector<VerbDescriptor>* const kRegistry =
+      new std::vector<VerbDescriptor>{
+          {"SOLVE", 1, ServeVerb::kSolve, ServeQueryKind::kMolq,
+           MutationKind::kInsert, 0, kCommonQuery | kArgAlgo | kArgK,
+           kArgDataset, 0, 1, "top-k optimal locations"},
+          {"SKYLINE", 1, ServeVerb::kSolve, ServeQueryKind::kSkyline,
+           MutationKind::kInsert, kCapRequiresOverlay,
+           kCommonQuery | kArgAlgo, kArgDataset, 0, 1,
+           "Pareto-optimal candidate sites"},
+          {"DIVERSE", 1, ServeVerb::kSolve, ServeQueryKind::kDiverse,
+           MutationKind::kInsert, kCapRequiresOverlay,
+           kCommonQuery | kArgAlgo | kArgK | kArgMinDist,
+           kArgDataset | kArgK | kArgMinDist, 0, 1,
+           "top-k with a minimum pairwise distance"},
+          {"CONSTRAIN", 1, ServeVerb::kSolve, ServeQueryKind::kConstrained,
+           MutationKind::kInsert, kCapRequiresOverlay,
+           kCommonQuery | kArgBoundary | kArgExclude, kArgDataset,
+           kArgBoundary | kArgExclude, 1,
+           "optimum inside a polygon, minus exclusions (RRB only)"},
+          {"WHATIF", 1, ServeVerb::kSolve, ServeQueryKind::kWhatIf,
+           MutationKind::kInsert, kCapRequiresOverlay,
+           kCommonQuery | kArgAlgo | kArgK | kArgSweep,
+           kArgDataset | kArgSweep, 0, 1,
+           "batched rankings under scaled type weights"},
+          {"INSERT", 2, ServeVerb::kSolve, ServeQueryKind::kMolq,
+           MutationKind::kInsert, kCapMutation, kMutation,
+           kArgDataset | kArgLayer | kArgX | kArgY, 0, 4,
+           "add a site to a layer; publishes a new snapshot version"},
+          {"DELETE", 2, ServeVerb::kSolve, ServeQueryKind::kMolq,
+           MutationKind::kDelete, kCapMutation, kMutation,
+           kArgDataset | kArgLayer | kArgX | kArgY, 0, 4,
+           "remove the site at (x, y) from a layer; publishes a new "
+           "snapshot version"},
+          {"STATS", 1, ServeVerb::kStats, ServeQueryKind::kMolq,
+           MutationKind::kInsert, kCapControl, 0, 0, 0, 0,
+           "serving metrics as JSON"},
+          {"HELP", 2, ServeVerb::kHelp, ServeQueryKind::kMolq,
+           MutationKind::kInsert, kCapControl, 0, 0, 0, 0,
+           "this verb registry as JSON"},
+          {"PING", 1, ServeVerb::kPing, ServeQueryKind::kMolq,
+           MutationKind::kInsert, kCapControl, 0, 0, 0, 0, "liveness probe"},
+          {"QUIT", 1, ServeVerb::kQuit, ServeQueryKind::kMolq,
+           MutationKind::kInsert, kCapControl, 0, 0, 0, 0,
+           "close this connection"},
+          {"SHUTDOWN", 1, ServeVerb::kShutdown, ServeQueryKind::kMolq,
+           MutationKind::kInsert, kCapControl, 0, 0, 0, 0,
+           "stop the whole server"},
+      };
+  return *kRegistry;
+}
+
+const VerbDescriptor* FindVerb(const std::string& upper_name) {
+  for (const VerbDescriptor& d : VerbRegistry()) {
+    if (upper_name == d.name) return &d;
+  }
+  return nullptr;
+}
+
+std::string HelpJson() {
+  std::string out = "{\"protocol_version\": " +
+                    std::to_string(kServeProtocolVersion) + ", \"verbs\": [";
+  bool first = true;
+  for (const VerbDescriptor& d : VerbRegistry()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"verb\": \"";
+    out += d.name;
+    out += "\", \"since\": ";
+    out += std::to_string(d.since_version);
+    out += ", \"cost\": ";
+    out += std::to_string(d.cost_units);
+    out += ", \"mutation\": ";
+    out += (d.caps & kCapMutation) != 0 ? "true" : "false";
+    out += ", \"args\": [";
+    bool first_arg = true;
+    for (const ArgSpec& spec : kArgSpecs) {
+      if ((d.allowed_args & spec.bit) == 0) continue;
+      if (!first_arg) out += ", ";
+      first_arg = false;
+      out += "\"";
+      out += spec.hint;
+      out += "\"";
+    }
+    out += "], \"required\": [";
+    first_arg = true;
+    for (const ArgSpec& spec : kArgSpecs) {
+      if ((d.required_args & spec.bit) == 0) continue;
+      if (!first_arg) out += ", ";
+      first_arg = false;
+      out += "\"";
+      out += spec.key;
+      out += "\"";
+    }
+    out += "], \"summary\": \"" + JsonEscape(d.summary) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
 Status ParseRequestLine(const std::string& line, ServeVerb* verb,
                         ServeRequest* request) {
   const std::vector<std::string> words = SplitWords(line);
@@ -229,37 +378,28 @@ Status ParseRequestLine(const std::string& line, ServeVerb* verb,
     return Status::InvalidArgument("empty request line");
   }
   const std::string name = Upper(words[0]);
-  if (name == "STATS" || name == "PING" || name == "QUIT" ||
-      name == "SHUTDOWN") {
+  const VerbDescriptor* d = FindVerb(name);
+  if (d == nullptr) {
+    return Status::UnsupportedVerb(
+        "unknown verb '" + words[0] + "' (protocol v" +
+        std::to_string(kServeProtocolVersion) + "; try HELP)");
+  }
+  if ((d->caps & kCapControl) != 0) {
     if (words.size() != 1) {
       return Status::InvalidArgument(name + " takes no arguments");
     }
-    *verb = name == "STATS"  ? ServeVerb::kStats
-            : name == "PING" ? ServeVerb::kPing
-            : name == "QUIT" ? ServeVerb::kQuit
-                             : ServeVerb::kShutdown;
+    *verb = d->verb;
     return Status::Ok();
   }
-  ServeQueryKind kind;
-  if (name == "SOLVE") {
-    kind = ServeQueryKind::kMolq;
-  } else if (name == "SKYLINE") {
-    kind = ServeQueryKind::kSkyline;
-  } else if (name == "DIVERSE") {
-    kind = ServeQueryKind::kDiverse;
-  } else if (name == "CONSTRAIN") {
-    kind = ServeQueryKind::kConstrained;
-  } else if (name == "WHATIF") {
-    kind = ServeQueryKind::kWhatIf;
-  } else {
-    return Status::InvalidArgument("unknown verb '" + words[0] + "'");
-  }
-  *verb = ServeVerb::kSolve;
+  *verb = d->verb;
   *request = ServeRequest();
-  request->kind = kind;
-  bool have_dataset = false;
-  bool have_min_dist = false;
-  bool have_k = false;
+  request->kind = d->kind;
+  request->cost_units = d->cost_units;
+  if ((d->caps & kCapMutation) != 0) {
+    request->mutate = true;
+    request->mutation.kind = d->mutation;
+  }
+  uint32_t seen = 0;
   for (size_t i = 1; i < words.size(); ++i) {
     const size_t eq = words[i].find('=');
     if (eq == std::string::npos || eq == 0) {
@@ -268,26 +408,27 @@ Status ParseRequestLine(const std::string& line, ServeVerb* verb,
     }
     const std::string key = words[i].substr(0, eq);
     const std::string value = words[i].substr(eq + 1);
-    Status status = ParseSolveArg(key, value, request);
+    const ArgSpec* arg = FindArg(key);
+    if (arg == nullptr) {
+      return Status::InvalidArgument("unknown " + name + " argument '" +
+                                     key + "'");
+    }
+    if ((d->allowed_args & arg->bit) == 0) {
+      return Status::InvalidArgument(key + " applies to " +
+                                     VerbsAllowing(arg->bit) + " only");
+    }
+    const Status status = ParseVerbArg(*d, *arg, value, request);
     if (!status.ok()) return status;
-    if (key == "dataset") have_dataset = true;
-    if (key == "min_dist") have_min_dist = true;
-    if (key == "k") have_k = true;
+    seen |= arg->bit;
   }
-  if (!have_dataset) {
-    return Status::InvalidArgument(name + " requires dataset=<name>");
+  const uint32_t missing = d->required_args & ~seen;
+  if (missing != 0) {
+    return Status::InvalidArgument(name + " requires " +
+                                   JoinHints(missing, " and "));
   }
-  if (kind == ServeQueryKind::kDiverse && (!have_min_dist || !have_k)) {
-    return Status::InvalidArgument(
-        "DIVERSE requires k=<n> and min_dist=<d>");
-  }
-  if (kind == ServeQueryKind::kConstrained &&
-      request->constraint.Unconstrained()) {
-    return Status::InvalidArgument(
-        "CONSTRAIN requires boundary=<poly> and/or exclude=<poly>");
-  }
-  if (kind == ServeQueryKind::kWhatIf && request->sweep.empty()) {
-    return Status::InvalidArgument("WHATIF requires sweep=<v>|<v>|...");
+  if (d->required_any != 0 && (seen & d->required_any) == 0) {
+    return Status::InvalidArgument(name + " requires " +
+                                   JoinHints(d->required_any, " and/or "));
   }
   return Status::Ok();
 }
@@ -413,9 +554,15 @@ std::string ResponseJson(const MolqQuery& query, const ServeResponse& resp,
     out += "]}";
     return out;
   }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "], \"cache_hit\": %s, \"seconds\": %.6f}",
-                resp.cache_hit ? "true" : "false", resp.seconds);
+  // The snapshot version rides in the timing section (between cache_hit
+  // and seconds) so the deterministic answer slice — everything before
+  // ", \"cache_hit\"" — is unchanged and molq_cli --json (no timing)
+  // keeps its exact historical bytes.
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "], \"cache_hit\": %s, \"version\": %llu, \"seconds\": %.6f}",
+                resp.cache_hit ? "true" : "false",
+                static_cast<unsigned long long>(resp.version), resp.seconds);
   out += buf;
   return out;
 }
@@ -423,6 +570,18 @@ std::string ResponseJson(const MolqQuery& query, const ServeResponse& resp,
 std::string FormatResponseLine(const MolqQuery* query,
                                const ServeResponse& resp) {
   if (resp.status == ServeStatus::kOk) {
+    if (resp.is_mutation) {
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"version\": %llu, \"recomputed_cells\": %zu, "
+                    "\"patched_artifacts\": %zu, \"dropped_artifacts\": %zu, "
+                    "\"seconds\": %.6f}",
+                    static_cast<unsigned long long>(resp.version),
+                    resp.mutation.recomputed_cells,
+                    resp.mutation.patched_artifacts,
+                    resp.mutation.dropped_artifacts, resp.seconds);
+      return "OK " + resp.id + " " + buf;
+    }
     MOVD_CHECK_MSG(query != nullptr,
                    "an OK response needs its query to resolve group refs");
     return "OK " + resp.id + " " + ResponseJson(*query, resp);

@@ -1,7 +1,9 @@
 #ifndef MOVD_SERVE_PROTOCOL_H_
 #define MOVD_SERVE_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/query_engine.h"
 #include "util/status.h"
@@ -19,7 +21,10 @@ namespace movd {
 ///             [layers=] [epsilon=] ...            (RRB only; at least one
 ///             of boundary=/exclude= required; exclude= may repeat)
 ///   WHATIF    id= dataset= sweep=<v>|<v>|... [k=1] [layers=] ...
+///   INSERT    id= dataset= layer=<i> x=<f> y=<f>        (protocol v2)
+///   DELETE    id= dataset= layer=<i> x=<f> y=<f>        (protocol v2)
 ///   STATS            -> OK - <metrics json>
+///   HELP             -> OK - <verb registry json>        (protocol v2)
 ///   PING             -> OK - pong
 ///   QUIT             -> closes this connection
 ///   SHUTDOWN         -> stops the whole server
@@ -29,27 +34,117 @@ namespace movd {
 /// share SOLVE's common keys (minus algo restrictions above and k, which
 /// SKYLINE/CONSTRAIN reject) and all parse to ServeVerb::kSolve with
 /// ServeRequest::kind set — the serving loop treats every shape alike.
+/// INSERT/DELETE also parse to ServeVerb::kSolve with
+/// ServeRequest::mutate set: a mutation rides the same dispatch (and the
+/// same admission control) as a query, it just takes the engine's
+/// mutation path instead of the solver.
+///
+/// Every verb is one row of VerbRegistry() below; parsing, argument
+/// validation, error messages, HELP output, and movd_loadgen's --mix
+/// vocabulary all derive from that table, so adding a verb is a one-row
+/// change.
 ///
 /// SOLVE/SKYLINE/DIVERSE/CONSTRAIN responses:
-///   OK <id> {"answers":[...],"cache_hit":...,"seconds":...}
+///   OK <id> {"answers":[...],"cache_hit":...,"version":...,"seconds":...}
 /// WHATIF responses:
-///   OK <id> {"sweeps":[[...],...],"cache_hit":...,"seconds":...}
+///   OK <id> {"sweeps":[[...],...],"cache_hit":...,"version":...,
+///            "seconds":...}
+/// INSERT/DELETE responses:
+///   OK <id> {"version":...,"recomputed_cells":...,
+///            "patched_artifacts":...,"dropped_artifacts":...,
+///            "seconds":...}
 /// errors:
-///   ERR <id> <STATUS> <detail...>        (status per ServeStatusName)
+///   ERR <id> <STATUS> <detail...>        (status per ServeStatusName;
+///   unknown verbs answer UNSUPPORTED_VERB, shed requests OVERLOADED)
+///
+/// "version" is the dataset snapshot version the response was computed
+/// against: queries pin one immutable snapshot for their whole solve, so
+/// answers are bit-identical under concurrent mutation, and a mutation
+/// response names the snapshot it published.
 enum class ServeVerb {
   kSolve,
   kStats,
+  kHelp,
   kPing,
   kQuit,
   kShutdown,
 };
 
-/// Parses one request line. On success fills `verb` (and, for SOLVE,
-/// `request`) and returns OK; on failure returns kInvalidRequest with the
-/// problem in the status message. Verbs are case-insensitive; SOLVE
-/// arguments are space-separated key=value pairs and unknown keys are
-/// rejected (a misspelled option must not silently fall back to a
-/// default).
+/// Version of the line protocol this build speaks. v1: the query verbs.
+/// v2: INSERT/DELETE mutations, HELP, the "version" response field, and
+/// UNSUPPORTED_VERB for unknown verbs.
+inline constexpr int kServeProtocolVersion = 2;
+
+/// Argument keys a verb may take, as bits (VerbDescriptor::allowed_args /
+/// required_args / required_any are masks of these).
+enum ServeArg : uint32_t {
+  kArgId = 1u << 0,
+  kArgDataset = 1u << 1,
+  kArgLayers = 1u << 2,
+  kArgAlgo = 1u << 3,
+  kArgK = 1u << 4,
+  kArgEpsilon = 1u << 5,
+  kArgDeadlineMs = 1u << 6,
+  kArgThreads = 1u << 7,
+  kArgCache = 1u << 8,
+  kArgMinDist = 1u << 9,
+  kArgBoundary = 1u << 10,
+  kArgExclude = 1u << 11,
+  kArgSweep = 1u << 12,
+  kArgLayer = 1u << 13,
+  kArgX = 1u << 14,
+  kArgY = 1u << 15,
+};
+
+/// Capability flags of a verb.
+enum ServeVerbCaps : uint32_t {
+  /// Mutates a dataset and publishes a new snapshot version (INSERT,
+  /// DELETE). Parsed into ServeRequest::mutate/mutation.
+  kCapMutation = 1u << 0,
+  /// Needs a MOVD overlay artifact, so algo=ssc is rejected (every
+  /// query-algebra shape; plain SOLVE can fall back to the SSC scan).
+  kCapRequiresOverlay = 1u << 1,
+  /// Zero-argument control verb handled by the serving loop itself
+  /// (STATS, HELP, PING, QUIT, SHUTDOWN); never reaches the engine.
+  kCapControl = 1u << 2,
+};
+
+/// One row of the verb registry: everything the protocol knows about a
+/// verb. Parsing, per-verb argument validation, structured error
+/// messages, HELP output, and the load generator's --mix vocabulary all
+/// derive from these rows.
+struct VerbDescriptor {
+  const char* name;        ///< wire keyword, upper-case ("SOLVE")
+  int since_version;       ///< protocol version that introduced the verb
+  ServeVerb verb;          ///< dispatch class for the serving loop
+  ServeQueryKind kind;     ///< query shape (non-control, non-mutation)
+  MutationKind mutation;   ///< mutation kind (kCapMutation verbs)
+  uint32_t caps;           ///< ServeVerbCaps bits
+  uint32_t allowed_args;   ///< ServeArg bits the verb accepts
+  uint32_t required_args;  ///< ServeArg bits that must all be present
+  uint32_t required_any;   ///< at least one of these bits must be present
+  int cost_units;          ///< admission-control cost class
+  const char* summary;     ///< one-line description for HELP
+};
+
+/// The verb table, in HELP display order. One row per verb; append a row
+/// to add a verb.
+const std::vector<VerbDescriptor>& VerbRegistry();
+
+/// Registry lookup by upper-cased wire keyword; null when unknown.
+const VerbDescriptor* FindVerb(const std::string& upper_name);
+
+/// The HELP response body: {"protocol_version": ..., "verbs": [...]}
+/// derived entirely from VerbRegistry().
+std::string HelpJson();
+
+/// Parses one request line. On success fills `verb` (and, for
+/// solve-class verbs including mutations, `request`) and returns OK; on
+/// failure returns kInvalidRequest (malformed arguments) or
+/// kUnsupportedVerb (a verb not in the registry) with the problem in the
+/// status message. Verbs are case-insensitive; arguments are
+/// space-separated key=value pairs and unknown keys are rejected (a
+/// misspelled option must not silently fall back to a default).
 Status ParseRequestLine(const std::string& line, ServeVerb* verb,
                         ServeRequest* request);
 
@@ -75,16 +170,19 @@ Status ParseSweepSpec(const std::string& spec,
 std::string AnswerJson(const MolqQuery& query, const ServeAnswer& answer);
 
 /// The body of an OK SOLVE response: {"answers": [...], "cache_hit": ...,
-/// "seconds": ...}. With include_timing=false the cache_hit/seconds pair
-/// is omitted, leaving only deterministic answer bytes — molq_cli --json
-/// uses this so its stdout is byte-identical run to run (and with or
-/// without --trace), which scripted diffs rely on.
+/// "version": ..., "seconds": ...}. With include_timing=false the
+/// cache_hit/version/seconds tail is omitted, leaving only deterministic
+/// answer bytes — molq_cli --json uses this so its stdout is
+/// byte-identical run to run (and with or without --trace), which
+/// scripted diffs rely on.
 std::string ResponseJson(const MolqQuery& query, const ServeResponse& resp,
                          bool include_timing = true);
 
 /// Formats one full response line (without the trailing newline):
 /// "OK <id> <json>" on success, "ERR <id> <STATUS> <detail>" otherwise.
-/// `query` may be null only for non-kOk responses (no answers to resolve).
+/// `query` may be null for non-kOk responses and for mutation responses
+/// (neither has answers to resolve); use the response's pinned snapshot
+/// query otherwise.
 std::string FormatResponseLine(const MolqQuery* query,
                                const ServeResponse& resp);
 

@@ -2,7 +2,9 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -10,6 +12,8 @@
 #include <utility>
 
 #include "audit/audit_query.h"
+#include "audit/audit_update.h"
+#include "core/overlap.h"
 #include "query/constrained.h"
 #include "query/diversify.h"
 #include "query/skyline.h"
@@ -51,6 +55,30 @@ ServeResponse Invalid(const std::string& id, std::string why) {
   return resp;
 }
 
+ServeResponse NotFound(const std::string& id, std::string why) {
+  ServeResponse resp;
+  resp.status = ServeStatus::kNotFound;
+  resp.id = id;
+  resp.error = std::move(why);
+  return resp;
+}
+
+/// Exact byte equality of two points (the DELETE-target match): the
+/// protocol round-trips coordinates through decimal strings, so "the
+/// object at x,y" means the object whose stored doubles are bit-identical
+/// to the parsed ones — not merely numerically equal.
+bool PointSameBits(const Point& a, const Point& b) {
+  uint64_t ax = 0;
+  uint64_t ay = 0;
+  uint64_t bx = 0;
+  uint64_t by = 0;
+  std::memcpy(&ax, &a.x, sizeof(ax));
+  std::memcpy(&ay, &a.y, sizeof(ay));
+  std::memcpy(&bx, &b.x, sizeof(bx));
+  std::memcpy(&by, &b.y, sizeof(by));
+  return ax == bx && ay == by;
+}
+
 /// Cache-key component every artifact key shares: grid resolution, weighted
 /// method, and the dataset's weight-function tag (see GetOverlay's comment
 /// on why the method is part of the key).
@@ -59,6 +87,35 @@ std::string ArtifactKeySuffix(int resolution, WeightedMethod method,
   return "/r" + std::to_string(resolution) +
          (method == WeightedMethod::kDenseGrid ? "/mdense" : "/madapt") +
          "/w" + weight_tag;
+}
+
+/// Parses the "<i>,<j>,..." layer segment of an artifact key starting at
+/// `pos` and ending at the next '/' (whose position lands in `rest_pos`).
+bool ParseKeyLayers(const std::string& key, size_t pos,
+                    std::vector<int32_t>* layers, size_t* rest_pos) {
+  layers->clear();
+  const size_t end = key.find('/', pos);
+  if (end == std::string::npos || end == pos) return false;
+  int32_t cur = 0;
+  bool any = false;
+  for (size_t i = pos; i < end; ++i) {
+    const char c = key[i];
+    if (c == ',') {
+      if (!any) return false;
+      layers->push_back(cur);
+      cur = 0;
+      any = false;
+    } else if (c >= '0' && c <= '9') {
+      cur = cur * 10 + (c - '0');
+      any = true;
+    } else {
+      return false;
+    }
+  }
+  if (!any) return false;
+  layers->push_back(cur);
+  *rest_pos = end;
+  return true;
 }
 
 /// FNV-1a over the constraint's vertex coordinates (double bit patterns,
@@ -120,70 +177,436 @@ QueryEngine::~QueryEngine() { pool_.Wait(); }
 
 void QueryEngine::RegisterDataset(const std::string& name, MolqQuery query,
                                   const Rect& world) {
-  Dataset ds;
-  ds.weight_tag = WeightTag(query);
-  ds.query = std::move(query);
-  ds.world = world;
-  MutexLock lock(datasets_mu_);
-  datasets_[name] = std::move(ds);
+  auto snap = std::make_shared<DatasetSnapshot>();
+  snap->weight_tag = WeightTag(query);
+  snap->query = std::move(query);
+  snap->world = world;
+  Dataset* ds = nullptr;
+  {
+    MutexLock lock(datasets_mu_);
+    std::unique_ptr<Dataset>& slot = datasets_[name];
+    if (slot == nullptr) slot = std::make_unique<Dataset>();
+    ds = slot.get();
+  }
+  // A replacement is a mutation of sorts: take the locks in the mutation
+  // order (mutate_mu before mu) and discard the incremental mirrors.
+  MutexLock mutate_lock(ds->mutate_mu);
+  ds->layer_state.clear();
+  MutexLock lock(ds->mu);
+  // Versions stay monotonic across re-registration so cached artifacts of
+  // the replaced dataset can never collide with the fresh one's keys.
+  snap->version = ds->snap == nullptr ? 1 : ds->snap->version + 1;
+  ds->snap = std::move(snap);
 }
 
-const MolqQuery* QueryEngine::dataset_query(const std::string& name) const {
-  const Dataset* ds = FindDataset(name);
-  return ds == nullptr ? nullptr : &ds->query;
-}
-
-const QueryEngine::Dataset* QueryEngine::FindDataset(
+std::shared_ptr<const DatasetSnapshot> QueryEngine::dataset_snapshot(
     const std::string& name) const {
+  Dataset* ds = FindDataset(name);
+  if (ds == nullptr) return nullptr;
+  MutexLock lock(ds->mu);
+  return ds->snap;
+}
+
+QueryEngine::Dataset* QueryEngine::FindDataset(const std::string& name) const {
   MutexLock lock(datasets_mu_);
   const auto it = datasets_.find(name);
-  // Datasets are registered before serving starts and never erased, so the
+  // Dataset nodes are never erased (re-registration reuses them), so the
   // pointer stays valid after the lock drops.
-  return it == datasets_.end() ? nullptr : &it->second;
+  return it == datasets_.end() ? nullptr : it->second.get();
 }
 
 ServeResponse QueryEngine::Solve(const ServeRequest& request) {
   Stopwatch watch;
-  // The deadline budget starts now — on the thread actually serving the
-  // request (SubmitAsync workers call Solve on dequeue).
-  const CancelToken token =
-      request.deadline_ms > 0.0
-          ? CancelToken::After(std::chrono::duration_cast<
-                               std::chrono::nanoseconds>(
-                std::chrono::duration<double, std::milli>(
-                    request.deadline_ms)))
-          : CancelToken();
-  ServeResponse resp = SolveInternal(request, token);
-  // Belt and braces for the "never a partial answer" contract: a non-OK
-  // response carries no answers, whatever path produced it.
-  if (resp.status != ServeStatus::kOk) {
-    resp.answers.clear();
-    resp.sweep_answers.clear();
+  ServeResponse resp;
+  if (request.mutate) {
+    resp = MutateInternal(request);
+  } else {
+    // The deadline budget starts now — on the thread actually serving the
+    // request (SubmitAsync workers call Solve on dequeue).
+    const CancelToken token =
+        request.deadline_ms > 0.0
+            ? CancelToken::After(std::chrono::duration_cast<
+                                 std::chrono::nanoseconds>(
+                  std::chrono::duration<double, std::milli>(
+                      request.deadline_ms)))
+            : CancelToken();
+    resp = SolveInternal(request, token);
+    // Belt and braces for the "never a partial answer" contract: a non-OK
+    // response carries no answers, whatever path produced it.
+    if (resp.status != ServeStatus::kOk) {
+      resp.answers.clear();
+      resp.sweep_answers.clear();
+    }
   }
   resp.seconds = watch.ElapsedSeconds();
   metrics_.RecordRequest(resp.status, resp.seconds, resp.cache_hit);
+  if (resp.status == ServeStatus::kOk && resp.is_mutation) {
+    metrics_.RecordMutation();
+  }
   return resp;
 }
 
 std::future<ServeResponse> QueryEngine::SubmitAsync(ServeRequest request) {
+  const int64_t cost = request.cost_units < 1 ? 1 : request.cost_units;
+  // Early shedding, on the submitting thread: reject before the request
+  // ever occupies queue space when the queue is already past its cost
+  // budget or the service-time EWMA predicts a hopeless wait.
+  const int64_t queued = queued_cost_.load(std::memory_order_relaxed);
+  std::string shed_why;
+  if (options_.admission_cost_limit > 0 &&
+      queued + cost > static_cast<int64_t>(options_.admission_cost_limit)) {
+    shed_why = "admission queue full (" + std::to_string(queued) +
+               " cost units queued, limit " +
+               std::to_string(options_.admission_cost_limit) + ")";
+  } else if (options_.admission_delay_budget_ms > 0.0) {
+    const double unit_ms =
+        static_cast<double>(ewma_unit_ns_.load(std::memory_order_relaxed)) *
+        1e-6;
+    const double predicted_ms = static_cast<double>(queued) * unit_ms;
+    if (predicted_ms > options_.admission_delay_budget_ms) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "predicted queue delay %.1fms exceeds budget %.1fms",
+                    predicted_ms, options_.admission_delay_budget_ms);
+      shed_why = buf;
+    }
+  }
+  if (!shed_why.empty()) {
+    ServeResponse resp;
+    resp.status = ServeStatus::kOverloaded;
+    resp.id = request.id;
+    resp.error = std::move(shed_why);
+    metrics_.RecordRequest(resp.status, 0.0, false);
+    std::promise<ServeResponse> done;
+    done.set_value(std::move(resp));
+    return done.get_future();
+  }
+  queued_cost_.fetch_add(cost, std::memory_order_relaxed);
   auto task = std::make_shared<std::packaged_task<ServeResponse()>>(
-      [this, request = std::move(request)] { return Solve(request); });
+      [this, request = std::move(request), cost, queue_watch = Stopwatch()] {
+        queued_cost_.fetch_sub(cost, std::memory_order_relaxed);
+        const double waited_ms = queue_watch.ElapsedMillis();
+        // Late shedding, at dequeue: the prediction above is heuristic, so
+        // a request whose ACTUAL wait blew the budget is still rejected —
+        // serving an answer the client stopped waiting for helps nobody.
+        if (options_.admission_delay_budget_ms > 0.0 &&
+            waited_ms > options_.admission_delay_budget_ms) {
+          ServeResponse resp;
+          resp.status = ServeStatus::kOverloaded;
+          resp.id = request.id;
+          char buf[96];
+          std::snprintf(buf, sizeof(buf),
+                        "queue delay %.1fms exceeded budget %.1fms",
+                        waited_ms, options_.admission_delay_budget_ms);
+          resp.error = buf;
+          metrics_.RecordRequest(resp.status, waited_ms * 1e-3, false);
+          return resp;
+        }
+        ServeResponse resp = Solve(request);
+        // Fold this request's per-cost-unit service time into the EWMA the
+        // early-shed predictor reads (relaxed: a heuristic, not a ledger).
+        const auto cur = static_cast<uint64_t>(resp.seconds * 1e9 /
+                                               static_cast<double>(cost));
+        const uint64_t old = ewma_unit_ns_.load(std::memory_order_relaxed);
+        ewma_unit_ns_.store(old == 0 ? cur : (7 * old + cur) / 8,
+                            std::memory_order_relaxed);
+        return resp;
+      });
   std::future<ServeResponse> future = task->get_future();
   pool_.Submit([task] { (*task)(); });
   return future;
 }
 
+ServeResponse QueryEngine::MutateInternal(const ServeRequest& request) {
+  Dataset* node = FindDataset(request.dataset);
+  if (node == nullptr) {
+    return NotFound(request.id, "unknown dataset '" + request.dataset + "'");
+  }
+  const SiteMutation& mut = request.mutation;
+  if (!std::isfinite(mut.location.x) || !std::isfinite(mut.location.y)) {
+    return Invalid(request.id, "mutation location must be finite");
+  }
+  // Serialize mutations on this dataset; queries keep reading the published
+  // snapshot meanwhile. Lock order: mutate_mu before mu.
+  MutexLock mutate_lock(node->mutate_mu);
+  std::shared_ptr<const DatasetSnapshot> old_snap;
+  {
+    MutexLock lock(node->mu);
+    old_snap = node->snap;
+  }
+  const auto n = static_cast<int32_t>(old_snap->query.sets.size());
+  if (mut.layer < 0 || mut.layer >= n) {
+    return Invalid(request.id, "layer " + std::to_string(mut.layer) +
+                                   " out of range [0, " + std::to_string(n) +
+                                   ")");
+  }
+  if (mut.kind == MutationKind::kInsert &&
+      !old_snap->world.Contains(mut.location)) {
+    return Invalid(request.id, "insert location outside the search space");
+  }
+
+  auto next = std::make_shared<DatasetSnapshot>(*old_snap);
+  next->version = old_snap->version + 1;
+  ObjectSet& set = next->query.sets[static_cast<size_t>(mut.layer)];
+  int32_t deleted_object = -1;
+  if (mut.kind == MutationKind::kInsert) {
+    SpatialObject obj;
+    obj.location = mut.location;
+    set.objects.push_back(obj);
+  } else {
+    for (size_t i = 0; i < set.objects.size(); ++i) {
+      if (PointSameBits(set.objects[i].location, mut.location)) {
+        deleted_object = static_cast<int32_t>(i);
+        break;
+      }
+    }
+    if (deleted_object < 0) {
+      return NotFound(request.id, "no object at the given location in layer " +
+                                      std::to_string(mut.layer));
+    }
+    if (set.objects.size() == 1) {
+      return Invalid(request.id, "cannot delete the last object of layer " +
+                                     std::to_string(mut.layer));
+    }
+    set.objects.erase(set.objects.begin() + deleted_object);
+  }
+
+  ServeResponse resp;
+  resp.id = request.id;
+  resp.is_mutation = true;
+  PatchArtifacts(request.dataset, *old_snap, *next, mut, deleted_object,
+                 &node->layer_state[mut.layer], &resp.mutation);
+  {
+    MutexLock lock(node->mu);
+    node->snap = next;
+  }
+  resp.snapshot = next;
+  resp.version = next->version;
+  return resp;
+}
+
+void QueryEngine::PatchArtifacts(
+    const std::string& ds_name, const DatasetSnapshot& old_snap,
+    const DatasetSnapshot& next_snap, const SiteMutation& mut,
+    int32_t deleted_object, std::unique_ptr<OrdinaryLayerState>* state_slot,
+    MutationStats* stats) {
+  const int32_t layer = mut.layer;
+  const int resolution = options_.exec.weighted_grid_resolution;
+  const WeightedMethod method = options_.exec.weighted_method;
+  const std::string suffix =
+      ArtifactKeySuffix(resolution, method, old_snap.weight_tag);
+
+  // Step 1: the mutated layer's new basic. Ordinary layers patch through
+  // the incremental mirror; weighted layers (and an ordinary-ness flip in
+  // either direction) take the full treatment — drop everything the layer
+  // touches and let the next query rebuild.
+  std::shared_ptr<const Movd> old_basic;
+  std::shared_ptr<const Movd> new_basic;
+  const bool ordinary = OrdinaryDiagramSuffices(old_snap.query, layer) &&
+                        OrdinaryDiagramSuffices(next_snap.query, layer);
+  if (ordinary) {
+    if (*state_slot == nullptr) {
+      *state_slot = std::make_unique<OrdinaryLayerState>(old_snap.query,
+                                                         layer,
+                                                         old_snap.world);
+    }
+    // Materialize the pre-mutation basic BEFORE applying: the overlay
+    // patcher diffs old vs new cells, and the cache may not hold the old
+    // basic (it could have been evicted).
+    old_basic = std::make_shared<const Movd>((*state_slot)->Materialize());
+    LayerPatchStats layer_stats;
+    if ((*state_slot)->Apply(mut, &layer_stats)) {
+      stats->recomputed_cells = layer_stats.recomputed_cells;
+    } else {
+      // The incremental deletion stalled (a cavity the ear-clipper could
+      // not re-triangulate): restart the mirror from the mutated query.
+      *state_slot = std::make_unique<OrdinaryLayerState>(next_snap.query,
+                                                         layer,
+                                                         next_snap.world);
+      stats->full_rebuild = true;
+    }
+    new_basic = std::make_shared<const Movd>((*state_slot)->Materialize());
+    if (stats->full_rebuild) {
+      stats->recomputed_cells = new_basic->ovrs.size();
+    }
+    if (options_.exec.audit) {
+      // Audit gate: certify the patched basic against a from-scratch
+      // rebuild; on mismatch serve the rebuild and restart the mirror.
+      Movd rebuilt =
+          BuildBasicMovd(next_snap.query, layer, next_snap.world, resolution,
+                         /*threads=*/1, /*audit=*/nullptr, method);
+      if (!AuditPatchedMovd(*new_basic, rebuilt).ok()) {
+        new_basic = std::make_shared<const Movd>(std::move(rebuilt));
+        *state_slot = std::make_unique<OrdinaryLayerState>(next_snap.query,
+                                                           layer,
+                                                           next_snap.world);
+        stats->full_rebuild = true;
+      }
+    }
+  } else {
+    state_slot->reset();
+    stats->full_rebuild = true;
+  }
+
+  // Step 2: re-key pass over the cache. Every artifact of this dataset at
+  // the old version is carried to the new version — aliased when the
+  // mutation cannot have changed it, patched when the mutated layer is
+  // involved — or counted dropped (it stays under its old key and ages out
+  // through the LRU). The snapshot is ordered MRU -> LRU; inserting in
+  // reverse (LRU first) preserves the recency order.
+  const std::string old_tag = "/v" + std::to_string(old_snap.version);
+  const std::string new_tag = "/v" + std::to_string(next_snap.version);
+  const std::string basic_stem = "basic/" + ds_name + old_tag + "/L";
+  const std::string ovl_stem = "ovl/" + ds_name + old_tag + "/L";
+  const std::string cns_stem = "cns/" + ds_name + old_tag + "/L";
+  const std::string mutated_basic_key =
+      basic_stem + std::to_string(layer) + suffix;
+  const auto renamed = [&](const std::string& key, size_t kind_len) {
+    const size_t tag_pos = kind_len + ds_name.size();
+    return key.substr(0, tag_pos) + new_tag +
+           key.substr(tag_pos + old_tag.size());
+  };
+
+  // Old-version basics of the OTHER layers (identical across the two
+  // versions), resolved lazily from the cache for the overlay patcher.
+  std::map<int32_t, std::shared_ptr<const Movd>> others;
+  const std::function<const Movd*(int32_t)> basic_of =
+      [&](int32_t l) -> const Movd* {
+    auto it = others.find(l);
+    if (it == others.end()) {
+      it = others
+               .emplace(l, cache_.Lookup(basic_stem + std::to_string(l) +
+                                         suffix))
+               .first;
+    }
+    return it->second.get();
+  };
+
+  const auto snapshot = cache_.Snapshot();
+  std::vector<int32_t> key_layers;
+  for (size_t i = snapshot.size(); i-- > 0;) {
+    const std::string& key = snapshot[i].first;
+    const std::shared_ptr<const Movd>& artifact = snapshot[i].second;
+    if (key.compare(0, basic_stem.size(), basic_stem) == 0) {
+      size_t rest_pos = 0;
+      if (!ParseKeyLayers(key, basic_stem.size(), &key_layers, &rest_pos) ||
+          key_layers.size() != 1 || key.substr(rest_pos) != suffix) {
+        continue;  // a different engine configuration's key; leave it be
+      }
+      if (key == mutated_basic_key) {
+        if (new_basic != nullptr) {
+          cache_.Insert(renamed(key, 6), new_basic);
+          ++stats->patched_artifacts;
+        } else {
+          ++stats->dropped_artifacts;
+        }
+      } else {
+        // Another layer's basic is untouched by this mutation: alias it
+        // under the new version's key.
+        cache_.Insert(renamed(key, 6), artifact);
+        ++stats->patched_artifacts;
+      }
+      continue;
+    }
+    if (key.compare(0, ovl_stem.size(), ovl_stem) == 0) {
+      size_t rest_pos = 0;
+      if (!ParseKeyLayers(key, ovl_stem.size(), &key_layers, &rest_pos)) {
+        continue;
+      }
+      const std::string rest = key.substr(rest_pos);
+      BoundaryMode mode;
+      if (rest == "/rrb" + suffix) {
+        mode = BoundaryMode::kRealRegion;
+      } else if (rest == "/mbrb" + suffix) {
+        mode = BoundaryMode::kMbr;
+      } else {
+        continue;
+      }
+      const bool touched =
+          std::find(key_layers.begin(), key_layers.end(), layer) !=
+          key_layers.end();
+      if (!touched) {
+        cache_.Insert(renamed(key, 4), artifact);
+        ++stats->patched_artifacts;
+        continue;
+      }
+      if (old_basic == nullptr || new_basic == nullptr) {
+        ++stats->dropped_artifacts;
+        continue;
+      }
+      Movd patched;
+      OverlayPatchStats overlay_stats;
+      if (!PatchOverlay(*artifact, key_layers, layer, *old_basic, *new_basic,
+                        basic_of, mode, next_snap.world, deleted_object,
+                        &patched, &overlay_stats)) {
+        ++stats->dropped_artifacts;
+        continue;
+      }
+      auto result = std::make_shared<const Movd>(std::move(patched));
+      if (options_.exec.audit) {
+        // Audit gate: re-fold this overlay from the new basics and certify
+        // the patch against it; on mismatch cache the rebuild instead.
+        Movd acc = IdentityMovd(next_snap.world);
+        bool have_all = true;
+        for (const int32_t l : key_layers) {
+          const Movd* basic = l == layer ? new_basic.get() : basic_of(l);
+          if (basic == nullptr) {
+            have_all = false;
+            break;
+          }
+          acc = Overlap(acc, *basic, mode);
+        }
+        if (have_all) {
+          CanonicalizeOvrOrder(&acc);
+          if (!AuditPatchedMovd(*result, acc).ok()) {
+            result = std::make_shared<const Movd>(std::move(acc));
+          }
+        }
+      }
+      cache_.Insert(renamed(key, 4), result);
+      ++stats->patched_artifacts;
+      continue;
+    }
+    if (key.compare(0, cns_stem.size(), cns_stem) == 0) {
+      size_t rest_pos = 0;
+      const std::string cns_rest = "/rrb" + suffix + "/c";
+      if (!ParseKeyLayers(key, cns_stem.size(), &key_layers, &rest_pos) ||
+          key.compare(rest_pos, cns_rest.size(), cns_rest) != 0) {
+        continue;
+      }
+      if (std::find(key_layers.begin(), key_layers.end(), layer) !=
+          key_layers.end()) {
+        // The clip of a changed overlay: constraint clips are cheap to
+        // re-derive relative to their hit rate, so drop rather than patch.
+        ++stats->dropped_artifacts;
+      } else {
+        cache_.Insert(renamed(key, 4), artifact);
+        ++stats->patched_artifacts;
+      }
+      continue;
+    }
+  }
+}
+
 ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
                                          const CancelToken& token) {
-  const Dataset* ds = FindDataset(request.dataset);
-  if (ds == nullptr) {
+  Dataset* node = FindDataset(request.dataset);
+  if (node == nullptr) {
     return Invalid(request.id, "unknown dataset '" + request.dataset + "'");
   }
+  // Pin this request's snapshot: one immutable version for the whole
+  // evaluation, so the answer is bit-identical under concurrent mutation.
+  std::shared_ptr<const DatasetSnapshot> snap;
+  {
+    MutexLock lock(node->mu);
+    snap = node->snap;
+  }
+  const DatasetSnapshot& ds = *snap;
   if (request.topk == 0) return Invalid(request.id, "k must be >= 1");
   if (!(request.epsilon > 0.0)) {
     return Invalid(request.id, "epsilon must be > 0");
   }
-  const auto n = static_cast<int32_t>(ds->query.sets.size());
+  const auto n = static_cast<int32_t>(ds.query.sets.size());
   // Normalize the layer selection: sorted, deduplicated, in range. Requests
   // naming the same layers in any order share one cache key.
   std::set<int32_t> layer_set;
@@ -203,6 +626,8 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
 
   ServeResponse resp;
   resp.id = request.id;
+  resp.snapshot = snap;
+  resp.version = ds.version;
 
   MolqOptions molq;
   molq.algorithm = request.algorithm;
@@ -240,13 +665,13 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
     // SSC enumerates raw combinations — no diagram artifacts to cache, so
     // it always runs cold over a sub-query of the selected layers.
     MolqQuery sub;
-    sub.type_function = ds->query.type_function;
+    sub.type_function = ds.query.type_function;
     for (const int32_t layer : layers) {
-      sub.sets.push_back(ds->query.sets[layer]);
+      sub.sets.push_back(ds.query.sets[layer]);
       sub.object_functions.push_back(
-          ds->query.ObjectFunction(static_cast<size_t>(layer)));
+          ds.query.ObjectFunction(static_cast<size_t>(layer)));
     }
-    const MolqResult r = SolveMolq(sub, ds->world, molq);
+    const MolqResult r = SolveMolq(sub, ds.world, molq);
     if (r.status == MolqStatus::kCancelled) {
       resp.status = ServeStatus::kDeadlineExceeded;
       resp.error = "deadline exceeded during SSC scan";
@@ -278,8 +703,8 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
     // the identity adjustment on unselected sets, so evaluation runs on
     // the full query (where PoiRef::set is the dataset layer index).
     const double identity =
-        ds->query.type_function == WeightFunctionKind::kMultiplicative ? 1.0
-                                                                       : 0.0;
+        ds.query.type_function == WeightFunctionKind::kMultiplicative ? 1.0
+                                                                      : 0.0;
     vectors.reserve(request.sweep.size());
     for (const std::vector<double>& scales : request.sweep) {
       if (scales.size() != layers.size()) {
@@ -289,11 +714,11 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
                            " selected layers");
       }
       WhatIfVector v;
-      v.scale.assign(ds->query.sets.size(), identity);
+      v.scale.assign(ds.query.sets.size(), identity);
       for (size_t j = 0; j < layers.size(); ++j) {
         v.scale[static_cast<size_t>(layers[j])] = scales[j];
       }
-      const Status valid = ValidateWhatIfVector(ds->query, v);
+      const Status valid = ValidateWhatIfVector(ds.query, v);
       if (!valid.ok()) return Invalid(request.id, valid.message());
       vectors.push_back(std::move(v));
     }
@@ -308,9 +733,9 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
   {
     TRACE_SPAN("serve_overlay");
     overlay = request.kind == ServeQueryKind::kConstrained
-                  ? GetClippedOverlay(*ds, request.dataset, layers, request,
+                  ? GetClippedOverlay(ds, request.dataset, layers, request,
                                       token, &overlay_hit)
-                  : GetOverlay(*ds, request.dataset, layers, mode, request,
+                  : GetOverlay(ds, request.dataset, layers, mode, request,
                                token, &overlay_hit);
   }
   const double overlay_seconds = phase_watch.ElapsedSeconds();
@@ -340,7 +765,7 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
     switch (request.kind) {
       case ServeQueryKind::kMolq: {
         const MolqResult top =
-            TopKFromMovd(ds->query, *overlay, request.topk, molq);
+            TopKFromMovd(ds.query, *overlay, request.topk, molq);
         if (top.status == StatusCode::kCancelled) {
           resp.status = ServeStatus::kDeadlineExceeded;
           resp.error = "deadline exceeded during optimization";
@@ -358,14 +783,14 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
       }
       case ServeQueryKind::kSkyline: {
         const SkylineResult r =
-            SkylineFromMovd(ds->query, *overlay, candidate_options);
+            SkylineFromMovd(ds.query, *overlay, candidate_options);
         if (r.status == StatusCode::kCancelled) {
           resp.status = ServeStatus::kDeadlineExceeded;
           resp.error = "deadline exceeded during skyline evaluation";
           return resp;
         }
         if (molq.exec.audit) {
-          const AuditReport report = AuditSkyline(ds->query, r);
+          const AuditReport report = AuditSkyline(ds.query, r);
           if (!report.ok()) return AuditFailure(request.id, "skyline", report);
         }
         resp.answers.reserve(r.skyline.size());
@@ -376,7 +801,7 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
       }
       case ServeQueryKind::kDiverse: {
         const DiverseTopKResult r =
-            DiverseTopKFromMovd(ds->query, *overlay, request.topk,
+            DiverseTopKFromMovd(ds.query, *overlay, request.topk,
                                 request.min_distance, candidate_options);
         if (r.status == StatusCode::kCancelled) {
           resp.status = ServeStatus::kDeadlineExceeded;
@@ -385,7 +810,7 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
         }
         if (molq.exec.audit) {
           const AuditReport report = AuditDiverseTopK(
-              ds->query, request.topk, request.min_distance, r);
+              ds.query, request.topk, request.min_distance, r);
           if (!report.ok()) {
             return AuditFailure(request.id, "diversified top-k", report);
           }
@@ -398,7 +823,7 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
       }
       case ServeQueryKind::kConstrained: {
         const ConstrainedMolqResult r =
-            ConstrainedFromClippedMovd(ds->query, *overlay,
+            ConstrainedFromClippedMovd(ds.query, *overlay,
                                        candidate_options);
         if (r.status == StatusCode::kCancelled) {
           resp.status = ServeStatus::kDeadlineExceeded;
@@ -407,7 +832,7 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
         }
         if (molq.exec.audit) {
           const AuditReport report = AuditConstrainedMolq(
-              ds->query, request.constraint, ds->world, r);
+              ds.query, request.constraint, ds.world, r);
           if (!report.ok()) {
             return AuditFailure(request.id, "constrained MOLQ", report);
           }
@@ -423,7 +848,7 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
         what_if.topk = request.topk;
         what_if.exec = molq.exec;
         const WhatIfSweepResult r =
-            WhatIfSweepFromMovd(ds->query, *overlay, vectors, what_if);
+            WhatIfSweepFromMovd(ds.query, *overlay, vectors, what_if);
         if (r.status == StatusCode::kCancelled) {
           resp.status = ServeStatus::kDeadlineExceeded;
           resp.error = "deadline exceeded during what-if sweep";
@@ -431,7 +856,7 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
         }
         if (molq.exec.audit) {
           const AuditReport report =
-              AuditWhatIfSweep(ds->query, vectors, request.topk, r);
+              AuditWhatIfSweep(ds.query, vectors, request.topk, r);
           if (!report.ok()) {
             return AuditFailure(request.id, "what-if sweep", report);
           }
@@ -455,7 +880,7 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
 }
 
 std::shared_ptr<const Movd> QueryEngine::GetOverlay(
-    const Dataset& ds, const std::string& ds_name,
+    const DatasetSnapshot& ds, const std::string& ds_name,
     const std::vector<int32_t>& layers, BoundaryMode mode,
     const ServeRequest& request, const CancelToken& token,
     bool* overlay_hit) {
@@ -466,6 +891,10 @@ std::shared_ptr<const Movd> QueryEngine::GetOverlay(
   const std::string suffix =
       ArtifactKeySuffix(options_.exec.weighted_grid_resolution,
                         options_.exec.weighted_method, ds.weight_tag);
+  // The snapshot version is part of every key: a mutation publishes a new
+  // version, whose artifacts are patched in under new keys while queries
+  // pinned to the old version keep hitting the old ones until they age out.
+  const std::string version_tag = "/v" + std::to_string(ds.version);
 
   // One basic (single-layer) diagram; cached under a mode-independent key,
   // since basics carry both real regions and MBRs. The basic is built from
@@ -480,14 +909,16 @@ std::shared_ptr<const Movd> QueryEngine::GetOverlay(
           options_.exec.weighted_method));
     };
     if (!request.use_cache) return build();
-    const std::string key =
-        "basic/" + ds_name + "/L" + std::to_string(layer) + suffix;
+    const std::string key = "basic/" + ds_name + version_tag + "/L" +
+                            std::to_string(layer) + suffix;
     return cache_.GetOrBuild(key, build, nullptr, token.deadline());
   };
 
   // The overlay fold mirrors SolveMolq's OverlapAll exactly (identity start,
-  // left-to-right), so a served answer is bit-identical to a cold
-  // SolveMolq over the same layer sub-query.
+  // left-to-right), then canonicalises the OVR order (model/update_model.h)
+  // so a patched overlay and a rebuilt one are byte-comparable. Downstream
+  // optimizers are order-independent, so a served answer stays bit-identical
+  // to a cold SolveMolq over the same layer sub-query.
   const auto build_overlay = [&]() -> std::shared_ptr<const Movd> {
     Movd acc = IdentityMovd(ds.world);
     for (const int32_t layer : layers) {
@@ -499,18 +930,19 @@ std::shared_ptr<const Movd> QueryEngine::GetOverlay(
       if (token.Expired()) return nullptr;
       acc = std::move(next);
     }
+    CanonicalizeOvrOrder(&acc);
     return std::make_shared<const Movd>(std::move(acc));
   };
 
   if (!request.use_cache) return build_overlay();
   const std::string key =
-      "ovl/" + ds_name + "/L" + LayersTag(layers) +
+      "ovl/" + ds_name + version_tag + "/L" + LayersTag(layers) +
       (mode == BoundaryMode::kMbr ? "/mbrb" : "/rrb") + suffix;
   return cache_.GetOrBuild(key, build_overlay, overlay_hit, token.deadline());
 }
 
 std::shared_ptr<const Movd> QueryEngine::GetClippedOverlay(
-    const Dataset& ds, const std::string& ds_name,
+    const DatasetSnapshot& ds, const std::string& ds_name,
     const std::vector<int32_t>& layers, const ServeRequest& request,
     const CancelToken& token, bool* overlay_hit) {
   *overlay_hit = false;
@@ -530,7 +962,8 @@ std::shared_ptr<const Movd> QueryEngine::GetClippedOverlay(
   };
   if (!request.use_cache) return build();
   const std::string key =
-      "cns/" + ds_name + "/L" + LayersTag(layers) + "/rrb" +
+      "cns/" + ds_name + "/v" + std::to_string(ds.version) + "/L" +
+      LayersTag(layers) + "/rrb" +
       ArtifactKeySuffix(options_.exec.weighted_grid_resolution,
                         options_.exec.weighted_method, ds.weight_tag) +
       "/c" + ConstraintHash(request.constraint);

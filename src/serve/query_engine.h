@@ -1,6 +1,7 @@
 #ifndef MOVD_SERVE_QUERY_ENGINE_H_
 #define MOVD_SERVE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -10,7 +11,9 @@
 
 #include "core/molq.h"
 #include "core/topk.h"
+#include "core/update.h"
 #include "model/query_model.h"
+#include "model/update_model.h"
 #include "serve/artifact_cache.h"
 #include "serve/metrics.h"
 #include "util/exec_options.h"
@@ -32,6 +35,28 @@ enum class ServeQueryKind {
   kDiverse,      ///< DIVERSE: top-k with a minimum pairwise distance
   kConstrained,  ///< CONSTRAIN: optimum inside a polygon, minus exclusions
   kWhatIf,       ///< WHATIF: batched rankings under scaled type weights
+};
+
+/// One immutable version of a registered dataset (DESIGN.md §14). Every
+/// request pins exactly one snapshot for its whole evaluation, so its
+/// answer is bit-identical under concurrent mutation; a mutation copies
+/// the current snapshot, applies itself, and publishes the copy as
+/// version + 1. Snapshots are shared out as shared_ptr<const> and never
+/// mutated after publication.
+struct DatasetSnapshot {
+  uint64_t version = 0;    ///< monotonic per dataset, starting at 1
+  MolqQuery query;         ///< the object sets at this version
+  Rect world;              ///< search space (fixed across versions)
+  std::string weight_tag;  ///< weight-mode component of cache keys
+};
+
+/// Counters for one applied mutation (the body of an INSERT/DELETE
+/// response).
+struct MutationStats {
+  size_t recomputed_cells = 0;    ///< layer cells rebuilt by the patch
+  size_t patched_artifacts = 0;   ///< cached artifacts patched in place
+  size_t dropped_artifacts = 0;   ///< cached artifacts invalidated instead
+  bool full_rebuild = false;      ///< incremental path unavailable/stalled
 };
 
 /// One MOLQ/top-k serving request. `layers` selects a subset of the
@@ -70,6 +95,15 @@ struct ServeRequest {
   /// entry per SELECTED layer (in ascending layer order). The engine pads
   /// them to full-dataset vectors with the identity adjustment.
   std::vector<std::vector<double>> sweep;
+  /// Mutation requests (INSERT/DELETE): when `mutate` is set the request
+  /// takes the engine's mutation path (apply `mutation`, publish a new
+  /// snapshot version) instead of the solver; the query fields above are
+  /// ignored.
+  bool mutate = false;
+  SiteMutation mutation;
+  /// Admission-control cost class, set by the protocol parser from the
+  /// verb registry (queries 1, mutations heavier). Clamped to >= 1.
+  int cost_units = 1;
 };
 
 /// One ranked answer: the location, its cost, and the winning object
@@ -95,6 +129,14 @@ struct ServeResponse {
   std::vector<std::vector<ServeAnswer>> sweep_answers;
   bool cache_hit = false;  ///< overlay artifact came straight from cache
   double seconds = 0.0;    ///< service time (solve, excluding queue wait)
+  /// The dataset snapshot this response was computed against (set on OK
+  /// responses): the version a query pinned, or the version a mutation
+  /// published. Response formatting resolves group refs through it, so a
+  /// response never races a concurrent mutation.
+  std::shared_ptr<const DatasetSnapshot> snapshot;
+  uint64_t version = 0;     ///< snapshot->version (0 when no snapshot)
+  bool is_mutation = false; ///< response body is mutation stats, not answers
+  MutationStats mutation;   ///< filled for mutation responses
 };
 
 struct QueryEngineOptions {
@@ -110,21 +152,42 @@ struct QueryEngineOptions {
   /// grid resolution for weighted-diagram approximation (part of every
   /// cache key, so datasets served at different resolutions never share
   /// artifacts). exec.trace, when non-null, traces every request that does
-  /// not bring its own request-level trace (movd_serve --trace). The
+  /// not bring its own request-level trace (movd_serve --trace). exec.audit
+  /// additionally gates every mutation's patched artifacts against a
+  /// from-scratch rebuild (falling back to the rebuild on mismatch). The
   /// per-request knobs (threads/cancel) are ignored here.
   ExecOptions exec;
+  /// Admission control (DESIGN.md §14): total cost units allowed in the
+  /// SubmitAsync queue before new requests are shed with kOverloaded.
+  /// 0 disables queue-depth shedding.
+  size_t admission_cost_limit = 0;
+  /// Queue-delay budget in milliseconds: a request is shed with
+  /// kOverloaded when its predicted (at submit, from the service-time
+  /// EWMA) or actual (at dequeue) queue delay exceeds this. 0 disables
+  /// delay shedding.
+  double admission_delay_budget_ms = 0.0;
 };
 
-/// A resident MOLQ serving engine (DESIGN.md §8): owns registered datasets,
-/// a byte-accounted LRU cache of built artifacts (per-layer basic MOVDs
-/// and overlay MOVDs), a request queue batched onto util/thread_pool, and
-/// serving metrics. The paper's split between the reusable VD Generator
-/// stage and the per-query Optimizer stage (§5.1) is exactly the cache
-/// boundary: diagrams and overlays are cached and shared across requests,
-/// the Fermat–Weber optimization runs per request.
+/// A resident MOLQ serving engine (DESIGN.md §8): owns registered datasets
+/// as immutable versioned snapshots, a byte-accounted LRU cache of built
+/// artifacts (per-layer basic MOVDs and overlay MOVDs, keyed by snapshot
+/// version), a request queue batched onto util/thread_pool with admission
+/// control, and serving metrics. The paper's split between the reusable VD
+/// Generator stage and the per-query Optimizer stage (§5.1) is exactly the
+/// cache boundary: diagrams and overlays are cached and shared across
+/// requests, the Fermat–Weber optimization runs per request.
+///
+/// Live updates (DESIGN.md §14): Solve routes mutation requests through
+/// the incremental patcher (src/core/update.h) — only the Voronoi cells a
+/// mutation affects are recomputed, cached overlays are patched instead of
+/// rebuilt, and the result is published as a new immutable snapshot.
+/// Cache keys carry the snapshot version, so artifacts of superseded
+/// versions go cold and age out through the LRU byte accounting while
+/// in-flight queries pinned to them keep answering bit-identically.
 ///
 /// Thread-safety: RegisterDataset must finish before serving starts;
-/// Solve/SubmitAsync are then safe from any number of threads.
+/// Solve/SubmitAsync (queries and mutations alike) are then safe from any
+/// number of threads. Mutations serialize per dataset.
 class QueryEngine {
  public:
   explicit QueryEngine(const QueryEngineOptions& options = {});
@@ -134,21 +197,30 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Registers (or replaces) a dataset: the object sets, their weight
-  /// functions, and the search space queries run over.
+  /// functions, and the search space queries run over. A replacement
+  /// publishes a fresh snapshot whose version is newer than any prior one
+  /// (never reusing a version, so stale cached artifacts cannot collide).
   void RegisterDataset(const std::string& name, MolqQuery query,
                        const Rect& world) MOVD_EXCLUDES(datasets_mu_);
 
-  /// Dataset lookup for response formatting; null when unknown.
-  const MolqQuery* dataset_query(const std::string& name) const;
+  /// The dataset's current snapshot; null when unknown. The pointer stays
+  /// valid (and immutable) for as long as the caller holds it, however
+  /// many mutations publish newer versions meanwhile.
+  std::shared_ptr<const DatasetSnapshot> dataset_snapshot(
+      const std::string& name) const;
 
-  /// Solves one request synchronously on the calling thread. The deadline
-  /// clock starts now.
+  /// Solves one request synchronously on the calling thread (mutation
+  /// requests apply + publish instead). The deadline clock starts now.
   ServeResponse Solve(const ServeRequest& request);
 
   /// Enqueues one request onto the engine's worker pool; the returned
   /// future resolves when a worker has solved it. The deadline clock
   /// starts when a worker dequeues the request, so queueing delay does not
   /// eat the solve budget (the line protocol reports total time anyway).
+  /// Admission control applies here: a request may resolve immediately to
+  /// kOverloaded when the queue's cost depth or predicted delay exceeds
+  /// the configured budgets, and again at dequeue when its actual queue
+  /// delay blew the budget.
   std::future<ServeResponse> SubmitAsync(ServeRequest request);
 
   const ServeMetrics& metrics() const { return metrics_; }
@@ -174,23 +246,47 @@ class QueryEngine {
   /// artifact files are skipped and counted in `failed` — a damaged
   /// snapshot degrades to a colder cache, never a crash or a bad artifact
   /// (every file is validated by the movd_file header/record checks).
+  /// Keys carry dataset versions, so a snapshot saved after mutations only
+  /// warms a server whose datasets reach the same versions again.
   WarmLoadResult LoadCache(const std::string& dir);
 
  private:
   struct Dataset {
-    MolqQuery query;
-    Rect world;
-    std::string weight_tag;  ///< weight-mode component of cache keys
+    /// Guards the published snapshot pointer (readers copy it out).
+    mutable Mutex mu;
+    std::shared_ptr<const DatasetSnapshot> snap MOVD_GUARDED_BY(mu);
+    /// Serializes mutations on this dataset and guards the incremental
+    /// per-layer mirrors. Lock order: mutate_mu before mu.
+    Mutex mutate_mu;
+    std::map<int32_t, std::unique_ptr<OrdinaryLayerState>> layer_state
+        MOVD_GUARDED_BY(mutate_mu);
   };
 
-  const Dataset* FindDataset(const std::string& name) const
+  Dataset* FindDataset(const std::string& name) const
       MOVD_EXCLUDES(datasets_mu_);
   ServeResponse SolveInternal(const ServeRequest& request,
                               const CancelToken& token);
-  /// The overlay artifact for (dataset, layers, mode): cache lookup, else
-  /// built from per-layer basic artifacts (themselves cached). Null when
-  /// the token fired first.
-  std::shared_ptr<const Movd> GetOverlay(const Dataset& ds,
+  /// Applies one mutation: validates it against the current snapshot,
+  /// patches the triangulation/cells incrementally (full rebuild when the
+  /// layer is weighted or the incremental deletion stalls), patches or
+  /// re-keys every cached artifact of the dataset, and publishes the new
+  /// snapshot. Serialized per dataset by Dataset::mutate_mu.
+  ServeResponse MutateInternal(const ServeRequest& request);
+  /// The artifact-maintenance half of a mutation: produce the mutated
+  /// layer's new basic (incrementally when possible), then walk the cache
+  /// and patch/re-key/drop every entry of `ds_name` at `old_snap`'s
+  /// version. `state_slot` is the dataset's mirror slot for the mutated
+  /// layer (owned by the caller under mutate_mu).
+  void PatchArtifacts(const std::string& ds_name,
+                      const DatasetSnapshot& old_snap,
+                      const DatasetSnapshot& next_snap,
+                      const SiteMutation& mut, int32_t deleted_object,
+                      std::unique_ptr<OrdinaryLayerState>* state_slot,
+                      MutationStats* stats);
+  /// The overlay artifact for (dataset snapshot, layers, mode): cache
+  /// lookup, else built from per-layer basic artifacts (themselves
+  /// cached). Null when the token fired first.
+  std::shared_ptr<const Movd> GetOverlay(const DatasetSnapshot& ds,
                                          const std::string& ds_name,
                                          const std::vector<int32_t>& layers,
                                          BoundaryMode mode,
@@ -203,19 +299,27 @@ class QueryEngine {
   /// (hence itself cached); `overlay_hit` reports the clipped-artifact
   /// lookup. Null when the deadline fired.
   std::shared_ptr<const Movd> GetClippedOverlay(
-      const Dataset& ds, const std::string& ds_name,
+      const DatasetSnapshot& ds, const std::string& ds_name,
       const std::vector<int32_t>& layers, const ServeRequest& request,
       const CancelToken& token, bool* overlay_hit);
 
   QueryEngineOptions options_;
   mutable Mutex datasets_mu_;
-  /// Registration inserts under the lock; Dataset values are never erased
-  /// or mutated after registration, so pointers handed out by FindDataset
-  /// stay valid after the lock drops (see the class comment's contract).
-  std::map<std::string, Dataset> datasets_ MOVD_GUARDED_BY(datasets_mu_);
+  /// Registration inserts under the lock; Dataset entries are never erased
+  /// (re-registration publishes a fresh snapshot into the existing entry),
+  /// so pointers handed out by FindDataset stay valid after the lock
+  /// drops (see the class comment's contract).
+  std::map<std::string, std::unique_ptr<Dataset>> datasets_
+      MOVD_GUARDED_BY(datasets_mu_);
   ArtifactCache cache_;
   ServeMetrics metrics_;
   ThreadPool pool_;
+  /// Admission-control state: cost units currently queued (submitted, not
+  /// yet dequeued) and a relaxed EWMA of per-cost-unit service time in
+  /// nanoseconds. Both are heuristic inputs to shedding — racy reads are
+  /// fine, monotonic correctness is not required.
+  std::atomic<int64_t> queued_cost_{0};
+  std::atomic<uint64_t> ewma_unit_ns_{0};
 };
 
 }  // namespace movd

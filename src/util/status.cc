@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kInternal:
       return "INTERNAL_ERROR";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kUnsupportedVerb:
+      return "UNSUPPORTED_VERB";
   }
   return "UNKNOWN";
 }

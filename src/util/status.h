@@ -27,6 +27,8 @@ enum class StatusCode : uint8_t {
   kDataLoss,          ///< stored data failed validation (corrupt/truncated)
   kIoError,           ///< the OS refused a read/write/open
   kInternal,          ///< invariant violation on our side
+  kOverloaded,        ///< admission control shed the request (serve)
+  kUnsupportedVerb,   ///< serve verb unknown to this protocol version
 
   // Historical spellings (serve's wire enum) kept as value aliases.
   kInvalidRequest = kInvalidArgument,
@@ -69,6 +71,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status UnsupportedVerb(std::string msg) {
+    return Status(StatusCode::kUnsupportedVerb, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,486 @@
+#include "voronoi/incremental.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "geom/predicates.h"
+#include "util/check.h"
+#include "util/hilbert.h"
+
+namespace movd {
+namespace {
+
+// Index of `value` within the triangle vertex array.
+int IndexOf(const int32_t v[3], int32_t value) {
+  for (int i = 0; i < 3; ++i) {
+    if (v[i] == value) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+IncrementalDelaunay::IncrementalDelaunay(const std::vector<Point>& points,
+                                         const Rect& world) {
+  MOVD_CHECK_MSG(!world.Empty(),
+                 "IncrementalDelaunay: world rectangle must be non-empty");
+  world_ = world;
+
+  // Synthetic super-quad at indices 0..3, derived from the fixed world
+  // rectangle so it never moves as sites come and go.
+  const double span = std::max({world.Width(), world.Height(), 1.0});
+  const Point c = world.Center();
+  const double kFar = 1e6;
+  const double s = span * kFar;
+  points_.push_back({c.x - s, c.y - s});
+  points_.push_back({c.x + s, c.y - s});
+  points_.push_back({c.x + s, c.y + s});
+  points_.push_back({c.x - s, c.y + s});
+  live_.assign(4, true);
+
+  // The two seed triangles share the diagonal (0, 2).
+  tris_.push_back({{0, 1, 2}, {-1, 1, -1}, true});
+  tris_.push_back({{0, 2, 3}, {-1, -1, 0}, true});
+  last_created_ = 0;
+
+  // Hilbert-sorted initial insertion (same curve the batch builder uses),
+  // with a LessXY tie-break so the order is implementation-independent.
+  std::vector<Point> initial = points;
+  std::sort(initial.begin(), initial.end(), LessXY);
+  initial.erase(std::unique(initial.begin(), initial.end()), initial.end());
+  constexpr uint32_t kOrder = 16;
+  const double scale = (1u << kOrder) - 1;
+  std::vector<std::pair<uint64_t, Point>> keyed;
+  keyed.reserve(initial.size());
+  for (const Point& p : initial) {
+    const uint32_t hx = static_cast<uint32_t>(
+        (p.x - world.min_x) / std::max(world.Width(), 1e-300) * scale);
+    const uint32_t hy = static_cast<uint32_t>(
+        (p.y - world.min_y) / std::max(world.Height(), 1e-300) * scale);
+    keyed.emplace_back(HilbertIndex(kOrder, hx, hy), p);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (const auto& [key, p] : keyed) {
+    (void)key;
+    const bool inserted = Insert(p, nullptr);
+    MOVD_CHECK(inserted);
+  }
+}
+
+int32_t IncrementalDelaunay::AllocVertex(const Point& p) {
+  if (!free_vertices_.empty()) {
+    const int32_t id = free_vertices_.back();
+    free_vertices_.pop_back();
+    points_[id] = p;
+    live_[id] = true;
+    return id;
+  }
+  points_.push_back(p);
+  live_.push_back(true);
+  return static_cast<int32_t>(points_.size() - 1);
+}
+
+int32_t IncrementalDelaunay::AllocTri() {
+  if (!free_tris_.empty()) {
+    const int32_t id = free_tris_.back();
+    free_tris_.pop_back();
+    return id;
+  }
+  tris_.push_back({});
+  return static_cast<int32_t>(tris_.size() - 1);
+}
+
+int32_t IncrementalDelaunay::Locate(const Point& p, int32_t hint) const {
+  int32_t cur = hint;
+  MOVD_DCHECK(tris_[cur].alive);
+  size_t steps = 0;
+  const size_t max_steps = 4 * tris_.size() + 64;
+  int32_t prev = -1;
+  while (steps++ < max_steps) {
+    const Tri& t = tris_[cur];
+    int32_t next = -1;
+    for (int i = 0; i < 3; ++i) {
+      const int32_t nb = t.nb[i];
+      if (nb == prev || nb < 0) continue;
+      const Point& a = points_[t.v[(i + 1) % 3]];
+      const Point& b = points_[t.v[(i + 2) % 3]];
+      if (Orient2D(a, b, p) < 0.0) {
+        next = nb;
+        break;
+      }
+    }
+    if (next < 0) {
+      // Re-check all edges including the one back to prev (p may sit in
+      // prev after a degenerate step); if none is violated, cur contains p.
+      bool inside = true;
+      for (int i = 0; i < 3; ++i) {
+        const Point& a = points_[t.v[(i + 1) % 3]];
+        const Point& b = points_[t.v[(i + 2) % 3]];
+        if (Orient2D(a, b, p) < 0.0) {
+          inside = false;
+          if (t.nb[i] >= 0) next = t.nb[i];
+          break;
+        }
+      }
+      if (inside) return cur;
+      if (next < 0) break;  // walked off the triangulation: shouldn't happen
+    }
+    prev = cur;
+    cur = next;
+  }
+  // Fallback: exhaustive scan (degenerate walk cycles are theoretically
+  // impossible with exact predicates, but stay safe).
+  for (size_t i = 0; i < tris_.size(); ++i) {
+    if (!tris_[i].alive) continue;
+    const Tri& t = tris_[i];
+    bool inside = true;
+    for (int e = 0; e < 3 && inside; ++e) {
+      inside = Orient2D(points_[t.v[(e + 1) % 3]], points_[t.v[(e + 2) % 3]],
+                        p) >= 0.0;
+    }
+    if (inside) return static_cast<int32_t>(i);
+  }
+  MOVD_CHECK(false);  // point outside the super-quad
+  return -1;
+}
+
+bool IncrementalDelaunay::InCavity(int32_t tri, const Point& p) const {
+  const Tri& t = tris_[tri];
+  return InCircle(points_[t.v[0]], points_[t.v[1]], points_[t.v[2]], p) > 0.0;
+}
+
+void IncrementalDelaunay::InsertVertex(int32_t pi) {
+  const Point& p = points_[pi];
+  const int32_t seed = Locate(p, last_created_);
+
+  // Grow the cavity: all triangles whose circumcircle strictly contains p.
+  std::vector<int32_t> cavity;
+  std::unordered_set<int32_t> in_cavity;
+  std::vector<int32_t> stack = {seed};
+  in_cavity.insert(seed);
+  while (!stack.empty()) {
+    const int32_t cur = stack.back();
+    stack.pop_back();
+    cavity.push_back(cur);
+    for (int i = 0; i < 3; ++i) {
+      const int32_t nb = tris_[cur].nb[i];
+      if (nb < 0 || in_cavity.count(nb)) continue;
+      if (InCavity(nb, p)) {
+        in_cavity.insert(nb);
+        stack.push_back(nb);
+      }
+    }
+  }
+
+  // Collect the boundary: directed edges (a, b) of cavity triangles whose
+  // across-neighbour is outside the cavity. Cavity interior lies to the
+  // left of each directed edge.
+  struct BoundaryEdge {
+    int32_t a, b;
+    int32_t outside;  // triangle across, or -1
+  };
+  std::vector<BoundaryEdge> boundary;
+  for (const int32_t ti : cavity) {
+    const Tri& t = tris_[ti];
+    for (int i = 0; i < 3; ++i) {
+      const int32_t nb = t.nb[i];
+      if (nb >= 0 && in_cavity.count(nb)) continue;
+      boundary.push_back({t.v[(i + 1) % 3], t.v[(i + 2) % 3], nb});
+    }
+  }
+
+  // Retriangulate the cavity as a fan around p, reusing the dead slots
+  // before touching the free list or growing the pool.
+  std::unordered_map<int32_t, int32_t> tri_by_start;  // edge.a -> new tri id
+  std::vector<int32_t> new_ids;
+  new_ids.reserve(boundary.size());
+  size_t reuse_cursor = 0;
+  auto alloc = [&]() -> int32_t {
+    if (reuse_cursor < cavity.size()) return cavity[reuse_cursor++];
+    return AllocTri();
+  };
+  for (const int32_t ti : cavity) tris_[ti].alive = false;
+
+  for (const BoundaryEdge& e : boundary) {
+    const int32_t id = alloc();
+    Tri& t = tris_[id];
+    t.v[0] = e.a;
+    t.v[1] = e.b;
+    t.v[2] = pi;
+    t.nb[0] = -1;  // edge (b, p): wired below
+    t.nb[1] = -1;  // edge (p, a): wired below
+    t.nb[2] = e.outside;
+    t.alive = true;
+    if (e.outside >= 0) {
+      Tri& o = tris_[e.outside];
+      // Find the edge of `outside` matching (b, a) and point it at us.
+      for (int i = 0; i < 3; ++i) {
+        if (o.v[(i + 1) % 3] == e.b && o.v[(i + 2) % 3] == e.a) {
+          o.nb[i] = id;
+          break;
+        }
+      }
+    }
+    tri_by_start[e.a] = id;
+    new_ids.push_back(id);
+  }
+  // Cavity slots the fan did not need (never happens for Bowyer–Watson —
+  // the fan has cavity+2 triangles — but keep the invariant local).
+  while (reuse_cursor < cavity.size()) {
+    free_tris_.push_back(cavity[reuse_cursor++]);
+  }
+  // Stitch the fan: triangle starting at a has edges (b,p) and (p,a).
+  for (const int32_t id : new_ids) {
+    Tri& t = tris_[id];
+    const int32_t b = t.v[1];
+    const auto next = tri_by_start.find(b);  // shares edge (b, p)
+    MOVD_DCHECK(next != tri_by_start.end());
+    t.nb[0] = next->second;
+    tris_[next->second].nb[1] = id;
+  }
+  last_created_ = new_ids.empty() ? last_created_ : new_ids.back();
+  MOVD_DCHECK(!new_ids.empty());
+}
+
+bool IncrementalDelaunay::Insert(const Point& p,
+                                 std::vector<Point>* affected) {
+  MOVD_CHECK_MSG(std::isfinite(p.x) && std::isfinite(p.y) &&
+                     world_.Contains(p),
+                 "IncrementalDelaunay::Insert: point outside the world "
+                 "rectangle");
+  if (site_of_.count(p) > 0) return false;
+  const int32_t pi = AllocVertex(p);
+  InsertVertex(pi);
+  site_of_.emplace(p, pi);
+  if (affected != nullptr) {
+    affected->clear();
+    affected->push_back(p);
+    for (const int32_t nb : NeighborIds(pi)) {
+      affected->push_back(points_[nb]);
+    }
+    std::sort(affected->begin(), affected->end(), LessXY);
+  }
+  return true;
+}
+
+bool IncrementalDelaunay::Remove(const Point& p,
+                                 std::vector<Point>* affected) {
+  const auto it = site_of_.find(p);
+  if (it == site_of_.end()) return false;
+  const int32_t vi = it->second;
+
+  // The star of vi and its link polygon: each star triangle (vi, a, b)
+  // contributes the directed edge a->b (interior of the star to its
+  // left), and chaining those edges walks the link counterclockwise.
+  std::vector<int32_t> star;
+  std::map<int32_t, int32_t> link_next;
+  std::map<std::pair<int32_t, int32_t>, int32_t> out_tri;
+  for (size_t ti = 0; ti < tris_.size(); ++ti) {
+    const Tri& t = tris_[ti];
+    if (!t.alive) continue;
+    const int idx = IndexOf(t.v, vi);
+    if (idx < 0) continue;
+    star.push_back(static_cast<int32_t>(ti));
+    const int32_t a = t.v[(idx + 1) % 3];
+    const int32_t b = t.v[(idx + 2) % 3];
+    link_next[a] = b;
+    out_tri[{a, b}] = t.nb[idx];
+  }
+  if (star.size() < 3 || link_next.size() != star.size()) {
+    return false;  // corrupt star; let the caller rebuild
+  }
+  // Start the cycle at the smallest link vertex id so the ear scan order
+  // (and with it the diagonal choice in cocircular cavities) is a
+  // deterministic function of the current triangulation.
+  std::vector<int32_t> cycle;
+  const int32_t start = link_next.begin()->first;
+  cycle.push_back(start);
+  for (int32_t cur = link_next[start]; cur != start;
+       cur = link_next[cur]) {
+    if (cycle.size() > star.size()) return false;  // not a single cycle
+    cycle.push_back(cur);
+  }
+  if (cycle.size() != star.size()) return false;
+
+  // Plan the cavity retriangulation by Delaunay ear-clipping before
+  // mutating anything, so a stall leaves the triangulation untouched. An
+  // ear (a, b, c) is valid when it is counterclockwise and no other
+  // remaining link vertex lies strictly inside its circumcircle (which
+  // also excludes any vertex inside the triangle itself).
+  std::vector<std::array<int32_t, 3>> ears;
+  std::vector<int32_t> poly = cycle;
+  while (poly.size() > 3) {
+    bool clipped = false;
+    for (size_t i = 0; i < poly.size() && !clipped; ++i) {
+      const size_t n = poly.size();
+      const int32_t a = poly[(i + n - 1) % n];
+      const int32_t b = poly[i];
+      const int32_t c = poly[(i + 1) % n];
+      if (Orient2D(points_[a], points_[b], points_[c]) <= 0.0) continue;
+      bool empty = true;
+      for (const int32_t d : poly) {
+        if (d == a || d == b || d == c) continue;
+        if (InCircle(points_[a], points_[b], points_[c], points_[d]) > 0.0) {
+          empty = false;
+          break;
+        }
+      }
+      if (!empty) continue;
+      ears.push_back({a, b, c});
+      poly.erase(poly.begin() + static_cast<std::ptrdiff_t>(i));
+      clipped = true;
+    }
+    if (!clipped) return false;  // stalled; caller falls back to a rebuild
+  }
+  if (Orient2D(points_[poly[0]], points_[poly[1]], points_[poly[2]]) <= 0.0) {
+    return false;
+  }
+  ears.push_back({poly[0], poly[1], poly[2]});
+
+  if (affected != nullptr) {
+    affected->clear();
+    for (const int32_t v : cycle) {
+      if (!IsSynthetic(v)) affected->push_back(points_[v]);
+    }
+    std::sort(affected->begin(), affected->end(), LessXY);
+  }
+
+  // Apply: kill the star, then materialise the planned ears, wiring
+  // adjacency through a directed half-edge map. The map is pre-seeded
+  // with the triangles outside the cavity (keyed by their directed edge
+  // (b, a) opposite the cavity's (a, b)); each new triangle either finds
+  // its partner in the map or registers its own half-edges.
+  std::map<std::pair<int32_t, int32_t>, std::pair<int32_t, int>> half;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    const int32_t a = cycle[i];
+    const int32_t b = cycle[(i + 1) % cycle.size()];
+    const int32_t outside = out_tri[{a, b}];
+    if (outside < 0) continue;
+    const Tri& o = tris_[outside];
+    for (int e = 0; e < 3; ++e) {
+      if (o.v[(e + 1) % 3] == b && o.v[(e + 2) % 3] == a) {
+        half[{b, a}] = {outside, e};
+        break;
+      }
+    }
+  }
+  for (const int32_t ti : star) tris_[ti].alive = false;
+  size_t reuse_cursor = 0;
+  int32_t last_id = -1;
+  for (const auto& ear : ears) {
+    const int32_t id = star[reuse_cursor++];
+    Tri& t = tris_[id];
+    t.v[0] = ear[0];
+    t.v[1] = ear[1];
+    t.v[2] = ear[2];
+    t.nb[0] = t.nb[1] = t.nb[2] = -1;
+    t.alive = true;
+    for (int e = 0; e < 3; ++e) {
+      const int32_t u = t.v[(e + 1) % 3];
+      const int32_t v = t.v[(e + 2) % 3];
+      const auto partner = half.find({v, u});
+      if (partner != half.end()) {
+        t.nb[e] = partner->second.first;
+        tris_[partner->second.first].nb[partner->second.second] = id;
+      } else {
+        half[{u, v}] = {id, e};
+      }
+    }
+    last_id = id;
+  }
+  // An m-gon retriangulates into m-2 ears, so two star slots are left.
+  while (reuse_cursor < star.size()) {
+    free_tris_.push_back(star[reuse_cursor++]);
+  }
+  last_created_ = last_id;
+  live_[vi] = false;
+  free_vertices_.push_back(vi);
+  site_of_.erase(it);
+  return true;
+}
+
+std::vector<int32_t> IncrementalDelaunay::NeighborIds(int32_t vertex) const {
+  std::unordered_set<int32_t> seen;
+  std::vector<int32_t> out;
+  for (const Tri& t : tris_) {
+    if (!t.alive) continue;
+    if (IndexOf(t.v, vertex) < 0) continue;
+    for (int i = 0; i < 3; ++i) {
+      const int32_t v = t.v[i];
+      if (v == vertex || IsSynthetic(v)) continue;
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<Point> IncrementalDelaunay::Sites() const {
+  std::vector<Point> out;
+  out.reserve(site_of_.size());
+  for (size_t i = 4; i < points_.size(); ++i) {
+    if (live_[i]) out.push_back(points_[i]);
+  }
+  std::sort(out.begin(), out.end(), LessXY);
+  return out;
+}
+
+std::vector<Point> IncrementalDelaunay::NeighborsOf(const Point& p) const {
+  const auto it = site_of_.find(p);
+  MOVD_CHECK_MSG(it != site_of_.end(),
+                 "IncrementalDelaunay::NeighborsOf: unknown site");
+  std::vector<Point> out;
+  for (const int32_t nb : NeighborIds(it->second)) {
+    out.push_back(points_[nb]);
+  }
+  std::sort(out.begin(), out.end(), LessXY);
+  return out;
+}
+
+bool IncrementalDelaunay::Verify() const {
+  for (size_t ti = 0; ti < tris_.size(); ++ti) {
+    const Tri& t = tris_[ti];
+    if (!t.alive) continue;
+    for (int i = 0; i < 3; ++i) {
+      const int32_t v = t.v[i];
+      if (v < 0 || v >= static_cast<int32_t>(points_.size())) return false;
+      if (!IsSynthetic(v) && !live_[v]) return false;
+      const int32_t nb = t.nb[i];
+      if (nb < 0) continue;
+      if (nb >= static_cast<int32_t>(tris_.size()) || !tris_[nb].alive) {
+        return false;
+      }
+      // The neighbour must share the edge opposite v[i], mirrored.
+      const Tri& o = tris_[nb];
+      const int back = IndexOf(o.nb, static_cast<int32_t>(ti));
+      if (back < 0) return false;
+      if (o.v[(back + 1) % 3] != t.v[(i + 2) % 3] ||
+          o.v[(back + 2) % 3] != t.v[(i + 1) % 3]) {
+        return false;
+      }
+    }
+    bool synthetic = false;
+    for (int i = 0; i < 3; ++i) synthetic |= IsSynthetic(t.v[i]);
+    if (!synthetic &&
+        Orient2D(points_[t.v[0]], points_[t.v[1]], points_[t.v[2]]) <= 0.0) {
+      return false;
+    }
+    if (synthetic) continue;
+    for (size_t pi = 4; pi < points_.size(); ++pi) {
+      if (!live_[pi] || IndexOf(t.v, static_cast<int32_t>(pi)) >= 0) continue;
+      if (InCircle(points_[t.v[0]], points_[t.v[1]], points_[t.v[2]],
+                   points_[pi]) > 0.0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace movd

@@ -1,0 +1,102 @@
+#ifndef MOVD_VORONOI_INCREMENTAL_H_
+#define MOVD_VORONOI_INCREMENTAL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace movd {
+
+/// Dynamic Delaunay triangulation over a fixed world rectangle.
+///
+/// `Delaunay` (delaunay.cc) is a batch structure: it sorts its input once
+/// and parks the four synthetic super-quad vertices at the end of the
+/// point array, so every consumer can treat `index >= num_real_points()`
+/// as "synthetic". That convention cannot survive appends, which is why
+/// live updates get their own class instead of growing the batch one:
+/// here the synthetic quad sits at indices 0..3 (derived from the world
+/// rectangle, not the data), real vertices are appended after it and
+/// addressed by location, and vertex/triangle slots are recycled across
+/// deletions so long-lived serving datasets do not leak.
+///
+/// Insertion is the same Bowyer–Watson cavity algorithm the batch builder
+/// uses; deletion collects the star of the doomed vertex and
+/// retriangulates its link polygon by Delaunay ear-clipping (an ear is
+/// valid when it is counterclockwise and no other link vertex lies
+/// strictly inside its circumcircle). Both report the set of sites whose
+/// neighbour sets may have changed — exactly {p} ∪ neighbours(p) for an
+/// insert and the former neighbours of p for a delete — which is what the
+/// incremental Voronoi/MOVD patcher (src/core/update) recomputes.
+///
+/// Degenerate point sets (4+ cocircular sites) admit more than one valid
+/// Delaunay triangulation; this class picks one deterministically, but it
+/// may differ from the batch builder's choice. Callers that need byte
+/// agreement with a from-scratch rebuild (the serve patch path) gate that
+/// with the audit validator and fall back to a full rebuild.
+class IncrementalDelaunay {
+ public:
+  /// Builds the triangulation of `points` (exact duplicates collapsed).
+  /// Every point — initial or inserted later — must lie inside `world`.
+  IncrementalDelaunay(const std::vector<Point>& points, const Rect& world);
+
+  /// Whether `p` is currently a vertex of the triangulation.
+  bool Contains(const Point& p) const { return site_of_.count(p) > 0; }
+
+  /// Number of live real vertices.
+  size_t size() const { return site_of_.size(); }
+
+  /// Inserts `p`; returns false (and changes nothing) when `p` is already
+  /// a vertex. On success `affected` (if non-null) receives the sites
+  /// whose Delaunay neighbour sets may have changed — `p` and its new
+  /// neighbours — sorted by LessXY.
+  bool Insert(const Point& p, std::vector<Point>* affected);
+
+  /// Removes `p`; returns false when `p` is not a vertex or the cavity
+  /// retriangulation stalls (the triangulation is left unchanged in both
+  /// cases — on a stall the caller rebuilds from scratch). On success
+  /// `affected` (if non-null) receives the former neighbours of `p`,
+  /// sorted by LessXY.
+  bool Remove(const Point& p, std::vector<Point>* affected);
+
+  /// Live sites, sorted by LessXY (the batch builders' site order).
+  std::vector<Point> Sites() const;
+
+  /// Delaunay neighbours of the existing vertex `p`, sorted by LessXY.
+  std::vector<Point> NeighborsOf(const Point& p) const;
+
+  /// Structural self-check for tests: neighbour-link symmetry, triangle
+  /// orientation, and the empty-circumcircle property of every triangle
+  /// with no synthetic vertex.
+  bool Verify() const;
+
+ private:
+  struct Tri {
+    int32_t v[3];   // CCW vertices
+    int32_t nb[3];  // nb[i] across the edge opposite v[i]; -1 = none
+    bool alive;
+  };
+
+  bool IsSynthetic(int32_t vertex) const { return vertex < 4; }
+  int32_t AllocVertex(const Point& p);
+  int32_t AllocTri();
+  int32_t Locate(const Point& p, int32_t hint) const;
+  bool InCavity(int32_t tri, const Point& p) const;
+  void InsertVertex(int32_t pi);
+  std::vector<int32_t> NeighborIds(int32_t vertex) const;
+
+  Rect world_;
+  std::vector<Point> points_;  // indices 0..3 are the synthetic quad
+  std::vector<bool> live_;
+  std::vector<int32_t> free_vertices_;
+  std::unordered_map<Point, int32_t, PointHash> site_of_;
+  std::vector<Tri> tris_;
+  std::vector<int32_t> free_tris_;
+  int32_t last_created_ = 0;
+};
+
+}  // namespace movd
+
+#endif  // MOVD_VORONOI_INCREMENTAL_H_

@@ -50,13 +50,15 @@ VoronoiDiagram VoronoiDiagram::Build(std::vector<Point> sites,
     const auto neighbors = dt.NeighborLists();
     for (size_t i = 0; i < vd.sites_.size(); ++i) {
       const Point& p = vd.sites_[i];
-      ConvexPolygon cell = ConvexPolygon::FromRect(bounds);
+      // NeighborLists() is ascending by index over the LessXY-sorted site
+      // array, so this is the canonical (LessXY) clip order.
+      std::vector<Point> nb_points;
+      nb_points.reserve(neighbors[i].size());
       for (const int32_t nb : neighbors[i]) {
-        if (cell.Empty()) break;
-        ClipByBisector(&cell, p, dt.points()[nb]);
+        nb_points.push_back(dt.points()[nb]);
       }
       vd.cells_[i].site = static_cast<int32_t>(i);
-      vd.cells_[i].region = std::move(cell);
+      vd.cells_[i].region = CanonicalVoronoiCell(p, nb_points, bounds);
     }
     return vd;
   }
@@ -80,6 +82,17 @@ VoronoiDiagram VoronoiDiagram::Build(std::vector<Point> sites,
     vd.cells_[i].region = std::move(cell);
   }
   return vd;
+}
+
+ConvexPolygon CanonicalVoronoiCell(const Point& site,
+                                   const std::vector<Point>& neighbors,
+                                   const Rect& bounds) {
+  ConvexPolygon cell = ConvexPolygon::FromRect(bounds);
+  for (const Point& q : neighbors) {
+    if (cell.Empty()) break;
+    ClipByBisector(&cell, site, q);
+  }
+  return cell;
 }
 
 int32_t VoronoiDiagram::NearestSiteBrute(const Point& p) const {

@@ -63,6 +63,17 @@ class VoronoiDiagram {
   Rect bounds_;
 };
 
+/// The canonical clipped Voronoi cell of `site`: the bounds rectangle cut
+/// by the perpendicular bisector against each neighbour, in the order
+/// given. With `neighbors` = the site's Delaunay neighbours sorted by
+/// LessXY this is exactly the cell the Strategy::kDelaunay build produces;
+/// the incremental update path (src/core/update) relies on that byte
+/// identity, so every caller that wants reproducible cells must pass the
+/// neighbours in LessXY order.
+ConvexPolygon CanonicalVoronoiCell(const Point& site,
+                                   const std::vector<Point>& neighbors,
+                                   const Rect& bounds);
+
 }  // namespace movd
 
 #endif  // MOVD_VORONOI_VORONOI_H_

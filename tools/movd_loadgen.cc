@@ -4,7 +4,7 @@
 //       [--requests=0] [--dataset=synthetic] [--dataset_layers=3]
 //       [--algo=rrb] [--k=1] [--epsilon=1e-3] [--deadline_ms=0]
 //       [--threads=1] [--cache=1] [--seed=1] [--check=1]
-//       [--mix=solve:8,skyline:1,diverse:1,constrain:1,whatif:1]
+//       [--mix=solve:8,skyline:1,insert:2,delete:1]
 //       [--world=10000] [--min_dist=0] [--require_cache_hits] [--shutdown]
 //
 // Spawns `--clients` connections; each runs a closed loop (send one SOLVE,
@@ -14,23 +14,36 @@
 // concurrent clients overlap on the same cached artifacts. Reports
 // throughput, latency percentiles and the server's cache statistics, and
 // (with --check, default on) verifies that every response for the same
-// (verb, layers, algo, k) pattern is byte-identical — the serving
-// determinism contract.
+// (verb, layers, algo, k, snapshot version) pattern is byte-identical —
+// the serving determinism contract. Keying the check by the "version"
+// field of each response makes it sound under concurrent mutation:
+// queries pin an immutable snapshot, so two answers may differ only when
+// their versions differ.
 //
 // --mix=verb:weight,... turns on mixed-workload mode: each request draws
-// its verb (solve, skyline, diverse, constrain, whatif) from the weighted
-// pool, interleaving the query-algebra shapes with plain MOLQ solves
-// against the same cached artifacts, and the report grows a per-verb
-// latency histogram. CONSTRAIN requests use a centered box covering half
-// of [0, --world)^2 as the boundary; DIVERSE uses --k and --min_dist
-// (default world/100); WHATIF sweeps two fixed weight vectors per layer
-// pattern. All shapes are deterministic, so --check applies to every verb.
+// its verb from the weighted pool. The vocabulary is derived from the
+// serve protocol's verb registry (every non-control verb, lower-cased),
+// so a verb added to the registry is immediately mixable here. Query
+// verbs interleave the query-algebra shapes with plain MOLQ solves
+// against the same cached artifacts; the mutation verbs (insert, delete)
+// exercise live updates: each INSERT places a deterministic
+// client-unique point on a fresh grid cell (never colliding with dataset
+// objects or other clients), and each DELETE pops that client's own most
+// recent insert (falling back to an INSERT while the stack is empty), so
+// deletions always target points the dataset really holds. The report
+// grows a per-verb latency histogram. CONSTRAIN requests use a centered
+// box covering half of [0, --world)^2 as the boundary; DIVERSE uses --k
+// and --min_dist (default world/100); WHATIF sweeps two fixed weight
+// vectors per layer pattern. All shapes are deterministic, so --check
+// applies to every query verb (mutations are excluded: their responses
+// are intentionally one-of-a-kind).
 //
 // Exit status is non-zero on connection failures, protocol errors,
 // determinism mismatches, or (with --require_cache_hits) a cache that
 // never hit. DEADLINE_EXCEEDED responses are counted but are not failures
 // when --deadline_ms is set (they are the expected outcome of a tight
-// budget).
+// budget), and OVERLOADED responses are counted but never failures (they
+// are the admission controller doing its job; see DESIGN.md §14).
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -38,6 +51,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -47,6 +61,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/protocol.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -56,19 +71,50 @@ namespace {
 
 using namespace movd;
 
-/// The request verbs mixed-workload mode can draw from.
-enum Verb { kSolve = 0, kSkyline, kDiverse, kConstrain, kWhatIf, kNumVerbs };
-const char* const kVerbNames[kNumVerbs] = {"solve", "skyline", "diverse",
-                                           "constrain", "whatif"};
+/// One verb the mixed-workload mode can draw: a registry row plus its
+/// lower-cased --mix spelling.
+struct MixVerb {
+  const VerbDescriptor* desc;
+  std::string lower;
+};
+
+/// The --mix vocabulary, derived from the serve protocol's verb registry:
+/// every non-control verb, in registry order. Index 0 is SOLVE (the
+/// registry lists it first), which is also the default single-verb mix.
+std::vector<MixVerb> MixableVerbs() {
+  std::vector<MixVerb> verbs;
+  for (const VerbDescriptor& d : VerbRegistry()) {
+    if ((d.caps & kCapControl) != 0) continue;
+    MixVerb v;
+    v.desc = &d;
+    v.lower = d.name;
+    std::transform(v.lower.begin(), v.lower.end(), v.lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    verbs.push_back(std::move(v));
+  }
+  return verbs;
+}
+
+std::string JoinVerbNames(const std::vector<MixVerb>& verbs) {
+  std::string out;
+  for (const MixVerb& v : verbs) {
+    if (!out.empty()) out += "|";
+    out += v.lower;
+  }
+  return out;
+}
 
 struct ClientStats {
   uint64_t requests = 0;
-  uint64_t errors = 0;             ///< ERR responses other than deadline
+  uint64_t errors = 0;             ///< ERR responses other than the two below
   uint64_t deadline_exceeded = 0;  ///< ERR ... DEADLINE_EXCEEDED responses
+  uint64_t overloaded = 0;         ///< ERR ... OVERLOADED (admission shed)
+  uint64_t mutations_ok = 0;       ///< OK responses to INSERT/DELETE
   bool connection_ok = true;
   std::vector<double> latencies_ms;
-  /// Mixed-workload mode: latencies split per request verb.
-  std::vector<double> verb_latencies_ms[kNumVerbs];
+  /// Mixed-workload mode: latencies split per request verb (indexed like
+  /// the MixableVerbs() vector).
+  std::vector<std::vector<double>> verb_latencies_ms;
 };
 
 std::mutex g_check_mu;
@@ -125,8 +171,9 @@ bool RecvLine(int fd, std::string* buffer, std::string* line) {
 }
 
 /// The "answers": [...] (or, for WHATIF, "sweeps": [...]) slice of an OK
-/// body — everything that must be deterministic (cache_hit and seconds
-/// legitimately vary per request).
+/// body — everything that must be deterministic (cache_hit, version and
+/// seconds legitimately vary per request; version is compared separately
+/// via the check key).
 std::string AnswersSlice(const std::string& ok_line) {
   size_t begin = ok_line.find("\"answers\": ");
   if (begin == std::string::npos) begin = ok_line.find("\"sweeps\": ");
@@ -135,6 +182,16 @@ std::string AnswersSlice(const std::string& ok_line) {
     return ok_line;  // unexpected shape: compare the whole line
   }
   return ok_line.substr(begin, end - begin);
+}
+
+/// The "version" field of an OK response body, or 0 when absent. Both
+/// query and mutation responses carry it (protocol v2).
+uint64_t ResponseVersion(const std::string& ok_line) {
+  const char kNeedle[] = "\"version\": ";
+  const size_t pos = ok_line.find(kNeedle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(ok_line.c_str() + pos + sizeof(kNeedle) - 1, nullptr,
+                       10);
 }
 
 /// Deterministic pattern pool: every non-empty subset of [0, layers),
@@ -168,19 +225,24 @@ struct LoadConfig {
   uint64_t requests_cap = 0;  // 0 = duration only
   uint64_t seed = 1;
   bool check = true;
+  int dataset_layers = 3;
+  double world = 10000.0;
   std::vector<std::string> patterns;
-  /// Mixed-workload mode: per-verb draw weights (all on kSolve when --mix
-  /// is absent) and the derived request ingredients.
-  int mix_weights[kNumVerbs] = {1, 0, 0, 0, 0};
+  /// Mixed-workload mode: the registry-derived verb pool with per-verb
+  /// draw weights (all on verbs[0] == solve when --mix is absent).
+  std::vector<MixVerb> verbs;
+  std::vector<int> mix_weights;
   int mix_total = 1;
   double min_dist = 0.0;
   std::string boundary_spec;  ///< CONSTRAIN boundary= polygon
 };
 
-/// Parses "--mix=solve:8,skyline:1,..." into per-verb weights. Unlisted
-/// verbs get weight 0; at least one weight must be positive.
-bool ParseMix(const std::string& spec, int weights[kNumVerbs]) {
-  for (int v = 0; v < kNumVerbs; ++v) weights[v] = 0;
+/// Parses "--mix=solve:8,skyline:1,..." into per-verb weights over the
+/// registry-derived pool. Unlisted verbs get weight 0; at least one
+/// weight must be positive.
+bool ParseMix(const std::string& spec, const std::vector<MixVerb>& verbs,
+              std::vector<int>* weights) {
+  weights->assign(verbs.size(), 0);
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t comma = spec.find(',', pos);
@@ -193,14 +255,14 @@ bool ParseMix(const std::string& spec, int weights[kNumVerbs]) {
     const int weight = std::atoi(entry.c_str() + colon + 1);
     if (weight <= 0) return false;
     int verb = -1;
-    for (int v = 0; v < kNumVerbs; ++v) {
-      if (name == kVerbNames[v]) verb = v;
+    for (size_t v = 0; v < verbs.size(); ++v) {
+      if (name == verbs[v].lower) verb = static_cast<int>(v);
     }
     if (verb < 0) return false;
-    weights[verb] += weight;
+    (*weights)[static_cast<size_t>(verb)] += weight;
   }
-  for (int v = 0; v < kNumVerbs; ++v) {
-    if (weights[v] > 0) return true;
+  for (const int w : *weights) {
+    if (w > 0) return true;
   }
   return false;
 }
@@ -221,38 +283,74 @@ std::string SweepSpec(int layer_count) {
   return identity + "|" + skewed;
 }
 
-/// One request line (without the trailing newline) for `verb` against the
-/// given layer pattern. The common keys mirror the plain-SOLVE path; verb
-/// specific keys follow the protocol's requirements (DIVERSE needs
-/// k/min_dist, CONSTRAIN takes no algo/k, WHATIF needs sweep).
-std::string BuildRequestLine(const LoadConfig& cfg, Verb verb, int client,
-                             uint64_t n, const std::string& layers) {
-  std::string line = verb == kSolve     ? "SOLVE"
-                     : verb == kSkyline ? "SKYLINE"
-                     : verb == kDiverse ? "DIVERSE"
-                     : verb == kConstrain ? "CONSTRAIN"
-                                          : "WHATIF";
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), " id=c%d-%llu dataset=%s layers=%s", client,
-                static_cast<unsigned long long>(n), cfg.dataset.c_str(),
-                layers.c_str());
+/// One mutation site. INSERT sends these coordinates; the matching DELETE
+/// re-sends the exact same formatted text, so the server parses
+/// bit-identical doubles and the deletion finds the inserted object.
+struct MutationSite {
+  int layer = 0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A deterministic, globally unique insertion point for mutation number
+/// `seq` of client `client`: cell (u mod P, u div P) of a P×P grid over
+/// [0, world)^2, with u = client * 2^20 + seq injective across the run.
+/// Grid-cell centers never collide with each other, and (being coarse
+/// odd fractions of world) never with the continuous pseudo-random
+/// dataset coordinates, so every INSERT adds a genuinely new site and
+/// DELETE removes exactly what this client added.
+MutationSite MakeMutationSite(int client, uint64_t seq, int layers,
+                              double world) {
+  static const uint64_t kGrid = 99991;  // prime; kGrid^2 >> any run length
+  const uint64_t u = (static_cast<uint64_t>(client) << 20) + seq;
+  MutationSite site;
+  site.layer = static_cast<int>(seq % static_cast<uint64_t>(layers));
+  site.x = world * ((static_cast<double>(u % kGrid) + 0.5) /
+                    static_cast<double>(kGrid));
+  site.y = world * ((static_cast<double>((u / kGrid) % kGrid) + 0.5) /
+                    static_cast<double>(kGrid));
+  return site;
+}
+
+/// One request line (without the trailing newline) for the verb at
+/// `verb_index` against the given layer pattern (query verbs) or mutation
+/// site (INSERT/DELETE). Which keys a verb gets follows its registry
+/// row's allowed_args mask, so this stays in lockstep with the protocol:
+/// a key the registry does not allow is never sent.
+std::string BuildRequestLine(const LoadConfig& cfg, size_t verb_index,
+                             int client, uint64_t n,
+                             const std::string& layers,
+                             const MutationSite& site) {
+  const VerbDescriptor& desc = *cfg.verbs[verb_index].desc;
+  std::string line = desc.name;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), " id=c%d-%llu dataset=%s", client,
+                static_cast<unsigned long long>(n), cfg.dataset.c_str());
   line += buf;
-  if (verb != kConstrain) {
+  if ((desc.caps & kCapMutation) != 0) {
+    std::snprintf(buf, sizeof(buf), " layer=%d x=%.17g y=%.17g", site.layer,
+                  site.x, site.y);
+    line += buf;
+    return line;
+  }
+  if ((desc.allowed_args & kArgLayers) != 0) {
+    line += " layers=" + layers;
+  }
+  if ((desc.allowed_args & kArgAlgo) != 0) {
     line += " algo=" + cfg.algo;
   }
-  if (verb == kSolve || verb == kDiverse || verb == kWhatIf) {
-    std::snprintf(buf, sizeof(buf), " k=%lld",
-                  static_cast<long long>(cfg.k));
+  if ((desc.allowed_args & kArgK) != 0) {
+    std::snprintf(buf, sizeof(buf), " k=%lld", static_cast<long long>(cfg.k));
     line += buf;
   }
-  if (verb == kDiverse) {
+  if ((desc.allowed_args & kArgMinDist) != 0) {
     std::snprintf(buf, sizeof(buf), " min_dist=%g", cfg.min_dist);
     line += buf;
   }
-  if (verb == kConstrain) {
+  if ((desc.allowed_args & kArgBoundary) != 0) {
     line += " boundary=" + cfg.boundary_spec;
   }
-  if (verb == kWhatIf) {
+  if ((desc.allowed_args & kArgSweep) != 0) {
     const int layer_count =
         1 + static_cast<int>(std::count(layers.begin(), layers.end(), ','));
     line += " sweep=" + SweepSpec(layer_count);
@@ -261,7 +359,7 @@ std::string BuildRequestLine(const LoadConfig& cfg, Verb verb, int client,
                 cfg.epsilon, static_cast<long long>(cfg.threads),
                 cfg.cache ? 1 : 0);
   line += buf;
-  if (cfg.deadline_ms > 0.0) {
+  if (cfg.deadline_ms > 0.0 && (desc.allowed_args & kArgDeadlineMs) != 0) {
     std::snprintf(buf, sizeof(buf), " deadline_ms=%g", cfg.deadline_ms);
     line += buf;
   }
@@ -269,6 +367,7 @@ std::string BuildRequestLine(const LoadConfig& cfg, Verb verb, int client,
 }
 
 void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
+  stats->verb_latencies_ms.resize(cfg.verbs.size());
   const int fd = ConnectUnix(cfg.socket);
   if (fd < 0) {
     stats->connection_ok = false;
@@ -278,25 +377,52 @@ void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
   Stopwatch clock;
   std::string buffer;
   uint64_t n = 0;
+  uint64_t mutation_seq = 0;
+  // Points this client inserted and has not yet deleted. DELETE pops the
+  // most recent one, so it always names a live object.
+  std::vector<MutationSite> inserted;
   while (clock.ElapsedSeconds() < cfg.duration_s &&
          (cfg.requests_cap == 0 || n < cfg.requests_cap)) {
     const std::string& layers =
         cfg.patterns[rng.NextBelow(cfg.patterns.size())];
-    // Draw the verb from the weighted mix (always kSolve without --mix).
-    Verb verb = kSolve;
+    // Draw the verb from the weighted mix (always verbs[0] == solve
+    // without --mix).
+    size_t verb = 0;
     int draw = static_cast<int>(
         rng.NextBelow(static_cast<uint64_t>(cfg.mix_total)));
-    for (int v = 0; v < kNumVerbs; ++v) {
+    for (size_t v = 0; v < cfg.verbs.size(); ++v) {
       draw -= cfg.mix_weights[v];
       if (draw < 0) {
-        verb = static_cast<Verb>(v);
+        verb = v;
         break;
       }
     }
-    const std::string pattern = std::string(kVerbNames[verb]) + "/" + layers +
-                                "/" + cfg.algo + "/k" + std::to_string(cfg.k);
+    const VerbDescriptor* desc = cfg.verbs[verb].desc;
+    MutationSite site;
+    bool pops_stack = false;
+    if ((desc->caps & kCapMutation) != 0) {
+      if (desc->mutation == MutationKind::kDelete && !inserted.empty()) {
+        site = inserted.back();
+        pops_stack = true;
+      } else {
+        // DELETE with nothing of ours to delete degrades to INSERT so the
+        // request is still a valid mutation.
+        if (desc->mutation == MutationKind::kDelete) {
+          for (size_t v = 0; v < cfg.verbs.size(); ++v) {
+            if ((cfg.verbs[v].desc->caps & kCapMutation) != 0 &&
+                cfg.verbs[v].desc->mutation == MutationKind::kInsert) {
+              verb = v;
+              desc = cfg.verbs[v].desc;
+              break;
+            }
+          }
+        }
+        site = MakeMutationSite(index, mutation_seq++, cfg.dataset_layers,
+                                cfg.world);
+      }
+    }
     const std::string line =
-        BuildRequestLine(cfg, verb, index, n, layers) + "\n";
+        BuildRequestLine(cfg, verb, index, n, layers, site) + "\n";
     Stopwatch latency;
     std::string response;
     if (!SendAll(fd, line) || !RecvLine(fd, &buffer, &response)) {
@@ -309,7 +435,21 @@ void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
     ++stats->requests;
     ++n;
     if (response.rfind("OK ", 0) == 0) {
-      if (cfg.check) {
+      if ((desc->caps & kCapMutation) != 0) {
+        ++stats->mutations_ok;
+        if (pops_stack) {
+          inserted.pop_back();
+        } else {
+          inserted.push_back(site);
+        }
+      } else if (cfg.check) {
+        // Key the determinism check by the snapshot version the response
+        // was computed against: answers may differ across versions (the
+        // data changed) but must be byte-identical within one.
+        const std::string pattern =
+            cfg.verbs[verb].lower + "/" + layers + "/" + cfg.algo + "/k" +
+            std::to_string(cfg.k) + "/v" +
+            std::to_string(ResponseVersion(response));
         const std::string answers = AnswersSlice(response);
         std::lock_guard<std::mutex> lock(g_check_mu);
         const auto it = g_first_answer.find(pattern);
@@ -321,6 +461,8 @@ void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
       }
     } else if (response.find(" DEADLINE_EXCEEDED") != std::string::npos) {
       ++stats->deadline_exceeded;
+    } else if (response.find(" OVERLOADED") != std::string::npos) {
+      ++stats->overloaded;
     } else {
       ++stats->errors;
       if (stats->errors == 1) {
@@ -332,12 +474,14 @@ void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
   ::close(fd);
 }
 
-/// Pulls one numeric field out of the STATS json ("\"name\":<digits>").
+/// Pulls one numeric field out of the STATS json ("\"name\": <digits>").
 uint64_t JsonCounter(const std::string& json, const std::string& name) {
   const std::string needle = "\"" + name + "\":";
   const size_t pos = json.find(needle);
   if (pos == std::string::npos) return 0;
-  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+  const char* p = json.c_str() + pos + needle.size();
+  while (*p == ' ') ++p;
+  return std::strtoull(p, nullptr, 10);
 }
 
 int Main(int argc, char** argv) {
@@ -355,35 +499,48 @@ int Main(int argc, char** argv) {
   cfg.requests_cap = static_cast<uint64_t>(flags.GetInt("requests", 0));
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   cfg.check = flags.GetBool("check", true);
-  cfg.patterns =
-      PatternPool(static_cast<int>(flags.GetInt("dataset_layers", 3)));
+  cfg.dataset_layers = static_cast<int>(flags.GetInt("dataset_layers", 3));
+  cfg.patterns = PatternPool(cfg.dataset_layers);
   const int clients = static_cast<int>(flags.GetInt("clients", 4));
   const bool require_hits = flags.GetBool("require_cache_hits", false);
   const bool shutdown_server = flags.GetBool("shutdown", false);
-  const double world = flags.GetDouble("world", 10000.0);
-  cfg.min_dist = flags.GetDouble("min_dist", world / 100.0);
+  cfg.world = flags.GetDouble("world", 10000.0);
+  cfg.min_dist = flags.GetDouble("min_dist", cfg.world / 100.0);
+  cfg.verbs = MixableVerbs();
+  cfg.mix_weights.assign(cfg.verbs.size(), 0);
+  cfg.mix_weights[0] = 1;  // registry row 0 is SOLVE
   const bool mixed = flags.Has("mix");
-  if (mixed && !ParseMix(flags.GetString("mix", ""), cfg.mix_weights)) {
+  if (mixed &&
+      !ParseMix(flags.GetString("mix", ""), cfg.verbs, &cfg.mix_weights)) {
     std::fprintf(stderr,
                  "movd_loadgen: bad --mix (want verb:weight,... with verbs "
-                 "solve|skyline|diverse|constrain|whatif)\n");
+                 "%s)\n",
+                 JoinVerbNames(cfg.verbs).c_str());
     return 2;
   }
   cfg.mix_total = 0;
-  for (int v = 0; v < kNumVerbs; ++v) cfg.mix_total += cfg.mix_weights[v];
-  if (mixed && cfg.algo == "ssc" &&
-      cfg.mix_weights[kSolve] != cfg.mix_total) {
-    std::fprintf(stderr,
-                 "movd_loadgen: --algo=ssc only supports a solve-only mix "
-                 "(the query-algebra verbs reject ssc)\n");
-    return 2;
+  for (const int w : cfg.mix_weights) cfg.mix_total += w;
+  if (mixed && cfg.algo == "ssc") {
+    // The registry knows which verbs need a MOVD artifact and therefore
+    // reject algo=ssc; an ssc mix may only weight the others.
+    for (size_t v = 0; v < cfg.verbs.size(); ++v) {
+      if (cfg.mix_weights[v] > 0 &&
+          (cfg.verbs[v].desc->caps & kCapRequiresOverlay) != 0) {
+        std::fprintf(stderr,
+                     "movd_loadgen: --algo=ssc cannot mix in %s (the "
+                     "query-algebra verbs reject ssc)\n",
+                     cfg.verbs[v].lower.c_str());
+        return 2;
+      }
+    }
   }
   // CONSTRAIN boundary: the centered box covering half of [0, world)^2.
   {
     char spec[128];
-    std::snprintf(spec, sizeof(spec), "%g,%g;%g,%g;%g,%g;%g,%g", 0.25 * world,
-                  0.25 * world, 0.75 * world, 0.25 * world, 0.75 * world,
-                  0.75 * world, 0.25 * world, 0.75 * world);
+    std::snprintf(spec, sizeof(spec), "%g,%g;%g,%g;%g,%g;%g,%g",
+                  0.25 * cfg.world, 0.25 * cfg.world, 0.75 * cfg.world,
+                  0.25 * cfg.world, 0.75 * cfg.world, 0.75 * cfg.world,
+                  0.25 * cfg.world, 0.75 * cfg.world);
     cfg.boundary_spec = spec;
   }
   flags.WarnUnused(stderr);
@@ -405,18 +562,21 @@ int Main(int argc, char** argv) {
   for (std::thread& t : threads) t.join();
   const double elapsed = wall.ElapsedSeconds();
 
-  uint64_t requests = 0, errors = 0, deadlines = 0;
+  uint64_t requests = 0, errors = 0, deadlines = 0, overloaded = 0;
+  uint64_t mutations_ok = 0;
   bool connections_ok = true;
   std::vector<double> latencies;
-  std::vector<double> verb_latencies[kNumVerbs];
+  std::vector<std::vector<double>> verb_latencies(cfg.verbs.size());
   for (const ClientStats& s : stats) {
     requests += s.requests;
     errors += s.errors;
     deadlines += s.deadline_exceeded;
+    overloaded += s.overloaded;
+    mutations_ok += s.mutations_ok;
     connections_ok = connections_ok && s.connection_ok;
     latencies.insert(latencies.end(), s.latencies_ms.begin(),
                      s.latencies_ms.end());
-    for (int v = 0; v < kNumVerbs; ++v) {
+    for (size_t v = 0; v < s.verb_latencies_ms.size(); ++v) {
       verb_latencies[v].insert(verb_latencies[v].end(),
                                s.verb_latencies_ms[v].begin(),
                                s.verb_latencies_ms[v].end());
@@ -432,6 +592,7 @@ int Main(int argc, char** argv) {
 
   // One control connection for STATS (+ optional SHUTDOWN).
   uint64_t cache_hits = 0, cache_misses = 0;
+  uint64_t server_shed = 0, server_mutations = 0;
   bool stats_ok = false;
   const int fd = ConnectUnix(cfg.socket);
   if (fd >= 0) {
@@ -440,6 +601,8 @@ int Main(int argc, char** argv) {
         response.rfind("OK ", 0) == 0) {
       cache_hits = JsonCounter(response, "cache_hits");
       cache_misses = JsonCounter(response, "cache_misses");
+      server_shed = JsonCounter(response, "shed");
+      server_mutations = JsonCounter(response, "mutations");
       stats_ok = true;
     }
     if (shutdown_server) {
@@ -459,6 +622,8 @@ int Main(int argc, char** argv) {
   table.AddRow({"requests", std::to_string(requests)});
   table.AddRow({"errors", std::to_string(errors)});
   table.AddRow({"deadline_exceeded", std::to_string(deadlines)});
+  table.AddRow({"overloaded (shed)", std::to_string(overloaded)});
+  table.AddRow({"mutations applied", std::to_string(mutations_ok)});
   table.AddRow(
       {"throughput req/s",
        Table::Fmt(elapsed > 0.0 ? static_cast<double>(requests) / elapsed
@@ -472,6 +637,11 @@ int Main(int argc, char** argv) {
                 stats_ok ? std::to_string(cache_hits) : "(unavailable)"});
   table.AddRow({"server cache misses",
                 stats_ok ? std::to_string(cache_misses) : "(unavailable)"});
+  table.AddRow({"server shed",
+                stats_ok ? std::to_string(server_shed) : "(unavailable)"});
+  table.AddRow({"server mutations",
+                stats_ok ? std::to_string(server_mutations)
+                         : "(unavailable)"});
   table.Print(stdout);
 
   if (mixed) {
@@ -482,7 +652,7 @@ int Main(int argc, char** argv) {
     const size_t buckets = sizeof(kBucketsMs) / sizeof(kBucketsMs[0]);
     Table hist({"verb", "count", "<0.5ms", "<1", "<2", "<4", "<8", "<16",
                 "<32", "<64", ">=64", "p50 ms", "p99 ms"});
-    for (int v = 0; v < kNumVerbs; ++v) {
+    for (size_t v = 0; v < cfg.verbs.size(); ++v) {
       std::vector<double>& lat = verb_latencies[v];
       if (lat.empty()) continue;
       std::sort(lat.begin(), lat.end());
@@ -492,7 +662,7 @@ int Main(int argc, char** argv) {
         while (b < buckets && ms >= kBucketsMs[b]) ++b;
         ++counts[b];
       }
-      std::vector<std::string> row = {kVerbNames[v],
+      std::vector<std::string> row = {cfg.verbs[v].lower,
                                       std::to_string(lat.size())};
       for (const uint64_t c : counts) row.push_back(std::to_string(c));
       const auto verb_pct = [&lat](double p) {

@@ -5,6 +5,7 @@
 //       [--layers=3] [--count=400] [--world=10000] [--seed=1]
 //       [--inputs=a.csv,b.csv]
 //       [--cache_mb=256] [--workers=0] [--grid=128]
+//       [--admit_cost_limit=0] [--admit_delay_ms=0]
 //       [--warm_dir=DIR] [--save_warm] [--trace=FILE]
 //
 // --trace=FILE traces every served request into one engine-wide trace and
@@ -140,6 +141,9 @@ bool ServeOneLine(QueryEngine* engine, const std::string& line,
     case ServeVerb::kStats:
       *out = "OK - " + engine->MetricsJson();
       return false;
+    case ServeVerb::kHelp:
+      *out = "OK - " + HelpJson();
+      return false;
     case ServeVerb::kQuit:
       *out = "OK - bye";
       *close_conn = true;
@@ -151,11 +155,14 @@ bool ServeOneLine(QueryEngine* engine, const std::string& line,
     case ServeVerb::kSolve:
       break;
   }
-  const std::string dataset = request.dataset;
   // SubmitAsync + get: the connection thread blocks while the request is
   // batched onto the engine's worker pool with everything else in flight.
   const ServeResponse resp = engine->SubmitAsync(std::move(request)).get();
-  *out = FormatResponseLine(engine->dataset_query(dataset), resp);
+  // Resolve answer group refs through the snapshot the response pinned —
+  // never the engine's current one, which a concurrent mutation may have
+  // superseded mid-solve.
+  *out = FormatResponseLine(
+      resp.snapshot != nullptr ? &resp.snapshot->query : nullptr, resp);
   return false;
 }
 
@@ -272,6 +279,12 @@ int Main(int argc, char** argv) {
   options.workers = static_cast<int>(flags.GetInt("workers", 0));
   options.exec.weighted_grid_resolution =
       static_cast<int>(flags.GetInt("grid", 128));
+  // Admission control (both default off): total cost units allowed in the
+  // worker queue, and the queue-delay budget past which requests are shed
+  // with OVERLOADED.
+  options.admission_cost_limit =
+      static_cast<size_t>(flags.GetInt("admit_cost_limit", 0));
+  options.admission_delay_budget_ms = flags.GetDouble("admit_delay_ms", 0.0);
   const std::string trace_path = flags.GetString("trace", "");
   Trace trace;
   if (!trace_path.empty()) options.exec.trace = &trace;

@@ -50,3 +50,11 @@ common=(--threads=2 --seed=42 --repetitions=7 --warmup=1)
 "$build/bench/fig14_multi_overlap" "${common[@]}" --budget_mb=2 --max_n=512 \
     --types=2,3 --wres=512 --wbuild_n=128 \
     --json="$out/BENCH_fig14_multi_overlap.json"
+
+# Live-update maintenance gates (DESIGN.md §14): incremental basic/overlay
+# patching vs from-scratch rebuilds over a pinned mutation script. The
+# recomputed/retained counters gate exactly; the rebuild_over_patch
+# derived ratios document the incremental speedup the serve engine relies
+# on.
+"$build/bench/update_patch" "${common[@]}" --sizes=200,800 --updates=32 \
+    --json="$out/BENCH_update.json"
