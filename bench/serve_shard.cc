@@ -1,0 +1,273 @@
+// Benchmark of the sharded serving router (DESIGN.md §15), always run
+// pairwise — a single-replica engine vs a sharded fleet with the SAME
+// total worker count and cache budget, so the measured difference is
+// routing, not extra hardware:
+//
+//   local/…    throughput of the point-local verbs (SOLVE / DIVERSE /
+//              CONSTRAIN): a burst of warm tiny requests with spatial
+//              routing hints through HandleAsync. Each request runs whole
+//              on one shard, so the fleets do equal work and the delta is
+//              queue/cache contention.
+//   scatter/…  latency of the scatter verbs (SKYLINE / WHATIF): heavier
+//              requests served one at a time. The sharded router splits
+//              each request's candidate combinations / sweep vectors
+//              across the shard pools, so this is where sharding buys
+//              wall-clock per request.
+//   mutate/…   INSERT/DELETE pairs — the replication fan-out cost
+//              sharding adds to the mutation path.
+//
+// The deterministic gates are the answer counts: the sharding contract
+// says answers are bit-identical for any shard count, so the counts must
+// not move between the s=1 and s=4 cases (or between machines). Errors
+// must stay 0 — admission shedding is disabled here. Throughput and the
+// s=1-relative speedups are Derived (observability only).
+//
+// Extra flags: --sizes=24  --requests=240  --scatter_requests=8
+//              --shards=1,4  --workers=8  --updates=8
+
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "geom/polygon.h"
+#include "model/update_model.h"
+#include "serve/engine_api.h"
+#include "serve/shard.h"
+#include "util/rng.h"
+
+namespace movd::bench {
+namespace {
+
+/// Layer subsets the workload rotates through (empty = all layers). Each
+/// distinct subset is its own overlay artifact, so the rotation exercises
+/// per-shard cache warmth rather than hammering one cache entry.
+const std::vector<std::vector<int32_t>>& LayerPatterns() {
+  static const std::vector<std::vector<int32_t>> kPatterns = {
+      {}, {0, 1}, {1, 2}, {0, 2}};
+  return kPatterns;
+}
+
+/// A deterministic burst of `count` point-local requests (SOLVE /
+/// DIVERSE / CONSTRAIN over rotating layer subsets). Requests carry a
+/// routing rect around a seeded world location so they spread across
+/// shard regions the way a spatially-local client mix would.
+std::vector<EngineRequest> MakeLocalWorkload(size_t count, uint64_t seed) {
+  Rng rng(seed ^ 0x5a4dull);
+  const double w = kWorld.max_x - kWorld.min_x;
+  const double h = kWorld.max_y - kWorld.min_y;
+  QueryConstraint constraint;
+  constraint.boundary = Polygon({{0.25 * w, 0.25 * h},
+                                 {0.75 * w, 0.25 * h},
+                                 {0.75 * w, 0.75 * h},
+                                 {0.25 * w, 0.75 * h}});
+
+  std::vector<EngineRequest> workload;
+  workload.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    EngineRequest request;
+    request.id = "b" + std::to_string(i);
+    request.dataset = "bench";
+    request.layers = LayerPatterns()[(i / 3) % LayerPatterns().size()];
+    request.exec.threads = 1;
+    const Point hint{kWorld.min_x + rng.Uniform(0.05, 0.95) * w,
+                     kWorld.min_y + rng.Uniform(0.05, 0.95) * h};
+    request.routing_rect =
+        Rect(hint.x - 50, hint.y - 50, hint.x + 50, hint.y + 50);
+    switch (i % 3) {
+      case 0:
+        request.op = SolveSpec{MolqAlgorithm::kRrb, 2};
+        break;
+      case 1:
+        request.op = DiverseSpec{MolqAlgorithm::kRrb, 2, w / 50.0};
+        break;
+      default: {
+        ConstrainSpec spec;
+        spec.constraint = constraint;
+        request.op = spec;
+        break;
+      }
+    }
+    workload.push_back(std::move(request));
+  }
+  return workload;
+}
+
+/// A deterministic sequence of `count` scatter-verb requests: SKYLINE
+/// over all layers alternating with 8-vector WHATIF sweeps. These are
+/// served one at a time, so the sharded fleet's win is the per-request
+/// split, not request-level concurrency.
+std::vector<EngineRequest> MakeScatterWorkload(size_t count) {
+  std::vector<EngineRequest> workload;
+  workload.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    EngineRequest request;
+    request.id = "sc" + std::to_string(i);
+    request.dataset = "bench";
+    request.exec.threads = 1;
+    if (i % 2 == 0) {
+      request.op = SkylineSpec{MolqAlgorithm::kRrb};
+    } else {
+      WhatIfSpec spec;
+      spec.algorithm = MolqAlgorithm::kRrb;
+      spec.topk = 2;
+      for (size_t v = 0; v < 8; ++v) {
+        std::vector<double> scale(3, 1.0);
+        scale[v % 3] = 0.5 + 0.25 * static_cast<double>(v);
+        spec.sweep.push_back(std::move(scale));
+      }
+      request.op = spec;
+    }
+    workload.push_back(std::move(request));
+  }
+  return workload;
+}
+
+/// Sums the deterministic answer count of one response (0 on error).
+size_t CountAnswers(const EngineResponse& resp) {
+  size_t answers = resp.answers.size();
+  for (const auto& ranking : resp.sweep_answers) {
+    answers += ranking.size();
+  }
+  return answers;
+}
+
+ShardedEngineOptions MakeOptions(int shards, int workers) {
+  ShardedEngineOptions options;
+  options.shards = shards;
+  options.engine.workers = workers;
+  return options;
+}
+
+}  // namespace
+
+BENCH(shard) {
+  const auto sizes = ParseSizes(ctx.flags().GetString("sizes", "24"));
+  const size_t requests =
+      static_cast<size_t>(ctx.flags().GetInt("requests", 240));
+  const size_t scatter_requests =
+      static_cast<size_t>(ctx.flags().GetInt("scatter_requests", 8));
+  const auto shard_counts = ParseSizes(ctx.flags().GetString("shards", "1,4"));
+  const int workers = static_cast<int>(ctx.flags().GetInt("workers", 8));
+  const size_t updates =
+      static_cast<size_t>(ctx.flags().GetInt("updates", 8));
+
+  for (const size_t n : sizes) {
+    const MolqQuery query = MakeQuery({n, n, n}, ctx.seed());
+    const auto local = MakeLocalWorkload(requests, ctx.seed());
+    const auto scatter = MakeScatterWorkload(scatter_requests);
+    const Summary* local_s1 = nullptr;
+    const Summary* scatter_s1 = nullptr;
+    for (const size_t shards : shard_counts) {
+      const std::string suffix =
+          "/s=" + std::to_string(shards) + "/n=" + std::to_string(n);
+      ShardedEngine engine(
+          MakeOptions(static_cast<int>(shards), workers));
+      engine.RegisterDataset("bench", query, kWorld);
+
+      size_t answers = 0;
+      size_t errors = 0;
+      BenchCase& c = ctx.Case(std::string("local") + suffix)
+                         .Param("shards", shards)
+                         .Param("n", n)
+                         .Param("requests", requests)
+                         .Param("workers", static_cast<int64_t>(workers));
+      const Summary& wall = ctx.Measure(c, [&] {
+        std::vector<std::future<EngineResponse>> pending;
+        pending.reserve(local.size());
+        for (const EngineRequest& request : local) {
+          pending.push_back(engine.HandleAsync(request));
+        }
+        answers = 0;
+        errors = 0;
+        for (auto& f : pending) {
+          const EngineResponse resp = f.get();
+          if (resp.status != ServeStatus::kOk) {
+            ++errors;
+            continue;
+          }
+          answers += CountAnswers(resp);
+        }
+        Keep(answers);
+      });
+      c.Metric("answers", static_cast<double>(answers));
+      c.Metric("errors", static_cast<double>(errors));
+      c.Derived("rps", static_cast<double>(requests) / wall.median);
+      if (local_s1 == nullptr) {
+        local_s1 = &wall;
+      } else {
+        c.Derived("speedup_vs_s1", local_s1->median / wall.median);
+      }
+
+      size_t scatter_answers = 0;
+      size_t scatter_errors = 0;
+      BenchCase& sc = ctx.Case(std::string("scatter") + suffix)
+                          .Param("shards", shards)
+                          .Param("n", n)
+                          .Param("requests", scatter_requests);
+      const Summary& scatter_wall = ctx.Measure(sc, [&] {
+        scatter_answers = 0;
+        scatter_errors = 0;
+        for (const EngineRequest& request : scatter) {
+          const EngineResponse resp = engine.Handle(request);
+          if (resp.status != ServeStatus::kOk) {
+            ++scatter_errors;
+            continue;
+          }
+          scatter_answers += CountAnswers(resp);
+        }
+        Keep(scatter_answers);
+      });
+      sc.Metric("answers", static_cast<double>(scatter_answers));
+      sc.Metric("errors", static_cast<double>(scatter_errors));
+      if (scatter_s1 == nullptr) {
+        scatter_s1 = &scatter_wall;
+      } else {
+        sc.Derived("speedup_vs_s1", scatter_s1->median / scatter_wall.median);
+      }
+
+      // Mutation replication: `updates` insert/delete pairs applied
+      // synchronously (the state returns to the baseline each repetition,
+      // so the patch counters are deterministic). Every mutation reaches
+      // every shard — this case prices that fan-out.
+      BenchCase& m = ctx.Case(std::string("mutate") + suffix)
+                         .Param("shards", shards)
+                         .Param("n", n)
+                         .Param("updates", updates);
+      size_t applied = 0;
+      size_t recomputed = 0;
+      ctx.Measure(m, [&] {
+        applied = 0;
+        recomputed = 0;
+        for (size_t u = 0; u < updates; ++u) {
+          SiteMutation mutation;
+          mutation.layer = static_cast<int32_t>(u % query.sets.size());
+          mutation.location =
+              Point{kWorld.min_x + 101.0 + 37.0 * static_cast<double>(u),
+                    kWorld.min_y + 211.0 + 53.0 * static_cast<double>(u)};
+          for (const MutationKind kind :
+               {MutationKind::kInsert, MutationKind::kDelete}) {
+            mutation.kind = kind;
+            EngineRequest request;
+            request.id = "m" + std::to_string(u);
+            request.dataset = "bench";
+            request.op = mutation;
+            const EngineResponse resp = engine.Handle(request);
+            if (resp.status == ServeStatus::kOk) {
+              ++applied;
+              recomputed += resp.mutation.recomputed_cells;
+            }
+          }
+        }
+        Keep(applied);
+      });
+      m.Metric("applied", static_cast<double>(applied));
+      m.Metric("recomputed_cells", static_cast<double>(recomputed));
+    }
+  }
+}
+
+}  // namespace movd::bench
+
+MOVD_BENCH_MAIN("shard")

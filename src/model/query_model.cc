@@ -54,6 +54,27 @@ bool SkylineOrderBefore(const SiteCandidate& a, const SiteCandidate& b) {
   return GroupBefore(a.group, b.group);
 }
 
+void SkylineFilterInPlace(std::vector<SiteCandidate>* candidates,
+                          uint64_t* dominance_tests) {
+  // SkylineOrderBefore places every dominator before what it dominates, so
+  // one forward scan comparing only against retained members is complete.
+  std::sort(candidates->begin(), candidates->end(), SkylineOrderBefore);
+  std::vector<SiteCandidate> kept;
+  kept.reserve(candidates->size());
+  for (SiteCandidate& c : *candidates) {
+    bool dominated = false;
+    for (const SiteCandidate& s : kept) {
+      if (dominance_tests != nullptr) ++*dominance_tests;
+      if (Dominates(s.criteria, c.criteria)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(std::move(c));
+  }
+  *candidates = std::move(kept);
+}
+
 namespace {
 
 Status CheckRing(const Polygon& ring, const char* what,

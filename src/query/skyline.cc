@@ -19,20 +19,8 @@ SkylineResult SkylineFromMovd(const MolqQuery& query, const Movd& movd,
   if (result.status != StatusCode::kOk) return result;
   result.candidates = candidates.size();
 
-  // SkylineOrderBefore places every dominator before what it dominates, so
-  // one forward scan comparing only against retained members is complete.
-  std::sort(candidates.begin(), candidates.end(), SkylineOrderBefore);
-  for (SiteCandidate& c : candidates) {
-    bool dominated = false;
-    for (const SiteCandidate& s : result.skyline) {
-      ++result.dominance_tests;
-      if (Dominates(s.criteria, c.criteria)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) result.skyline.push_back(std::move(c));
-  }
+  SkylineFilterInPlace(&candidates, &result.dominance_tests);
+  result.skyline = std::move(candidates);
   span.Counter("skyline", static_cast<int64_t>(result.skyline.size()));
   span.Counter("dominance_tests",
                static_cast<int64_t>(result.dominance_tests));

@@ -1,0 +1,80 @@
+#include "serve/engine_api.h"
+
+namespace movd {
+
+ServeQueryKind EngineRequestKind(const EngineRequest& request) {
+  struct Visitor {
+    ServeQueryKind operator()(const SolveSpec&) const {
+      return ServeQueryKind::kMolq;
+    }
+    ServeQueryKind operator()(const SkylineSpec&) const {
+      return ServeQueryKind::kSkyline;
+    }
+    ServeQueryKind operator()(const DiverseSpec&) const {
+      return ServeQueryKind::kDiverse;
+    }
+    ServeQueryKind operator()(const ConstrainSpec&) const {
+      return ServeQueryKind::kConstrained;
+    }
+    ServeQueryKind operator()(const WhatIfSpec&) const {
+      return ServeQueryKind::kWhatIf;
+    }
+    ServeQueryKind operator()(const SiteMutation&) const {
+      return ServeQueryKind::kMolq;
+    }
+  };
+  return std::visit(Visitor{}, request.op);
+}
+
+bool IsMutation(const EngineRequest& request) {
+  return std::holds_alternative<SiteMutation>(request.op);
+}
+
+ServeRequest FlattenRequest(const EngineRequest& request) {
+  ServeRequest flat;
+  flat.id = request.id;
+  flat.dataset = request.dataset;
+  flat.layers = request.layers;
+  flat.epsilon = request.epsilon;
+  flat.exec = request.exec;
+  flat.deadline_ms = request.deadline_ms;
+  flat.use_cache = request.use_cache;
+  flat.cost_units = request.cost_units;
+  struct Visitor {
+    ServeRequest* flat;
+    void operator()(const SolveSpec& op) const {
+      flat->kind = ServeQueryKind::kMolq;
+      flat->algorithm = op.algorithm;
+      flat->topk = op.topk;
+    }
+    void operator()(const SkylineSpec& op) const {
+      flat->kind = ServeQueryKind::kSkyline;
+      flat->algorithm = op.algorithm;
+    }
+    void operator()(const DiverseSpec& op) const {
+      flat->kind = ServeQueryKind::kDiverse;
+      flat->algorithm = op.algorithm;
+      flat->topk = op.topk;
+      flat->min_distance = op.min_distance;
+    }
+    void operator()(const ConstrainSpec& op) const {
+      flat->kind = ServeQueryKind::kConstrained;
+      flat->algorithm = MolqAlgorithm::kRrb;  // CONSTRAIN is RRB-only
+      flat->constraint = op.constraint;
+    }
+    void operator()(const WhatIfSpec& op) const {
+      flat->kind = ServeQueryKind::kWhatIf;
+      flat->algorithm = op.algorithm;
+      flat->topk = op.topk;
+      flat->sweep = op.sweep;
+    }
+    void operator()(const SiteMutation& op) const {
+      flat->mutate = true;
+      flat->mutation = op;
+    }
+  };
+  std::visit(Visitor{&flat}, request.op);
+  return flat;
+}
+
+}  // namespace movd

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <type_traits>
+#include <variant>
 #include <vector>
 
 #include "util/check.h"
@@ -82,6 +84,7 @@ constexpr ArgSpec kArgSpecs[] = {
     {kArgLayer, "layer", "layer=<i>"},
     {kArgX, "x", "x=<f>"},
     {kArgY, "y", "y=<f>"},
+    {kArgRect, "rect", "rect=x0,y0;x1,y1"},
 };
 
 const ArgSpec* FindArg(const std::string& key) {
@@ -115,7 +118,8 @@ std::string JoinHints(uint32_t mask, const char* sep) {
   return out;
 }
 
-/// Parses one key=value pair for the verb `d` into `request`. The
+/// Parses one key=value pair for the verb `d` into the flat accumulator
+/// `request` (the routing rect parses separately into the envelope). The
 /// registry's allowed_args mask has already admitted the key; this is the
 /// per-key typed parse and value validation.
 Status ParseVerbArg(const VerbDescriptor& d, const ArgSpec& arg,
@@ -275,20 +279,21 @@ const std::vector<VerbDescriptor>& VerbRegistry() {
   static const std::vector<VerbDescriptor>* const kRegistry =
       new std::vector<VerbDescriptor>{
           {"SOLVE", 1, ServeVerb::kSolve, ServeQueryKind::kMolq,
-           MutationKind::kInsert, 0, kCommonQuery | kArgAlgo | kArgK,
-           kArgDataset, 0, 1, "top-k optimal locations"},
+           MutationKind::kInsert, 0,
+           kCommonQuery | kArgAlgo | kArgK | kArgRect, kArgDataset, 0, 1,
+           "top-k optimal locations"},
           {"SKYLINE", 1, ServeVerb::kSolve, ServeQueryKind::kSkyline,
            MutationKind::kInsert, kCapRequiresOverlay,
            kCommonQuery | kArgAlgo, kArgDataset, 0, 1,
            "Pareto-optimal candidate sites"},
           {"DIVERSE", 1, ServeVerb::kSolve, ServeQueryKind::kDiverse,
            MutationKind::kInsert, kCapRequiresOverlay,
-           kCommonQuery | kArgAlgo | kArgK | kArgMinDist,
+           kCommonQuery | kArgAlgo | kArgK | kArgMinDist | kArgRect,
            kArgDataset | kArgK | kArgMinDist, 0, 1,
            "top-k with a minimum pairwise distance"},
           {"CONSTRAIN", 1, ServeVerb::kSolve, ServeQueryKind::kConstrained,
            MutationKind::kInsert, kCapRequiresOverlay,
-           kCommonQuery | kArgBoundary | kArgExclude, kArgDataset,
+           kCommonQuery | kArgBoundary | kArgExclude | kArgRect, kArgDataset,
            kArgBoundary | kArgExclude, 1,
            "optimum inside a polygon, minus exclusions (RRB only)"},
           {"WHATIF", 1, ServeVerb::kSolve, ServeQueryKind::kWhatIf,
@@ -371,8 +376,35 @@ std::string HelpJson() {
   return out;
 }
 
-Status ParseRequestLine(const std::string& line, ServeVerb* verb,
-                        ServeRequest* request) {
+namespace {
+
+/// Builds the typed per-verb payload from the registry row and the flat
+/// parse accumulator — the inverse of FlattenRequest, used only here so
+/// wire verbs and EngineOp alternatives stay paired in one place.
+EngineOp BuildOp(const VerbDescriptor& d, const ServeRequest& flat) {
+  if ((d.caps & kCapMutation) != 0) {
+    return flat.mutation;
+  }
+  switch (d.kind) {
+    case ServeQueryKind::kMolq:
+      return SolveSpec{flat.algorithm, flat.topk};
+    case ServeQueryKind::kSkyline:
+      return SkylineSpec{flat.algorithm};
+    case ServeQueryKind::kDiverse:
+      return DiverseSpec{flat.algorithm, flat.topk, flat.min_distance};
+    case ServeQueryKind::kConstrained:
+      return ConstrainSpec{flat.constraint};
+    case ServeQueryKind::kWhatIf:
+      return WhatIfSpec{flat.algorithm, flat.topk, flat.sweep};
+  }
+  MOVD_CHECK_MSG(false, "verb registry row with an unknown query kind");
+  return SolveSpec{};
+}
+
+}  // namespace
+
+Status ParseRequest(const std::string& line, ServeVerb* verb,
+                    EngineRequest* request) {
   const std::vector<std::string> words = SplitWords(line);
   if (words.empty()) {
     return Status::InvalidArgument("empty request line");
@@ -392,13 +424,16 @@ Status ParseRequestLine(const std::string& line, ServeVerb* verb,
     return Status::Ok();
   }
   *verb = d->verb;
-  *request = ServeRequest();
-  request->kind = d->kind;
-  request->cost_units = d->cost_units;
+  // Per-key parsing accumulates into the flat form (whose fields the
+  // ArgSpec table addresses); the typed request is assembled below once
+  // the row's requirements have all been checked.
+  ServeRequest flat;
+  flat.kind = d->kind;
   if ((d->caps & kCapMutation) != 0) {
-    request->mutate = true;
-    request->mutation.kind = d->mutation;
+    flat.mutate = true;
+    flat.mutation.kind = d->mutation;
   }
+  Rect routing_rect;
   uint32_t seen = 0;
   for (size_t i = 1; i < words.size(); ++i) {
     const size_t eq = words[i].find('=');
@@ -417,7 +452,9 @@ Status ParseRequestLine(const std::string& line, ServeVerb* verb,
       return Status::InvalidArgument(key + " applies to " +
                                      VerbsAllowing(arg->bit) + " only");
     }
-    const Status status = ParseVerbArg(*d, *arg, value, request);
+    const Status status =
+        arg->bit == kArgRect ? ParseRectSpec(value, &routing_rect)
+                             : ParseVerbArg(*d, *arg, value, &flat);
     if (!status.ok()) return status;
     seen |= arg->bit;
   }
@@ -430,7 +467,176 @@ Status ParseRequestLine(const std::string& line, ServeVerb* verb,
     return Status::InvalidArgument(name + " requires " +
                                    JoinHints(d->required_any, " and/or "));
   }
+  *request = EngineRequest();
+  request->id = flat.id;
+  request->dataset = flat.dataset;
+  request->layers = flat.layers;
+  request->epsilon = flat.epsilon;
+  request->exec = flat.exec;
+  request->deadline_ms = flat.deadline_ms;
+  request->use_cache = flat.use_cache;
+  request->cost_units = d->cost_units;
+  request->routing_rect = routing_rect;
+  request->op = BuildOp(*d, flat);
   return Status::Ok();
+}
+
+Status ParseRequestLine(const std::string& line, ServeVerb* verb,
+                        ServeRequest* request) {
+  EngineRequest typed;
+  const Status status = ParseRequest(line, verb, &typed);
+  if (!status.ok()) return status;
+  if (*verb == ServeVerb::kSolve) *request = FlattenRequest(typed);
+  return Status::Ok();
+}
+
+Status ParseRectSpec(const std::string& spec, Rect* out) {
+  const size_t semi = spec.find(';');
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+  if (semi == std::string::npos || spec.find(';', semi + 1) != std::string::npos) {
+    return Status::InvalidArgument("bad rect '" + spec +
+                                   "' (want x0,y0;x1,y1)");
+  }
+  const std::string lo = spec.substr(0, semi);
+  const std::string hi = spec.substr(semi + 1);
+  const size_t lc = lo.find(',');
+  const size_t hc = hi.find(',');
+  if (lc == std::string::npos || hc == std::string::npos ||
+      !ParseF64(lo.substr(0, lc), &x0) || !ParseF64(lo.substr(lc + 1), &y0) ||
+      !ParseF64(hi.substr(0, hc), &x1) || !ParseF64(hi.substr(hc + 1), &y1) ||
+      !std::isfinite(x0) || !std::isfinite(y0) || !std::isfinite(x1) ||
+      !std::isfinite(y1)) {
+    return Status::InvalidArgument("bad rect '" + spec +
+                                   "' (want x0,y0;x1,y1)");
+  }
+  if (x0 > x1 || y0 > y1) {
+    return Status::InvalidArgument("bad rect '" + spec +
+                                   "' (min corner exceeds max corner)");
+  }
+  *out = Rect(x0, y0, x1, y1);
+  return Status::Ok();
+}
+
+namespace {
+
+/// %.17g — enough digits that strtod reads back the exact double, so a
+/// formatted request parses to bit-identical coordinates.
+std::string F64Spec(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string PolygonSpecString(const Polygon& poly) {
+  std::string out;
+  for (const Point& p : poly.vertices()) {
+    if (!out.empty()) out += ";";
+    out += F64Spec(p.x) + "," + F64Spec(p.y);
+  }
+  return out;
+}
+
+const char* AlgoSpecName(MolqAlgorithm algorithm) {
+  switch (algorithm) {
+    case MolqAlgorithm::kSsc:
+      return "ssc";
+    case MolqAlgorithm::kRrb:
+      return "rrb";
+    case MolqAlgorithm::kMbrb:
+      return "mbrb";
+  }
+  return "rrb";
+}
+
+}  // namespace
+
+std::string FormatRequestLine(const EngineRequest& request) {
+  const char* name = std::visit(
+      [](const auto& op) -> const char* {
+        using T = std::decay_t<decltype(op)>;
+        if constexpr (std::is_same_v<T, SolveSpec>) return "SOLVE";
+        if constexpr (std::is_same_v<T, SkylineSpec>) return "SKYLINE";
+        if constexpr (std::is_same_v<T, DiverseSpec>) return "DIVERSE";
+        if constexpr (std::is_same_v<T, ConstrainSpec>) return "CONSTRAIN";
+        if constexpr (std::is_same_v<T, WhatIfSpec>) return "WHATIF";
+        if constexpr (std::is_same_v<T, SiteMutation>) {
+          return op.kind == MutationKind::kDelete ? "DELETE" : "INSERT";
+        }
+      },
+      request.op);
+  const VerbDescriptor* d = FindVerb(name);
+  MOVD_CHECK_MSG(d != nullptr, "every EngineOp alternative has a verb row");
+  // The flat form gives uniform access to the per-verb payload fields;
+  // emission below is gated by the registry row, so a field the verb does
+  // not take is never emitted even though the flat form carries it.
+  const ServeRequest flat = FlattenRequest(request);
+  std::string line = d->name;
+  line += " id=" + flat.id + " dataset=" + flat.dataset;
+  if ((d->allowed_args & kArgLayers) != 0 && !flat.layers.empty()) {
+    std::string list;
+    for (const int32_t layer : flat.layers) {
+      if (!list.empty()) list += ",";
+      list += std::to_string(layer);
+    }
+    line += " layers=" + list;
+  }
+  if ((d->allowed_args & kArgAlgo) != 0) {
+    line += std::string(" algo=") + AlgoSpecName(flat.algorithm);
+  }
+  if ((d->allowed_args & kArgK) != 0) {
+    line += " k=" + std::to_string(flat.topk);
+  }
+  if ((d->allowed_args & kArgMinDist) != 0) {
+    line += " min_dist=" + F64Spec(flat.min_distance);
+  }
+  if ((d->allowed_args & kArgBoundary) != 0 &&
+      !flat.constraint.boundary.Empty()) {
+    line += " boundary=" + PolygonSpecString(flat.constraint.boundary);
+  }
+  if ((d->allowed_args & kArgExclude) != 0) {
+    for (const Polygon& poly : flat.constraint.exclusions) {
+      line += " exclude=" + PolygonSpecString(poly);
+    }
+  }
+  if ((d->allowed_args & kArgSweep) != 0) {
+    std::string spec;
+    for (const std::vector<double>& vec : flat.sweep) {
+      if (!spec.empty()) spec += "|";
+      std::string v;
+      for (const double s : vec) {
+        if (!v.empty()) v += ",";
+        v += F64Spec(s);
+      }
+      spec += v;
+    }
+    line += " sweep=" + spec;
+  }
+  if ((d->allowed_args & kArgLayer) != 0) {
+    line += " layer=" + std::to_string(flat.mutation.layer);
+    line += " x=" + F64Spec(flat.mutation.location.x);
+    line += " y=" + F64Spec(flat.mutation.location.y);
+  }
+  if ((d->allowed_args & kArgEpsilon) != 0) {
+    line += " epsilon=" + F64Spec(flat.epsilon);
+  }
+  if ((d->allowed_args & kArgThreads) != 0) {
+    line += " threads=" + std::to_string(flat.exec.threads);
+  }
+  if ((d->allowed_args & kArgCache) != 0) {
+    line += std::string(" cache=") + (flat.use_cache ? "1" : "0");
+  }
+  if ((d->allowed_args & kArgDeadlineMs) != 0 && flat.deadline_ms > 0.0) {
+    line += " deadline_ms=" + F64Spec(flat.deadline_ms);
+  }
+  if ((d->allowed_args & kArgRect) != 0 && !request.routing_rect.Empty()) {
+    const Rect& r = request.routing_rect;
+    line += " rect=" + F64Spec(r.min_x) + "," + F64Spec(r.min_y) + ";" +
+            F64Spec(r.max_x) + "," + F64Spec(r.max_y);
+  }
+  return line;
 }
 
 Status ParsePolygonSpec(const std::string& spec, Polygon* out) {

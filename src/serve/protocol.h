@@ -15,10 +15,12 @@ namespace movd {
 ///
 ///   SOLVE id=<tok> dataset=<name> [layers=0,2] [algo=ssc|rrb|mbrb]
 ///         [k=1] [epsilon=1e-3] [deadline_ms=0] [threads=1] [cache=0|1]
+///         [rect=x0,y0;x1,y1]                              (protocol v3)
 ///   SKYLINE   id= dataset= [layers=] [algo=rrb|mbrb] [epsilon=] ...
-///   DIVERSE   id= dataset= k=<n> min_dist=<d> [layers=] [algo=rrb|mbrb] ...
+///   DIVERSE   id= dataset= k=<n> min_dist=<d> [layers=] [algo=rrb|mbrb]
+///             [rect=] ...
 ///   CONSTRAIN id= dataset= [boundary=<poly>] [exclude=<poly>]...
-///             [layers=] [epsilon=] ...            (RRB only; at least one
+///             [layers=] [epsilon=] [rect=] ...    (RRB only; at least one
 ///             of boundary=/exclude= required; exclude= may repeat)
 ///   WHATIF    id= dataset= sweep=<v>|<v>|... [k=1] [layers=] ...
 ///   INSERT    id= dataset= layer=<i> x=<f> y=<f>        (protocol v2)
@@ -30,7 +32,12 @@ namespace movd {
 ///   SHUTDOWN         -> stops the whole server
 ///
 /// <poly> is "x,y;x,y;x,y..." (>= 3 CCW vertices); <v> is one
-/// comma-separated scale factor per selected layer. The query-shape verbs
+/// comma-separated scale factor per selected layer. rect= is an optional
+/// locality hint on the shard-routable verbs (SOLVE/DIVERSE/CONSTRAIN): a
+/// sharded server routes the request to the shard region owning the
+/// rect's center (DESIGN.md §15). It never changes the answer — answers
+/// are bit-identical for any shard count — only which shard's cache and
+/// worker pool serve it. The query-shape verbs
 /// share SOLVE's common keys (minus algo restrictions above and k, which
 /// SKYLINE/CONSTRAIN reject) and all parse to ServeVerb::kSolve with
 /// ServeRequest::kind set — the serving loop treats every shape alike.
@@ -72,8 +79,9 @@ enum class ServeVerb {
 
 /// Version of the line protocol this build speaks. v1: the query verbs.
 /// v2: INSERT/DELETE mutations, HELP, the "version" response field, and
-/// UNSUPPORTED_VERB for unknown verbs.
-inline constexpr int kServeProtocolVersion = 2;
+/// UNSUPPORTED_VERB for unknown verbs. v3: the rect= routing hint on
+/// SOLVE/DIVERSE/CONSTRAIN.
+inline constexpr int kServeProtocolVersion = 3;
 
 /// Argument keys a verb may take, as bits (VerbDescriptor::allowed_args /
 /// required_args / required_any are masks of these).
@@ -94,6 +102,7 @@ enum ServeArg : uint32_t {
   kArgLayer = 1u << 13,
   kArgX = 1u << 14,
   kArgY = 1u << 15,
+  kArgRect = 1u << 16,
 };
 
 /// Capability flags of a verb.
@@ -138,15 +147,35 @@ const VerbDescriptor* FindVerb(const std::string& upper_name);
 /// derived entirely from VerbRegistry().
 std::string HelpJson();
 
-/// Parses one request line. On success fills `verb` (and, for
-/// solve-class verbs including mutations, `request`) and returns OK; on
-/// failure returns kInvalidRequest (malformed arguments) or
-/// kUnsupportedVerb (a verb not in the registry) with the problem in the
-/// status message. Verbs are case-insensitive; arguments are
-/// space-separated key=value pairs and unknown keys are rejected (a
+/// Parses one request line into the typed API form. On success fills
+/// `verb` (and, for solve-class verbs including mutations, `request` —
+/// envelope plus the per-verb EngineOp variant built from the registry
+/// row) and returns OK; on failure returns kInvalidRequest (malformed
+/// arguments) or kUnsupportedVerb (a verb not in the registry) with the
+/// problem in the status message. Verbs are case-insensitive; arguments
+/// are space-separated key=value pairs and unknown keys are rejected (a
 /// misspelled option must not silently fall back to a default).
+Status ParseRequest(const std::string& line, ServeVerb* verb,
+                    EngineRequest* request);
+
+/// Compat shim over ParseRequest for callers that want the flat execution
+/// form directly: identical parse, then FlattenRequest. The routing hint
+/// (rect=) is accepted and dropped — it only exists in the typed form.
 Status ParseRequestLine(const std::string& line, ServeVerb* verb,
                         ServeRequest* request);
+
+/// Parses a "x0,y0;x1,y1" rect spec (two finite corners, min <= max per
+/// axis) into `out` — the wire form of EngineRequest::routing_rect.
+Status ParseRectSpec(const std::string& spec, Rect* out);
+
+/// Formats a typed request as one wire line (no trailing newline) — the
+/// inverse of ParseRequest, and what the typed client library
+/// (serve/client.h) sends. Argument emission is gated by the verb's
+/// registry row (a key the registry does not allow is never emitted) and
+/// doubles print with %.17g, so ParseRequest(FormatRequestLine(r))
+/// rebuilds `r` exactly for any request that satisfies its verb's
+/// requirements (e.g. a CONSTRAIN with a boundary or an exclusion).
+std::string FormatRequestLine(const EngineRequest& request);
 
 /// Parses a "x,y;x,y;x,y..." polygon spec (>= 3 vertices, finite doubles)
 /// into a CCW Polygon. Orientation/area checks are NOT applied here — the

@@ -215,6 +215,14 @@ QueryEngine::Dataset* QueryEngine::FindDataset(const std::string& name) const {
   return it == datasets_.end() ? nullptr : it->second.get();
 }
 
+EngineResponse QueryEngine::Handle(const EngineRequest& request) {
+  return Solve(FlattenRequest(request));
+}
+
+std::future<EngineResponse> QueryEngine::HandleAsync(EngineRequest request) {
+  return SubmitAsync(FlattenRequest(request));
+}
+
 ServeResponse QueryEngine::Solve(const ServeRequest& request) {
   Stopwatch watch;
   ServeResponse resp;
@@ -758,6 +766,9 @@ ServeResponse QueryEngine::SolveInternal(const ServeRequest& request,
   CandidateOptions candidate_options;
   candidate_options.epsilon = request.epsilon;
   candidate_options.exec = molq.exec;
+  // The sharded router's skyline scatter restricts each shard to the
+  // combinations it owns; unset (the normal case) solves them all.
+  candidate_options.anchor_filter = request.candidate_filter;
 
   phase_watch = Stopwatch();
   {

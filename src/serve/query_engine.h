@@ -15,6 +15,7 @@
 #include "model/query_model.h"
 #include "model/update_model.h"
 #include "serve/artifact_cache.h"
+#include "serve/engine_api.h"
 #include "serve/metrics.h"
 #include "util/exec_options.h"
 #include "util/mutex.h"
@@ -23,121 +24,6 @@
 #include "util/thread_pool.h"
 
 namespace movd {
-
-/// Which query shape a request evaluates (DESIGN.md §13). All shapes run
-/// against the same cached MOVD artifacts; only the per-request evaluation
-/// differs. SSC is a plain-MOLQ-only baseline, so every shape other than
-/// kMolq rejects algo=ssc, and kConstrained additionally rejects mbrb (the
-/// constraint clipper needs real regions).
-enum class ServeQueryKind {
-  kMolq,         ///< SOLVE: top-k optimal locations
-  kSkyline,      ///< SKYLINE: Pareto-optimal candidate sites
-  kDiverse,      ///< DIVERSE: top-k with a minimum pairwise distance
-  kConstrained,  ///< CONSTRAIN: optimum inside a polygon, minus exclusions
-  kWhatIf,       ///< WHATIF: batched rankings under scaled type weights
-};
-
-/// One immutable version of a registered dataset (DESIGN.md §14). Every
-/// request pins exactly one snapshot for its whole evaluation, so its
-/// answer is bit-identical under concurrent mutation; a mutation copies
-/// the current snapshot, applies itself, and publishes the copy as
-/// version + 1. Snapshots are shared out as shared_ptr<const> and never
-/// mutated after publication.
-struct DatasetSnapshot {
-  uint64_t version = 0;    ///< monotonic per dataset, starting at 1
-  MolqQuery query;         ///< the object sets at this version
-  Rect world;              ///< search space (fixed across versions)
-  std::string weight_tag;  ///< weight-mode component of cache keys
-};
-
-/// Counters for one applied mutation (the body of an INSERT/DELETE
-/// response).
-struct MutationStats {
-  size_t recomputed_cells = 0;    ///< layer cells rebuilt by the patch
-  size_t patched_artifacts = 0;   ///< cached artifacts patched in place
-  size_t dropped_artifacts = 0;   ///< cached artifacts invalidated instead
-  bool full_rebuild = false;      ///< incremental path unavailable/stalled
-};
-
-/// One MOLQ/top-k serving request. `layers` selects a subset of the
-/// dataset's object sets (empty = all); overlapping requests that share
-/// layers share cached artifacts.
-struct ServeRequest {
-  std::string id = "-";        ///< client-chosen id, echoed in the response
-  std::string dataset;         ///< registered dataset name
-  std::vector<int32_t> layers; ///< dataset layer indices; empty = all
-  MolqAlgorithm algorithm = MolqAlgorithm::kRrb;
-  double epsilon = 1e-3;
-  size_t topk = 1;
-  /// Per-request execution knobs (the same ExecOptions the core pipeline
-  /// takes). exec.threads is per-request pipeline parallelism — the answer
-  /// is bit-identical for every value. exec.trace (when non-null) traces
-  /// this request. exec.cancel and exec.weighted_grid_resolution are
-  /// overwritten by the engine (deadline token / engine-wide resolution).
-  ExecOptions exec;
-  /// Deadline budget in milliseconds, measured from the moment the engine
-  /// picks the request up (Solve entry / queue dequeue). <= 0 means none.
-  /// A fired deadline yields kDeadlineExceeded with no answer — never a
-  /// partial one.
-  double deadline_ms = 0.0;
-  /// When false the request bypasses the artifact cache entirely (cold
-  /// rebuild; used by the load generator to measure the cold path through
-  /// the same engine).
-  bool use_cache = true;
-  /// Query shape; the fields below it apply only to the shapes noted.
-  ServeQueryKind kind = ServeQueryKind::kMolq;
-  /// kDiverse: minimum pairwise distance between selected sites (>= 0).
-  double min_distance = 0.0;
-  /// kConstrained: the feasible-set polygons (ValidateConstraint'd before
-  /// evaluation; an invalid constraint is an error response, not a crash).
-  QueryConstraint constraint;
-  /// kWhatIf: one scale vector per sweep entry, each with exactly one
-  /// entry per SELECTED layer (in ascending layer order). The engine pads
-  /// them to full-dataset vectors with the identity adjustment.
-  std::vector<std::vector<double>> sweep;
-  /// Mutation requests (INSERT/DELETE): when `mutate` is set the request
-  /// takes the engine's mutation path (apply `mutation`, publish a new
-  /// snapshot version) instead of the solver; the query fields above are
-  /// ignored.
-  bool mutate = false;
-  SiteMutation mutation;
-  /// Admission-control cost class, set by the protocol parser from the
-  /// verb registry (queries 1, mutations heavier). Clamped to >= 1.
-  int cost_units = 1;
-};
-
-/// One ranked answer: the location, its cost, and the winning object
-/// combination (PoiRef::set is the DATASET layer index).
-struct ServeAnswer {
-  Point location;
-  double cost = 0.0;
-  std::vector<PoiRef> group;
-  /// Per-member criteria vector (skyline/diverse/constrained/what-if
-  /// answers); empty for plain MOLQ, and omitted from the JSON then, so
-  /// MOLQ response bytes are unchanged by the query-algebra shapes.
-  std::vector<double> criteria;
-};
-
-/// The engine's reply to one request.
-struct ServeResponse {
-  ServeStatus status = ServeStatus::kOk;
-  std::string id = "-";
-  std::string error;                 ///< human-readable detail on non-kOk
-  std::vector<ServeAnswer> answers;  ///< ascending by cost; empty on error
-  /// kWhatIf only: one ranking per sweep vector, in request order
-  /// (`answers` stays empty — a sweep has no single answer list).
-  std::vector<std::vector<ServeAnswer>> sweep_answers;
-  bool cache_hit = false;  ///< overlay artifact came straight from cache
-  double seconds = 0.0;    ///< service time (solve, excluding queue wait)
-  /// The dataset snapshot this response was computed against (set on OK
-  /// responses): the version a query pinned, or the version a mutation
-  /// published. Response formatting resolves group refs through it, so a
-  /// response never races a concurrent mutation.
-  std::shared_ptr<const DatasetSnapshot> snapshot;
-  uint64_t version = 0;     ///< snapshot->version (0 when no snapshot)
-  bool is_mutation = false; ///< response body is mutation stats, not answers
-  MutationStats mutation;   ///< filled for mutation responses
-};
 
 struct QueryEngineOptions {
   /// Artifact-cache budget in bytes (ArtifactBytes accounting). 0 disables
@@ -185,13 +71,22 @@ struct QueryEngineOptions {
 /// versions go cold and age out through the LRU byte accounting while
 /// in-flight queries pinned to them keep answering bit-identically.
 ///
+/// The typed front door is Engine::Handle/HandleAsync (serve/engine_api.h);
+/// Solve/SubmitAsync on the flat execution form stay public for the
+/// engine's own tests and the sharded router (serve/shard.h), which
+/// pre-flattens requests to set internal routing fields.
+///
 /// Thread-safety: RegisterDataset must finish before serving starts;
 /// Solve/SubmitAsync (queries and mutations alike) are then safe from any
 /// number of threads. Mutations serialize per dataset.
-class QueryEngine {
+class QueryEngine : public Engine {
  public:
+  /// Compat alias: the struct moved to serve/engine_api.h so ShardedEngine
+  /// can speak it through the Engine interface.
+  using WarmLoadResult = ::movd::WarmLoadResult;
+
   explicit QueryEngine(const QueryEngineOptions& options = {});
-  ~QueryEngine();
+  ~QueryEngine() override;
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -201,19 +96,26 @@ class QueryEngine {
   /// publishes a fresh snapshot whose version is newer than any prior one
   /// (never reusing a version, so stale cached artifacts cannot collide).
   void RegisterDataset(const std::string& name, MolqQuery query,
-                       const Rect& world) MOVD_EXCLUDES(datasets_mu_);
+                       const Rect& world) override MOVD_EXCLUDES(datasets_mu_);
 
   /// The dataset's current snapshot; null when unknown. The pointer stays
   /// valid (and immutable) for as long as the caller holds it, however
   /// many mutations publish newer versions meanwhile.
   std::shared_ptr<const DatasetSnapshot> dataset_snapshot(
-      const std::string& name) const;
+      const std::string& name) const override;
 
-  /// Solves one request synchronously on the calling thread (mutation
+  /// Serves one typed request synchronously: flatten through the single
+  /// choke point, then Solve.
+  EngineResponse Handle(const EngineRequest& request) override;
+
+  /// Enqueues one typed request (FlattenRequest + SubmitAsync).
+  std::future<EngineResponse> HandleAsync(EngineRequest request) override;
+
+  /// Solves one flat request synchronously on the calling thread (mutation
   /// requests apply + publish instead). The deadline clock starts now.
   ServeResponse Solve(const ServeRequest& request);
 
-  /// Enqueues one request onto the engine's worker pool; the returned
+  /// Enqueues one flat request onto the engine's worker pool; the returned
   /// future resolves when a worker has solved it. The deadline clock
   /// starts when a worker dequeues the request, so queueing delay does not
   /// eat the solve budget (the line protocol reports total time anyway).
@@ -225,22 +127,17 @@ class QueryEngine {
 
   const ServeMetrics& metrics() const { return metrics_; }
   ArtifactCache::Stats cache_stats() const { return cache_.stats(); }
-  std::string MetricsJson() const { return metrics_.Json(cache_.stats()); }
-  void DumpMetrics(std::FILE* out) const {
+  std::string MetricsJson() const override {
+    return metrics_.Json(cache_.stats());
+  }
+  void DumpMetrics(std::FILE* out) const override {
     metrics_.DumpTable(out, cache_.stats());
   }
 
   /// Warm start: persists every resident artifact to `dir` (created if
   /// missing) as MOVD files plus a manifest mapping keys to files.
   /// kIoError (with the failing path in the message) on I/O failure.
-  Status SaveCache(const std::string& dir) const;
-
-  /// Outcome of a warm-start load.
-  struct WarmLoadResult {
-    size_t loaded = 0;  ///< artifacts inserted into the cache
-    size_t failed = 0;  ///< artifacts skipped (corrupt/truncated/missing)
-    Status status;      ///< non-OK when the manifest itself was bad
-  };
+  Status SaveCache(const std::string& dir) const override;
 
   /// Loads a SaveCache snapshot back into the cache. Corrupt or truncated
   /// artifact files are skipped and counted in `failed` — a damaged
@@ -248,7 +145,7 @@ class QueryEngine {
   /// (every file is validated by the movd_file header/record checks).
   /// Keys carry dataset versions, so a snapshot saved after mutations only
   /// warms a server whose datasets reach the same versions again.
-  WarmLoadResult LoadCache(const std::string& dir);
+  WarmLoadResult LoadCache(const std::string& dir) override;
 
  private:
   struct Dataset {

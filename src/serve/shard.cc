@@ -1,0 +1,423 @@
+#include "serve/shard.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "serve/protocol.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace movd {
+namespace {
+
+/// Grid cell along one axis: floor((v - lo) / span * n), clamped into
+/// [0, n) so the map is total (points outside the world, NaN, or a
+/// degenerate axis all land in a well-defined cell).
+int AxisCell(double v, double lo, double hi, int n) {
+  if (n <= 1 || !(hi > lo)) return 0;
+  const double f = std::floor((v - lo) / (hi - lo) * static_cast<double>(n));
+  if (!(f > 0.0)) return 0;  // negatives and NaN
+  if (f >= static_cast<double>(n)) return n - 1;
+  return static_cast<int>(f);
+}
+
+void FnvMix(uint64_t* h, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= bytes[i];
+    *h *= 1099511628211ull;
+  }
+}
+
+void FnvMixU64(uint64_t* h, uint64_t v) { FnvMix(h, &v, sizeof(v)); }
+
+void FnvMixF64(uint64_t* h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  FnvMixU64(h, bits);
+}
+
+/// The MBR center of a CONSTRAIN request's rings — the natural routing
+/// point of a spatially constrained query when no rect= hint was given.
+/// Empty when the request carries no ring vertices.
+Rect ConstraintMbr(const QueryConstraint& constraint) {
+  Rect mbr;
+  for (const Point& v : constraint.boundary.vertices()) mbr.Expand(v);
+  for (const Polygon& excl : constraint.exclusions) {
+    for (const Point& v : excl.vertices()) mbr.Expand(v);
+  }
+  return mbr;
+}
+
+}  // namespace
+
+ShardGrid MakeShardGrid(int shards) {
+  MOVD_CHECK_MSG(shards >= 1, "a shard grid needs at least one shard");
+  ShardGrid grid;
+  // Largest divisor <= sqrt(shards) becomes the row count, so the grid is
+  // as square as the factorisation allows (4 -> 2x2, 6 -> 3x2, 7 -> 7x1).
+  for (int d = 1; d * d <= shards; ++d) {
+    if (shards % d == 0) grid.ny = d;
+  }
+  grid.nx = shards / grid.ny;
+  return grid;
+}
+
+Rect ShardRegionRect(const Rect& world, const ShardGrid& grid, int index) {
+  MOVD_CHECK_MSG(index >= 0 && index < grid.nx * grid.ny,
+                 "shard index outside its grid");
+  const int col = index % grid.nx;
+  const int row = index / grid.nx;
+  const double sx = (world.max_x - world.min_x) / grid.nx;
+  const double sy = (world.max_y - world.min_y) / grid.ny;
+  // Outer edges reuse the world bounds exactly, so the cells tile the
+  // world with no floating-point sliver at the far corner.
+  return Rect(col == 0 ? world.min_x : world.min_x + col * sx,
+              row == 0 ? world.min_y : world.min_y + row * sy,
+              col == grid.nx - 1 ? world.max_x : world.min_x + (col + 1) * sx,
+              row == grid.ny - 1 ? world.max_y : world.min_y + (row + 1) * sy);
+}
+
+int OwningShard(const Rect& world, const ShardGrid& grid, const Point& p) {
+  const int col = AxisCell(p.x, world.min_x, world.max_x, grid.nx);
+  const int row = AxisCell(p.y, world.min_y, world.max_y, grid.ny);
+  return row * grid.nx + col;
+}
+
+Rect MutationInfluenceRect(const SiteMutation& mutation, const Rect& world) {
+  // Full-replica topology: every shard answers global queries from its
+  // own copy, so every mutation influences every region. A partitioned-
+  // artifact topology would narrow this to the mutated cell's
+  // neighbourhood; the router already intersects against it.
+  (void)mutation;
+  return world;
+}
+
+int AffinityShard(const ServeRequest& request, int shards) {
+  MOVD_CHECK_MSG(shards >= 1, "affinity routing needs at least one shard");
+  uint64_t h = 14695981039346656037ull;
+  FnvMix(&h, request.dataset.data(), request.dataset.size());
+  FnvMixU64(&h, static_cast<uint64_t>(request.kind));
+  for (const int32_t layer : request.layers) {
+    FnvMixU64(&h, static_cast<uint64_t>(layer));
+  }
+  FnvMixU64(&h, static_cast<uint64_t>(request.algorithm));
+  FnvMixU64(&h, static_cast<uint64_t>(request.topk));
+  FnvMixF64(&h, request.min_distance);
+  FnvMixF64(&h, request.epsilon);
+  return static_cast<int>(h % static_cast<uint64_t>(shards));
+}
+
+ShardedEngine::ShardedEngine(const ShardedEngineOptions& options) {
+  const int shards = options.shards < 1 ? 1 : options.shards;
+  grid_ = MakeShardGrid(shards);
+  QueryEngineOptions per_shard = options.engine;
+  per_shard.cache_bytes =
+      options.engine.cache_bytes / static_cast<size_t>(shards);
+  const int total_workers = ResolveThreads(options.engine.workers);
+  per_shard.workers = total_workers / shards < 1 ? 1 : total_workers / shards;
+  if (options.engine.admission_cost_limit > 0) {
+    const size_t slice =
+        options.engine.admission_cost_limit / static_cast<size_t>(shards);
+    per_shard.admission_cost_limit = slice < 1 ? 1 : slice;
+  }
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<QueryEngine>(per_shard));
+  }
+}
+
+void ShardedEngine::RegisterDataset(const std::string& name, MolqQuery query,
+                                    const Rect& world) {
+  for (const std::unique_ptr<QueryEngine>& shard : shards_) {
+    shard->RegisterDataset(name, query, world);
+  }
+  MutexLock lock(worlds_mu_);
+  worlds_[name] = world;
+}
+
+std::shared_ptr<const DatasetSnapshot> ShardedEngine::dataset_snapshot(
+    const std::string& name) const {
+  return shards_[0]->dataset_snapshot(name);
+}
+
+bool ShardedEngine::WorldOf(const std::string& dataset, Rect* world) const {
+  MutexLock lock(worlds_mu_);
+  const auto it = worlds_.find(dataset);
+  if (it == worlds_.end()) return false;
+  *world = it->second;
+  return true;
+}
+
+int ShardedEngine::RouteShard(const ServeRequest& request) const {
+  const int shards = shard_count();
+  Rect world;
+  if (!WorldOf(request.dataset, &world)) return 0;
+  if (request.kind == ServeQueryKind::kConstrained) {
+    const Rect mbr = ConstraintMbr(request.constraint);
+    if (!mbr.Empty()) return OwningShard(world, grid_, mbr.Center());
+  }
+  return AffinityShard(request, shards);
+}
+
+EngineResponse ShardedEngine::Handle(const EngineRequest& request) {
+  return HandleAsync(request).get();
+}
+
+std::future<EngineResponse> ShardedEngine::HandleAsync(EngineRequest request) {
+  // One replica: forward everything verbatim — this is the byte-for-byte
+  // compatibility mode the determinism sweep anchors on.
+  if (shards_.size() == 1) return shards_[0]->HandleAsync(std::move(request));
+
+  ServeRequest flat = FlattenRequest(request);
+  if (flat.mutate) {
+    return std::async(std::launch::deferred,
+                      [this, flat = std::move(flat)]() -> EngineResponse {
+                        return HandleMutation(flat);
+                      });
+  }
+  Rect world;
+  if (!WorldOf(flat.dataset, &world)) {
+    // Unknown dataset: any shard reports kNotFound identically.
+    return shards_[0]->SubmitAsync(std::move(flat));
+  }
+
+  if (flat.kind == ServeQueryKind::kSkyline) {
+    // Scatter: each shard solves only the candidate combinations whose
+    // anchor its region owns. Sub-requests start on the shard pools NOW;
+    // the deferred gather runs when the caller collects the future.
+    const Stopwatch watch;
+    auto subs = std::make_shared<std::vector<std::future<ServeResponse>>>();
+    subs->reserve(shards_.size());
+    for (int s = 0; s < shard_count(); ++s) {
+      ServeRequest sub = flat;
+      sub.candidate_filter = [world, grid = grid_, s](const Point& anchor) {
+        return OwningShard(world, grid, anchor) == s;
+      };
+      subs->push_back(shards_[static_cast<size_t>(s)]->SubmitAsync(
+          std::move(sub)));
+    }
+    return std::async(std::launch::deferred,
+                      [this, flat = std::move(flat), subs,
+                       watch]() -> EngineResponse {
+                        return GatherSkyline(flat, *subs, watch);
+                      });
+  }
+
+  if (flat.kind == ServeQueryKind::kWhatIf) {
+    // Scatter: contiguous sweep-vector slices, one per shard (vectors are
+    // evaluated independently, so concatenation is exact).
+    const Stopwatch watch;
+    const size_t vectors = flat.sweep.size();
+    const size_t shard_n = shards_.size();
+    auto subs = std::make_shared<std::vector<std::future<ServeResponse>>>();
+    subs->reserve(shard_n);
+    for (size_t s = 0; s < shard_n; ++s) {
+      const size_t begin = s * vectors / shard_n;
+      const size_t end = (s + 1) * vectors / shard_n;
+      if (begin == end) continue;
+      ServeRequest sub = flat;
+      sub.sweep.assign(flat.sweep.begin() + static_cast<ptrdiff_t>(begin),
+                       flat.sweep.begin() + static_cast<ptrdiff_t>(end));
+      subs->push_back(shards_[s]->SubmitAsync(std::move(sub)));
+    }
+    return std::async(std::launch::deferred,
+                      [this, flat = std::move(flat), subs,
+                       watch]() -> EngineResponse {
+                        return GatherWhatIf(flat, *subs, watch);
+                      });
+  }
+
+  // Point/rect-local verbs run whole on one shard: the rect hint's owner,
+  // else RouteShard's constraint-center / affinity choice.
+  const int target =
+      !request.routing_rect.Empty()
+          ? OwningShard(world, grid_, request.routing_rect.Center())
+          : RouteShard(flat);
+  return shards_[static_cast<size_t>(target)]->SubmitAsync(std::move(flat));
+}
+
+ServeResponse ShardedEngine::HandleMutation(const ServeRequest& flat) {
+  MutexLock lock(mutate_mu_);
+  Rect world;
+  if (!WorldOf(flat.dataset, &world)) return shards_[0]->Solve(flat);
+  const Rect influence = MutationInfluenceRect(flat.mutation, world);
+  const int owner = OwningShard(world, grid_, flat.mutation.location);
+  ServeResponse out;
+  bool have_any = false;
+  for (int i = 0; i < shard_count(); ++i) {
+    if (!ShardRegionRect(world, grid_, i).Intersects(influence)) continue;
+    ServeResponse resp = shards_[static_cast<size_t>(i)]->Solve(flat);
+    // Replicas are identical and validation is deterministic, so every
+    // intersecting shard returns the same outcome; report the owner's.
+    if (i == owner || !have_any) {
+      out = std::move(resp);
+      have_any = true;
+    }
+  }
+  MOVD_CHECK_MSG(have_any,
+                 "a mutation's influence rect intersected no shard region");
+  return out;
+}
+
+ServeResponse ShardedEngine::GatherSkyline(
+    const ServeRequest& flat, std::vector<std::future<ServeResponse>>& subs,
+    const Stopwatch& watch) {
+  std::vector<ServeResponse> parts;
+  parts.reserve(subs.size());
+  for (std::future<ServeResponse>& f : subs) parts.push_back(f.get());
+  for (const ServeResponse& part : parts) {
+    if (part.status != ServeStatus::kOk) return part;
+  }
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i].version != parts[0].version) {
+      // A mutation landed between the sub-requests' snapshot pins. Any
+      // one replica's answer for one version is the global answer, so
+      // re-run the un-split request on the affinity shard — bounded and
+      // deterministic.
+      return shards_[static_cast<size_t>(AffinityShard(
+                         flat, shard_count()))]
+          ->Solve(flat);
+    }
+  }
+  ServeResponse out;
+  out.status = ServeStatus::kOk;
+  out.id = flat.id;
+  out.snapshot = parts[0].snapshot;
+  out.version = parts[0].version;
+  out.cache_hit = true;
+  std::vector<SiteCandidate> candidates;
+  for (ServeResponse& part : parts) {
+    out.cache_hit = out.cache_hit && part.cache_hit;
+    for (ServeAnswer& answer : part.answers) {
+      SiteCandidate c;
+      c.location = answer.location;
+      c.cost = answer.cost;
+      c.criteria = std::move(answer.criteria);
+      c.group = std::move(answer.group);
+      candidates.push_back(std::move(c));
+    }
+  }
+  // Dominance is transitive, so filtering the union of per-shard skylines
+  // yields exactly the skyline of all candidates, in the same canonical
+  // order as the unsharded evaluator (both run SkylineFilterInPlace).
+  SkylineFilterInPlace(&candidates, nullptr);
+  out.answers.reserve(candidates.size());
+  for (SiteCandidate& c : candidates) {
+    ServeAnswer answer;
+    answer.location = c.location;
+    answer.cost = c.cost;
+    answer.criteria = std::move(c.criteria);
+    answer.group = std::move(c.group);
+    out.answers.push_back(std::move(answer));
+  }
+  out.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+ServeResponse ShardedEngine::GatherWhatIf(
+    const ServeRequest& flat, std::vector<std::future<ServeResponse>>& subs,
+    const Stopwatch& watch) {
+  std::vector<ServeResponse> parts;
+  parts.reserve(subs.size());
+  for (std::future<ServeResponse>& f : subs) parts.push_back(f.get());
+  for (const ServeResponse& part : parts) {
+    if (part.status != ServeStatus::kOk) return part;
+  }
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i].version != parts[0].version) {
+      return shards_[static_cast<size_t>(AffinityShard(
+                         flat, shard_count()))]
+          ->Solve(flat);
+    }
+  }
+  ServeResponse out;
+  out.status = ServeStatus::kOk;
+  out.id = flat.id;
+  if (!parts.empty()) {
+    out.snapshot = parts[0].snapshot;
+    out.version = parts[0].version;
+  }
+  out.cache_hit = true;
+  out.sweep_answers.reserve(flat.sweep.size());
+  // Slices were dispatched in shard (= sweep) order, so concatenating the
+  // per-vector rankings restores the request's vector order exactly.
+  for (ServeResponse& part : parts) {
+    out.cache_hit = out.cache_hit && part.cache_hit;
+    for (std::vector<ServeAnswer>& ranking : part.sweep_answers) {
+      out.sweep_answers.push_back(std::move(ranking));
+    }
+  }
+  MOVD_CHECK_MSG(out.sweep_answers.size() == flat.sweep.size(),
+                 "scattered what-if slices did not cover the sweep");
+  out.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+std::string ShardedEngine::MetricsJson() const {
+  if (shards_.size() == 1) return shards_[0]->MetricsJson();
+  ServeMetrics merged;
+  ArtifactCache::Stats cache;
+  for (const std::unique_ptr<QueryEngine>& shard : shards_) {
+    merged.MergeFrom(shard->metrics());
+    cache.MergeFrom(shard->cache_stats());
+  }
+  std::string out = merged.Json(cache);
+  MOVD_CHECK_MSG(!out.empty() && out.back() == '}',
+                 "ServeMetrics::Json must emit one JSON object");
+  out.pop_back();
+  out += ",\"shards\":" + std::to_string(shard_count()) + ",\"per_shard\":[";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += shards_[i]->MetricsJson();
+  }
+  out += "]}";
+  return out;
+}
+
+void ShardedEngine::DumpMetrics(std::FILE* out) const {
+  if (shards_.size() == 1) {
+    shards_[0]->DumpMetrics(out);
+    return;
+  }
+  ServeMetrics merged;
+  ArtifactCache::Stats cache;
+  for (const std::unique_ptr<QueryEngine>& shard : shards_) {
+    merged.MergeFrom(shard->metrics());
+    cache.MergeFrom(shard->cache_stats());
+  }
+  merged.DumpTable(out, cache);
+}
+
+Status ShardedEngine::SaveCache(const std::string& dir) const {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir " + dir + ": " + std::strerror(errno));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Status saved =
+        shards_[i]->SaveCache(dir + "/shard" + std::to_string(i));
+    if (!saved.ok()) return saved;
+  }
+  return Status::Ok();
+}
+
+WarmLoadResult ShardedEngine::LoadCache(const std::string& dir) {
+  WarmLoadResult total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    WarmLoadResult one =
+        shards_[i]->LoadCache(dir + "/shard" + std::to_string(i));
+    total.loaded += one.loaded;
+    total.failed += one.failed;
+    if (total.status.ok() && !one.status.ok()) {
+      total.status = std::move(one.status);
+    }
+  }
+  return total;
+}
+
+}  // namespace movd

@@ -1,0 +1,188 @@
+#ifndef MOVD_SERVE_SHARD_H_
+#define MOVD_SERVE_SHARD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/engine_api.h"
+#include "serve/query_engine.h"
+#include "util/mutex.h"
+#include "util/stopwatch.h"
+#include "util/thread_annotations.h"
+
+namespace movd {
+
+/// Spatially sharded serving (DESIGN.md §15).
+///
+/// A ShardedEngine partitions each dataset's world rect into a near-square
+/// grid of shard REGIONS and gives each shard a full QueryEngine replica —
+/// its own artifact cache and worker-pool slice. MOLQ answers are global
+/// optima (any site anywhere can win), so the DATA is never partitioned:
+/// every shard holds every dataset and can answer any request, and the
+/// regions partition only routing, load, and cache warmth. That is what
+/// makes the headline contract cheap to state and test: answers are
+/// bit-identical for ANY shard count, and --shards 1 forwards every call
+/// straight to its single replica, byte for byte the unsharded engine.
+///
+/// Routing:
+///   - SOLVE/DIVERSE/CONSTRAIN run whole on one shard: the one whose
+///     region owns the request's routing rect center (rect= wire arg),
+///     else the constraint rings' MBR center (CONSTRAIN), else a
+///     deterministic affinity hash of the request shape — so repeats of
+///     the same logical query keep hitting the same warm cache.
+///   - SKYLINE scatters: each shard solves only the candidate
+///     combinations whose anchor (first-seen OVR MBR center) its region
+///     owns, and the gather re-runs the canonical SkylineFilterInPlace
+///     over the concatenated local skylines. Dominance is transitive, so
+///     the merge equals the unsharded skyline exactly.
+///   - WHATIF scatters: the sweep vectors split into contiguous
+///     per-shard slices (vectors are evaluated independently), and the
+///     gather concatenates the per-vector rankings back in order.
+///   - INSERT/DELETE replicate to every shard whose region intersects
+///     the mutation's influence rect — the whole world under the
+///     full-replica topology — serialized engine-wide so every replica
+///     applies every mutation in the same order and snapshot versions
+///     stay in lockstep across shards and shard counts.
+struct ShardedEngineOptions {
+  /// Number of shards (>= 1). 1 means a single pass-through replica.
+  int shards = 1;
+  /// Server-total resources, divided evenly across shards: each shard's
+  /// cache budget is cache_bytes / shards and its worker count is
+  /// ResolveThreads(workers) / shards (at least 1). The admission cost
+  /// limit divides likewise; the delay budget is a time bound and applies
+  /// per shard as-is.
+  QueryEngineOptions engine;
+};
+
+/// The shard grid: `shards` regions arranged row-major as nx columns by
+/// ny rows. MakeShardGrid picks ny as the largest divisor of `shards`
+/// with ny <= nx, so 4 shards give 2x2, 6 give 3x2, and a prime count
+/// degenerates to one row of vertical strips (7 -> 7x1).
+struct ShardGrid {
+  int nx = 1;
+  int ny = 1;
+};
+
+ShardGrid MakeShardGrid(int shards);
+
+/// The world-rect cell of shard `index` (row-major: index = row * nx +
+/// col). Cells tile the world exactly: edges shared between cells belong
+/// to the higher-index neighbour through OwningShard's flooring.
+Rect ShardRegionRect(const Rect& world, const ShardGrid& grid, int index);
+
+/// The shard whose region owns `p`: floor((p - min) / cell) per axis,
+/// clamped into the grid, so the map is total — points outside the world
+/// rect (or on a degenerate world) still route deterministically.
+int OwningShard(const Rect& world, const ShardGrid& grid, const Point& p);
+
+/// The region a mutation can influence. Under the full-replica topology
+/// every shard answers global queries from its own copy, so a mutation's
+/// influence spans the whole world and this returns `world` — replication
+/// reaches every shard, which is what keeps replica contents and snapshot
+/// versions identical. The hook exists (and the router intersects against
+/// it) so a future partitioned-artifact topology can narrow it to the
+/// mutated site's neighbourhood without touching the router.
+Rect MutationInfluenceRect(const SiteMutation& mutation, const Rect& world);
+
+/// Deterministic affinity shard for requests with no spatial hint: an
+/// FNV-1a hash over the request's shape (dataset, kind, layers,
+/// algorithm, k, min_dist, epsilon) mod `shards`. Purely a cache-warmth
+/// heuristic — any shard would answer identically.
+int AffinityShard(const ServeRequest& request, int shards);
+
+/// The sharded Engine implementation. Thread-safety matches QueryEngine:
+/// RegisterDataset before serving starts, then Handle/HandleAsync from
+/// any number of threads; mutations additionally serialize engine-wide.
+class ShardedEngine : public Engine {
+ public:
+  explicit ShardedEngine(const ShardedEngineOptions& options);
+  ~ShardedEngine() override = default;
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const ShardGrid& grid() const { return grid_; }
+
+  /// Registers the dataset on every shard (same snapshot content, same
+  /// version counter start) and records its world rect for routing.
+  void RegisterDataset(const std::string& name, MolqQuery query,
+                       const Rect& world) override;
+
+  /// The dataset's current snapshot, read from shard 0 (all replicas are
+  /// in lockstep; see the mutation rules above).
+  std::shared_ptr<const DatasetSnapshot> dataset_snapshot(
+      const std::string& name) const override;
+
+  EngineResponse Handle(const EngineRequest& request) override;
+
+  /// Routes or scatters the request. Single-shard verbs forward to the
+  /// owning shard's queue directly; scatter verbs enqueue their
+  /// sub-requests on every shard eagerly and return a deferred gather, so
+  /// the shards work in parallel while the caller holds the future.
+  std::future<EngineResponse> HandleAsync(EngineRequest request) override;
+
+  /// shards == 1: the single replica's STATS body, byte for byte.
+  /// Otherwise the merged dataset-level view (counters summed, histograms
+  /// merged, cache budgets totalled — ServeMetrics::MergeFrom) with
+  /// "shards" and a "per_shard" array of the per-replica bodies appended.
+  /// Merged counters count per-shard work units: one scattered SKYLINE
+  /// contributes one request per participating shard.
+  std::string MetricsJson() const override;
+  void DumpMetrics(std::FILE* out) const override;
+
+  /// Saves/loads each shard's artifact cache under "<dir>/shard<i>".
+  Status SaveCache(const std::string& dir) const override;
+  WarmLoadResult LoadCache(const std::string& dir) override;
+
+  /// The shard a single-shard request routes to (exposed for tests and
+  /// for the loadgen's routing display): routing rect center if given,
+  /// else the CONSTRAIN rings' MBR center, else AffinityShard.
+  int RouteShard(const ServeRequest& request) const;
+
+ private:
+  /// The world rect of a registered dataset; false when unknown (the
+  /// request is then forwarded to shard 0, which reports kNotFound
+  /// exactly like the unsharded engine).
+  bool WorldOf(const std::string& dataset, Rect* world) const
+      MOVD_EXCLUDES(worlds_mu_);
+
+  /// Replicates one mutation to every shard intersecting its influence
+  /// rect, under mutate_mu_ so replicas apply mutations in one global
+  /// order. Mutation validation is a deterministic function of the
+  /// (identical) replica snapshots, so every shard accepts or rejects
+  /// identically; the returned response is the one from the shard owning
+  /// the mutated site's location. Replication deliberately bypasses
+  /// per-shard admission shedding: an answer of "some replicas applied
+  /// it, some shed it" must never exist.
+  ServeResponse HandleMutation(const ServeRequest& flat)
+      MOVD_EXCLUDES(mutate_mu_);
+
+  /// Gather halves of the SKYLINE/WHATIF scatters (sub-requests were
+  /// enqueued by HandleAsync; `watch` started when they were). If the OK
+  /// sub-responses disagree on the snapshot version (a mutation landed
+  /// mid-scatter), the merge is abandoned and the whole un-split request
+  /// re-runs on its affinity shard — bounded, deterministic, and correct
+  /// because any single replica's answer for a version is the global
+  /// answer.
+  ServeResponse GatherSkyline(const ServeRequest& flat,
+                              std::vector<std::future<ServeResponse>>& subs,
+                              const Stopwatch& watch);
+  ServeResponse GatherWhatIf(const ServeRequest& flat,
+                             std::vector<std::future<ServeResponse>>& subs,
+                             const Stopwatch& watch);
+
+  ShardGrid grid_;
+  std::vector<std::unique_ptr<QueryEngine>> shards_;
+  mutable Mutex worlds_mu_;
+  std::map<std::string, Rect> worlds_ MOVD_GUARDED_BY(worlds_mu_);
+  /// Serializes mutations across shards (see HandleMutation).
+  Mutex mutate_mu_;
+};
+
+}  // namespace movd
+
+#endif  // MOVD_SERVE_SHARD_H_

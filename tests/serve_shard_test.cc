@@ -1,0 +1,465 @@
+// Tests of the sharded serving layer (src/serve/shard.h): the shard-grid
+// topology helpers, deterministic routing, metrics merging, and the
+// headline contract — for every shard count, every query verb answers
+// byte-identically to the single-replica engine, before and after
+// interleaved mutations (DESIGN.md §15).
+//
+// Test names are prefixed Serve* so the TSan CI job's filter picks them
+// up alongside the other serving tests.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/molq.h"
+#include "geom/polygon.h"
+#include "model/update_model.h"
+#include "serve/artifact_cache.h"
+#include "serve/engine_api.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "serve/shard.h"
+#include "util/rng.h"
+
+namespace movd {
+namespace {
+
+constexpr Rect kBounds(0, 0, 100, 100);
+
+MolqQuery TestQuery(const std::vector<size_t>& sizes, uint64_t seed) {
+  Rng rng(seed);
+  MolqQuery query;
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    ObjectSet set;
+    set.name = std::string("layer") += std::to_string(s);
+    for (size_t i = 0; i < sizes[s]; ++i) {
+      SpatialObject obj;
+      obj.location = {rng.Uniform(5, 95), rng.Uniform(5, 95)};
+      obj.type_weight = rng.Uniform(0.1, 10.0);
+      set.objects.push_back(obj);
+    }
+    query.sets.push_back(std::move(set));
+  }
+  return query;
+}
+
+// ---------------------------------------------------------------------------
+// Shard-grid topology
+
+TEST(ServeShardGridTest, FactorizesNearSquare) {
+  EXPECT_EQ(MakeShardGrid(1).nx, 1);
+  EXPECT_EQ(MakeShardGrid(1).ny, 1);
+  EXPECT_EQ(MakeShardGrid(2).nx, 2);
+  EXPECT_EQ(MakeShardGrid(2).ny, 1);
+  EXPECT_EQ(MakeShardGrid(4).nx, 2);
+  EXPECT_EQ(MakeShardGrid(4).ny, 2);
+  EXPECT_EQ(MakeShardGrid(6).nx, 3);
+  EXPECT_EQ(MakeShardGrid(6).ny, 2);
+  EXPECT_EQ(MakeShardGrid(7).nx, 7);  // prime: one row of strips
+  EXPECT_EQ(MakeShardGrid(7).ny, 1);
+  EXPECT_EQ(MakeShardGrid(12).nx, 4);
+  EXPECT_EQ(MakeShardGrid(12).ny, 3);
+  for (int n = 1; n <= 16; ++n) {
+    const ShardGrid grid = MakeShardGrid(n);
+    EXPECT_EQ(grid.nx * grid.ny, n);
+    EXPECT_LE(grid.ny, grid.nx);
+  }
+}
+
+TEST(ServeShardGridTest, RegionsTileWorldExactly) {
+  for (const int shards : {1, 2, 4, 6, 7, 9}) {
+    const ShardGrid grid = MakeShardGrid(shards);
+    for (int i = 0; i < shards; ++i) {
+      const Rect cell = ShardRegionRect(kBounds, grid, i);
+      const int col = i % grid.nx;
+      const int row = i / grid.nx;
+      // Outer edges reuse the world bounds exactly — no fp slivers.
+      if (col == 0) {
+        EXPECT_EQ(cell.min_x, kBounds.min_x);
+      }
+      if (col == grid.nx - 1) {
+        EXPECT_EQ(cell.max_x, kBounds.max_x);
+      }
+      if (row == 0) {
+        EXPECT_EQ(cell.min_y, kBounds.min_y);
+      }
+      if (row == grid.ny - 1) {
+        EXPECT_EQ(cell.max_y, kBounds.max_y);
+      }
+      // Shared edges are bit-identical between neighbours.
+      if (col > 0) {
+        EXPECT_EQ(cell.min_x, ShardRegionRect(kBounds, grid, i - 1).max_x);
+      }
+      if (row > 0) {
+        EXPECT_EQ(cell.min_y,
+                  ShardRegionRect(kBounds, grid, i - grid.nx).max_y);
+      }
+      // The cell's center maps back to the cell.
+      EXPECT_EQ(OwningShard(kBounds, grid, cell.Center()), i);
+    }
+  }
+}
+
+TEST(ServeShardGridTest, OwningShardIsTotal) {
+  const ShardGrid grid = MakeShardGrid(4);
+  // Points outside the world rect still route into the grid.
+  for (const Point& p : {Point{-50, -50}, Point{150, 150}, Point{-50, 150},
+                         Point{50, 1e9}}) {
+    const int shard = OwningShard(kBounds, grid, p);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+  }
+  // A degenerate (zero-extent) world maps everything to shard 0's row/col.
+  const Rect degenerate(10, 10, 10, 10);
+  EXPECT_EQ(OwningShard(degenerate, grid, Point{0, 0}), 0);
+  EXPECT_EQ(OwningShard(degenerate, grid, Point{99, 99}), 0);
+  // Interior points land in the expected quadrant (2x2 over [0,100)^2).
+  EXPECT_EQ(OwningShard(kBounds, grid, Point{25, 25}), 0);
+  EXPECT_EQ(OwningShard(kBounds, grid, Point{75, 25}), 1);
+  EXPECT_EQ(OwningShard(kBounds, grid, Point{25, 75}), 2);
+  EXPECT_EQ(OwningShard(kBounds, grid, Point{75, 75}), 3);
+}
+
+TEST(ServeShardRoutingTest, AffinityShardIsDeterministicAndInRange) {
+  ServeRequest request;
+  request.dataset = "ds";
+  request.layers = {0, 2};
+  request.kind = ServeQueryKind::kMolq;
+  request.topk = 3;
+  for (const int shards : {1, 2, 4, 7}) {
+    const int first = AffinityShard(request, shards);
+    EXPECT_GE(first, 0);
+    EXPECT_LT(first, shards);
+    EXPECT_EQ(AffinityShard(request, shards), first);  // stable
+  }
+  // Different request shapes stay in range, and at least one hashes to a
+  // different shard (the hash is not constant).
+  bool any_differs = false;
+  for (size_t k = 1; k <= 16; ++k) {
+    ServeRequest other = request;
+    other.topk = k;
+    const int shard = AffinityShard(other, 7);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 7);
+    any_differs = any_differs || shard != AffinityShard(request, 7);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics merging
+
+void Populate(ServeMetrics* m, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < 50; ++i) {
+    const double seconds = rng.Uniform(1e-5, 2.0);
+    const int outcome = static_cast<int>(rng.NextBelow(4));
+    const ServeStatus status =
+        outcome == 0 ? ServeStatus::kOk
+        : outcome == 1 ? ServeStatus::kDeadlineExceeded
+        : outcome == 2 ? ServeStatus::kOverloaded
+                       : ServeStatus::kInvalidRequest;
+    m->RecordRequest(status, seconds, i % 3 == 0);
+    if (status == ServeStatus::kOk) {
+      m->RecordPhases(seconds * 0.7, seconds * 0.3);
+    }
+    if (i % 7 == 0) m->RecordMutation();
+  }
+}
+
+TEST(ServeShardMetricsTest, MergeIsAssociativeAndCommutative) {
+  ServeMetrics a, b, c;
+  Populate(&a, 11);
+  Populate(&b, 22);
+  Populate(&c, 33);
+  const ArtifactCache::Stats cache;
+
+  // (A ⊕ B) ⊕ C
+  ServeMetrics left;
+  left.MergeFrom(a);
+  left.MergeFrom(b);
+  left.MergeFrom(c);
+  // A ⊕ (B ⊕ C)
+  ServeMetrics bc;
+  bc.MergeFrom(b);
+  bc.MergeFrom(c);
+  ServeMetrics right;
+  right.MergeFrom(a);
+  right.MergeFrom(bc);
+  EXPECT_EQ(left.Json(cache), right.Json(cache));
+
+  // C ⊕ B ⊕ A
+  ServeMetrics reversed;
+  reversed.MergeFrom(c);
+  reversed.MergeFrom(b);
+  reversed.MergeFrom(a);
+  EXPECT_EQ(left.Json(cache), reversed.Json(cache));
+
+  // Counters really sum (merging is not idempotent or lossy).
+  EXPECT_EQ(left.requests(), a.requests() + b.requests() + c.requests());
+  EXPECT_EQ(left.mutations(),
+            a.mutations() + b.mutations() + c.mutations());
+}
+
+TEST(ServeShardMetricsTest, CacheStatsMerge) {
+  ArtifactCache::Stats a;
+  a.hits = 10;
+  a.misses = 3;
+  a.bytes = 1000;
+  a.capacity = 4000;
+  a.entries = 2;
+  ArtifactCache::Stats b;
+  b.hits = 5;
+  b.misses = 7;
+  b.evictions = 1;
+  b.bytes = 500;
+  b.capacity = 4000;
+  b.entries = 1;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.hits, 15u);
+  EXPECT_EQ(a.misses, 10u);
+  EXPECT_EQ(a.evictions, 1u);
+  EXPECT_EQ(a.bytes, 1500u);
+  EXPECT_EQ(a.capacity, 8000u);  // budgets total across shards
+  EXPECT_EQ(a.entries, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// The determinism sweep
+
+EngineRequest Envelope(const std::string& id) {
+  EngineRequest request;
+  request.id = id;
+  request.dataset = "ds";
+  return request;
+}
+
+/// The deterministic transcript entry for one response: status, snapshot
+/// version, and — for queries — the timing-free answer JSON resolved
+/// through the pinned snapshot. Mutation responses contribute their
+/// version and dataset-level patch size, but not the cache-dependent
+/// patched/dropped artifact counts: those reflect which artifacts the
+/// OWNING shard happened to have cached, which legitimately varies with
+/// the shard count (queries routed elsewhere never warmed it).
+std::string TranscriptEntry(const ServeResponse& resp) {
+  std::string entry = ServeStatusName(resp.status);
+  entry += "/v" + std::to_string(resp.version);
+  if (resp.status != ServeStatus::kOk) return entry;
+  if (resp.is_mutation) {
+    return entry + "/cells" + std::to_string(resp.mutation.recomputed_cells);
+  }
+  EXPECT_NE(resp.snapshot, nullptr);
+  return entry + "/" + ResponseJson(resp.snapshot->query, resp, false);
+}
+
+/// Runs the five query verbs plus an INSERT/DELETE interleaving through
+/// the typed API and returns the transcript.
+std::vector<std::string> RunScript(Engine* engine) {
+  std::vector<std::string> transcript;
+  const auto run = [&](EngineRequest request) {
+    transcript.push_back(TranscriptEntry(engine->Handle(request)));
+  };
+
+  EngineRequest solve = Envelope("solve");
+  solve.layers = {0, 1};
+  solve.op = SolveSpec{MolqAlgorithm::kRrb, 2};
+  run(solve);
+
+  EngineRequest skyline = Envelope("skyline");
+  skyline.op = SkylineSpec{MolqAlgorithm::kRrb};
+  run(skyline);
+
+  EngineRequest diverse = Envelope("diverse");
+  diverse.op = DiverseSpec{MolqAlgorithm::kRrb, 2, 8.0};
+  run(diverse);
+
+  EngineRequest constrain = Envelope("constrain");
+  constrain.layers = {0, 2};
+  ConstrainSpec spec;
+  spec.constraint.boundary =
+      Polygon({{20, 20}, {80, 20}, {80, 80}, {20, 80}});
+  constrain.op = spec;
+  run(constrain);
+
+  EngineRequest whatif = Envelope("whatif");
+  whatif.layers = {0, 1};
+  whatif.op = WhatIfSpec{MolqAlgorithm::kRrb, 2, {{1.0, 1.0}, {1.5, 0.5}}};
+  run(whatif);
+
+  // Mutations interleave: insert, re-query, delete, re-query. Every verb
+  // must answer identically at every version, whichever shard owns the
+  // mutated point.
+  SiteMutation insert;
+  insert.kind = MutationKind::kInsert;
+  insert.layer = 0;
+  insert.location = Point{33.25, 61.75};
+  EngineRequest ins = Envelope("ins");
+  ins.op = insert;
+  run(ins);
+
+  run(solve);
+  run(skyline);
+
+  SiteMutation erase = insert;
+  erase.kind = MutationKind::kDelete;
+  EngineRequest del = Envelope("del");
+  del.op = erase;
+  run(del);
+
+  run(skyline);
+  run(whatif);
+  return transcript;
+}
+
+ShardedEngineOptions TestOptions(int shards) {
+  ShardedEngineOptions options;
+  options.shards = shards;
+  options.engine.workers = 2;
+  options.engine.exec.weighted_grid_resolution = 64;
+  return options;
+}
+
+TEST(ServeShardDeterminismTest, AnswersBitIdenticalAcrossShardCounts) {
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    const MolqQuery query = TestQuery({10, 8, 7}, seed);
+    std::vector<std::string> baseline;
+    for (const int shards : {1, 2, 4, 7}) {
+      ShardedEngine engine(TestOptions(shards));
+      engine.RegisterDataset("ds", query, kBounds);
+      const std::vector<std::string> transcript = RunScript(&engine);
+      if (shards == 1) {
+        baseline = transcript;
+        continue;
+      }
+      ASSERT_EQ(transcript.size(), baseline.size());
+      for (size_t i = 0; i < transcript.size(); ++i) {
+        EXPECT_EQ(transcript[i], baseline[i])
+            << "seed " << seed << ", shards " << shards << ", step " << i;
+      }
+    }
+  }
+}
+
+TEST(ServeShardDeterminismTest, SingleShardMatchesUnshardedEngine) {
+  const MolqQuery query = TestQuery({10, 8, 7}, 99);
+  QueryEngineOptions options = TestOptions(1).engine;
+  QueryEngine unsharded(options);
+  unsharded.RegisterDataset("ds", query, kBounds);
+  ShardedEngine sharded(TestOptions(1));
+  sharded.RegisterDataset("ds", query, kBounds);
+  EXPECT_EQ(RunScript(&unsharded), RunScript(&sharded));
+  // shards == 1 forwards the single replica's STATS body verbatim: no
+  // sharding fields appended.
+  EXPECT_EQ(sharded.MetricsJson().find("per_shard"), std::string::npos);
+  EXPECT_EQ(sharded.MetricsJson().find("\"shards\""), std::string::npos);
+}
+
+TEST(ServeShardDeterminismTest, RoutingRectHintDoesNotChangeAnswers) {
+  const MolqQuery query = TestQuery({10, 8}, 7);
+  ShardedEngine engine(TestOptions(4));
+  engine.RegisterDataset("ds", query, kBounds);
+
+  EngineRequest plain = Envelope("q");
+  plain.layers = {0, 1};
+  plain.op = SolveSpec{MolqAlgorithm::kRrb, 2};
+  const ServeResponse base = engine.Handle(plain);
+  ASSERT_EQ(base.status, ServeStatus::kOk);
+
+  // The same query routed to each quadrant answers identically.
+  for (const Point& center :
+       {Point{25, 25}, Point{75, 25}, Point{25, 75}, Point{75, 75}}) {
+    EngineRequest hinted = plain;
+    hinted.routing_rect =
+        Rect(center.x - 5, center.y - 5, center.x + 5, center.y + 5);
+    const ServeResponse routed = engine.Handle(hinted);
+    EXPECT_EQ(TranscriptEntry(routed), TranscriptEntry(base));
+  }
+}
+
+TEST(ServeShardDeterminismTest, MergedStatsExposePerShardBreakdown) {
+  const MolqQuery query = TestQuery({8, 7}, 5);
+  ShardedEngine engine(TestOptions(2));
+  engine.RegisterDataset("ds", query, kBounds);
+  EngineRequest solve = Envelope("q");
+  solve.op = SolveSpec{MolqAlgorithm::kRrb, 1};
+  ASSERT_EQ(engine.Handle(solve).status, ServeStatus::kOk);
+  const std::string json = engine.MetricsJson();
+  EXPECT_NE(json.find("\"shards\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"per_shard\":["), std::string::npos) << json;
+}
+
+TEST(ServeShardDeterminismTest, UnknownDatasetMatchesUnshardedStatus) {
+  // The unsharded engine answers queries on an unknown dataset with
+  // kInvalidRequest and mutations with kNotFound; the sharded router must
+  // report the same codes (it forwards to shard 0 rather than failing in
+  // the routing layer).
+  ShardedEngine engine(TestOptions(4));
+  EngineRequest solve = Envelope("q");
+  solve.dataset = "missing";
+  solve.op = SolveSpec{MolqAlgorithm::kRrb, 1};
+  EXPECT_EQ(engine.Handle(solve).status, ServeStatus::kInvalidRequest);
+  EngineRequest skyline = Envelope("s");
+  skyline.dataset = "missing";
+  skyline.op = SkylineSpec{MolqAlgorithm::kRrb};
+  EXPECT_EQ(engine.Handle(skyline).status, ServeStatus::kInvalidRequest);
+  SiteMutation insert;
+  insert.layer = 0;
+  insert.location = Point{1, 1};
+  EngineRequest ins = Envelope("i");
+  ins.dataset = "missing";
+  ins.op = insert;
+  EXPECT_EQ(engine.Handle(ins).status, ServeStatus::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Request round-trip through the wire format
+
+TEST(ServeShardProtocolTest, FormatRequestLineRoundTrips) {
+  EngineRequest request = Envelope("rt");
+  request.layers = {0, 2};
+  request.epsilon = 1e-4;
+  request.exec.threads = 3;
+  request.use_cache = false;
+  request.deadline_ms = 250.0;
+  request.routing_rect = Rect(1.25, 2.5, 30.75, 40.125);
+  request.op = DiverseSpec{MolqAlgorithm::kMbrb, 5, 12.5};
+
+  ServeVerb verb = ServeVerb::kPing;
+  EngineRequest parsed;
+  ASSERT_TRUE(
+      ParseRequest(FormatRequestLine(request), &verb, &parsed).ok());
+  EXPECT_EQ(verb, ServeVerb::kSolve);
+  EXPECT_EQ(parsed.id, request.id);
+  EXPECT_EQ(parsed.dataset, request.dataset);
+  EXPECT_EQ(parsed.layers, request.layers);
+  EXPECT_EQ(parsed.epsilon, request.epsilon);
+  EXPECT_EQ(parsed.exec.threads, request.exec.threads);
+  EXPECT_EQ(parsed.use_cache, request.use_cache);
+  EXPECT_EQ(parsed.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(parsed.routing_rect.min_x, request.routing_rect.min_x);
+  EXPECT_EQ(parsed.routing_rect.max_y, request.routing_rect.max_y);
+  const DiverseSpec& spec = std::get<DiverseSpec>(parsed.op);
+  EXPECT_EQ(spec.algorithm, MolqAlgorithm::kMbrb);
+  EXPECT_EQ(spec.topk, 5u);
+  EXPECT_EQ(spec.min_distance, 12.5);
+
+  // Mutations round-trip with full coordinate precision.
+  SiteMutation mutation;
+  mutation.kind = MutationKind::kDelete;
+  mutation.layer = 2;
+  mutation.location = Point{1.0 / 3.0, 2.0 / 7.0};
+  EngineRequest mutate = Envelope("m");
+  mutate.op = mutation;
+  ASSERT_TRUE(
+      ParseRequest(FormatRequestLine(mutate), &verb, &parsed).ok());
+  const SiteMutation& back = std::get<SiteMutation>(parsed.op);
+  EXPECT_EQ(back.kind, MutationKind::kDelete);
+  EXPECT_EQ(back.layer, 2);
+  EXPECT_EQ(back.location.x, mutation.location.x);  // bit-exact
+  EXPECT_EQ(back.location.y, mutation.location.y);
+}
+
+}  // namespace
+}  // namespace movd

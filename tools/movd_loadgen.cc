@@ -20,6 +20,13 @@
 // queries pin an immutable snapshot, so two answers may differ only when
 // their versions differ.
 //
+// Requests ride the typed client library (serve/client.h): each loop
+// iteration builds an EngineRequest — the same typed form an in-process
+// Engine caller would build — and ServeClient::Call puts it on the wire
+// and parses the response back into a structured ClientResponse. No
+// protocol strings are assembled here; the wire format lives entirely in
+// serve/protocol.cc, on both sides of the socket.
+//
 // --mix=verb:weight,... turns on mixed-workload mode: each request draws
 // its verb from the weighted pool. The vocabulary is derived from the
 // serve protocol's verb registry (every non-control verb, lower-cased),
@@ -38,6 +45,11 @@
 // applies to every query verb (mutations are excluded: their responses
 // are intentionally one-of-a-kind).
 //
+// Against a sharded server (movd_serve --shards=N) the final report adds
+// a per-shard table — one row per replica with its request and cache
+// counters, read from the "per_shard" array of the merged STATS body —
+// so cache-warmth skew across shard regions is visible at a glance.
+//
 // Exit status is non-zero on connection failures, protocol errors,
 // determinism mismatches, or (with --require_cache_hits) a cache that
 // never hit. DEADLINE_EXCEEDED responses are counted but are not failures
@@ -45,15 +57,11 @@
 // budget), and OVERLOADED responses are counted but never failures (they
 // are the admission controller doing its job; see DESIGN.md §14).
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <atomic>
 #include <cctype>
-#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -61,7 +69,7 @@
 #include <thread>
 #include <vector>
 
-#include "serve/protocol.h"
+#include "serve/client.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -121,93 +129,28 @@ std::mutex g_check_mu;
 std::map<std::string, std::string> g_first_answer;  // pattern -> answers json
 std::atomic<uint64_t> g_mismatches{0};
 
-int ConnectUnix(const std::string& path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    return -1;
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
-bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool RecvLine(int fd, std::string* buffer, std::string* line) {
-  for (;;) {
-    const size_t nl = buffer->find('\n');
-    if (nl != std::string::npos) {
-      *line = buffer->substr(0, nl);
-      buffer->erase(0, nl + 1);
-      return true;
-    }
-    char chunk[4096];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    buffer->append(chunk, static_cast<size_t>(n));
-  }
-}
-
-/// The "answers": [...] (or, for WHATIF, "sweeps": [...]) slice of an OK
-/// body — everything that must be deterministic (cache_hit, version and
-/// seconds legitimately vary per request; version is compared separately
-/// via the check key).
-std::string AnswersSlice(const std::string& ok_line) {
-  size_t begin = ok_line.find("\"answers\": ");
-  if (begin == std::string::npos) begin = ok_line.find("\"sweeps\": ");
-  const size_t end = ok_line.rfind(", \"cache_hit\"");
-  if (begin == std::string::npos || end == std::string::npos || end <= begin) {
-    return ok_line;  // unexpected shape: compare the whole line
-  }
-  return ok_line.substr(begin, end - begin);
-}
-
-/// The "version" field of an OK response body, or 0 when absent. Both
-/// query and mutation responses carry it (protocol v2).
-uint64_t ResponseVersion(const std::string& ok_line) {
-  const char kNeedle[] = "\"version\": ";
-  const size_t pos = ok_line.find(kNeedle);
-  if (pos == std::string::npos) return 0;
-  return std::strtoull(ok_line.c_str() + pos + sizeof(kNeedle) - 1, nullptr,
-                       10);
-}
+/// One layer subset: the ascending index list plus its "0,2" spelling
+/// (the determinism-check map key component).
+struct LayerPattern {
+  std::string key;
+  std::vector<int32_t> layers;
+};
 
 /// Deterministic pattern pool: every non-empty subset of [0, layers),
 /// capped at 31 patterns for wide datasets.
-std::vector<std::string> PatternPool(int layers) {
-  std::vector<std::string> pool;
+std::vector<LayerPattern> PatternPool(int layers) {
+  std::vector<LayerPattern> pool;
   const uint32_t masks = layers >= 31 ? 0x7fffffffu
                                       : ((1u << layers) - 1u);
   for (uint32_t mask = 1; mask <= masks && pool.size() < 31; ++mask) {
-    std::string layers_arg;
+    LayerPattern pattern;
     for (int i = 0; i < layers; ++i) {
       if ((mask & (1u << i)) == 0) continue;
-      if (!layers_arg.empty()) layers_arg += ",";
-      layers_arg += std::to_string(i);
+      if (!pattern.key.empty()) pattern.key += ",";
+      pattern.key += std::to_string(i);
+      pattern.layers.push_back(i);
     }
-    pool.push_back(layers_arg);
+    pool.push_back(std::move(pattern));
   }
   return pool;
 }
@@ -215,7 +158,8 @@ std::vector<std::string> PatternPool(int layers) {
 struct LoadConfig {
   std::string socket;
   std::string dataset;
-  std::string algo;
+  std::string algo;  ///< wire spelling, kept for the check-map key
+  MolqAlgorithm algorithm = MolqAlgorithm::kRrb;
   int64_t k = 1;
   double epsilon = 1e-3;
   double deadline_ms = 0.0;
@@ -227,14 +171,14 @@ struct LoadConfig {
   bool check = true;
   int dataset_layers = 3;
   double world = 10000.0;
-  std::vector<std::string> patterns;
+  std::vector<LayerPattern> patterns;
   /// Mixed-workload mode: the registry-derived verb pool with per-verb
   /// draw weights (all on verbs[0] == solve when --mix is absent).
   std::vector<MixVerb> verbs;
   std::vector<int> mix_weights;
   int mix_total = 1;
   double min_dist = 0.0;
-  std::string boundary_spec;  ///< CONSTRAIN boundary= polygon
+  QueryConstraint constraint;  ///< CONSTRAIN boundary polygon
 };
 
 /// Parses "--mix=solve:8,skyline:1,..." into per-verb weights over the
@@ -270,22 +214,19 @@ bool ParseMix(const std::string& spec, const std::vector<MixVerb>& verbs,
 /// Two fixed WHATIF weight vectors for a `layer_count`-layer pattern: the
 /// identity sweep and an alternating 1.5/0.5 scaling — deterministic, so
 /// --check can compare responses across clients.
-std::string SweepSpec(int layer_count) {
-  std::string identity, skewed;
-  for (int i = 0; i < layer_count; ++i) {
-    if (i > 0) {
-      identity += ",";
-      skewed += ",";
-    }
-    identity += "1";
-    skewed += (i % 2 == 0) ? "1.5" : "0.5";
+std::vector<std::vector<double>> SweepVectors(size_t layer_count) {
+  std::vector<double> identity(layer_count, 1.0);
+  std::vector<double> skewed(layer_count);
+  for (size_t i = 0; i < layer_count; ++i) {
+    skewed[i] = (i % 2 == 0) ? 1.5 : 0.5;
   }
-  return identity + "|" + skewed;
+  return {std::move(identity), std::move(skewed)};
 }
 
 /// One mutation site. INSERT sends these coordinates; the matching DELETE
-/// re-sends the exact same formatted text, so the server parses
-/// bit-identical doubles and the deletion finds the inserted object.
+/// re-sends the exact same doubles (FormatRequestLine prints them with
+/// round-trip precision), so the server parses bit-identical values and
+/// the deletion finds the inserted object.
 struct MutationSite {
   int layer = 0;
   double x = 0.0;
@@ -312,70 +253,70 @@ MutationSite MakeMutationSite(int client, uint64_t seq, int layers,
   return site;
 }
 
-/// One request line (without the trailing newline) for the verb at
-/// `verb_index` against the given layer pattern (query verbs) or mutation
-/// site (INSERT/DELETE). Which keys a verb gets follows its registry
-/// row's allowed_args mask, so this stays in lockstep with the protocol:
-/// a key the registry does not allow is never sent.
-std::string BuildRequestLine(const LoadConfig& cfg, size_t verb_index,
-                             int client, uint64_t n,
-                             const std::string& layers,
-                             const MutationSite& site) {
+/// One typed request for the verb at `verb_index` against the given layer
+/// pattern (query verbs) or mutation site (INSERT/DELETE). Which envelope
+/// fields a verb gets follows its registry row's allowed_args mask, so
+/// this stays in lockstep with the protocol: a field the registry does
+/// not allow is left at its default and never reaches the wire.
+EngineRequest BuildRequest(const LoadConfig& cfg, size_t verb_index,
+                           int client, uint64_t n,
+                           const LayerPattern& pattern,
+                           const MutationSite& site) {
   const VerbDescriptor& desc = *cfg.verbs[verb_index].desc;
-  std::string line = desc.name;
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), " id=c%d-%llu dataset=%s", client,
-                static_cast<unsigned long long>(n), cfg.dataset.c_str());
-  line += buf;
+  EngineRequest request;
+  char id[64];
+  std::snprintf(id, sizeof(id), "c%d-%llu", client,
+                static_cast<unsigned long long>(n));
+  request.id = id;
+  request.dataset = cfg.dataset;
   if ((desc.caps & kCapMutation) != 0) {
-    std::snprintf(buf, sizeof(buf), " layer=%d x=%.17g y=%.17g", site.layer,
-                  site.x, site.y);
-    line += buf;
-    return line;
+    SiteMutation mutation;
+    mutation.kind = desc.mutation;
+    mutation.layer = site.layer;
+    mutation.location = Point{site.x, site.y};
+    request.op = mutation;
+    return request;
   }
   if ((desc.allowed_args & kArgLayers) != 0) {
-    line += " layers=" + layers;
+    request.layers = pattern.layers;
   }
-  if ((desc.allowed_args & kArgAlgo) != 0) {
-    line += " algo=" + cfg.algo;
-  }
-  if ((desc.allowed_args & kArgK) != 0) {
-    std::snprintf(buf, sizeof(buf), " k=%lld", static_cast<long long>(cfg.k));
-    line += buf;
-  }
-  if ((desc.allowed_args & kArgMinDist) != 0) {
-    std::snprintf(buf, sizeof(buf), " min_dist=%g", cfg.min_dist);
-    line += buf;
-  }
-  if ((desc.allowed_args & kArgBoundary) != 0) {
-    line += " boundary=" + cfg.boundary_spec;
-  }
-  if ((desc.allowed_args & kArgSweep) != 0) {
-    const int layer_count =
-        1 + static_cast<int>(std::count(layers.begin(), layers.end(), ','));
-    line += " sweep=" + SweepSpec(layer_count);
-  }
-  std::snprintf(buf, sizeof(buf), " epsilon=%g threads=%lld cache=%d",
-                cfg.epsilon, static_cast<long long>(cfg.threads),
-                cfg.cache ? 1 : 0);
-  line += buf;
+  request.epsilon = cfg.epsilon;
+  request.exec.threads = static_cast<int>(cfg.threads);
+  request.use_cache = cfg.cache;
   if (cfg.deadline_ms > 0.0 && (desc.allowed_args & kArgDeadlineMs) != 0) {
-    std::snprintf(buf, sizeof(buf), " deadline_ms=%g", cfg.deadline_ms);
-    line += buf;
+    request.deadline_ms = cfg.deadline_ms;
   }
-  return line;
+  const size_t topk = static_cast<size_t>(cfg.k);
+  switch (desc.kind) {
+    case ServeQueryKind::kMolq:
+      request.op = SolveSpec{cfg.algorithm, topk};
+      break;
+    case ServeQueryKind::kSkyline:
+      request.op = SkylineSpec{cfg.algorithm};
+      break;
+    case ServeQueryKind::kDiverse:
+      request.op = DiverseSpec{cfg.algorithm, topk, cfg.min_dist};
+      break;
+    case ServeQueryKind::kConstrained:
+      request.op = ConstrainSpec{cfg.constraint};
+      break;
+    case ServeQueryKind::kWhatIf:
+      request.op = WhatIfSpec{cfg.algorithm, topk,
+                              SweepVectors(pattern.layers.size())};
+      break;
+  }
+  return request;
 }
 
 void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
   stats->verb_latencies_ms.resize(cfg.verbs.size());
-  const int fd = ConnectUnix(cfg.socket);
-  if (fd < 0) {
+  ServeClient client;
+  if (!client.Connect(cfg.socket).ok()) {
     stats->connection_ok = false;
     return;
   }
   Rng rng(cfg.seed * 1000003u + static_cast<uint64_t>(index));
   Stopwatch clock;
-  std::string buffer;
   uint64_t n = 0;
   uint64_t mutation_seq = 0;
   // Points this client inserted and has not yet deleted. DELETE pops the
@@ -383,7 +324,7 @@ void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
   std::vector<MutationSite> inserted;
   while (clock.ElapsedSeconds() < cfg.duration_s &&
          (cfg.requests_cap == 0 || n < cfg.requests_cap)) {
-    const std::string& layers =
+    const LayerPattern& pattern =
         cfg.patterns[rng.NextBelow(cfg.patterns.size())];
     // Draw the verb from the weighted mix (always verbs[0] == solve
     // without --mix).
@@ -421,11 +362,11 @@ void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
                                 cfg.world);
       }
     }
-    const std::string line =
-        BuildRequestLine(cfg, verb, index, n, layers, site) + "\n";
+    const EngineRequest request =
+        BuildRequest(cfg, verb, index, n, pattern, site);
     Stopwatch latency;
-    std::string response;
-    if (!SendAll(fd, line) || !RecvLine(fd, &buffer, &response)) {
+    ClientResponse response;
+    if (!client.Call(request, &response).ok()) {
       stats->connection_ok = false;
       break;
     }
@@ -434,7 +375,7 @@ void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
     stats->verb_latencies_ms[verb].push_back(ms);
     ++stats->requests;
     ++n;
-    if (response.rfind("OK ", 0) == 0) {
+    if (response.status.ok()) {
       if ((desc->caps & kCapMutation) != 0) {
         ++stats->mutations_ok;
         if (pops_stack) {
@@ -446,32 +387,31 @@ void RunClient(const LoadConfig& cfg, int index, ClientStats* stats) {
         // Key the determinism check by the snapshot version the response
         // was computed against: answers may differ across versions (the
         // data changed) but must be byte-identical within one.
-        const std::string pattern =
-            cfg.verbs[verb].lower + "/" + layers + "/" + cfg.algo + "/k" +
-            std::to_string(cfg.k) + "/v" +
-            std::to_string(ResponseVersion(response));
-        const std::string answers = AnswersSlice(response);
+        const std::string key =
+            cfg.verbs[verb].lower + "/" + pattern.key + "/" + cfg.algo +
+            "/k" + std::to_string(cfg.k) + "/v" +
+            std::to_string(response.version);
         std::lock_guard<std::mutex> lock(g_check_mu);
-        const auto it = g_first_answer.find(pattern);
+        const auto it = g_first_answer.find(key);
         if (it == g_first_answer.end()) {
-          g_first_answer.emplace(pattern, answers);
-        } else if (it->second != answers) {
+          g_first_answer.emplace(key, response.answers);
+        } else if (it->second != response.answers) {
           g_mismatches.fetch_add(1);
         }
       }
-    } else if (response.find(" DEADLINE_EXCEEDED") != std::string::npos) {
+    } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
       ++stats->deadline_exceeded;
-    } else if (response.find(" OVERLOADED") != std::string::npos) {
+    } else if (response.status.code() == StatusCode::kOverloaded) {
       ++stats->overloaded;
     } else {
       ++stats->errors;
       if (stats->errors == 1) {
-        std::fprintf(stderr, "movd_loadgen: server error: %s\n",
-                     response.c_str());
+        std::fprintf(stderr, "movd_loadgen: server error (id %s): %s\n",
+                     response.id.c_str(),
+                     response.status.ToString().c_str());
       }
     }
   }
-  ::close(fd);
 }
 
 /// Pulls one numeric field out of the STATS json ("\"name\": <digits>").
@@ -482,6 +422,32 @@ uint64_t JsonCounter(const std::string& json, const std::string& name) {
   const char* p = json.c_str() + pos + needle.size();
   while (*p == ' ') ++p;
   return std::strtoull(p, nullptr, 10);
+}
+
+/// The elements of the STATS body's "per_shard" array (present when the
+/// server runs sharded), split by brace depth. Empty when absent.
+std::vector<std::string> PerShardBodies(const std::string& json) {
+  std::vector<std::string> bodies;
+  const size_t key = json.find("\"per_shard\":");
+  if (key == std::string::npos) return bodies;
+  int depth = 0;
+  size_t begin = std::string::npos;
+  for (size_t pos = json.find('[', key) + 1; pos < json.size(); ++pos) {
+    const char c = json[pos];
+    if (c == '{') {
+      if (depth == 0) begin = pos;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0 && begin != std::string::npos) {
+        bodies.push_back(json.substr(begin, pos - begin + 1));
+        begin = std::string::npos;
+      }
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return bodies;
 }
 
 int Main(int argc, char** argv) {
@@ -506,6 +472,16 @@ int Main(int argc, char** argv) {
   const bool shutdown_server = flags.GetBool("shutdown", false);
   cfg.world = flags.GetDouble("world", 10000.0);
   cfg.min_dist = flags.GetDouble("min_dist", cfg.world / 100.0);
+  if (cfg.algo == "ssc") {
+    cfg.algorithm = MolqAlgorithm::kSsc;
+  } else if (cfg.algo == "rrb") {
+    cfg.algorithm = MolqAlgorithm::kRrb;
+  } else if (cfg.algo == "mbrb") {
+    cfg.algorithm = MolqAlgorithm::kMbrb;
+  } else {
+    std::fprintf(stderr, "movd_loadgen: bad --algo (want ssc|rrb|mbrb)\n");
+    return 2;
+  }
   cfg.verbs = MixableVerbs();
   cfg.mix_weights.assign(cfg.verbs.size(), 0);
   cfg.mix_weights[0] = 1;  // registry row 0 is SOLVE
@@ -520,7 +496,7 @@ int Main(int argc, char** argv) {
   }
   cfg.mix_total = 0;
   for (const int w : cfg.mix_weights) cfg.mix_total += w;
-  if (mixed && cfg.algo == "ssc") {
+  if (mixed && cfg.algorithm == MolqAlgorithm::kSsc) {
     // The registry knows which verbs need a MOVD artifact and therefore
     // reject algo=ssc; an ssc mix may only weight the others.
     for (size_t v = 0; v < cfg.verbs.size(); ++v) {
@@ -535,14 +511,10 @@ int Main(int argc, char** argv) {
     }
   }
   // CONSTRAIN boundary: the centered box covering half of [0, world)^2.
-  {
-    char spec[128];
-    std::snprintf(spec, sizeof(spec), "%g,%g;%g,%g;%g,%g;%g,%g",
-                  0.25 * cfg.world, 0.25 * cfg.world, 0.75 * cfg.world,
-                  0.25 * cfg.world, 0.75 * cfg.world, 0.75 * cfg.world,
-                  0.25 * cfg.world, 0.75 * cfg.world);
-    cfg.boundary_spec = spec;
-  }
+  cfg.constraint.boundary = Polygon({{0.25 * cfg.world, 0.25 * cfg.world},
+                                     {0.75 * cfg.world, 0.25 * cfg.world},
+                                     {0.75 * cfg.world, 0.75 * cfg.world},
+                                     {0.25 * cfg.world, 0.75 * cfg.world}});
   flags.WarnUnused(stderr);
   if (cfg.socket.empty()) {
     std::fprintf(stderr, "movd_loadgen: --socket=PATH is required\n");
@@ -593,25 +565,23 @@ int Main(int argc, char** argv) {
   // One control connection for STATS (+ optional SHUTDOWN).
   uint64_t cache_hits = 0, cache_misses = 0;
   uint64_t server_shed = 0, server_mutations = 0;
+  std::string stats_json;
   bool stats_ok = false;
-  const int fd = ConnectUnix(cfg.socket);
-  if (fd >= 0) {
-    std::string buffer, response;
-    if (SendAll(fd, "STATS\n") && RecvLine(fd, &buffer, &response) &&
-        response.rfind("OK ", 0) == 0) {
-      cache_hits = JsonCounter(response, "cache_hits");
-      cache_misses = JsonCounter(response, "cache_misses");
-      server_shed = JsonCounter(response, "shed");
-      server_mutations = JsonCounter(response, "mutations");
+  ServeClient control;
+  if (control.Connect(cfg.socket).ok()) {
+    if (control.Stats(&stats_json).ok()) {
+      cache_hits = JsonCounter(stats_json, "cache_hits");
+      cache_misses = JsonCounter(stats_json, "cache_misses");
+      server_shed = JsonCounter(stats_json, "shed");
+      server_mutations = JsonCounter(stats_json, "mutations");
       stats_ok = true;
     }
     if (shutdown_server) {
-      SendAll(fd, "SHUTDOWN\n");
-      if (RecvLine(fd, &buffer, &response)) {
-        // Response drained so the server finishes the write cleanly.
-      }
+      // Shutdown drains the farewell line so the server finishes its
+      // write cleanly; a dropped connection here is not a failure.
+      (void)control.Shutdown();
     }
-    ::close(fd);
+    control.Close();
   } else {
     connections_ok = false;
   }
@@ -642,7 +612,31 @@ int Main(int argc, char** argv) {
   table.AddRow({"server mutations",
                 stats_ok ? std::to_string(server_mutations)
                          : "(unavailable)"});
+  const uint64_t server_shards =
+      stats_ok ? JsonCounter(stats_json, "shards") : 0;
+  if (server_shards > 1) {
+    table.AddRow({"server shards", std::to_string(server_shards)});
+  }
   table.Print(stdout);
+
+  // Sharded server: one row per replica, from the merged STATS body's
+  // per_shard array, so cache-warmth skew across shard regions shows up.
+  const std::vector<std::string> shard_bodies = PerShardBodies(stats_json);
+  if (!shard_bodies.empty()) {
+    Table shards({"shard", "requests", "ok", "mutations", "cache hits",
+                  "cache misses", "shed"});
+    for (size_t s = 0; s < shard_bodies.size(); ++s) {
+      const std::string& body = shard_bodies[s];
+      shards.AddRow({std::to_string(s),
+                     std::to_string(JsonCounter(body, "requests")),
+                     std::to_string(JsonCounter(body, "ok")),
+                     std::to_string(JsonCounter(body, "mutations")),
+                     std::to_string(JsonCounter(body, "cache_hits")),
+                     std::to_string(JsonCounter(body, "cache_misses")),
+                     std::to_string(JsonCounter(body, "shed"))});
+    }
+    shards.Print(stdout);
+  }
 
   if (mixed) {
     // Per-verb latency histogram: power-of-two millisecond buckets plus
